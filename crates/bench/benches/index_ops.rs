@@ -1,0 +1,170 @@
+//! Criterion macro-benchmarks: index construction and query latency for
+//! the SG-tree (per split policy), the SG-table, and the scan baseline on
+//! a laptop-scale `T10.I6.D20K` workload. The paper-scale sweeps live in
+//! the `repro` binary; these benches track the per-operation costs.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use sg_bench::workloads::{build_scan, build_table, build_tree, pairs_of, PAGE_SIZE, SEED};
+use sg_pager::MemStore;
+use sg_quest::basket::{BasketParams, PatternPool};
+use sg_sig::{Metric, Signature};
+use sg_inverted::InvertedIndex;
+use sg_minhash::{LshParams, MinHashLsh};
+use sg_tree::{bulkload, SplitPolicy, Tid, TreeConfig};
+use std::sync::Arc;
+
+const D: usize = 20_000;
+
+fn workload() -> (Vec<(Tid, Signature)>, Vec<Signature>, u32) {
+    let pool = PatternPool::new(BasketParams::standard(10, 6), SEED);
+    let ds = pool.dataset(D, SEED);
+    let queries: Vec<Signature> = pool
+        .queries(64, SEED)
+        .iter()
+        .map(|q| Signature::from_items(ds.n_items, q))
+        .collect();
+    (pairs_of(&ds), queries, ds.n_items)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let (data, _, nbits) = workload();
+    let mut g = c.benchmark_group("index_build_20k");
+    g.sample_size(10);
+    for policy in [SplitPolicy::Quadratic, SplitPolicy::AvLink, SplitPolicy::MinLink] {
+        g.bench_function(format!("sg_tree_{}", policy.name()), |b| {
+            b.iter_batched(
+                || data.clone(),
+                |data| {
+                    let cfg = TreeConfig::new(nbits).split(policy);
+                    black_box(build_tree(nbits, &data, Some(cfg)).0.len())
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.bench_function("sg_tree_bulk_load", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |data| {
+                let tree = bulkload::bulk_load(
+                    Arc::new(MemStore::new(PAGE_SIZE)),
+                    TreeConfig::new(nbits),
+                    data,
+                    1.0,
+                )
+                .unwrap();
+                black_box(tree.len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("sg_table", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |data| black_box(build_table(nbits, &data).0.len()),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("inverted", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |data| {
+                black_box(
+                    InvertedIndex::build(Arc::new(MemStore::new(PAGE_SIZE)), nbits, 256, &data)
+                        .len(),
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("minhash_lsh", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |data| black_box(MinHashLsh::build(nbits, LshParams::default(), &data).len()),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let (data, queries, nbits) = workload();
+    let (tree, _) = build_tree(nbits, &data, None);
+    let (table, _) = build_table(nbits, &data);
+    let scan = build_scan(nbits, &data);
+    let m = Metric::hamming();
+    let mut qi = 0usize;
+    let mut next_q = || {
+        qi = (qi + 1) % queries.len();
+        &queries[qi]
+    };
+
+    let mut g = c.benchmark_group("query_20k");
+    g.sample_size(30);
+    g.bench_function("nn_sg_tree", |b| {
+        b.iter(|| black_box(tree.nn(next_q(), &m)))
+    });
+    g.bench_function("nn_sg_tree_best_first", |b| {
+        b.iter(|| black_box(tree.knn_best_first(next_q(), 1, &m)))
+    });
+    g.bench_function("nn_sg_table", |b| {
+        b.iter(|| black_box(table.nn(next_q(), &m)))
+    });
+    g.bench_function("nn_scan", |b| {
+        b.iter(|| black_box(scan.knn(next_q(), 1, &m)))
+    });
+    g.bench_function("knn10_sg_tree", |b| {
+        b.iter(|| black_box(tree.knn(next_q(), 10, &m)))
+    });
+    g.bench_function("range4_sg_tree", |b| {
+        b.iter(|| black_box(tree.range(next_q(), 4.0, &m)))
+    });
+    g.bench_function("containment_sg_tree", |b| {
+        b.iter(|| black_box(tree.containing(next_q())))
+    });
+    let inv = InvertedIndex::build(Arc::new(MemStore::new(PAGE_SIZE)), nbits, 256, &data);
+    g.bench_function("nn_inverted", |b| {
+        b.iter(|| black_box(inv.nn(next_q(), &m)))
+    });
+    g.bench_function("containment_inverted", |b| {
+        b.iter(|| black_box(inv.containing(next_q())))
+    });
+    let lsh = MinHashLsh::build(nbits, LshParams::default(), &data);
+    let mj = Metric::jaccard();
+    g.bench_function("knn10_minhash_lsh_approx", |b| {
+        b.iter(|| black_box(lsh.knn(next_q(), 10, &mj)))
+    });
+    g.finish();
+}
+
+fn bench_insert_delete(c: &mut Criterion) {
+    let (data, _, nbits) = workload();
+    let mut g = c.benchmark_group("maintenance_20k");
+    g.sample_size(10);
+    g.bench_function("insert_one_into_20k", |b| {
+        let (mut tree, _) = build_tree(nbits, &data, None);
+        let mut tid = data.len() as u64;
+        b.iter(|| {
+            tree.insert(tid, &data[(tid as usize) % data.len()].1);
+            tid += 1;
+        })
+    });
+    g.bench_function("delete_insert_cycle_20k", |b| {
+        let (mut tree, _) = build_tree(nbits, &data, None);
+        let mut i = 0usize;
+        b.iter(|| {
+            let (tid, sig) = &data[i % data.len()];
+            assert!(tree.delete(*tid, sig));
+            tree.insert(*tid, sig);
+            i += 1;
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_build, bench_queries, bench_insert_delete
+}
+criterion_main!(benches);

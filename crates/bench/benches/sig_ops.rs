@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks for the signature kernel: the bit-parallel
+//! operations every tree traversal is made of, and the §3.2 codec.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sg_sig::{codec, Metric, Signature};
+
+fn sig_with(nbits: u32, ones: u32, stride: u32) -> Signature {
+    Signature::from_iter(nbits, (0..ones).map(|i| (i * stride) % nbits))
+}
+
+fn bench_bit_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sig_bit_ops");
+    for &nbits in &[525u32, 1000] {
+        let a = sig_with(nbits, 30, 17);
+        let b = sig_with(nbits, 30, 23);
+        g.bench_function(format!("hamming_{nbits}"), |bench| {
+            bench.iter(|| black_box(a.hamming(black_box(&b))))
+        });
+        g.bench_function(format!("and_count_{nbits}"), |bench| {
+            bench.iter(|| black_box(a.and_count(black_box(&b))))
+        });
+        g.bench_function(format!("contains_{nbits}"), |bench| {
+            bench.iter(|| black_box(a.contains(black_box(&b))))
+        });
+        g.bench_function(format!("enlargement_{nbits}"), |bench| {
+            bench.iter(|| black_box(a.enlargement(black_box(&b))))
+        });
+        g.bench_function(format!("or_assign_{nbits}"), |bench| {
+            bench.iter(|| {
+                let mut x = a.clone();
+                x.or_assign(black_box(&b));
+                black_box(x)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mindist(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sig_mindist");
+    let q = sig_with(1000, 30, 31);
+    let entry = sig_with(1000, 400, 3);
+    for (label, m) in [
+        ("hamming", Metric::hamming()),
+        ("jaccard", Metric::jaccard()),
+        (
+            "hamming_fixed_dim",
+            Metric::with_fixed_dim(sg_sig::MetricKind::Hamming, 30),
+        ),
+    ] {
+        g.bench_function(label, |bench| {
+            bench.iter(|| black_box(m.mindist(black_box(&q), black_box(&entry))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sig_codec");
+    let sparse = sig_with(1000, 20, 47);
+    let dense = sig_with(1000, 500, 2);
+    let mut buf = Vec::with_capacity(256);
+    for (label, sig) in [("sparse20", &sparse), ("dense500", &dense)] {
+        g.bench_function(format!("encode_{label}"), |bench| {
+            bench.iter(|| {
+                buf.clear();
+                codec::encode(black_box(sig), &mut buf);
+                black_box(buf.len())
+            })
+        });
+        let mut encoded = Vec::new();
+        codec::encode(sig, &mut encoded);
+        g.bench_function(format!("decode_{label}"), |bench| {
+            bench.iter(|| black_box(codec::decode(1000, black_box(&encoded)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_bit_ops, bench_mindist, bench_codec
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! `calibrate` — the workload-calibration probe behind DESIGN.md §5.
+//!
+//! The paper omits the basket generator's pattern-pool size `|L|`. This
+//! probe sweeps `|L|` and prints, per workload, the NN-distance histogram
+//! over Figure 12's buckets together with both indexes' pruning and I/O,
+//! so the chosen default (|L| = 200) can be re-derived:
+//!
+//! ```sh
+//! cargo run --release -p sg-bench --bin calibrate
+//! ```
+use sg_bench::workloads::*;
+use sg_quest::basket::{BasketParams, PatternPool};
+use sg_sig::{Metric, Signature};
+use sg_tree::SplitPolicy;
+use sg_bench::measure::{compare, QueryKind};
+
+fn main() {
+    let m = Metric::hamming();
+    for npat in [50usize, 100, 200, 400] {
+        for (t, i) in [(30u32, 18u32), (10, 6)] {
+            let mut p = BasketParams::standard(t, i);
+            p.n_patterns = npat;
+            let pool = PatternPool::new(p, SEED);
+            let ds = pool.dataset(100_000, SEED);
+            let queries: Vec<Signature> = pool.queries(60, SEED).iter()
+                .map(|q| Signature::from_items(ds.n_items, q)).collect();
+            let inst = instance_of(&ds, SplitPolicy::AvLink);
+            // NN distance histogram
+            let mut hist = [0u32; 5];
+            for q in &queries {
+                let (nn, _) = inst.scan.knn(q, 1, &m);
+                let d = nn[0].dist;
+                let b = if d == 0.0 {0} else if d <= 3.0 {1} else if d <= 10.0 {2} else if d <= 20.0 {3} else {4};
+                hist[b] += 1;
+            }
+            let c = compare(&inst, &queries, QueryKind::Knn(1), &m);
+            println!("L={npat:4} T{t}I{i}: hist(0,1-3,4-10,11-20,>20)={hist:?} tree%={:5.2} table%={:5.2} treeIO={:6.0} tableIO={:6.0}",
+                c.tree.pct_data, c.table.pct_data, c.tree.ios, c.table.ios);
+        }
+    }
+}

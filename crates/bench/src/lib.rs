@@ -1,0 +1,34 @@
+//! Experiment harness for the SG-tree reproduction.
+//!
+//! The paper's evaluation (§5) compares the SG-tree against the SG-table on
+//! three metrics — *% of data processed*, *CPU time*, and *random I/Os* —
+//! across synthetic `T·I·D` market-basket workloads and a CENSUS-shaped
+//! categorical dataset. This crate packages the shared machinery:
+//!
+//! * [`workloads`] — building datasets, indexes, and query sets;
+//! * [`measure`] — running a query workload over the three indexes with
+//!   cold caches and averaging the paper's metrics;
+//! * [`report`] — aligned-table and CSV output.
+//!
+//! The `repro` binary drives one experiment per paper table/figure; see
+//! `repro --help` and EXPERIMENTS.md.
+
+pub mod measure;
+pub mod report;
+pub mod workloads;
+
+/// Scales a paper-sized cardinality by the harness `--scale` factor
+/// (minimum 1000 so every experiment stays meaningful).
+pub fn scaled(d: usize, scale: f64) -> usize {
+    ((d as f64 * scale) as usize).max(1000)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scaled_applies_floor() {
+        assert_eq!(super::scaled(200_000, 1.0), 200_000);
+        assert_eq!(super::scaled(200_000, 0.1), 20_000);
+        assert_eq!(super::scaled(2_000, 0.01), 1_000);
+    }
+}

@@ -1,0 +1,185 @@
+//! Query-workload measurement: the paper's three metrics, averaged.
+
+use crate::workloads::Instance;
+use sg_sig::{Metric, Signature};
+use sg_tree::QueryStats;
+use std::time::Instant;
+
+/// Which query each measurement runs.
+#[derive(Debug, Clone, Copy)]
+pub enum QueryKind {
+    /// `k`-nearest neighbors.
+    Knn(usize),
+    /// Similarity range with threshold ε.
+    Range(f64),
+}
+
+/// Averaged costs of one index over one query workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Avg {
+    /// Percent of the indexed transactions compared with the query.
+    pub pct_data: f64,
+    /// Mean wall-clock milliseconds per query.
+    pub time_ms: f64,
+    /// Mean random I/Os (cold-cache page reads) per query.
+    pub ios: f64,
+    /// Mean nodes/pages accessed per query.
+    pub pages: f64,
+    /// Mean result-set size.
+    pub results: f64,
+    /// Mean distance of the farthest reported neighbor (the NN distance
+    /// for k=1) — Figure 12 buckets queries by this.
+    pub worst_dist: f64,
+}
+
+struct Accum {
+    stats: QueryStats,
+    time: f64,
+    results: u64,
+    worst: f64,
+    n: u64,
+}
+
+impl Accum {
+    fn new() -> Self {
+        Accum {
+            stats: QueryStats::default(),
+            time: 0.0,
+            results: 0,
+            worst: 0.0,
+            n: 0,
+        }
+    }
+
+    fn push(&mut self, stats: &QueryStats, secs: f64, results: &[sg_tree::Neighbor]) {
+        self.stats.add(stats);
+        self.time += secs;
+        self.results += results.len() as u64;
+        self.worst += results.last().map_or(0.0, |n| n.dist);
+        self.n += 1;
+    }
+
+    fn avg(&self, dataset_len: u64) -> Avg {
+        let n = self.n.max(1) as f64;
+        Avg {
+            pct_data: 100.0 * self.stats.data_compared as f64 / n / dataset_len.max(1) as f64,
+            time_ms: 1000.0 * self.time / n,
+            ios: self.stats.io.physical_reads as f64 / n,
+            pages: self.stats.nodes_accessed as f64 / n,
+            results: self.results as f64 / n,
+            worst_dist: self.worst / n,
+        }
+    }
+}
+
+/// A tree-vs-table measurement over one workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Comparison {
+    /// The SG-tree's averaged costs.
+    pub tree: Avg,
+    /// The SG-table's averaged costs.
+    pub table: Avg,
+}
+
+/// Runs `kind` for every query on both indexes with cold caches and
+/// returns the averaged costs. The scan baseline is consulted in debug
+/// builds to assert both indexes return exact results.
+pub fn compare(inst: &Instance, queries: &[Signature], kind: QueryKind, metric: &Metric) -> Comparison {
+    let mut tree_acc = Accum::new();
+    let mut table_acc = Accum::new();
+    for q in queries {
+        // Cold cache per query: the paper counts *random I/Os* for a query
+        // arriving on an idle system.
+        inst.tree.pool().clear();
+        inst.tree.pool().stats().reset();
+        let t0 = Instant::now();
+        let (res, stats) = match kind {
+            QueryKind::Knn(k) => inst.tree.knn(q, k, metric),
+            QueryKind::Range(eps) => inst.tree.range(q, eps, metric),
+        };
+        tree_acc.push(&stats, t0.elapsed().as_secs_f64(), &res);
+        debug_assert!(exact_vs_scan(inst, q, kind, metric, &res));
+
+        inst.table.pool().clear();
+        inst.table.pool().stats().reset();
+        let t0 = Instant::now();
+        let (res, stats) = match kind {
+            QueryKind::Knn(k) => inst.table.knn(q, k, metric),
+            QueryKind::Range(eps) => inst.table.range(q, eps, metric),
+        };
+        table_acc.push(&stats, t0.elapsed().as_secs_f64(), &res);
+        debug_assert!(exact_vs_scan(inst, q, kind, metric, &res));
+    }
+    Comparison {
+        tree: tree_acc.avg(inst.data.len() as u64),
+        table: table_acc.avg(inst.data.len() as u64),
+    }
+}
+
+/// Ground-truth check used under `debug_assertions`.
+fn exact_vs_scan(
+    inst: &Instance,
+    q: &Signature,
+    kind: QueryKind,
+    metric: &Metric,
+    got: &[sg_tree::Neighbor],
+) -> bool {
+    let want = match kind {
+        QueryKind::Knn(k) => inst.scan.knn(q, k, metric).0,
+        QueryKind::Range(eps) => inst.scan.range(q, eps, metric).0,
+    };
+    let gd: Vec<f64> = got.iter().map(|n| n.dist).collect();
+    let wd: Vec<f64> = want.iter().map(|n| n.dist).collect();
+    gd == wd
+}
+
+/// Measures only the tree (used by experiments without a table baseline,
+/// e.g. ablations).
+pub fn measure_tree(
+    inst: &Instance,
+    queries: &[Signature],
+    kind: QueryKind,
+    metric: &Metric,
+) -> Avg {
+    let mut acc = Accum::new();
+    for q in queries {
+        inst.tree.pool().clear();
+        inst.tree.pool().stats().reset();
+        let t0 = Instant::now();
+        let (res, stats) = match kind {
+            QueryKind::Knn(k) => inst.tree.knn(q, k, metric),
+            QueryKind::Range(eps) => inst.tree.range(q, eps, metric),
+        };
+        acc.push(&stats, t0.elapsed().as_secs_f64(), &res);
+    }
+    acc.avg(inst.data.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::basket_instance;
+    use sg_tree::SplitPolicy;
+
+    #[test]
+    fn compare_produces_sane_averages() {
+        let (inst, queries) = basket_instance(8, 4, 2000, 10, SplitPolicy::MinLink);
+        let m = Metric::hamming();
+        let c = compare(&inst, &queries, QueryKind::Knn(1), &m);
+        for avg in [c.tree, c.table] {
+            assert!(avg.pct_data > 0.0 && avg.pct_data <= 100.0, "{avg:?}");
+            assert!(avg.ios >= 1.0);
+            assert_eq!(avg.results, 1.0);
+        }
+        // Both exact: same NN distance on average.
+        assert!((c.tree.worst_dist - c.table.worst_dist).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_comparison_counts_results() {
+        let (inst, queries) = basket_instance(8, 4, 1500, 5, SplitPolicy::MinLink);
+        let m = Metric::hamming();
+        let c = compare(&inst, &queries, QueryKind::Range(6.0), &m);
+        assert!((c.tree.results - c.table.results).abs() < 1e-9, "exact methods agree");
+    }
+}

@@ -1,0 +1,176 @@
+//! Dataset, index, and query construction for the experiments.
+
+use sg_pager::MemStore;
+use sg_quest::basket::{BasketParams, PatternPool};
+use sg_quest::census::{CensusGenerator, CensusParams, Schema};
+use sg_quest::Dataset;
+use sg_sig::Signature;
+use sg_table::{SgTable, TableParams};
+use sg_tree::{ScanIndex, SgTree, SplitPolicy, Tid, TreeConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Page size used throughout the experiments (the classic 4 KiB page the
+/// paper's "node = disk page" setup implies).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Buffer-pool frames given to each index. Generous enough to hold a
+/// query's working set; the harness clears the pools before each query so
+/// reported I/Os are cold-cache, as in the paper.
+pub const POOL_FRAMES: usize = 4096;
+
+/// Base seed for every generator; experiments derive sub-seeds from it.
+pub const SEED: u64 = 20030305; // ICDE 2003 :-)
+
+/// A fully-built experimental instance: the data and the three indexes.
+pub struct Instance {
+    /// Universe size (signature length).
+    pub nbits: u32,
+    /// `(tid, signature)` pairs, in insertion order.
+    pub data: Vec<(Tid, Signature)>,
+    /// The SG-tree under test.
+    pub tree: SgTree,
+    /// The SG-table baseline.
+    pub table: SgTable,
+    /// The sequential-scan ground truth.
+    pub scan: ScanIndex,
+    /// Wall-clock seconds to build the tree (all inserts).
+    pub tree_build_secs: f64,
+    /// Wall-clock seconds to build the table (clustering + hashing).
+    pub table_build_secs: f64,
+}
+
+/// Converts a [`Dataset`] into `(tid, signature)` pairs.
+pub fn pairs_of(ds: &Dataset) -> Vec<(Tid, Signature)> {
+    ds.transactions
+        .iter()
+        .enumerate()
+        .map(|(tid, t)| (tid as Tid, Signature::from_items(ds.n_items, t)))
+        .collect()
+}
+
+/// Builds an SG-tree (default config unless overridden) over `data`.
+pub fn build_tree(nbits: u32, data: &[(Tid, Signature)], config: Option<TreeConfig>) -> (SgTree, f64) {
+    let cfg = config
+        .unwrap_or_else(|| TreeConfig::new(nbits))
+        .pool_frames(POOL_FRAMES);
+    let mut tree = SgTree::create(Arc::new(MemStore::new(PAGE_SIZE)), cfg).expect("tree config");
+    let t0 = Instant::now();
+    for (tid, sig) in data {
+        tree.insert(*tid, sig);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    (tree, secs)
+}
+
+/// Builds an SG-table with the workloads' standard parameters.
+pub fn build_table(nbits: u32, data: &[(Tid, Signature)]) -> (SgTable, f64) {
+    let params = TableParams {
+        k_signatures: 10,
+        activation: 2,
+        critical_mass: 0.15,
+        pool_frames: POOL_FRAMES,
+    };
+    let t0 = Instant::now();
+    let table = SgTable::build(Arc::new(MemStore::new(PAGE_SIZE)), nbits, &params, data);
+    let secs = t0.elapsed().as_secs_f64();
+    (table, secs)
+}
+
+/// Builds the scan baseline.
+pub fn build_scan(nbits: u32, data: &[(Tid, Signature)]) -> ScanIndex {
+    ScanIndex::build(
+        Arc::new(MemStore::new(PAGE_SIZE)),
+        nbits,
+        POOL_FRAMES,
+        data.iter().cloned(),
+    )
+}
+
+/// Builds the full instance for a synthetic `T{t}.I{i}.D{d}` workload plus
+/// `n_queries` queries drawn from the same pattern pool (as §5.1 does).
+pub fn basket_instance(
+    t: u32,
+    i: u32,
+    d: usize,
+    n_queries: usize,
+    split: SplitPolicy,
+) -> (Instance, Vec<Signature>) {
+    let pool = PatternPool::new(BasketParams::standard(t, i), SEED);
+    let ds = pool.dataset(d, SEED);
+    let queries: Vec<Signature> = pool
+        .queries(n_queries, SEED)
+        .iter()
+        .map(|q| Signature::from_items(ds.n_items, q))
+        .collect();
+    (instance_of(&ds, split), queries)
+}
+
+/// Builds the full instance for the CENSUS-shaped categorical workload;
+/// queries come from the generator's held-out stream.
+pub fn census_instance(d: usize, n_queries: usize, split: SplitPolicy) -> (Instance, Vec<Signature>) {
+    let gen = CensusGenerator::new(Schema::census(), CensusParams::default(), SEED);
+    let ds = gen.dataset(d, SEED);
+    let queries: Vec<Signature> = gen
+        .queries(n_queries, SEED)
+        .iter()
+        .map(|q| Signature::from_items(ds.n_items, q))
+        .collect();
+    (instance_of(&ds, split), queries)
+}
+
+/// Assembles the three indexes over a dataset.
+pub fn instance_of(ds: &Dataset, split: SplitPolicy) -> Instance {
+    let data = pairs_of(ds);
+    let (tree, tree_build_secs) =
+        build_tree(ds.n_items, &data, Some(TreeConfig::new(ds.n_items).split(split)));
+    let (table, table_build_secs) = build_table(ds.n_items, &data);
+    let scan = build_scan(ds.n_items, &data);
+    Instance {
+        nbits: ds.n_items,
+        data,
+        tree,
+        table,
+        scan,
+        tree_build_secs,
+        table_build_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_sig::Metric;
+
+    #[test]
+    fn basket_instance_builds_consistent_indexes() {
+        let (inst, queries) = basket_instance(8, 4, 1500, 5, SplitPolicy::MinLink);
+        assert_eq!(inst.tree.len(), 1500);
+        assert_eq!(inst.table.len(), 1500);
+        assert_eq!(inst.scan.len(), 1500);
+        assert_eq!(queries.len(), 5);
+        inst.tree.validate();
+        // All three agree on a 1-NN distance.
+        let m = Metric::hamming();
+        for q in &queries {
+            let (a, _) = inst.tree.nn(q, &m);
+            let (b, _) = inst.table.nn(q, &m);
+            let (c, _) = inst.scan.knn(q, 1, &m);
+            assert_eq!(a[0].dist, c[0].dist);
+            assert_eq!(b[0].dist, c[0].dist);
+        }
+    }
+
+    #[test]
+    fn census_instance_has_fixed_dimensionality() {
+        let (inst, queries) = census_instance(1200, 3, SplitPolicy::MinLink);
+        assert_eq!(inst.nbits, 525);
+        for (_, sig) in inst.data.iter().take(50) {
+            assert_eq!(sig.count(), 36);
+        }
+        for q in &queries {
+            assert_eq!(q.count(), 36);
+        }
+        inst.tree.validate();
+    }
+}

@@ -1,0 +1,212 @@
+//! Tree configuration: page geometry, heuristics, and their encodings.
+
+use sg_sig::codec;
+
+/// Which split algorithm an overflowing node uses (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SplitPolicy {
+    /// R-tree-style quadratic split: seed the two groups with the entry
+    /// pair at maximum Hamming distance, then assign the rest by minimum
+    /// area enlargement (ties: min area, then min count). Cheapest to run;
+    /// produces the worst trees in the paper's Table 1.
+    Quadratic,
+    /// Agglomerative clustering with *group-average* linkage: merge the
+    /// cluster pair with the smallest mean pairwise entry distance until
+    /// two clusters remain. `av-link` in the paper — adopted there as the
+    /// standard policy ("the best quality of the three at an acceptable
+    /// cost", Table 1).
+    AvLink,
+    /// Agglomerative clustering with *single* linkage (equivalently, cut
+    /// the longest edge of the minimum spanning tree): merge the cluster
+    /// pair containing the closest entry pair. `min-link` in the paper —
+    /// its pick as the standard policy.
+    MinLink,
+}
+
+impl SplitPolicy {
+    pub(crate) fn to_byte(self) -> u8 {
+        match self {
+            SplitPolicy::Quadratic => 0,
+            SplitPolicy::AvLink => 1,
+            SplitPolicy::MinLink => 2,
+        }
+    }
+
+    pub(crate) fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(SplitPolicy::Quadratic),
+            1 => Some(SplitPolicy::AvLink),
+            2 => Some(SplitPolicy::MinLink),
+            _ => None,
+        }
+    }
+
+    /// The paper's label for the policy.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SplitPolicy::Quadratic => "q-split",
+            SplitPolicy::AvLink => "av-link",
+            SplitPolicy::MinLink => "min-link",
+        }
+    }
+}
+
+/// Which subtree-choice heuristic insertion uses (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChooseSubtree {
+    /// The paper's choice: if exactly one entry contains the new signature
+    /// take it; if several contain it take the one with minimum area;
+    /// otherwise take the one needing minimum area enlargement (ties: min
+    /// area).
+    MinEnlargement,
+    /// The alternative the paper implemented and rejected: among the
+    /// candidates, pick the entry whose extension increases *overlap* with
+    /// its siblings the least (ties: min area enlargement, then min area).
+    /// Same tree quality at a much higher insertion cost — kept for the
+    /// ablation experiment.
+    MinOverlap,
+}
+
+impl ChooseSubtree {
+    pub(crate) fn to_byte(self) -> u8 {
+        match self {
+            ChooseSubtree::MinEnlargement => 0,
+            ChooseSubtree::MinOverlap => 1,
+        }
+    }
+
+    pub(crate) fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(ChooseSubtree::MinEnlargement),
+            1 => Some(ChooseSubtree::MinOverlap),
+            _ => None,
+        }
+    }
+}
+
+/// Configuration of an [`crate::SgTree`].
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Signature length: the size of the item universe.
+    pub nbits: u32,
+    /// Split policy for overflowing nodes.
+    pub split: SplitPolicy,
+    /// Subtree-choice heuristic for insertion.
+    pub choose: ChooseSubtree,
+    /// Minimum node fill as a fraction of capacity (`c = ⌈fill · C⌉`,
+    /// clamped to `[1, C/2]`). The classic R-tree default is 0.4.
+    pub min_fill: f64,
+    /// Store sparse signatures as position lists (§3.2). Affects only the
+    /// on-page encoding, never the node capacity, so a node always fits its
+    /// page.
+    pub compression: bool,
+    /// Buffer-pool capacity in frames for the tree's own page accesses.
+    pub pool_frames: usize,
+}
+
+impl TreeConfig {
+    /// The paper's defaults: `av-link` splits (Table 1's best-quality
+    /// policy, adopted as the paper's standard), min-enlargement subtree
+    /// choice, 40% minimum fill, compression on, and a modest pool.
+    pub fn new(nbits: u32) -> Self {
+        TreeConfig {
+            nbits,
+            split: SplitPolicy::AvLink,
+            choose: ChooseSubtree::MinEnlargement,
+            min_fill: 0.4,
+            compression: true,
+            pool_frames: 256,
+        }
+    }
+
+    /// Sets the split policy.
+    pub fn split(mut self, split: SplitPolicy) -> Self {
+        self.split = split;
+        self
+    }
+
+    /// Sets the choose-subtree heuristic.
+    pub fn choose(mut self, choose: ChooseSubtree) -> Self {
+        self.choose = choose;
+        self
+    }
+
+    /// Sets the minimum-fill fraction.
+    pub fn min_fill(mut self, min_fill: f64) -> Self {
+        assert!((0.0..=0.5).contains(&min_fill));
+        self.min_fill = min_fill;
+        self
+    }
+
+    /// Enables or disables sparse-signature compression.
+    pub fn compression(mut self, on: bool) -> Self {
+        self.compression = on;
+        self
+    }
+
+    /// Sets the buffer-pool capacity in frames.
+    pub fn pool_frames(mut self, frames: usize) -> Self {
+        self.pool_frames = frames;
+        self
+    }
+
+    /// Maximum node capacity `C` for a given page size: how many
+    /// worst-case-encoded entries fit after the node header.
+    pub fn capacity_for(&self, page_size: usize) -> usize {
+        let entry = 8 + codec::max_encoded_len(self.nbits);
+        (page_size - crate::node::NODE_HEADER) / entry
+    }
+
+    /// Minimum node fill `c` for a given capacity (count form, used as the
+    /// bulk-loading floor).
+    pub fn min_entries_for(&self, capacity: usize) -> usize {
+        (((capacity as f64) * self.min_fill).ceil() as usize)
+            .clamp(1, (capacity / 2).max(1))
+    }
+
+    /// Minimum on-page node size in bytes: `min_fill ×` the page size.
+    /// Nodes are byte-budgeted (sparse signatures buy fan-out), so the
+    /// fill requirement is a byte requirement too.
+    pub fn min_bytes_for(&self, page_size: usize) -> usize {
+        ((page_size as f64) * self.min_fill) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_bytes_roundtrip() {
+        for p in [SplitPolicy::Quadratic, SplitPolicy::AvLink, SplitPolicy::MinLink] {
+            assert_eq!(SplitPolicy::from_byte(p.to_byte()), Some(p));
+        }
+        assert_eq!(SplitPolicy::from_byte(99), None);
+        for c in [ChooseSubtree::MinEnlargement, ChooseSubtree::MinOverlap] {
+            assert_eq!(ChooseSubtree::from_byte(c.to_byte()), Some(c));
+        }
+        assert_eq!(ChooseSubtree::from_byte(9), None);
+    }
+
+    #[test]
+    fn capacity_matches_paper_ballpark() {
+        // 1000-bit signatures on 4 KiB pages: "C in the order of several
+        // tens, signature length in the order of several hundreds" (§3).
+        let cfg = TreeConfig::new(1000);
+        let c = cfg.capacity_for(4096);
+        assert!((20..=40).contains(&c), "capacity {c}");
+        // CENSUS: 525-bit signatures.
+        let c525 = TreeConfig::new(525).capacity_for(4096);
+        assert!((40..=70).contains(&c525), "capacity {c525}");
+    }
+
+    #[test]
+    fn min_entries_at_most_half_capacity() {
+        let cfg = TreeConfig::new(1000).min_fill(0.5);
+        for cap in [2usize, 3, 10, 31] {
+            let c = cfg.min_entries_for(cap);
+            assert!(c >= 1);
+            assert!(c <= (cap / 2).max(1), "cap {cap} -> c {c}");
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Deletion (§3.1): R-tree-style condensation. An underflowing leaf is
+//! dissolved and its entries reinserted, "increasing space utilization and
+//! the quality of the tree". When condensation makes a *directory* node
+//! underflow, the leaf entries of its orphaned subtrees are reinserted as
+//! fresh transactions (the paper only specifies the leaf case; reinserting
+//! at the data level is the simplest behaviour that preserves every
+//! invariant and matches the quality goal).
+
+use crate::node::{Entry, Node};
+use crate::tree::SgTree;
+use crate::Tid;
+use sg_pager::PageId;
+use sg_sig::Signature;
+
+enum DeleteOutcome {
+    /// The key was not under this subtree.
+    NotFound,
+    /// Deleted; the node still exists and now has this union signature.
+    Kept(Signature),
+    /// Deleted; the node underflowed, was freed, and its surviving leaf
+    /// entries were appended to the reinsertion buffer.
+    Dissolved,
+}
+
+impl SgTree {
+    /// Deletes the leaf entry `(tid, sig)`. Returns `true` if it was
+    /// present. Both the id and the exact signature must match, mirroring
+    /// R-tree deletion by (id, rectangle); the signature also guides the
+    /// search, so deletion costs a partial traversal rather than a scan.
+    pub fn delete(&mut self, tid: Tid, sig: &Signature) -> bool {
+        assert_eq!(sig.nbits(), self.config.nbits, "signature universe mismatch");
+        let mut reinsert: Vec<Entry> = Vec::new();
+        let root = self.root;
+        let found = match self.delete_rec(root, tid, sig, &mut reinsert) {
+            DeleteOutcome::NotFound => false,
+            DeleteOutcome::Kept(_) | DeleteOutcome::Dissolved => true,
+        };
+        if !found {
+            debug_assert!(reinsert.is_empty());
+            return false;
+        }
+        self.len -= 1;
+        self.shrink_root();
+        for e in reinsert {
+            self.insert_entry(e);
+        }
+        self.shrink_root();
+        self.mark_dirty();
+        true
+    }
+
+    fn delete_rec(
+        &mut self,
+        page: PageId,
+        tid: Tid,
+        sig: &Signature,
+        reinsert: &mut Vec<Entry>,
+    ) -> DeleteOutcome {
+        let mut node = self.read_node(page);
+        let is_root = page == self.root;
+        if node.is_leaf() {
+            let Some(pos) = node
+                .entries
+                .iter()
+                .position(|e| e.ptr == tid && e.sig == *sig)
+            else {
+                return DeleteOutcome::NotFound;
+            };
+            node.entries.remove(pos);
+            if !is_root && node.encoded_size(self.config.compression) < self.min_node_bytes {
+                reinsert.append(&mut node.entries);
+                self.pool.free(page);
+                return DeleteOutcome::Dissolved;
+            }
+            let union = node.union_signature(self.config.nbits);
+            self.write_node(page, &node);
+            return DeleteOutcome::Kept(union);
+        }
+        // Directory: only subtrees whose signature covers the target can
+        // hold it.
+        let mut hit: Option<(usize, DeleteOutcome)> = None;
+        for i in 0..node.entries.len() {
+            if !node.entries[i].sig.contains(sig) {
+                continue;
+            }
+            match self.delete_rec(node.entries[i].ptr, tid, sig, reinsert) {
+                DeleteOutcome::NotFound => continue,
+                outcome => {
+                    hit = Some((i, outcome));
+                    break;
+                }
+            }
+        }
+        let Some((i, outcome)) = hit else {
+            return DeleteOutcome::NotFound;
+        };
+        match outcome {
+            DeleteOutcome::NotFound => unreachable!(),
+            DeleteOutcome::Kept(child_sig) => {
+                node.entries[i].sig = child_sig;
+            }
+            DeleteOutcome::Dissolved => {
+                node.entries.remove(i);
+            }
+        }
+        if !is_root && node.encoded_size(self.config.compression) < self.min_node_bytes {
+            for e in node.entries.drain(..) {
+                self.collect_leaf_entries(e.ptr, reinsert);
+            }
+            self.pool.free(page);
+            return DeleteOutcome::Dissolved;
+        }
+        let union = node.union_signature(self.config.nbits);
+        self.write_node(page, &node);
+        DeleteOutcome::Kept(union)
+    }
+
+    /// Frees the subtree under `page`, appending its leaf entries to `out`.
+    fn collect_leaf_entries(&mut self, page: PageId, out: &mut Vec<Entry>) {
+        let node = self.read_node(page);
+        if node.is_leaf() {
+            out.extend(node.entries);
+        } else {
+            for e in &node.entries {
+                self.collect_leaf_entries(e.ptr, out);
+            }
+        }
+        self.pool.free(page);
+    }
+
+    /// Collapses a directory root with a single child (repeatedly), and
+    /// resets an entirely empty directory root to an empty leaf.
+    fn shrink_root(&mut self) {
+        loop {
+            let node = self.read_node(self.root);
+            if node.is_leaf() {
+                return;
+            }
+            match node.entries.len() {
+                0 => {
+                    // Every subtree dissolved; restart as an empty leaf.
+                    self.write_node(self.root, &Node::new(0));
+                    self.height = 1;
+                    self.mark_dirty();
+                    return;
+                }
+                1 => {
+                    let child = node.entries[0].ptr;
+                    self.pool.free(self.root);
+                    self.root = child;
+                    self.height -= 1;
+                    self.mark_dirty();
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TreeConfig;
+    use sg_pager::MemStore;
+    use std::sync::Arc;
+
+    fn sig_for(tid: u64, nbits: u32) -> Signature {
+        let items = [
+            (tid % nbits as u64) as u32,
+            ((tid * 7 + 1) % nbits as u64) as u32,
+            ((tid * 13 + 5) % nbits as u64) as u32,
+        ];
+        Signature::from_items(nbits, &items)
+    }
+
+    fn build(n: u64) -> SgTree {
+        let store = Arc::new(MemStore::new(512));
+        let mut tree = SgTree::create(store, TreeConfig::new(128)).unwrap();
+        for tid in 0..n {
+            tree.insert(tid, &sig_for(tid, 128));
+        }
+        tree
+    }
+
+    #[test]
+    fn delete_missing_returns_false() {
+        let mut tree = build(20);
+        assert!(!tree.delete(999, &sig_for(999, 128)));
+        // Right id, wrong signature.
+        assert!(!tree.delete(3, &Signature::from_items(128, &[99])));
+        assert_eq!(tree.len(), 20);
+        tree.validate();
+    }
+
+    #[test]
+    fn delete_each_inserted_entry() {
+        let mut tree = build(120);
+        for tid in 0..120u64 {
+            assert!(tree.delete(tid, &sig_for(tid, 128)), "tid {tid}");
+            assert_eq!(tree.len(), 119 - tid);
+            tree.validate();
+        }
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 1);
+    }
+
+    #[test]
+    fn delete_in_reverse_order() {
+        let mut tree = build(120);
+        for tid in (0..120u64).rev() {
+            assert!(tree.delete(tid, &sig_for(tid, 128)));
+        }
+        tree.validate();
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn delete_half_then_query_remainder() {
+        let mut tree = build(200);
+        for tid in (0..200u64).step_by(2) {
+            assert!(tree.delete(tid, &sig_for(tid, 128)));
+        }
+        tree.validate();
+        assert_eq!(tree.len(), 100);
+        let mut tids: Vec<u64> = tree.dump().into_iter().map(|(t, _)| t).collect();
+        tids.sort_unstable();
+        assert_eq!(tids, (0..200u64).filter(|t| t % 2 == 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn delete_then_reinsert_same_key() {
+        let mut tree = build(50);
+        let s = sig_for(25, 128);
+        assert!(tree.delete(25, &s));
+        assert!(!tree.delete(25, &s));
+        tree.insert(25, &s);
+        assert_eq!(tree.len(), 50);
+        tree.validate();
+    }
+
+    #[test]
+    fn interleaved_insert_delete_stress() {
+        let store = Arc::new(MemStore::new(512));
+        let mut tree = SgTree::create(store, TreeConfig::new(128)).unwrap();
+        let mut live: Vec<u64> = Vec::new();
+        let mut next_tid = 0u64;
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for step in 0..600 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if live.is_empty() || x % 3 != 0 {
+                tree.insert(next_tid, &sig_for(next_tid, 128));
+                live.push(next_tid);
+                next_tid += 1;
+            } else {
+                let idx = (x >> 17) as usize % live.len();
+                let tid = live.swap_remove(idx);
+                assert!(tree.delete(tid, &sig_for(tid, 128)), "step {step}");
+            }
+            if step % 50 == 0 {
+                tree.validate();
+            }
+        }
+        tree.validate();
+        assert_eq!(tree.len(), live.len() as u64);
+    }
+
+    #[test]
+    fn duplicate_tids_delete_one_at_a_time() {
+        let store = Arc::new(MemStore::new(512));
+        let mut tree = SgTree::create(store, TreeConfig::new(64)).unwrap();
+        let s = Signature::from_items(64, &[1, 2, 3]);
+        for _ in 0..3 {
+            tree.insert(7, &s);
+        }
+        assert!(tree.delete(7, &s));
+        assert_eq!(tree.len(), 2);
+        assert!(tree.delete(7, &s));
+        assert!(tree.delete(7, &s));
+        assert!(!tree.delete(7, &s));
+        tree.validate();
+    }
+}

@@ -1,0 +1,284 @@
+//! Insertion: the generic balanced-tree algorithm of the paper's Figure 3
+//! with the SG-specific `ChooseSubtree` heuristics of §3.1.
+
+use crate::config::ChooseSubtree;
+use crate::node::{Entry, Node};
+use crate::split::{split_entries, SplitBudget};
+use crate::tree::SgTree;
+use crate::Tid;
+use sg_pager::PageId;
+use sg_sig::Signature;
+
+/// Outcome of inserting into a subtree.
+pub(crate) enum InsertResult {
+    /// No split; carries the subtree's new union signature for the parent
+    /// entry.
+    Ok(Signature),
+    /// The node split: its new union signature plus the entry for the newly
+    /// created sibling, to be installed in the parent.
+    Split(Signature, Entry),
+}
+
+impl SgTree {
+    /// Inserts a transaction.
+    ///
+    /// Duplicate `tid`s are not rejected — the tree is a secondary index
+    /// and id uniqueness is the caller's concern (the paper's workloads
+    /// always use unique ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig` is over a different universe than the tree.
+    pub fn insert(&mut self, tid: Tid, sig: &Signature) {
+        assert_eq!(
+            sig.nbits(),
+            self.config.nbits,
+            "signature universe mismatch"
+        );
+        self.insert_entry(Entry::new(sig.clone(), tid));
+        self.len += 1;
+        self.mark_dirty();
+    }
+
+    /// Inserts a prepared leaf entry without touching `len` (shared by
+    /// `insert` and delete-time reinsertion).
+    pub(crate) fn insert_entry(&mut self, entry: Entry) {
+        match self.insert_rec(self.root, entry) {
+            InsertResult::Ok(_) => {}
+            InsertResult::Split(old_sig, new_entry) => {
+                let old_root = self.root;
+                let mut root = Node::new(self.height);
+                root.entries.push(Entry::new(old_sig, old_root));
+                root.entries.push(new_entry);
+                self.root = self.alloc_node(&root);
+                self.height += 1;
+                self.mark_dirty();
+            }
+        }
+    }
+
+    fn insert_rec(&mut self, page: PageId, entry: Entry) -> InsertResult {
+        let mut node = self.read_node(page);
+        if node.is_leaf() {
+            node.entries.push(entry);
+            return self.finish_node(page, node);
+        }
+        let idx = choose_subtree(&node.entries, &entry.sig, self.config.choose);
+        let child = node.entries[idx].ptr;
+        match self.insert_rec(child, entry) {
+            InsertResult::Ok(child_sig) => {
+                node.entries[idx].sig = child_sig;
+                self.finish_node(page, node)
+            }
+            InsertResult::Split(child_sig, new_entry) => {
+                node.entries[idx].sig = child_sig;
+                node.entries.push(new_entry);
+                self.finish_node(page, node)
+            }
+        }
+    }
+
+    /// Writes `node` back, splitting first if it overflows its page;
+    /// returns the result the parent needs.
+    fn finish_node(&mut self, page: PageId, node: Node) -> InsertResult {
+        let nbits = self.config.nbits;
+        if node.encoded_size(self.config.compression) <= self.pool.page_size() {
+            let sig = node.union_signature(nbits);
+            self.write_node(page, &node);
+            return InsertResult::Ok(sig);
+        }
+        let level = node.level;
+        let budget = SplitBudget {
+            min_bytes: self.min_node_bytes,
+            max_bytes: self.pool.page_size(),
+            compression: self.config.compression,
+        };
+        let (a, b) = split_entries(node.entries, self.config.split, budget);
+        let node_a = Node { level, entries: a };
+        let node_b = Node { level, entries: b };
+        let sig_a = node_a.union_signature(nbits);
+        let sig_b = node_b.union_signature(nbits);
+        self.write_node(page, &node_a);
+        let page_b = self.alloc_node(&node_b);
+        InsertResult::Split(sig_a, Entry::new(sig_b, page_b))
+    }
+}
+
+/// The §3.1 `ChooseSubtree`: three cases on containment, then the
+/// configured heuristic.
+pub(crate) fn choose_subtree(entries: &[Entry], sig: &Signature, policy: ChooseSubtree) -> usize {
+    debug_assert!(!entries.is_empty());
+    // Case 1 & 2: entries that already contain the new signature; inserting
+    // under them costs no enlargement. One → take it; several → the one
+    // with minimum area ("this refines the structure").
+    let mut best_containing: Option<(usize, u32)> = None;
+    for (i, e) in entries.iter().enumerate() {
+        if e.sig.contains(sig) {
+            let area = e.sig.count();
+            match best_containing {
+                Some((_, a)) if a <= area => {}
+                _ => best_containing = Some((i, area)),
+            }
+        }
+    }
+    if let Some((i, _)) = best_containing {
+        return i;
+    }
+    // Case 3: no entry contains it.
+    match policy {
+        ChooseSubtree::MinEnlargement => {
+            // Minimum area enlargement; ties by minimum area.
+            let mut best = 0usize;
+            let mut best_key = (u32::MAX, u32::MAX);
+            for (i, e) in entries.iter().enumerate() {
+                let key = (e.sig.enlargement(sig), e.sig.count());
+                if key < best_key {
+                    best_key = key;
+                    best = i;
+                }
+            }
+            best
+        }
+        ChooseSubtree::MinOverlap => {
+            // Minimum overlap increase with siblings; ties by minimum
+            // enlargement, then minimum area. O(|entries|²) signature
+            // intersections — the insertion-cost premium the paper measured
+            // and rejected.
+            let mut best = 0usize;
+            let mut best_key = (u32::MAX, u32::MAX, u32::MAX);
+            for (i, e) in entries.iter().enumerate() {
+                let extended = e.sig.or(sig);
+                let mut overlap_increase = 0u32;
+                for (j, other) in entries.iter().enumerate() {
+                    if i != j {
+                        overlap_increase +=
+                            extended.and_count(&other.sig) - e.sig.and_count(&other.sig);
+                    }
+                }
+                let key = (overlap_increase, e.sig.enlargement(sig), e.sig.count());
+                if key < best_key {
+                    best_key = key;
+                    best = i;
+                }
+            }
+            best
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TreeConfig;
+    use sg_pager::MemStore;
+    use std::sync::Arc;
+
+    fn sig(items: &[u32]) -> Signature {
+        Signature::from_items(64, items)
+    }
+
+    fn entries(sigs: &[&[u32]]) -> Vec<Entry> {
+        sigs.iter()
+            .enumerate()
+            .map(|(i, s)| Entry::new(sig(s), i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn choose_single_containing_entry() {
+        let es = entries(&[&[1, 2, 3], &[10, 11]]);
+        assert_eq!(
+            choose_subtree(&es, &sig(&[1, 3]), ChooseSubtree::MinEnlargement),
+            0
+        );
+    }
+
+    #[test]
+    fn choose_smallest_area_among_containing() {
+        let es = entries(&[&[1, 2, 3, 4, 5], &[1, 2, 3]]);
+        assert_eq!(
+            choose_subtree(&es, &sig(&[1, 2]), ChooseSubtree::MinEnlargement),
+            1
+        );
+    }
+
+    #[test]
+    fn choose_min_enlargement_when_none_contains() {
+        let es = entries(&[&[1, 2, 3], &[10, 11, 12]]);
+        // {3, 4}: enlarging entry 0 costs 1, entry 1 costs 2.
+        assert_eq!(
+            choose_subtree(&es, &sig(&[3, 4]), ChooseSubtree::MinEnlargement),
+            0
+        );
+    }
+
+    #[test]
+    fn choose_enlargement_tie_broken_by_area() {
+        let es = entries(&[&[1, 2, 3, 4], &[10, 11]]);
+        // {50}: both enlarge by 1; entry 1 has the smaller area.
+        assert_eq!(
+            choose_subtree(&es, &sig(&[50]), ChooseSubtree::MinEnlargement),
+            1
+        );
+    }
+
+    #[test]
+    fn choose_min_overlap_prefers_discriminating_entry() {
+        // Entry 0 overlaps heavily with entry 2; extending entry 1 adds no
+        // overlap with anyone.
+        let es = entries(&[&[1, 2, 3], &[20, 21, 22], &[1, 2, 40]]);
+        let q = sig(&[3, 41]);
+        // Extending e0 with {41}: no new overlap. Extending e1: none.
+        // Extending e2 with {3}: overlaps e0 (which has 3) → +1.
+        let pick = choose_subtree(&es, &q, ChooseSubtree::MinOverlap);
+        assert_ne!(pick, 2);
+    }
+
+    #[test]
+    fn insert_many_keeps_invariants_all_policies() {
+        for choose in [ChooseSubtree::MinEnlargement, ChooseSubtree::MinOverlap] {
+            let store = Arc::new(MemStore::new(512));
+            let cfg = TreeConfig::new(128).choose(choose);
+            let mut tree = SgTree::create(store, cfg).unwrap();
+            for tid in 0..300u64 {
+                let items = [
+                    (tid % 128) as u32,
+                    ((tid * 7 + 1) % 128) as u32,
+                    ((tid * 13 + 5) % 128) as u32,
+                ];
+                tree.insert(tid, &Signature::from_items(128, &items));
+            }
+            assert_eq!(tree.len(), 300);
+            assert!(tree.height() > 1, "tree should have grown");
+            tree.validate();
+        }
+    }
+
+    #[test]
+    fn all_inserted_tids_retrievable() {
+        let store = Arc::new(MemStore::new(512));
+        let mut tree = SgTree::create(store, TreeConfig::new(128)).unwrap();
+        let mut expected = Vec::new();
+        for tid in 0..200u64 {
+            let items = [(tid % 128) as u32, ((tid * 31) % 128) as u32];
+            let s = Signature::from_items(128, &items);
+            tree.insert(tid, &s);
+            expected.push(tid);
+        }
+        let mut got: Vec<u64> = tree.dump().into_iter().map(|(tid, _)| tid).collect();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn duplicate_signatures_accepted() {
+        let store = Arc::new(MemStore::new(512));
+        let mut tree = SgTree::create(store, TreeConfig::new(64)).unwrap();
+        let s = sig(&[1, 2, 3]);
+        for tid in 0..50u64 {
+            tree.insert(tid, &s);
+        }
+        assert_eq!(tree.len(), 50);
+        tree.validate();
+    }
+}

@@ -1,0 +1,250 @@
+//! On-page node layout.
+//!
+//! A node is one disk page:
+//!
+//! ```text
+//! [ level: u16 | count: u16 | entry … entry ]
+//! entry = [ ptr: u64 LE | encoded signature ]
+//! ```
+//!
+//! `level == 0` marks a leaf, where `ptr` is the transaction id; in a
+//! directory node `ptr` is the child's page id. Signatures are stored with
+//! the adaptive codec of `sg_sig::codec` (position list or raw bitmap); the
+//! universe size is not repeated per node — it lives in the tree's meta
+//! page.
+
+use sg_sig::{codec, Signature};
+
+/// Bytes of the fixed node header (`level` + `count`).
+pub const NODE_HEADER: usize = 4;
+
+/// One node entry: a signature plus either a child page id (directory) or a
+/// transaction id (leaf).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// OR-signature of the subtree (directory) or the transaction's
+    /// signature (leaf).
+    pub sig: Signature,
+    /// Child page id (directory) or transaction id (leaf).
+    pub ptr: u64,
+}
+
+impl Entry {
+    /// Creates an entry.
+    pub fn new(sig: Signature, ptr: u64) -> Self {
+        Entry { sig, ptr }
+    }
+}
+
+/// Encoded size in bytes of one entry (pointer + signature) under the
+/// given compression setting.
+pub fn entry_encoded_len(sig: &Signature, compression: bool) -> usize {
+    8 + if compression {
+        codec::encoded_len(sig)
+    } else {
+        codec::max_encoded_len(sig.nbits())
+    }
+}
+
+/// An in-memory node image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// 0 for leaves; parents are one above their children.
+    pub level: u16,
+    /// The node's entries. May transiently exceed the capacity during an
+    /// insert, between the overflow and the split.
+    pub entries: Vec<Entry>,
+}
+
+impl Node {
+    /// An empty node at `level`.
+    pub fn new(level: u16) -> Self {
+        Node {
+            level,
+            entries: Vec::new(),
+        }
+    }
+
+    /// `true` for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Exact on-page size of the node in bytes under the given compression
+    /// setting. Node capacity is *byte-budgeted*: a node overflows when
+    /// this exceeds the page size, so sparse signatures buy proportionally
+    /// higher fan-out (the practical payoff of §3.2's compression).
+    pub fn encoded_size(&self, compression: bool) -> usize {
+        NODE_HEADER
+            + self
+                .entries
+                .iter()
+                .map(|e| entry_encoded_len(&e.sig, compression))
+                .sum::<usize>()
+    }
+
+    /// The OR of all entry signatures — the signature this node's parent
+    /// entry must carry (Definition 5).
+    pub fn union_signature(&self, nbits: u32) -> Signature {
+        let mut sig = Signature::empty(nbits);
+        for e in &self.entries {
+            sig.or_assign(&e.sig);
+        }
+        sig
+    }
+
+    /// Serializes the node into a page image of exactly `page_size` bytes.
+    ///
+    /// With `compression` off every signature is stored as a raw bitmap
+    /// (still preceded by the codec's flag byte so decoding is uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoded node exceeds the page — the tree's capacity
+    /// accounting guarantees it never does.
+    pub fn encode(&self, page_size: usize, compression: bool) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(page_size);
+        buf.extend_from_slice(&self.level.to_le_bytes());
+        buf.extend_from_slice(&(self.entries.len() as u16).to_le_bytes());
+        for e in &self.entries {
+            buf.extend_from_slice(&e.ptr.to_le_bytes());
+            if compression {
+                codec::encode(&e.sig, &mut buf);
+            } else {
+                encode_raw(&e.sig, &mut buf);
+            }
+        }
+        assert!(
+            buf.len() <= page_size,
+            "node overflows page: {} > {} ({} entries)",
+            buf.len(),
+            page_size,
+            self.entries.len()
+        );
+        buf.resize(page_size, 0);
+        buf
+    }
+
+    /// Deserializes a node from a page image.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a corrupt page (reads past the end, bad positions): pages
+    /// are only ever produced by [`Node::encode`], so corruption is a
+    /// program error, not an input error.
+    pub fn decode(nbits: u32, page: &[u8]) -> Node {
+        let level = u16::from_le_bytes([page[0], page[1]]);
+        let count = u16::from_le_bytes([page[2], page[3]]) as usize;
+        let mut entries = Vec::with_capacity(count);
+        let mut off = NODE_HEADER;
+        for _ in 0..count {
+            let ptr = u64::from_le_bytes(page[off..off + 8].try_into().expect("page truncated"));
+            off += 8;
+            let (sig, used) = codec::decode(nbits, &page[off..]).expect("corrupt node page");
+            off += used;
+            entries.push(Entry { sig, ptr });
+        }
+        Node { level, entries }
+    }
+}
+
+/// Encodes a signature as an (uncompressed) raw bitmap with the codec's
+/// flag byte, so [`codec::decode`] reads it back transparently.
+fn encode_raw(sig: &Signature, out: &mut Vec<u8>) {
+    out.push(codec::RAW_FLAG);
+    let mut remaining = codec::bitmap_bytes(sig.nbits());
+    for word in sig.words() {
+        let bytes = word.to_le_bytes();
+        let take = remaining.min(8);
+        out.extend_from_slice(&bytes[..take]);
+        remaining -= take;
+        if remaining == 0 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_node(level: u16) -> Node {
+        let mut n = Node::new(level);
+        n.entries.push(Entry::new(Signature::from_items(300, &[1, 2, 3]), 10));
+        n.entries.push(Entry::new(Signature::from_items(300, &(0..200).collect::<Vec<_>>()), 11));
+        n.entries.push(Entry::new(Signature::empty(300), 12));
+        n
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_compressed() {
+        let n = sample_node(0);
+        let page = n.encode(4096, true);
+        assert_eq!(page.len(), 4096);
+        assert_eq!(Node::decode(300, &page), n);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_uncompressed() {
+        let n = sample_node(3);
+        let page = n.encode(4096, false);
+        let back = Node::decode(300, &page);
+        assert_eq!(back, n);
+        assert_eq!(back.level, 3);
+    }
+
+    #[test]
+    fn uncompressed_encoding_has_fixed_entry_size() {
+        let n = sample_node(1);
+        let mut buf = Vec::new();
+        for e in &n.entries {
+            let before = buf.len();
+            encode_raw(&e.sig, &mut buf);
+            assert_eq!(buf.len() - before, codec::max_encoded_len(300));
+        }
+    }
+
+    #[test]
+    fn union_signature_is_or_of_entries() {
+        let n = sample_node(0);
+        let u = n.union_signature(300);
+        for e in &n.entries {
+            assert!(u.contains(&e.sig));
+        }
+        assert_eq!(u.count(), n.entries[0].sig.union_count(&n.entries[1].sig));
+    }
+
+    #[test]
+    fn empty_node_roundtrip() {
+        let n = Node::new(2);
+        let page = n.encode(256, true);
+        let back = Node::decode(300, &page);
+        assert_eq!(back.level, 2);
+        assert!(back.entries.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "node overflows page")]
+    fn oversized_node_panics() {
+        let mut n = Node::new(0);
+        for i in 0..100 {
+            n.entries.push(Entry::new(Signature::from_items(300, &(0..250).collect::<Vec<_>>()), i));
+        }
+        n.encode(512, true);
+    }
+
+    #[test]
+    fn max_capacity_node_fits_exactly() {
+        // Fill a node to the capacity the config computes, with worst-case
+        // (dense) signatures, and check it encodes within the page.
+        let cfg = crate::TreeConfig::new(1000);
+        let cap = cfg.capacity_for(4096);
+        let dense = Signature::from_items(1000, &(0..1000).collect::<Vec<_>>());
+        let mut n = Node::new(0);
+        for i in 0..cap as u64 {
+            n.entries.push(Entry::new(dense.clone(), i));
+        }
+        let page = n.encode(4096, true);
+        assert_eq!(Node::decode(1000, &page).entries.len(), cap);
+    }
+}

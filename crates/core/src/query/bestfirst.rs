@@ -1,0 +1,108 @@
+//! Best-first (Hjaltason–Samet) nearest-neighbor search: the I/O-optimal
+//! algorithm §4.1 recommends. A global priority queue holds directory
+//! nodes keyed by their lower bound and transactions keyed by their exact
+//! distance; neighbors pop off in exact distance order, so the search
+//! reads no node whose bound exceeds (or, thanks to the data-first
+//! tie-break, equals) the k-th neighbor's distance.
+
+use super::{Neighbor, OrdF64, SearchCtx};
+use crate::tree::SgTree;
+use sg_pager::PageId;
+use sg_sig::{Metric, Signature};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(PartialEq, Eq)]
+enum Item {
+    Node(PageId),
+    Data(u64),
+}
+
+/// Max-heap entry ordered so the *smallest* key pops first; on equal keys a
+/// data item beats a node (a node with bound equal to the k-th distance
+/// cannot contain anything strictly better, so it need not be read).
+struct QueueEntry {
+    key: OrdF64,
+    item: Item,
+}
+
+impl QueueEntry {
+    fn rank(&self) -> (Reverse<OrdF64>, u8, Reverse<u64>) {
+        let (pri, tie) = match self.item {
+            Item::Data(tid) => (1u8, tid),
+            Item::Node(page) => (0u8, page),
+        };
+        (Reverse(self.key), pri, Reverse(tie))
+    }
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank() == other.rank()
+    }
+}
+impl Eq for QueueEntry {}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.rank().cmp(&other.rank())
+    }
+}
+
+pub(crate) fn knn(
+    tree: &SgTree,
+    q: &Signature,
+    k: usize,
+    metric: &Metric,
+    ctx: &mut SearchCtx,
+) -> Vec<Neighbor> {
+    if k == 0 || tree.is_empty() {
+        return Vec::new();
+    }
+    let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::new();
+    queue.push(QueueEntry {
+        key: OrdF64(0.0),
+        item: Item::Node(tree.root_page()),
+    });
+    let mut out = Vec::with_capacity(k);
+    while let Some(entry) = queue.pop() {
+        match entry.item {
+            Item::Data(tid) => {
+                out.push(Neighbor {
+                    tid,
+                    dist: entry.key.0,
+                });
+                if out.len() == k {
+                    break;
+                }
+            }
+            Item::Node(page) => {
+                ctx.nodes_accessed += 1;
+                let node = tree.read_node(page);
+                if node.is_leaf() {
+                    for e in &node.entries {
+                        ctx.data_compared += 1;
+                        ctx.dist_computations += 1;
+                        queue.push(QueueEntry {
+                            key: OrdF64(metric.dist(q, &e.sig)),
+                            item: Item::Data(e.ptr),
+                        });
+                    }
+                } else {
+                    for e in &node.entries {
+                        ctx.dist_computations += 1;
+                        queue.push(QueueEntry {
+                            key: OrdF64(metric.mindist(q, &e.sig)),
+                            item: Item::Node(e.ptr),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}

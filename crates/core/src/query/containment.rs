@@ -1,0 +1,111 @@
+//! Containment, subset, and exact-match queries.
+//!
+//! §3 walks through the *itemset containment* query ("find all transactions
+//! containing items 2 and 6"): transform the itemset into a signature and
+//! descend only entries whose signature covers it — if an entry's signature
+//! lacks a query bit, no transaction below can contain the itemset.
+
+use super::SearchCtx;
+use crate::tree::SgTree;
+use crate::Tid;
+use sg_pager::PageId;
+use sg_sig::Signature;
+
+/// All `tid` with `t ⊇ q`.
+pub(crate) fn containing(tree: &SgTree, q: &Signature, ctx: &mut SearchCtx) -> Vec<Tid> {
+    let mut out = Vec::new();
+    fn recurse(tree: &SgTree, page: PageId, q: &Signature, out: &mut Vec<Tid>, ctx: &mut SearchCtx) {
+        ctx.nodes_accessed += 1;
+        let node = tree.read_node(page);
+        if node.is_leaf() {
+            for e in &node.entries {
+                ctx.data_compared += 1;
+                if e.sig.contains(q) {
+                    out.push(e.ptr);
+                }
+            }
+            return;
+        }
+        for e in &node.entries {
+            ctx.dist_computations += 1;
+            if e.sig.contains(q) {
+                recurse(tree, e.ptr, q, out, ctx);
+            }
+        }
+    }
+    recurse(tree, tree.root_page(), q, &mut out, ctx);
+    out.sort_unstable();
+    out
+}
+
+/// All `tid` with `t ⊆ q`. An OR-signature cannot exclude small subsets,
+/// so every node is visited; the one available shortcut prunes the exact
+/// comparison when the entry signature is itself covered by `q` (then
+/// *every* transaction below qualifies).
+pub(crate) fn contained_in(tree: &SgTree, q: &Signature, ctx: &mut SearchCtx) -> Vec<Tid> {
+    let mut out = Vec::new();
+    fn collect_all(tree: &SgTree, page: PageId, out: &mut Vec<Tid>, ctx: &mut SearchCtx) {
+        ctx.nodes_accessed += 1;
+        let node = tree.read_node(page);
+        if node.is_leaf() {
+            out.extend(node.entries.iter().map(|e| e.ptr));
+            return;
+        }
+        for e in &node.entries {
+            collect_all(tree, e.ptr, out, ctx);
+        }
+    }
+    fn recurse(tree: &SgTree, page: PageId, q: &Signature, out: &mut Vec<Tid>, ctx: &mut SearchCtx) {
+        ctx.nodes_accessed += 1;
+        let node = tree.read_node(page);
+        if node.is_leaf() {
+            for e in &node.entries {
+                ctx.data_compared += 1;
+                if q.contains(&e.sig) {
+                    out.push(e.ptr);
+                }
+            }
+            return;
+        }
+        for e in &node.entries {
+            ctx.dist_computations += 1;
+            if q.contains(&e.sig) {
+                // The whole subtree is covered: every transaction below is
+                // a subset of q.
+                collect_all(tree, e.ptr, out, ctx);
+            } else {
+                recurse(tree, e.ptr, q, out, ctx);
+            }
+        }
+    }
+    recurse(tree, tree.root_page(), q, &mut out, ctx);
+    out.sort_unstable();
+    out
+}
+
+/// All `tid` with `t = q` exactly.
+pub(crate) fn exact(tree: &SgTree, q: &Signature, ctx: &mut SearchCtx) -> Vec<Tid> {
+    let mut out = Vec::new();
+    fn recurse(tree: &SgTree, page: PageId, q: &Signature, out: &mut Vec<Tid>, ctx: &mut SearchCtx) {
+        ctx.nodes_accessed += 1;
+        let node = tree.read_node(page);
+        if node.is_leaf() {
+            for e in &node.entries {
+                ctx.data_compared += 1;
+                if e.sig == *q {
+                    out.push(e.ptr);
+                }
+            }
+            return;
+        }
+        for e in &node.entries {
+            ctx.dist_computations += 1;
+            if e.sig.contains(q) {
+                recurse(tree, e.ptr, q, out, ctx);
+            }
+        }
+    }
+    recurse(tree, tree.root_page(), q, &mut out, ctx);
+    out.sort_unstable();
+    out
+}

@@ -1,0 +1,248 @@
+//! Depth-first branch-and-bound search — the paper's Figure 4, generalized
+//! to `k`-NN, all-ties NN, bounded NN, and range queries.
+//!
+//! When visiting a directory node the entries are sorted by ascending
+//! `mindist`, ties broken by **minimum area** — the paper's secondary key:
+//! among subtrees covering the query equally, a smaller (denser) one is
+//! probabilistically more likely to hold the optimistic neighbor. Once an
+//! entry's lower bound reaches the pruning distance, that entry *and every
+//! later one in the order* are skipped.
+
+use super::{Neighbor, OrdF64, SearchCtx};
+use crate::tree::SgTree;
+use sg_pager::PageId;
+use sg_sig::{Metric, Signature};
+use std::collections::BinaryHeap;
+
+/// Max-heap item: the current k-NN candidate set keeps its *worst* member
+/// on top for O(log k) replacement.
+#[derive(PartialEq, Eq)]
+struct HeapItem {
+    dist: OrdF64,
+    tid: u64,
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist.cmp(&other.dist).then(self.tid.cmp(&other.tid))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Sorts directory entries (by index) by `(mindist, area)`, the Figure 4
+/// visit order.
+fn ordered_children(
+    node: &crate::node::Node,
+    q: &Signature,
+    metric: &Metric,
+    ctx: &mut SearchCtx,
+) -> Vec<(f64, u32, PageId)> {
+    let mut order: Vec<(f64, u32, PageId)> = node
+        .entries
+        .iter()
+        .map(|e| {
+            ctx.dist_computations += 1;
+            (metric.mindist(q, &e.sig), e.sig.count(), e.ptr)
+        })
+        .collect();
+    order.sort_by(|a, b| {
+        OrdF64(a.0)
+            .cmp(&OrdF64(b.0))
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+    });
+    order
+}
+
+/// `k`-NN, depth-first. `init_bound` seeds the pruning distance (exclusive)
+/// — `f64::INFINITY` for an unbounded search.
+fn knn_bounded(
+    tree: &SgTree,
+    q: &Signature,
+    k: usize,
+    metric: &Metric,
+    init_bound: f64,
+    ctx: &mut SearchCtx,
+) -> Vec<Neighbor> {
+    let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
+    if k == 0 || tree.is_empty() {
+        return Vec::new();
+    }
+    #[allow(clippy::too_many_arguments)] // faithful transliteration of Fig. 4's recursion state
+    fn recurse(
+        tree: &SgTree,
+        page: PageId,
+        q: &Signature,
+        k: usize,
+        metric: &Metric,
+        init_bound: f64,
+        heap: &mut BinaryHeap<HeapItem>,
+        ctx: &mut SearchCtx,
+    ) {
+        let prune = |heap: &BinaryHeap<HeapItem>| -> f64 {
+            if heap.len() == k {
+                heap.peek().expect("nonempty").dist.0
+            } else {
+                init_bound
+            }
+        };
+        ctx.nodes_accessed += 1;
+        let node = tree.read_node(page);
+        if node.is_leaf() {
+            for e in &node.entries {
+                ctx.data_compared += 1;
+                ctx.dist_computations += 1;
+                let d = metric.dist(q, &e.sig);
+                if d < prune(heap) {
+                    heap.push(HeapItem {
+                        dist: OrdF64(d),
+                        tid: e.ptr,
+                    });
+                    if heap.len() > k {
+                        heap.pop();
+                    }
+                }
+            }
+            return;
+        }
+        for (mindist, _, child) in ordered_children(&node, q, metric, ctx) {
+            if mindist >= prune(heap) {
+                break; // later entries have even larger bounds
+            }
+            recurse(tree, child, q, k, metric, init_bound, heap, ctx);
+        }
+    }
+    recurse(tree, tree.root_page(), q, k, metric, init_bound, &mut heap, ctx);
+    let mut out: Vec<Neighbor> = heap
+        .into_sorted_vec()
+        .into_iter()
+        .map(|h| Neighbor {
+            tid: h.tid,
+            dist: h.dist.0,
+        })
+        .collect();
+    out.sort_by(|a, b| OrdF64(a.dist).cmp(&OrdF64(b.dist)).then(a.tid.cmp(&b.tid)));
+    out
+}
+
+pub(crate) fn knn(
+    tree: &SgTree,
+    q: &Signature,
+    k: usize,
+    metric: &Metric,
+    ctx: &mut SearchCtx,
+) -> Vec<Neighbor> {
+    knn_bounded(tree, q, k, metric, f64::INFINITY, ctx)
+}
+
+/// Single NN strictly closer than `bound`.
+pub(crate) fn nn_within(
+    tree: &SgTree,
+    q: &Signature,
+    bound: f64,
+    metric: &Metric,
+    ctx: &mut SearchCtx,
+) -> Option<Neighbor> {
+    knn_bounded(tree, q, 1, metric, bound, ctx).into_iter().next()
+}
+
+/// All nearest neighbors at the minimum distance (Figure 4 with `≤`).
+pub(crate) fn nn_all_ties(
+    tree: &SgTree,
+    q: &Signature,
+    metric: &Metric,
+    ctx: &mut SearchCtx,
+) -> Vec<Neighbor> {
+    if tree.is_empty() {
+        return Vec::new();
+    }
+    let mut best = f64::INFINITY;
+    let mut out: Vec<Neighbor> = Vec::new();
+    fn recurse(
+        tree: &SgTree,
+        page: PageId,
+        q: &Signature,
+        metric: &Metric,
+        best: &mut f64,
+        out: &mut Vec<Neighbor>,
+        ctx: &mut SearchCtx,
+    ) {
+        ctx.nodes_accessed += 1;
+        let node = tree.read_node(page);
+        if node.is_leaf() {
+            for e in &node.entries {
+                ctx.data_compared += 1;
+                ctx.dist_computations += 1;
+                let d = metric.dist(q, &e.sig);
+                if d < *best {
+                    *best = d;
+                    out.clear();
+                }
+                if d <= *best {
+                    out.push(Neighbor { tid: e.ptr, dist: d });
+                }
+            }
+            return;
+        }
+        for (mindist, _, child) in ordered_children(&node, q, metric, ctx) {
+            if mindist > *best {
+                break;
+            }
+            recurse(tree, child, q, metric, best, out, ctx);
+        }
+    }
+    recurse(tree, tree.root_page(), q, metric, &mut best, &mut out, ctx);
+    out.sort_by_key(|n| n.tid);
+    out
+}
+
+/// Similarity range query: everything within `eps` (inclusive).
+pub(crate) fn range(
+    tree: &SgTree,
+    q: &Signature,
+    eps: f64,
+    metric: &Metric,
+    ctx: &mut SearchCtx,
+) -> Vec<Neighbor> {
+    if tree.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    fn recurse(
+        tree: &SgTree,
+        page: PageId,
+        q: &Signature,
+        eps: f64,
+        metric: &Metric,
+        out: &mut Vec<Neighbor>,
+        ctx: &mut SearchCtx,
+    ) {
+        ctx.nodes_accessed += 1;
+        let node = tree.read_node(page);
+        if node.is_leaf() {
+            for e in &node.entries {
+                ctx.data_compared += 1;
+                ctx.dist_computations += 1;
+                let d = metric.dist(q, &e.sig);
+                if d <= eps {
+                    out.push(Neighbor { tid: e.ptr, dist: d });
+                }
+            }
+            return;
+        }
+        for e in &node.entries {
+            ctx.dist_computations += 1;
+            if metric.mindist(q, &e.sig) <= eps {
+                recurse(tree, e.ptr, q, eps, metric, out, ctx);
+            }
+        }
+    }
+    recurse(tree, tree.root_page(), q, eps, metric, &mut out, ctx);
+    out.sort_by(|a, b| OrdF64(a.dist).cmp(&OrdF64(b.dist)).then(a.tid.cmp(&b.tid)));
+    out
+}

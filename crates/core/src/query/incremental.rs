@@ -1,0 +1,265 @@
+//! Incremental ("distance browsing") nearest-neighbor iteration.
+//!
+//! The best-first algorithm of Hjaltason & Samet — the paper's \[15\], which
+//! §4.1 cites as the node-access-optimal way to search the SG-tree —
+//! naturally supports *incremental* retrieval: neighbors stream out in
+//! ascending distance order and the consumer decides when to stop, without
+//! fixing `k` in advance. That is exactly what the paper's motivating
+//! recommender needs ("keep fetching similar customers until enough
+//! evidence accumulates"), and what k-NN-with-unknown-k analysis tasks
+//! (classification, outlier scoring) want.
+//!
+//! [`SgTree::nn_iter`] returns a lazy [`NnIter`]; each `next()` pops the
+//! priority queue, reading only the nodes whose lower bound precedes the
+//! next answer.
+
+use super::{Neighbor, OrdF64};
+use crate::stats::QueryStats;
+use crate::tree::SgTree;
+use sg_pager::PageId;
+use sg_sig::{Metric, Signature};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+enum Item {
+    Node(PageId),
+    Data(u64),
+}
+
+struct QueueEntry {
+    key: OrdF64,
+    item: Item,
+}
+
+impl QueueEntry {
+    fn rank(&self) -> (Reverse<OrdF64>, u8, Reverse<u64>) {
+        let (pri, tie) = match self.item {
+            Item::Data(tid) => (1u8, tid),
+            Item::Node(page) => (0u8, page),
+        };
+        (Reverse(self.key), pri, Reverse(tie))
+    }
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank() == other.rank()
+    }
+}
+impl Eq for QueueEntry {}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.rank().cmp(&other.rank())
+    }
+}
+
+/// A lazy stream of neighbors in ascending distance order.
+///
+/// Borrows the tree immutably; create with [`SgTree::nn_iter`]. Query
+/// costs accumulate across the pulls and can be inspected at any point
+/// with [`NnIter::stats`].
+pub struct NnIter<'t> {
+    tree: &'t SgTree,
+    q: Signature,
+    metric: Metric,
+    queue: BinaryHeap<QueueEntry>,
+    stats: QueryStats,
+    io_start: sg_pager::IoSnapshot,
+    yielded: u64,
+}
+
+impl<'t> NnIter<'t> {
+    pub(crate) fn new(tree: &'t SgTree, q: Signature, metric: Metric) -> Self {
+        let mut queue = BinaryHeap::new();
+        if !tree.is_empty() {
+            queue.push(QueueEntry {
+                key: OrdF64(0.0),
+                item: Item::Node(tree.root_page()),
+            });
+        }
+        NnIter {
+            tree,
+            q,
+            metric,
+            queue,
+            stats: QueryStats::default(),
+            io_start: tree.pool().stats().snapshot(),
+            yielded: 0,
+        }
+    }
+
+    /// Costs incurred by the pulls so far. `io` reflects the tree pool's
+    /// activity since the iterator was created, so interleaving other
+    /// queries on the same tree blurs that one field (the node/data
+    /// counters stay exact).
+    pub fn stats(&self) -> QueryStats {
+        let mut s = self.stats;
+        s.io = self.tree.pool().stats().snapshot().since(&self.io_start);
+        s
+    }
+
+    /// Number of neighbors produced so far.
+    pub fn yielded(&self) -> u64 {
+        self.yielded
+    }
+}
+
+impl Iterator for NnIter<'_> {
+    type Item = Neighbor;
+
+    fn next(&mut self) -> Option<Neighbor> {
+        while let Some(entry) = self.queue.pop() {
+            match entry.item {
+                Item::Data(tid) => {
+                    self.yielded += 1;
+                    return Some(Neighbor {
+                        tid,
+                        dist: entry.key.0,
+                    });
+                }
+                Item::Node(page) => {
+                    self.stats.nodes_accessed += 1;
+                    let node = self.tree.read_node(page);
+                    if node.is_leaf() {
+                        for e in &node.entries {
+                            self.stats.data_compared += 1;
+                            self.stats.dist_computations += 1;
+                            self.queue.push(QueueEntry {
+                                key: OrdF64(self.metric.dist(&self.q, &e.sig)),
+                                item: Item::Data(e.ptr),
+                            });
+                        }
+                    } else {
+                        for e in &node.entries {
+                            self.stats.dist_computations += 1;
+                            self.queue.push(QueueEntry {
+                                key: OrdF64(self.metric.mindist(&self.q, &e.sig)),
+                                item: Item::Node(e.ptr),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+impl SgTree {
+    /// Streams neighbors of `q` in ascending distance order (distance
+    /// browsing). Reading the whole iterator enumerates every indexed
+    /// transaction sorted by distance; stopping early reads only the nodes
+    /// needed for the neighbors pulled.
+    pub fn nn_iter(&self, q: &Signature, metric: &Metric) -> NnIter<'_> {
+        assert_eq!(q.nbits(), self.nbits(), "signature universe mismatch");
+        NnIter::new(self, q.clone(), *metric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TreeConfig;
+    use sg_pager::MemStore;
+    use std::sync::Arc;
+
+    const NBITS: u32 = 128;
+
+    fn build(n: u64) -> (SgTree, Vec<Signature>) {
+        let mut tree =
+            SgTree::create(Arc::new(MemStore::new(512)), TreeConfig::new(NBITS)).unwrap();
+        let mut sigs = Vec::new();
+        for tid in 0..n {
+            let items = [
+                (tid % 64) as u32,
+                ((tid * 11 + 3) % NBITS as u64) as u32,
+                ((tid * 29 + 7) % NBITS as u64) as u32,
+            ];
+            let s = Signature::from_items(NBITS, &items);
+            tree.insert(tid, &s);
+            sigs.push(s);
+        }
+        (tree, sigs)
+    }
+
+    #[test]
+    fn iterator_yields_ascending_distances() {
+        let (tree, _) = build(300);
+        let q = Signature::from_items(NBITS, &[5, 40, 90]);
+        let m = Metric::hamming();
+        let dists: Vec<f64> = tree.nn_iter(&q, &m).map(|n| n.dist).collect();
+        assert_eq!(dists.len(), 300);
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]), "not ascending");
+    }
+
+    #[test]
+    fn prefix_matches_knn() {
+        let (tree, _) = build(250);
+        let q = Signature::from_items(NBITS, &[1, 2, 3]);
+        let m = Metric::hamming();
+        for k in [1usize, 5, 20] {
+            let stream: Vec<f64> = tree.nn_iter(&q, &m).take(k).map(|n| n.dist).collect();
+            let (knn, _) = tree.knn(&q, k, &m);
+            let kd: Vec<f64> = knn.iter().map(|n| n.dist).collect();
+            assert_eq!(stream, kd, "k={k}");
+        }
+    }
+
+    #[test]
+    fn early_stop_reads_fewer_nodes_than_full_drain() {
+        // Clustered data (items confined to per-cluster bands) so the
+        // directory bounds are informative and an early stop can skip
+        // whole subtrees.
+        let mut tree =
+            SgTree::create(Arc::new(MemStore::new(512)), TreeConfig::new(NBITS)).unwrap();
+        for tid in 0..1000u64 {
+            let c = (tid % 4) as u32;
+            let items = [
+                c * 32 + (tid % 16) as u32,
+                c * 32 + ((tid * 7 + 1) % 32) as u32,
+                c * 32 + ((tid * 13 + 5) % 32) as u32,
+            ];
+            tree.insert(tid, &Signature::from_items(NBITS, &items));
+        }
+        // Query with an indexed transaction: its cluster answers at
+        // distance 0 and every other cluster's bound (≥ 3) prunes.
+        let q = Signature::from_items(NBITS, &[0, 1, 5]); // tid 0's signature
+        let m = Metric::hamming();
+        let mut it = tree.nn_iter(&q, &m);
+        let first = it.next().expect("nonempty");
+        let early = it.stats().nodes_accessed;
+        let mut it2 = tree.nn_iter(&q, &m);
+        for _ in it2.by_ref() {}
+        let full = it2.stats().nodes_accessed;
+        assert!(early < full, "early {early} vs full {full}");
+        assert_eq!(full, tree.node_count());
+        assert_eq!(it2.yielded(), 1000);
+        // The streamed first neighbor equals the 1-NN answer.
+        let (nn, _) = tree.nn(&q, &m);
+        assert_eq!(first.dist, nn[0].dist);
+    }
+
+    #[test]
+    fn iterator_on_empty_tree() {
+        let tree = SgTree::create(Arc::new(MemStore::new(512)), TreeConfig::new(NBITS)).unwrap();
+        let q = Signature::from_items(NBITS, &[1]);
+        assert!(tree.nn_iter(&q, &Metric::hamming()).next().is_none());
+    }
+
+    #[test]
+    fn jaccard_browsing_ascending() {
+        let (tree, _) = build(200);
+        let q = Signature::from_items(NBITS, &[5, 6, 7]);
+        let dists: Vec<f64> = tree
+            .nn_iter(&q, &Metric::jaccard())
+            .take(50)
+            .map(|n| n.dist)
+            .collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+    }
+}

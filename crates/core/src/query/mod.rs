@@ -1,0 +1,169 @@
+//! Query processing on the SG-tree (§4): branch-and-bound similarity
+//! search adapted from R-tree algorithms, plus the containment queries of
+//! §3 and the join/closest-pair queries of §4.2.
+//!
+//! Every public query returns its result together with a [`QueryStats`]
+//! describing the paper's cost metrics for that call.
+
+mod bestfirst;
+mod containment;
+mod dfs;
+mod incremental;
+mod join;
+
+#[cfg(test)]
+mod tests;
+
+pub use incremental::NnIter;
+pub use join::JoinPair;
+
+use crate::stats::QueryStats;
+use crate::tree::SgTree;
+use crate::Tid;
+use sg_sig::{Metric, Signature};
+
+/// One similarity-search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Neighbor {
+    /// The matching transaction's id.
+    pub tid: Tid,
+    /// Its exact distance to the query under the search metric.
+    pub dist: f64,
+}
+
+/// Total order on finite distances (all metrics produce finite values).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub(crate) struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("distances are finite")
+    }
+}
+
+/// Mutable per-query counters threaded through the traversals.
+#[derive(Default)]
+pub(crate) struct SearchCtx {
+    pub nodes_accessed: u64,
+    pub data_compared: u64,
+    pub dist_computations: u64,
+}
+
+impl SearchCtx {
+    fn into_stats(self, tree: &SgTree, io_before: sg_pager::IoSnapshot) -> QueryStats {
+        QueryStats {
+            nodes_accessed: self.nodes_accessed,
+            data_compared: self.data_compared,
+            dist_computations: self.dist_computations,
+            io: tree.pool().stats().snapshot().since(&io_before),
+        }
+    }
+}
+
+impl SgTree {
+    /// Runs `f` with a fresh [`SearchCtx`] and converts it (plus the I/O
+    /// delta) into [`QueryStats`].
+    pub(crate) fn run_query<R>(
+        &self,
+        f: impl FnOnce(&mut SearchCtx) -> R,
+    ) -> (R, QueryStats) {
+        let io_before = self.pool().stats().snapshot();
+        let mut ctx = SearchCtx::default();
+        let result = f(&mut ctx);
+        let stats = ctx.into_stats(self, io_before);
+        (result, stats)
+    }
+
+    /// Nearest-neighbor query (the paper's Figure 4, `k = 1`), depth-first.
+    /// Returns at most one hit (none only for an empty tree).
+    pub fn nn(&self, q: &Signature, metric: &Metric) -> (Vec<Neighbor>, QueryStats) {
+        self.knn(q, 1, metric)
+    }
+
+    /// `k`-nearest-neighbor query, depth-first branch-and-bound. Results
+    /// sorted by ascending distance (ties by tid for determinism).
+    pub fn knn(&self, q: &Signature, k: usize, metric: &Metric) -> (Vec<Neighbor>, QueryStats) {
+        self.run_query(|ctx| dfs::knn(self, q, k, metric, ctx))
+    }
+
+    /// All nearest neighbors at the minimum distance — Figure 4's variant
+    /// with the `≤` predicates.
+    pub fn nn_all_ties(&self, q: &Signature, metric: &Metric) -> (Vec<Neighbor>, QueryStats) {
+        self.run_query(|ctx| dfs::nn_all_ties(self, q, metric, ctx))
+    }
+
+    /// `k`-NN by best-first (Hjaltason–Samet) search — the node-access-
+    /// optimal algorithm §4.1 recommends over depth-first.
+    pub fn knn_best_first(
+        &self,
+        q: &Signature,
+        k: usize,
+        metric: &Metric,
+    ) -> (Vec<Neighbor>, QueryStats) {
+        self.run_query(|ctx| bestfirst::knn(self, q, k, metric, ctx))
+    }
+
+    /// Similarity range query: every transaction within distance `eps` of
+    /// `q`, sorted by ascending distance.
+    pub fn range(&self, q: &Signature, eps: f64, metric: &Metric) -> (Vec<Neighbor>, QueryStats) {
+        self.run_query(|ctx| dfs::range(self, q, eps, metric, ctx))
+    }
+
+    /// Itemset-containment query (§3's example): ids of all transactions
+    /// `t ⊇ q`.
+    pub fn containing(&self, q: &Signature) -> (Vec<Tid>, QueryStats) {
+        self.run_query(|ctx| containment::containing(self, q, ctx))
+    }
+
+    /// Subset query: ids of all transactions `t ⊆ q`. Signature trees
+    /// cannot prune this query type (a known weakness — see Helmer &
+    /// Moerkotte, cited as \[14\] by the paper); the traversal visits every
+    /// node and is provided for completeness.
+    pub fn contained_in(&self, q: &Signature) -> (Vec<Tid>, QueryStats) {
+        self.run_query(|ctx| containment::contained_in(self, q, ctx))
+    }
+
+    /// Exact-match query: ids of all transactions with signature exactly
+    /// `q`.
+    pub fn exact(&self, q: &Signature) -> (Vec<Tid>, QueryStats) {
+        self.run_query(|ctx| containment::exact(self, q, ctx))
+    }
+
+    /// Nearest neighbor strictly closer than `bound`, or `None`. Used by
+    /// the closest-pair search and handy for incremental algorithms.
+    pub fn nn_within(
+        &self,
+        q: &Signature,
+        bound: f64,
+        metric: &Metric,
+    ) -> (Option<Neighbor>, QueryStats) {
+        self.run_query(|ctx| dfs::nn_within(self, q, bound, metric, ctx))
+    }
+
+    /// Similarity join (§4.2): all pairs `(t₁ ∈ self, t₂ ∈ other)` with
+    /// `dist(t₁, t₂) ≤ eps`. Index-nested-loop evaluation: each leaf entry
+    /// of `self` probes `other` with a range query, so `other`'s directory
+    /// bounds prune the quadratic pair space.
+    pub fn similarity_join(
+        &self,
+        other: &SgTree,
+        eps: f64,
+        metric: &Metric,
+    ) -> (Vec<JoinPair>, QueryStats) {
+        join::similarity_join(self, other, eps, metric)
+    }
+
+    /// Closest-pair query (§4.2): the pair `(t₁ ∈ self, t₂ ∈ other)` with
+    /// the minimum distance, `None` if either tree is empty. The running
+    /// best distance bounds every probe.
+    pub fn closest_pair(
+        &self,
+        other: &SgTree,
+        metric: &Metric,
+    ) -> (Option<JoinPair>, QueryStats) {
+        join::closest_pair(self, other, metric)
+    }
+}

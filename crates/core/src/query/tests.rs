@@ -1,0 +1,403 @@
+//! Query correctness against the sequential-scan ground truth, plus
+//! behaviour checks specific to the branch-and-bound algorithms.
+
+use crate::query::Neighbor;
+use crate::scan::ScanIndex;
+use crate::tree::SgTree;
+use crate::{SplitPolicy, TreeConfig};
+use sg_pager::MemStore;
+use sg_sig::{Metric, MetricKind, Signature};
+use std::sync::Arc;
+
+const NBITS: u32 = 128;
+
+fn make_data(n: u64) -> Vec<(u64, Signature)> {
+    // Deterministic pseudo-random transactions of 2–6 items with cluster
+    // structure (items drawn from a per-cluster band).
+    let mut out = Vec::with_capacity(n as usize);
+    let mut x = 0x243F6A8885A308D3u64;
+    for tid in 0..n {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let cluster = (x >> 60) as u32 % 4;
+        let len = 2 + ((x >> 33) % 5) as usize;
+        let mut items = Vec::with_capacity(len);
+        let mut y = x;
+        for _ in 0..len {
+            y = y.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            items.push(cluster * 32 + ((y >> 40) % 32) as u32);
+        }
+        out.push((tid, Signature::from_items(NBITS, &items)));
+    }
+    out
+}
+
+fn tree_of(data: &[(u64, Signature)]) -> SgTree {
+    let mut tree = SgTree::create(Arc::new(MemStore::new(512)), TreeConfig::new(NBITS)).unwrap();
+    for (tid, sig) in data {
+        tree.insert(*tid, sig);
+    }
+    tree
+}
+
+fn scan_of(data: &[(u64, Signature)]) -> ScanIndex {
+    ScanIndex::build(
+        Arc::new(MemStore::new(512)),
+        NBITS,
+        64,
+        data.iter().cloned(),
+    )
+}
+
+fn queries() -> Vec<Signature> {
+    let mut out = Vec::new();
+    let mut x = 0xB7E151628AED2A6Bu64;
+    for _ in 0..25 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
+        let len = 1 + ((x >> 33) % 6) as usize;
+        let mut items = Vec::with_capacity(len);
+        let mut y = x;
+        for _ in 0..len {
+            y = y.wrapping_mul(6364136223846793005).wrapping_add(7);
+            items.push(((y >> 40) % NBITS as u64) as u32);
+        }
+        out.push(Signature::from_items(NBITS, &items));
+    }
+    out
+}
+
+fn dists(ns: &[Neighbor]) -> Vec<f64> {
+    ns.iter().map(|n| n.dist).collect()
+}
+
+fn all_metrics() -> Vec<Metric> {
+    vec![
+        Metric::hamming(),
+        Metric::jaccard(),
+        Metric::new(MetricKind::Dice),
+    ]
+}
+
+#[test]
+fn knn_matches_scan_for_all_metrics_and_ks() {
+    let data = make_data(400);
+    let tree = tree_of(&data);
+    let scan = scan_of(&data);
+    for metric in all_metrics() {
+        for q in queries() {
+            for k in [1usize, 3, 10, 50] {
+                let (got, _) = tree.knn(&q, k, &metric);
+                let (want, _) = scan.knn(&q, k, &metric);
+                assert_eq!(
+                    dists(&got),
+                    dists(&want),
+                    "{:?} k={k} q={:?}",
+                    metric.kind(),
+                    q.items()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn best_first_knn_matches_depth_first() {
+    let data = make_data(400);
+    let tree = tree_of(&data);
+    let m = Metric::hamming();
+    for q in queries() {
+        for k in [1usize, 7, 25] {
+            let (df, _) = tree.knn(&q, k, &m);
+            let (bf, _) = tree.knn_best_first(&q, k, &m);
+            assert_eq!(dists(&df), dists(&bf), "k={k}");
+        }
+    }
+}
+
+#[test]
+fn best_first_accesses_no_more_nodes_than_depth_first() {
+    let data = make_data(600);
+    let tree = tree_of(&data);
+    let m = Metric::hamming();
+    let mut df_total = 0u64;
+    let mut bf_total = 0u64;
+    for q in queries() {
+        let (_, df) = tree.knn(&q, 1, &m);
+        let (_, bf) = tree.knn_best_first(&q, 1, &m);
+        df_total += df.nodes_accessed;
+        bf_total += bf.nodes_accessed;
+    }
+    assert!(
+        bf_total <= df_total,
+        "best-first should be node-optimal: {bf_total} vs {df_total}"
+    );
+}
+
+#[test]
+fn range_matches_scan() {
+    let data = make_data(400);
+    let tree = tree_of(&data);
+    let scan = scan_of(&data);
+    let m = Metric::hamming();
+    for q in queries() {
+        for eps in [0.0, 2.0, 5.0, 10.0] {
+            let (got, _) = tree.range(&q, eps, &m);
+            let (want, _) = scan.range(&q, eps, &m);
+            let mut g: Vec<u64> = got.iter().map(|n| n.tid).collect();
+            let mut w: Vec<u64> = want.iter().map(|n| n.tid).collect();
+            g.sort_unstable();
+            w.sort_unstable();
+            assert_eq!(g, w, "eps={eps}");
+        }
+    }
+}
+
+#[test]
+fn range_jaccard_matches_scan() {
+    let data = make_data(300);
+    let tree = tree_of(&data);
+    let scan = scan_of(&data);
+    let m = Metric::jaccard();
+    for q in queries().into_iter().take(10) {
+        for eps in [0.25, 0.5, 0.8] {
+            let (got, _) = tree.range(&q, eps, &m);
+            let (want, _) = scan.range(&q, eps, &m);
+            assert_eq!(got.len(), want.len(), "eps={eps}");
+        }
+    }
+}
+
+#[test]
+fn nn_all_ties_returns_every_minimum() {
+    let data = make_data(300);
+    let tree = tree_of(&data);
+    let scan = scan_of(&data);
+    let m = Metric::hamming();
+    for q in queries().into_iter().take(10) {
+        let (ties, _) = tree.nn_all_ties(&q, &m);
+        let (all, _) = scan.knn(&q, 300, &m);
+        let best = all[0].dist;
+        let want: Vec<u64> = all.iter().filter(|n| n.dist == best).map(|n| n.tid).collect();
+        let mut got: Vec<u64> = ties.iter().map(|n| n.tid).collect();
+        got.sort_unstable();
+        assert_eq!(got, want);
+        assert!(ties.iter().all(|n| n.dist == best));
+    }
+}
+
+#[test]
+fn containment_queries_match_scan() {
+    let data = make_data(400);
+    let tree = tree_of(&data);
+    let scan = scan_of(&data);
+    for q in queries().into_iter().take(15) {
+        let (g1, _) = tree.containing(&q);
+        let (w1, _) = scan.containing(&q);
+        assert_eq!(g1, w1, "containing {:?}", q.items());
+        let (g2, _) = tree.contained_in(&q);
+        let (w2, _) = scan.contained_in(&q);
+        assert_eq!(g2, w2, "contained_in");
+        let (g3, _) = tree.exact(&q);
+        let (w3, _) = scan.exact(&q);
+        assert_eq!(g3, w3, "exact");
+    }
+}
+
+#[test]
+fn exact_finds_inserted_signature() {
+    let data = make_data(200);
+    let tree = tree_of(&data);
+    for (tid, sig) in data.iter().take(20) {
+        let (hits, _) = tree.exact(sig);
+        assert!(hits.contains(tid));
+    }
+}
+
+#[test]
+fn containment_example_from_paper_section3() {
+    // "find all transactions containing items 2 and 6" — build a small
+    // universe where that query selects a known subset.
+    let nbits = 8u32;
+    let data: Vec<(u64, Signature)> = vec![
+        (1, Signature::from_items(nbits, &[2, 6])),
+        (2, Signature::from_items(nbits, &[2, 3, 6])),
+        (3, Signature::from_items(nbits, &[2, 3])),
+        (4, Signature::from_items(nbits, &[6])),
+        (5, Signature::from_items(nbits, &[0, 2, 5, 6])),
+    ];
+    let mut tree = SgTree::create(Arc::new(MemStore::new(256)), TreeConfig::new(nbits)).unwrap();
+    for (tid, sig) in &data {
+        tree.insert(*tid, sig);
+    }
+    let (hits, _) = tree.containing(&Signature::from_items(nbits, &[2, 6]));
+    assert_eq!(hits, vec![1, 2, 5]);
+}
+
+#[test]
+fn knn_respects_k_larger_than_data() {
+    let data = make_data(10);
+    let tree = tree_of(&data);
+    let (hits, _) = tree.knn(&Signature::from_items(NBITS, &[1]), 100, &Metric::hamming());
+    assert_eq!(hits.len(), 10);
+}
+
+#[test]
+fn queries_on_empty_tree() {
+    let tree = SgTree::create(Arc::new(MemStore::new(512)), TreeConfig::new(NBITS)).unwrap();
+    let q = Signature::from_items(NBITS, &[1, 2]);
+    let m = Metric::hamming();
+    assert!(tree.nn(&q, &m).0.is_empty());
+    assert!(tree.knn_best_first(&q, 3, &m).0.is_empty());
+    assert!(tree.range(&q, 10.0, &m).0.is_empty());
+    assert!(tree.containing(&q).0.is_empty());
+    assert!(tree.nn_all_ties(&q, &m).0.is_empty());
+}
+
+#[test]
+fn stats_data_compared_bounded_by_len_and_positive() {
+    let data = make_data(500);
+    let tree = tree_of(&data);
+    let (_, stats) = tree.nn(&Signature::from_items(NBITS, &[1, 2, 3]), &Metric::hamming());
+    assert!(stats.data_compared >= 1);
+    assert!(stats.data_compared <= 500);
+    assert!(stats.nodes_accessed >= tree.height() as u64);
+}
+
+#[test]
+fn nn_prunes_relative_to_scan_on_clustered_data() {
+    let data = make_data(2000);
+    let tree = tree_of(&data);
+    let m = Metric::hamming();
+    let mut compared = 0u64;
+    let qs = queries();
+    for q in &qs {
+        let (_, stats) = tree.nn(q, &m);
+        compared += stats.data_compared;
+    }
+    let frac = compared as f64 / (2000.0 * qs.len() as f64);
+    assert!(frac < 0.8, "NN search should prune: compared {frac:.2} of data");
+}
+
+#[test]
+fn similarity_join_matches_nested_loop() {
+    let left_data = make_data(120);
+    let right_data: Vec<(u64, Signature)> = make_data(150)
+        .into_iter()
+        .map(|(tid, s)| (tid + 1000, s))
+        .collect();
+    let left = tree_of(&left_data);
+    let right = tree_of(&right_data);
+    let m = Metric::hamming();
+    for eps in [0.0, 2.0, 4.0] {
+        let (got, _) = left.similarity_join(&right, eps, &m);
+        let mut want = Vec::new();
+        for (lt, ls) in &left_data {
+            for (rt, rs) in &right_data {
+                let d = m.dist(ls, rs);
+                if d <= eps {
+                    want.push((*lt, *rt, d));
+                }
+            }
+        }
+        assert_eq!(got.len(), want.len(), "eps={eps}");
+        let got_set: std::collections::HashSet<(u64, u64)> =
+            got.iter().map(|p| (p.left, p.right)).collect();
+        for (l, r, _) in &want {
+            assert!(got_set.contains(&(*l, *r)));
+        }
+    }
+}
+
+#[test]
+fn closest_pair_matches_nested_loop() {
+    let left_data = make_data(80);
+    let right_data: Vec<(u64, Signature)> = make_data(90)
+        .into_iter()
+        .map(|(tid, s)| (tid + 1000, Signature::from_items(NBITS, &{
+            // Shift items so distance 0 pairs are unlikely but possible.
+            let mut it = s.items();
+            if let Some(first) = it.first_mut() {
+                *first = (*first + 1) % NBITS;
+            }
+            it
+        })))
+        .collect();
+    let left = tree_of(&left_data);
+    let right = tree_of(&right_data);
+    let m = Metric::hamming();
+    let (got, _) = left.closest_pair(&right, &m);
+    let got = got.expect("nonempty trees");
+    let mut best = f64::INFINITY;
+    for (_, ls) in &left_data {
+        for (_, rs) in &right_data {
+            best = best.min(m.dist(ls, rs));
+        }
+    }
+    assert_eq!(got.dist, best);
+}
+
+#[test]
+fn closest_pair_empty_side_is_none() {
+    let a = tree_of(&make_data(10));
+    let b = SgTree::create(Arc::new(MemStore::new(512)), TreeConfig::new(NBITS)).unwrap();
+    assert!(a.closest_pair(&b, &Metric::hamming()).0.is_none());
+    assert!(b.closest_pair(&a, &Metric::hamming()).0.is_none());
+}
+
+#[test]
+fn fixed_dim_metric_prunes_more_on_categorical_data() {
+    // Fixed-size tuples: the §6 bound must reduce data compared, never
+    // change results.
+    let d = 6u32;
+    let mut data = Vec::new();
+    let mut x = 7u64;
+    for tid in 0..500u64 {
+        let mut items = Vec::new();
+        for a in 0..d {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(11);
+            items.push(a * 20 + ((x >> 40) % 20) as u32);
+        }
+        data.push((tid, Signature::from_items(NBITS, &items)));
+    }
+    let tree = tree_of(&data);
+    let scan = scan_of(&data);
+    let relaxed = Metric::hamming();
+    let strict = Metric::with_fixed_dim(MetricKind::Hamming, d);
+    let mut relaxed_cmp = 0u64;
+    let mut strict_cmp = 0u64;
+    for q in queries().into_iter().take(10) {
+        let (g1, s1) = tree.knn(&q, 5, &relaxed);
+        let (g2, s2) = tree.knn(&q, 5, &strict);
+        let (want, _) = scan.knn(&q, 5, &relaxed);
+        assert_eq!(dists(&g1), dists(&want));
+        assert_eq!(dists(&g2), dists(&want));
+        relaxed_cmp += s1.data_compared;
+        strict_cmp += s2.data_compared;
+    }
+    assert!(
+        strict_cmp <= relaxed_cmp,
+        "fixed-dim bound should prune at least as much: {strict_cmp} vs {relaxed_cmp}"
+    );
+}
+
+#[test]
+fn all_split_policies_answer_queries_identically() {
+    let data = make_data(400);
+    let scan = scan_of(&data);
+    let m = Metric::hamming();
+    for policy in [SplitPolicy::Quadratic, SplitPolicy::AvLink, SplitPolicy::MinLink] {
+        let mut tree = SgTree::create(
+            Arc::new(MemStore::new(512)),
+            TreeConfig::new(NBITS).split(policy),
+        )
+        .unwrap();
+        for (tid, sig) in &data {
+            tree.insert(*tid, sig);
+        }
+        tree.validate();
+        for q in queries().into_iter().take(8) {
+            let (got, _) = tree.knn(&q, 5, &m);
+            let (want, _) = scan.knn(&q, 5, &m);
+            assert_eq!(dists(&got), dists(&want), "{policy:?}");
+        }
+    }
+}

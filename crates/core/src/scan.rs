@@ -1,0 +1,281 @@
+//! Sequential-scan baseline.
+//!
+//! Stores the transactions as densely packed pages of encoded signatures
+//! and answers every query type by a full scan. It is the ground truth the
+//! test suite checks the SG-tree (and SG-table) against, and the "100% of
+//! data, sequential I/O" yardstick for the experiments.
+
+use crate::query::Neighbor;
+use crate::stats::QueryStats;
+use crate::Tid;
+use sg_pager::{BufferPool, PageId, PageStore};
+use sg_sig::{codec, Metric, Signature};
+use std::sync::Arc;
+
+/// Header per data page: entry count (u16).
+const PAGE_HEADER: usize = 2;
+
+/// A scan-only index over pages of `(tid, signature)` records.
+pub struct ScanIndex {
+    pool: Arc<BufferPool>,
+    nbits: u32,
+    pages: Vec<PageId>,
+    len: u64,
+}
+
+impl ScanIndex {
+    /// Packs `data` onto pages of `store`.
+    pub fn build(
+        store: Arc<dyn PageStore>,
+        nbits: u32,
+        pool_frames: usize,
+        data: impl IntoIterator<Item = (Tid, Signature)>,
+    ) -> ScanIndex {
+        let pool = Arc::new(BufferPool::new(store, pool_frames));
+        let page_size = pool.page_size();
+        assert!(
+            page_size >= PAGE_HEADER + 8 + codec::max_encoded_len(nbits),
+            "page too small for one worst-case record"
+        );
+        let mut pages = Vec::new();
+        let mut len = 0u64;
+        let mut buf: Vec<u8> = vec![0, 0];
+        let mut count: u16 = 0;
+        let flush = |buf: &mut Vec<u8>, count: &mut u16, pages: &mut Vec<PageId>| {
+            if *count == 0 {
+                return;
+            }
+            buf[0..2].copy_from_slice(&count.to_le_bytes());
+            buf.resize(page_size, 0);
+            let id = pool.allocate();
+            pool.write(id, buf);
+            pages.push(id);
+            buf.clear();
+            buf.extend_from_slice(&[0, 0]);
+            *count = 0;
+        };
+        for (tid, sig) in data {
+            assert_eq!(sig.nbits(), nbits, "signature universe mismatch");
+            let need = 8 + codec::encoded_len(&sig);
+            if buf.len() + need > page_size {
+                flush(&mut buf, &mut count, &mut pages);
+            }
+            buf.extend_from_slice(&tid.to_le_bytes());
+            codec::encode(&sig, &mut buf);
+            count += 1;
+            len += 1;
+        }
+        flush(&mut buf, &mut count, &mut pages);
+        ScanIndex {
+            pool,
+            nbits,
+            pages,
+            len,
+        }
+    }
+
+    /// Number of stored transactions.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of data pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The buffer pool (for I/O statistics and cache control).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Streams every stored record through `visit`.
+    fn scan(&self, mut visit: impl FnMut(Tid, &Signature)) -> QueryStats {
+        let io_before = self.pool.stats().snapshot();
+        let mut stats = QueryStats::default();
+        for &pid in &self.pages {
+            stats.nodes_accessed += 1;
+            let page = self.pool.read(pid);
+            let count = u16::from_le_bytes([page[0], page[1]]) as usize;
+            let mut off = PAGE_HEADER;
+            for _ in 0..count {
+                let tid = Tid::from_le_bytes(page[off..off + 8].try_into().expect("page layout"));
+                off += 8;
+                let (sig, used) =
+                    codec::decode(self.nbits, &page[off..]).expect("corrupt data page");
+                off += used;
+                stats.data_compared += 1;
+                stats.dist_computations += 1;
+                visit(tid, &sig);
+            }
+        }
+        stats.io = self.pool.stats().snapshot().since(&io_before);
+        stats
+    }
+
+    /// Exact `k`-NN by full scan, sorted ascending (ties by tid).
+    pub fn knn(&self, q: &Signature, k: usize, metric: &Metric) -> (Vec<Neighbor>, QueryStats) {
+        let mut all: Vec<Neighbor> = Vec::new();
+        let stats = self.scan(|tid, sig| {
+            all.push(Neighbor {
+                tid,
+                dist: metric.dist(q, sig),
+            });
+        });
+        all.sort_by(|a, b| {
+            a.dist
+                .partial_cmp(&b.dist)
+                .expect("finite distances")
+                .then(a.tid.cmp(&b.tid))
+        });
+        all.truncate(k);
+        (all, stats)
+    }
+
+    /// Exact range query by full scan.
+    pub fn range(&self, q: &Signature, eps: f64, metric: &Metric) -> (Vec<Neighbor>, QueryStats) {
+        let mut out: Vec<Neighbor> = Vec::new();
+        let stats = self.scan(|tid, sig| {
+            let d = metric.dist(q, sig);
+            if d <= eps {
+                out.push(Neighbor { tid, dist: d });
+            }
+        });
+        out.sort_by(|a, b| {
+            a.dist
+                .partial_cmp(&b.dist)
+                .expect("finite distances")
+                .then(a.tid.cmp(&b.tid))
+        });
+        (out, stats)
+    }
+
+    /// All transactions containing `q` (supersets), by full scan.
+    pub fn containing(&self, q: &Signature) -> (Vec<Tid>, QueryStats) {
+        let mut out = Vec::new();
+        let stats = self.scan(|tid, sig| {
+            if sig.contains(q) {
+                out.push(tid);
+            }
+        });
+        out.sort_unstable();
+        (out, stats)
+    }
+
+    /// All transactions that are subsets of `q`, by full scan.
+    pub fn contained_in(&self, q: &Signature) -> (Vec<Tid>, QueryStats) {
+        let mut out = Vec::new();
+        let stats = self.scan(|tid, sig| {
+            if q.contains(sig) {
+                out.push(tid);
+            }
+        });
+        out.sort_unstable();
+        (out, stats)
+    }
+
+    /// All transactions exactly equal to `q`, by full scan.
+    pub fn exact(&self, q: &Signature) -> (Vec<Tid>, QueryStats) {
+        let mut out = Vec::new();
+        let stats = self.scan(|tid, sig| {
+            if sig == q {
+                out.push(tid);
+            }
+        });
+        out.sort_unstable();
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_pager::MemStore;
+
+    fn build(n: u64, nbits: u32) -> ScanIndex {
+        let data = (0..n).map(|tid| {
+            let items = [
+                (tid % nbits as u64) as u32,
+                ((tid * 3 + 1) % nbits as u64) as u32,
+            ];
+            (tid, Signature::from_items(nbits, &items))
+        });
+        ScanIndex::build(Arc::new(MemStore::new(256)), nbits, 16, data)
+    }
+
+    #[test]
+    fn scan_visits_everything_once() {
+        let idx = build(100, 64);
+        assert_eq!(idx.len(), 100);
+        let (nn, stats) = idx.knn(&Signature::from_items(64, &[0, 1]), 1, &Metric::hamming());
+        assert_eq!(nn.len(), 1);
+        assert_eq!(stats.data_compared, 100);
+        assert_eq!(stats.nodes_accessed as usize, idx.page_count());
+        assert!(idx.page_count() > 1, "should span multiple pages");
+    }
+
+    #[test]
+    fn knn_finds_exact_match_first() {
+        let idx = build(50, 64);
+        let q = Signature::from_items(64, &[7, 22]); // tid 7: {7, 22}
+        let (nn, _) = idx.knn(&q, 3, &Metric::hamming());
+        assert_eq!(nn[0].tid, 7);
+        assert_eq!(nn[0].dist, 0.0);
+        assert!(nn.windows(2).all(|w| w[0].dist <= w[1].dist));
+    }
+
+    #[test]
+    fn range_matches_manual_filter() {
+        let idx = build(80, 64);
+        let q = Signature::from_items(64, &[0, 1]);
+        let m = Metric::hamming();
+        let (hits, _) = idx.range(&q, 2.0, &m);
+        for h in &hits {
+            assert!(h.dist <= 2.0);
+        }
+        let (all, _) = idx.knn(&q, 80, &m);
+        let expect = all.iter().filter(|n| n.dist <= 2.0).count();
+        assert_eq!(hits.len(), expect);
+    }
+
+    #[test]
+    fn containment_queries_agree_with_definitions() {
+        let idx = build(60, 64);
+        let q = Signature::from_items(64, &[7]);
+        let (sup, _) = idx.containing(&q);
+        assert!(sup.contains(&7)); // tid 7 = {7, 22} ⊇ {7}
+        let q2 = Signature::from_items(64, &[7, 22, 30]);
+        let (sub, _) = idx.contained_in(&q2);
+        assert!(sub.contains(&7)); // {7,22} ⊆ {7,22,30}
+        let (ex, _) = idx.exact(&Signature::from_items(64, &[7, 22]));
+        assert_eq!(ex, vec![7]);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = ScanIndex::build(
+            Arc::new(MemStore::new(256)),
+            64,
+            4,
+            std::iter::empty(),
+        );
+        assert!(idx.is_empty());
+        assert_eq!(idx.page_count(), 0);
+        let (nn, _) = idx.knn(&Signature::empty(64), 5, &Metric::hamming());
+        assert!(nn.is_empty());
+    }
+
+    #[test]
+    fn io_counted_per_page() {
+        let idx = build(100, 64);
+        idx.pool().clear();
+        idx.pool().stats().reset();
+        let (_, stats) = idx.knn(&Signature::empty(64), 1, &Metric::hamming());
+        assert_eq!(stats.io.physical_reads as usize, idx.page_count());
+    }
+}

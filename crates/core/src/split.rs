@@ -1,0 +1,495 @@
+//! Node-split algorithms (§3.1): `q-split`, `av-link`, and `min-link`.
+//!
+//! Nodes are byte-budgeted (compression buys fan-out), so the split's fill
+//! constraint is byte-level too: each resulting group must encode to at
+//! least `min_bytes` and at most a page. The clustering policies run
+//! unconstrained first — that is where the quality comes from — and a
+//! final rebalance pass moves minimum-enlargement entries between the
+//! groups until both satisfy the byte bounds (the paper's underflow guard,
+//! generalized from counts to bytes).
+
+use crate::config::SplitPolicy;
+use crate::node::{entry_encoded_len, Entry, NODE_HEADER};
+use sg_sig::Signature;
+
+/// Byte-budget context for a split.
+#[derive(Clone, Copy)]
+pub(crate) struct SplitBudget {
+    /// Minimum encoded node size (header included) per group.
+    pub min_bytes: usize,
+    /// Maximum encoded node size (the page size).
+    pub max_bytes: usize,
+    /// Whether entries are stored compressed.
+    pub compression: bool,
+}
+
+impl SplitBudget {
+    pub(crate) fn group_bytes(&self, entries: &[Entry]) -> usize {
+        NODE_HEADER
+            + entries
+                .iter()
+                .map(|e| entry_encoded_len(&e.sig, self.compression))
+                .sum::<usize>()
+    }
+}
+
+/// Splits the entries of an overflowed node into two groups, each within
+/// the byte budget.
+pub(crate) fn split_entries(
+    entries: Vec<Entry>,
+    policy: SplitPolicy,
+    budget: SplitBudget,
+) -> (Vec<Entry>, Vec<Entry>) {
+    debug_assert!(entries.len() >= 2);
+    let (mut a, mut b) = match policy {
+        SplitPolicy::Quadratic => quadratic(entries, &budget),
+        SplitPolicy::AvLink => agglomerative(entries, &budget, Linkage::Average),
+        SplitPolicy::MinLink => agglomerative(entries, &budget, Linkage::Single),
+    };
+    rebalance(&mut a, &mut b, &budget);
+    debug_assert!(budget.group_bytes(&a) <= budget.max_bytes);
+    debug_assert!(budget.group_bytes(&b) <= budget.max_bytes);
+    (a, b)
+}
+
+/// R-tree-style quadratic split: the entry pair with the maximum Hamming
+/// distance seeds the two groups; the rest join the group needing the
+/// smallest signature-area enlargement (ties: minimum area, then minimum
+/// cardinality), with the paper's underflow guard: once a group needs
+/// every remaining entry to reach the minimum fill, it takes them all.
+///
+/// The guard is quality-destroying by design — it dumps the tail into one
+/// group regardless of affinity — and is part of why q-split builds worse
+/// trees than the clustering policies in Table 1. It is kept faithful
+/// here; the generic post-split rebalance would otherwise mask the effect.
+fn quadratic(mut entries: Vec<Entry>, budget: &SplitBudget) -> (Vec<Entry>, Vec<Entry>) {
+    let n = entries.len();
+    // Pick seeds: the most distant pair.
+    let (mut si, mut sj, mut best) = (0usize, 1usize, 0u32);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = entries[i].sig.hamming(&entries[j].sig);
+            if d >= best {
+                best = d;
+                si = i;
+                sj = j;
+            }
+        }
+    }
+    // Remove seeds (higher index first so the lower stays valid).
+    let seed_b = entries.swap_remove(sj.max(si));
+    let seed_a = entries.swap_remove(sj.min(si));
+    let mut bytes_a = NODE_HEADER + entry_encoded_len(&seed_a.sig, budget.compression);
+    let mut bytes_b = NODE_HEADER + entry_encoded_len(&seed_b.sig, budget.compression);
+    let mut remaining_bytes: usize = entries
+        .iter()
+        .map(|e| entry_encoded_len(&e.sig, budget.compression))
+        .sum();
+    let mut sig_a = seed_a.sig.clone();
+    let mut sig_b = seed_b.sig.clone();
+    let mut group_a = vec![seed_a];
+    let mut group_b = vec![seed_b];
+
+    for e in entries {
+        let sz = entry_encoded_len(&e.sig, budget.compression);
+        remaining_bytes -= sz;
+        // Underflow guard: a group that needs this entry and every later
+        // one to reach the minimum fill gets them all.
+        if bytes_a + sz + remaining_bytes <= budget.min_bytes {
+            sig_a.or_assign(&e.sig);
+            bytes_a += sz;
+            group_a.push(e);
+            continue;
+        }
+        if bytes_b + sz + remaining_bytes <= budget.min_bytes {
+            sig_b.or_assign(&e.sig);
+            bytes_b += sz;
+            group_b.push(e);
+            continue;
+        }
+        let key_a = (sig_a.enlargement(&e.sig), sig_a.count(), group_a.len());
+        let key_b = (sig_b.enlargement(&e.sig), sig_b.count(), group_b.len());
+        if key_a <= key_b {
+            sig_a.or_assign(&e.sig);
+            bytes_a += sz;
+            group_a.push(e);
+        } else {
+            sig_b.or_assign(&e.sig);
+            bytes_b += sz;
+            group_b.push(e);
+        }
+    }
+    (group_a, group_b)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Linkage {
+    /// `av-link`: cluster distance = mean pairwise entry distance. The
+    /// paper's standard policy.
+    Average,
+    /// `min-link`: cluster distance = minimum pairwise entry distance
+    /// (hierarchical clustering along the minimum spanning tree).
+    Single,
+}
+
+/// Agglomerative split: every entry starts as its own cluster; the closest
+/// cluster pair (under the linkage) merges until two clusters remain.
+/// Merges that would leave the rest unable to reach the minimum fill are
+/// deferred when a legal alternative exists (the paper's guard); the final
+/// byte rebalance in [`split_entries`] covers the rest.
+fn agglomerative(
+    entries: Vec<Entry>,
+    budget: &SplitBudget,
+    linkage: Linkage,
+) -> (Vec<Entry>, Vec<Entry>) {
+    let n = entries.len();
+    let sizes: Vec<usize> = entries
+        .iter()
+        .map(|e| entry_encoded_len(&e.sig, budget.compression))
+        .collect();
+    let total_bytes: usize = NODE_HEADER + sizes.iter().sum::<usize>();
+    // A cluster must leave at least `min_bytes` for the other side.
+    let max_cluster_bytes = total_bytes.saturating_sub(budget.min_bytes);
+
+    // Pairwise entry distances.
+    let mut dist = vec![0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = entries[i].sig.hamming(&entries[j].sig) as f64;
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+        }
+    }
+
+    // Cluster-level linkage state. For average linkage we keep the *sum*
+    // of cross-pair distances (divided by the size product on comparison);
+    // for single linkage the minimum, maintained by Lance–Williams updates.
+    let mut link = dist.clone();
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut cluster_bytes: Vec<usize> = sizes.clone();
+    let mut n_alive = n;
+
+    while n_alive > 2 {
+        // Best merge: prefer pairs whose merged byte size obeys the guard.
+        let mut best: Option<(usize, usize, f64, bool)> = None;
+        for i in 0..n {
+            if !alive[i] {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if !alive[j] {
+                    continue;
+                }
+                let legal = cluster_bytes[i] + cluster_bytes[j] <= max_cluster_bytes;
+                let d = match linkage {
+                    Linkage::Average => {
+                        link[i * n + j] / (members[i].len() * members[j].len()) as f64
+                    }
+                    Linkage::Single => link[i * n + j],
+                };
+                let better = match best {
+                    None => true,
+                    Some((_, _, bd, blegal)) => {
+                        (legal, std::cmp::Reverse(OrdF64(d)))
+                            > (blegal, std::cmp::Reverse(OrdF64(bd)))
+                    }
+                };
+                if better {
+                    best = Some((i, j, d, legal));
+                }
+            }
+        }
+        let (i, j, _, _) = best.expect("≥3 alive clusters have a pair");
+        // Merge j into i.
+        let taken = std::mem::take(&mut members[j]);
+        members[i].extend(taken);
+        cluster_bytes[i] += cluster_bytes[j];
+        alive[j] = false;
+        n_alive -= 1;
+        for k in 0..n {
+            if k != i && alive[k] {
+                let merged = match linkage {
+                    Linkage::Average => link[i * n + k] + link[j * n + k],
+                    Linkage::Single => link[i * n + k].min(link[j * n + k]),
+                };
+                link[i * n + k] = merged;
+                link[k * n + i] = merged;
+            }
+        }
+        // Guard: once a cluster is as large as allowed, the others are
+        // "immediately merged and the algorithm terminates".
+        if cluster_bytes[i] >= max_cluster_bytes && n_alive > 2 {
+            let rest: Vec<usize> = (0..n).filter(|&k| alive[k] && k != i).collect();
+            let first = rest[0];
+            for &k in &rest[1..] {
+                let taken = std::mem::take(&mut members[k]);
+                members[first].extend(taken);
+                alive[k] = false;
+            }
+            break;
+        }
+    }
+
+    let mut groups: Vec<Vec<usize>> = (0..n)
+        .filter(|&k| alive[k])
+        .map(|k| std::mem::take(&mut members[k]))
+        .collect();
+    debug_assert_eq!(groups.len(), 2);
+    let g2 = groups.pop().expect("two groups");
+    let g1 = groups.pop().expect("two groups");
+
+    let mut slots: Vec<Option<Entry>> = entries.into_iter().map(Some).collect();
+    let take = |idxs: Vec<usize>, slots: &mut Vec<Option<Entry>>| -> Vec<Entry> {
+        idxs.into_iter()
+            .map(|i| slots[i].take().expect("entry taken twice"))
+            .collect()
+    };
+    (take(g1, &mut slots), take(g2, &mut slots))
+}
+
+/// Moves entries between the groups until both meet the byte bounds: no
+/// group above a page, no group below the minimum fill. The donor entry is
+/// the one whose move enlarges the recipient's signature least.
+///
+/// Feasibility: the input exceeds one page but fits two (an overflowed
+/// node is one page plus one entry), and `min_fill ≤ 0.5` guarantees both
+/// sides can reach the minimum, so the loop terminates.
+pub(crate) fn rebalance(a: &mut Vec<Entry>, b: &mut Vec<Entry>, budget: &SplitBudget) {
+    // Feasible inputs (one overflowing page split in two, `min_fill ≤ 0.5`)
+    // converge in at most a few moves per entry; the cap guards against
+    // infeasible inputs, for which the deterministic byte-halving fallback
+    // below produces the best legal approximation.
+    let cap = 4 * (a.len() + b.len()).max(1);
+    for _ in 0..cap {
+        let bytes_a = budget.group_bytes(a);
+        let bytes_b = budget.group_bytes(b);
+        let a_to_b = if bytes_a > budget.max_bytes {
+            true
+        } else if bytes_b > budget.max_bytes {
+            false
+        } else if bytes_b < budget.min_bytes && bytes_a > budget.min_bytes {
+            true
+        } else if bytes_a < budget.min_bytes && bytes_b > budget.min_bytes {
+            false
+        } else {
+            return;
+        };
+        let (donor, recv) = if a_to_b { (&mut *a, &mut *b) } else { (&mut *b, &mut *a) };
+        if donor.len() <= 1 {
+            return; // cannot move the last entry; budget was infeasible
+        }
+        let recv_sig = union_of(recv);
+        let mut best = 0usize;
+        let mut best_enl = u32::MAX;
+        for (i, e) in donor.iter().enumerate() {
+            let enl = recv_sig.enlargement(&e.sig);
+            if enl < best_enl {
+                best_enl = enl;
+                best = i;
+            }
+        }
+        let moved = donor.swap_remove(best);
+        recv.push(moved);
+    }
+    // Oscillation: fall back to an even byte split preserving order.
+    let mut pool: Vec<Entry> = std::mem::take(a);
+    pool.append(b);
+    let total: usize = pool
+        .iter()
+        .map(|e| entry_encoded_len(&e.sig, budget.compression))
+        .sum();
+    let mut bytes = 0usize;
+    for e in pool {
+        let sz = entry_encoded_len(&e.sig, budget.compression);
+        if bytes + sz <= total / 2 || a.is_empty() {
+            bytes += sz;
+            a.push(e);
+        } else {
+            b.push(e);
+        }
+    }
+    debug_assert!(!a.is_empty() && !b.is_empty());
+}
+
+fn union_of(entries: &[Entry]) -> Signature {
+    debug_assert!(!entries.is_empty());
+    let mut sig = entries[0].sig.clone();
+    for e in &entries[1..] {
+        sig.or_assign(&e.sig);
+    }
+    sig
+}
+
+/// Total order on finite f64 distances.
+#[derive(PartialEq, PartialOrd)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("distances are finite")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(items: &[u32], ptr: u64) -> Entry {
+        Entry::new(Signature::from_items(64, items), ptr)
+    }
+
+    /// Budget loose enough that clustering quality decides the outcome.
+    fn loose() -> SplitBudget {
+        SplitBudget {
+            min_bytes: NODE_HEADER + 2 * 12,
+            max_bytes: 4096,
+            compression: true,
+        }
+    }
+
+    fn two_obvious_clusters() -> Vec<Entry> {
+        vec![
+            entry(&[1, 2, 3], 0),
+            entry(&[1, 2, 4], 1),
+            entry(&[2, 3, 4], 2),
+            entry(&[50, 51, 52], 3),
+            entry(&[50, 51, 53], 4),
+            entry(&[51, 52, 53], 5),
+        ]
+    }
+
+    fn assert_separates_clusters(a: &[Entry], b: &[Entry]) {
+        let low = |e: &Entry| e.sig.items().iter().all(|&i| i < 10);
+        assert_eq!(a.len() + b.len(), 6);
+        assert!(
+            a.iter().all(low) && b.iter().all(|e| !low(e))
+                || a.iter().all(|e| !low(e)) && b.iter().all(low),
+            "clusters mixed: {:?} | {:?}",
+            a.iter().map(|e| e.ptr).collect::<Vec<_>>(),
+            b.iter().map(|e| e.ptr).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn all_policies_separate_obvious_clusters() {
+        for policy in [SplitPolicy::Quadratic, SplitPolicy::AvLink, SplitPolicy::MinLink] {
+            let (a, b) = split_entries(two_obvious_clusters(), policy, loose());
+            assert_separates_clusters(&a, &b);
+        }
+    }
+
+    #[test]
+    fn split_respects_min_bytes() {
+        // Nine near-identical entries plus one outlier: naive clustering
+        // would isolate the outlier, violating the byte minimum (each
+        // entry encodes to 8 + 1 + 4 = 13 bytes).
+        let mut es: Vec<Entry> = (0..9).map(|i| entry(&[1, 2, 3, i + 10], i as u64)).collect();
+        es.push(entry(&[60, 61, 62], 9));
+        let budget = SplitBudget {
+            min_bytes: NODE_HEADER + 3 * 13,
+            max_bytes: 4096,
+            compression: true,
+        };
+        for policy in [SplitPolicy::Quadratic, SplitPolicy::AvLink, SplitPolicy::MinLink] {
+            let (a, b) = split_entries(es.clone(), policy, budget);
+            assert!(
+                budget.group_bytes(&a) >= budget.min_bytes
+                    && budget.group_bytes(&b) >= budget.min_bytes,
+                "{policy:?}: {} vs {} bytes",
+                budget.group_bytes(&a),
+                budget.group_bytes(&b)
+            );
+            assert_eq!(a.len() + b.len(), 10);
+        }
+    }
+
+    #[test]
+    fn split_respects_max_bytes() {
+        // Entries sized so both groups must stay under a small page.
+        let es: Vec<Entry> = (0..8).map(|i| entry(&[i, i + 20, i + 40], i as u64)).collect();
+        let one = entry_encoded_len(&es[0].sig, true);
+        let budget = SplitBudget {
+            min_bytes: NODE_HEADER + one,
+            max_bytes: NODE_HEADER + 5 * one,
+            compression: true,
+        };
+        for policy in [SplitPolicy::Quadratic, SplitPolicy::AvLink, SplitPolicy::MinLink] {
+            let (a, b) = split_entries(es.clone(), policy, budget);
+            assert!(budget.group_bytes(&a) <= budget.max_bytes, "{policy:?}");
+            assert!(budget.group_bytes(&b) <= budget.max_bytes, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn split_preserves_every_entry() {
+        let es = two_obvious_clusters();
+        for policy in [SplitPolicy::Quadratic, SplitPolicy::AvLink, SplitPolicy::MinLink] {
+            let (a, b) = split_entries(es.clone(), policy, loose());
+            let mut ptrs: Vec<u64> = a.iter().chain(b.iter()).map(|e| e.ptr).collect();
+            ptrs.sort_unstable();
+            assert_eq!(ptrs, vec![0, 1, 2, 3, 4, 5]);
+        }
+    }
+
+    #[test]
+    fn identical_entries_split_evenly_enough() {
+        let es: Vec<Entry> = (0..8).map(|i| entry(&[1, 2, 3], i)).collect();
+        let one = entry_encoded_len(&es[0].sig, true);
+        let budget = SplitBudget {
+            min_bytes: NODE_HEADER + 3 * one,
+            max_bytes: 4096,
+            compression: true,
+        };
+        for policy in [SplitPolicy::Quadratic, SplitPolicy::AvLink, SplitPolicy::MinLink] {
+            let (a, b) = split_entries(es.clone(), policy, budget);
+            assert!(a.len() >= 3 && b.len() >= 3, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn minimum_size_split_two_entries() {
+        let es = vec![entry(&[1], 0), entry(&[2], 1)];
+        for policy in [SplitPolicy::Quadratic, SplitPolicy::AvLink, SplitPolicy::MinLink] {
+            let (a, b) = split_entries(
+                es.clone(),
+                policy,
+                SplitBudget {
+                    min_bytes: 0,
+                    max_bytes: 4096,
+                    compression: true,
+                },
+            );
+            assert_eq!(a.len(), 1);
+            assert_eq!(b.len(), 1);
+        }
+    }
+
+    #[test]
+    fn clustering_splits_have_lower_area_than_quadratic_on_structured_data() {
+        // Table 1's headline: av-link/min-link build tighter groups. Use
+        // four latent clusters so quadratic's two seeds cannot capture the
+        // structure.
+        let mut es = Vec::new();
+        for c in 0..4u32 {
+            for k in 0..5u32 {
+                es.push(entry(
+                    &[c * 16, c * 16 + 1 + k % 3, c * 16 + 4 + k % 2],
+                    (c * 5 + k) as u64,
+                ));
+            }
+        }
+        let area = |g: &[Entry]| union_of(g).count();
+        let (qa, qb) = split_entries(es.clone(), SplitPolicy::Quadratic, loose());
+        let (ma, mb) = split_entries(es.clone(), SplitPolicy::AvLink, loose());
+        let q_area = area(&qa) + area(&qb);
+        let m_area = area(&ma) + area(&mb);
+        assert!(
+            m_area <= q_area,
+            "av-link should not be worse on clustered data: {m_area} vs {q_area}"
+        );
+    }
+}

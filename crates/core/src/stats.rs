@@ -1,0 +1,63 @@
+//! Per-query cost accounting, matching the paper's reported metrics.
+
+use sg_pager::IoSnapshot;
+
+/// Costs incurred by a single query.
+///
+/// The paper's three evaluation metrics map onto the fields as:
+///
+/// * *"% of data processed"* — [`QueryStats::data_compared`] over the number
+///   of indexed transactions (the harness computes the percentage);
+/// * *"number of random I/Os"* — `io.physical_reads`;
+/// * *CPU time* — measured by the harness around the call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryStats {
+    /// Tree nodes (pages) visited.
+    pub nodes_accessed: u64,
+    /// Leaf entries (transactions) whose exact distance to the query was
+    /// computed — the paper's "data accessed and compared with the query
+    /// transaction".
+    pub data_compared: u64,
+    /// Total distance/bound evaluations, including directory lower bounds.
+    pub dist_computations: u64,
+    /// Page-level I/O performed during the query.
+    pub io: IoSnapshot,
+}
+
+impl QueryStats {
+    /// Element-wise sum, for averaging over a query workload.
+    pub fn add(&mut self, other: &QueryStats) {
+        self.nodes_accessed += other.nodes_accessed;
+        self.data_compared += other.data_compared;
+        self.dist_computations += other.dist_computations;
+        self.io.logical_reads += other.io.logical_reads;
+        self.io.physical_reads += other.io.physical_reads;
+        self.io.writes += other.io.writes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates_all_fields() {
+        let mut a = QueryStats {
+            nodes_accessed: 1,
+            data_compared: 2,
+            dist_computations: 3,
+            io: IoSnapshot {
+                logical_reads: 4,
+                physical_reads: 5,
+                writes: 6,
+            },
+        };
+        a.add(&a.clone());
+        assert_eq!(a.nodes_accessed, 2);
+        assert_eq!(a.data_compared, 4);
+        assert_eq!(a.dist_computations, 6);
+        assert_eq!(a.io.logical_reads, 8);
+        assert_eq!(a.io.physical_reads, 10);
+        assert_eq!(a.io.writes, 12);
+    }
+}

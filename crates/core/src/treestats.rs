@@ -1,0 +1,196 @@
+//! Structural statistics of a tree — the quality metrics of the paper's
+//! Table 1 (per-level average entry area) plus the space/occupancy numbers
+//! a production operator wants from an index.
+
+use crate::tree::SgTree;
+
+/// Statistics for one level of the tree. Level 0 is the leaf level.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LevelStats {
+    /// Nodes at this level.
+    pub nodes: u64,
+    /// Entries across this level's nodes.
+    pub entries: u64,
+    /// Mean entry *area* (set bits) — Table 1's clustering-quality metric:
+    /// smaller directory areas mean tighter grouping and better pruning.
+    pub avg_entry_area: f64,
+    /// Mean encoded node size in bytes (≤ page size by construction).
+    pub avg_node_bytes: f64,
+    /// Mean byte occupancy of the nodes relative to the page size.
+    pub avg_fill: f64,
+}
+
+/// Whole-tree structural statistics; see [`SgTree::stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeStats {
+    /// Per-level breakdown, index 0 = leaves.
+    pub levels: Vec<LevelStats>,
+    /// Total node pages.
+    pub nodes: u64,
+    /// Indexed transactions.
+    pub len: u64,
+    /// Total encoded bytes across nodes (the tree's logical size).
+    pub used_bytes: u64,
+    /// Total page bytes claimed (`nodes ×` page size).
+    pub allocated_bytes: u64,
+}
+
+impl TreeStats {
+    /// Overall byte occupancy: `used / allocated`.
+    pub fn utilization(&self) -> f64 {
+        if self.allocated_bytes == 0 {
+            0.0
+        } else {
+            self.used_bytes as f64 / self.allocated_bytes as f64
+        }
+    }
+
+    /// Mean leaf fan-out (transactions per leaf page) — with compression
+    /// this typically far exceeds the worst-case capacity.
+    pub fn leaf_fanout(&self) -> f64 {
+        match self.levels.first() {
+            Some(l) if l.nodes > 0 => l.entries as f64 / l.nodes as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+impl SgTree {
+    /// Collects structural statistics in one tree walk (O(size of tree)).
+    pub fn stats(&self) -> TreeStats {
+        let page_size = self.pool().page_size() as f64;
+        let compression = self.config().compression;
+        let mut levels = vec![LevelStats::default(); self.height() as usize];
+        let mut area_sums = vec![0f64; self.height() as usize];
+        let mut used_bytes = 0u64;
+        let mut nodes = 0u64;
+        self.walk(|_, node, _| {
+            nodes += 1;
+            let l = node.level as usize;
+            let bytes = node.encoded_size(compression) as u64;
+            used_bytes += bytes;
+            let stats = &mut levels[l];
+            stats.nodes += 1;
+            stats.entries += node.entries.len() as u64;
+            stats.avg_node_bytes += bytes as f64;
+            for e in &node.entries {
+                area_sums[l] += e.sig.count() as f64;
+            }
+        });
+        for (l, stats) in levels.iter_mut().enumerate() {
+            if stats.nodes > 0 {
+                stats.avg_node_bytes /= stats.nodes as f64;
+                stats.avg_fill = stats.avg_node_bytes / page_size;
+            }
+            if stats.entries > 0 {
+                stats.avg_entry_area = area_sums[l] / stats.entries as f64;
+            }
+        }
+        TreeStats {
+            levels,
+            nodes,
+            len: self.len(),
+            used_bytes,
+            allocated_bytes: nodes * self.pool().page_size() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TreeConfig;
+    use sg_pager::MemStore;
+    use sg_sig::Signature;
+    use std::sync::Arc;
+
+    fn build(n: u64) -> SgTree {
+        let mut tree =
+            SgTree::create(Arc::new(MemStore::new(512)), TreeConfig::new(128)).unwrap();
+        for tid in 0..n {
+            let items = [
+                (tid % 128) as u32,
+                ((tid * 7 + 1) % 128) as u32,
+                ((tid * 13 + 5) % 128) as u32,
+            ];
+            tree.insert(tid, &Signature::from_items(128, &items));
+        }
+        tree
+    }
+
+    #[test]
+    fn stats_consistent_with_tree_shape() {
+        let tree = build(500);
+        let s = tree.stats();
+        assert_eq!(s.len, 500);
+        assert_eq!(s.levels.len(), tree.height() as usize);
+        assert_eq!(s.levels[0].entries, 500);
+        assert_eq!(s.nodes, tree.node_count());
+        assert_eq!(
+            s.levels.iter().map(|l| l.nodes).sum::<u64>(),
+            tree.node_count()
+        );
+        // Parent levels hold exactly one entry per child node.
+        for l in 1..s.levels.len() {
+            assert_eq!(s.levels[l].entries, s.levels[l - 1].nodes);
+        }
+    }
+
+    #[test]
+    fn utilization_between_min_fill_and_one() {
+        let tree = build(800);
+        let s = tree.stats();
+        assert!(s.utilization() > 0.2, "utilization {}", s.utilization());
+        assert!(s.utilization() <= 1.0);
+        for (l, level) in s.levels.iter().enumerate() {
+            assert!(level.avg_fill <= 1.0, "level {l} fill {}", level.avg_fill);
+        }
+    }
+
+    #[test]
+    fn leaf_areas_smaller_than_directory_areas() {
+        let tree = build(800);
+        let s = tree.stats();
+        if s.levels.len() > 1 {
+            assert!(
+                s.levels[0].avg_entry_area < s.levels[1].avg_entry_area,
+                "leaf entries (transactions) must have smaller area than their ORs"
+            );
+        }
+        // Leaf entries have exactly 3 set bits by construction (some have
+        // fewer if items collide).
+        assert!(s.levels[0].avg_entry_area <= 3.0);
+    }
+
+    #[test]
+    fn leaf_fanout_exceeds_worst_case_capacity_with_compression() {
+        let tree = build(2000);
+        let s = tree.stats();
+        assert!(
+            s.leaf_fanout() > tree.capacity() as f64,
+            "compressed sparse leaves should out-pack the worst case: {} vs {}",
+            s.leaf_fanout(),
+            tree.capacity()
+        );
+    }
+
+    #[test]
+    fn matches_level_areas() {
+        let tree = build(400);
+        let s = tree.stats();
+        let areas = tree.level_areas();
+        for (l, a) in areas.iter().enumerate() {
+            assert!((s.levels[l].avg_entry_area - a).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_tree_stats() {
+        let tree = SgTree::create(Arc::new(MemStore::new(512)), TreeConfig::new(64)).unwrap();
+        let s = tree.stats();
+        assert_eq!(s.len, 0);
+        assert_eq!(s.nodes, 1);
+        assert_eq!(s.levels[0].entries, 0);
+        assert_eq!(s.leaf_fanout(), 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # Inverted-list index over set data
+//!
+//! The classic postings structure: for every item, a sorted list of the
+//! ids of the transactions containing it. Helmer & Moerkotte's study
+//! (cited as \[14\] by the SG-tree paper) found inverted lists the best
+//! structure for *subset and equality* queries on set-valued attributes —
+//! the very query types the paper concedes to them — while the SG-tree
+//! targets *similarity* search. This crate provides the exact comparator
+//! so the trade-off can be measured instead of asserted (see the
+//! `repro ablate` experiment `ablate_inverted`).
+//!
+//! Every query here is **exact**. Costs are reported with the same
+//! [`sg_tree::QueryStats`] currency as the SG-tree: posting pages read through a
+//! buffer pool count as random I/Os, and `data_compared` counts candidate
+//! transactions whose distance was actually evaluated.
+//!
+//! ## Algorithms
+//!
+//! * **Containment** (`t ⊇ q`): intersect the sorted postings of `q`'s
+//!   items, rarest first.
+//! * **Subset** (`t ⊆ q`): accumulate per-candidate overlap counts over
+//!   `q`'s postings; `t ⊆ q ⟺ overlap(t) = |t|` (a transaction with no
+//!   item in `q` can only qualify if empty — empty transactions are
+//!   tracked separately).
+//! * **k-NN / range under Hamming**: score-by-accumulation. For any `t`,
+//!   `dist(q,t) = |q| + |t| − 2·overlap`, so candidates touched by the
+//!   postings get exact distances; *untouched* transactions have
+//!   `overlap = 0` and distance `|q| + |t|`, handled exactly by keeping a
+//!   by-size directory of all transactions. This is term-at-a-time
+//!   evaluation, O(Σ posting lengths of q's items).
+
+mod postings;
+
+pub use postings::InvertedIndex;
+
+#[cfg(test)]
+mod proptests;

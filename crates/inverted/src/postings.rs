@@ -1,0 +1,506 @@
+//! The [`InvertedIndex`] implementation: paged posting lists plus the
+//! query algorithms.
+
+use sg_pager::{BufferPool, PageId, PageStore};
+use sg_sig::{Metric, MetricKind, Signature};
+use sg_tree::{Neighbor, QueryStats, Tid};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Bytes per posting record (a tid).
+const REC: usize = 8;
+/// Page header: record count (u16).
+const PAGE_HEADER: usize = 2;
+
+/// One item's posting list: its pages and total count.
+#[derive(Debug, Default, Clone)]
+struct PostingList {
+    pages: Vec<PageId>,
+    count: u64,
+}
+
+/// An inverted-list index over a fixed item universe.
+///
+/// The per-item page directory and the by-size transaction directory are
+/// memory-resident (as an IR system's dictionary would be); the postings
+/// themselves live on pages behind a buffer pool.
+pub struct InvertedIndex {
+    pool: Arc<BufferPool>,
+    nbits: u32,
+    postings: Vec<PostingList>,
+    /// `(|t|, tid)` for every transaction, ascending — the "untouched
+    /// candidates" directory for similarity queries.
+    by_size: Vec<(u32, Tid)>,
+    /// `tid → |t|` for overlap-to-distance conversion.
+    sizes: HashMap<Tid, u32>,
+    /// Transactions with no items at all (never appear in any posting).
+    empties: Vec<Tid>,
+    len: u64,
+}
+
+impl InvertedIndex {
+    /// Builds the index over `data`, packing each item's postings onto
+    /// pages of `store`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate tids (postings are sets of transactions) or on
+    /// a signature from a different universe.
+    pub fn build(
+        store: Arc<dyn PageStore>,
+        nbits: u32,
+        pool_frames: usize,
+        data: &[(Tid, Signature)],
+    ) -> InvertedIndex {
+        let pool = Arc::new(BufferPool::new(store, pool_frames));
+        let page_size = pool.page_size();
+        assert!(page_size >= PAGE_HEADER + REC, "page too small for a posting");
+        let per_page = (page_size - PAGE_HEADER) / REC;
+
+        // Gather per-item tid lists in memory, then page them out sorted.
+        let mut lists: Vec<Vec<Tid>> = vec![Vec::new(); nbits as usize];
+        let mut sizes: HashMap<Tid, u32> = HashMap::with_capacity(data.len());
+        let mut empties = Vec::new();
+        for (tid, sig) in data {
+            assert_eq!(sig.nbits(), nbits, "signature universe mismatch");
+            assert!(
+                sizes.insert(*tid, sig.count()).is_none(),
+                "duplicate tid {tid}"
+            );
+            if sig.is_empty() {
+                empties.push(*tid);
+            }
+            for item in sig.ones() {
+                lists[item as usize].push(*tid);
+            }
+        }
+        let mut postings = Vec::with_capacity(lists.len());
+        for mut list in lists {
+            list.sort_unstable();
+            let mut pl = PostingList {
+                pages: Vec::new(),
+                count: list.len() as u64,
+            };
+            for chunk in list.chunks(per_page) {
+                let mut page = vec![0u8; page_size];
+                page[0..2].copy_from_slice(&(chunk.len() as u16).to_le_bytes());
+                for (i, tid) in chunk.iter().enumerate() {
+                    let off = PAGE_HEADER + i * REC;
+                    page[off..off + REC].copy_from_slice(&tid.to_le_bytes());
+                }
+                let id = pool.allocate();
+                pool.write(id, &page);
+                pl.pages.push(id);
+            }
+            postings.push(pl);
+        }
+        let mut by_size: Vec<(u32, Tid)> = sizes.iter().map(|(&t, &s)| (s, t)).collect();
+        by_size.sort_unstable();
+        empties.sort_unstable();
+        InvertedIndex {
+            pool,
+            nbits,
+            postings,
+            by_size,
+            sizes,
+            len: data.len() as u64,
+            empties,
+        }
+    }
+
+    /// Number of indexed transactions.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The item-universe size.
+    pub fn nbits(&self) -> u32 {
+        self.nbits
+    }
+
+    /// Total posting pages on disk.
+    pub fn page_count(&self) -> usize {
+        self.postings.iter().map(|p| p.pages.len()).sum()
+    }
+
+    /// The buffer pool (I/O statistics, cache control).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Document frequency of an item.
+    pub fn posting_len(&self, item: u32) -> u64 {
+        self.postings[item as usize].count
+    }
+
+    /// Reads one item's posting list (sorted tids), counting page I/O.
+    fn read_postings(&self, item: u32, stats: &mut QueryStats) -> Vec<Tid> {
+        let pl = &self.postings[item as usize];
+        let mut out = Vec::with_capacity(pl.count as usize);
+        for &pid in &pl.pages {
+            stats.nodes_accessed += 1;
+            let page = self.pool.read(pid);
+            let count = u16::from_le_bytes([page[0], page[1]]) as usize;
+            for i in 0..count {
+                let off = PAGE_HEADER + i * REC;
+                out.push(Tid::from_le_bytes(
+                    page[off..off + REC].try_into().expect("page layout"),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Per-candidate overlap counts with `q` (touched candidates only).
+    fn overlaps(&self, q: &Signature, stats: &mut QueryStats) -> HashMap<Tid, u32> {
+        let mut ov: HashMap<Tid, u32> = HashMap::new();
+        for item in q.ones() {
+            for tid in self.read_postings(item, stats) {
+                *ov.entry(tid).or_insert(0) += 1;
+            }
+        }
+        ov
+    }
+
+    fn assert_hamming(metric: &Metric) {
+        assert_eq!(
+            (metric.kind(), metric.fixed_dim()),
+            (MetricKind::Hamming, None),
+            "the inverted index scores overlaps under the Hamming metric"
+        );
+    }
+
+    /// All `tid` with `t ⊇ q`, by posting intersection (rarest item
+    /// first). An empty query matches everything.
+    pub fn containing(&self, q: &Signature) -> (Vec<Tid>, QueryStats) {
+        let io_before = self.pool.stats().snapshot();
+        let mut stats = QueryStats::default();
+        let mut items: Vec<u32> = q.ones().collect();
+        if items.is_empty() {
+            let mut all: Vec<Tid> = self.by_size.iter().map(|&(_, t)| t).collect();
+            all.sort_unstable();
+            return (all, stats);
+        }
+        items.sort_unstable_by_key(|&i| self.posting_len(i));
+        let mut acc = self.read_postings(items[0], &mut stats);
+        for &item in &items[1..] {
+            if acc.is_empty() {
+                break;
+            }
+            let next = self.read_postings(item, &mut stats);
+            acc = intersect_sorted(&acc, &next);
+        }
+        stats.data_compared = acc.len() as u64;
+        stats.io = self.pool.stats().snapshot().since(&io_before);
+        (acc, stats)
+    }
+
+    /// All `tid` with `t ⊆ q`: touched candidates whose overlap equals
+    /// their size, plus the empty transactions.
+    pub fn contained_in(&self, q: &Signature) -> (Vec<Tid>, QueryStats) {
+        let io_before = self.pool.stats().snapshot();
+        let mut stats = QueryStats::default();
+        let ov = self.overlaps(q, &mut stats);
+        stats.data_compared = ov.len() as u64;
+        let mut out: Vec<Tid> = ov
+            .into_iter()
+            .filter(|(tid, o)| self.sizes[tid] == *o)
+            .map(|(tid, _)| tid)
+            .collect();
+        out.extend_from_slice(&self.empties);
+        out.sort_unstable();
+        stats.io = self.pool.stats().snapshot().since(&io_before);
+        (out, stats)
+    }
+
+    /// All `tid` with `t = q` exactly.
+    pub fn exact(&self, q: &Signature) -> (Vec<Tid>, QueryStats) {
+        let (subset, mut stats) = self.contained_in(q);
+        let want = q.count();
+        let out: Vec<Tid> = subset
+            .into_iter()
+            .filter(|tid| self.sizes[tid] == want)
+            .collect();
+        stats.data_compared += out.len() as u64;
+        (out, stats)
+    }
+
+    /// Exact `k`-NN under Hamming, by term-at-a-time accumulation plus
+    /// the by-size directory for untouched transactions.
+    pub fn knn(&self, q: &Signature, k: usize, metric: &Metric) -> (Vec<Neighbor>, QueryStats) {
+        Self::assert_hamming(metric);
+        let io_before = self.pool.stats().snapshot();
+        let mut stats = QueryStats::default();
+        let mut out: Vec<Neighbor> = Vec::new();
+        if k > 0 && !self.is_empty() {
+            let cq = q.count() as f64;
+            let ov = self.overlaps(q, &mut stats);
+            stats.data_compared = ov.len() as u64;
+            stats.dist_computations = ov.len() as u64;
+            for (&tid, &o) in &ov {
+                out.push(Neighbor {
+                    tid,
+                    dist: cq + self.sizes[&tid] as f64 - 2.0 * o as f64,
+                });
+            }
+            // Untouched transactions: dist = |q| + |t|; the candidates are
+            // the k smallest by size not already touched.
+            let mut taken = 0usize;
+            for &(size, tid) in &self.by_size {
+                if taken == k {
+                    break;
+                }
+                if ov.contains_key(&tid) {
+                    continue;
+                }
+                out.push(Neighbor {
+                    tid,
+                    dist: cq + size as f64,
+                });
+                taken += 1;
+            }
+            out.sort_by(|a, b| {
+                a.dist
+                    .partial_cmp(&b.dist)
+                    .expect("finite")
+                    .then(a.tid.cmp(&b.tid))
+            });
+            out.truncate(k);
+        }
+        stats.io = self.pool.stats().snapshot().since(&io_before);
+        (out, stats)
+    }
+
+    /// Nearest neighbor (`k = 1`).
+    pub fn nn(&self, q: &Signature, metric: &Metric) -> (Vec<Neighbor>, QueryStats) {
+        self.knn(q, 1, metric)
+    }
+
+    /// Exact similarity range query under Hamming.
+    pub fn range(&self, q: &Signature, eps: f64, metric: &Metric) -> (Vec<Neighbor>, QueryStats) {
+        Self::assert_hamming(metric);
+        let io_before = self.pool.stats().snapshot();
+        let mut stats = QueryStats::default();
+        let cq = q.count() as f64;
+        let ov = self.overlaps(q, &mut stats);
+        stats.data_compared = ov.len() as u64;
+        stats.dist_computations = ov.len() as u64;
+        let mut out: Vec<Neighbor> = ov
+            .iter()
+            .filter_map(|(&tid, &o)| {
+                let d = cq + self.sizes[&tid] as f64 - 2.0 * o as f64;
+                (d <= eps).then_some(Neighbor { tid, dist: d })
+            })
+            .collect();
+        // Untouched: dist = |q| + |t| ≤ eps ⟺ |t| ≤ eps − |q|.
+        for &(size, tid) in &self.by_size {
+            let d = cq + size as f64;
+            if d > eps {
+                break;
+            }
+            if !ov.contains_key(&tid) {
+                out.push(Neighbor { tid, dist: d });
+            }
+        }
+        out.sort_by(|a, b| {
+            a.dist
+                .partial_cmp(&b.dist)
+                .expect("finite")
+                .then(a.tid.cmp(&b.tid))
+        });
+        stats.io = self.pool.stats().snapshot().since(&io_before);
+        (out, stats)
+    }
+}
+
+/// Intersection of two ascending tid slices.
+fn intersect_sorted(a: &[Tid], b: &[Tid]) -> Vec<Tid> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_pager::MemStore;
+
+    const NBITS: u32 = 80;
+
+    fn make_data(n: u64) -> Vec<(Tid, Signature)> {
+        let mut out = Vec::new();
+        let mut x = 0xA5A5_5A5A_1234_5678u64;
+        for tid in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let len = (x >> 60) as usize % 6; // includes empty transactions
+            let mut items = Vec::new();
+            let mut y = x;
+            for _ in 0..len {
+                y = y.wrapping_mul(6364136223846793005).wrapping_add(97);
+                items.push(((y >> 40) % NBITS as u64) as u32);
+            }
+            out.push((tid, Signature::from_items(NBITS, &items)));
+        }
+        out
+    }
+
+    fn build(data: &[(Tid, Signature)]) -> InvertedIndex {
+        InvertedIndex::build(Arc::new(MemStore::new(128)), NBITS, 64, data)
+    }
+
+    fn queries() -> Vec<Signature> {
+        let mut out = Vec::new();
+        let mut x = 0x0F0F_F0F0_9876_5432u64;
+        for _ in 0..15 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(11);
+            let len = 1 + ((x >> 33) % 5) as usize;
+            let mut items = Vec::new();
+            let mut y = x;
+            for _ in 0..len {
+                y = y.wrapping_mul(6364136223846793005).wrapping_add(13);
+                items.push(((y >> 40) % NBITS as u64) as u32);
+            }
+            out.push(Signature::from_items(NBITS, &items));
+        }
+        out
+    }
+
+    #[test]
+    fn containment_matches_brute_force() {
+        let data = make_data(300);
+        let idx = build(&data);
+        for q in queries() {
+            let (got, _) = idx.containing(&q);
+            let want: Vec<Tid> = data
+                .iter()
+                .filter(|(_, s)| s.contains(&q))
+                .map(|(t, _)| *t)
+                .collect();
+            assert_eq!(got, want, "q={:?}", q.items());
+        }
+    }
+
+    #[test]
+    fn subset_matches_brute_force_including_empties() {
+        let data = make_data(300);
+        let idx = build(&data);
+        for q in queries() {
+            let (got, _) = idx.contained_in(&q);
+            let want: Vec<Tid> = data
+                .iter()
+                .filter(|(_, s)| q.contains(s))
+                .map(|(t, _)| *t)
+                .collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn exact_matches_brute_force() {
+        let data = make_data(200);
+        let idx = build(&data);
+        for (tid, sig) in data.iter().take(10) {
+            let (got, _) = idx.exact(sig);
+            let want: Vec<Tid> = data
+                .iter()
+                .filter(|(_, s)| s == sig)
+                .map(|(t, _)| *t)
+                .collect();
+            assert!(got.contains(tid));
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force_with_untouched_candidates() {
+        let data = make_data(250);
+        let idx = build(&data);
+        let m = Metric::hamming();
+        for q in queries() {
+            for k in [1usize, 5, 30] {
+                let (got, _) = idx.knn(&q, k, &m);
+                let mut want: Vec<f64> =
+                    data.iter().map(|(_, s)| m.dist(&q, s)).collect();
+                want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                want.truncate(k);
+                let gd: Vec<f64> = got.iter().map(|n| n.dist).collect();
+                assert_eq!(gd, want, "k={k} q={:?}", q.items());
+            }
+        }
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let data = make_data(250);
+        let idx = build(&data);
+        let m = Metric::hamming();
+        for q in queries() {
+            for eps in [0.0, 2.0, 6.0] {
+                let (got, _) = idx.range(&q, eps, &m);
+                let want = data.iter().filter(|(_, s)| m.dist(&q, s) <= eps).count();
+                assert_eq!(got.len(), want, "eps={eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn containment_reads_only_query_postings() {
+        let data = make_data(400);
+        let idx = build(&data);
+        let q = Signature::from_items(NBITS, &[3, 40]);
+        let (_, stats) = idx.containing(&q);
+        let expected_pages: u64 = [3u32, 40]
+            .iter()
+            .map(|&i| idx.postings[i as usize].pages.len() as u64)
+            .sum();
+        assert!(stats.nodes_accessed <= expected_pages);
+    }
+
+    #[test]
+    fn empty_query_containment_returns_all() {
+        let data = make_data(50);
+        let idx = build(&data);
+        let (got, _) = idx.containing(&Signature::empty(NBITS));
+        assert_eq!(got.len(), 50);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = build(&[]);
+        assert!(idx.is_empty());
+        let q = Signature::from_items(NBITS, &[1]);
+        assert!(idx.knn(&q, 3, &Metric::hamming()).0.is_empty());
+        assert!(idx.containing(&q).0.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate tid")]
+    fn duplicate_tids_rejected() {
+        let s = Signature::from_items(NBITS, &[1]);
+        build(&[(1, s.clone()), (1, s)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "Hamming")]
+    fn jaccard_rejected() {
+        let data = make_data(10);
+        let idx = build(&data);
+        let _ = idx.knn(&data[0].1, 1, &Metric::jaccard());
+    }
+}

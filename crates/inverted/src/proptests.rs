@@ -1,0 +1,66 @@
+//! Property-based tests: the inverted index must agree with brute force
+//! on every query type for arbitrary datasets.
+
+use crate::InvertedIndex;
+use proptest::prelude::*;
+use sg_pager::MemStore;
+use sg_sig::{Metric, Signature};
+use sg_tree::Tid;
+use std::sync::Arc;
+
+const NBITS: u32 = 64;
+
+fn arb_dataset() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(prop::collection::vec(0..NBITS, 0..8), 1..80)
+}
+
+fn build(data: &[Vec<u32>]) -> (InvertedIndex, Vec<(Tid, Signature)>) {
+    let pairs: Vec<(Tid, Signature)> = data
+        .iter()
+        .enumerate()
+        .map(|(tid, t)| (tid as Tid, Signature::from_items(NBITS, t)))
+        .collect();
+    let idx = InvertedIndex::build(Arc::new(MemStore::new(128)), NBITS, 32, &pairs);
+    (idx, pairs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn knn_exact(data in arb_dataset(), query in prop::collection::vec(0..NBITS, 0..8), k in 1usize..12) {
+        let (idx, pairs) = build(&data);
+        let q = Signature::from_items(NBITS, &query);
+        let m = Metric::hamming();
+        let (got, _) = idx.knn(&q, k, &m);
+        let mut want: Vec<f64> = pairs.iter().map(|(_, s)| m.dist(&q, s)).collect();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        want.truncate(k);
+        prop_assert_eq!(got.iter().map(|n| n.dist).collect::<Vec<_>>(), want);
+    }
+
+    #[test]
+    fn range_exact(data in arb_dataset(), query in prop::collection::vec(0..NBITS, 0..8), eps in 0u32..10) {
+        let (idx, pairs) = build(&data);
+        let q = Signature::from_items(NBITS, &query);
+        let m = Metric::hamming();
+        let (got, _) = idx.range(&q, eps as f64, &m);
+        let want = pairs.iter().filter(|(_, s)| m.dist(&q, s) <= eps as f64).count();
+        prop_assert_eq!(got.len(), want);
+    }
+
+    #[test]
+    fn containment_exact(data in arb_dataset(), query in prop::collection::vec(0..NBITS, 0..5)) {
+        let (idx, pairs) = build(&data);
+        let q = Signature::from_items(NBITS, &query);
+        let (sup, _) = idx.containing(&q);
+        let want_sup: Vec<Tid> = pairs.iter().filter(|(_, s)| s.contains(&q)).map(|(t, _)| *t).collect();
+        prop_assert_eq!(sup, want_sup);
+        let (sub, _) = idx.contained_in(&q);
+        let want_sub: Vec<Tid> = pairs.iter().filter(|(_, s)| q.contains(s)).map(|(t, _)| *t).collect();
+        prop_assert_eq!(sub, want_sub);
+        let (ex, _) = idx.exact(&q);
+        let want_ex: Vec<Tid> = pairs.iter().filter(|(_, s)| *s == q).map(|(t, _)| *t).collect();
+        prop_assert_eq!(ex, want_ex);
+    }
+}

@@ -1,0 +1,144 @@
+//! MinHash vectors: per-hash-function minima over a set's items.
+
+use sg_sig::Signature;
+
+/// A set's MinHash vector. Component `i` is the minimum of hash `i` over
+/// the set's items (`u64::MAX` for the empty set).
+pub type MinHashVector = Vec<u64>;
+
+/// A family of `h` universal hash functions over item ids.
+///
+/// Each function is `(a·x + b) mod p` for a 61-bit Mersenne prime `p`,
+/// with `a, b` drawn deterministically from the seed, so indexes built
+/// from the same seed agree across processes.
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    coeffs: Vec<(u64, u64)>,
+}
+
+/// 2^61 − 1, a Mersenne prime comfortably above any item id.
+const P: u64 = (1 << 61) - 1;
+
+impl MinHasher {
+    /// Creates `h` hash functions from `seed`.
+    pub fn new(h: usize, seed: u64) -> Self {
+        assert!(h > 0, "need at least one hash function");
+        // SplitMix64 over the seed: cheap, well-distributed, dependency-free.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let coeffs = (0..h)
+            .map(|_| {
+                let a = next() % (P - 1) + 1; // a ∈ [1, p−1]
+                let b = next() % P;
+                (a, b)
+            })
+            .collect();
+        MinHasher { coeffs }
+    }
+
+    /// Number of hash functions `h`.
+    pub fn len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// `true` iff the family is empty (it never is; see [`MinHasher::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    #[inline]
+    fn hash(a: u64, b: u64, x: u64) -> u64 {
+        // (a*x + b) mod p without overflow: a,x < 2^61 so the product
+        // needs 128 bits.
+        let prod = (a as u128 * x as u128 + b as u128) % P as u128;
+        prod as u64
+    }
+
+    /// The MinHash vector of a signature.
+    pub fn vector(&self, sig: &Signature) -> MinHashVector {
+        let mut v = vec![u64::MAX; self.coeffs.len()];
+        for item in sig.ones() {
+            for (slot, &(a, b)) in v.iter_mut().zip(&self.coeffs) {
+                let h = Self::hash(a, b, item as u64);
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        v
+    }
+
+    /// The fraction of agreeing components — an unbiased estimate of the
+    /// Jaccard *similarity* of the underlying sets.
+    pub fn jaccard_estimate(a: &MinHashVector, b: &MinHashVector) -> f64 {
+        assert_eq!(a.len(), b.len(), "vectors from different families");
+        if a.is_empty() {
+            return 0.0;
+        }
+        let agree = a.iter().zip(b).filter(|(x, y)| x == y).count();
+        agree as f64 / a.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_sig::Metric;
+
+    #[test]
+    fn identical_sets_identical_vectors() {
+        let mh = MinHasher::new(64, 7);
+        let a = Signature::from_items(100, &[1, 5, 20, 99]);
+        assert_eq!(mh.vector(&a), mh.vector(&a.clone()));
+        assert_eq!(MinHasher::jaccard_estimate(&mh.vector(&a), &mh.vector(&a)), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_rarely_agree() {
+        let mh = MinHasher::new(128, 11);
+        let a = Signature::from_iter(1000, 0..20u32);
+        let b = Signature::from_iter(1000, 500..520u32);
+        let est = MinHasher::jaccard_estimate(&mh.vector(&a), &mh.vector(&b));
+        assert!(est < 0.1, "disjoint sets estimated at {est}");
+    }
+
+    #[test]
+    fn estimate_tracks_true_jaccard() {
+        let mh = MinHasher::new(256, 3);
+        let m = Metric::jaccard();
+        // Overlapping ranges with known Jaccard values.
+        for (a_hi, b_lo, b_hi) in [(30u32, 10u32, 40u32), (50, 25, 75), (20, 0, 20)] {
+            let a = Signature::from_iter(1000, 0..a_hi);
+            let b = Signature::from_iter(1000, b_lo..b_hi);
+            let truth = 1.0 - m.dist(&a, &b);
+            let est = MinHasher::jaccard_estimate(&mh.vector(&a), &mh.vector(&b));
+            assert!(
+                (est - truth).abs() < 0.12,
+                "truth {truth:.3} vs estimate {est:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = MinHasher::new(32, 42);
+        let b = MinHasher::new(32, 42);
+        let sig = Signature::from_items(64, &[3, 9, 27]);
+        assert_eq!(a.vector(&sig), b.vector(&sig));
+        let c = MinHasher::new(32, 43);
+        assert_ne!(a.vector(&sig), c.vector(&sig));
+    }
+
+    #[test]
+    fn empty_set_vector_is_sentinel() {
+        let mh = MinHasher::new(8, 1);
+        let v = mh.vector(&Signature::empty(64));
+        assert!(v.iter().all(|&x| x == u64::MAX));
+    }
+}

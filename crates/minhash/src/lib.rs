@@ -1,0 +1,27 @@
+//! # MinHash + LSH: the approximate set-similarity comparator
+//!
+//! The SG-tree paper distinguishes itself from "hash-based indexes which
+//! provide approximate results" (Gionis, Gunopulos & Koudas, its \[11\]) by
+//! returning *exact* answers. This crate implements that approximate
+//! family — MinHash signatures with banded locality-sensitive hashing for
+//! the Jaccard similarity — so the exact-vs-approximate trade-off can be
+//! measured rather than asserted (see `repro ablate`'s `ablate_minhash`).
+//!
+//! * [`MinHasher`] — `h` universal hash functions over the item universe;
+//!   a set's MinHash vector is the per-function minimum over its items.
+//!   `P[minhash_i(A) = minhash_i(B)] = jaccard(A, B)`, so the vector
+//!   estimates Jaccard similarity with standard error `1/√h`.
+//! * [`MinHashLsh`] — splits the vector into `b` bands of `r` rows; two
+//!   sets collide when any band matches entirely, giving the classic
+//!   `1 − (1 − s^r)^b` S-curve of candidate probability against
+//!   similarity `s`.
+//!
+//! Queries verify candidates against the stored exact signatures, so
+//! results are never *wrong* — they are *incomplete* when a true neighbor
+//! never collided. Recall is a measurable function of the band geometry.
+
+mod hasher;
+mod lsh;
+
+pub use hasher::{MinHasher, MinHashVector};
+pub use lsh::{LshParams, MinHashLsh};

@@ -1,0 +1,301 @@
+//! Banded LSH over MinHash vectors, with exact candidate verification.
+
+use crate::hasher::{MinHasher, MinHashVector};
+use sg_sig::{Metric, Signature};
+use sg_tree::{Neighbor, QueryStats, Tid};
+use std::collections::{HashMap, HashSet};
+
+/// Band geometry: `bands × rows` hash functions in total.
+#[derive(Debug, Clone, Copy)]
+pub struct LshParams {
+    /// Number of bands `b`.
+    pub bands: usize,
+    /// Rows per band `r`.
+    pub rows: usize,
+    /// Seed for the hash family.
+    pub seed: u64,
+}
+
+impl Default for LshParams {
+    /// `16 × 4`: the candidate-probability S-curve crosses 50% near
+    /// Jaccard similarity `(1/b)^(1/r) = (1/16)^(1/4) ≈ 0.5`.
+    fn default() -> Self {
+        LshParams {
+            bands: 16,
+            rows: 4,
+            seed: 0x4C53_4820,
+        }
+    }
+}
+
+impl LshParams {
+    /// Total hash functions `b·r`.
+    pub fn n_hashes(&self) -> usize {
+        self.bands * self.rows
+    }
+
+    /// Probability that two sets at Jaccard similarity `s` become
+    /// candidates: `1 − (1 − s^r)^b`.
+    pub fn candidate_probability(&self, s: f64) -> f64 {
+        1.0 - (1.0 - s.powi(self.rows as i32)).powi(self.bands as i32)
+    }
+}
+
+/// A MinHash-LSH index. Memory-resident (vectors, buckets, and the exact
+/// signatures for verification), like the approximate indexes it models.
+pub struct MinHashLsh {
+    params: LshParams,
+    hasher: MinHasher,
+    /// Per band: band-key → tids.
+    buckets: Vec<HashMap<u64, Vec<Tid>>>,
+    /// Exact signatures for candidate verification.
+    records: HashMap<Tid, Signature>,
+    nbits: u32,
+    len: u64,
+}
+
+impl MinHashLsh {
+    /// Builds the index over `data`.
+    pub fn build(nbits: u32, params: LshParams, data: &[(Tid, Signature)]) -> MinHashLsh {
+        assert!(params.bands > 0 && params.rows > 0);
+        let hasher = MinHasher::new(params.n_hashes(), params.seed);
+        let mut buckets: Vec<HashMap<u64, Vec<Tid>>> = vec![HashMap::new(); params.bands];
+        let mut records = HashMap::with_capacity(data.len());
+        for (tid, sig) in data {
+            assert_eq!(sig.nbits(), nbits, "signature universe mismatch");
+            assert!(
+                records.insert(*tid, sig.clone()).is_none(),
+                "duplicate tid {tid}"
+            );
+            let v = hasher.vector(sig);
+            for (band, bucket) in buckets.iter_mut().enumerate() {
+                bucket.entry(band_key(&v, band, params.rows)).or_default().push(*tid);
+            }
+        }
+        MinHashLsh {
+            params,
+            hasher,
+            buckets,
+            records,
+            nbits,
+            len: data.len() as u64,
+        }
+    }
+
+    /// Number of indexed transactions.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The band geometry.
+    pub fn params(&self) -> LshParams {
+        self.params
+    }
+
+    /// The item-universe size.
+    pub fn nbits(&self) -> u32 {
+        self.nbits
+    }
+
+    /// The distinct candidate tids colliding with `q` in any band.
+    pub fn candidates(&self, q: &Signature) -> Vec<Tid> {
+        let v = self.hasher.vector(q);
+        let mut seen: HashSet<Tid> = HashSet::new();
+        for (band, bucket) in self.buckets.iter().enumerate() {
+            if let Some(tids) = bucket.get(&band_key(&v, band, self.params.rows)) {
+                seen.extend(tids.iter().copied());
+            }
+        }
+        let mut out: Vec<Tid> = seen.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// *Approximate* `k`-NN: the `k` best **candidates**, verified with
+    /// exact distances. True neighbors that never collided are missed —
+    /// that incompleteness is the price of the candidate generation and
+    /// the quantity `repro ablate` measures as recall.
+    pub fn knn(&self, q: &Signature, k: usize, metric: &Metric) -> (Vec<Neighbor>, QueryStats) {
+        let mut stats = QueryStats::default();
+        let mut out: Vec<Neighbor> = Vec::new();
+        for tid in self.candidates(q) {
+            stats.data_compared += 1;
+            stats.dist_computations += 1;
+            out.push(Neighbor {
+                tid,
+                dist: metric.dist(q, &self.records[&tid]),
+            });
+        }
+        out.sort_by(|a, b| {
+            a.dist
+                .partial_cmp(&b.dist)
+                .expect("finite")
+                .then(a.tid.cmp(&b.tid))
+        });
+        out.truncate(k);
+        (out, stats)
+    }
+
+    /// *Approximate* range query: candidates within `eps`.
+    pub fn range(&self, q: &Signature, eps: f64, metric: &Metric) -> (Vec<Neighbor>, QueryStats) {
+        let mut stats = QueryStats::default();
+        let mut out: Vec<Neighbor> = Vec::new();
+        for tid in self.candidates(q) {
+            stats.data_compared += 1;
+            stats.dist_computations += 1;
+            let d = metric.dist(q, &self.records[&tid]);
+            if d <= eps {
+                out.push(Neighbor { tid, dist: d });
+            }
+        }
+        out.sort_by(|a, b| {
+            a.dist
+                .partial_cmp(&b.dist)
+                .expect("finite")
+                .then(a.tid.cmp(&b.tid))
+        });
+        (out, stats)
+    }
+}
+
+/// A band's key: an FNV-1a fold of its rows.
+fn band_key(v: &MinHashVector, band: usize, rows: usize) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &x in &v[band * rows..(band + 1) * rows] {
+        for byte in x.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NBITS: u32 = 512;
+
+    fn clustered_data(n: u64) -> Vec<(Tid, Signature)> {
+        // Near-duplicate families: 20-item base sets with 2-item mutations.
+        let mut out = Vec::new();
+        let mut x = 77u64;
+        for tid in 0..n {
+            let family = tid % 16;
+            let base = family as u32 * 32;
+            let mut items: Vec<u32> = (0..20).map(|i| base + i).collect();
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(5);
+            items[(x % 20) as usize] = base + 20 + (x >> 40) as u32 % 10;
+            out.push((tid, Signature::from_items(NBITS, &items)));
+        }
+        out
+    }
+
+    #[test]
+    fn near_duplicates_become_candidates() {
+        let data = clustered_data(320);
+        let lsh = MinHashLsh::build(NBITS, LshParams::default(), &data);
+        // Query with an indexed member: its family (Jaccard ≈ 0.82) must
+        // collide almost always.
+        let mut found_family = 0usize;
+        let mut family_total = 0usize;
+        for probe in 0..16u64 {
+            let cands: std::collections::HashSet<Tid> =
+                lsh.candidates(&data[probe as usize].1).into_iter().collect();
+            for (tid, _) in &data {
+                if tid % 16 == probe % 16 && tid / 16 < 20 {
+                    family_total += 1;
+                    if cands.contains(tid) {
+                        found_family += 1;
+                    }
+                }
+            }
+        }
+        let recall = found_family as f64 / family_total as f64;
+        assert!(recall > 0.9, "family recall {recall}");
+    }
+
+    #[test]
+    fn distant_sets_rarely_collide() {
+        let data = clustered_data(320);
+        let lsh = MinHashLsh::build(NBITS, LshParams::default(), &data);
+        let mut cross = 0usize;
+        let mut total = 0usize;
+        for probe in 0..8u64 {
+            let cands: std::collections::HashSet<Tid> =
+                lsh.candidates(&data[probe as usize].1).into_iter().collect();
+            for (tid, _) in &data {
+                if tid % 16 != probe % 16 {
+                    total += 1;
+                    if cands.contains(tid) {
+                        cross += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            (cross as f64 / total as f64) < 0.05,
+            "cross-family collisions {cross}/{total}"
+        );
+    }
+
+    #[test]
+    fn knn_results_are_true_distances_in_order() {
+        let data = clustered_data(160);
+        let lsh = MinHashLsh::build(NBITS, LshParams::default(), &data);
+        let m = Metric::jaccard();
+        let (got, stats) = lsh.knn(&data[3].1, 5, &m);
+        assert!(!got.is_empty());
+        assert_eq!(got[0].dist, 0.0, "the query itself is indexed");
+        assert!(got.windows(2).all(|w| w[0].dist <= w[1].dist));
+        assert!(stats.data_compared >= got.len() as u64);
+    }
+
+    #[test]
+    fn range_returns_subset_of_exact_answer() {
+        let data = clustered_data(160);
+        let lsh = MinHashLsh::build(NBITS, LshParams::default(), &data);
+        let m = Metric::jaccard();
+        let q = &data[5].1;
+        let (got, _) = lsh.range(q, 0.4, &m);
+        let exact: std::collections::HashSet<Tid> = data
+            .iter()
+            .filter(|(_, s)| m.dist(q, s) <= 0.4)
+            .map(|(t, _)| *t)
+            .collect();
+        assert!(!got.is_empty());
+        for n in &got {
+            assert!(exact.contains(&n.tid), "false positive {n:?}");
+            assert!(n.dist <= 0.4);
+        }
+    }
+
+    #[test]
+    fn candidate_probability_s_curve() {
+        let p = LshParams::default();
+        assert!(p.candidate_probability(0.95) > 0.99);
+        assert!(p.candidate_probability(0.1) < 0.01);
+        let mid = p.candidate_probability(0.5);
+        assert!((0.2..0.9).contains(&mid), "midpoint {mid}");
+    }
+
+    #[test]
+    fn empty_index_and_empty_query() {
+        let lsh = MinHashLsh::build(NBITS, LshParams::default(), &[]);
+        assert!(lsh.is_empty());
+        let q = Signature::from_items(NBITS, &[1, 2]);
+        assert!(lsh.knn(&q, 3, &Metric::jaccard()).0.is_empty());
+        // Empty query against a nonempty index.
+        let data = clustered_data(32);
+        let lsh = MinHashLsh::build(NBITS, LshParams::default(), &data);
+        let (res, _) = lsh.knn(&Signature::empty(NBITS), 3, &Metric::jaccard());
+        // All-sentinel vectors collide only with other empty sets; none
+        // indexed here.
+        assert!(res.is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! I/O accounting shared by the stores and the buffer pool.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe I/O counters.
+///
+/// * `logical_reads` — page fetches requested by index code (every
+///   [`crate::BufferPool::read`] call).
+/// * `physical_reads` — fetches that missed the buffer pool and hit the
+///   store: the paper's **random I/Os**.
+/// * `writes` — pages written through to the store.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    logical_reads: AtomicU64,
+    physical_reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl IoStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn count_logical_read(&self) {
+        self.logical_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn count_physical_read(&self) {
+        self.physical_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn count_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pages requested through the pool.
+    pub fn logical_reads(&self) -> u64 {
+        self.logical_reads.load(Ordering::Relaxed)
+    }
+
+    /// Pool misses that reached the store — the paper's "random I/Os".
+    pub fn physical_reads(&self) -> u64 {
+        self.physical_reads.load(Ordering::Relaxed)
+    }
+
+    /// Pages written to the store.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.logical_reads.store(0, Ordering::Relaxed);
+        self.physical_reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+    }
+
+    /// Copies the counters into an immutable snapshot.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            logical_reads: self.logical_reads(),
+            physical_reads: self.physical_reads(),
+            writes: self.writes(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`IoStats`], convenient for computing per-query
+/// deltas in the experiment harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Pages requested through the pool.
+    pub logical_reads: u64,
+    /// Pool misses that reached the store.
+    pub physical_reads: u64,
+    /// Pages written to the store.
+    pub writes: u64,
+}
+
+impl IoSnapshot {
+    /// Counter-wise difference `self − earlier` (saturating).
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            logical_reads: self.logical_reads.saturating_sub(earlier.logical_reads),
+            physical_reads: self.physical_reads.saturating_sub(earlier.physical_reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = IoStats::new();
+        s.count_logical_read();
+        s.count_logical_read();
+        s.count_physical_read();
+        s.count_write();
+        assert_eq!(s.logical_reads(), 2);
+        assert_eq!(s.physical_reads(), 1);
+        assert_eq!(s.writes(), 1);
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let s = IoStats::new();
+        s.count_physical_read();
+        let before = s.snapshot();
+        s.count_physical_read();
+        s.count_physical_read();
+        s.count_logical_read();
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.physical_reads, 2);
+        assert_eq!(delta.logical_reads, 1);
+        assert_eq!(delta.writes, 0);
+    }
+}

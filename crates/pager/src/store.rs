@@ -1,0 +1,335 @@
+//! Page stores: the raw fixed-size-page backends.
+
+use crate::PageId;
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::Path;
+
+#[cfg(unix)]
+use std::os::unix::fs::FileExt;
+
+/// A store of fixed-size pages.
+///
+/// Implementations must be safe for concurrent use; the workspace's indexes
+/// are single-writer but queries may run from several threads in the
+/// experiment harness.
+pub trait PageStore: Send + Sync {
+    /// The size in bytes of every page in this store.
+    fn page_size(&self) -> usize;
+
+    /// Allocates a fresh (zeroed) page and returns its id. Recycles freed
+    /// ids when available.
+    fn allocate(&self) -> PageId;
+
+    /// Returns a page to the free list. Reading a freed page is a logic
+    /// error; stores may return zeroes or stale bytes.
+    fn free(&self, id: PageId);
+
+    /// Reads page `id` into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != page_size()` or `id` was never allocated.
+    fn read(&self, id: PageId, buf: &mut [u8]);
+
+    /// Writes `buf` as the new contents of page `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != page_size()` or `id` was never allocated.
+    fn write(&self, id: PageId, buf: &[u8]);
+
+    /// Number of pages currently allocated (excluding freed ones).
+    fn allocated_pages(&self) -> u64;
+}
+
+struct MemStoreInner {
+    pages: Vec<Option<Box<[u8]>>>,
+    free_list: Vec<PageId>,
+}
+
+/// An in-memory [`PageStore`]. Used by unit tests and by experiments that
+/// measure page *counts* rather than physical latency.
+pub struct MemStore {
+    page_size: usize,
+    inner: Mutex<MemStoreInner>,
+}
+
+impl MemStore {
+    /// Creates an empty store with the given page size.
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size > 0);
+        MemStore {
+            page_size,
+            inner: Mutex::new(MemStoreInner {
+                pages: Vec::new(),
+                free_list: Vec::new(),
+            }),
+        }
+    }
+}
+
+impl PageStore for MemStore {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn allocate(&self) -> PageId {
+        let mut inner = self.inner.lock();
+        if let Some(id) = inner.free_list.pop() {
+            inner.pages[id as usize] = Some(vec![0u8; self.page_size].into_boxed_slice());
+            id
+        } else {
+            let id = inner.pages.len() as PageId;
+            inner
+                .pages
+                .push(Some(vec![0u8; self.page_size].into_boxed_slice()));
+            id
+        }
+    }
+
+    fn free(&self, id: PageId) {
+        let mut inner = self.inner.lock();
+        let slot = inner
+            .pages
+            .get_mut(id as usize)
+            .unwrap_or_else(|| panic!("free of unallocated page {id}"));
+        assert!(slot.is_some(), "double free of page {id}");
+        *slot = None;
+        inner.free_list.push(id);
+    }
+
+    fn read(&self, id: PageId, buf: &mut [u8]) {
+        assert_eq!(buf.len(), self.page_size);
+        let inner = self.inner.lock();
+        let page = inner
+            .pages
+            .get(id as usize)
+            .and_then(|p| p.as_ref())
+            .unwrap_or_else(|| panic!("read of unallocated page {id}"));
+        buf.copy_from_slice(page);
+    }
+
+    fn write(&self, id: PageId, buf: &[u8]) {
+        assert_eq!(buf.len(), self.page_size);
+        let mut inner = self.inner.lock();
+        let page = inner
+            .pages
+            .get_mut(id as usize)
+            .and_then(|p| p.as_mut())
+            .unwrap_or_else(|| panic!("write of unallocated page {id}"));
+        page.copy_from_slice(buf);
+    }
+
+    fn allocated_pages(&self) -> u64 {
+        let inner = self.inner.lock();
+        (inner.pages.len() - inner.free_list.len()) as u64
+    }
+}
+
+struct FileStoreInner {
+    next_id: PageId,
+    free_list: Vec<PageId>,
+}
+
+/// A file-backed [`PageStore`]: page `i` occupies bytes
+/// `[i * page_size, (i+1) * page_size)` of the file.
+///
+/// The free list is kept in memory only — adequate for an experiment
+/// substrate; a production system would persist it in a header page.
+pub struct FileStore {
+    file: File,
+    page_size: usize,
+    inner: Mutex<FileStoreInner>,
+}
+
+impl FileStore {
+    /// Creates (truncating) a page file at `path`.
+    pub fn create(path: impl AsRef<Path>, page_size: usize) -> io::Result<Self> {
+        assert!(page_size > 0);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileStore {
+            file,
+            page_size,
+            inner: Mutex::new(FileStoreInner {
+                next_id: 0,
+                free_list: Vec::new(),
+            }),
+        })
+    }
+
+    /// Opens an existing page file, treating every whole page in it as
+    /// allocated.
+    pub fn open(path: impl AsRef<Path>, page_size: usize) -> io::Result<Self> {
+        assert!(page_size > 0);
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        Ok(FileStore {
+            file,
+            page_size,
+            inner: Mutex::new(FileStoreInner {
+                next_id: len / page_size as u64,
+                free_list: Vec::new(),
+            }),
+        })
+    }
+
+    #[inline]
+    fn offset(&self, id: PageId) -> u64 {
+        id * self.page_size as u64
+    }
+}
+
+impl PageStore for FileStore {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn allocate(&self) -> PageId {
+        let mut inner = self.inner.lock();
+        if let Some(id) = inner.free_list.pop() {
+            id
+        } else {
+            let id = inner.next_id;
+            inner.next_id += 1;
+            // Extend the file with a zeroed page so reads of fresh pages
+            // are well-defined.
+            let zeroes = vec![0u8; self.page_size];
+            self.file
+                .write_all_at(&zeroes, self.offset(id))
+                .expect("extend page file");
+            id
+        }
+    }
+
+    fn free(&self, id: PageId) {
+        let mut inner = self.inner.lock();
+        debug_assert!(id < inner.next_id, "free of unallocated page {id}");
+        inner.free_list.push(id);
+    }
+
+    fn read(&self, id: PageId, buf: &mut [u8]) {
+        assert_eq!(buf.len(), self.page_size);
+        self.file
+            .read_exact_at(buf, self.offset(id))
+            .unwrap_or_else(|e| panic!("read page {id}: {e}"));
+    }
+
+    fn write(&self, id: PageId, buf: &[u8]) {
+        assert_eq!(buf.len(), self.page_size);
+        self.file
+            .write_all_at(buf, self.offset(id))
+            .unwrap_or_else(|e| panic!("write page {id}: {e}"));
+    }
+
+    fn allocated_pages(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.next_id - inner.free_list.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn PageStore) {
+        let ps = store.page_size();
+        let a = store.allocate();
+        let b = store.allocate();
+        assert_ne!(a, b);
+        assert_eq!(store.allocated_pages(), 2);
+
+        let mut page = vec![0u8; ps];
+        page[0] = 0xAB;
+        page[ps - 1] = 0xCD;
+        store.write(a, &page);
+
+        let mut out = vec![0u8; ps];
+        store.read(a, &mut out);
+        assert_eq!(out, page);
+
+        // b is zeroed on allocation.
+        store.read(b, &mut out);
+        assert!(out.iter().all(|&x| x == 0));
+
+        // Freed ids are recycled.
+        store.free(a);
+        assert_eq!(store.allocated_pages(), 1);
+        let c = store.allocate();
+        assert_eq!(c, a);
+        assert_eq!(store.allocated_pages(), 2);
+    }
+
+    #[test]
+    fn mem_store_roundtrip() {
+        exercise(&MemStore::new(128));
+    }
+
+    #[test]
+    fn file_store_roundtrip() {
+        let path = std::env::temp_dir().join(format!(
+            "sg-pager-test-{}-{:?}.pages",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let store = FileStore::create(&path, 128).unwrap();
+        exercise(&store);
+        drop(store);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_store_reopen_preserves_pages() {
+        let path = std::env::temp_dir().join(format!(
+            "sg-pager-reopen-{}-{:?}.pages",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        {
+            let store = FileStore::create(&path, 64).unwrap();
+            let id = store.allocate();
+            let mut page = vec![7u8; 64];
+            page[63] = 9;
+            store.write(id, &page);
+        }
+        {
+            let store = FileStore::open(&path, 64).unwrap();
+            assert_eq!(store.allocated_pages(), 1);
+            let mut out = vec![0u8; 64];
+            store.read(0, &mut out);
+            assert_eq!(out[0], 7);
+            assert_eq!(out[63], 9);
+            // New allocations continue past existing pages.
+            assert_eq!(store.allocate(), 1);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mem_store_reallocated_page_is_zeroed() {
+        let store = MemStore::new(32);
+        let a = store.allocate();
+        store.write(a, &[1u8; 32]);
+        store.free(a);
+        let b = store.allocate();
+        assert_eq!(a, b);
+        let mut out = [9u8; 32];
+        store.read(b, &mut out);
+        assert!(out.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn mem_store_double_free_panics() {
+        let store = MemStore::new(32);
+        let a = store.allocate();
+        store.free(a);
+        store.free(a);
+    }
+}

@@ -1,0 +1,233 @@
+//! Small distribution samplers used by the generators.
+//!
+//! Implemented inline (rather than pulling in `rand_distr`) to keep the
+//! generator self-contained and its output reproducible from a seed across
+//! dependency upgrades.
+
+use rand::Rng;
+
+/// Samples a Poisson variate with the given `mean` using Knuth's
+/// multiplication method — exact and fast for the small means (≤ 50) the
+/// generators use.
+pub fn poisson(rng: &mut impl Rng, mean: f64) -> u64 {
+    assert!(mean >= 0.0);
+    if mean == 0.0 {
+        return 0;
+    }
+    let limit = (-mean).exp();
+    let mut k: u64 = 0;
+    let mut p: f64 = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= limit {
+            return k;
+        }
+        k += 1;
+        // Guard against pathological means; Poisson(50) essentially never
+        // exceeds a few hundred.
+        if k > 100_000 {
+            return k;
+        }
+    }
+}
+
+/// Samples an exponential variate with the given `mean`.
+pub fn exponential(rng: &mut impl Rng, mean: f64) -> f64 {
+    assert!(mean > 0.0);
+    let u: f64 = rng.gen::<f64>();
+    -mean * (1.0 - u).ln()
+}
+
+/// Samples a normal variate via Box–Muller.
+pub fn normal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen::<f64>();
+    mu + sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A precomputed Zipf(s) distribution over `{0, …, n-1}` (rank 0 most
+/// probable), sampled by binary search on the cumulative table.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cum: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the table for `n` outcomes with skew exponent `s`
+    /// (`s = 0` is uniform; larger `s` is more skewed).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0);
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cum.push(total);
+        }
+        for c in &mut cum {
+            *c /= total;
+        }
+        // Guard against rounding leaving the last entry below 1.
+        if let Some(last) = cum.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cum }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// `true` if the distribution has a single outcome.
+    pub fn is_empty(&self) -> bool {
+        self.cum.is_empty()
+    }
+
+    /// Draws one rank in `{0, …, n-1}`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen::<f64>();
+        match self
+            .cum
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative weights are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cum.len() - 1),
+        }
+    }
+}
+
+/// A discrete distribution given by arbitrary non-negative weights,
+/// sampled by binary search on the cumulative table.
+#[derive(Debug, Clone)]
+pub struct WeightedTable {
+    cum: Vec<f64>,
+}
+
+impl WeightedTable {
+    /// Builds the cumulative table. At least one weight must be positive.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty());
+        let mut cum = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite());
+            total += w;
+            cum.push(total);
+        }
+        assert!(total > 0.0, "all weights zero");
+        for c in &mut cum {
+            *c /= total;
+        }
+        if let Some(last) = cum.last_mut() {
+            *last = 1.0;
+        }
+        WeightedTable { cum }
+    }
+
+    /// Draws one index, proportionally to its weight.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen::<f64>();
+        match self
+            .cum
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative weights are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cum.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut r = rng();
+        let n = 20_000;
+        for mean in [1.0, 6.0, 30.0] {
+            let sum: u64 = (0..n).map(|_| poisson(&mut r, mean)).sum();
+            let got = sum as f64 / n as f64;
+            assert!((got - mean).abs() < mean * 0.05 + 0.1, "mean {mean} got {got}");
+        }
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = rng();
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| exponential(&mut r, 2.0)).sum();
+        let got = sum / n as f64;
+        assert!((got - 2.0).abs() < 0.1, "got {got}");
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut r = rng();
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut r, 0.5, 0.1)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        assert!((var.sqrt() - 0.1).abs() < 0.01, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut r = rng();
+        let z = Zipf::new(100, 1.0);
+        let mut counts = [0u32; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        // Rank 0 under Zipf(1, n=100) has probability 1/H_100 ≈ 0.193.
+        let p0 = counts[0] as f64 / 50_000.0;
+        assert!((p0 - 0.193).abs() < 0.02, "p0 {p0}");
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let mut r = rng();
+        let z = Zipf::new(10, 0.0);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 / 100_000.0 - 0.1).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn weighted_table_respects_weights() {
+        let mut r = rng();
+        let t = WeightedTable::new(&[1.0, 0.0, 3.0]);
+        let mut counts = [0u32; 3];
+        for _ in 0..40_000 {
+            counts[t.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "all weights zero")]
+    fn weighted_table_rejects_all_zero() {
+        WeightedTable::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,240 @@
+//! Vertical-signature construction: MST-style item clustering with the
+//! critical-mass guard.
+
+use crate::TableParams;
+use sg_sig::Signature;
+
+/// Result of the item-clustering phase.
+#[derive(Debug, Clone)]
+pub struct ClusterInfo {
+    /// The item sets of the `K` heaviest clusters, as signatures.
+    pub vertical_signatures: Vec<Signature>,
+    /// Total support (sum over items of their transaction counts).
+    pub total_support: u64,
+    /// How many clusters were frozen by the critical-mass rule.
+    pub frozen: usize,
+}
+
+/// Union-find over item ids with per-root support sums and frozen flags.
+struct Clusters {
+    parent: Vec<u32>,
+    support: Vec<u64>,
+    frozen: Vec<bool>,
+    size: Vec<u32>,
+}
+
+impl Clusters {
+    fn new(supports: &[u64]) -> Self {
+        Clusters {
+            parent: (0..supports.len() as u32).collect(),
+            support: supports.to_vec(),
+            frozen: vec![false; supports.len()],
+            size: vec![1; supports.len()],
+        }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) -> u32 {
+        let (ra, rb) = (self.find(a), self.find(b));
+        debug_assert_ne!(ra, rb);
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.support[big as usize] += self.support[small as usize];
+        self.size[big as usize] += self.size[small as usize];
+        big
+    }
+}
+
+/// Runs the clustering of §2.2.1 / SIGMOD'99:
+///
+/// 1. count item supports and pairwise co-occurrences;
+/// 2. merge item pairs in descending co-occurrence order (a minimum
+///    spanning tree on the co-occurrence graph), skipping pairs whose
+///    clusters are frozen;
+/// 3. freeze a cluster once its summed support exceeds
+///    `critical_mass × total_support` ("removed before they grow larger");
+/// 4. stop when `K` populated clusters remain (or sooner if no mergeable
+///    pair is left);
+/// 5. the `K` heaviest clusters become the vertical signatures.
+pub fn cluster_items<'a>(
+    nbits: u32,
+    params: &TableParams,
+    data: impl Iterator<Item = &'a Signature>,
+) -> ClusterInfo {
+    let n = nbits as usize;
+    let mut supports = vec![0u64; n];
+    // Dense upper-triangular co-occurrence counts: pair (i < j) at
+    // `i*n + j`. ~4·N² bytes — fine for the paper's universes (≤ few
+    // thousand items).
+    let mut co = vec![0u32; n * n];
+    let mut items_buf: Vec<u32> = Vec::new();
+    for sig in data {
+        assert_eq!(sig.nbits(), nbits, "signature universe mismatch");
+        items_buf.clear();
+        items_buf.extend(sig.ones());
+        for (a, &i) in items_buf.iter().enumerate() {
+            supports[i as usize] += 1;
+            for &j in &items_buf[a + 1..] {
+                co[i as usize * n + j as usize] += 1;
+            }
+        }
+    }
+    let total_support: u64 = supports.iter().sum();
+    let critical = (params.critical_mass * total_support as f64) as u64;
+
+    // Candidate edges, heaviest first.
+    let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let w = co[i * n + j];
+            if w > 0 {
+                edges.push((w, i as u32, j as u32));
+            }
+        }
+    }
+    edges.sort_unstable_by(|a, b| b.cmp(a));
+
+    let mut clusters = Clusters::new(&supports);
+    let mut n_clusters = supports.iter().filter(|&&s| s > 0).count();
+    let mut frozen_count = 0usize;
+    for (_, i, j) in edges {
+        if n_clusters <= params.k_signatures {
+            break;
+        }
+        let (ri, rj) = (clusters.find(i), clusters.find(j));
+        if ri == rj || clusters.frozen[ri as usize] || clusters.frozen[rj as usize] {
+            continue;
+        }
+        let merged = clusters.union(ri, rj);
+        n_clusters -= 1;
+        if critical > 0 && clusters.support[merged as usize] > critical {
+            clusters.frozen[merged as usize] = true;
+            frozen_count += 1;
+        }
+    }
+
+    // Materialize clusters and keep the K heaviest.
+    let mut members: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+    for item in 0..n as u32 {
+        if supports[item as usize] > 0 {
+            members.entry(clusters.find(item)).or_default().push(item);
+        }
+    }
+    let mut ranked: Vec<(u64, Vec<u32>)> = members
+        .into_iter()
+        .map(|(root, items)| (clusters.support[root as usize], items))
+        .collect();
+    ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let vertical_signatures = ranked
+        .into_iter()
+        .take(params.k_signatures)
+        .map(|(_, items)| Signature::from_items(nbits, &items))
+        .collect();
+    ClusterInfo {
+        vertical_signatures,
+        total_support,
+        frozen: frozen_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(k: usize, cm: f64) -> TableParams {
+        TableParams {
+            k_signatures: k,
+            activation: 2,
+            critical_mass: cm,
+            pool_frames: 4,
+        }
+    }
+
+    fn sig(items: &[u32]) -> Signature {
+        Signature::from_items(16, items)
+    }
+
+    #[test]
+    fn correlated_items_cluster_together() {
+        // Items {0,1} always co-occur; {8,9} always co-occur; never across.
+        let data: Vec<Signature> = (0..20)
+            .map(|i| if i % 2 == 0 { sig(&[0, 1]) } else { sig(&[8, 9]) })
+            .collect();
+        let info = cluster_items(16, &params(2, 1.0), data.iter());
+        assert_eq!(info.vertical_signatures.len(), 2);
+        let sets: Vec<Vec<u32>> = info
+            .vertical_signatures
+            .iter()
+            .map(|s| s.items())
+            .collect();
+        assert!(sets.contains(&vec![0, 1]), "{sets:?}");
+        assert!(sets.contains(&vec![8, 9]), "{sets:?}");
+    }
+
+    #[test]
+    fn critical_mass_freezes_heavy_clusters() {
+        // Items 0..4 co-occur in every transaction (huge support); items
+        // 8..10 co-occur rarely. A small critical mass must stop the heavy
+        // cluster from swallowing everything.
+        let mut data: Vec<Signature> = (0..50).map(|_| sig(&[0, 1, 2, 3])).collect();
+        data.extend((0..5).map(|_| sig(&[0, 8, 9])));
+        let info = cluster_items(16, &params(3, 0.3), data.iter());
+        assert!(info.frozen >= 1, "heavy cluster should freeze");
+        // Item 8 and 9 should still pair up with each other, not be pulled
+        // into the frozen heavy cluster via their co-occurrence with 0.
+        let with_8: Vec<u32> = info
+            .vertical_signatures
+            .iter()
+            .find(|s| s.get(8))
+            .expect("cluster containing 8")
+            .items();
+        assert!(!with_8.contains(&0), "8 pulled into frozen cluster: {with_8:?}");
+    }
+
+    #[test]
+    fn k_limits_signature_count() {
+        let data: Vec<Signature> = (0..12u32).map(|i| sig(&[i, (i + 1) % 12])).collect();
+        for k in [1usize, 3, 5] {
+            let info = cluster_items(16, &params(k, 1.0), data.iter());
+            assert!(info.vertical_signatures.len() <= k);
+            assert!(!info.vertical_signatures.is_empty());
+        }
+    }
+
+    #[test]
+    fn unused_items_excluded() {
+        let data = [sig(&[1, 2]), sig(&[1, 2]), sig(&[5, 6])];
+        let info = cluster_items(16, &params(4, 1.0), data.iter());
+        for s in &info.vertical_signatures {
+            for item in s.items() {
+                assert!([1, 2, 5, 6].contains(&item), "item {item} has no support");
+            }
+        }
+        assert_eq!(info.total_support, 6);
+    }
+
+    #[test]
+    fn empty_dataset_yields_no_signatures() {
+        let info = cluster_items(16, &params(3, 1.0), std::iter::empty());
+        assert!(info.vertical_signatures.is_empty());
+        assert_eq!(info.total_support, 0);
+    }
+}

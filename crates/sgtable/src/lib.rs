@@ -1,0 +1,449 @@
+//! # The signature table (SG-table)
+//!
+//! The hash-based similarity index of Aggarwal, Wolf & Yu (*A New Method
+//! for Similarity Indexing of Market Basket Data*, SIGMOD 1999) — the
+//! baseline the SG-tree paper compares against (its §2.2.1).
+//!
+//! Construction (static, two steps):
+//!
+//! 1. **Item clustering.** A minimum-spanning-tree-style agglomerative
+//!    clustering groups the items by co-occurrence frequency: item pairs
+//!    are merged in descending co-occurrence order. Clusters whose total
+//!    support exceeds the **critical mass** are frozen before they grow
+//!    larger, keeping cluster activity balanced. The item sets of the `K`
+//!    heaviest resulting clusters become the *vertical signatures*.
+//! 2. **Hashing.** A transaction *activates* vertical signature `sᵢ` when
+//!    it shares at least `θ` items with it (the **activation threshold**).
+//!    The activation bit pattern is the transaction's hash code; all
+//!    transactions with the same code land in the same bucket, stored as
+//!    packed pages on disk. The table of codes is memory-resident.
+//!
+//! Search computes, per table entry, an optimistic lower bound on the
+//! Hamming distance between the query and any transaction in the bucket
+//! (from the `≥ θ` / `< θ` group-overlap guarantees), scans buckets in
+//! ascending bound order, and stops when the bound reaches the current
+//! best distance.
+//!
+//! The paper's critique, which the experiments in this workspace
+//! reproduce: the SG-table needs its parameters (`K`, critical mass, `θ`)
+//! tuned a priori, requires an expensive preprocessing pass over static
+//! data, and degrades under distribution drift because the vertical
+//! signatures are never re-derived ([`SgTable::insert`] hashes new data
+//! with the stale signatures, exactly as Figure 17's experiment assumes).
+
+mod build;
+mod search;
+
+pub use build::{cluster_items, ClusterInfo};
+
+use sg_pager::{BufferPool, PageId, PageStore};
+use sg_sig::{codec, Signature};
+use sg_tree::{QueryStats, Tid};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Construction parameters.
+#[derive(Debug, Clone)]
+pub struct TableParams {
+    /// Number of vertical signatures `K`; the table has up to `2^K`
+    /// entries. Aggarwal et al. use small values (the worked example in
+    /// the SG-tree paper uses 3); 8–12 works well for the paper's
+    /// workloads.
+    pub k_signatures: usize,
+    /// Activation threshold `θ`: minimum shared items for a transaction to
+    /// activate a vertical signature (the example uses 2).
+    pub activation: u32,
+    /// Critical mass as a fraction of the dataset's total item support; a
+    /// cluster whose members' summed support exceeds it is frozen.
+    pub critical_mass: f64,
+    /// Buffer-pool frames for bucket-page access.
+    pub pool_frames: usize,
+}
+
+impl Default for TableParams {
+    fn default() -> Self {
+        TableParams {
+            k_signatures: 10,
+            activation: 2,
+            critical_mass: 0.15,
+            pool_frames: 256,
+        }
+    }
+}
+
+/// One hash bucket: its packed data pages.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Bucket {
+    pub pages: Vec<PageId>,
+    pub count: u64,
+    /// Bytes used on the last page (for appends).
+    pub tail_used: usize,
+}
+
+/// Header per bucket page: record count (u16).
+pub(crate) const PAGE_HEADER: usize = 2;
+
+/// The signature table.
+pub struct SgTable {
+    pub(crate) pool: Arc<BufferPool>,
+    pub(crate) nbits: u32,
+    pub(crate) activation: u32,
+    /// The `K` vertical signatures.
+    pub(crate) vertical: Vec<Signature>,
+    /// Activation code → bucket.
+    pub(crate) buckets: HashMap<u32, Bucket>,
+    pub(crate) len: u64,
+}
+
+impl SgTable {
+    /// Builds the table from a static dataset: clusters the items, derives
+    /// the vertical signatures, and hashes every transaction into bucket
+    /// pages on `store`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.k_signatures` is 0 or exceeds 32 (codes are packed
+    /// in a `u32`), or if signatures disagree on the universe.
+    pub fn build(
+        store: Arc<dyn PageStore>,
+        nbits: u32,
+        params: &TableParams,
+        data: &[(Tid, Signature)],
+    ) -> SgTable {
+        assert!(
+            (1..=32).contains(&params.k_signatures),
+            "k_signatures must be in 1..=32"
+        );
+        let clusters = cluster_items(nbits, params, data.iter().map(|(_, s)| s));
+        let vertical = clusters.vertical_signatures;
+        let pool = Arc::new(BufferPool::new(store, params.pool_frames));
+        let mut table = SgTable {
+            pool,
+            nbits,
+            activation: params.activation,
+            vertical,
+            buckets: HashMap::new(),
+            len: 0,
+        };
+        for (tid, sig) in data {
+            table.insert(*tid, sig);
+        }
+        table
+    }
+
+    /// The activation code of a signature under the current vertical
+    /// signatures: bit `i` set iff `|t ∩ sᵢ| ≥ θ`.
+    pub fn code_of(&self, sig: &Signature) -> u32 {
+        let mut code = 0u32;
+        for (i, v) in self.vertical.iter().enumerate() {
+            if sig.and_count(v) >= self.activation {
+                code |= 1 << i;
+            }
+        }
+        code
+    }
+
+    /// Appends a transaction to its bucket. Uses the vertical signatures
+    /// derived at build time — the table is *not* re-clustered, which is
+    /// precisely its weakness under distribution drift (§5.5).
+    pub fn insert(&mut self, tid: Tid, sig: &Signature) {
+        assert_eq!(sig.nbits(), self.nbits, "signature universe mismatch");
+        let code = self.code_of(sig);
+        let page_size = self.pool.page_size();
+        let mut record = Vec::with_capacity(16 + codec::encoded_len(sig));
+        record.extend_from_slice(&tid.to_le_bytes());
+        codec::encode(sig, &mut record);
+        assert!(
+            PAGE_HEADER + record.len() <= page_size,
+            "record larger than a page"
+        );
+        let pool = &self.pool;
+        let bucket = self.buckets.entry(code).or_default();
+        let need_new_page =
+            bucket.pages.is_empty() || bucket.tail_used + record.len() > page_size;
+        if need_new_page {
+            let id = pool.allocate();
+            let mut page = vec![0u8; page_size];
+            page[0..2].copy_from_slice(&1u16.to_le_bytes());
+            page[PAGE_HEADER..PAGE_HEADER + record.len()].copy_from_slice(&record);
+            pool.write(id, &page);
+            bucket.pages.push(id);
+            bucket.tail_used = PAGE_HEADER + record.len();
+        } else {
+            let tail = *bucket.pages.last().expect("nonempty");
+            let mut page = pool.read(tail).to_vec();
+            let count = u16::from_le_bytes([page[0], page[1]]) + 1;
+            page[0..2].copy_from_slice(&count.to_le_bytes());
+            page[bucket.tail_used..bucket.tail_used + record.len()].copy_from_slice(&record);
+            pool.write(tail, &page);
+            bucket.tail_used += record.len();
+        }
+        bucket.count += 1;
+        self.len += 1;
+    }
+
+    /// Rebuilds the table in place: re-runs the item clustering over the
+    /// *current* contents and re-hashes every transaction under the fresh
+    /// vertical signatures — the "expensive periodic re-organization"
+    /// §2.2.1 says a dynamic environment forces on the SG-table. Returns
+    /// the number of transactions re-hashed.
+    ///
+    /// The old bucket pages are freed; the rebuild temporarily
+    /// materializes the whole dataset in memory (as the original
+    /// construction does).
+    pub fn rebuild(&mut self, params: &TableParams) -> u64 {
+        assert!(
+            (1..=32).contains(&params.k_signatures),
+            "k_signatures must be in 1..=32"
+        );
+        // Drain current contents.
+        let mut data: Vec<(Tid, Signature)> = Vec::with_capacity(self.len as usize);
+        let buckets = std::mem::take(&mut self.buckets);
+        let mut scratch = sg_tree::QueryStats::default();
+        for bucket in buckets.values() {
+            self.scan_bucket(bucket, &mut scratch, |tid, sig| {
+                data.push((tid, sig.clone()));
+            });
+            for &page in &bucket.pages {
+                self.pool.free(page);
+            }
+        }
+        // Re-cluster and re-hash.
+        let clusters = cluster_items(self.nbits, params, data.iter().map(|(_, s)| s));
+        self.vertical = clusters.vertical_signatures;
+        self.activation = params.activation;
+        self.len = 0;
+        for (tid, sig) in &data {
+            self.insert(*tid, sig);
+        }
+        self.len
+    }
+
+    /// Number of indexed transactions.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The vertical signatures.
+    pub fn vertical_signatures(&self) -> &[Signature] {
+        &self.vertical
+    }
+
+    /// Number of non-empty table entries (materialized buckets).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total bucket pages on disk.
+    pub fn page_count(&self) -> usize {
+        self.buckets.values().map(|b| b.pages.len()).sum()
+    }
+
+    /// The buffer pool (I/O statistics, cache control).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Streams every record of one bucket through `visit`.
+    pub(crate) fn scan_bucket(
+        &self,
+        bucket: &Bucket,
+        stats: &mut QueryStats,
+        mut visit: impl FnMut(Tid, &Signature),
+    ) {
+        for &pid in &bucket.pages {
+            stats.nodes_accessed += 1;
+            let page = self.pool.read(pid);
+            let count = u16::from_le_bytes([page[0], page[1]]) as usize;
+            let mut off = PAGE_HEADER;
+            for _ in 0..count {
+                let tid =
+                    Tid::from_le_bytes(page[off..off + 8].try_into().expect("page layout"));
+                off += 8;
+                let (sig, used) =
+                    codec::decode(self.nbits, &page[off..]).expect("corrupt bucket page");
+                off += used;
+                stats.data_compared += 1;
+                visit(tid, &sig);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_pager::MemStore;
+
+    fn small_data() -> Vec<(Tid, Signature)> {
+        // The paper's Figure 1 example: S = {a..g} = {0..6},
+        // A = {a,e} = {0,4}, B = {c,d} = {2,3}, C = {b,f,g} = {1,5,6}.
+        let t = |items: &[u32]| Signature::from_items(7, items);
+        vec![
+            (1, t(&[2, 3])),          // T1 = {c,d}
+            (2, t(&[0, 1, 2])),       // T2 = {a,b,c}
+            (3, t(&[0, 1, 4])),       // T3 = {a,b,e}
+            (4, t(&[1, 3, 5, 6])),    // T4 = {b,d,f,g}
+            (5, t(&[0, 1, 2, 3, 4])), // T5 = {a,b,c,d,e}
+            (6, t(&[1, 4, 5])),       // T6 = {b,e,f}
+        ]
+    }
+
+    #[test]
+    fn build_hashes_all_transactions() {
+        let data = small_data();
+        let params = TableParams {
+            k_signatures: 3,
+            activation: 2,
+            critical_mass: 1.0,
+            pool_frames: 16,
+        };
+        let table = SgTable::build(Arc::new(MemStore::new(256)), 7, &params, &data);
+        assert_eq!(table.len(), 6);
+        assert_eq!(table.vertical_signatures().len(), 3);
+        let total: u64 = table.buckets.values().map(|b| b.count).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn paper_figure1_activation_example() {
+        // With the dictionary's exact grouping, T3 = {a,b,e} shares 2 items
+        // with A = {a,e} and activates only A; T5 = {a,b,c,d,e} activates
+        // A and B.
+        let store = Arc::new(MemStore::new(256));
+        let mut table = SgTable {
+            pool: Arc::new(BufferPool::new(store, 4)),
+            nbits: 7,
+            activation: 2,
+            vertical: vec![
+                Signature::from_items(7, &[0, 4]),    // A = {a,e}
+                Signature::from_items(7, &[2, 3]),    // B = {c,d}
+                Signature::from_items(7, &[1, 5, 6]), // C = {b,f,g}
+            ],
+            buckets: HashMap::new(),
+            len: 0,
+        };
+        let t3 = Signature::from_items(7, &[0, 1, 4]);
+        assert_eq!(table.code_of(&t3), 0b001);
+        let t5 = Signature::from_items(7, &[0, 1, 2, 3, 4]);
+        assert_eq!(table.code_of(&t5), 0b011);
+        let t1 = Signature::from_items(7, &[2, 3]);
+        assert_eq!(table.code_of(&t1), 0b010);
+        let t4 = Signature::from_items(7, &[1, 3, 5, 6]);
+        assert_eq!(table.code_of(&t4), 0b100);
+        // Insert them and check bucket placement.
+        for (tid, s) in [(3u64, &t3), (5, &t5), (1, &t1), (4, &t4)] {
+            table.insert(tid, s);
+        }
+        assert_eq!(table.bucket_count(), 4);
+        assert_eq!(table.buckets[&0b001].count, 1);
+        assert_eq!(table.buckets[&0b011].count, 1);
+    }
+
+    #[test]
+    fn records_span_pages_and_survive() {
+        let store = Arc::new(MemStore::new(128));
+        let params = TableParams {
+            k_signatures: 2,
+            activation: 1,
+            critical_mass: 1.0,
+            pool_frames: 4,
+        };
+        // All transactions share item 0 → same code → one bucket, many
+        // pages.
+        let data: Vec<(Tid, Signature)> = (0..50)
+            .map(|tid| (tid, Signature::from_items(64, &[0, (tid % 60) as u32 + 1])))
+            .collect();
+        let table = SgTable::build(store, 64, &params, &data);
+        assert!(table.page_count() > 1);
+        let mut seen = Vec::new();
+        let mut stats = QueryStats::default();
+        for bucket in table.buckets.values() {
+            table.scan_bucket(bucket, &mut stats, |tid, _| seen.push(tid));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..50).collect::<Vec<_>>());
+        assert_eq!(stats.data_compared, 50);
+    }
+
+    #[test]
+    fn rebuild_preserves_contents_and_rehashes() {
+        let data = small_data();
+        let params = TableParams {
+            k_signatures: 3,
+            activation: 2,
+            critical_mass: 1.0,
+            pool_frames: 16,
+        };
+        let mut table = SgTable::build(Arc::new(MemStore::new(256)), 7, &params, &data);
+        let before: Vec<Signature> = table.vertical_signatures().to_vec();
+        let n = table.rebuild(&TableParams {
+            k_signatures: 2,
+            ..params.clone()
+        });
+        assert_eq!(n, 6);
+        assert_eq!(table.len(), 6);
+        assert!(table.vertical_signatures().len() <= 2);
+        assert_ne!(table.vertical_signatures(), &before[..]);
+        // Every transaction still present.
+        let mut seen = Vec::new();
+        let mut stats = sg_tree::QueryStats::default();
+        let buckets: Vec<Bucket> = table.buckets.values().cloned().collect();
+        for bucket in &buckets {
+            table.scan_bucket(bucket, &mut stats, |tid, _| seen.push(tid));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn rebuild_restores_search_exactness_after_drift() {
+        // Insert drifted data, rebuild, and check k-NN is still exact and
+        // the fresh signatures differ (they absorbed the new items).
+        let params = TableParams {
+            k_signatures: 4,
+            activation: 2,
+            critical_mass: 0.5,
+            pool_frames: 32,
+        };
+        let base: Vec<(Tid, Signature)> = (0..40)
+            .map(|tid| {
+                (
+                    tid,
+                    Signature::from_items(64, &[(tid % 8) as u32, (tid % 8 + 8) as u32]),
+                )
+            })
+            .collect();
+        let mut table = SgTable::build(Arc::new(MemStore::new(256)), 64, &params, &base);
+        let mut all = base;
+        for tid in 40..80u64 {
+            let sig = Signature::from_items(64, &[(tid % 8 + 40) as u32, (tid % 8 + 52) as u32]);
+            table.insert(tid, &sig);
+            all.push((tid, sig));
+        }
+        table.rebuild(&params);
+        let m = sg_sig::Metric::hamming();
+        for (_, q) in all.iter().step_by(13) {
+            let (got, _) = table.knn(q, 3, &m);
+            let mut want: Vec<f64> = all.iter().map(|(_, s)| m.dist(q, s)).collect();
+            want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let gd: Vec<f64> = got.iter().map(|n| n.dist).collect();
+            assert_eq!(gd, want[..3].to_vec());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k_signatures")]
+    fn zero_signatures_rejected() {
+        let params = TableParams {
+            k_signatures: 0,
+            ..TableParams::default()
+        };
+        SgTable::build(Arc::new(MemStore::new(256)), 7, &params, &small_data());
+    }
+}

@@ -1,0 +1,314 @@
+//! Similarity search on the SG-table: bucket lower bounds, ordered bucket
+//! scans, and the stop condition of Aggarwal et al.
+//!
+//! For a bucket with activation code `b` and a query with `qᵢ = |q ∩ sᵢ|`
+//! items in vertical signature `sᵢ`, every transaction `t` in the bucket
+//! satisfies `|t ∩ sᵢ| ≥ θ` when `bᵢ = 1` and `≤ θ − 1` when `bᵢ = 0`,
+//! so its Hamming distance to `q` is at least
+//!
+//! ```text
+//! LB(b) = Σᵢ  bᵢ=1:  max(0, θ − qᵢ)      (t has ≥ θ−qᵢ items q lacks)
+//!             bᵢ=0:  max(0, qᵢ − θ + 1)  (q has ≥ qᵢ−θ+1 items t lacks)
+//! ```
+//!
+//! (the vertical signatures are disjoint item groups, so the per-group
+//! deficits add up). Buckets are scanned in ascending `LB`; once `LB`
+//! reaches the running k-th-nearest distance "the search stops, since none
+//! of the remaining entries may point to a closer transaction".
+//!
+//! The bounds are specific to the **Hamming distance**, the metric the
+//! SG-table was designed for; the search functions assert it.
+
+use crate::SgTable;
+use sg_sig::{Metric, MetricKind, Signature};
+use sg_tree::{Neighbor, QueryStats};
+use std::collections::BinaryHeap;
+
+impl SgTable {
+    /// Per-group query overlaps `qᵢ`.
+    fn overlaps(&self, q: &Signature) -> Vec<u32> {
+        self.vertical.iter().map(|v| q.and_count(v)).collect()
+    }
+
+    /// The optimistic Hamming lower bound for a bucket code.
+    pub fn lower_bound(&self, code: u32, overlaps: &[u32]) -> u32 {
+        let theta = self.activation;
+        let mut lb = 0u32;
+        for (i, &qi) in overlaps.iter().enumerate() {
+            if code >> i & 1 == 1 {
+                lb += theta.saturating_sub(qi);
+            } else {
+                lb += (qi + 1).saturating_sub(theta);
+            }
+        }
+        lb
+    }
+
+    /// Buckets in ascending lower-bound order.
+    fn ordered_codes(&self, overlaps: &[u32]) -> Vec<(u32, u32)> {
+        let mut order: Vec<(u32, u32)> = self
+            .buckets
+            .keys()
+            .map(|&code| (self.lower_bound(code, overlaps), code))
+            .collect();
+        order.sort_unstable();
+        order
+    }
+
+    /// Nearest-neighbor query (Hamming). Returns at most one hit.
+    pub fn nn(&self, q: &Signature, metric: &Metric) -> (Vec<Neighbor>, QueryStats) {
+        self.knn(q, 1, metric)
+    }
+
+    /// `k`-NN query (Hamming), sorted ascending (ties by tid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `metric` is not plain Hamming — the table's bounds are not
+    /// valid for other metrics.
+    pub fn knn(&self, q: &Signature, k: usize, metric: &Metric) -> (Vec<Neighbor>, QueryStats) {
+        assert_eq!(
+            (metric.kind(), metric.fixed_dim()),
+            (MetricKind::Hamming, None),
+            "the SG-table supports only the Hamming metric"
+        );
+        let io_before = self.pool.stats().snapshot();
+        let mut stats = QueryStats::default();
+        let mut out: Vec<Neighbor> = Vec::new();
+        if k > 0 && !self.is_empty() {
+            let overlaps = self.overlaps(q);
+            // Max-heap of the k best (worst on top).
+            let mut heap: BinaryHeap<(u64, u64)> = BinaryHeap::with_capacity(k + 1);
+            for (lb, code) in self.ordered_codes(&overlaps) {
+                stats.dist_computations += 1;
+                if heap.len() == k && u64::from(lb) >= heap.peek().expect("nonempty").0 {
+                    break;
+                }
+                let bucket = &self.buckets[&code];
+                self.scan_bucket(bucket, &mut stats, |tid, sig| {
+                    let d = u64::from(q.hamming(sig));
+                    if heap.len() < k || d < heap.peek().expect("nonempty").0 {
+                        heap.push((d, tid));
+                        if heap.len() > k {
+                            heap.pop();
+                        }
+                    }
+                });
+            }
+            out = heap
+                .into_sorted_vec()
+                .into_iter()
+                .map(|(d, tid)| Neighbor {
+                    tid,
+                    dist: d as f64,
+                })
+                .collect();
+            out.sort_by(|a, b| {
+                a.dist
+                    .partial_cmp(&b.dist)
+                    .expect("finite")
+                    .then(a.tid.cmp(&b.tid))
+            });
+        }
+        stats.dist_computations += stats.data_compared;
+        stats.io = self.pool.stats().snapshot().since(&io_before);
+        (out, stats)
+    }
+
+    /// Similarity range query (Hamming): everything within `eps`
+    /// (inclusive), sorted ascending.
+    pub fn range(&self, q: &Signature, eps: f64, metric: &Metric) -> (Vec<Neighbor>, QueryStats) {
+        assert_eq!(
+            (metric.kind(), metric.fixed_dim()),
+            (MetricKind::Hamming, None),
+            "the SG-table supports only the Hamming metric"
+        );
+        let io_before = self.pool.stats().snapshot();
+        let mut stats = QueryStats::default();
+        let mut out: Vec<Neighbor> = Vec::new();
+        let overlaps = self.overlaps(q);
+        for (lb, code) in self.ordered_codes(&overlaps) {
+            stats.dist_computations += 1;
+            if f64::from(lb) > eps {
+                break;
+            }
+            let bucket = &self.buckets[&code];
+            self.scan_bucket(bucket, &mut stats, |tid, sig| {
+                let d = f64::from(q.hamming(sig));
+                if d <= eps {
+                    out.push(Neighbor { tid, dist: d });
+                }
+            });
+        }
+        out.sort_by(|a, b| {
+            a.dist
+                .partial_cmp(&b.dist)
+                .expect("finite")
+                .then(a.tid.cmp(&b.tid))
+        });
+        stats.dist_computations += stats.data_compared;
+        stats.io = self.pool.stats().snapshot().since(&io_before);
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TableParams;
+    use sg_pager::MemStore;
+    use sg_tree::Tid;
+    use std::sync::Arc;
+
+    const NBITS: u32 = 100;
+
+    fn make_data(n: u64) -> Vec<(Tid, Signature)> {
+        let mut out = Vec::with_capacity(n as usize);
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for tid in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let cluster = (x >> 60) as u32 % 4;
+            let len = 3 + ((x >> 33) % 4) as usize;
+            let mut items = Vec::with_capacity(len);
+            let mut y = x;
+            for _ in 0..len {
+                y = y.wrapping_mul(6364136223846793005).wrapping_add(17);
+                items.push(cluster * 25 + ((y >> 40) % 25) as u32);
+            }
+            out.push((tid, Signature::from_items(NBITS, &items)));
+        }
+        out
+    }
+
+    fn table_of(data: &[(Tid, Signature)]) -> SgTable {
+        let params = TableParams {
+            k_signatures: 6,
+            activation: 2,
+            critical_mass: 0.4,
+            pool_frames: 64,
+        };
+        SgTable::build(Arc::new(MemStore::new(512)), NBITS, &params, data)
+    }
+
+    fn queries() -> Vec<Signature> {
+        let mut out = Vec::new();
+        let mut x = 0xDEADBEEFCAFEBABEu64;
+        for _ in 0..20 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(3);
+            let len = 2 + ((x >> 33) % 4) as usize;
+            let mut items = Vec::with_capacity(len);
+            let mut y = x;
+            for _ in 0..len {
+                y = y.wrapping_mul(6364136223846793005).wrapping_add(5);
+                items.push(((y >> 40) % NBITS as u64) as u32);
+            }
+            out.push(Signature::from_items(NBITS, &items));
+        }
+        out
+    }
+
+    fn brute_knn(data: &[(Tid, Signature)], q: &Signature, k: usize) -> Vec<f64> {
+        let mut d: Vec<(f64, Tid)> = data
+            .iter()
+            .map(|(tid, s)| (f64::from(q.hamming(s)), *tid))
+            .collect();
+        d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        d.into_iter().take(k).map(|(d, _)| d).collect()
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let data = make_data(300);
+        let table = table_of(&data);
+        let m = Metric::hamming();
+        for q in queries() {
+            for k in [1usize, 5, 20] {
+                let (got, _) = table.knn(&q, k, &m);
+                let want = brute_knn(&data, &q, k);
+                let got_d: Vec<f64> = got.iter().map(|n| n.dist).collect();
+                assert_eq!(got_d, want, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let data = make_data(300);
+        let table = table_of(&data);
+        let m = Metric::hamming();
+        for q in queries().into_iter().take(8) {
+            for eps in [0.0, 3.0, 8.0] {
+                let (got, _) = table.range(&q, eps, &m);
+                let want = data
+                    .iter()
+                    .filter(|(_, s)| f64::from(q.hamming(s)) <= eps)
+                    .count();
+                assert_eq!(got.len(), want, "eps={eps}");
+                assert!(got.iter().all(|n| n.dist <= eps));
+            }
+        }
+    }
+
+    #[test]
+    fn search_prunes_buckets() {
+        let data = make_data(2000);
+        let table = table_of(&data);
+        let m = Metric::hamming();
+        let mut compared = 0u64;
+        let qs: Vec<Signature> = data.iter().take(10).map(|(_, s)| s.clone()).collect();
+        for q in &qs {
+            let (hits, stats) = table.knn(q, 1, &m);
+            assert_eq!(hits[0].dist, 0.0, "query is an indexed transaction");
+            compared += stats.data_compared;
+        }
+        let frac = compared as f64 / (2000.0 * qs.len() as f64);
+        assert!(frac < 0.9, "bucket ordering should prune: {frac:.2}");
+    }
+
+    #[test]
+    fn lower_bound_is_valid() {
+        let data = make_data(400);
+        let table = table_of(&data);
+        for q in queries().into_iter().take(8) {
+            let overlaps: Vec<u32> = table
+                .vertical_signatures()
+                .iter()
+                .map(|v| q.and_count(v))
+                .collect();
+            let codes: Vec<u32> = table.buckets.keys().copied().collect();
+            for code in codes {
+                let lb = table.lower_bound(code, &overlaps);
+                let bucket = table.buckets[&code].clone();
+                let mut stats = QueryStats::default();
+                table.scan_bucket(&bucket, &mut stats, |_, sig| {
+                    assert!(
+                        q.hamming(sig) >= lb,
+                        "bucket {code:#b}: lb {lb} > dist {}",
+                        q.hamming(sig)
+                    );
+                });
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only the Hamming metric")]
+    fn non_hamming_metric_rejected() {
+        let data = make_data(20);
+        let table = table_of(&data);
+        let _ = table.knn(&data[0].1, 1, &Metric::jaccard());
+    }
+
+    #[test]
+    fn empty_table_queries() {
+        let table = SgTable::build(
+            Arc::new(MemStore::new(512)),
+            NBITS,
+            &TableParams::default(),
+            &[],
+        );
+        let q = Signature::from_items(NBITS, &[1]);
+        assert!(table.nn(&q, &Metric::hamming()).0.is_empty());
+        assert!(table.range(&q, 5.0, &Metric::hamming()).0.is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! Bitmap *signatures* for set and categorical data.
+//!
+//! A signature is a fixed-length bitmap over an item universe
+//! `S = {0, 1, …, N-1}`: bit `i` is set iff item `i` belongs to the
+//! represented set. Signatures serve double duty in the SG-tree
+//! (Mamoulis, Cheung & Lian, ICDE 2003):
+//!
+//! * a **transaction** (a market-basket itemset, or the value set of a
+//!   categorical tuple) is a signature, and
+//! * a **group of transactions** is the bitwise OR of their signatures
+//!   (Definition 5 of the paper) — bit `i` is set iff *some* transaction in
+//!   the group contains item `i`.
+//!
+//! This crate provides the [`Signature`] type with the bit-parallel
+//! operations the index needs (union, intersection cardinality, containment,
+//! area/popcount, enlargement), the set-similarity [`metric`]s used for
+//! search (Hamming, Jaccard, Dice, overlap) together with their directory
+//! lower bounds, and the [`codec`] that stores sparse signatures as
+//! position lists (§3.2 of the paper).
+
+pub mod codec;
+pub mod metric;
+mod signature;
+mod vocab;
+
+pub use metric::{Metric, MetricKind};
+pub use signature::{Signature, SignatureOnes};
+pub use vocab::{Vocabulary, VocabularyFull};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,399 @@
+//! Set-similarity metrics and the directory lower bounds that drive
+//! branch-and-bound search on the SG-tree.
+//!
+//! The paper's experiments use the **Hamming distance** `|A Δ B|`; §6 points
+//! out that the tree can equally be searched under other set-theoretic
+//! metrics given an appropriate lower bound for directory entries, and works
+//! out the **Jaccard** case. This module implements both, plus Dice and
+//! overlap variants, behind a single enum so query code is metric-generic.
+//!
+//! All distances are returned as `f64` so the different metrics (integral
+//! Hamming, fractional Jaccard/Dice) share one search implementation; the
+//! Hamming value is always an exact small integer.
+//!
+//! # Lower bounds
+//!
+//! For a directory entry with signature `e` (the OR of everything indexed
+//! below it) and a query `q`, a valid bound must satisfy
+//! `mindist(q, e) ≤ dist(q, t)` for every transaction `t` with
+//! `sig(t) ⊆ e`. The bounds implemented here:
+//!
+//! * **Hamming**: `|q \ e|` — items of the query that no transaction below
+//!   the entry can contain (each costs at least one mismatch).
+//! * **Hamming with fixed dimensionality `d`** (§6's "stricter bound" for
+//!   categorical data, where every indexed tuple has exactly `d` set bits):
+//!   `dist(q,t) = |q| + d − 2|q ∩ t|` and `|q ∩ t| ≤ min(|q ∩ e|, d)`, so
+//!   `mindist = max(|q \ e|, |q| + d − 2·min(|q ∩ e|, d))`.
+//! * **Jaccard**: `sim(q,t) = |q ∩ t| / |q ∪ t| ≤ |q ∩ e| / |q|`, so
+//!   `mindist = 1 − |q ∩ e| / |q|`.
+//! * **Dice**: `sim = 2|q ∩ t| / (|q|+|t|) ≤ 2|q ∩ e| / (|q| + |q ∩ t|)`…
+//!   bounded by `2c / (|q| + c)` with `c = |q ∩ e|` (monotone in `|q ∩ t|`
+//!   and `|t| ≥ |q ∩ t|`), so `mindist = 1 − 2c/(|q| + c)`.
+//! * **Overlap**: `sim = |q ∩ t| / min(|q|,|t|) ≤ 1` in general; with the
+//!   entry we can only bound `|q ∩ t| ≤ c`, and `min(|q|,|t|) ≥ 1`, giving
+//!   `mindist = 0` when `c > 0`. With fixed dimensionality `d` the
+//!   denominator is `min(|q|, d)`, giving `1 − c / min(|q|, d)`.
+
+use crate::Signature;
+
+/// Which set-similarity metric a search runs under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MetricKind {
+    /// Symmetric-difference size `|A Δ B|` — the paper's metric.
+    Hamming,
+    /// `1 − |A ∩ B| / |A ∪ B|`.
+    Jaccard,
+    /// `1 − 2|A ∩ B| / (|A| + |B|)`.
+    Dice,
+    /// `1 − |A ∩ B| / min(|A|, |B|)` (containment-style similarity).
+    Overlap,
+}
+
+/// A metric plus the optional fixed-dimensionality hint of §6.
+///
+/// ```
+/// use sg_sig::{Metric, Signature};
+///
+/// let m = Metric::hamming();
+/// let q = Signature::from_items(100, &[1, 2, 3]);
+/// let t = Signature::from_items(100, &[2, 3, 4]);
+/// assert_eq!(m.dist(&q, &t), 2.0);
+/// // A directory entry covering {2,3,4} and {4,5}: at least one query
+/// // item (1) is unreachable below it.
+/// let entry = t.or(&Signature::from_items(100, &[4, 5]));
+/// assert_eq!(m.mindist(&q, &entry), 1.0);
+/// assert!(m.mindist(&q, &entry) <= m.dist(&q, &t));
+/// ```
+///
+/// When the indexed data are categorical tuples over `d` attributes, every
+/// transaction has exactly `d` set bits, and the directory lower bounds can
+/// be tightened substantially (see module docs). Constructing the metric
+/// with [`Metric::with_fixed_dim`] enables those bounds; correctness then
+/// *requires* that every indexed signature has area exactly `d`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Metric {
+    kind: MetricKind,
+    fixed_dim: Option<u32>,
+}
+
+impl Metric {
+    /// A metric without dimensionality assumptions (general set data).
+    pub const fn new(kind: MetricKind) -> Self {
+        Metric { kind, fixed_dim: None }
+    }
+
+    /// The paper's default: Hamming distance on general set data.
+    pub const fn hamming() -> Self {
+        Self::new(MetricKind::Hamming)
+    }
+
+    /// Jaccard distance on general set data.
+    pub const fn jaccard() -> Self {
+        Self::new(MetricKind::Jaccard)
+    }
+
+    /// Enables the fixed-dimensionality bounds: every indexed transaction
+    /// is promised to contain exactly `d` items (categorical tuples over
+    /// `d` attributes).
+    pub const fn with_fixed_dim(kind: MetricKind, d: u32) -> Self {
+        Metric {
+            kind,
+            fixed_dim: Some(d),
+        }
+    }
+
+    /// The metric family.
+    pub const fn kind(&self) -> MetricKind {
+        self.kind
+    }
+
+    /// The fixed-dimensionality hint, if any.
+    pub const fn fixed_dim(&self) -> Option<u32> {
+        self.fixed_dim
+    }
+
+    /// The exact distance between two transactions.
+    pub fn dist(&self, a: &Signature, b: &Signature) -> f64 {
+        let inter = a.and_count(b) as f64;
+        let ca = a.count() as f64;
+        let cb = b.count() as f64;
+        match self.kind {
+            MetricKind::Hamming => ca + cb - 2.0 * inter,
+            MetricKind::Jaccard => {
+                let union = ca + cb - inter;
+                if union == 0.0 {
+                    0.0
+                } else {
+                    1.0 - inter / union
+                }
+            }
+            MetricKind::Dice => {
+                if ca + cb == 0.0 {
+                    0.0
+                } else {
+                    1.0 - 2.0 * inter / (ca + cb)
+                }
+            }
+            MetricKind::Overlap => {
+                let m = ca.min(cb);
+                if m == 0.0 {
+                    if ca.max(cb) == 0.0 {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                } else {
+                    1.0 - inter / m
+                }
+            }
+        }
+    }
+
+    /// A lower bound on `dist(q, t)` over every transaction `t` whose
+    /// signature is covered by the directory-entry signature `entry`.
+    ///
+    /// Never negative; equals `0` when the bound cannot exclude a perfect
+    /// match below the entry.
+    pub fn mindist(&self, q: &Signature, entry: &Signature) -> f64 {
+        let c = q.and_count(entry); // |q ∩ e| ≥ |q ∩ t|
+        let cq = q.count();
+        let missing = (cq - c) as f64; // |q \ e|
+        match self.kind {
+            MetricKind::Hamming => match self.fixed_dim {
+                None => missing,
+                Some(d) => {
+                    let matched_max = c.min(d) as f64;
+                    let strict = cq as f64 + d as f64 - 2.0 * matched_max;
+                    missing.max(strict).max(0.0)
+                }
+            },
+            MetricKind::Jaccard => {
+                if cq == 0 {
+                    return 0.0;
+                }
+                match self.fixed_dim {
+                    // sim ≤ |q ∩ e| / |q| (the paper's §6 bound).
+                    None => 1.0 - c as f64 / cq as f64,
+                    // With |t| = d: |q ∪ t| = |q| + d − |q ∩ t| ≥ |q| + d − c,
+                    // so sim ≤ c / (|q| + d − c) when that denominator is
+                    // positive; tighter than c/|q| whenever d > c.
+                    Some(d) => {
+                        let denom = (cq + d).saturating_sub(c.min(d)) as f64;
+                        if denom <= 0.0 {
+                            0.0
+                        } else {
+                            (1.0 - c.min(d) as f64 / denom).max(0.0)
+                        }
+                    }
+                }
+            }
+            MetricKind::Dice => {
+                if cq == 0 {
+                    return 0.0;
+                }
+                let c = match self.fixed_dim {
+                    Some(d) => c.min(d),
+                    None => c,
+                } as f64;
+                let lower_t = match self.fixed_dim {
+                    // |t| = d exactly.
+                    Some(d) => d as f64,
+                    // |t| ≥ |q ∩ t|; sim = 2i/(|q|+|t|) is maximised at
+                    // i = c, |t| = c.
+                    None => c,
+                };
+                let denom = cq as f64 + lower_t;
+                if denom == 0.0 {
+                    0.0
+                } else {
+                    (1.0 - 2.0 * c / denom).max(0.0)
+                }
+            }
+            MetricKind::Overlap => {
+                let c = c as f64;
+                match self.fixed_dim {
+                    Some(d) => {
+                        let m = (cq.min(d)) as f64;
+                        if m == 0.0 {
+                            0.0
+                        } else {
+                            (1.0 - c.min(m) / m).max(0.0)
+                        }
+                    }
+                    // Without a size promise the only safe bound: a
+                    // transaction could be a single shared item, giving
+                    // similarity 1 whenever any overlap is possible.
+                    None => {
+                        if c > 0.0 || cq == 0 {
+                            0.0
+                        } else {
+                            1.0
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(items: &[u32]) -> Signature {
+        Signature::from_items(256, items)
+    }
+
+    #[test]
+    fn hamming_dist_matches_symmetric_difference() {
+        let m = Metric::hamming();
+        let a = sig(&[1, 2, 3]);
+        let b = sig(&[3, 4]);
+        assert_eq!(m.dist(&a, &b), 3.0);
+        assert_eq!(m.dist(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn jaccard_dist_range_and_identity() {
+        let m = Metric::jaccard();
+        let a = sig(&[1, 2, 3, 4]);
+        let b = sig(&[3, 4, 5, 6]);
+        assert!((m.dist(&a, &b) - (1.0 - 2.0 / 6.0)).abs() < 1e-12);
+        assert_eq!(m.dist(&a, &a), 0.0);
+        let disjoint = sig(&[100]);
+        assert_eq!(m.dist(&a, &disjoint), 1.0);
+        let e = Signature::empty(256);
+        assert_eq!(m.dist(&e, &e), 0.0);
+    }
+
+    #[test]
+    fn dice_and_overlap_basics() {
+        let a = sig(&[1, 2]);
+        let b = sig(&[2, 3, 4]);
+        let dice = Metric::new(MetricKind::Dice);
+        assert!((dice.dist(&a, &b) - (1.0 - 2.0 / 5.0)).abs() < 1e-12);
+        let ov = Metric::new(MetricKind::Overlap);
+        assert!((ov.dist(&a, &b) - 0.5).abs() < 1e-12);
+        // Overlap with a subset is 0 (full containment).
+        let sub = sig(&[2]);
+        assert_eq!(ov.dist(&b, &sub), 0.0);
+    }
+
+    #[test]
+    fn hamming_mindist_counts_uncovered_query_items() {
+        let m = Metric::hamming();
+        let q = sig(&[1, 2, 3, 4]);
+        let entry = sig(&[2, 3, 10, 11, 12]);
+        assert_eq!(m.mindist(&q, &entry), 2.0);
+        // Fully covered query: bound collapses to 0.
+        assert_eq!(m.mindist(&q, &sig(&[1, 2, 3, 4, 5])), 0.0);
+    }
+
+    #[test]
+    fn fixed_dim_hamming_bound_is_tighter_and_valid() {
+        let d = 4;
+        let m = Metric::with_fixed_dim(MetricKind::Hamming, d);
+        let relaxed = Metric::hamming();
+        let q = sig(&[1, 2]);
+        // Entry covers the whole query, but every indexed tuple has 4 items,
+        // so at least 2 of them mismatch q.
+        let entry = sig(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(relaxed.mindist(&q, &entry), 0.0);
+        assert_eq!(m.mindist(&q, &entry), 2.0);
+        // And 2 is achievable: t = {1,2,x,y}.
+        let t = sig(&[1, 2, 30, 31]);
+        assert_eq!(m.dist(&q, &t), 2.0);
+    }
+
+    #[test]
+    fn mindist_never_exceeds_dist_of_covered_transaction() {
+        // Deterministic sweep: entries as unions of transactions.
+        let metrics = [
+            Metric::hamming(),
+            Metric::jaccard(),
+            Metric::new(MetricKind::Dice),
+            Metric::new(MetricKind::Overlap),
+        ];
+        let ts = [
+            sig(&[1, 2, 3]),
+            sig(&[2, 3, 4, 5]),
+            sig(&[10, 20, 30]),
+            sig(&[1]),
+        ];
+        let q = sig(&[1, 3, 5, 20]);
+        let mut entry = Signature::empty(256);
+        for t in &ts {
+            entry.or_assign(t);
+        }
+        for m in &metrics {
+            let lb = m.mindist(&q, &entry);
+            for t in &ts {
+                assert!(
+                    lb <= m.dist(&q, t) + 1e-12,
+                    "{:?}: lb {} > dist {}",
+                    m.kind(),
+                    lb,
+                    m.dist(&q, t)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_dim_bounds_valid_for_fixed_size_transactions() {
+        let d = 3;
+        let ts = [sig(&[1, 2, 3]), sig(&[2, 3, 4]), sig(&[10, 11, 12])];
+        let mut entry = Signature::empty(256);
+        for t in &ts {
+            entry.or_assign(t);
+        }
+        let q = sig(&[1, 2, 10, 40]);
+        for kind in [
+            MetricKind::Hamming,
+            MetricKind::Jaccard,
+            MetricKind::Dice,
+            MetricKind::Overlap,
+        ] {
+            let m = Metric::with_fixed_dim(kind, d);
+            let lb = m.mindist(&q, &entry);
+            for t in &ts {
+                assert!(
+                    lb <= m.dist(&q, t) + 1e-12,
+                    "{:?}: lb {} > dist {}",
+                    kind,
+                    lb,
+                    m.dist(&q, t)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_mindist_matches_paper_formula() {
+        let m = Metric::jaccard();
+        let q = sig(&[1, 2, 3, 4]);
+        let entry = sig(&[1, 2, 50]);
+        // 1 − |q ∩ e| / |q| = 1 − 2/4.
+        assert!((m.mindist(&q, &entry) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_query_bounds_are_zero_or_valid() {
+        let q = Signature::empty(256);
+        let entry = sig(&[1, 2, 3]);
+        for kind in [
+            MetricKind::Hamming,
+            MetricKind::Jaccard,
+            MetricKind::Dice,
+            MetricKind::Overlap,
+        ] {
+            let m = Metric::new(kind);
+            let lb = m.mindist(&q, &entry);
+            // dist(q, t) for t = {1,2,3}: hamming 3, jaccard 1, dice 1,
+            // overlap 1 (by convention). The bound must not exceed any of
+            // the achievable distances below the entry.
+            let t = sig(&[1, 2, 3]);
+            assert!(lb <= m.dist(&q, &t) + 1e-12, "{:?}", kind);
+        }
+    }
+}

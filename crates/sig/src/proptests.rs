@@ -1,0 +1,184 @@
+//! Property-based tests for the signature kernel: algebraic laws of the set
+//! operations, metric axioms, lower-bound validity, and codec roundtrips.
+
+use crate::codec;
+use crate::{Metric, MetricKind, Signature};
+use proptest::prelude::*;
+
+const NBITS: u32 = 525;
+
+fn arb_items() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0..NBITS, 0..80)
+}
+
+fn arb_sig() -> impl Strategy<Value = Signature> {
+    arb_items().prop_map(|items| Signature::from_items(NBITS, &items))
+}
+
+fn arb_metric() -> impl Strategy<Value = Metric> {
+    prop_oneof![
+        Just(Metric::hamming()),
+        Just(Metric::jaccard()),
+        Just(Metric::new(MetricKind::Dice)),
+        Just(Metric::new(MetricKind::Overlap)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative_and_covers(a in arb_sig(), b in arb_sig()) {
+        let ab = a.or(&b);
+        let ba = b.or(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert!(ab.contains(&a));
+        prop_assert!(ab.contains(&b));
+        prop_assert_eq!(ab.count(), a.union_count(&b));
+    }
+
+    #[test]
+    fn inclusion_exclusion(a in arb_sig(), b in arb_sig()) {
+        prop_assert_eq!(
+            a.union_count(&b) + a.and_count(&b),
+            a.count() + b.count()
+        );
+        prop_assert_eq!(a.andnot_count(&b), a.count() - a.and_count(&b));
+        prop_assert_eq!(
+            a.hamming(&b),
+            a.andnot_count(&b) + b.andnot_count(&a)
+        );
+    }
+
+    #[test]
+    fn containment_iff_andnot_zero(a in arb_sig(), b in arb_sig()) {
+        prop_assert_eq!(a.contains(&b), b.andnot_count(&a) == 0);
+    }
+
+    #[test]
+    fn items_roundtrip(items in arb_items()) {
+        let sig = Signature::from_items(NBITS, &items);
+        let mut sorted: Vec<u32> = items.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sig.items(), sorted);
+    }
+
+    #[test]
+    fn enlargement_zero_iff_contained(a in arb_sig(), b in arb_sig()) {
+        prop_assert_eq!(a.enlargement(&b) == 0, a.contains(&b));
+    }
+
+    #[test]
+    fn codec_roundtrip(sig in arb_sig()) {
+        let mut buf = Vec::new();
+        let n = codec::encode(&sig, &mut buf);
+        prop_assert_eq!(n, codec::encoded_len(&sig));
+        prop_assert!(n <= codec::max_encoded_len(NBITS));
+        let (back, used) = codec::decode(NBITS, &buf).unwrap();
+        prop_assert_eq!(used, n);
+        prop_assert_eq!(back, sig);
+    }
+
+    #[test]
+    fn codec_roundtrip_dense(items in prop::collection::vec(0..NBITS, 200..500)) {
+        let sig = Signature::from_items(NBITS, &items);
+        let mut buf = Vec::new();
+        codec::encode(&sig, &mut buf);
+        let (back, _) = codec::decode(NBITS, &buf).unwrap();
+        prop_assert_eq!(back, sig);
+    }
+
+    #[test]
+    fn metric_axioms(m in arb_metric(), a in arb_sig(), b in arb_sig()) {
+        prop_assert!(m.dist(&a, &a) <= 1e-12, "identity");
+        prop_assert!((m.dist(&a, &b) - m.dist(&b, &a)).abs() < 1e-12, "symmetry");
+        prop_assert!(m.dist(&a, &b) >= 0.0, "non-negativity");
+    }
+
+    #[test]
+    fn hamming_triangle_inequality(a in arb_sig(), b in arb_sig(), c in arb_sig()) {
+        let m = Metric::hamming();
+        prop_assert!(m.dist(&a, &c) <= m.dist(&a, &b) + m.dist(&b, &c) + 1e-9);
+    }
+
+    #[test]
+    fn jaccard_triangle_inequality(a in arb_sig(), b in arb_sig(), c in arb_sig()) {
+        let m = Metric::jaccard();
+        prop_assert!(m.dist(&a, &c) <= m.dist(&a, &b) + m.dist(&b, &c) + 1e-9);
+    }
+
+    #[test]
+    fn mindist_is_valid_lower_bound(
+        m in arb_metric(),
+        q in arb_sig(),
+        ts in prop::collection::vec(arb_items(), 1..12),
+    ) {
+        let sigs: Vec<Signature> =
+            ts.iter().map(|t| Signature::from_items(NBITS, t)).collect();
+        let mut entry = Signature::empty(NBITS);
+        for s in &sigs {
+            entry.or_assign(s);
+        }
+        let lb = m.mindist(&q, &entry);
+        for s in &sigs {
+            prop_assert!(
+                lb <= m.dist(&q, s) + 1e-9,
+                "{:?}: lb {} > dist {}", m.kind(), lb, m.dist(&q, s)
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_dim_mindist_valid(
+        kind in prop_oneof![
+            Just(MetricKind::Hamming),
+            Just(MetricKind::Jaccard),
+            Just(MetricKind::Dice),
+            Just(MetricKind::Overlap),
+        ],
+        q in arb_sig(),
+        seeds in prop::collection::vec(prop::collection::vec(0..NBITS, 8), 1..10),
+    ) {
+        // Build transactions with exactly 8 distinct items each.
+        let d = 8u32;
+        let sigs: Vec<Signature> = seeds
+            .iter()
+            .map(|s| {
+                let mut sig = Signature::from_items(NBITS, s);
+                let mut next = 0u32;
+                while sig.count() < d {
+                    sig.set(next);
+                    next += 1;
+                }
+                sig
+            })
+            .collect();
+        let m = Metric::with_fixed_dim(kind, d);
+        let mut entry = Signature::empty(NBITS);
+        for s in &sigs {
+            entry.or_assign(s);
+        }
+        let lb = m.mindist(&q, &entry);
+        for s in &sigs {
+            prop_assert!(
+                lb <= m.dist(&q, s) + 1e-9,
+                "{:?}/d={}: lb {} > dist {}", kind, d, lb, m.dist(&q, s)
+            );
+        }
+    }
+
+    #[test]
+    fn mindist_monotone_under_entry_growth(
+        m in arb_metric(), q in arb_sig(), a in arb_sig(), b in arb_sig()
+    ) {
+        // Growing an entry can only loosen (decrease) the bound.
+        let grown = a.or(&b);
+        prop_assert!(m.mindist(&q, &grown) <= m.mindist(&q, &a) + 1e-12);
+    }
+
+    #[test]
+    fn gray_key_total_order_consistent(a in arb_sig(), b in arb_sig()) {
+        // Keys are equal iff the signatures are equal (gray decode is a
+        // bijection on the full bitmap).
+        prop_assert_eq!(a.gray_key() == b.gray_key(), a == b);
+    }
+}

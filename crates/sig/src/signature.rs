@@ -1,0 +1,463 @@
+//! The [`Signature`] bitmap type and its bit-parallel set operations.
+
+use std::fmt;
+
+/// Number of bits per storage word.
+const WORD_BITS: usize = 64;
+
+/// A fixed-length bitmap over the item universe `{0, …, nbits-1}`.
+///
+/// Bit `i` set means "item `i` is present". Two signatures participating in
+/// a binary operation must have the same `nbits` (checked with
+/// `debug_assert!`; all callers inside this workspace index a single
+/// universe per tree).
+///
+/// ```
+/// use sg_sig::Signature;
+///
+/// let basket = Signature::from_items(1000, &[3, 17, 29]);
+/// let other = Signature::from_items(1000, &[17, 29, 404]);
+/// assert_eq!(basket.count(), 3);              // "area"
+/// assert_eq!(basket.and_count(&other), 2);    // |∩|
+/// assert_eq!(basket.hamming(&other), 2);      // |Δ|
+/// let group = basket.or(&other);              // a directory signature
+/// assert!(group.contains(&basket) && group.contains(&other));
+/// ```
+///
+/// The representation is a boxed slice of `u64` words, least-significant
+/// word first, with any unused high bits in the last word kept at zero (an
+/// invariant every constructor and mutator preserves — several operations
+/// such as [`Signature::count`] rely on it).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Signature {
+    words: Box<[u64]>,
+    nbits: u32,
+}
+
+impl Signature {
+    /// Creates an empty signature (all bits zero) over a universe of
+    /// `nbits` items.
+    pub fn empty(nbits: u32) -> Self {
+        let n_words = Self::words_for(nbits);
+        Signature {
+            words: vec![0u64; n_words].into_boxed_slice(),
+            nbits,
+        }
+    }
+
+    /// Creates a signature with the given items set.
+    ///
+    /// Duplicate items are allowed and set the bit once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any item id is `>= nbits`.
+    pub fn from_items(nbits: u32, items: &[u32]) -> Self {
+        let mut sig = Self::empty(nbits);
+        for &item in items {
+            sig.set(item);
+        }
+        sig
+    }
+
+    /// Creates a signature from an iterator of item ids.
+    pub fn from_iter(nbits: u32, items: impl IntoIterator<Item = u32>) -> Self {
+        let mut sig = Self::empty(nbits);
+        for item in items {
+            sig.set(item);
+        }
+        sig
+    }
+
+    /// Number of `u64` words needed for `nbits` bits.
+    #[inline]
+    pub fn words_for(nbits: u32) -> usize {
+        (nbits as usize).div_ceil(WORD_BITS)
+    }
+
+    /// The size of the item universe (the length of the bitmap in bits).
+    #[inline]
+    pub fn nbits(&self) -> u32 {
+        self.nbits
+    }
+
+    /// The backing words, least-significant first.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a signature from raw words. Unused high bits of the last
+    /// word are masked off to restore the invariant.
+    pub fn from_words(nbits: u32, words: Box<[u64]>) -> Self {
+        assert_eq!(words.len(), Self::words_for(nbits), "word count mismatch");
+        let mut sig = Signature { words, nbits };
+        sig.mask_tail();
+        sig
+    }
+
+    #[inline]
+    fn mask_tail(&mut self) {
+        let rem = (self.nbits as usize) % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Sets bit `item`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item >= nbits`.
+    #[inline]
+    pub fn set(&mut self, item: u32) {
+        assert!(item < self.nbits, "item {} out of universe {}", item, self.nbits);
+        self.words[item as usize / WORD_BITS] |= 1u64 << (item as usize % WORD_BITS);
+    }
+
+    /// Clears bit `item`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item >= nbits`.
+    #[inline]
+    pub fn clear(&mut self, item: u32) {
+        assert!(item < self.nbits, "item {} out of universe {}", item, self.nbits);
+        self.words[item as usize / WORD_BITS] &= !(1u64 << (item as usize % WORD_BITS));
+    }
+
+    /// Tests bit `item`. Items outside the universe are reported absent.
+    #[inline]
+    pub fn get(&self, item: u32) -> bool {
+        if item >= self.nbits {
+            return false;
+        }
+        self.words[item as usize / WORD_BITS] >> (item as usize % WORD_BITS) & 1 == 1
+    }
+
+    /// The *area* of the signature: the number of set bits.
+    ///
+    /// This is the quality measure the SG-tree minimises in its
+    /// choose-subtree and split heuristics (§3.1 of the paper).
+    #[inline]
+    pub fn count(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// `true` iff no bit is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Bitwise OR of `other` into `self` (set union).
+    #[inline]
+    pub fn or_assign(&mut self, other: &Signature) {
+        debug_assert_eq!(self.nbits, other.nbits);
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+    }
+
+    /// Returns the union `self ∪ other` as a new signature.
+    #[inline]
+    pub fn or(&self, other: &Signature) -> Signature {
+        let mut out = self.clone();
+        out.or_assign(other);
+        out
+    }
+
+    /// Bitwise AND of `other` into `self` (set intersection).
+    #[inline]
+    pub fn and_assign(&mut self, other: &Signature) {
+        debug_assert_eq!(self.nbits, other.nbits);
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= *b;
+        }
+    }
+
+    /// `|self ∩ other|` without allocating.
+    #[inline]
+    pub fn and_count(&self, other: &Signature) -> u32 {
+        debug_assert_eq!(self.nbits, other.nbits);
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & b).count_ones())
+            .sum()
+    }
+
+    /// `|self ∪ other|` without allocating.
+    #[inline]
+    pub fn union_count(&self, other: &Signature) -> u32 {
+        debug_assert_eq!(self.nbits, other.nbits);
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a | b).count_ones())
+            .sum()
+    }
+
+    /// `|self \ other|` (bits set in `self` but not in `other`) without
+    /// allocating. This is the relaxed Hamming lower bound the SG-tree uses
+    /// for directory entries: query items no transaction below the entry can
+    /// contain.
+    #[inline]
+    pub fn andnot_count(&self, other: &Signature) -> u32 {
+        debug_assert_eq!(self.nbits, other.nbits);
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & !b).count_ones())
+            .sum()
+    }
+
+    /// `true` iff `self ⊇ other` (every bit of `other` is set in `self`).
+    #[inline]
+    pub fn contains(&self, other: &Signature) -> bool {
+        debug_assert_eq!(self.nbits, other.nbits);
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| b & !a == 0)
+    }
+
+    /// The Hamming distance `|self Δ other|` (symmetric-difference size).
+    #[inline]
+    pub fn hamming(&self, other: &Signature) -> u32 {
+        debug_assert_eq!(self.nbits, other.nbits);
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// The area growth `|self ∪ other| − |self|` needed to make `self`
+    /// cover `other` — the SG-tree analogue of R-tree MBR enlargement.
+    #[inline]
+    pub fn enlargement(&self, other: &Signature) -> u32 {
+        self.union_count(other) - self.count()
+    }
+
+    /// Iterates over the set bit positions in ascending order.
+    pub fn ones(&self) -> SignatureOnes<'_> {
+        SignatureOnes {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects the set bit positions (item ids) into a vector.
+    pub fn items(&self) -> Vec<u32> {
+        self.ones().collect()
+    }
+
+    /// The full *gray-code key* of the signature, used as a bulk-loading
+    /// sort key (§6 of the paper suggests sorting transactions by gray code
+    /// in analogy to space-filling-curve R-tree bulk loading).
+    ///
+    /// Interprets the bitmap (item `nbits-1` most significant) as a
+    /// binary-reflected gray code and decodes it. The decoded words are
+    /// returned most-significant first, so comparing two keys
+    /// lexicographically orders signatures along the gray curve, on which
+    /// consecutive signatures differ in few items.
+    pub fn gray_key(&self) -> Vec<u64> {
+        // Decode a binary-reflected gray code: b[n-1] = g[n-1],
+        // b[i] = b[i+1] ^ g[i] — each decoded bit is the XOR of all
+        // equally-or-more-significant code bits.
+        let mut key = Vec::with_capacity(self.words.len());
+        let mut parity: u64 = 0; // carry of the prefix XOR from higher words
+        for &w in self.words.iter().rev() {
+            // Prefix-XOR within the word, propagating from the MSB down.
+            let mut b = w;
+            b ^= b >> 1;
+            b ^= b >> 2;
+            b ^= b >> 4;
+            b ^= b >> 8;
+            b ^= b >> 16;
+            b ^= b >> 32;
+            key.push(b ^ parity);
+            parity = if (w.count_ones() + (parity as u32 & 1)) % 2 == 1 {
+                u64::MAX
+            } else {
+                0
+            };
+        }
+        key
+    }
+
+    /// A 64-bit condensation of [`Signature::gray_key`]: the most
+    /// significant 64 meaningful bits of the decoded gray value. Cheap to
+    /// compare but coarser than the full key for universes much larger than
+    /// 64 items.
+    pub fn gray_rank(&self) -> u64 {
+        let key = self.gray_key();
+        let rem = (self.nbits as usize) % WORD_BITS;
+        if rem == 0 || key.len() == 1 {
+            key[0]
+        } else {
+            // Top word only holds `rem` meaningful low bits; splice in the
+            // high bits of the next word to fill 64.
+            (key[0] << (WORD_BITS - rem)) | (key[1] >> rem)
+        }
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signature({}b; {:?})", self.nbits, self.items())
+    }
+}
+
+/// Iterator over the set bit positions of a [`Signature`].
+pub struct SignatureOnes<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for SignatureOnes<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros();
+        self.current &= self.current - 1;
+        Some((self.word_idx * WORD_BITS) as u32 + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_bits() {
+        let s = Signature::empty(100);
+        assert_eq!(s.count(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.items(), Vec::<u32>::new());
+        assert_eq!(s.nbits(), 100);
+    }
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut s = Signature::empty(130);
+        for i in [0u32, 1, 63, 64, 65, 127, 128, 129] {
+            assert!(!s.get(i));
+            s.set(i);
+            assert!(s.get(i));
+        }
+        assert_eq!(s.count(), 8);
+        s.clear(64);
+        assert!(!s.get(64));
+        assert_eq!(s.count(), 7);
+    }
+
+    #[test]
+    fn get_out_of_universe_is_false() {
+        let s = Signature::from_items(10, &[3]);
+        assert!(!s.get(10));
+        assert!(!s.get(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn set_out_of_universe_panics() {
+        Signature::empty(10).set(10);
+    }
+
+    #[test]
+    fn from_items_dedups() {
+        let s = Signature::from_items(20, &[5, 5, 5, 7]);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.items(), vec![5, 7]);
+    }
+
+    #[test]
+    fn union_and_intersection_counts() {
+        let a = Signature::from_items(200, &[1, 2, 3, 100, 150]);
+        let b = Signature::from_items(200, &[2, 3, 4, 150, 199]);
+        assert_eq!(a.and_count(&b), 3);
+        assert_eq!(a.union_count(&b), 7);
+        assert_eq!(a.andnot_count(&b), 2);
+        assert_eq!(b.andnot_count(&a), 2);
+        assert_eq!(a.hamming(&b), 4);
+        let u = a.or(&b);
+        assert_eq!(u.count(), 7);
+        assert!(u.contains(&a));
+        assert!(u.contains(&b));
+    }
+
+    #[test]
+    fn containment() {
+        let big = Signature::from_items(64, &[1, 2, 3, 4]);
+        let small = Signature::from_items(64, &[2, 4]);
+        assert!(big.contains(&small));
+        assert!(!small.contains(&big));
+        assert!(big.contains(&big));
+        assert!(big.contains(&Signature::empty(64)));
+    }
+
+    #[test]
+    fn enlargement_matches_definition() {
+        let a = Signature::from_items(64, &[0, 1, 2]);
+        let b = Signature::from_items(64, &[2, 3, 4, 5]);
+        assert_eq!(a.enlargement(&b), 3);
+        assert_eq!(b.enlargement(&a), 2);
+        assert_eq!(a.enlargement(&a), 0);
+    }
+
+    #[test]
+    fn ones_iterator_ascending_across_words() {
+        let items = vec![0u32, 63, 64, 100, 191];
+        let s = Signature::from_items(192, &items);
+        assert_eq!(s.items(), items);
+    }
+
+    #[test]
+    fn hamming_is_metric_like() {
+        let a = Signature::from_items(64, &[1, 2]);
+        let b = Signature::from_items(64, &[2, 3]);
+        let c = Signature::from_items(64, &[3, 4]);
+        assert_eq!(a.hamming(&a), 0);
+        assert_eq!(a.hamming(&b), b.hamming(&a));
+        assert!(a.hamming(&c) <= a.hamming(&b) + b.hamming(&c));
+    }
+
+    #[test]
+    fn from_words_masks_tail() {
+        let words = vec![u64::MAX].into_boxed_slice();
+        let s = Signature::from_words(10, words);
+        assert_eq!(s.count(), 10);
+        assert_eq!(s.items(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gray_rank_orders_neighbors_close() {
+        // Signatures differing in one low bit should have nearby ranks;
+        // signatures differing in a high bit should be far apart.
+        let base = Signature::from_items(128, &[100, 50, 3]);
+        let near = Signature::from_items(128, &[100, 50, 4]);
+        let far = Signature::from_items(128, &[10, 50, 3]);
+        let d_near = base.gray_rank().abs_diff(near.gray_rank());
+        let d_far = base.gray_rank().abs_diff(far.gray_rank());
+        assert!(d_near < d_far, "near={} far={}", d_near, d_far);
+    }
+
+    #[test]
+    fn gray_rank_zero_for_empty() {
+        assert_eq!(Signature::empty(256).gray_rank(), 0);
+    }
+}

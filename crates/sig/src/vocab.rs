@@ -1,0 +1,227 @@
+//! Mapping between application item labels and the dense ids a signature
+//! universe requires.
+//!
+//! Signatures index a fixed universe `{0, …, N-1}`. Real data — SKUs,
+//! categorical `(attribute, value)` pairs, gene names — needs a stable
+//! label → id assignment first. [`Vocabulary`] provides that mapping with
+//! interning semantics plus signature construction helpers, so library
+//! users never hand-manage ids:
+//!
+//! ```
+//! use sg_sig::Vocabulary;
+//!
+//! let mut vocab = Vocabulary::with_capacity_hint(64);
+//! let sig = vocab.signature_of(["bread", "milk", "butter"]);
+//! assert_eq!(sig.count(), 3);
+//! assert_eq!(vocab.id("milk"), Some(1));
+//! assert_eq!(vocab.label(1), Some("milk"));
+//! // Interning is stable: repeated labels reuse their id.
+//! let again = vocab.signature_of(["milk"]);
+//! assert!(sig.contains(&again));
+//! ```
+//!
+//! The vocabulary's *capacity* is the signature length, fixed up front
+//! (growing it would invalidate existing signatures); interning past the
+//! capacity returns an error rather than silently corrupting the universe.
+
+use crate::Signature;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error returned when interning would exceed the fixed universe size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VocabularyFull {
+    /// The configured universe size.
+    pub capacity: u32,
+    /// The label that did not fit.
+    pub label: String,
+}
+
+impl fmt::Display for VocabularyFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "vocabulary full: cannot intern {:?} into a {}-item universe",
+            self.label, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for VocabularyFull {}
+
+/// An interning label ↔ dense-id map over a fixed-size item universe.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    capacity: u32,
+    by_label: HashMap<String, u32>,
+    by_id: Vec<String>,
+}
+
+impl Vocabulary {
+    /// A vocabulary whose universe holds exactly `capacity` items.
+    pub fn new(capacity: u32) -> Self {
+        Vocabulary {
+            capacity,
+            by_label: HashMap::new(),
+            by_id: Vec::new(),
+        }
+    }
+
+    /// Convenience alias for [`Vocabulary::new`] that reads as a sizing
+    /// hint at call sites.
+    pub fn with_capacity_hint(capacity: u32) -> Self {
+        Self::new(capacity)
+    }
+
+    /// The universe size — the `nbits` of every signature this vocabulary
+    /// produces.
+    pub fn nbits(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Number of labels interned so far.
+    pub fn len(&self) -> u32 {
+        self.by_id.len() as u32
+    }
+
+    /// `true` when no label has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Returns the id of `label`, interning it if new.
+    pub fn intern(&mut self, label: &str) -> Result<u32, VocabularyFull> {
+        if let Some(&id) = self.by_label.get(label) {
+            return Ok(id);
+        }
+        let id = self.by_id.len() as u32;
+        if id >= self.capacity {
+            return Err(VocabularyFull {
+                capacity: self.capacity,
+                label: label.to_string(),
+            });
+        }
+        self.by_label.insert(label.to_string(), id);
+        self.by_id.push(label.to_string());
+        Ok(id)
+    }
+
+    /// Looks up a label's id without interning.
+    pub fn id(&self, label: &str) -> Option<u32> {
+        self.by_label.get(label).copied()
+    }
+
+    /// Looks up the label of an id.
+    pub fn label(&self, id: u32) -> Option<&str> {
+        self.by_id.get(id as usize).map(|s| s.as_str())
+    }
+
+    /// Builds a signature from labels, interning new ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if interning overflows the universe; use
+    /// [`Vocabulary::try_signature_of`] to handle that case.
+    pub fn signature_of<I, S>(&mut self, labels: I) -> Signature
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        self.try_signature_of(labels).expect("vocabulary overflow")
+    }
+
+    /// Builds a signature from labels, interning new ones; errors when the
+    /// universe is full.
+    pub fn try_signature_of<I, S>(&mut self, labels: I) -> Result<Signature, VocabularyFull>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut sig = Signature::empty(self.capacity);
+        for label in labels {
+            sig.set(self.intern(label.as_ref())?);
+        }
+        Ok(sig)
+    }
+
+    /// Builds a signature from labels *without* interning: unknown labels
+    /// are skipped (useful for queries against a frozen vocabulary, where
+    /// an unseen item cannot match anything anyway).
+    pub fn signature_of_known<I, S>(&self, labels: I) -> Signature
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut sig = Signature::empty(self.capacity);
+        for label in labels {
+            if let Some(id) = self.id(label.as_ref()) {
+                sig.set(id);
+            }
+        }
+        sig
+    }
+
+    /// Decodes a signature back into its labels (ascending id order).
+    /// Ids never interned decode as `None` and are skipped.
+    pub fn labels_of(&self, sig: &Signature) -> Vec<&str> {
+        sig.ones().filter_map(|id| self.label(id)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_stable() {
+        let mut v = Vocabulary::new(10);
+        let a = v.intern("alpha").unwrap();
+        let b = v.intern("beta").unwrap();
+        assert_eq!(v.intern("alpha").unwrap(), a);
+        assert_ne!(a, b);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.label(a), Some("alpha"));
+        assert_eq!(v.id("beta"), Some(b));
+        assert_eq!(v.id("gamma"), None);
+    }
+
+    #[test]
+    fn signature_roundtrip_through_labels() {
+        let mut v = Vocabulary::new(16);
+        let sig = v.signature_of(["c", "a", "b", "a"]);
+        assert_eq!(sig.count(), 3);
+        assert_eq!(v.labels_of(&sig), vec!["c", "a", "b"]);
+        assert_eq!(sig.nbits(), 16);
+    }
+
+    #[test]
+    fn overflow_is_an_error_not_corruption() {
+        let mut v = Vocabulary::new(2);
+        v.intern("x").unwrap();
+        v.intern("y").unwrap();
+        let err = v.intern("z").unwrap_err();
+        assert_eq!(err.capacity, 2);
+        assert_eq!(err.label, "z");
+        assert_eq!(v.len(), 2);
+        assert!(v.try_signature_of(["x", "z"]).is_err());
+        // Re-interning existing labels still works at capacity.
+        assert_eq!(v.intern("x").unwrap(), 0);
+    }
+
+    #[test]
+    fn known_only_signatures_skip_unseen() {
+        let mut v = Vocabulary::new(8);
+        v.signature_of(["p", "q"]);
+        let q = v.signature_of_known(["p", "unseen", "q"]);
+        assert_eq!(q.count(), 2);
+        assert_eq!(v.len(), 2, "no interning happened");
+    }
+
+    #[test]
+    fn empty_vocabulary() {
+        let v = Vocabulary::new(4);
+        assert!(v.is_empty());
+        assert_eq!(v.signature_of_known(["a"]).count(), 0);
+        assert!(v.labels_of(&Signature::from_items(4, &[3])).is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Dynamic maintenance — the §5.5 story in miniature: the SG-tree adapts
+//! to distribution drift through its insertion heuristics while the
+//! SG-table stays hashed by the stale vertical signatures it derived from
+//! the first batch.
+//!
+//! Inserts three batches of transactions drawn from *different* pattern
+//! pools, measures NN pruning on both structures after each batch, and
+//! then demonstrates deletions (the tree rebalances via reinsertion; the
+//! paper's table has no delete path at all, so it sits this part out).
+//!
+//! ```sh
+//! cargo run --release -p sg-bench --example dynamic_updates
+//! ```
+
+use sg_pager::MemStore;
+use sg_quest::basket::{BasketParams, PatternPool};
+use sg_sig::{Metric, Signature};
+use sg_table::{SgTable, TableParams};
+use sg_tree::{SgTree, TreeConfig};
+use std::sync::Arc;
+
+const BATCH: usize = 20_000;
+const NBITS: u32 = 1000;
+
+fn main() {
+    let metric = Metric::hamming();
+    let pools: Vec<PatternPool> = (0..3)
+        .map(|b| PatternPool::new(BasketParams::standard(10, 6), 1000 + b))
+        .collect();
+
+    // Build both structures from batch 0.
+    let ds0 = pools[0].dataset(BATCH, 1);
+    let data0: Vec<(u64, Signature)> = ds0
+        .signatures()
+        .into_iter()
+        .enumerate()
+        .map(|(tid, s)| (tid as u64, s))
+        .collect();
+    let mut tree = SgTree::create(
+        Arc::new(MemStore::new(4096)),
+        TreeConfig::new(NBITS).pool_frames(1024),
+    )
+    .expect("valid config");
+    for (tid, sig) in &data0 {
+        tree.insert(*tid, sig);
+    }
+    let mut table = SgTable::build(
+        Arc::new(MemStore::new(4096)),
+        NBITS,
+        &TableParams::default(),
+        &data0,
+    );
+
+    let mut total = BATCH;
+    let mut kept: Vec<(u64, Signature)> = data0;
+    #[allow(clippy::needless_range_loop)] // phase both indexes pools and labels output
+    for phase in 0..3usize {
+        if phase > 0 {
+            let ds = pools[phase].dataset(BATCH, 1 + phase as u64);
+            for (off, sig) in ds.signatures().into_iter().enumerate() {
+                let tid = (total + off) as u64;
+                tree.insert(tid, &sig);
+                table.insert(tid, &sig);
+                kept.push((tid, sig));
+            }
+            total += BATCH;
+        }
+        // Query with transactions from the newest batch: the drifted data.
+        let queries: Vec<Signature> = pools[phase]
+            .queries(40, 9)
+            .iter()
+            .map(|q| Signature::from_items(NBITS, q))
+            .collect();
+        let mut tree_cmp = 0u64;
+        let mut table_cmp = 0u64;
+        for q in &queries {
+            let (a, s1) = tree.nn(q, &metric);
+            let (b, s2) = table.nn(q, &metric);
+            assert_eq!(a[0].dist, b[0].dist, "both exact");
+            tree_cmp += s1.data_compared;
+            table_cmp += s2.data_compared;
+        }
+        let denom = (total * queries.len()) as f64;
+        println!(
+            "after batch {}: {total} transactions | %data compared on \
+             batch-{phase} queries: SG-tree {:5.2}%  SG-table {:5.2}%",
+            phase,
+            100.0 * tree_cmp as f64 / denom,
+            100.0 * table_cmp as f64 / denom,
+        );
+    }
+
+    // Deletions: retire the oldest half of batch 0.
+    let to_delete: Vec<(u64, Signature)> = kept[..BATCH / 2].to_vec();
+    for (tid, sig) in &to_delete {
+        assert!(tree.delete(*tid, sig));
+    }
+    tree.validate();
+    println!(
+        "\ndeleted {} old transactions; tree still valid with {} entries \
+         (height {})",
+        to_delete.len(),
+        tree.len(),
+        tree.height()
+    );
+    let q = Signature::from_items(NBITS, &pools[0].queries(1, 33)[0]);
+    let (nn, _) = tree.nn(&q, &metric);
+    println!("post-delete NN query still answers: tid {} at distance {}", nn[0].tid, nn[0].dist);
+}

@@ -1,0 +1,170 @@
+//! Cross-index integration: the SG-tree, inverted lists, and MinHash-LSH
+//! over the same generated workloads — exactness where promised, recall
+//! where approximate, and the Figure-12-style perturbed workload with
+//! known distance structure.
+
+use sg_bench::workloads::{build_tree, pairs_of, PAGE_SIZE, POOL_FRAMES};
+use sg_inverted::InvertedIndex;
+use sg_minhash::{LshParams, MinHashLsh};
+use sg_pager::MemStore;
+use sg_quest::basket::{BasketParams, PatternPool};
+use sg_quest::{perturb, perturbed_queries};
+use sg_sig::{Metric, Signature};
+use std::sync::Arc;
+
+fn workload(n: usize) -> (Vec<(u64, Signature)>, Vec<Signature>, u32) {
+    let pool = PatternPool::new(BasketParams::standard(10, 6), 404);
+    let ds = pool.dataset(n, 404);
+    let queries = pool
+        .queries(20, 404)
+        .iter()
+        .map(|q| Signature::from_items(ds.n_items, q))
+        .collect();
+    (pairs_of(&ds), queries, ds.n_items)
+}
+
+#[test]
+fn inverted_and_tree_agree_on_every_exact_query() {
+    let (data, queries, nbits) = workload(4_000);
+    let (tree, _) = build_tree(nbits, &data, None);
+    let inv = InvertedIndex::build(Arc::new(MemStore::new(PAGE_SIZE)), nbits, POOL_FRAMES, &data);
+    let m = Metric::hamming();
+    for q in &queries {
+        let (a, _) = tree.knn(q, 8, &m);
+        let (b, _) = inv.knn(q, 8, &m);
+        let ad: Vec<f64> = a.iter().map(|n| n.dist).collect();
+        let bd: Vec<f64> = b.iter().map(|n| n.dist).collect();
+        assert_eq!(ad, bd);
+        let (a, _) = tree.range(q, 5.0, &m);
+        let (b, _) = inv.range(q, 5.0, &m);
+        assert_eq!(a.len(), b.len());
+        let short = Signature::from_iter(nbits, q.ones().take(2));
+        let (a, _) = tree.containing(&short);
+        let (b, _) = inv.containing(&short);
+        assert_eq!(a, b);
+        let (a, _) = tree.contained_in(q);
+        let (b, _) = inv.contained_in(q);
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn inverted_dominates_containment_tree_dominates_nn() {
+    // T20.I12: the clustered mid-size regime where each structure's home
+    // turf shows (at tiny T the posting lists are so short that
+    // term-at-a-time NN is competitive).
+    let pool = PatternPool::new(BasketParams::standard(20, 12), 404);
+    let ds = pool.dataset(10_000, 404);
+    let data = pairs_of(&ds);
+    let queries: Vec<Signature> = pool
+        .queries(20, 404)
+        .iter()
+        .map(|q| Signature::from_items(ds.n_items, q))
+        .collect();
+    let nbits = ds.n_items;
+    let (tree, _) = build_tree(nbits, &data, None);
+    let inv = InvertedIndex::build(Arc::new(MemStore::new(PAGE_SIZE)), nbits, POOL_FRAMES, &data);
+    let m = Metric::hamming();
+    let mut tree_contain_pages = 0u64;
+    let mut inv_contain_pages = 0u64;
+    let mut tree_nn_cmp = 0u64;
+    let mut inv_nn_cmp = 0u64;
+    for q in &queries {
+        let probe = Signature::from_iter(nbits, q.ones().take(3));
+        tree_contain_pages += tree.containing(&probe).1.nodes_accessed;
+        inv_contain_pages += inv.containing(&probe).1.nodes_accessed;
+        tree_nn_cmp += tree.nn(q, &m).1.data_compared;
+        inv_nn_cmp += inv.nn(q, &m).1.data_compared;
+    }
+    assert!(
+        inv_contain_pages < tree_contain_pages,
+        "inverted should win containment: {inv_contain_pages} vs {tree_contain_pages}"
+    );
+    assert!(
+        tree_nn_cmp < inv_nn_cmp,
+        "tree should win NN: {tree_nn_cmp} vs {inv_nn_cmp}"
+    );
+}
+
+#[test]
+fn lsh_results_are_sound_and_recall_reasonable() {
+    let (data, _, nbits) = workload(5_000);
+    let (tree, _) = build_tree(nbits, &data, None);
+    let lsh = MinHashLsh::build(nbits, LshParams::default(), &data);
+    let mj = Metric::jaccard();
+    // Self-queries: the identical record must always be found (Jaccard 1
+    // collides in every band).
+    let mut hits = 0usize;
+    for (tid, sig) in data.iter().step_by(500) {
+        let (res, _) = lsh.knn(sig, 1, &mj);
+        if res.first().map(|n| n.tid) == Some(*tid) || res.first().map(|n| n.dist) == Some(0.0) {
+            hits += 1;
+        }
+    }
+    assert_eq!(hits, 10, "self-queries must always hit");
+    // Every approximate answer is a true record at its true distance.
+    let q = &data[7].1;
+    let (approx, _) = lsh.knn(q, 10, &mj);
+    let (exact, _) = tree.knn(q, 10, &mj);
+    for a in &approx {
+        assert!(a.dist >= exact[0].dist - 1e-12, "cannot beat the exact NN");
+    }
+}
+
+#[test]
+fn perturbed_workload_has_promised_nn_distances() {
+    // The Figure-12 mechanism, driven deterministically: a query perturbed
+    // by r edits from an indexed transaction has NN distance ≤ r on the
+    // tree, the table, and the inverted index alike.
+    let (data, _, nbits) = workload(3_000);
+    let (tree, _) = build_tree(nbits, &data, None);
+    let inv = InvertedIndex::build(Arc::new(MemStore::new(PAGE_SIZE)), nbits, POOL_FRAMES, &data);
+    let sigs: Vec<Signature> = data.iter().map(|(_, s)| s.clone()).collect();
+    let m = Metric::hamming();
+    for (r, q) in perturbed_queries(&sigs, &[0, 1, 3, 8], 10, 5) {
+        let (nn_tree, _) = tree.nn(&q, &m);
+        assert!(nn_tree[0].dist <= r as f64, "tree NN {} > r {r}", nn_tree[0].dist);
+        let (nn_inv, _) = inv.nn(&q, &m);
+        assert_eq!(nn_tree[0].dist, nn_inv[0].dist);
+    }
+}
+
+#[test]
+fn perturb_controls_cost_monotonically() {
+    // Harder (more distant) queries cost the tree more — the Figure 12
+    // shape, asserted directly thanks to the controlled workload.
+    let (data, _, nbits) = workload(8_000);
+    let (tree, _) = build_tree(nbits, &data, None);
+    let sigs: Vec<Signature> = data.iter().map(|(_, s)| s.clone()).collect();
+    let m = Metric::hamming();
+    let mut costs = Vec::new();
+    for r in [0u32, 10, 25] {
+        let qs = perturbed_queries(&sigs, &[r], 25, 11);
+        let total: u64 = qs.iter().map(|(_, q)| tree.nn(q, &m).1.data_compared).sum();
+        costs.push(total as f64 / qs.len() as f64);
+    }
+    assert!(
+        costs[0] < costs[2],
+        "distance-0 queries should be far cheaper than distance-25: {costs:?}"
+    );
+}
+
+#[test]
+fn single_edit_perturbation_found_by_all_indexes() {
+    let (data, _, nbits) = workload(2_000);
+    let (tree, _) = build_tree(nbits, &data, None);
+    let inv = InvertedIndex::build(Arc::new(MemStore::new(PAGE_SIZE)), nbits, POOL_FRAMES, &data);
+    let m = Metric::hamming();
+    let mut x = 99u64;
+    let mut rng = move || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+        x
+    };
+    for (tid, sig) in data.iter().step_by(400) {
+        let q = perturb(sig, 1, &mut rng);
+        let (hits, _) = tree.range(&q, 1.0, &m);
+        assert!(hits.iter().any(|n| n.tid == *tid), "tree missed tid {tid}");
+        let (hits, _) = inv.range(&q, 1.0, &m);
+        assert!(hits.iter().any(|n| n.tid == *tid), "inverted missed tid {tid}");
+    }
+}

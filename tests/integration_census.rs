@@ -1,0 +1,84 @@
+//! Categorical-data integration: the CENSUS-shaped generator feeding the
+//! SG-tree, with the fixed-dimensionality bound and non-Hamming metrics.
+
+use sg_bench::workloads::census_instance;
+use sg_sig::{Metric, MetricKind, Signature};
+use sg_tree::SplitPolicy;
+
+#[test]
+fn census_tree_is_exact_under_fixed_dim_bound() {
+    let (inst, queries) = census_instance(5_000, 15, SplitPolicy::AvLink);
+    let relaxed = Metric::hamming();
+    let strict = Metric::with_fixed_dim(MetricKind::Hamming, 36);
+    for q in &queries {
+        let (want, _) = inst.scan.knn(q, 10, &relaxed);
+        for m in [&relaxed, &strict] {
+            let (got, _) = inst.tree.knn(q, 10, m);
+            let gd: Vec<f64> = got.iter().map(|n| n.dist).collect();
+            let wd: Vec<f64> = want.iter().map(|n| n.dist).collect();
+            assert_eq!(gd, wd);
+        }
+    }
+}
+
+#[test]
+fn fixed_dim_bound_never_compares_more() {
+    let (inst, queries) = census_instance(8_000, 20, SplitPolicy::AvLink);
+    let relaxed = Metric::hamming();
+    let strict = Metric::with_fixed_dim(MetricKind::Hamming, 36);
+    let mut r = 0u64;
+    let mut s = 0u64;
+    for q in &queries {
+        r += inst.tree.knn(q, 1, &relaxed).1.data_compared;
+        s += inst.tree.knn(q, 1, &strict).1.data_compared;
+    }
+    assert!(s <= r, "strict bound compared {s} vs relaxed {r}");
+    // And on this fixed-size data it should be a real improvement, not a
+    // wash: every relaxed bound is 0 whenever the entry covers the query.
+    assert!(s < r, "strict bound should strictly help on categorical data");
+}
+
+#[test]
+fn jaccard_knn_on_census_matches_scan() {
+    let (inst, queries) = census_instance(4_000, 10, SplitPolicy::AvLink);
+    let m = Metric::jaccard();
+    for q in &queries {
+        let (got, _) = inst.tree.knn(q, 5, &m);
+        let (want, _) = inst.scan.knn(q, 5, &m);
+        let gd: Vec<f64> = got.iter().map(|n| n.dist).collect();
+        let wd: Vec<f64> = want.iter().map(|n| n.dist).collect();
+        assert_eq!(gd, wd);
+    }
+}
+
+#[test]
+fn dice_range_on_census_matches_scan() {
+    let (inst, queries) = census_instance(3_000, 8, SplitPolicy::AvLink);
+    let m = Metric::new(MetricKind::Dice);
+    for q in &queries {
+        let (got, _) = inst.tree.range(q, 0.4, &m);
+        let (want, _) = inst.scan.range(q, 0.4, &m);
+        assert_eq!(got.len(), want.len());
+    }
+}
+
+#[test]
+fn categorical_point_queries_via_containment() {
+    let (inst, _) = census_instance(3_000, 1, SplitPolicy::AvLink);
+    // Pick an indexed tuple; all tuples sharing its first 5 attribute
+    // values must be found by a containment query on the partial tuple.
+    let (tid, full) = &inst.data[42];
+    let partial = Signature::from_iter(inst.nbits, full.ones().take(5));
+    let (hits, _) = inst.tree.containing(&partial);
+    assert!(hits.contains(tid));
+    let (want, _) = inst.scan.containing(&partial);
+    assert_eq!(hits, want);
+}
+
+#[test]
+fn exact_tuple_lookup() {
+    let (inst, _) = census_instance(3_000, 1, SplitPolicy::AvLink);
+    let (tid, sig) = &inst.data[7];
+    let (hits, _) = inst.tree.exact(sig);
+    assert!(hits.contains(tid));
+}

@@ -1,0 +1,149 @@
+//! Dynamic-maintenance integration: batch inserts with drifting
+//! distributions (the Figure 17 setting), deletions, and bulk loading.
+
+use sg_bench::workloads::{build_table, build_tree, pairs_of, PAGE_SIZE};
+use sg_pager::MemStore;
+use sg_quest::basket::{BasketParams, PatternPool};
+use sg_sig::{Metric, Signature};
+use sg_tree::{bulkload, Tid, TreeConfig};
+use std::sync::Arc;
+
+const NBITS: u32 = 1000;
+
+fn drifting_batches(n_batches: usize, batch: usize) -> Vec<Vec<(Tid, Signature)>> {
+    (0..n_batches)
+        .map(|b| {
+            let pool = PatternPool::new(BasketParams::standard(10, 6), 500 + b as u64);
+            let ds = pool.dataset(batch, b as u64);
+            pairs_of(&ds)
+                .into_iter()
+                .map(|(tid, s)| (tid + (b * batch) as u64, s))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn tree_stays_exact_across_drifting_batches() {
+    let batches = drifting_batches(4, 1500);
+    let mut all: Vec<(Tid, Signature)> = Vec::new();
+    let (mut tree, _) = build_tree(NBITS, &batches[0], None);
+    all.extend(batches[0].iter().cloned());
+    let m = Metric::hamming();
+    for b in &batches[1..] {
+        for (tid, sig) in b {
+            tree.insert(*tid, sig);
+        }
+        all.extend(b.iter().cloned());
+        tree.validate();
+        // Exactness after each phase.
+        for (qi, (_, q)) in all.iter().enumerate().step_by(all.len() / 5) {
+            let (got, _) = tree.nn(q, &m);
+            assert_eq!(got[0].dist, 0.0, "query {qi} is indexed, NN dist must be 0");
+        }
+    }
+    assert_eq!(tree.len() as usize, all.len());
+}
+
+#[test]
+fn table_stays_exact_but_prunes_worse_after_drift() {
+    // The SG-table remains correct under drift (its bounds hold for any
+    // data) — it just prunes less because the stale vertical signatures
+    // stop matching the data. Correctness here; pruning shape in `repro
+    // fig17`.
+    let batches = drifting_batches(3, 1500);
+    let (mut table, _) = build_table(NBITS, &batches[0]);
+    let mut all: Vec<(Tid, Signature)> = batches[0].clone();
+    for b in &batches[1..] {
+        for (tid, sig) in b {
+            table.insert(*tid, sig);
+        }
+        all.extend(b.iter().cloned());
+    }
+    let m = Metric::hamming();
+    for (_, q) in all.iter().step_by(all.len() / 10) {
+        let (got, _) = table.knn(q, 3, &m);
+        assert_eq!(got[0].dist, 0.0);
+        // Verify against brute force.
+        let mut want: Vec<f64> = all.iter().map(|(_, s)| m.dist(q, s)).collect();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let gd: Vec<f64> = got.iter().map(|n| n.dist).collect();
+        assert_eq!(gd, want[..3].to_vec());
+    }
+}
+
+#[test]
+fn mass_deletion_then_requery() {
+    let batches = drifting_batches(2, 2000);
+    let (mut tree, _) = build_tree(NBITS, &batches[0], None);
+    for (tid, sig) in &batches[1] {
+        tree.insert(*tid, sig);
+    }
+    // Delete the entire first batch.
+    for (tid, sig) in &batches[0] {
+        assert!(tree.delete(*tid, sig));
+    }
+    tree.validate();
+    assert_eq!(tree.len(), 2000);
+    let m = Metric::hamming();
+    for (_, q) in batches[1].iter().step_by(400) {
+        let (got, _) = tree.nn(q, &m);
+        assert_eq!(got[0].dist, 0.0);
+    }
+    // Deleted data is gone.
+    let (_, gone_sig) = &batches[0][0];
+    let (hits, _) = tree.exact(gone_sig);
+    for h in hits {
+        assert!(h >= 2000, "tid {h} from batch 0 should be deleted");
+    }
+}
+
+#[test]
+fn bulk_load_equals_incremental_results() {
+    let data = drifting_batches(1, 3000).pop().unwrap();
+    let (incr, _) = build_tree(NBITS, &data, None);
+    let bulk = bulkload::bulk_load(
+        Arc::new(MemStore::new(PAGE_SIZE)),
+        TreeConfig::new(NBITS),
+        data.iter().cloned(),
+        1.0,
+    )
+    .unwrap();
+    bulk.validate();
+    assert_eq!(incr.len(), bulk.len());
+    let m = Metric::hamming();
+    let pool = PatternPool::new(BasketParams::standard(10, 6), 500);
+    for q in pool.queries(10, 3) {
+        let q = Signature::from_items(NBITS, &q);
+        let (a, _) = incr.knn(&q, 5, &m);
+        let (b, _) = bulk.knn(&q, 5, &m);
+        let ad: Vec<f64> = a.iter().map(|n| n.dist).collect();
+        let bd: Vec<f64> = b.iter().map(|n| n.dist).collect();
+        assert_eq!(ad, bd);
+    }
+    // Bulk loading at full fill should use no more pages than incremental
+    // construction.
+    assert!(bulk.node_count() <= incr.node_count());
+}
+
+#[test]
+fn reinsert_after_delete_keeps_quality() {
+    // Churn: repeatedly delete and reinsert a window; invariants must hold
+    // and the tree must stay exact.
+    let data = drifting_batches(1, 2500).pop().unwrap();
+    let (mut tree, _) = build_tree(NBITS, &data, None);
+    let m = Metric::hamming();
+    for round in 0..5 {
+        let lo = round * 300;
+        for (tid, sig) in &data[lo..lo + 300] {
+            assert!(tree.delete(*tid, sig));
+        }
+        for (tid, sig) in &data[lo..lo + 300] {
+            tree.insert(*tid, sig);
+        }
+    }
+    tree.validate();
+    assert_eq!(tree.len() as usize, data.len());
+    let (got, _) = tree.nn(&data[100].1, &m);
+    assert_eq!(got[0].dist, 0.0);
+}

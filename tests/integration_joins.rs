@@ -1,0 +1,144 @@
+//! Integration tests for the §4.2 query types (similarity join, closest
+//! pair), incremental distance browsing, and concurrent read access.
+
+use sg_bench::workloads::{basket_instance, build_tree, pairs_of};
+use sg_quest::basket::{BasketParams, PatternPool};
+use sg_sig::{Metric, Signature};
+use sg_tree::{SgTree, SplitPolicy};
+
+type TreeAndData = (SgTree, Vec<(u64, Signature)>);
+
+fn two_trees(n: usize) -> (TreeAndData, TreeAndData) {
+    let pool_a = PatternPool::new(BasketParams::standard(8, 4), 21);
+    let pool_b = PatternPool::new(BasketParams::standard(8, 4), 22);
+    let ds_a = pool_a.dataset(n, 21);
+    let ds_b = pool_b.dataset(n, 22);
+    let data_a = pairs_of(&ds_a);
+    let data_b: Vec<(u64, Signature)> = pairs_of(&ds_b)
+        .into_iter()
+        .map(|(tid, s)| (tid + 1_000_000, s))
+        .collect();
+    let (ta, _) = build_tree(1000, &data_a, None);
+    let (tb, _) = build_tree(1000, &data_b, None);
+    ((ta, data_a), (tb, data_b))
+}
+
+#[test]
+fn similarity_join_matches_nested_loop_on_generator_data() {
+    let ((ta, da), (tb, db)) = two_trees(400);
+    let m = Metric::hamming();
+    for eps in [1.0, 4.0] {
+        let (got, stats) = ta.similarity_join(&tb, eps, &m);
+        let mut want = 0usize;
+        for (_, sa) in &da {
+            for (_, sb) in &db {
+                if m.dist(sa, sb) <= eps {
+                    want += 1;
+                }
+            }
+        }
+        assert_eq!(got.len(), want, "eps={eps}");
+        assert!(got.iter().all(|p| p.dist <= eps));
+        assert!(got.iter().all(|p| p.left < 1_000_000 && p.right >= 1_000_000));
+        assert!(stats.nodes_accessed > 0);
+    }
+}
+
+#[test]
+fn join_prunes_against_scan_product() {
+    let ((ta, da), (tb, db)) = two_trees(600);
+    let m = Metric::hamming();
+    let (_, stats) = ta.similarity_join(&tb, 2.0, &m);
+    // An unindexed nested loop compares |A|·|B| pairs; the join must do
+    // far fewer distance computations at a tight epsilon.
+    let full = (da.len() * db.len()) as u64;
+    assert!(
+        stats.dist_computations < full / 2,
+        "join compared {} of {} pairs",
+        stats.dist_computations,
+        full
+    );
+}
+
+#[test]
+fn closest_pair_agrees_with_join_at_its_distance() {
+    let ((ta, _), (tb, _)) = two_trees(300);
+    let m = Metric::hamming();
+    let (best, _) = ta.closest_pair(&tb, &m);
+    let best = best.expect("nonempty");
+    // A join at exactly the closest distance must contain the pair and
+    // nothing closer.
+    let (pairs, _) = ta.similarity_join(&tb, best.dist, &m);
+    assert!(pairs.iter().any(|p| p.dist == best.dist));
+    assert!(pairs.iter().all(|p| p.dist >= best.dist));
+}
+
+#[test]
+fn self_closest_pair_is_zero_for_duplicated_data() {
+    let pool = PatternPool::new(BasketParams::standard(8, 4), 31);
+    let ds = pool.dataset(500, 31);
+    let data = pairs_of(&ds);
+    let shifted: Vec<(u64, Signature)> = data
+        .iter()
+        .map(|(tid, s)| (tid + 5_000, s.clone()))
+        .collect();
+    let (ta, _) = build_tree(1000, &data, None);
+    let (tb, _) = build_tree(1000, &shifted, None);
+    let (best, _) = ta.closest_pair(&tb, &Metric::hamming());
+    assert_eq!(best.expect("nonempty").dist, 0.0);
+}
+
+#[test]
+fn incremental_browsing_agrees_with_knn_across_crates() {
+    let (inst, queries) = basket_instance(10, 6, 3_000, 10, SplitPolicy::AvLink);
+    let m = Metric::hamming();
+    for q in &queries {
+        let stream: Vec<f64> = inst.tree.nn_iter(q, &m).take(25).map(|n| n.dist).collect();
+        let (want, _) = inst.scan.knn(q, 25, &m);
+        let wd: Vec<f64> = want.iter().map(|n| n.dist).collect();
+        assert_eq!(stream, wd);
+    }
+}
+
+#[test]
+fn concurrent_queries_are_consistent() {
+    let (inst, queries) = basket_instance(10, 6, 5_000, 16, SplitPolicy::AvLink);
+    let m = Metric::hamming();
+    // Sequential ground truth.
+    let expected: Vec<Vec<f64>> = queries
+        .iter()
+        .map(|q| inst.tree.knn(q, 5, &m).0.iter().map(|n| n.dist).collect())
+        .collect();
+    // The same queries from 8 threads sharing the tree.
+    std::thread::scope(|s| {
+        for chunk in queries.chunks(2).zip(expected.chunks(2)) {
+            let (qs, want) = chunk;
+            let tree = &inst.tree;
+            s.spawn(move || {
+                for (q, w) in qs.iter().zip(want) {
+                    for _ in 0..5 {
+                        let (got, _) = tree.knn(q, 5, &m);
+                        let gd: Vec<f64> = got.iter().map(|n| n.dist).collect();
+                        assert_eq!(&gd, w);
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn joins_under_jaccard_metric() {
+    let ((ta, da), (tb, db)) = two_trees(200);
+    let m = Metric::jaccard();
+    let (got, _) = ta.similarity_join(&tb, 0.3, &m);
+    let mut want = 0usize;
+    for (_, sa) in &da {
+        for (_, sb) in &db {
+            if m.dist(sa, sb) <= 0.3 {
+                want += 1;
+            }
+        }
+    }
+    assert_eq!(got.len(), want);
+}

@@ -1,0 +1,118 @@
+//! Cross-crate integration: generator → SG-tree / SG-table / scan must
+//! agree exactly on every similarity query type over realistic workloads.
+
+use sg_bench::workloads::{basket_instance, build_tree, pairs_of};
+use sg_quest::basket::{BasketParams, PatternPool};
+use sg_sig::{Metric, Signature};
+use sg_tree::SplitPolicy;
+
+fn dists(ns: &[sg_tree::Neighbor]) -> Vec<f64> {
+    ns.iter().map(|n| n.dist).collect()
+}
+
+#[test]
+fn three_indexes_agree_on_knn() {
+    let (inst, queries) = basket_instance(10, 6, 5_000, 20, SplitPolicy::AvLink);
+    let m = Metric::hamming();
+    for q in &queries {
+        for k in [1usize, 10, 50] {
+            let (tree, _) = inst.tree.knn(q, k, &m);
+            let (table, _) = inst.table.knn(q, k, &m);
+            let (scan, _) = inst.scan.knn(q, k, &m);
+            assert_eq!(dists(&tree), dists(&scan), "tree vs scan, k={k}");
+            assert_eq!(dists(&table), dists(&scan), "table vs scan, k={k}");
+        }
+    }
+}
+
+#[test]
+fn three_indexes_agree_on_range() {
+    let (inst, queries) = basket_instance(10, 6, 4_000, 15, SplitPolicy::AvLink);
+    let m = Metric::hamming();
+    for q in &queries {
+        for eps in [0.0, 4.0, 9.0] {
+            let (tree, _) = inst.tree.range(q, eps, &m);
+            let (table, _) = inst.table.range(q, eps, &m);
+            let (scan, _) = inst.scan.range(q, eps, &m);
+            let ids = |v: &[sg_tree::Neighbor]| {
+                let mut ids: Vec<u64> = v.iter().map(|n| n.tid).collect();
+                ids.sort_unstable();
+                ids
+            };
+            assert_eq!(ids(&tree), ids(&scan), "tree vs scan, eps={eps}");
+            assert_eq!(ids(&table), ids(&scan), "table vs scan, eps={eps}");
+        }
+    }
+}
+
+#[test]
+fn containment_queries_agree_with_scan() {
+    let (inst, queries) = basket_instance(10, 6, 4_000, 10, SplitPolicy::AvLink);
+    for q in &queries {
+        // Use a shortened query so supersets exist.
+        let short = Signature::from_iter(inst.nbits, q.ones().take(2));
+        let (tree, _) = inst.tree.containing(&short);
+        let (scan, _) = inst.scan.containing(&short);
+        assert_eq!(tree, scan);
+        let (tree, _) = inst.tree.contained_in(q);
+        let (scan, _) = inst.scan.contained_in(q);
+        assert_eq!(tree, scan);
+    }
+}
+
+#[test]
+fn tree_prunes_on_paper_scale_clusters() {
+    // On clustered data the SG-tree must beat a full scan substantially —
+    // the paper's headline claim at small scale.
+    let (inst, queries) = basket_instance(30, 18, 20_000, 25, SplitPolicy::AvLink);
+    let m = Metric::hamming();
+    let mut compared = 0u64;
+    for q in &queries {
+        let (_, stats) = inst.tree.nn(q, &m);
+        compared += stats.data_compared;
+    }
+    let frac = compared as f64 / (20_000.0 * queries.len() as f64);
+    assert!(frac < 0.5, "tree compared {:.1}% of the data", frac * 100.0);
+}
+
+#[test]
+fn all_split_policies_remain_exact_on_generator_data() {
+    let pool = PatternPool::new(BasketParams::standard(12, 6), 5);
+    let ds = pool.dataset(3_000, 5);
+    let data = pairs_of(&ds);
+    let m = Metric::hamming();
+    let queries: Vec<Signature> = pool
+        .queries(10, 5)
+        .iter()
+        .map(|q| Signature::from_items(ds.n_items, q))
+        .collect();
+    // Ground truth from brute force over `data`.
+    let brute = |q: &Signature, k: usize| -> Vec<f64> {
+        let mut d: Vec<f64> = data.iter().map(|(_, s)| m.dist(q, s)).collect();
+        d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        d.truncate(k);
+        d
+    };
+    for policy in [SplitPolicy::Quadratic, SplitPolicy::AvLink, SplitPolicy::MinLink] {
+        let cfg = sg_tree::TreeConfig::new(ds.n_items).split(policy);
+        let (tree, _) = build_tree(ds.n_items, &data, Some(cfg));
+        tree.validate();
+        for q in &queries {
+            let (got, _) = tree.knn(q, 7, &m);
+            assert_eq!(dists(&got), brute(q, 7), "{policy:?}");
+        }
+    }
+}
+
+#[test]
+fn similarity_join_small_eps_contains_self_pairs() {
+    let (inst, _) = basket_instance(8, 4, 800, 1, SplitPolicy::AvLink);
+    let (inst2, _) = basket_instance(8, 4, 800, 1, SplitPolicy::AvLink);
+    // Identical datasets: the join at eps=0 must contain every (t, t') with
+    // equal signatures — in particular the diagonal.
+    let m = Metric::hamming();
+    let (pairs, _) = inst.tree.similarity_join(&inst2.tree, 0.0, &m);
+    let diagonal = pairs.iter().filter(|p| p.left == p.right).count();
+    assert_eq!(diagonal as u64, inst.tree.len());
+    assert!(pairs.iter().all(|p| p.dist == 0.0));
+}

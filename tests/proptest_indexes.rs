@@ -1,0 +1,328 @@
+//! Property-based tests across the indexes: for arbitrary datasets and
+//! query mixes, the SG-tree and SG-table must match brute force exactly,
+//! and arbitrary insert/delete interleavings must preserve the tree's
+//! invariants.
+
+use proptest::prelude::*;
+use sg_pager::MemStore;
+use sg_sig::{Metric, MetricKind, Signature, Vocabulary};
+use sg_table::{SgTable, TableParams};
+use sg_tree::{bulkload, SgTree, SplitPolicy, TreeConfig};
+use std::sync::Arc;
+
+const NBITS: u32 = 96;
+
+fn arb_transaction() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0..NBITS, 1..10)
+}
+
+fn arb_dataset(max: usize) -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(arb_transaction(), 1..max)
+}
+
+fn build_tree(data: &[Vec<u32>], policy: SplitPolicy) -> SgTree {
+    let mut tree = SgTree::create(
+        Arc::new(MemStore::new(512)),
+        TreeConfig::new(NBITS).split(policy),
+    )
+    .unwrap();
+    for (tid, items) in data.iter().enumerate() {
+        tree.insert(tid as u64, &Signature::from_items(NBITS, items));
+    }
+    tree
+}
+
+fn brute_knn(data: &[Vec<u32>], q: &Signature, k: usize, m: &Metric) -> Vec<f64> {
+    let mut d: Vec<f64> = data
+        .iter()
+        .map(|t| m.dist(q, &Signature::from_items(NBITS, t)))
+        .collect();
+    d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    d.truncate(k);
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tree_knn_exact_for_arbitrary_data(
+        data in arb_dataset(120),
+        query in arb_transaction(),
+        k in 1usize..20,
+        policy in prop_oneof![
+            Just(SplitPolicy::Quadratic),
+            Just(SplitPolicy::AvLink),
+            Just(SplitPolicy::MinLink),
+        ],
+    ) {
+        let tree = build_tree(&data, policy);
+        tree.validate();
+        let q = Signature::from_items(NBITS, &query);
+        let m = Metric::hamming();
+        let (got, _) = tree.knn(&q, k, &m);
+        let want = brute_knn(&data, &q, k, &m);
+        prop_assert_eq!(got.iter().map(|n| n.dist).collect::<Vec<_>>(), want);
+    }
+
+    #[test]
+    fn tree_range_exact_for_arbitrary_data(
+        data in arb_dataset(100),
+        query in arb_transaction(),
+        eps in 0u32..12,
+    ) {
+        let tree = build_tree(&data, SplitPolicy::MinLink);
+        let q = Signature::from_items(NBITS, &query);
+        let m = Metric::hamming();
+        let (got, _) = tree.range(&q, eps as f64, &m);
+        let want = data
+            .iter()
+            .filter(|t| m.dist(&q, &Signature::from_items(NBITS, t)) <= eps as f64)
+            .count();
+        prop_assert_eq!(got.len(), want);
+    }
+
+    #[test]
+    fn tree_jaccard_knn_exact(
+        data in arb_dataset(80),
+        query in arb_transaction(),
+    ) {
+        let tree = build_tree(&data, SplitPolicy::MinLink);
+        let q = Signature::from_items(NBITS, &query);
+        let m = Metric::jaccard();
+        let (got, _) = tree.knn(&q, 5, &m);
+        let want = brute_knn(&data, &q, 5, &m);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g.dist - w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn table_knn_exact_for_arbitrary_data(
+        data in arb_dataset(120),
+        query in arb_transaction(),
+        k in 1usize..10,
+        theta in 1u32..4,
+    ) {
+        let pairs: Vec<(u64, Signature)> = data
+            .iter()
+            .enumerate()
+            .map(|(tid, t)| (tid as u64, Signature::from_items(NBITS, t)))
+            .collect();
+        let params = TableParams {
+            k_signatures: 5,
+            activation: theta,
+            critical_mass: 0.3,
+            pool_frames: 16,
+        };
+        let table = SgTable::build(Arc::new(MemStore::new(512)), NBITS, &params, &pairs);
+        let q = Signature::from_items(NBITS, &query);
+        let m = Metric::hamming();
+        let (got, _) = table.knn(&q, k, &m);
+        let want = brute_knn(&data, &q, k, &m);
+        prop_assert_eq!(got.iter().map(|n| n.dist).collect::<Vec<_>>(), want);
+    }
+
+    #[test]
+    fn interleaved_ops_preserve_invariants_and_content(
+        ops in prop::collection::vec((any::<bool>(), arb_transaction()), 1..150),
+    ) {
+        let mut tree = SgTree::create(
+            Arc::new(MemStore::new(512)),
+            TreeConfig::new(NBITS),
+        ).unwrap();
+        let mut model: Vec<(u64, Vec<u32>)> = Vec::new();
+        let mut next = 0u64;
+        for (is_insert, items) in ops {
+            if is_insert || model.is_empty() {
+                let sig = Signature::from_items(NBITS, &items);
+                tree.insert(next, &sig);
+                let mut sorted = items.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                model.push((next, sorted));
+                next += 1;
+            } else {
+                let idx = (items.iter().map(|&x| x as usize).sum::<usize>()) % model.len();
+                let (tid, sorted) = model.swap_remove(idx);
+                let sig = Signature::from_items(NBITS, &sorted);
+                prop_assert!(tree.delete(tid, &sig));
+            }
+        }
+        tree.validate();
+        prop_assert_eq!(tree.len() as usize, model.len());
+        let mut got: Vec<u64> = tree.dump().into_iter().map(|(tid, _)| tid).collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> = model.iter().map(|(tid, _)| *tid).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn containment_exact_for_arbitrary_data(
+        data in arb_dataset(100),
+        query in prop::collection::vec(0..NBITS, 1..4),
+    ) {
+        let tree = build_tree(&data, SplitPolicy::MinLink);
+        let q = Signature::from_items(NBITS, &query);
+        let (got, _) = tree.containing(&q);
+        let want: Vec<u64> = data
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| Signature::from_items(NBITS, t).contains(&q))
+            .map(|(tid, _)| tid as u64)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fixed_dim_queries_exact_on_fixed_size_tuples(
+        seeds in prop::collection::vec(prop::collection::vec(0..24u32, 4), 2..80),
+        query in prop::collection::vec(0..NBITS, 1..8),
+    ) {
+        // Build 4-attribute tuples: attribute a has values in
+        // [24a, 24(a+1)).
+        let data: Vec<Vec<u32>> = seeds
+            .iter()
+            .map(|s| s.iter().enumerate().map(|(a, v)| a as u32 * 24 + v).collect())
+            .collect();
+        let tree = build_tree(&data, SplitPolicy::MinLink);
+        let q = Signature::from_items(NBITS, &query);
+        let m = Metric::with_fixed_dim(MetricKind::Hamming, 4);
+        let (got, _) = tree.knn(&q, 3, &m);
+        let want = brute_knn(&data, &q, 3, &Metric::hamming());
+        prop_assert_eq!(got.iter().map(|n| n.dist).collect::<Vec<_>>(), want);
+    }
+    #[test]
+    fn bulk_load_equals_insertion_results(
+        data in arb_dataset(150),
+        query in arb_transaction(),
+        fill in 0.4f64..1.0,
+    ) {
+        let pairs: Vec<(u64, Signature)> = data
+            .iter()
+            .enumerate()
+            .map(|(tid, t)| (tid as u64, Signature::from_items(NBITS, t)))
+            .collect();
+        let bulk = bulkload::bulk_load(
+            Arc::new(MemStore::new(512)),
+            TreeConfig::new(NBITS),
+            pairs,
+            fill,
+        )
+        .unwrap();
+        bulk.validate();
+        prop_assert_eq!(bulk.len() as usize, data.len());
+        let q = Signature::from_items(NBITS, &query);
+        let m = Metric::hamming();
+        let (got, _) = bulk.knn(&q, 5, &m);
+        let want = brute_knn(&data, &q, 5, &m);
+        prop_assert_eq!(got.iter().map(|n| n.dist).collect::<Vec<_>>(), want);
+    }
+
+    #[test]
+    fn incremental_iterator_is_fully_sorted(
+        data in arb_dataset(100),
+        query in arb_transaction(),
+    ) {
+        let tree = build_tree(&data, SplitPolicy::AvLink);
+        let q = Signature::from_items(NBITS, &query);
+        let m = Metric::hamming();
+        let stream: Vec<f64> = tree.nn_iter(&q, &m).map(|n| n.dist).collect();
+        prop_assert_eq!(stream.len(), data.len());
+        prop_assert!(stream.windows(2).all(|w| w[0] <= w[1]));
+        let want = brute_knn(&data, &q, data.len(), &m);
+        prop_assert_eq!(stream, want);
+    }
+
+    #[test]
+    fn vocabulary_signatures_agree_with_manual_ids(
+        baskets in prop::collection::vec(
+            prop::collection::vec(0u8..60, 1..8), 1..30
+        ),
+    ) {
+        // Interning labels in first-seen order must produce signatures
+        // isomorphic to a manual dense-id assignment.
+        let mut vocab = Vocabulary::new(64);
+        let mut manual: std::collections::HashMap<u8, u32> = Default::default();
+        for basket in &baskets {
+            let labels: Vec<String> = basket.iter().map(|b| format!("item-{b}")).collect();
+            let sig = vocab.signature_of(labels.iter());
+            for b in basket {
+                let next = manual.len() as u32;
+                let id = *manual.entry(*b).or_insert(next);
+                prop_assert!(sig.get(id), "expected bit {id} for label {b}");
+            }
+            prop_assert_eq!(sig.count() as usize, {
+                let mut dedup = basket.clone();
+                dedup.sort_unstable();
+                dedup.dedup();
+                dedup.len()
+            });
+        }
+    }
+
+    #[test]
+    fn table_range_exact_for_arbitrary_data(
+        data in arb_dataset(100),
+        query in arb_transaction(),
+        eps in 0u32..10,
+    ) {
+        let pairs: Vec<(u64, Signature)> = data
+            .iter()
+            .enumerate()
+            .map(|(tid, t)| (tid as u64, Signature::from_items(NBITS, t)))
+            .collect();
+        let table = SgTable::build(
+            Arc::new(MemStore::new(512)),
+            NBITS,
+            &TableParams {
+                k_signatures: 6,
+                activation: 2,
+                critical_mass: 0.4,
+                pool_frames: 16,
+            },
+            &pairs,
+        );
+        let q = Signature::from_items(NBITS, &query);
+        let m = Metric::hamming();
+        let (got, _) = table.range(&q, eps as f64, &m);
+        let want = data
+            .iter()
+            .filter(|t| m.dist(&q, &Signature::from_items(NBITS, t)) <= eps as f64)
+            .count();
+        prop_assert_eq!(got.len(), want);
+    }
+
+    #[test]
+    fn table_rebuild_preserves_exactness(
+        data in arb_dataset(80),
+        extra in arb_dataset(40),
+        query in arb_transaction(),
+    ) {
+        let params = TableParams {
+            k_signatures: 5,
+            activation: 2,
+            critical_mass: 0.3,
+            pool_frames: 16,
+        };
+        let pairs: Vec<(u64, Signature)> = data
+            .iter()
+            .enumerate()
+            .map(|(tid, t)| (tid as u64, Signature::from_items(NBITS, t)))
+            .collect();
+        let mut table = SgTable::build(Arc::new(MemStore::new(512)), NBITS, &params, &pairs);
+        let mut all = data.clone();
+        for (off, t) in extra.iter().enumerate() {
+            table.insert((data.len() + off) as u64, &Signature::from_items(NBITS, t));
+            all.push(t.clone());
+        }
+        table.rebuild(&params);
+        prop_assert_eq!(table.len() as usize, all.len());
+        let q = Signature::from_items(NBITS, &query);
+        let m = Metric::hamming();
+        let (got, _) = table.knn(&q, 4, &m);
+        let want = brute_knn(&all, &q, 4, &m);
+        prop_assert_eq!(got.iter().map(|n| n.dist).collect::<Vec<_>>(), want);
+    }
+}
