@@ -5,11 +5,11 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use sg_bench::workloads::{build_scan, build_table, build_tree, pairs_of, PAGE_SIZE, SEED};
+use sg_inverted::InvertedIndex;
+use sg_minhash::{LshParams, MinHashLsh};
 use sg_pager::MemStore;
 use sg_quest::basket::{BasketParams, PatternPool};
 use sg_sig::{Metric, Signature};
-use sg_inverted::InvertedIndex;
-use sg_minhash::{LshParams, MinHashLsh};
 use sg_tree::{bulkload, SplitPolicy, Tid, TreeConfig};
 use std::sync::Arc;
 
@@ -30,7 +30,11 @@ fn bench_build(c: &mut Criterion) {
     let (data, _, nbits) = workload();
     let mut g = c.benchmark_group("index_build_20k");
     g.sample_size(10);
-    for policy in [SplitPolicy::Quadratic, SplitPolicy::AvLink, SplitPolicy::MinLink] {
+    for policy in [
+        SplitPolicy::Quadratic,
+        SplitPolicy::AvLink,
+        SplitPolicy::MinLink,
+    ] {
         g.bench_function(format!("sg_tree_{}", policy.name()), |b| {
             b.iter_batched(
                 || data.clone(),

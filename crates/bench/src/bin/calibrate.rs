@@ -8,11 +8,11 @@
 //! ```sh
 //! cargo run --release -p sg-bench --bin calibrate
 //! ```
+use sg_bench::measure::{compare, QueryKind};
 use sg_bench::workloads::*;
 use sg_quest::basket::{BasketParams, PatternPool};
 use sg_sig::{Metric, Signature};
 use sg_tree::SplitPolicy;
-use sg_bench::measure::{compare, QueryKind};
 
 fn main() {
     let m = Metric::hamming();
@@ -22,15 +22,28 @@ fn main() {
             p.n_patterns = npat;
             let pool = PatternPool::new(p, SEED);
             let ds = pool.dataset(100_000, SEED);
-            let queries: Vec<Signature> = pool.queries(60, SEED).iter()
-                .map(|q| Signature::from_items(ds.n_items, q)).collect();
+            let queries: Vec<Signature> = pool
+                .queries(60, SEED)
+                .iter()
+                .map(|q| Signature::from_items(ds.n_items, q))
+                .collect();
             let inst = instance_of(&ds, SplitPolicy::AvLink);
             // NN distance histogram
             let mut hist = [0u32; 5];
             for q in &queries {
                 let (nn, _) = inst.scan.knn(q, 1, &m);
                 let d = nn[0].dist;
-                let b = if d == 0.0 {0} else if d <= 3.0 {1} else if d <= 10.0 {2} else if d <= 20.0 {3} else {4};
+                let b = if d == 0.0 {
+                    0
+                } else if d <= 3.0 {
+                    1
+                } else if d <= 10.0 {
+                    2
+                } else if d <= 20.0 {
+                    3
+                } else {
+                    4
+                };
                 hist[b] += 1;
             }
             let c = compare(&inst, &queries, QueryKind::Knn(1), &m);

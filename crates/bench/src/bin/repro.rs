@@ -19,11 +19,12 @@
 
 use sg_bench::measure::{compare, measure_tree, QueryKind};
 use sg_bench::report::{f, Table};
+use sg_bench::scaled;
 use sg_bench::workloads::{
-    basket_instance, build_table, build_tree, census_instance, pairs_of, Instance,
+    basket_instance, build_table, build_tree, census_instance, enable_obs, pairs_of, Instance,
     PAGE_SIZE, POOL_FRAMES, SEED,
 };
-use sg_bench::scaled;
+use sg_obs::{Registry, RegistrySnapshot};
 use sg_pager::MemStore;
 use sg_quest::basket::{BasketParams, PatternPool};
 use sg_quest::dataset_name;
@@ -85,55 +86,80 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Captures the metrics recorded while one experiment section ran: the
+/// global-registry delta since the previous section, serialized to JSON
+/// and attached to every table the section produced.
+fn finish_section(
+    registry: &Registry,
+    last: &mut RegistrySnapshot,
+    section: Vec<Table>,
+    out: &mut Vec<(Table, String)>,
+) {
+    let now = registry.snapshot();
+    let metrics = sg_obs::export::to_json(&now.since(last));
+    *last = now;
+    for t in section {
+        out.push((t, metrics.clone()));
+    }
+}
+
 fn main() {
     let opts = parse_args();
+    enable_obs();
+    let registry = Registry::global();
+    let mut last = registry.snapshot();
     let all = opts.experiments.iter().any(|e| e == "all");
     let want = |name: &str| all || opts.experiments.iter().any(|e| e == name);
-    let mut tables: Vec<Table> = Vec::new();
+    let mut tables: Vec<(Table, String)> = Vec::new();
     let t0 = Instant::now();
 
     if want("table1") {
-        tables.extend(table1(&opts));
+        finish_section(registry, &mut last, table1(&opts), &mut tables);
     }
     if want("fig5") || want("fig6") {
-        tables.extend(fig5_6(&opts));
+        finish_section(registry, &mut last, fig5_6(&opts), &mut tables);
     }
     if want("fig7") || want("fig8") {
-        tables.extend(fig7_8(&opts));
+        finish_section(registry, &mut last, fig7_8(&opts), &mut tables);
     }
     if want("fig9") || want("fig10") {
-        tables.extend(fig9_10(&opts));
+        finish_section(registry, &mut last, fig9_10(&opts), &mut tables);
     }
     if want("fig11") {
-        tables.extend(fig11(&opts));
+        finish_section(registry, &mut last, fig11(&opts), &mut tables);
     }
     if want("fig12") {
-        tables.extend(fig12(&opts));
+        finish_section(registry, &mut last, fig12(&opts), &mut tables);
     }
     if want("fig13") {
-        tables.extend(fig13_14(&opts, false));
+        finish_section(registry, &mut last, fig13_14(&opts, false), &mut tables);
     }
     if want("fig14") {
-        tables.extend(fig13_14(&opts, true));
+        finish_section(registry, &mut last, fig13_14(&opts, true), &mut tables);
     }
     if want("fig15") {
-        tables.extend(fig15_16(&opts, false));
+        finish_section(registry, &mut last, fig15_16(&opts, false), &mut tables);
     }
     if want("fig16") {
-        tables.extend(fig15_16(&opts, true));
+        finish_section(registry, &mut last, fig15_16(&opts, true), &mut tables);
     }
     if want("fig17") {
-        tables.extend(fig17(&opts));
+        finish_section(registry, &mut last, fig17(&opts), &mut tables);
     }
     if want("ablate") {
-        tables.extend(ablations(&opts));
+        finish_section(registry, &mut last, ablations(&opts), &mut tables);
     }
 
-    for t in &tables {
+    for (t, metrics) in &tables {
         println!("{}", t.render());
         match t.save_csv(&opts.out) {
-            Ok(p) => println!("   -> {}\n", p.display()),
-            Err(e) => eprintln!("   !! could not save CSV: {e}\n"),
+            Ok(p) => println!("   -> {}", p.display()),
+            Err(e) => eprintln!("   !! could not save CSV: {e}"),
+        }
+        let mpath = opts.out.join(format!("metrics_{}.json", t.name));
+        match std::fs::write(&mpath, metrics) {
+            Ok(()) => println!("   -> {}\n", mpath.display()),
+            Err(e) => eprintln!("   !! could not save metrics: {e}\n"),
         }
     }
     println!(
@@ -145,7 +171,12 @@ fn main() {
 }
 
 /// Appends the standard tree-vs-table comparison row.
-fn push_cmp(pct_time: &mut Table, ios: Option<&mut Table>, x: &str, c: sg_bench::measure::Comparison) {
+fn push_cmp(
+    pct_time: &mut Table,
+    ios: Option<&mut Table>,
+    x: &str,
+    c: sg_bench::measure::Comparison,
+) {
     pct_time.row(vec![
         x.to_string(),
         f(c.table.pct_data),
@@ -168,7 +199,11 @@ fn table1(opts: &Opts) -> Vec<Table> {
         "Comparison of the three split policies (uncompressed trees, CENSUS, NN queries)",
         &["metric", "q-split", "av-link", "min-link"],
     );
-    let policies = [SplitPolicy::Quadratic, SplitPolicy::AvLink, SplitPolicy::MinLink];
+    let policies = [
+        SplitPolicy::Quadratic,
+        SplitPolicy::AvLink,
+        SplitPolicy::MinLink,
+    ];
     let mut areas: Vec<Vec<f64>> = Vec::new();
     let mut insert_ms: Vec<f64> = Vec::new();
     let mut avgs: Vec<sg_bench::measure::Avg> = Vec::new();
@@ -213,7 +248,11 @@ fn table1(opts: &Opts) -> Vec<Table> {
     for level in 1..=3usize {
         out.row(
             std::iter::once(format!("avg area at level {level}"))
-                .chain(areas.iter().map(|a| f(a.get(level).copied().unwrap_or(0.0))))
+                .chain(
+                    areas
+                        .iter()
+                        .map(|a| f(a.get(level).copied().unwrap_or(0.0))),
+                )
                 .collect(),
         );
     }
@@ -237,6 +276,11 @@ fn table1(opts: &Opts) -> Vec<Table> {
             .chain(avgs.iter().map(|a| f(a.ios)))
             .collect(),
     );
+    out.row(
+        std::iter::once("pool hit rate".to_string())
+            .chain(avgs.iter().map(|a| format!("{:.4}", a.hit_rate)))
+            .collect(),
+    );
     vec![out]
 }
 
@@ -247,9 +291,19 @@ fn fig5_6(opts: &Opts) -> Vec<Table> {
     let mut pct = Table::new(
         "fig5",
         "Pruning and CPU time varying T (I=6, D=200K)",
-        &["T", "SG-table %data", "SG-tree %data", "SG-table ms", "SG-tree ms"],
+        &[
+            "T",
+            "SG-table %data",
+            "SG-tree %data",
+            "SG-table ms",
+            "SG-tree ms",
+        ],
     );
-    let mut ios = Table::new("fig6", "Random I/Os varying T", &["T", "SG-table", "SG-tree"]);
+    let mut ios = Table::new(
+        "fig6",
+        "Random I/Os varying T",
+        &["T", "SG-table", "SG-tree"],
+    );
     for t in [10u32, 15, 20, 25, 30] {
         eprintln!("[fig5/6] {}…", dataset_name(t, 6, d));
         let (inst, queries) = basket_instance(t, 6, d, opts.queries, SplitPolicy::AvLink);
@@ -264,9 +318,19 @@ fn fig7_8(opts: &Opts) -> Vec<Table> {
     let mut pct = Table::new(
         "fig7",
         "Pruning and CPU time varying I (T=30, D=200K)",
-        &["I", "SG-table %data", "SG-tree %data", "SG-table ms", "SG-tree ms"],
+        &[
+            "I",
+            "SG-table %data",
+            "SG-tree %data",
+            "SG-table ms",
+            "SG-tree ms",
+        ],
     );
-    let mut ios = Table::new("fig8", "Random I/Os varying I", &["I", "SG-table", "SG-tree"]);
+    let mut ios = Table::new(
+        "fig8",
+        "Random I/Os varying I",
+        &["I", "SG-table", "SG-tree"],
+    );
     for i in [6u32, 12, 18, 24] {
         eprintln!("[fig7/8] {}…", dataset_name(30, i, d));
         let (inst, queries) = basket_instance(30, i, d, opts.queries, SplitPolicy::AvLink);
@@ -281,9 +345,19 @@ fn fig9_10(opts: &Opts) -> Vec<Table> {
     let mut pct = Table::new(
         "fig9",
         "Pruning and CPU time, fixed I/T=0.6 (D=200K)",
-        &["T,I", "SG-table %data", "SG-tree %data", "SG-table ms", "SG-tree ms"],
+        &[
+            "T,I",
+            "SG-table %data",
+            "SG-tree %data",
+            "SG-table ms",
+            "SG-tree ms",
+        ],
     );
-    let mut ios = Table::new("fig10", "Random I/Os, fixed I/T=0.6", &["T,I", "SG-table", "SG-tree"]);
+    let mut ios = Table::new(
+        "fig10",
+        "Random I/Os, fixed I/T=0.6",
+        &["T,I", "SG-table", "SG-tree"],
+    );
     for (t, i) in [(10u32, 6u32), (20, 12), (30, 18), (40, 24), (50, 30)] {
         eprintln!("[fig9/10] {}…", dataset_name(t, i, d));
         let (inst, queries) = basket_instance(t, i, d, opts.queries, SplitPolicy::AvLink);
@@ -297,7 +371,13 @@ fn fig11(opts: &Opts) -> Vec<Table> {
     let mut pct = Table::new(
         "fig11",
         "Pruning and CPU time varying dataset cardinality (T=10, I=6)",
-        &["D", "SG-table %data", "SG-tree %data", "SG-table ms", "SG-tree ms"],
+        &[
+            "D",
+            "SG-table %data",
+            "SG-tree %data",
+            "SG-table ms",
+            "SG-tree ms",
+        ],
     );
     for d100 in [100_000usize, 200_000, 300_000, 400_000, 500_000] {
         let d = scaled(d100, opts.scale);
@@ -314,7 +394,10 @@ fn fig11(opts: &Opts) -> Vec<Table> {
 fn fig12(opts: &Opts) -> Vec<Table> {
     let d = scaled(200_000, opts.scale);
     let n_queries = opts.queries * 10; // the paper ran 1000 here
-    eprintln!("[fig12] NN-distance buckets on {} ({n_queries} queries)…", dataset_name(30, 18, d));
+    eprintln!(
+        "[fig12] NN-distance buckets on {} ({n_queries} queries)…",
+        dataset_name(30, 18, d)
+    );
     let (inst, queries) = basket_instance(30, 18, d, n_queries, SplitPolicy::AvLink);
     let metric = Metric::hamming();
     let buckets = ["0", "1 to 3", "4 to 10", "11 to 20", ">20"];
@@ -363,7 +446,14 @@ fn fig12(opts: &Opts) -> Vec<Table> {
     let mut out = Table::new(
         "fig12",
         "Pruning and CPU time by NN distance (T30.I18.D200K)",
-        &["nn distance", "queries", "SG-table %data", "SG-tree %data", "SG-table ms", "SG-tree ms"],
+        &[
+            "nn distance",
+            "queries",
+            "SG-table %data",
+            "SG-tree %data",
+            "SG-table ms",
+            "SG-tree ms",
+        ],
     );
     for (b, label) in buckets.iter().enumerate() {
         let (ta, tr) = (table_acc[b], tree_acc[b]);
@@ -397,7 +487,13 @@ fn fig13_14(opts: &Opts, census: bool) -> Vec<Table> {
     let mut out = Table::new(
         name,
         title,
-        &["k", "SG-table %data", "SG-tree %data", "SG-table ms", "SG-tree ms"],
+        &[
+            "k",
+            "SG-table %data",
+            "SG-tree %data",
+            "SG-table ms",
+            "SG-tree ms",
+        ],
     );
     for k in [1usize, 10, 100, 1000, 10_000] {
         let k = k.min(inst.data.len());
@@ -416,12 +512,23 @@ fn fig15_16(opts: &Opts, census: bool) -> Vec<Table> {
     } else {
         eprintln!("[fig15] range queries on {}…", dataset_name(30, 18, d));
         let (inst, q) = basket_instance(30, 18, d, opts.queries, SplitPolicy::AvLink);
-        ("fig15", "Similarity range queries on T30.I18.D200K", inst, q)
+        (
+            "fig15",
+            "Similarity range queries on T30.I18.D200K",
+            inst,
+            q,
+        )
     };
     let mut out = Table::new(
         name,
         title,
-        &["eps", "SG-table %data", "SG-tree %data", "SG-table ms", "SG-tree ms"],
+        &[
+            "eps",
+            "SG-table %data",
+            "SG-tree %data",
+            "SG-table ms",
+            "SG-tree ms",
+        ],
     );
     for eps in [2.0f64, 4.0, 6.0, 8.0, 10.0] {
         let c = compare(&inst, &queries, QueryKind::Range(eps), &Metric::hamming());
@@ -434,7 +541,10 @@ fn fig15_16(opts: &Opts, census: bool) -> Vec<Table> {
 
 fn fig17(opts: &Opts) -> Vec<Table> {
     let batch = scaled(100_000, opts.scale);
-    eprintln!("[fig17] dynamic updates: 5 batches of {} (T=10, I=6)…", batch);
+    eprintln!(
+        "[fig17] dynamic updates: 5 batches of {} (T=10, I=6)…",
+        batch
+    );
     let metric = Metric::hamming();
     let nbits = 1000u32;
     // Batch b has its own pattern pool (fresh seed → different large
@@ -445,7 +555,13 @@ fn fig17(opts: &Opts) -> Vec<Table> {
     let mut out = Table::new(
         "fig17",
         "NN search after dynamic updates (batches with drifting itemsets)",
-        &["D", "SG-table %data", "SG-tree %data", "SG-table ms", "SG-tree ms"],
+        &[
+            "D",
+            "SG-table %data",
+            "SG-tree %data",
+            "SG-table ms",
+            "SG-tree ms",
+        ],
     );
     // Both structures are built from batch 1; later batches are *inserted*,
     // so the table keeps its stale vertical signatures.
@@ -471,7 +587,9 @@ fn fig17(opts: &Opts) -> Vec<Table> {
         // Queries: each drawn from a uniformly random earlier batch's pool.
         let mut queries = Vec::with_capacity(opts.queries);
         for qi in 0..opts.queries {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = (x >> 33) as usize % phase;
             let q = &pools[b].queries(opts.queries, SEED + 77 + qi as u64)[qi % opts.queries];
             queries.push(Signature::from_items(nbits, q));
@@ -503,7 +621,10 @@ fn fig17(opts: &Opts) -> Vec<Table> {
 
 fn ablations(opts: &Opts) -> Vec<Table> {
     let d = scaled(50_000, opts.scale);
-    eprintln!("[ablate] design ablations on {} and CENSUS…", dataset_name(20, 12, d));
+    eprintln!(
+        "[ablate] design ablations on {} and CENSUS…",
+        dataset_name(20, 12, d)
+    );
     let metric = Metric::hamming();
     let pool = PatternPool::new(BasketParams::standard(20, 12), SEED);
     let ds = pool.dataset(d, SEED);
@@ -554,7 +675,12 @@ fn ablations(opts: &Opts) -> Vec<Table> {
             let pages = tree.node_count();
             let inst = wrap_tree(&ds, &data, tree);
             let avg = measure_tree(&inst, &queries, QueryKind::Knn(1), &metric);
-            t.row(vec![label.to_string(), pages.to_string(), f(avg.pct_data), f(avg.ios)]);
+            t.row(vec![
+                label.to_string(),
+                pages.to_string(),
+                f(avg.pct_data),
+                f(avg.ios),
+            ]);
         }
         tables.push(t);
     }
@@ -570,7 +696,13 @@ fn ablations(opts: &Opts) -> Vec<Table> {
         let pages = tree.node_count();
         let inst = wrap_tree(&ds, &data, tree);
         let avg = measure_tree(&inst, &queries, QueryKind::Knn(1), &metric);
-        t.row(vec!["insert".into(), f(secs), pages.to_string(), f(avg.pct_data), f(avg.ios)]);
+        t.row(vec![
+            "insert".into(),
+            f(secs),
+            pages.to_string(),
+            f(avg.pct_data),
+            f(avg.ios),
+        ]);
 
         let t0 = Instant::now();
         let tree = bulkload::bulk_load(
@@ -584,7 +716,13 @@ fn ablations(opts: &Opts) -> Vec<Table> {
         let pages = tree.node_count();
         let inst = wrap_tree(&ds, &data, tree);
         let avg = measure_tree(&inst, &queries, QueryKind::Knn(1), &metric);
-        t.row(vec!["gray-code".into(), f(secs), pages.to_string(), f(avg.pct_data), f(avg.ios)]);
+        t.row(vec![
+            "gray-code".into(),
+            f(secs),
+            pages.to_string(),
+            f(avg.pct_data),
+            f(avg.ios),
+        ]);
         tables.push(t);
     }
 
@@ -627,10 +765,17 @@ fn ablations(opts: &Opts) -> Vec<Table> {
             "Relaxed vs fixed-dimensionality Hamming bound on CENSUS",
             &["bound", "%data", "nodes"],
         );
-        let (inst, cqueries) = census_instance(scaled(50_000, opts.scale), opts.queries, SplitPolicy::AvLink);
+        let (inst, cqueries) = census_instance(
+            scaled(50_000, opts.scale),
+            opts.queries,
+            SplitPolicy::AvLink,
+        );
         for (label, m) in [
             ("relaxed |q\\e|", Metric::hamming()),
-            ("fixed d=36", Metric::with_fixed_dim(MetricKind::Hamming, 36)),
+            (
+                "fixed d=36",
+                Metric::with_fixed_dim(MetricKind::Hamming, 36),
+            ),
         ] {
             let avg = measure_tree(&inst, &cqueries, QueryKind::Knn(1), &m);
             t.row(vec![label.to_string(), f(avg.pct_data), f(avg.pages)]);
@@ -725,10 +870,7 @@ fn ablations(opts: &Opts) -> Vec<Table> {
             .map(|(_, s)| Signature::from_iter(ds.n_items, s.ones().take(3)))
             .collect();
         let mut rows: Vec<(String, String, f64, f64, f64)> = Vec::new();
-        for (label, run) in [
-            ("containment", true),
-            ("1-NN", false),
-        ] {
+        for (label, run) in [("containment", true), ("1-NN", false)] {
             for (index, is_tree) in [("sg-tree", true), ("inverted", false)] {
                 let mut cmp = 0u64;
                 let mut pages = 0u64;
@@ -772,11 +914,8 @@ fn ablations(opts: &Opts) -> Vec<Table> {
             &["index", "recall@10", "candidates/query", "ms"],
         );
         let (tree, _) = build_tree(ds.n_items, &data, None);
-        let lsh = sg_minhash::MinHashLsh::build(
-            ds.n_items,
-            sg_minhash::LshParams::default(),
-            &data,
-        );
+        let lsh =
+            sg_minhash::MinHashLsh::build(ds.n_items, sg_minhash::LshParams::default(), &data);
         let mj = Metric::jaccard();
         let mut recall_hits = 0usize;
         let mut recall_total = 0usize;
@@ -829,7 +968,10 @@ fn ablations(opts: &Opts) -> Vec<Table> {
         );
         let (tree, _) = build_tree(ds.n_items, &data, None);
         let inst = wrap_tree(&ds, &data, tree);
-        for (label, m) in [("hamming", Metric::hamming()), ("jaccard", Metric::jaccard())] {
+        for (label, m) in [
+            ("hamming", Metric::hamming()),
+            ("jaccard", Metric::jaccard()),
+        ] {
             let avg = measure_tree(&inst, &queries, QueryKind::Knn(1), &m);
             t.row(vec![label.to_string(), f(avg.pct_data), f(avg.worst_dist)]);
         }

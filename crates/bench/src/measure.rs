@@ -30,6 +30,9 @@ pub struct Avg {
     /// Mean distance of the farthest reported neighbor (the NN distance
     /// for k=1) — Figure 12 buckets queries by this.
     pub worst_dist: f64,
+    /// Buffer-pool hit rate over the whole workload (hits / logical
+    /// reads); near 0 here because the harness clears caches per query.
+    pub hit_rate: f64,
 }
 
 struct Accum {
@@ -68,6 +71,7 @@ impl Accum {
             pages: self.stats.nodes_accessed as f64 / n,
             results: self.results as f64 / n,
             worst_dist: self.worst / n,
+            hit_rate: self.stats.hit_rate(),
         }
     }
 }
@@ -84,7 +88,12 @@ pub struct Comparison {
 /// Runs `kind` for every query on both indexes with cold caches and
 /// returns the averaged costs. The scan baseline is consulted in debug
 /// builds to assert both indexes return exact results.
-pub fn compare(inst: &Instance, queries: &[Signature], kind: QueryKind, metric: &Metric) -> Comparison {
+pub fn compare(
+    inst: &Instance,
+    queries: &[Signature],
+    kind: QueryKind,
+    metric: &Metric,
+) -> Comparison {
     let mut tree_acc = Accum::new();
     let mut table_acc = Accum::new();
     for q in queries {
@@ -170,6 +179,7 @@ mod tests {
             assert!(avg.pct_data > 0.0 && avg.pct_data <= 100.0, "{avg:?}");
             assert!(avg.ios >= 1.0);
             assert_eq!(avg.results, 1.0);
+            assert!((0.0..=1.0).contains(&avg.hit_rate), "{avg:?}");
         }
         // Both exact: same NN distance on average.
         assert!((c.tree.worst_dist - c.table.worst_dist).abs() < 1e-9);
@@ -180,6 +190,9 @@ mod tests {
         let (inst, queries) = basket_instance(8, 4, 1500, 5, SplitPolicy::MinLink);
         let m = Metric::hamming();
         let c = compare(&inst, &queries, QueryKind::Range(6.0), &m);
-        assert!((c.tree.results - c.table.results).abs() < 1e-9, "exact methods agree");
+        assert!(
+            (c.tree.results - c.table.results).abs() < 1e-9,
+            "exact methods agree"
+        );
     }
 }

@@ -7,8 +7,24 @@ use sg_quest::Dataset;
 use sg_sig::Signature;
 use sg_table::{SgTable, TableParams};
 use sg_tree::{ScanIndex, SgTree, SplitPolicy, Tid, TreeConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// When set (see [`enable_obs`]), every index built by this module
+/// registers its instruments in [`sg_obs::Registry::global`]. Off by
+/// default so micro-benchmarks measure the disabled-recorder path.
+static OBS: AtomicBool = AtomicBool::new(false);
+
+/// Routes every subsequently built tree/table's metrics into the global
+/// registry (used by `repro` to emit a metrics JSON per figure).
+pub fn enable_obs() {
+    OBS.store(true, Ordering::Relaxed);
+}
+
+fn obs_enabled() -> bool {
+    OBS.load(Ordering::Relaxed)
+}
 
 /// Page size used throughout the experiments (the classic 4 KiB page the
 /// paper's "node = disk page" setup implies).
@@ -50,11 +66,18 @@ pub fn pairs_of(ds: &Dataset) -> Vec<(Tid, Signature)> {
 }
 
 /// Builds an SG-tree (default config unless overridden) over `data`.
-pub fn build_tree(nbits: u32, data: &[(Tid, Signature)], config: Option<TreeConfig>) -> (SgTree, f64) {
+pub fn build_tree(
+    nbits: u32,
+    data: &[(Tid, Signature)],
+    config: Option<TreeConfig>,
+) -> (SgTree, f64) {
     let cfg = config
         .unwrap_or_else(|| TreeConfig::new(nbits))
         .pool_frames(POOL_FRAMES);
     let mut tree = SgTree::create(Arc::new(MemStore::new(PAGE_SIZE)), cfg).expect("tree config");
+    if obs_enabled() {
+        tree.register_obs(sg_obs::Registry::global(), "sg_tree");
+    }
     let t0 = Instant::now();
     for (tid, sig) in data {
         tree.insert(*tid, sig);
@@ -72,8 +95,11 @@ pub fn build_table(nbits: u32, data: &[(Tid, Signature)]) -> (SgTable, f64) {
         pool_frames: POOL_FRAMES,
     };
     let t0 = Instant::now();
-    let table = SgTable::build(Arc::new(MemStore::new(PAGE_SIZE)), nbits, &params, data);
+    let mut table = SgTable::build(Arc::new(MemStore::new(PAGE_SIZE)), nbits, &params, data);
     let secs = t0.elapsed().as_secs_f64();
+    if obs_enabled() {
+        table.register_obs(sg_obs::Registry::global(), "sg_table");
+    }
     (table, secs)
 }
 
@@ -108,7 +134,11 @@ pub fn basket_instance(
 
 /// Builds the full instance for the CENSUS-shaped categorical workload;
 /// queries come from the generator's held-out stream.
-pub fn census_instance(d: usize, n_queries: usize, split: SplitPolicy) -> (Instance, Vec<Signature>) {
+pub fn census_instance(
+    d: usize,
+    n_queries: usize,
+    split: SplitPolicy,
+) -> (Instance, Vec<Signature>) {
     let gen = CensusGenerator::new(Schema::census(), CensusParams::default(), SEED);
     let ds = gen.dataset(d, SEED);
     let queries: Vec<Signature> = gen
@@ -122,8 +152,11 @@ pub fn census_instance(d: usize, n_queries: usize, split: SplitPolicy) -> (Insta
 /// Assembles the three indexes over a dataset.
 pub fn instance_of(ds: &Dataset, split: SplitPolicy) -> Instance {
     let data = pairs_of(ds);
-    let (tree, tree_build_secs) =
-        build_tree(ds.n_items, &data, Some(TreeConfig::new(ds.n_items).split(split)));
+    let (tree, tree_build_secs) = build_tree(
+        ds.n_items,
+        &data,
+        Some(TreeConfig::new(ds.n_items).split(split)),
+    );
     let (table, table_build_secs) = build_table(ds.n_items, &data);
     let scan = build_scan(ds.n_items, &data);
     Instance {

@@ -242,10 +242,8 @@ mod tests {
         let q = Signature::from_items(128, &[3, 22, 44]);
         let (got, _) = tree.knn(&q, 10, &m);
         // Brute-force ground truth.
-        let mut truth: Vec<(u64, f64)> = items
-            .iter()
-            .map(|(tid, s)| (*tid, m.dist(&q, s)))
-            .collect();
+        let mut truth: Vec<(u64, f64)> =
+            items.iter().map(|(tid, s)| (*tid, m.dist(&q, s))).collect();
         truth.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
         let got_d: Vec<f64> = got.iter().map(|n| n.dist).collect();
         let truth_d: Vec<f64> = truth.iter().take(10).map(|(_, d)| *d).collect();

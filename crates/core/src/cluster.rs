@@ -50,11 +50,7 @@ impl Clustering {
             .iter()
             .enumerate()
             .map(|(i, c)| (i, metric.mindist(sig, c), c.count()))
-            .min_by(|a, b| {
-                a.1.partial_cmp(&b.1)
-                    .expect("finite")
-                    .then(a.2.cmp(&b.2))
-            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.2.cmp(&b.2)))
             .map(|(i, _, _)| i)
     }
 }

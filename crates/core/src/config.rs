@@ -160,8 +160,7 @@ impl TreeConfig {
     /// Minimum node fill `c` for a given capacity (count form, used as the
     /// bulk-loading floor).
     pub fn min_entries_for(&self, capacity: usize) -> usize {
-        (((capacity as f64) * self.min_fill).ceil() as usize)
-            .clamp(1, (capacity / 2).max(1))
+        (((capacity as f64) * self.min_fill).ceil() as usize).clamp(1, (capacity / 2).max(1))
     }
 
     /// Minimum on-page node size in bytes: `min_fill ×` the page size.
@@ -178,7 +177,11 @@ mod tests {
 
     #[test]
     fn policy_bytes_roundtrip() {
-        for p in [SplitPolicy::Quadratic, SplitPolicy::AvLink, SplitPolicy::MinLink] {
+        for p in [
+            SplitPolicy::Quadratic,
+            SplitPolicy::AvLink,
+            SplitPolicy::MinLink,
+        ] {
             assert_eq!(SplitPolicy::from_byte(p.to_byte()), Some(p));
         }
         assert_eq!(SplitPolicy::from_byte(99), None);

@@ -28,7 +28,11 @@ impl SgTree {
     /// R-tree deletion by (id, rectangle); the signature also guides the
     /// search, so deletion costs a partial traversal rather than a scan.
     pub fn delete(&mut self, tid: Tid, sig: &Signature) -> bool {
-        assert_eq!(sig.nbits(), self.config.nbits, "signature universe mismatch");
+        assert_eq!(
+            sig.nbits(),
+            self.config.nbits,
+            "signature universe mismatch"
+        );
         let mut reinsert: Vec<Entry> = Vec::new();
         let root = self.root;
         let found = match self.delete_rec(root, tid, sig, &mut reinsert) {
@@ -41,6 +45,10 @@ impl SgTree {
         }
         self.len -= 1;
         self.shrink_root();
+        if let Some(obs) = self.obs() {
+            obs.deletes.inc();
+            obs.reinserts.add(reinsert.len() as u64);
+        }
         for e in reinsert {
             self.insert_entry(e);
         }

@@ -35,9 +35,16 @@ impl SgTree {
             self.config.nbits,
             "signature universe mismatch"
         );
+        let start = self.obs().map(|_| std::time::Instant::now());
         self.insert_entry(Entry::new(sig.clone(), tid));
         self.len += 1;
         self.mark_dirty();
+        if let Some(start) = start {
+            if let Some(obs) = self.obs() {
+                obs.inserts.inc();
+                obs.insert_ns.record(start.elapsed().as_nanos() as u64);
+            }
+        }
     }
 
     /// Inserts a prepared leaf entry without touching `len` (shared by
@@ -63,6 +70,9 @@ impl SgTree {
             node.entries.push(entry);
             return self.finish_node(page, node);
         }
+        if let Some(obs) = self.obs() {
+            obs.choose_entries_scanned.add(node.entries.len() as u64);
+        }
         let idx = choose_subtree(&node.entries, &entry.sig, self.config.choose);
         let child = node.entries[idx].ptr;
         match self.insert_rec(child, entry) {
@@ -86,6 +96,9 @@ impl SgTree {
             let sig = node.union_signature(nbits);
             self.write_node(page, &node);
             return InsertResult::Ok(sig);
+        }
+        if let Some(obs) = self.obs() {
+            obs.splits.inc();
         }
         let level = node.level;
         let budget = SplitBudget {

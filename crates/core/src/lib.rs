@@ -57,9 +57,10 @@ pub use config::{ChooseSubtree, SplitPolicy, TreeConfig};
 pub use node::{Entry, Node};
 pub use query::{JoinPair, Neighbor, NnIter};
 pub use scan::ScanIndex;
+pub use sg_obs::{IndexObs, QueryTrace, Registry};
 pub use stats::QueryStats;
-pub use treestats::{LevelStats, TreeStats};
 pub use tree::{SgTree, TreeError};
+pub use treestats::{LevelStats, TreeStats};
 
 /// Transaction identifier stored in leaf entries.
 pub type Tid = u64;

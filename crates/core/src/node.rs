@@ -170,8 +170,12 @@ mod tests {
 
     fn sample_node(level: u16) -> Node {
         let mut n = Node::new(level);
-        n.entries.push(Entry::new(Signature::from_items(300, &[1, 2, 3]), 10));
-        n.entries.push(Entry::new(Signature::from_items(300, &(0..200).collect::<Vec<_>>()), 11));
+        n.entries
+            .push(Entry::new(Signature::from_items(300, &[1, 2, 3]), 10));
+        n.entries.push(Entry::new(
+            Signature::from_items(300, &(0..200).collect::<Vec<_>>()),
+            11,
+        ));
         n.entries.push(Entry::new(Signature::empty(300), 12));
         n
     }
@@ -228,7 +232,10 @@ mod tests {
     fn oversized_node_panics() {
         let mut n = Node::new(0);
         for i in 0..100 {
-            n.entries.push(Entry::new(Signature::from_items(300, &(0..250).collect::<Vec<_>>()), i));
+            n.entries.push(Entry::new(
+                Signature::from_items(300, &(0..250).collect::<Vec<_>>()),
+                i,
+            ));
         }
         n.encode(512, true);
     }

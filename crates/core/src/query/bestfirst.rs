@@ -14,7 +14,9 @@ use std::collections::BinaryHeap;
 
 #[derive(PartialEq, Eq)]
 enum Item {
-    Node(PageId),
+    /// A tree node and its level, kept so pruned (never-popped) entries
+    /// can be attributed to the directory level that held them.
+    Node(PageId, u16),
     Data(u64),
 }
 
@@ -30,7 +32,7 @@ impl QueueEntry {
     fn rank(&self) -> (Reverse<OrdF64>, u8, Reverse<u64>) {
         let (pri, tie) = match self.item {
             Item::Data(tid) => (1u8, tid),
-            Item::Node(page) => (0u8, page),
+            Item::Node(page, _) => (0u8, page),
         };
         (Reverse(self.key), pri, Reverse(tie))
     }
@@ -66,7 +68,7 @@ pub(crate) fn knn(
     let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::new();
     queue.push(QueueEntry {
         key: OrdF64(0.0),
-        item: Item::Node(tree.root_page()),
+        item: Item::Node(tree.root_page(), tree.height() - 1),
     });
     let mut out = Vec::with_capacity(k);
     while let Some(entry) = queue.pop() {
@@ -80,13 +82,12 @@ pub(crate) fn knn(
                     break;
                 }
             }
-            Item::Node(page) => {
-                ctx.nodes_accessed += 1;
+            Item::Node(page, level) => {
+                ctx.visit(level);
                 let node = tree.read_node(page);
                 if node.is_leaf() {
                     for e in &node.entries {
-                        ctx.data_compared += 1;
-                        ctx.dist_computations += 1;
+                        ctx.exact(node.level);
                         queue.push(QueueEntry {
                             key: OrdF64(metric.dist(q, &e.sig)),
                             item: Item::Data(e.ptr),
@@ -94,13 +95,23 @@ pub(crate) fn knn(
                     }
                 } else {
                     for e in &node.entries {
-                        ctx.dist_computations += 1;
+                        ctx.lower_bound(node.level);
                         queue.push(QueueEntry {
                             key: OrdF64(metric.mindist(q, &e.sig)),
-                            item: Item::Node(e.ptr),
+                            item: Item::Node(e.ptr, node.level - 1),
                         });
                     }
                 }
+            }
+        }
+    }
+    // Node entries still queued when the k-th neighbor popped are exactly
+    // the subtrees the bound pruned; attribute each to the directory level
+    // that held its entry.
+    if ctx.trace.is_some() {
+        for entry in queue.iter() {
+            if let Item::Node(_, level) = entry.item {
+                ctx.pruned(level + 1, 1);
             }
         }
     }

@@ -14,12 +14,18 @@ use sg_sig::Signature;
 /// All `tid` with `t ⊇ q`.
 pub(crate) fn containing(tree: &SgTree, q: &Signature, ctx: &mut SearchCtx) -> Vec<Tid> {
     let mut out = Vec::new();
-    fn recurse(tree: &SgTree, page: PageId, q: &Signature, out: &mut Vec<Tid>, ctx: &mut SearchCtx) {
-        ctx.nodes_accessed += 1;
+    fn recurse(
+        tree: &SgTree,
+        page: PageId,
+        q: &Signature,
+        out: &mut Vec<Tid>,
+        ctx: &mut SearchCtx,
+    ) {
         let node = tree.read_node(page);
+        ctx.visit(node.level);
         if node.is_leaf() {
             for e in &node.entries {
-                ctx.data_compared += 1;
+                ctx.checked(node.level);
                 if e.sig.contains(q) {
                     out.push(e.ptr);
                 }
@@ -27,9 +33,11 @@ pub(crate) fn containing(tree: &SgTree, q: &Signature, ctx: &mut SearchCtx) -> V
             return;
         }
         for e in &node.entries {
-            ctx.dist_computations += 1;
+            ctx.lower_bound(node.level);
             if e.sig.contains(q) {
                 recurse(tree, e.ptr, q, out, ctx);
+            } else {
+                ctx.pruned(node.level, 1);
             }
         }
     }
@@ -45,8 +53,8 @@ pub(crate) fn containing(tree: &SgTree, q: &Signature, ctx: &mut SearchCtx) -> V
 pub(crate) fn contained_in(tree: &SgTree, q: &Signature, ctx: &mut SearchCtx) -> Vec<Tid> {
     let mut out = Vec::new();
     fn collect_all(tree: &SgTree, page: PageId, out: &mut Vec<Tid>, ctx: &mut SearchCtx) {
-        ctx.nodes_accessed += 1;
         let node = tree.read_node(page);
+        ctx.visit(node.level);
         if node.is_leaf() {
             out.extend(node.entries.iter().map(|e| e.ptr));
             return;
@@ -55,12 +63,18 @@ pub(crate) fn contained_in(tree: &SgTree, q: &Signature, ctx: &mut SearchCtx) ->
             collect_all(tree, e.ptr, out, ctx);
         }
     }
-    fn recurse(tree: &SgTree, page: PageId, q: &Signature, out: &mut Vec<Tid>, ctx: &mut SearchCtx) {
-        ctx.nodes_accessed += 1;
+    fn recurse(
+        tree: &SgTree,
+        page: PageId,
+        q: &Signature,
+        out: &mut Vec<Tid>,
+        ctx: &mut SearchCtx,
+    ) {
         let node = tree.read_node(page);
+        ctx.visit(node.level);
         if node.is_leaf() {
             for e in &node.entries {
-                ctx.data_compared += 1;
+                ctx.checked(node.level);
                 if q.contains(&e.sig) {
                     out.push(e.ptr);
                 }
@@ -68,7 +82,7 @@ pub(crate) fn contained_in(tree: &SgTree, q: &Signature, ctx: &mut SearchCtx) ->
             return;
         }
         for e in &node.entries {
-            ctx.dist_computations += 1;
+            ctx.lower_bound(node.level);
             if q.contains(&e.sig) {
                 // The whole subtree is covered: every transaction below is
                 // a subset of q.
@@ -86,12 +100,18 @@ pub(crate) fn contained_in(tree: &SgTree, q: &Signature, ctx: &mut SearchCtx) ->
 /// All `tid` with `t = q` exactly.
 pub(crate) fn exact(tree: &SgTree, q: &Signature, ctx: &mut SearchCtx) -> Vec<Tid> {
     let mut out = Vec::new();
-    fn recurse(tree: &SgTree, page: PageId, q: &Signature, out: &mut Vec<Tid>, ctx: &mut SearchCtx) {
-        ctx.nodes_accessed += 1;
+    fn recurse(
+        tree: &SgTree,
+        page: PageId,
+        q: &Signature,
+        out: &mut Vec<Tid>,
+        ctx: &mut SearchCtx,
+    ) {
         let node = tree.read_node(page);
+        ctx.visit(node.level);
         if node.is_leaf() {
             for e in &node.entries {
-                ctx.data_compared += 1;
+                ctx.checked(node.level);
                 if e.sig == *q {
                     out.push(e.ptr);
                 }
@@ -99,9 +119,11 @@ pub(crate) fn exact(tree: &SgTree, q: &Signature, ctx: &mut SearchCtx) -> Vec<Ti
             return;
         }
         for e in &node.entries {
-            ctx.dist_computations += 1;
+            ctx.lower_bound(node.level);
             if e.sig.contains(q) {
                 recurse(tree, e.ptr, q, out, ctx);
+            } else {
+                ctx.pruned(node.level, 1);
             }
         }
     }

@@ -46,7 +46,7 @@ fn ordered_children(
         .entries
         .iter()
         .map(|e| {
-            ctx.dist_computations += 1;
+            ctx.lower_bound(node.level);
             (metric.mindist(q, &e.sig), e.sig.count(), e.ptr)
         })
         .collect();
@@ -91,12 +91,11 @@ fn knn_bounded(
                 init_bound
             }
         };
-        ctx.nodes_accessed += 1;
         let node = tree.read_node(page);
+        ctx.visit(node.level);
         if node.is_leaf() {
             for e in &node.entries {
-                ctx.data_compared += 1;
-                ctx.dist_computations += 1;
+                ctx.exact(node.level);
                 let d = metric.dist(q, &e.sig);
                 if d < prune(heap) {
                     heap.push(HeapItem {
@@ -110,14 +109,27 @@ fn knn_bounded(
             }
             return;
         }
-        for (mindist, _, child) in ordered_children(&node, q, metric, ctx) {
-            if mindist >= prune(heap) {
-                break; // later entries have even larger bounds
+        let order = ordered_children(&node, q, metric, ctx);
+        for (i, (mindist, _, child)) in order.iter().enumerate() {
+            if *mindist >= prune(heap) {
+                // Later entries have even larger bounds: this one and the
+                // rest of the order are all pruned.
+                ctx.pruned(node.level, (order.len() - i) as u64);
+                break;
             }
-            recurse(tree, child, q, k, metric, init_bound, heap, ctx);
+            recurse(tree, *child, q, k, metric, init_bound, heap, ctx);
         }
     }
-    recurse(tree, tree.root_page(), q, k, metric, init_bound, &mut heap, ctx);
+    recurse(
+        tree,
+        tree.root_page(),
+        q,
+        k,
+        metric,
+        init_bound,
+        &mut heap,
+        ctx,
+    );
     let mut out: Vec<Neighbor> = heap
         .into_sorted_vec()
         .into_iter()
@@ -148,7 +160,9 @@ pub(crate) fn nn_within(
     metric: &Metric,
     ctx: &mut SearchCtx,
 ) -> Option<Neighbor> {
-    knn_bounded(tree, q, 1, metric, bound, ctx).into_iter().next()
+    knn_bounded(tree, q, 1, metric, bound, ctx)
+        .into_iter()
+        .next()
 }
 
 /// All nearest neighbors at the minimum distance (Figure 4 with `≤`).
@@ -172,28 +186,32 @@ pub(crate) fn nn_all_ties(
         out: &mut Vec<Neighbor>,
         ctx: &mut SearchCtx,
     ) {
-        ctx.nodes_accessed += 1;
         let node = tree.read_node(page);
+        ctx.visit(node.level);
         if node.is_leaf() {
             for e in &node.entries {
-                ctx.data_compared += 1;
-                ctx.dist_computations += 1;
+                ctx.exact(node.level);
                 let d = metric.dist(q, &e.sig);
                 if d < *best {
                     *best = d;
                     out.clear();
                 }
                 if d <= *best {
-                    out.push(Neighbor { tid: e.ptr, dist: d });
+                    out.push(Neighbor {
+                        tid: e.ptr,
+                        dist: d,
+                    });
                 }
             }
             return;
         }
-        for (mindist, _, child) in ordered_children(&node, q, metric, ctx) {
-            if mindist > *best {
+        let order = ordered_children(&node, q, metric, ctx);
+        for (i, (mindist, _, child)) in order.iter().enumerate() {
+            if *mindist > *best {
+                ctx.pruned(node.level, (order.len() - i) as u64);
                 break;
             }
-            recurse(tree, child, q, metric, best, out, ctx);
+            recurse(tree, *child, q, metric, best, out, ctx);
         }
     }
     recurse(tree, tree.root_page(), q, metric, &mut best, &mut out, ctx);
@@ -222,23 +240,27 @@ pub(crate) fn range(
         out: &mut Vec<Neighbor>,
         ctx: &mut SearchCtx,
     ) {
-        ctx.nodes_accessed += 1;
         let node = tree.read_node(page);
+        ctx.visit(node.level);
         if node.is_leaf() {
             for e in &node.entries {
-                ctx.data_compared += 1;
-                ctx.dist_computations += 1;
+                ctx.exact(node.level);
                 let d = metric.dist(q, &e.sig);
                 if d <= eps {
-                    out.push(Neighbor { tid: e.ptr, dist: d });
+                    out.push(Neighbor {
+                        tid: e.ptr,
+                        dist: d,
+                    });
                 }
             }
             return;
         }
         for e in &node.entries {
-            ctx.dist_computations += 1;
+            ctx.lower_bound(node.level);
             if metric.mindist(q, &e.sig) <= eps {
                 recurse(tree, e.ptr, q, eps, metric, out, ctx);
+            } else {
+                ctx.pruned(node.level, 1);
             }
         }
     }

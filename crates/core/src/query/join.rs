@@ -39,8 +39,8 @@ fn for_each_leaf_entry(
         ctx: &mut SearchCtx,
         f: &mut impl FnMut(Tid, &Signature, &mut SearchCtx),
     ) {
-        ctx.nodes_accessed += 1;
         let node = tree.read_node(page);
+        ctx.visit(node.level);
         if node.is_leaf() {
             for e in &node.entries {
                 f(e.ptr, &e.sig, ctx);
@@ -130,6 +130,7 @@ fn combined_stats(
         io: sg_pager::IoSnapshot {
             logical_reads: l.logical_reads + r.logical_reads,
             physical_reads: l.physical_reads + r.physical_reads,
+            evictions: l.evictions + r.evictions,
             writes: l.writes + r.writes,
         },
     }

@@ -20,7 +20,9 @@ pub use join::JoinPair;
 use crate::stats::QueryStats;
 use crate::tree::SgTree;
 use crate::Tid;
+use sg_obs::QueryTrace;
 use sg_sig::{Metric, Signature};
+use std::time::Instant;
 
 /// One similarity-search hit.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,16 +46,67 @@ impl Ord for OrdF64 {
     }
 }
 
-/// Mutable per-query counters threaded through the traversals.
+/// Mutable per-query counters threaded through the traversals, with an
+/// optional [`QueryTrace`] collecting the per-level breakdown. The trace
+/// is `None` on the normal path, so tracing costs one branch per event.
 #[derive(Default)]
 pub(crate) struct SearchCtx {
     pub nodes_accessed: u64,
     pub data_compared: u64,
     pub dist_computations: u64,
+    pub trace: Option<QueryTrace>,
 }
 
 impl SearchCtx {
-    fn into_stats(self, tree: &SgTree, io_before: sg_pager::IoSnapshot) -> QueryStats {
+    /// Counts reading one node at tree `level` (0 = leaf).
+    #[inline]
+    pub(crate) fn visit(&mut self, level: u16) {
+        self.nodes_accessed += 1;
+        if let Some(t) = self.trace.as_mut() {
+            t.visit(level as u32);
+        }
+    }
+
+    /// Counts one directory lower-bound evaluation at `level` (the level
+    /// of the node holding the entry).
+    #[inline]
+    pub(crate) fn lower_bound(&mut self, level: u16) {
+        self.dist_computations += 1;
+        if let Some(t) = self.trace.as_mut() {
+            t.lower_bounds(level as u32, 1);
+        }
+    }
+
+    /// Counts `n` entries at `level` whose subtrees were pruned by the
+    /// directory lower bound.
+    #[inline]
+    pub(crate) fn pruned(&mut self, level: u16, n: u64) {
+        if let Some(t) = self.trace.as_mut() {
+            t.pruned(level as u32, n);
+        }
+    }
+
+    /// Counts one exact distance computation against a stored transaction.
+    #[inline]
+    pub(crate) fn exact(&mut self, level: u16) {
+        self.data_compared += 1;
+        self.dist_computations += 1;
+        if let Some(t) = self.trace.as_mut() {
+            t.exact(level as u32, 1);
+        }
+    }
+
+    /// Counts one predicate check (no distance) against a stored
+    /// transaction — the containment queries' leaf comparisons.
+    #[inline]
+    pub(crate) fn checked(&mut self, level: u16) {
+        self.data_compared += 1;
+        if let Some(t) = self.trace.as_mut() {
+            t.exact(level as u32, 1);
+        }
+    }
+
+    fn stats(&self, tree: &SgTree, io_before: sg_pager::IoSnapshot) -> QueryStats {
         QueryStats {
             nodes_accessed: self.nodes_accessed,
             data_compared: self.data_compared,
@@ -65,16 +118,60 @@ impl SearchCtx {
 
 impl SgTree {
     /// Runs `f` with a fresh [`SearchCtx`] and converts it (plus the I/O
-    /// delta) into [`QueryStats`].
-    pub(crate) fn run_query<R>(
-        &self,
-        f: impl FnOnce(&mut SearchCtx) -> R,
-    ) -> (R, QueryStats) {
+    /// delta) into [`QueryStats`]. When metrics are attached the query's
+    /// aggregate costs and wall time are recorded into them.
+    pub(crate) fn run_query<R>(&self, f: impl FnOnce(&mut SearchCtx) -> R) -> (R, QueryStats) {
+        let start = self.obs().map(|_| Instant::now());
         let io_before = self.pool().stats().snapshot();
         let mut ctx = SearchCtx::default();
         let result = f(&mut ctx);
-        let stats = ctx.into_stats(self, io_before);
+        let stats = ctx.stats(self, io_before);
+        if let (Some(obs), Some(start)) = (self.obs(), start) {
+            obs.observe_query(
+                stats.nodes_accessed,
+                stats.data_compared,
+                stats.dist_computations,
+                stats.io.logical_reads,
+                stats.io.physical_reads,
+                start.elapsed().as_nanos() as u64,
+            );
+        }
         (result, stats)
+    }
+
+    /// Like [`SgTree::run_query`], but also collects a per-level
+    /// [`QueryTrace`] labelled `label`. The caller sets `trace.results`.
+    pub(crate) fn run_query_traced<R>(
+        &self,
+        label: &str,
+        f: impl FnOnce(&mut SearchCtx) -> R,
+    ) -> (R, QueryStats, QueryTrace) {
+        let start = Instant::now();
+        let io_before = self.pool().stats().snapshot();
+        let mut ctx = SearchCtx {
+            trace: Some(QueryTrace::new(label, "sg-tree")),
+            ..SearchCtx::default()
+        };
+        let result = f(&mut ctx);
+        let stats = ctx.stats(self, io_before);
+        let mut trace = ctx.trace.take().expect("trace installed above");
+        trace.nodes_accessed = stats.nodes_accessed;
+        trace.data_compared = stats.data_compared;
+        trace.dist_computations = stats.dist_computations;
+        trace.logical_reads = stats.io.logical_reads;
+        trace.physical_reads = stats.io.physical_reads;
+        trace.duration_ns = start.elapsed().as_nanos() as u64;
+        if let Some(obs) = self.obs() {
+            obs.observe_query(
+                stats.nodes_accessed,
+                stats.data_compared,
+                stats.dist_computations,
+                stats.io.logical_reads,
+                stats.io.physical_reads,
+                trace.duration_ns,
+            );
+        }
+        (result, stats, trace)
     }
 
     /// Nearest-neighbor query (the paper's Figure 4, `k = 1`), depth-first.
@@ -159,11 +256,59 @@ impl SgTree {
     /// Closest-pair query (§4.2): the pair `(t₁ ∈ self, t₂ ∈ other)` with
     /// the minimum distance, `None` if either tree is empty. The running
     /// best distance bounds every probe.
-    pub fn closest_pair(
-        &self,
-        other: &SgTree,
-        metric: &Metric,
-    ) -> (Option<JoinPair>, QueryStats) {
+    pub fn closest_pair(&self, other: &SgTree, metric: &Metric) -> (Option<JoinPair>, QueryStats) {
         join::closest_pair(self, other, metric)
+    }
+
+    /// [`SgTree::knn`] with an EXPLAIN-style [`QueryTrace`]: per-level
+    /// nodes visited, entries pruned by the directory lower bound,
+    /// lower-bound evaluations and exact distances, plus pool behaviour.
+    pub fn knn_explain(
+        &self,
+        q: &Signature,
+        k: usize,
+        metric: &Metric,
+    ) -> (Vec<Neighbor>, QueryStats, QueryTrace) {
+        let label = format!("knn k={k} metric={:?}", metric.kind());
+        let (result, stats, mut trace) =
+            self.run_query_traced(&label, |ctx| dfs::knn(self, q, k, metric, ctx));
+        trace.results = result.len() as u64;
+        (result, stats, trace)
+    }
+
+    /// [`SgTree::knn_best_first`] with an EXPLAIN-style [`QueryTrace`].
+    pub fn knn_best_first_explain(
+        &self,
+        q: &Signature,
+        k: usize,
+        metric: &Metric,
+    ) -> (Vec<Neighbor>, QueryStats, QueryTrace) {
+        let label = format!("knn-best-first k={k} metric={:?}", metric.kind());
+        let (result, stats, mut trace) =
+            self.run_query_traced(&label, |ctx| bestfirst::knn(self, q, k, metric, ctx));
+        trace.results = result.len() as u64;
+        (result, stats, trace)
+    }
+
+    /// [`SgTree::range`] with an EXPLAIN-style [`QueryTrace`].
+    pub fn range_explain(
+        &self,
+        q: &Signature,
+        eps: f64,
+        metric: &Metric,
+    ) -> (Vec<Neighbor>, QueryStats, QueryTrace) {
+        let label = format!("range eps={eps} metric={:?}", metric.kind());
+        let (result, stats, mut trace) =
+            self.run_query_traced(&label, |ctx| dfs::range(self, q, eps, metric, ctx));
+        trace.results = result.len() as u64;
+        (result, stats, trace)
+    }
+
+    /// [`SgTree::containing`] with an EXPLAIN-style [`QueryTrace`].
+    pub fn containing_explain(&self, q: &Signature) -> (Vec<Tid>, QueryStats, QueryTrace) {
+        let (result, stats, mut trace) =
+            self.run_query_traced("containment", |ctx| containment::containing(self, q, ctx));
+        trace.results = result.len() as u64;
+        (result, stats, trace)
     }
 }

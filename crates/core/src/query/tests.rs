@@ -17,13 +17,17 @@ fn make_data(n: u64) -> Vec<(u64, Signature)> {
     let mut out = Vec::with_capacity(n as usize);
     let mut x = 0x243F6A8885A308D3u64;
     for tid in 0..n {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let cluster = (x >> 60) as u32 % 4;
         let len = 2 + ((x >> 33) % 5) as usize;
         let mut items = Vec::with_capacity(len);
         let mut y = x;
         for _ in 0..len {
-            y = y.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            y = y
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             items.push(cluster * 32 + ((y >> 40) % 32) as u32);
         }
         out.push((tid, Signature::from_items(NBITS, &items)));
@@ -176,7 +180,11 @@ fn nn_all_ties_returns_every_minimum() {
         let (ties, _) = tree.nn_all_ties(&q, &m);
         let (all, _) = scan.knn(&q, 300, &m);
         let best = all[0].dist;
-        let want: Vec<u64> = all.iter().filter(|n| n.dist == best).map(|n| n.tid).collect();
+        let want: Vec<u64> = all
+            .iter()
+            .filter(|n| n.dist == best)
+            .map(|n| n.tid)
+            .collect();
         let mut got: Vec<u64> = ties.iter().map(|n| n.tid).collect();
         got.sort_unstable();
         assert_eq!(got, want);
@@ -256,7 +264,10 @@ fn queries_on_empty_tree() {
 fn stats_data_compared_bounded_by_len_and_positive() {
     let data = make_data(500);
     let tree = tree_of(&data);
-    let (_, stats) = tree.nn(&Signature::from_items(NBITS, &[1, 2, 3]), &Metric::hamming());
+    let (_, stats) = tree.nn(
+        &Signature::from_items(NBITS, &[1, 2, 3]),
+        &Metric::hamming(),
+    );
     assert!(stats.data_compared >= 1);
     assert!(stats.data_compared <= 500);
     assert!(stats.nodes_accessed >= tree.height() as u64);
@@ -274,7 +285,10 @@ fn nn_prunes_relative_to_scan_on_clustered_data() {
         compared += stats.data_compared;
     }
     let frac = compared as f64 / (2000.0 * qs.len() as f64);
-    assert!(frac < 0.8, "NN search should prune: compared {frac:.2} of data");
+    assert!(
+        frac < 0.8,
+        "NN search should prune: compared {frac:.2} of data"
+    );
 }
 
 #[test]
@@ -312,14 +326,19 @@ fn closest_pair_matches_nested_loop() {
     let left_data = make_data(80);
     let right_data: Vec<(u64, Signature)> = make_data(90)
         .into_iter()
-        .map(|(tid, s)| (tid + 1000, Signature::from_items(NBITS, &{
-            // Shift items so distance 0 pairs are unlikely but possible.
-            let mut it = s.items();
-            if let Some(first) = it.first_mut() {
-                *first = (*first + 1) % NBITS;
-            }
-            it
-        })))
+        .map(|(tid, s)| {
+            (
+                tid + 1000,
+                Signature::from_items(NBITS, &{
+                    // Shift items so distance 0 pairs are unlikely but possible.
+                    let mut it = s.items();
+                    if let Some(first) = it.first_mut() {
+                        *first = (*first + 1) % NBITS;
+                    }
+                    it
+                }),
+            )
+        })
         .collect();
     let left = tree_of(&left_data);
     let right = tree_of(&right_data);
@@ -384,7 +403,11 @@ fn all_split_policies_answer_queries_identically() {
     let data = make_data(400);
     let scan = scan_of(&data);
     let m = Metric::hamming();
-    for policy in [SplitPolicy::Quadratic, SplitPolicy::AvLink, SplitPolicy::MinLink] {
+    for policy in [
+        SplitPolicy::Quadratic,
+        SplitPolicy::AvLink,
+        SplitPolicy::MinLink,
+    ] {
         let mut tree = SgTree::create(
             Arc::new(MemStore::new(512)),
             TreeConfig::new(NBITS).split(policy),
@@ -400,4 +423,264 @@ fn all_split_policies_answer_queries_identically() {
             assert_eq!(dists(&got), dists(&want), "{policy:?}");
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// QueryStats coverage: every query type produces nonzero, sensible counters,
+// and the counters are monotone in the query's selectivity knobs.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn query_stats_nonzero_for_every_query_type() {
+    let data = make_data(400);
+    let tree = tree_of(&data);
+    let m = Metric::hamming();
+    let q = Signature::from_items(NBITS, &[1, 2, 3]);
+    let named: Vec<(&str, crate::QueryStats)> = vec![
+        ("knn", tree.knn(&q, 10, &m).1),
+        ("knn_best_first", tree.knn_best_first(&q, 10, &m).1),
+        ("nn_all_ties", tree.nn_all_ties(&q, &m).1),
+        ("range", tree.range(&q, 4.0, &m).1),
+        ("containing", tree.containing(&q).1),
+        ("contained_in", tree.contained_in(&q).1),
+        ("exact", tree.exact(&q).1),
+    ];
+    for (name, s) in named {
+        assert!(s.nodes_accessed >= 1, "{name}: no nodes accessed");
+        assert!(
+            s.dist_computations + s.data_compared >= 1,
+            "{name}: no work counted"
+        );
+        // Every node access goes through the pool.
+        assert!(
+            s.io.logical_reads >= s.nodes_accessed,
+            "{name}: logical reads {} < nodes {}",
+            s.io.logical_reads,
+            s.nodes_accessed
+        );
+        assert!(s.hit_rate() >= 0.0 && s.hit_rate() <= 1.0, "{name}");
+    }
+    // Joins combine the I/O of both trees.
+    let other = tree_of(&make_data(120));
+    let (_, js) = tree.similarity_join(&other, 2.0, &m);
+    assert!(js.nodes_accessed >= 1);
+    assert!(js.dist_computations >= 1);
+    assert!(js.io.logical_reads >= js.nodes_accessed);
+    let (_, cs) = tree.closest_pair(&other, &m);
+    assert!(cs.nodes_accessed >= 1);
+    assert!(cs.dist_computations >= 1);
+}
+
+#[test]
+fn query_stats_monotone_in_k() {
+    let data = make_data(600);
+    let tree = tree_of(&data);
+    let m = Metric::hamming();
+    let q = Signature::from_items(NBITS, &[5, 9, 33]);
+    for variant in ["dfs", "best_first"] {
+        let mut prev_cmp = 0u64;
+        let mut prev_nodes = 0u64;
+        for k in [1usize, 5, 20, 80] {
+            let (_, s) = match variant {
+                "dfs" => tree.knn(&q, k, &m),
+                _ => tree.knn_best_first(&q, k, &m),
+            };
+            assert!(
+                s.data_compared >= prev_cmp && s.nodes_accessed >= prev_nodes,
+                "{variant} k={k}: counters shrank"
+            );
+            prev_cmp = s.data_compared;
+            prev_nodes = s.nodes_accessed;
+        }
+    }
+}
+
+#[test]
+fn query_stats_monotone_in_eps() {
+    let data = make_data(600);
+    let tree = tree_of(&data);
+    let m = Metric::hamming();
+    let q = Signature::from_items(NBITS, &[5, 9, 33]);
+    let mut prev_nodes = 0u64;
+    let mut prev_cmp = 0u64;
+    let mut prev_hits = 0usize;
+    for eps in [0.0, 2.0, 4.0, 8.0, 16.0] {
+        let (hits, s) = tree.range(&q, eps, &m);
+        assert!(s.nodes_accessed >= prev_nodes, "eps={eps}");
+        assert!(s.data_compared >= prev_cmp, "eps={eps}");
+        assert!(hits.len() >= prev_hits, "eps={eps}");
+        prev_nodes = s.nodes_accessed;
+        prev_cmp = s.data_compared;
+        prev_hits = hits.len();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN traces: per-level breakdowns are consistent with the aggregate
+// stats, obey the descend-or-prune conservation law, and round-trip JSON.
+// ---------------------------------------------------------------------------
+
+/// For every directory level L, each lower-bound evaluation either led to a
+/// descent (a visit one level down) or was pruned at L.
+fn assert_trace_conservation(trace: &crate::QueryTrace) {
+    for l in &trace.levels {
+        if l.level == 0 {
+            continue;
+        }
+        let below_visits = trace
+            .levels
+            .iter()
+            .find(|x| x.level == l.level - 1)
+            .map_or(0, |x| x.nodes_visited);
+        assert_eq!(
+            l.lower_bound_evals,
+            below_visits + l.entries_pruned,
+            "level {}: {} lb-evals != {} descents + {} pruned",
+            l.level,
+            l.lower_bound_evals,
+            below_visits,
+            l.entries_pruned
+        );
+    }
+}
+
+fn assert_trace_matches_stats(trace: &crate::QueryTrace, stats: &crate::QueryStats) {
+    assert_eq!(trace.nodes_accessed, stats.nodes_accessed);
+    assert_eq!(trace.data_compared, stats.data_compared);
+    assert_eq!(trace.dist_computations, stats.dist_computations);
+    let visits: u64 = trace.levels.iter().map(|l| l.nodes_visited).sum();
+    assert_eq!(visits, stats.nodes_accessed);
+    let exact: u64 = trace.levels.iter().map(|l| l.exact_distances).sum();
+    assert_eq!(exact, stats.data_compared);
+    let lb: u64 = trace.levels.iter().map(|l| l.lower_bound_evals).sum();
+    assert_eq!(lb + exact, stats.dist_computations);
+}
+
+#[test]
+fn knn_explain_trace_is_consistent_and_roundtrips() {
+    let data = make_data(800);
+    let tree = tree_of(&data);
+    assert!(tree.height() >= 2, "need a directory level");
+    let m = Metric::hamming();
+    let q = Signature::from_items(NBITS, &[3, 17, 40]);
+    let (hits, stats, trace) = tree.knn_explain(&q, 10, &m);
+    assert_eq!(hits.len(), 10);
+    assert_eq!(trace.results, 10);
+    assert_trace_matches_stats(&trace, &stats);
+    assert_trace_conservation(&trace);
+    // Levels span leaf to root.
+    assert!(trace.levels.iter().any(|l| l.level == 0));
+    let top = trace.levels.iter().map(|l| l.level).max().unwrap();
+    assert_eq!(top, (tree.height() - 1) as u32);
+    // Something was pruned on clustered data.
+    let pruned: u64 = trace.levels.iter().map(|l| l.entries_pruned).sum();
+    assert!(pruned > 0, "expected pruning on clustered data");
+    // Render mentions every section; JSON round-trips losslessly.
+    let text = trace.render();
+    assert!(text.contains("EXPLAIN knn k=10"), "{text}");
+    assert!(text.contains("leaf"), "{text}");
+    assert!(text.contains("pool hit rate"), "{text}");
+    let back = crate::QueryTrace::from_json(&trace.to_json()).unwrap();
+    assert_eq!(back, trace);
+}
+
+#[test]
+fn best_first_explain_trace_is_consistent() {
+    let data = make_data(800);
+    let tree = tree_of(&data);
+    let m = Metric::hamming();
+    let q = Signature::from_items(NBITS, &[3, 17, 40]);
+    let (hits, stats, trace) = tree.knn_best_first_explain(&q, 5, &m);
+    assert_eq!(trace.results, hits.len() as u64);
+    assert_trace_matches_stats(&trace, &stats);
+    assert_trace_conservation(&trace);
+    let back = crate::QueryTrace::from_json(&trace.to_json()).unwrap();
+    assert_eq!(back, trace);
+}
+
+#[test]
+fn range_and_containing_explain_traces_are_consistent() {
+    let data = make_data(500);
+    let tree = tree_of(&data);
+    let m = Metric::hamming();
+    let q = Signature::from_items(NBITS, &[3, 17]);
+    let (hits, stats, trace) = tree.range_explain(&q, 4.0, &m);
+    assert_eq!(trace.results, hits.len() as u64);
+    assert_trace_matches_stats(&trace, &stats);
+    assert_trace_conservation(&trace);
+
+    let (chits, cstats, ctrace) = tree.containing_explain(&q);
+    assert_eq!(ctrace.results, chits.len() as u64);
+    assert_eq!(ctrace.nodes_accessed, cstats.nodes_accessed);
+    assert_eq!(ctrace.data_compared, cstats.data_compared);
+    assert_trace_conservation(&ctrace);
+    let back = crate::QueryTrace::from_json(&ctrace.to_json()).unwrap();
+    assert_eq!(back, ctrace);
+}
+
+#[test]
+fn explain_variants_do_not_change_results_or_counters() {
+    let data = make_data(400);
+    let tree = tree_of(&data);
+    let m = Metric::hamming();
+    let q = Signature::from_items(NBITS, &[7, 21, 60]);
+    let (plain, ps) = tree.knn(&q, 10, &m);
+    let (traced, ts, _) = tree.knn_explain(&q, 10, &m);
+    assert_eq!(dists(&plain), dists(&traced));
+    assert_eq!(ps.nodes_accessed, ts.nodes_accessed);
+    assert_eq!(ps.data_compared, ts.data_compared);
+    assert_eq!(ps.dist_computations, ts.dist_computations);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry integration: attached instruments see queries and
+// maintenance operations.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn registered_obs_records_queries_and_maintenance() {
+    let registry = crate::Registry::new();
+    let mut tree = SgTree::create(Arc::new(MemStore::new(512)), TreeConfig::new(NBITS)).unwrap();
+    tree.register_obs(&registry, "sg_tree");
+    // The pool instruments only mirror I/O from attachment on; baseline the
+    // pool counters here so the comparison below covers the same window.
+    let io0 = tree.pool().stats().snapshot();
+    let data = make_data(300);
+    for (tid, sig) in &data {
+        tree.insert(*tid, sig);
+    }
+    let m = Metric::hamming();
+    let q = Signature::from_items(NBITS, &[1, 2, 3]);
+    let (_, s1) = tree.knn(&q, 5, &m);
+    let (_, s2) = tree.range(&q, 3.0, &m);
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("sg_tree.queries"), 2);
+    assert_eq!(
+        snap.counter("sg_tree.nodes_accessed"),
+        s1.nodes_accessed + s2.nodes_accessed
+    );
+    assert_eq!(
+        snap.counter("sg_tree.data_compared"),
+        s1.data_compared + s2.data_compared
+    );
+    assert_eq!(snap.counter("sg_tree.inserts"), 300);
+    assert!(
+        snap.counter("sg_tree.splits") >= 1,
+        "300 inserts must split"
+    );
+    assert!(snap.counter("sg_tree.choose_entries_scanned") >= 1);
+    // The pool instruments mirror the tree's I/O counters.
+    let io = tree.pool().stats().snapshot().since(&io0);
+    assert_eq!(
+        snap.counter("sg_tree.pool.hits") + snap.counter("sg_tree.pool.misses"),
+        io.logical_reads
+    );
+    assert_eq!(snap.counter("sg_tree.pool.misses"), io.physical_reads);
+    assert_eq!(snap.counter("sg_tree.pool.writes"), io.writes);
+    assert_eq!(snap.counter("sg_tree.pool.evictions"), io.evictions);
+    // Deletion counters.
+    let (tid, sig) = &data[0];
+    assert!(tree.delete(*tid, sig));
+    let snap2 = registry.snapshot();
+    assert_eq!(snap2.counter("sg_tree.deletes"), 1);
 }

@@ -258,12 +258,7 @@ mod tests {
 
     #[test]
     fn empty_index() {
-        let idx = ScanIndex::build(
-            Arc::new(MemStore::new(256)),
-            64,
-            4,
-            std::iter::empty(),
-        );
+        let idx = ScanIndex::build(Arc::new(MemStore::new(256)), 64, 4, std::iter::empty());
         assert!(idx.is_empty());
         assert_eq!(idx.page_count(), 0);
         let (nn, _) = idx.knn(&Signature::empty(64), 5, &Metric::hamming());

@@ -275,7 +275,11 @@ pub(crate) fn rebalance(a: &mut Vec<Entry>, b: &mut Vec<Entry>, budget: &SplitBu
         } else {
             return;
         };
-        let (donor, recv) = if a_to_b { (&mut *a, &mut *b) } else { (&mut *b, &mut *a) };
+        let (donor, recv) = if a_to_b {
+            (&mut *a, &mut *b)
+        } else {
+            (&mut *b, &mut *a)
+        };
         if donor.len() <= 1 {
             return; // cannot move the last entry; budget was infeasible
         }
@@ -376,7 +380,11 @@ mod tests {
 
     #[test]
     fn all_policies_separate_obvious_clusters() {
-        for policy in [SplitPolicy::Quadratic, SplitPolicy::AvLink, SplitPolicy::MinLink] {
+        for policy in [
+            SplitPolicy::Quadratic,
+            SplitPolicy::AvLink,
+            SplitPolicy::MinLink,
+        ] {
             let (a, b) = split_entries(two_obvious_clusters(), policy, loose());
             assert_separates_clusters(&a, &b);
         }
@@ -387,14 +395,20 @@ mod tests {
         // Nine near-identical entries plus one outlier: naive clustering
         // would isolate the outlier, violating the byte minimum (each
         // entry encodes to 8 + 1 + 4 = 13 bytes).
-        let mut es: Vec<Entry> = (0..9).map(|i| entry(&[1, 2, 3, i + 10], i as u64)).collect();
+        let mut es: Vec<Entry> = (0..9)
+            .map(|i| entry(&[1, 2, 3, i + 10], i as u64))
+            .collect();
         es.push(entry(&[60, 61, 62], 9));
         let budget = SplitBudget {
             min_bytes: NODE_HEADER + 3 * 13,
             max_bytes: 4096,
             compression: true,
         };
-        for policy in [SplitPolicy::Quadratic, SplitPolicy::AvLink, SplitPolicy::MinLink] {
+        for policy in [
+            SplitPolicy::Quadratic,
+            SplitPolicy::AvLink,
+            SplitPolicy::MinLink,
+        ] {
             let (a, b) = split_entries(es.clone(), policy, budget);
             assert!(
                 budget.group_bytes(&a) >= budget.min_bytes
@@ -410,14 +424,20 @@ mod tests {
     #[test]
     fn split_respects_max_bytes() {
         // Entries sized so both groups must stay under a small page.
-        let es: Vec<Entry> = (0..8).map(|i| entry(&[i, i + 20, i + 40], i as u64)).collect();
+        let es: Vec<Entry> = (0..8)
+            .map(|i| entry(&[i, i + 20, i + 40], i as u64))
+            .collect();
         let one = entry_encoded_len(&es[0].sig, true);
         let budget = SplitBudget {
             min_bytes: NODE_HEADER + one,
             max_bytes: NODE_HEADER + 5 * one,
             compression: true,
         };
-        for policy in [SplitPolicy::Quadratic, SplitPolicy::AvLink, SplitPolicy::MinLink] {
+        for policy in [
+            SplitPolicy::Quadratic,
+            SplitPolicy::AvLink,
+            SplitPolicy::MinLink,
+        ] {
             let (a, b) = split_entries(es.clone(), policy, budget);
             assert!(budget.group_bytes(&a) <= budget.max_bytes, "{policy:?}");
             assert!(budget.group_bytes(&b) <= budget.max_bytes, "{policy:?}");
@@ -427,7 +447,11 @@ mod tests {
     #[test]
     fn split_preserves_every_entry() {
         let es = two_obvious_clusters();
-        for policy in [SplitPolicy::Quadratic, SplitPolicy::AvLink, SplitPolicy::MinLink] {
+        for policy in [
+            SplitPolicy::Quadratic,
+            SplitPolicy::AvLink,
+            SplitPolicy::MinLink,
+        ] {
             let (a, b) = split_entries(es.clone(), policy, loose());
             let mut ptrs: Vec<u64> = a.iter().chain(b.iter()).map(|e| e.ptr).collect();
             ptrs.sort_unstable();
@@ -444,7 +468,11 @@ mod tests {
             max_bytes: 4096,
             compression: true,
         };
-        for policy in [SplitPolicy::Quadratic, SplitPolicy::AvLink, SplitPolicy::MinLink] {
+        for policy in [
+            SplitPolicy::Quadratic,
+            SplitPolicy::AvLink,
+            SplitPolicy::MinLink,
+        ] {
             let (a, b) = split_entries(es.clone(), policy, budget);
             assert!(a.len() >= 3 && b.len() >= 3, "{policy:?}");
         }
@@ -453,7 +481,11 @@ mod tests {
     #[test]
     fn minimum_size_split_two_entries() {
         let es = vec![entry(&[1], 0), entry(&[2], 1)];
-        for policy in [SplitPolicy::Quadratic, SplitPolicy::AvLink, SplitPolicy::MinLink] {
+        for policy in [
+            SplitPolicy::Quadratic,
+            SplitPolicy::AvLink,
+            SplitPolicy::MinLink,
+        ] {
             let (a, b) = split_entries(
                 es.clone(),
                 policy,

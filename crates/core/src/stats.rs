@@ -32,7 +32,18 @@ impl QueryStats {
         self.dist_computations += other.dist_computations;
         self.io.logical_reads += other.io.logical_reads;
         self.io.physical_reads += other.io.physical_reads;
+        self.io.evictions += other.io.evictions;
         self.io.writes += other.io.writes;
+    }
+
+    /// Buffer-pool hits during the query (logical reads served from cache).
+    pub fn pool_hits(&self) -> u64 {
+        self.io.pool_hits()
+    }
+
+    /// Fraction of the query's logical reads served from the pool.
+    pub fn hit_rate(&self) -> f64 {
+        self.io.hit_rate()
     }
 }
 
@@ -49,6 +60,7 @@ mod tests {
             io: IoSnapshot {
                 logical_reads: 4,
                 physical_reads: 5,
+                evictions: 1,
                 writes: 6,
             },
         };
@@ -58,6 +70,22 @@ mod tests {
         assert_eq!(a.dist_computations, 6);
         assert_eq!(a.io.logical_reads, 8);
         assert_eq!(a.io.physical_reads, 10);
+        assert_eq!(a.io.evictions, 2);
         assert_eq!(a.io.writes, 12);
+    }
+
+    #[test]
+    fn hit_rate_delegates_to_io() {
+        let s = QueryStats {
+            io: IoSnapshot {
+                logical_reads: 8,
+                physical_reads: 2,
+                evictions: 0,
+                writes: 0,
+            },
+            ..QueryStats::default()
+        };
+        assert_eq!(s.pool_hits(), 6);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
     }
 }

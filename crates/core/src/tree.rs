@@ -4,6 +4,7 @@
 use crate::config::{ChooseSubtree, SplitPolicy, TreeConfig};
 use crate::node::{Entry, Node};
 use crate::Tid;
+use sg_obs::{IndexObs, PoolObs, Registry};
 use sg_pager::{BufferPool, PageId, PageStore};
 use sg_sig::Signature;
 use std::fmt;
@@ -51,6 +52,9 @@ pub struct SgTree {
     pub(crate) len: u64,
     meta_page: PageId,
     meta_dirty: bool,
+    /// Optional metrics instruments; `None` keeps every hot path at a
+    /// single branch.
+    obs: Option<Arc<IndexObs>>,
 }
 
 impl SgTree {
@@ -80,6 +84,7 @@ impl SgTree {
             len: 0,
             meta_page,
             meta_dirty: true,
+            obs: None,
         };
         tree.write_node(root, &Node::new(0));
         tree.flush();
@@ -133,7 +138,30 @@ impl SgTree {
             len,
             meta_page,
             meta_dirty: false,
+            obs: None,
         })
+    }
+
+    /// Attaches index-level metrics instruments. Queries and maintenance
+    /// operations record into them from then on.
+    pub fn attach_obs(&mut self, obs: Arc<IndexObs>) {
+        self.obs = Some(obs);
+    }
+
+    /// Registers instruments for this tree under `<prefix>.*` (index
+    /// counters and latency histograms) and `<prefix>.pool.*` (buffer-pool
+    /// counters) in `registry`, and attaches both.
+    pub fn register_obs(&mut self, registry: &Registry, prefix: &str) -> Arc<IndexObs> {
+        let obs = IndexObs::register(registry, prefix);
+        self.pool
+            .attach_obs(PoolObs::register(registry, &format!("{prefix}.pool")));
+        self.obs = Some(obs.clone());
+        obs
+    }
+
+    /// The attached metrics instruments, if any.
+    pub(crate) fn obs(&self) -> Option<&Arc<IndexObs>> {
+        self.obs.as_ref()
     }
 
     /// Persists the meta page if dirty. Node pages are always written
@@ -387,7 +415,8 @@ mod tests {
         {
             let mut tree = SgTree::create(store.clone(), TreeConfig::new(nbits)).unwrap();
             for tid in 0..50u64 {
-                let sig = Signature::from_items(nbits, &[(tid % 64) as u32, ((tid * 7) % 64) as u32]);
+                let sig =
+                    Signature::from_items(nbits, &[(tid % 64) as u32, ((tid * 7) % 64) as u32]);
                 tree.insert(tid, &sig);
             }
             tree.flush();

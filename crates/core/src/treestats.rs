@@ -105,8 +105,7 @@ mod tests {
     use std::sync::Arc;
 
     fn build(n: u64) -> SgTree {
-        let mut tree =
-            SgTree::create(Arc::new(MemStore::new(512)), TreeConfig::new(128)).unwrap();
+        let mut tree = SgTree::create(Arc::new(MemStore::new(512)), TreeConfig::new(128)).unwrap();
         for tid in 0..n {
             let items = [
                 (tid % 128) as u32,

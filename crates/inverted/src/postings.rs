@@ -1,6 +1,7 @@
 //! The [`InvertedIndex`] implementation: paged posting lists plus the
 //! query algorithms.
 
+use sg_obs::{IndexObs, PoolObs, Registry};
 use sg_pager::{BufferPool, PageId, PageStore};
 use sg_sig::{Metric, MetricKind, Signature};
 use sg_tree::{Neighbor, QueryStats, Tid};
@@ -36,6 +37,8 @@ pub struct InvertedIndex {
     /// Transactions with no items at all (never appear in any posting).
     empties: Vec<Tid>,
     len: u64,
+    /// Optional metrics instruments.
+    obs: Option<Arc<IndexObs>>,
 }
 
 impl InvertedIndex {
@@ -54,7 +57,10 @@ impl InvertedIndex {
     ) -> InvertedIndex {
         let pool = Arc::new(BufferPool::new(store, pool_frames));
         let page_size = pool.page_size();
-        assert!(page_size >= PAGE_HEADER + REC, "page too small for a posting");
+        assert!(
+            page_size >= PAGE_HEADER + REC,
+            "page too small for a posting"
+        );
         let per_page = (page_size - PAGE_HEADER) / REC;
 
         // Gather per-item tid lists in memory, then page them out sorted.
@@ -105,6 +111,7 @@ impl InvertedIndex {
             sizes,
             len: data.len() as u64,
             empties,
+            obs: None,
         }
     }
 
@@ -131,6 +138,30 @@ impl InvertedIndex {
     /// The buffer pool (I/O statistics, cache control).
     pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool
+    }
+
+    /// Registers instruments under `<prefix>.*` / `<prefix>.pool.*` in
+    /// `registry` and attaches them; queries record into them from then on.
+    pub fn register_obs(&mut self, registry: &Registry, prefix: &str) -> Arc<IndexObs> {
+        let obs = IndexObs::register(registry, prefix);
+        self.pool
+            .attach_obs(PoolObs::register(registry, &format!("{prefix}.pool")));
+        self.obs = Some(obs.clone());
+        obs
+    }
+
+    /// Records one finished query into the attached instruments, if any.
+    fn observe(&self, stats: &QueryStats, start: Option<std::time::Instant>) {
+        if let (Some(obs), Some(start)) = (self.obs.as_ref(), start) {
+            obs.observe_query(
+                stats.nodes_accessed,
+                stats.data_compared,
+                stats.dist_computations,
+                stats.io.logical_reads,
+                stats.io.physical_reads,
+                start.elapsed().as_nanos() as u64,
+            );
+        }
     }
 
     /// Document frequency of an item.
@@ -178,12 +209,14 @@ impl InvertedIndex {
     /// All `tid` with `t ⊇ q`, by posting intersection (rarest item
     /// first). An empty query matches everything.
     pub fn containing(&self, q: &Signature) -> (Vec<Tid>, QueryStats) {
+        let start = self.obs.as_ref().map(|_| std::time::Instant::now());
         let io_before = self.pool.stats().snapshot();
         let mut stats = QueryStats::default();
         let mut items: Vec<u32> = q.ones().collect();
         if items.is_empty() {
             let mut all: Vec<Tid> = self.by_size.iter().map(|&(_, t)| t).collect();
             all.sort_unstable();
+            self.observe(&stats, start);
             return (all, stats);
         }
         items.sort_unstable_by_key(|&i| self.posting_len(i));
@@ -197,15 +230,14 @@ impl InvertedIndex {
         }
         stats.data_compared = acc.len() as u64;
         stats.io = self.pool.stats().snapshot().since(&io_before);
+        self.observe(&stats, start);
         (acc, stats)
     }
 
-    /// All `tid` with `t ⊆ q`: touched candidates whose overlap equals
-    /// their size, plus the empty transactions.
-    pub fn contained_in(&self, q: &Signature) -> (Vec<Tid>, QueryStats) {
-        let io_before = self.pool.stats().snapshot();
-        let mut stats = QueryStats::default();
-        let ov = self.overlaps(q, &mut stats);
+    /// Subset-query kernel shared by [`contained_in`](Self::contained_in)
+    /// and [`exact`](Self::exact) (so `exact` records as one query).
+    fn contained_in_inner(&self, q: &Signature, stats: &mut QueryStats) -> Vec<Tid> {
+        let ov = self.overlaps(q, stats);
         stats.data_compared = ov.len() as u64;
         let mut out: Vec<Tid> = ov
             .into_iter()
@@ -214,19 +246,35 @@ impl InvertedIndex {
             .collect();
         out.extend_from_slice(&self.empties);
         out.sort_unstable();
+        out
+    }
+
+    /// All `tid` with `t ⊆ q`: touched candidates whose overlap equals
+    /// their size, plus the empty transactions.
+    pub fn contained_in(&self, q: &Signature) -> (Vec<Tid>, QueryStats) {
+        let start = self.obs.as_ref().map(|_| std::time::Instant::now());
+        let io_before = self.pool.stats().snapshot();
+        let mut stats = QueryStats::default();
+        let out = self.contained_in_inner(q, &mut stats);
         stats.io = self.pool.stats().snapshot().since(&io_before);
+        self.observe(&stats, start);
         (out, stats)
     }
 
     /// All `tid` with `t = q` exactly.
     pub fn exact(&self, q: &Signature) -> (Vec<Tid>, QueryStats) {
-        let (subset, mut stats) = self.contained_in(q);
+        let start = self.obs.as_ref().map(|_| std::time::Instant::now());
+        let io_before = self.pool.stats().snapshot();
+        let mut stats = QueryStats::default();
+        let subset = self.contained_in_inner(q, &mut stats);
         let want = q.count();
         let out: Vec<Tid> = subset
             .into_iter()
             .filter(|tid| self.sizes[tid] == want)
             .collect();
         stats.data_compared += out.len() as u64;
+        stats.io = self.pool.stats().snapshot().since(&io_before);
+        self.observe(&stats, start);
         (out, stats)
     }
 
@@ -234,6 +282,7 @@ impl InvertedIndex {
     /// the by-size directory for untouched transactions.
     pub fn knn(&self, q: &Signature, k: usize, metric: &Metric) -> (Vec<Neighbor>, QueryStats) {
         Self::assert_hamming(metric);
+        let start = self.obs.as_ref().map(|_| std::time::Instant::now());
         let io_before = self.pool.stats().snapshot();
         let mut stats = QueryStats::default();
         let mut out: Vec<Neighbor> = Vec::new();
@@ -273,6 +322,7 @@ impl InvertedIndex {
             out.truncate(k);
         }
         stats.io = self.pool.stats().snapshot().since(&io_before);
+        self.observe(&stats, start);
         (out, stats)
     }
 
@@ -284,6 +334,7 @@ impl InvertedIndex {
     /// Exact similarity range query under Hamming.
     pub fn range(&self, q: &Signature, eps: f64, metric: &Metric) -> (Vec<Neighbor>, QueryStats) {
         Self::assert_hamming(metric);
+        let start = self.obs.as_ref().map(|_| std::time::Instant::now());
         let io_before = self.pool.stats().snapshot();
         let mut stats = QueryStats::default();
         let cq = q.count() as f64;
@@ -314,6 +365,7 @@ impl InvertedIndex {
                 .then(a.tid.cmp(&b.tid))
         });
         stats.io = self.pool.stats().snapshot().since(&io_before);
+        self.observe(&stats, start);
         (out, stats)
     }
 }
@@ -347,7 +399,9 @@ mod tests {
         let mut out = Vec::new();
         let mut x = 0xA5A5_5A5A_1234_5678u64;
         for tid in 0..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let len = (x >> 60) as usize % 6; // includes empty transactions
             let mut items = Vec::new();
             let mut y = x;
@@ -435,8 +489,7 @@ mod tests {
         for q in queries() {
             for k in [1usize, 5, 30] {
                 let (got, _) = idx.knn(&q, k, &m);
-                let mut want: Vec<f64> =
-                    data.iter().map(|(_, s)| m.dist(&q, s)).collect();
+                let mut want: Vec<f64> = data.iter().map(|(_, s)| m.dist(&q, s)).collect();
                 want.sort_by(|a, b| a.partial_cmp(b).unwrap());
                 want.truncate(k);
                 let gd: Vec<f64> = got.iter().map(|n| n.dist).collect();
@@ -502,5 +555,34 @@ mod tests {
         let data = make_data(10);
         let idx = build(&data);
         let _ = idx.knn(&data[0].1, 1, &Metric::jaccard());
+    }
+
+    #[test]
+    fn registered_obs_records_every_query_kind() {
+        let data = make_data(200);
+        let mut idx = build(&data);
+        let registry = sg_obs::Registry::new();
+        idx.register_obs(&registry, "inverted");
+        let io0 = idx.pool().stats().snapshot();
+        let q = &queries()[0];
+        let m = Metric::hamming();
+        let mut expect_nodes = 0u64;
+        for stats in [
+            idx.containing(q).1,
+            idx.contained_in(q).1,
+            idx.exact(q).1,
+            idx.knn(q, 5, &m).1,
+            idx.range(q, 4.0, &m).1,
+        ] {
+            expect_nodes += stats.nodes_accessed;
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("inverted.queries"), 5);
+        assert_eq!(snap.counter("inverted.nodes_accessed"), expect_nodes);
+        let io = idx.pool().stats().snapshot().since(&io0);
+        assert_eq!(
+            snap.counter("inverted.pool.hits") + snap.counter("inverted.pool.misses"),
+            io.logical_reads
+        );
     }
 }

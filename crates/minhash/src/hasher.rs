@@ -96,7 +96,10 @@ mod tests {
         let mh = MinHasher::new(64, 7);
         let a = Signature::from_items(100, &[1, 5, 20, 99]);
         assert_eq!(mh.vector(&a), mh.vector(&a.clone()));
-        assert_eq!(MinHasher::jaccard_estimate(&mh.vector(&a), &mh.vector(&a)), 1.0);
+        assert_eq!(
+            MinHasher::jaccard_estimate(&mh.vector(&a), &mh.vector(&a)),
+            1.0
+        );
     }
 
     #[test]

@@ -23,5 +23,5 @@
 mod hasher;
 mod lsh;
 
-pub use hasher::{MinHasher, MinHashVector};
+pub use hasher::{MinHashVector, MinHasher};
 pub use lsh::{LshParams, MinHashLsh};

@@ -1,9 +1,11 @@
 //! Banded LSH over MinHash vectors, with exact candidate verification.
 
-use crate::hasher::{MinHasher, MinHashVector};
+use crate::hasher::{MinHashVector, MinHasher};
+use sg_obs::{IndexObs, Registry};
 use sg_sig::{Metric, Signature};
 use sg_tree::{Neighbor, QueryStats, Tid};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Band geometry: `bands × rows` hash functions in total.
 #[derive(Debug, Clone, Copy)]
@@ -52,6 +54,8 @@ pub struct MinHashLsh {
     records: HashMap<Tid, Signature>,
     nbits: u32,
     len: u64,
+    /// Optional metrics instruments.
+    obs: Option<Arc<IndexObs>>,
 }
 
 impl MinHashLsh {
@@ -69,7 +73,10 @@ impl MinHashLsh {
             );
             let v = hasher.vector(sig);
             for (band, bucket) in buckets.iter_mut().enumerate() {
-                bucket.entry(band_key(&v, band, params.rows)).or_default().push(*tid);
+                bucket
+                    .entry(band_key(&v, band, params.rows))
+                    .or_default()
+                    .push(*tid);
             }
         }
         MinHashLsh {
@@ -79,6 +86,30 @@ impl MinHashLsh {
             records,
             nbits,
             len: data.len() as u64,
+            obs: None,
+        }
+    }
+
+    /// Registers instruments under `<prefix>.*` in `registry` and attaches
+    /// them; queries record into them from then on. The index is
+    /// memory-resident, so its I/O counters stay zero.
+    pub fn register_obs(&mut self, registry: &Registry, prefix: &str) -> Arc<IndexObs> {
+        let obs = IndexObs::register(registry, prefix);
+        self.obs = Some(obs.clone());
+        obs
+    }
+
+    /// Records one finished query into the attached instruments, if any.
+    fn observe(&self, stats: &QueryStats, start: Option<std::time::Instant>) {
+        if let (Some(obs), Some(start)) = (self.obs.as_ref(), start) {
+            obs.observe_query(
+                stats.nodes_accessed,
+                stats.data_compared,
+                stats.dist_computations,
+                stats.io.logical_reads,
+                stats.io.physical_reads,
+                start.elapsed().as_nanos() as u64,
+            );
         }
     }
 
@@ -121,6 +152,7 @@ impl MinHashLsh {
     /// that incompleteness is the price of the candidate generation and
     /// the quantity `repro ablate` measures as recall.
     pub fn knn(&self, q: &Signature, k: usize, metric: &Metric) -> (Vec<Neighbor>, QueryStats) {
+        let start = self.obs.as_ref().map(|_| std::time::Instant::now());
         let mut stats = QueryStats::default();
         let mut out: Vec<Neighbor> = Vec::new();
         for tid in self.candidates(q) {
@@ -138,11 +170,13 @@ impl MinHashLsh {
                 .then(a.tid.cmp(&b.tid))
         });
         out.truncate(k);
+        self.observe(&stats, start);
         (out, stats)
     }
 
     /// *Approximate* range query: candidates within `eps`.
     pub fn range(&self, q: &Signature, eps: f64, metric: &Metric) -> (Vec<Neighbor>, QueryStats) {
+        let start = self.obs.as_ref().map(|_| std::time::Instant::now());
         let mut stats = QueryStats::default();
         let mut out: Vec<Neighbor> = Vec::new();
         for tid in self.candidates(q) {
@@ -159,6 +193,7 @@ impl MinHashLsh {
                 .expect("finite")
                 .then(a.tid.cmp(&b.tid))
         });
+        self.observe(&stats, start);
         (out, stats)
     }
 }
@@ -205,8 +240,10 @@ mod tests {
         let mut found_family = 0usize;
         let mut family_total = 0usize;
         for probe in 0..16u64 {
-            let cands: std::collections::HashSet<Tid> =
-                lsh.candidates(&data[probe as usize].1).into_iter().collect();
+            let cands: std::collections::HashSet<Tid> = lsh
+                .candidates(&data[probe as usize].1)
+                .into_iter()
+                .collect();
             for (tid, _) in &data {
                 if tid % 16 == probe % 16 && tid / 16 < 20 {
                     family_total += 1;
@@ -227,8 +264,10 @@ mod tests {
         let mut cross = 0usize;
         let mut total = 0usize;
         for probe in 0..8u64 {
-            let cands: std::collections::HashSet<Tid> =
-                lsh.candidates(&data[probe as usize].1).into_iter().collect();
+            let cands: std::collections::HashSet<Tid> = lsh
+                .candidates(&data[probe as usize].1)
+                .into_iter()
+                .collect();
             for (tid, _) in &data {
                 if tid % 16 != probe % 16 {
                     total += 1;
@@ -297,5 +336,24 @@ mod tests {
         // All-sentinel vectors collide only with other empty sets; none
         // indexed here.
         assert!(res.is_empty());
+    }
+
+    #[test]
+    fn registered_obs_records_queries() {
+        let data = clustered_data(160);
+        let mut lsh = MinHashLsh::build(NBITS, LshParams::default(), &data);
+        let registry = sg_obs::Registry::new();
+        lsh.register_obs(&registry, "minhash");
+        let m = Metric::jaccard();
+        let (_, s1) = lsh.knn(&data[3].1, 5, &m);
+        let (_, s2) = lsh.range(&data[5].1, 0.4, &m);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("minhash.queries"), 2);
+        assert_eq!(
+            snap.counter("minhash.dist_computations"),
+            s1.dist_computations + s2.dist_computations
+        );
+        // Memory-resident: no I/O recorded.
+        assert_eq!(snap.counter("minhash.logical_reads"), 0);
     }
 }

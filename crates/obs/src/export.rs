@@ -1,0 +1,168 @@
+//! Snapshot exporters: Prometheus text format and JSON.
+
+use std::fmt::Write as _;
+
+use crate::json::Json;
+use crate::metrics::{bucket_upper_bound, HistogramSnapshot, MetricValue, RegistrySnapshot};
+
+/// Rewrites a registry name into a Prometheus-legal metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+///
+/// Histograms emit cumulative `_bucket{le=...}` series over the base-2
+/// bucket bounds (empty buckets are folded into the next non-empty
+/// one), plus `_sum` and `_count`.
+pub fn to_prometheus(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.metrics {
+        let pname = prom_name(name);
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {pname} counter");
+                let _ = writeln!(out, "{pname} {v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {pname} gauge");
+                let _ = writeln!(out, "{pname} {v}");
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {pname} histogram");
+                let mut cumulative = 0u64;
+                for (b, &n) in h.buckets.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    cumulative += n;
+                    let _ = writeln!(
+                        out,
+                        "{pname}_bucket{{le=\"{}\"}} {cumulative}",
+                        bucket_upper_bound(b)
+                    );
+                }
+                let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {}", h.count);
+                let _ = writeln!(out, "{pname}_sum {}", h.sum);
+                let _ = writeln!(out, "{pname}_count {}", h.count);
+            }
+        }
+    }
+    out
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> Json {
+    // Sparse bucket encoding: [[bucket_index, count], ...].
+    let buckets = h
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n > 0)
+        .map(|(b, &n)| Json::Arr(vec![Json::U64(b as u64), Json::U64(n)]))
+        .collect();
+    Json::Obj(vec![
+        ("type".into(), Json::Str("histogram".into())),
+        ("count".into(), Json::U64(h.count)),
+        ("sum".into(), Json::U64(h.sum)),
+        ("min".into(), Json::U64(h.min)),
+        ("max".into(), Json::U64(h.max)),
+        ("mean".into(), Json::F64(h.mean())),
+        ("p50".into(), Json::U64(h.quantile(0.50))),
+        ("p99".into(), Json::U64(h.quantile(0.99))),
+        ("buckets".into(), Json::Arr(buckets)),
+    ])
+}
+
+/// Builds the JSON document for a snapshot (name → typed value object).
+pub fn to_json_value(snapshot: &RegistrySnapshot) -> Json {
+    Json::Obj(
+        snapshot
+            .metrics
+            .iter()
+            .map(|(name, value)| {
+                let v = match value {
+                    MetricValue::Counter(v) => Json::Obj(vec![
+                        ("type".into(), Json::Str("counter".into())),
+                        ("value".into(), Json::U64(*v)),
+                    ]),
+                    MetricValue::Gauge(v) => Json::Obj(vec![
+                        ("type".into(), Json::Str("gauge".into())),
+                        ("value".into(), Json::I64(*v)),
+                    ]),
+                    MetricValue::Histogram(h) => histogram_json(h),
+                };
+                (name.clone(), v)
+            })
+            .collect(),
+    )
+}
+
+/// Renders a snapshot as pretty JSON.
+pub fn to_json(snapshot: &RegistrySnapshot) -> String {
+    to_json_value(snapshot).to_string_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::metrics::Registry;
+
+    fn sample() -> RegistrySnapshot {
+        let r = Registry::new();
+        r.counter("tree.queries").add(7);
+        r.gauge("pool.frames").set(-3);
+        let h = r.histogram("tree.query_ns");
+        h.record(100);
+        h.record(3000);
+        r.snapshot()
+    }
+
+    #[test]
+    fn prometheus_format_shape() {
+        let text = to_prometheus(&sample());
+        assert!(text.contains("# TYPE tree_queries counter"), "{text}");
+        assert!(text.contains("tree_queries 7"), "{text}");
+        assert!(text.contains("pool_frames -3"), "{text}");
+        assert!(
+            text.contains("tree_query_ns_bucket{le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("tree_query_ns_sum 3100"), "{text}");
+        // Cumulative counts are monotone.
+        assert!(text.contains("le=\"127\"} 1"), "{text}");
+        assert!(text.contains("le=\"4095\"} 2"), "{text}");
+    }
+
+    #[test]
+    fn json_export_parses_back() {
+        let text = to_json(&sample());
+        let doc = json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("tree.queries")
+                .unwrap()
+                .get("value")
+                .unwrap()
+                .as_u64(),
+            Some(7)
+        );
+        let hist = doc.get("tree.query_ns").unwrap();
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(hist.get("sum").unwrap().as_u64(), Some(3100));
+        assert_eq!(hist.get("min").unwrap().as_u64(), Some(100));
+    }
+
+    #[test]
+    fn prom_name_sanitizes() {
+        assert_eq!(prom_name("tree.query-ns/total"), "tree_query_ns_total");
+        assert_eq!(prom_name("9lives"), "_9lives");
+    }
+}

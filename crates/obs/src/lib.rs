@@ -1,0 +1,28 @@
+//! `sg-obs`: workspace-wide observability with zero external dependencies.
+//!
+//! Three layers:
+//!
+//! 1. **Metrics** ([`Registry`], [`Counter`], [`Gauge`], [`Histogram`]) —
+//!    named lock-free instruments. Handles are `Arc`s handed out by the
+//!    registry; the hot path touches only atomics. Histograms bucket
+//!    values by base-2 magnitude (HDR-style) and snapshot into mergeable
+//!    [`HistogramSnapshot`]s.
+//! 2. **Exporters** ([`export`]) — Prometheus text format and JSON, both
+//!    hand-rolled (no serde).
+//! 3. **Tracing** ([`trace::QueryTrace`]) — per-query EXPLAIN-style
+//!    breakdown: per-tree-level nodes visited / entries pruned / exact
+//!    distances computed, plus buffer-pool hit rate. Renders human-
+//!    readable and round-trips through JSON.
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+#[cfg(test)]
+mod proptests;
+pub mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, IndexObs, MetricSnapshot, MetricValue, PoolObs,
+    Registry, RegistrySnapshot,
+};
+pub use trace::{LevelTrace, QueryTrace, TraceSink};

@@ -1,0 +1,627 @@
+//! Lock-free metric instruments and the named registry.
+//!
+//! The registry hands out `Arc` handles; creation takes a mutex, but
+//! every recording operation afterwards is a relaxed atomic — safe to
+//! call from query hot loops.
+
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of base-2 magnitude buckets: value 0 plus one bucket per
+/// leading-bit position of a `u64`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Bucket index for a value: 0 for 0, else `64 - leading_zeros`, so
+/// bucket `b >= 1` covers `[2^(b-1), 2^b)`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed level (e.g. cached frames, open cursors).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the level by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Log-bucketed (base-2, HDR-style) value distribution.
+///
+/// Records are lock-free; bucket boundaries are powers of two, so the
+/// relative quantile error is at most 2x — plenty for latency triage.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable, mergeable copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_index`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Folds `other` into `self`; the result equals a histogram that
+    /// recorded the union of both observation streams.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = match (self.count, other.count) {
+            (0, _) => other.min,
+            (_, 0) => self.min,
+            _ => self.min.min(other.min),
+        };
+        self.count += other.count;
+    }
+
+    /// Mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in 0..=1): the geometric midpoint of
+    /// the bucket holding the q-th observation. Within 2x of exact.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_midpoint(b).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Representative value for a bucket: 0, or the geometric-ish midpoint
+/// `1.5 * 2^(b-1)` of `[2^(b-1), 2^b)`.
+fn bucket_midpoint(bucket: usize) -> u64 {
+    match bucket {
+        0 => 0,
+        1 => 1,
+        b => {
+            let lo = 1u64 << (b - 1);
+            lo + (lo >> 1)
+        }
+    }
+}
+
+/// Inclusive upper bound of a bucket's value range (the Prometheus
+/// exporter's `le` label): bucket 0 holds only 0, bucket `b` holds
+/// `[2^(b-1), 2^b - 1]`.
+pub(crate) fn bucket_upper_bound(bucket: usize) -> u64 {
+    if bucket >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Named metric store. Lookup/creation locks a mutex; the returned
+/// handles are lock-free to record into.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The process-wide registry (what the bench harness exports).
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Gets or creates the counter `name`.
+    ///
+    /// Panics if `name` is already registered as a different type.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.metrics.lock().unwrap().entry(name.to_string()) {
+            Entry::Occupied(e) => match e.get() {
+                Metric::Counter(c) => c.clone(),
+                _ => panic!("metric `{name}` already registered with a different type"),
+            },
+            Entry::Vacant(v) => {
+                let c = Arc::new(Counter::new());
+                v.insert(Metric::Counter(c.clone()));
+                c
+            }
+        }
+    }
+
+    /// Gets or creates the gauge `name`.
+    ///
+    /// Panics if `name` is already registered as a different type.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.metrics.lock().unwrap().entry(name.to_string()) {
+            Entry::Occupied(e) => match e.get() {
+                Metric::Gauge(g) => g.clone(),
+                _ => panic!("metric `{name}` already registered with a different type"),
+            },
+            Entry::Vacant(v) => {
+                let g = Arc::new(Gauge::new());
+                v.insert(Metric::Gauge(g.clone()));
+                g
+            }
+        }
+    }
+
+    /// Gets or creates the histogram `name`.
+    ///
+    /// Panics if `name` is already registered as a different type.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self.metrics.lock().unwrap().entry(name.to_string()) {
+            Entry::Occupied(e) => match e.get() {
+                Metric::Histogram(h) => h.clone(),
+                _ => panic!("metric `{name}` already registered with a different type"),
+            },
+            Entry::Vacant(v) => {
+                let h = Arc::new(Histogram::new());
+                v.insert(Metric::Histogram(h.clone()));
+                h
+            }
+        }
+    }
+
+    /// Point-in-time copy of every metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let metrics = self.metrics.lock().unwrap();
+        RegistrySnapshot {
+            metrics: metrics
+                .iter()
+                .map(|(name, m)| {
+                    let value = match m {
+                        Metric::Counter(c) => MetricValue::Counter(c.get()),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One metric's value inside a [`RegistrySnapshot`].
+// Snapshots are cold-path; the inline histogram beats boxing for merge/diff.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(i64),
+    /// Full histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// Named snapshot of one metric (exporter convenience).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Registered metric name.
+    pub name: String,
+    /// Captured value.
+    pub value: MetricValue,
+}
+
+/// Point-in-time copy of a whole [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Metric name → captured value, sorted by name.
+    pub metrics: BTreeMap<String, MetricValue>,
+}
+
+impl RegistrySnapshot {
+    /// Folds `other` into `self`: counters/gauges add, histograms merge,
+    /// metrics present only in `other` are copied in.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (name, v) in &other.metrics {
+            match self.metrics.entry(name.clone()) {
+                Entry::Vacant(slot) => {
+                    slot.insert(v.clone());
+                }
+                Entry::Occupied(mut slot) => match (slot.get_mut(), v) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                    (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += b,
+                    (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+                    _ => panic!("metric `{name}` changed type between snapshots"),
+                },
+            }
+        }
+    }
+
+    /// Difference since `earlier`: counters subtract (saturating),
+    /// gauges keep their current level, histogram bucket counts and
+    /// count/sum subtract (min/max are kept from `self` — they cannot
+    /// be un-observed).
+    pub fn since(&self, earlier: &RegistrySnapshot) -> RegistrySnapshot {
+        let mut out = BTreeMap::new();
+        for (name, now) in &self.metrics {
+            let delta = match (now, earlier.metrics.get(name)) {
+                (v, None) => v.clone(),
+                (MetricValue::Counter(a), Some(MetricValue::Counter(b))) => {
+                    MetricValue::Counter(a.saturating_sub(*b))
+                }
+                (MetricValue::Gauge(a), Some(MetricValue::Gauge(_))) => MetricValue::Gauge(*a),
+                (MetricValue::Histogram(a), Some(MetricValue::Histogram(b))) => {
+                    let mut h = a.clone();
+                    for (dst, src) in h.buckets.iter_mut().zip(&b.buckets) {
+                        *dst = dst.saturating_sub(*src);
+                    }
+                    h.count = h.count.saturating_sub(b.count);
+                    h.sum = h.sum.saturating_sub(b.sum);
+                    MetricValue::Histogram(h)
+                }
+                (_, Some(_)) => panic!("metric `{name}` changed type between snapshots"),
+            };
+            out.insert(name.clone(), delta);
+        }
+        RegistrySnapshot { metrics: out }
+    }
+
+    /// Counter value by name (0 when absent or not a counter).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+}
+
+/// The shared instrument set every index backend registers, so SG-tree,
+/// sequential-scan, signature-table, inverted-file, and MinHash costs
+/// line up under comparable metric names (`<prefix>.queries`, ...).
+#[derive(Debug)]
+pub struct IndexObs {
+    /// Queries executed.
+    pub queries: Arc<Counter>,
+    /// Per-query wall time, nanoseconds.
+    pub query_ns: Arc<Histogram>,
+    /// Index nodes/pages/buckets visited while answering queries.
+    pub nodes_accessed: Arc<Counter>,
+    /// Stored objects compared exactly against the query.
+    pub data_compared: Arc<Counter>,
+    /// Distance/bound evaluations (directory + data level).
+    pub dist_computations: Arc<Counter>,
+    /// Pages served from the buffer pool or backing store.
+    pub logical_reads: Arc<Counter>,
+    /// Pages that missed the pool (random I/Os in the paper's terms).
+    pub physical_reads: Arc<Counter>,
+    /// Objects inserted.
+    pub inserts: Arc<Counter>,
+    /// Per-insert wall time, nanoseconds.
+    pub insert_ns: Arc<Histogram>,
+    /// Objects deleted.
+    pub deletes: Arc<Counter>,
+    /// Node splits performed by inserts.
+    pub splits: Arc<Counter>,
+    /// Forced-reinsert rounds performed by inserts.
+    pub reinserts: Arc<Counter>,
+    /// Directory entries scanned by ChooseSubtree.
+    pub choose_entries_scanned: Arc<Counter>,
+}
+
+impl IndexObs {
+    /// Registers the instrument set under `<prefix>.<name>` metric names.
+    pub fn register(registry: &Registry, prefix: &str) -> Arc<IndexObs> {
+        let c = |name: &str| registry.counter(&format!("{prefix}.{name}"));
+        let h = |name: &str| registry.histogram(&format!("{prefix}.{name}"));
+        Arc::new(IndexObs {
+            queries: c("queries"),
+            query_ns: h("query_ns"),
+            nodes_accessed: c("nodes_accessed"),
+            data_compared: c("data_compared"),
+            dist_computations: c("dist_computations"),
+            logical_reads: c("logical_reads"),
+            physical_reads: c("physical_reads"),
+            inserts: c("inserts"),
+            insert_ns: h("insert_ns"),
+            deletes: c("deletes"),
+            splits: c("splits"),
+            reinserts: c("reinserts"),
+            choose_entries_scanned: c("choose_entries_scanned"),
+        })
+    }
+
+    /// Records one finished query's aggregate costs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn observe_query(
+        &self,
+        nodes_accessed: u64,
+        data_compared: u64,
+        dist_computations: u64,
+        logical_reads: u64,
+        physical_reads: u64,
+        duration_ns: u64,
+    ) {
+        self.queries.inc();
+        self.query_ns.record(duration_ns);
+        self.nodes_accessed.add(nodes_accessed);
+        self.data_compared.add(data_compared);
+        self.dist_computations.add(dist_computations);
+        self.logical_reads.add(logical_reads);
+        self.physical_reads.add(physical_reads);
+    }
+}
+
+/// Buffer-pool instrument set (`<prefix>.hits`, `.misses`, `.evictions`,
+/// `.writes`).
+#[derive(Debug)]
+pub struct PoolObs {
+    /// Reads served from a cached frame.
+    pub hits: Arc<Counter>,
+    /// Reads that had to touch the backing store.
+    pub misses: Arc<Counter>,
+    /// Frames evicted to make room.
+    pub evictions: Arc<Counter>,
+    /// Pages written through to the store.
+    pub writes: Arc<Counter>,
+}
+
+impl PoolObs {
+    /// Registers the pool instrument set under `<prefix>.<name>`.
+    pub fn register(registry: &Registry, prefix: &str) -> Arc<PoolObs> {
+        let c = |name: &str| registry.counter(&format!("{prefix}.{name}"));
+        Arc::new(PoolObs {
+            hits: c("hits"),
+            misses: c("misses"),
+            evictions: c("evictions"),
+            writes: c("writes"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn counter_and_gauge_basic() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn histogram_stats_and_quantiles() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1106);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean() - 221.2).abs() < 1e-9);
+        // p50 lands in the bucket containing the 3rd observation (value 3).
+        let p50 = s.quantile(0.5);
+        assert!((2..=4).contains(&p50), "p50 = {p50}");
+        // p100 approximates the max within a factor of 2.
+        let p100 = s.quantile(1.0);
+        assert!((512..=1000).contains(&p100), "p100 = {p100}");
+    }
+
+    #[test]
+    fn registry_reuses_handles_and_snapshots() {
+        let r = Registry::new();
+        let a = r.counter("x.events");
+        let b = r.counter("x.events");
+        a.inc();
+        b.inc();
+        r.gauge("x.level").set(-2);
+        r.histogram("x.lat").record(5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("x.events"), 2);
+        assert_eq!(snap.metrics.get("x.level"), Some(&MetricValue::Gauge(-2)),);
+        match snap.metrics.get("x.lat") {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count, 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn registry_rejects_type_confusion() {
+        let r = Registry::new();
+        r.counter("m");
+        r.gauge("m");
+    }
+
+    #[test]
+    fn snapshot_since_subtracts() {
+        let r = Registry::new();
+        let c = r.counter("n");
+        let h = r.histogram("t");
+        c.add(3);
+        h.record(10);
+        let before = r.snapshot();
+        c.add(2);
+        h.record(20);
+        let delta = r.snapshot().since(&before);
+        assert_eq!(delta.counter("n"), 2);
+        match delta.metrics.get("t") {
+            Some(MetricValue::Histogram(hs)) => {
+                assert_eq!(hs.count, 1);
+                assert_eq!(hs.sum, 20);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_handles_empty_sides() {
+        let empty = HistogramSnapshot::default();
+        let mut acc = HistogramSnapshot::default();
+        let h = Histogram::new();
+        h.record(42);
+        let one = h.snapshot();
+        acc.merge(&one);
+        assert_eq!(acc, one);
+        acc.merge(&empty);
+        assert_eq!(acc, one);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for snapshot merge semantics: merging two recorders'
+//! snapshots must equal one recorder that observed the union.
+
+use proptest::prelude::*;
+
+use crate::metrics::{Histogram, Registry};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_merge_equals_union(
+        a in prop::collection::vec(0u64..=1_000_000, 0..200),
+        b in prop::collection::vec(0u64..=1_000_000, 0..200),
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        let hu = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hu.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hu.record(v);
+        }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        prop_assert_eq!(merged, hu.snapshot());
+    }
+
+    #[test]
+    fn histogram_merge_is_commutative(
+        a in prop::collection::vec(0u64..=1_000_000, 0..100),
+        b in prop::collection::vec(0u64..=1_000_000, 0..100),
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+        }
+        let mut ab = ha.snapshot();
+        ab.merge(&hb.snapshot());
+        let mut ba = hb.snapshot();
+        ba.merge(&ha.snapshot());
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn registry_merge_equals_union(
+        counts_a in prop::collection::vec(0u64..1000, 3),
+        counts_b in prop::collection::vec(0u64..1000, 3),
+        lat_a in prop::collection::vec(0u64..100_000, 0..50),
+        lat_b in prop::collection::vec(0u64..100_000, 0..50),
+    ) {
+        let names = ["x.n", "y.n", "z.n"];
+        let build = |counts: &[u64], lats: &[u64]| {
+            let r = Registry::new();
+            for (name, &c) in names.iter().zip(counts) {
+                r.counter(name).add(c);
+            }
+            let h = r.histogram("x.lat");
+            for &v in lats {
+                h.record(v);
+            }
+            r
+        };
+        let ra = build(&counts_a, &lat_a);
+        let rb = build(&counts_b, &lat_b);
+        let union: Vec<u64> = counts_a.iter().zip(&counts_b).map(|(x, y)| x + y).collect();
+        let mut lat_union = lat_a.clone();
+        lat_union.extend_from_slice(&lat_b);
+        let ru = build(&union, &lat_union);
+
+        let mut merged = ra.snapshot();
+        merged.merge(&rb.snapshot());
+        prop_assert_eq!(merged, ru.snapshot());
+    }
+
+    #[test]
+    fn since_then_merge_restores_total(
+        first in prop::collection::vec(0u64..50_000, 1..60),
+        second in prop::collection::vec(0u64..50_000, 1..60),
+    ) {
+        // since() gives the delta of the second batch; merging it back on
+        // the first snapshot must restore bucket counts, count, and sum.
+        let r = Registry::new();
+        let h = r.histogram("lat");
+        let c = r.counter("n");
+        for &v in &first {
+            h.record(v);
+            c.inc();
+        }
+        let snap1 = r.snapshot();
+        for &v in &second {
+            h.record(v);
+            c.inc();
+        }
+        let snap2 = r.snapshot();
+        let delta = snap2.since(&snap1);
+        prop_assert_eq!(delta.counter("n"), second.len() as u64);
+
+        let mut restored = snap1.clone();
+        restored.merge(&delta);
+        // min/max are not restorable from a delta; compare the rest.
+        use crate::metrics::MetricValue;
+        match (restored.metrics.get("lat"), snap2.metrics.get("lat")) {
+            (Some(MetricValue::Histogram(a)), Some(MetricValue::Histogram(b))) => {
+                prop_assert_eq!(&a.buckets, &b.buckets);
+                prop_assert_eq!(a.count, b.count);
+                prop_assert_eq!(a.sum, b.sum);
+            }
+            other => prop_assert!(false, "unexpected metrics: {:?}", other),
+        }
+        prop_assert_eq!(restored.counter("n"), snap2.counter("n"));
+    }
+}

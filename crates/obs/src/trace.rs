@@ -1,0 +1,312 @@
+//! Per-query EXPLAIN-style traces.
+//!
+//! A [`QueryTrace`] breaks one query's cost down by tree level — nodes
+//! visited, entries pruned by the directory lower bound, lower-bound
+//! evaluations, exact distances computed — plus buffer-pool behaviour
+//! and wall time. It renders as a human-readable plan summary and
+//! round-trips losslessly through JSON.
+
+use std::fmt::Write as _;
+
+use crate::json::{self, Json};
+
+/// Collector threaded through a search when tracing is requested;
+/// `None` keeps the hot path branch-only.
+pub type TraceSink<'a> = Option<&'a mut QueryTrace>;
+
+/// Cost breakdown for one tree level (level 0 = leaves).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LevelTrace {
+    /// Tree level (0 = leaf nodes).
+    pub level: u32,
+    /// Nodes of this level read during the search.
+    pub nodes_visited: u64,
+    /// Entries skipped because their directory lower bound exceeded the
+    /// current pruning distance (their subtrees were never read).
+    pub entries_pruned: u64,
+    /// Directory lower-bound evaluations at this level.
+    pub lower_bound_evals: u64,
+    /// Exact distances computed against stored objects (leaf level).
+    pub exact_distances: u64,
+}
+
+/// EXPLAIN-style record of one query execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryTrace {
+    /// Query description, e.g. `knn k=10`.
+    pub query: String,
+    /// Index description, e.g. `sg-tree`.
+    pub index: String,
+    /// Per-level breakdown, sorted root→leaf by [`QueryTrace::render`].
+    pub levels: Vec<LevelTrace>,
+    /// Total nodes accessed.
+    pub nodes_accessed: u64,
+    /// Total stored objects compared exactly.
+    pub data_compared: u64,
+    /// Total distance/bound computations.
+    pub dist_computations: u64,
+    /// Pages requested from the buffer pool.
+    pub logical_reads: u64,
+    /// Pool misses (random I/Os).
+    pub physical_reads: u64,
+    /// Wall time in nanoseconds.
+    pub duration_ns: u64,
+    /// Result rows returned.
+    pub results: u64,
+}
+
+impl QueryTrace {
+    /// An empty trace labelled with the query and index descriptions.
+    pub fn new(query: impl Into<String>, index: impl Into<String>) -> Self {
+        QueryTrace {
+            query: query.into(),
+            index: index.into(),
+            ..QueryTrace::default()
+        }
+    }
+
+    fn level_mut(&mut self, level: u32) -> &mut LevelTrace {
+        if let Some(i) = self.levels.iter().position(|l| l.level == level) {
+            &mut self.levels[i]
+        } else {
+            self.levels.push(LevelTrace {
+                level,
+                ..LevelTrace::default()
+            });
+            self.levels.last_mut().unwrap()
+        }
+    }
+
+    /// Counts one node visit at `level`.
+    #[inline]
+    pub fn visit(&mut self, level: u32) {
+        self.level_mut(level).nodes_visited += 1;
+    }
+
+    /// Counts `n` entries pruned by the directory lower bound at `level`.
+    #[inline]
+    pub fn pruned(&mut self, level: u32, n: u64) {
+        self.level_mut(level).entries_pruned += n;
+    }
+
+    /// Counts `n` lower-bound evaluations at `level`.
+    #[inline]
+    pub fn lower_bounds(&mut self, level: u32, n: u64) {
+        self.level_mut(level).lower_bound_evals += n;
+    }
+
+    /// Counts `n` exact distance computations at `level`.
+    #[inline]
+    pub fn exact(&mut self, level: u32, n: u64) {
+        self.level_mut(level).exact_distances += n;
+    }
+
+    /// Buffer-pool hits (logical reads that did not touch the store).
+    pub fn pool_hits(&self) -> u64 {
+        self.logical_reads.saturating_sub(self.physical_reads)
+    }
+
+    /// Fraction of logical reads served from the pool (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.logical_reads == 0 {
+            0.0
+        } else {
+            self.pool_hits() as f64 / self.logical_reads as f64
+        }
+    }
+
+    /// Human-readable plan summary, root level first.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "EXPLAIN {} on {}", self.query, self.index);
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>8} {:>8} {:>10} {:>10}",
+            "level", "visited", "pruned", "lb-evals", "exact-dist"
+        );
+        let mut levels = self.levels.clone();
+        levels.sort_by_key(|l| std::cmp::Reverse(l.level));
+        for l in &levels {
+            let label = if l.level == 0 {
+                "leaf".to_string()
+            } else {
+                format!("dir-{}", l.level)
+            };
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>8} {:>8} {:>10} {:>10}",
+                label, l.nodes_visited, l.entries_pruned, l.lower_bound_evals, l.exact_distances
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  totals: {} nodes, {} data compared, {} dist computations, {} results",
+            self.nodes_accessed, self.data_compared, self.dist_computations, self.results
+        );
+        let _ = writeln!(
+            out,
+            "  io: {} logical / {} physical reads, pool hit rate {:.1}%",
+            self.logical_reads,
+            self.physical_reads,
+            self.hit_rate() * 100.0
+        );
+        let _ = write!(out, "  time: {:.3} ms", self.duration_ns as f64 / 1e6);
+        out
+    }
+
+    /// JSON document for this trace.
+    pub fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("query".into(), Json::Str(self.query.clone())),
+            ("index".into(), Json::Str(self.index.clone())),
+            (
+                "levels".into(),
+                Json::Arr(
+                    self.levels
+                        .iter()
+                        .map(|l| {
+                            Json::Obj(vec![
+                                ("level".into(), Json::U64(l.level as u64)),
+                                ("nodes_visited".into(), Json::U64(l.nodes_visited)),
+                                ("entries_pruned".into(), Json::U64(l.entries_pruned)),
+                                ("lower_bound_evals".into(), Json::U64(l.lower_bound_evals)),
+                                ("exact_distances".into(), Json::U64(l.exact_distances)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("nodes_accessed".into(), Json::U64(self.nodes_accessed)),
+            ("data_compared".into(), Json::U64(self.data_compared)),
+            (
+                "dist_computations".into(),
+                Json::U64(self.dist_computations),
+            ),
+            ("logical_reads".into(), Json::U64(self.logical_reads)),
+            ("physical_reads".into(), Json::U64(self.physical_reads)),
+            ("pool_hits".into(), Json::U64(self.pool_hits())),
+            ("hit_rate".into(), Json::F64(self.hit_rate())),
+            ("duration_ns".into(), Json::U64(self.duration_ns)),
+            ("results".into(), Json::U64(self.results)),
+        ])
+    }
+
+    /// Serializes the trace as pretty JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string_pretty()
+    }
+
+    /// Parses a trace previously produced by [`QueryTrace::to_json`].
+    pub fn from_json(text: &str) -> Result<QueryTrace, String> {
+        let doc = json::parse(text)?;
+        let str_field = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field `{key}`"))
+        };
+        let u64_field = |node: &Json, key: &str| -> Result<u64, String> {
+            node.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing numeric field `{key}`"))
+        };
+        let mut levels = Vec::new();
+        for l in doc
+            .get("levels")
+            .and_then(Json::as_arr)
+            .ok_or("missing `levels` array")?
+        {
+            levels.push(LevelTrace {
+                level: u64_field(l, "level")? as u32,
+                nodes_visited: u64_field(l, "nodes_visited")?,
+                entries_pruned: u64_field(l, "entries_pruned")?,
+                lower_bound_evals: u64_field(l, "lower_bound_evals")?,
+                exact_distances: u64_field(l, "exact_distances")?,
+            });
+        }
+        Ok(QueryTrace {
+            query: str_field("query")?,
+            index: str_field("index")?,
+            levels,
+            nodes_accessed: u64_field(&doc, "nodes_accessed")?,
+            data_compared: u64_field(&doc, "data_compared")?,
+            dist_computations: u64_field(&doc, "dist_computations")?,
+            logical_reads: u64_field(&doc, "logical_reads")?,
+            physical_reads: u64_field(&doc, "physical_reads")?,
+            duration_ns: u64_field(&doc, "duration_ns")?,
+            results: u64_field(&doc, "results")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QueryTrace {
+        let mut t = QueryTrace::new("knn k=5", "sg-tree");
+        t.visit(2);
+        t.visit(1);
+        t.visit(1);
+        t.visit(0);
+        t.lower_bounds(2, 8);
+        t.lower_bounds(1, 12);
+        t.pruned(1, 5);
+        t.pruned(0, 9);
+        t.exact(0, 23);
+        t.nodes_accessed = 4;
+        t.data_compared = 23;
+        t.dist_computations = 43;
+        t.logical_reads = 4;
+        t.physical_reads = 1;
+        t.duration_ns = 1_500_000;
+        t.results = 5;
+        t
+    }
+
+    #[test]
+    fn accumulators_group_by_level() {
+        let t = sample();
+        let dir1 = t.levels.iter().find(|l| l.level == 1).unwrap();
+        assert_eq!(dir1.nodes_visited, 2);
+        assert_eq!(dir1.entries_pruned, 5);
+        assert_eq!(dir1.lower_bound_evals, 12);
+        let leaf = t.levels.iter().find(|l| l.level == 0).unwrap();
+        assert_eq!(leaf.exact_distances, 23);
+    }
+
+    #[test]
+    fn hit_rate_derivation() {
+        let t = sample();
+        assert_eq!(t.pool_hits(), 3);
+        assert!((t.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(QueryTrace::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn render_mentions_all_sections() {
+        let text = sample().render();
+        assert!(text.contains("EXPLAIN knn k=5 on sg-tree"), "{text}");
+        assert!(text.contains("dir-2"), "{text}");
+        assert!(text.contains("leaf"), "{text}");
+        assert!(text.contains("pool hit rate 75.0%"), "{text}");
+        assert!(text.contains("1.500 ms"), "{text}");
+        // Root level renders before the leaf level.
+        assert!(text.find("dir-2").unwrap() < text.find("leaf").unwrap());
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let t = sample();
+        let back = QueryTrace::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        assert!(QueryTrace::from_json("{}").is_err());
+        assert!(QueryTrace::from_json("not json").is_err());
+        let missing_total = r#"{"query":"q","index":"i","levels":[]}"#;
+        assert!(QueryTrace::from_json(missing_total).is_err());
+    }
+}

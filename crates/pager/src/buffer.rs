@@ -11,8 +11,9 @@ use crate::stats::IoStats;
 use crate::store::PageStore;
 use crate::PageId;
 use parking_lot::Mutex;
+use sg_obs::PoolObs;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 const NIL: usize = usize::MAX;
 
@@ -136,6 +137,7 @@ pub struct BufferPool {
     capacity: usize,
     stats: IoStats,
     lru: Mutex<LruState>,
+    obs: OnceLock<Arc<PoolObs>>,
 }
 
 impl BufferPool {
@@ -147,7 +149,15 @@ impl BufferPool {
             capacity,
             stats: IoStats::new(),
             lru: Mutex::new(LruState::new()),
+            obs: OnceLock::new(),
         }
+    }
+
+    /// Attaches a metrics instrument set; hits/misses/evictions/writes
+    /// are mirrored into it from then on. Only the first attachment
+    /// takes effect.
+    pub fn attach_obs(&self, obs: Arc<PoolObs>) {
+        let _ = self.obs.set(obs);
     }
 
     /// The wrapped store.
@@ -181,6 +191,19 @@ impl BufferPool {
         self.store.free(id);
     }
 
+    /// Evicts LRU frames until the pool fits its capacity, counting each.
+    fn evict_excess(&self, lru: &mut LruState) {
+        while lru.len() > self.capacity {
+            if lru.evict_lru().is_none() {
+                break;
+            }
+            self.stats.count_eviction();
+            if let Some(obs) = self.obs.get() {
+                obs.evictions.inc();
+            }
+        }
+    }
+
     /// Reads page `id`, from cache when possible.
     pub fn read(&self, id: PageId) -> Arc<[u8]> {
         self.stats.count_logical_read();
@@ -189,11 +212,18 @@ impl BufferPool {
             if let Some(&idx) = lru.map.get(&id) {
                 let data = lru.frames[idx].data.clone();
                 lru.touch(idx);
+                drop(lru);
+                if let Some(obs) = self.obs.get() {
+                    obs.hits.inc();
+                }
                 return data;
             }
         }
         // Miss (or caching disabled): one random I/O.
         self.stats.count_physical_read();
+        if let Some(obs) = self.obs.get() {
+            obs.misses.inc();
+        }
         let mut buf = vec![0u8; self.store.page_size()];
         self.store.read(id, &mut buf);
         let data: Arc<[u8]> = Arc::from(buf.into_boxed_slice());
@@ -202,9 +232,7 @@ impl BufferPool {
             // Re-check: another thread may have inserted meanwhile.
             if !lru.map.contains_key(&id) {
                 lru.insert(id, data.clone());
-                while lru.len() > self.capacity {
-                    lru.evict_lru();
-                }
+                self.evict_excess(&mut lru);
             }
         }
         data
@@ -218,6 +246,9 @@ impl BufferPool {
     pub fn write(&self, id: PageId, data: &[u8]) {
         assert_eq!(data.len(), self.store.page_size());
         self.stats.count_write();
+        if let Some(obs) = self.obs.get() {
+            obs.writes.inc();
+        }
         self.store.write(id, data);
         if self.capacity > 0 {
             let mut lru = self.lru.lock();
@@ -226,9 +257,7 @@ impl BufferPool {
                 lru.remove(id);
             }
             lru.insert(id, cached);
-            while lru.len() > self.capacity {
-                lru.evict_lru();
-            }
+            self.evict_excess(&mut lru);
         }
     }
 
@@ -343,7 +372,9 @@ mod tests {
         // Access in a pseudo-random pattern, verifying contents each time.
         let mut x = 1u64;
         for _ in 0..1000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let i = (x >> 33) as usize % ids.len();
             let data = p.read(ids[i]);
             assert_eq!(data[0], i as u8);

@@ -8,11 +8,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 ///   [`crate::BufferPool::read`] call).
 /// * `physical_reads` — fetches that missed the buffer pool and hit the
 ///   store: the paper's **random I/Os**.
+/// * `evictions` — frames dropped by the pool's LRU to make room.
 /// * `writes` — pages written through to the store.
 #[derive(Debug, Default)]
 pub struct IoStats {
     logical_reads: AtomicU64,
     physical_reads: AtomicU64,
+    evictions: AtomicU64,
     writes: AtomicU64,
 }
 
@@ -33,6 +35,11 @@ impl IoStats {
     }
 
     #[inline]
+    pub(crate) fn count_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
     pub(crate) fn count_write(&self) {
         self.writes.fetch_add(1, Ordering::Relaxed);
     }
@@ -47,6 +54,11 @@ impl IoStats {
         self.physical_reads.load(Ordering::Relaxed)
     }
 
+    /// Frames evicted by the pool's LRU.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Pages written to the store.
     pub fn writes(&self) -> u64 {
         self.writes.load(Ordering::Relaxed)
@@ -56,6 +68,7 @@ impl IoStats {
     pub fn reset(&self) {
         self.logical_reads.store(0, Ordering::Relaxed);
         self.physical_reads.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
         self.writes.store(0, Ordering::Relaxed);
     }
 
@@ -64,6 +77,7 @@ impl IoStats {
         IoSnapshot {
             logical_reads: self.logical_reads(),
             physical_reads: self.physical_reads(),
+            evictions: self.evictions(),
             writes: self.writes(),
         }
     }
@@ -77,6 +91,8 @@ pub struct IoSnapshot {
     pub logical_reads: u64,
     /// Pool misses that reached the store.
     pub physical_reads: u64,
+    /// Frames evicted by the pool's LRU.
+    pub evictions: u64,
     /// Pages written to the store.
     pub writes: u64,
 }
@@ -87,7 +103,23 @@ impl IoSnapshot {
         IoSnapshot {
             logical_reads: self.logical_reads.saturating_sub(earlier.logical_reads),
             physical_reads: self.physical_reads.saturating_sub(earlier.physical_reads),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
             writes: self.writes.saturating_sub(earlier.writes),
+        }
+    }
+
+    /// Reads served from a cached frame: `logical − physical`.
+    pub fn pool_hits(&self) -> u64 {
+        self.logical_reads.saturating_sub(self.physical_reads)
+    }
+
+    /// Fraction of logical reads served from the pool; 0.0 when no reads
+    /// happened.
+    pub fn hit_rate(&self) -> f64 {
+        if self.logical_reads == 0 {
+            0.0
+        } else {
+            self.pool_hits() as f64 / self.logical_reads as f64
         }
     }
 }
@@ -102,9 +134,11 @@ mod tests {
         s.count_logical_read();
         s.count_logical_read();
         s.count_physical_read();
+        s.count_eviction();
         s.count_write();
         assert_eq!(s.logical_reads(), 2);
         assert_eq!(s.physical_reads(), 1);
+        assert_eq!(s.evictions(), 1);
         assert_eq!(s.writes(), 1);
         s.reset();
         assert_eq!(s.snapshot(), IoSnapshot::default());
@@ -118,9 +152,75 @@ mod tests {
         s.count_physical_read();
         s.count_physical_read();
         s.count_logical_read();
+        s.count_eviction();
         let delta = s.snapshot().since(&before);
         assert_eq!(delta.physical_reads, 2);
         assert_eq!(delta.logical_reads, 1);
+        assert_eq!(delta.evictions, 1);
         assert_eq!(delta.writes, 0);
+    }
+
+    #[test]
+    fn pool_hits_is_logical_minus_physical() {
+        let s = IoStats::new();
+        for _ in 0..10 {
+            s.count_logical_read();
+        }
+        for _ in 0..3 {
+            s.count_physical_read();
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.pool_hits(), 7);
+        assert!((snap.hit_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_edge_cases() {
+        // No reads at all.
+        assert_eq!(IoSnapshot::default().hit_rate(), 0.0);
+        assert_eq!(IoSnapshot::default().pool_hits(), 0);
+        // All misses.
+        let all_miss = IoSnapshot {
+            logical_reads: 4,
+            physical_reads: 4,
+            evictions: 0,
+            writes: 0,
+        };
+        assert_eq!(all_miss.pool_hits(), 0);
+        assert_eq!(all_miss.hit_rate(), 0.0);
+        // All hits.
+        let all_hit = IoSnapshot {
+            logical_reads: 4,
+            physical_reads: 0,
+            evictions: 0,
+            writes: 0,
+        };
+        assert_eq!(all_hit.pool_hits(), 4);
+        assert_eq!(all_hit.hit_rate(), 1.0);
+        // Defensive: physical > logical (should never happen) saturates.
+        let weird = IoSnapshot {
+            logical_reads: 2,
+            physical_reads: 5,
+            evictions: 0,
+            writes: 0,
+        };
+        assert_eq!(weird.pool_hits(), 0);
+        assert_eq!(weird.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_of_delta_window() {
+        let s = IoStats::new();
+        s.count_logical_read();
+        s.count_physical_read();
+        let before = s.snapshot();
+        for _ in 0..8 {
+            s.count_logical_read();
+        }
+        s.count_physical_read();
+        s.count_physical_read();
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.pool_hits(), 6);
+        assert!((delta.hit_rate() - 0.75).abs() < 1e-12);
     }
 }

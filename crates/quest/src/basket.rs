@@ -113,7 +113,9 @@ impl PatternPool {
             items.sort_unstable();
             patterns.push(items);
             weights.push(exponential(&mut rng, 1.0));
-            corruption.push(normal(&mut rng, params.corruption_mean, params.corruption_dev).clamp(0.0, 1.0));
+            corruption.push(
+                normal(&mut rng, params.corruption_mean, params.corruption_dev).clamp(0.0, 1.0),
+            );
         }
         let picks = WeightedTable::new(&weights);
         PatternPool {
@@ -159,8 +161,7 @@ impl PatternPool {
             if pick.is_empty() {
                 continue;
             }
-            let new_items: Vec<u32> =
-                pick.into_iter().filter(|it| !items.contains(it)).collect();
+            let new_items: Vec<u32> = pick.into_iter().filter(|it| !items.contains(it)).collect();
             if new_items.is_empty() {
                 continue;
             }
@@ -246,11 +247,7 @@ mod tests {
     #[test]
     fn pattern_sizes_track_i() {
         let pool = PatternPool::new(BasketParams::standard(10, 12), 11);
-        let mean = pool
-            .patterns()
-            .iter()
-            .map(|p| p.len())
-            .sum::<usize>() as f64
+        let mean = pool.patterns().iter().map(|p| p.len()).sum::<usize>() as f64
             / pool.patterns().len() as f64;
         assert!((mean - 12.0).abs() < 1.5, "mean pattern len {mean}");
     }

@@ -51,8 +51,8 @@ impl Schema {
     /// domain sizes span 2–53 and sum to 525.
     pub fn census() -> Self {
         let sizes: Vec<u32> = vec![
-            2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 12, 12, 16, 18,
-            19, 20, 21, 24, 30, 36, 44, 50, 52, 53,
+            2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 12, 12, 16, 18, 19,
+            20, 21, 24, 30, 36, 44, 50, 52, 53,
         ];
         debug_assert_eq!(sizes.iter().sum::<u32>(), 525);
         Schema::new(sizes)

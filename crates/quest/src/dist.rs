@@ -154,7 +154,10 @@ mod tests {
         for mean in [1.0, 6.0, 30.0] {
             let sum: u64 = (0..n).map(|_| poisson(&mut r, mean)).sum();
             let got = sum as f64 / n as f64;
-            assert!((got - mean).abs() < mean * 0.05 + 0.1, "mean {mean} got {got}");
+            assert!(
+                (got - mean).abs() < mean * 0.05 + 0.1,
+                "mean {mean} got {got}"
+            );
         }
     }
 

@@ -176,15 +176,17 @@ mod tests {
     fn correlated_items_cluster_together() {
         // Items {0,1} always co-occur; {8,9} always co-occur; never across.
         let data: Vec<Signature> = (0..20)
-            .map(|i| if i % 2 == 0 { sig(&[0, 1]) } else { sig(&[8, 9]) })
+            .map(|i| {
+                if i % 2 == 0 {
+                    sig(&[0, 1])
+                } else {
+                    sig(&[8, 9])
+                }
+            })
             .collect();
         let info = cluster_items(16, &params(2, 1.0), data.iter());
         assert_eq!(info.vertical_signatures.len(), 2);
-        let sets: Vec<Vec<u32>> = info
-            .vertical_signatures
-            .iter()
-            .map(|s| s.items())
-            .collect();
+        let sets: Vec<Vec<u32>> = info.vertical_signatures.iter().map(|s| s.items()).collect();
         assert!(sets.contains(&vec![0, 1]), "{sets:?}");
         assert!(sets.contains(&vec![8, 9]), "{sets:?}");
     }
@@ -206,7 +208,10 @@ mod tests {
             .find(|s| s.get(8))
             .expect("cluster containing 8")
             .items();
-        assert!(!with_8.contains(&0), "8 pulled into frozen cluster: {with_8:?}");
+        assert!(
+            !with_8.contains(&0),
+            "8 pulled into frozen cluster: {with_8:?}"
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@ mod search;
 
 pub use build::{cluster_items, ClusterInfo};
 
+use sg_obs::{IndexObs, PoolObs, Registry};
 use sg_pager::{BufferPool, PageId, PageStore};
 use sg_sig::{codec, Signature};
 use sg_tree::{QueryStats, Tid};
@@ -93,6 +94,8 @@ pub struct SgTable {
     /// Activation code → bucket.
     pub(crate) buckets: HashMap<u32, Bucket>,
     pub(crate) len: u64,
+    /// Optional metrics instruments.
+    pub(crate) obs: Option<Arc<IndexObs>>,
 }
 
 impl SgTable {
@@ -124,6 +127,7 @@ impl SgTable {
             vertical,
             buckets: HashMap::new(),
             len: 0,
+            obs: None,
         };
         for (tid, sig) in data {
             table.insert(*tid, sig);
@@ -159,8 +163,7 @@ impl SgTable {
         );
         let pool = &self.pool;
         let bucket = self.buckets.entry(code).or_default();
-        let need_new_page =
-            bucket.pages.is_empty() || bucket.tail_used + record.len() > page_size;
+        let need_new_page = bucket.pages.is_empty() || bucket.tail_used + record.len() > page_size;
         if need_new_page {
             let id = pool.allocate();
             let mut page = vec![0u8; page_size];
@@ -249,6 +252,30 @@ impl SgTable {
         &self.pool
     }
 
+    /// Registers instruments under `<prefix>.*` / `<prefix>.pool.*` in
+    /// `registry` and attaches them; queries record into them from then on.
+    pub fn register_obs(&mut self, registry: &Registry, prefix: &str) -> Arc<IndexObs> {
+        let obs = IndexObs::register(registry, prefix);
+        self.pool
+            .attach_obs(PoolObs::register(registry, &format!("{prefix}.pool")));
+        self.obs = Some(obs.clone());
+        obs
+    }
+
+    /// Records one finished query into the attached instruments, if any.
+    pub(crate) fn observe(&self, stats: &QueryStats, start: Option<std::time::Instant>) {
+        if let (Some(obs), Some(start)) = (self.obs.as_ref(), start) {
+            obs.observe_query(
+                stats.nodes_accessed,
+                stats.data_compared,
+                stats.dist_computations,
+                stats.io.logical_reads,
+                stats.io.physical_reads,
+                start.elapsed().as_nanos() as u64,
+            );
+        }
+    }
+
     /// Streams every record of one bucket through `visit`.
     pub(crate) fn scan_bucket(
         &self,
@@ -262,8 +289,7 @@ impl SgTable {
             let count = u16::from_le_bytes([page[0], page[1]]) as usize;
             let mut off = PAGE_HEADER;
             for _ in 0..count {
-                let tid =
-                    Tid::from_le_bytes(page[off..off + 8].try_into().expect("page layout"));
+                let tid = Tid::from_le_bytes(page[off..off + 8].try_into().expect("page layout"));
                 off += 8;
                 let (sig, used) =
                     codec::decode(self.nbits, &page[off..]).expect("corrupt bucket page");
@@ -327,6 +353,7 @@ mod tests {
             ],
             buckets: HashMap::new(),
             len: 0,
+            obs: None,
         };
         let t3 = Signature::from_items(7, &[0, 1, 4]);
         assert_eq!(table.code_of(&t3), 0b001);

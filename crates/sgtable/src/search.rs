@@ -72,6 +72,7 @@ impl SgTable {
             (MetricKind::Hamming, None),
             "the SG-table supports only the Hamming metric"
         );
+        let start = self.obs.as_ref().map(|_| std::time::Instant::now());
         let io_before = self.pool.stats().snapshot();
         let mut stats = QueryStats::default();
         let mut out: Vec<Neighbor> = Vec::new();
@@ -112,6 +113,7 @@ impl SgTable {
         }
         stats.dist_computations += stats.data_compared;
         stats.io = self.pool.stats().snapshot().since(&io_before);
+        self.observe(&stats, start);
         (out, stats)
     }
 
@@ -123,6 +125,7 @@ impl SgTable {
             (MetricKind::Hamming, None),
             "the SG-table supports only the Hamming metric"
         );
+        let start = self.obs.as_ref().map(|_| std::time::Instant::now());
         let io_before = self.pool.stats().snapshot();
         let mut stats = QueryStats::default();
         let mut out: Vec<Neighbor> = Vec::new();
@@ -148,6 +151,7 @@ impl SgTable {
         });
         stats.dist_computations += stats.data_compared;
         stats.io = self.pool.stats().snapshot().since(&io_before);
+        self.observe(&stats, start);
         (out, stats)
     }
 }
@@ -166,7 +170,9 @@ mod tests {
         let mut out = Vec::with_capacity(n as usize);
         let mut x = 0x9E3779B97F4A7C15u64;
         for tid in 0..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let cluster = (x >> 60) as u32 % 4;
             let len = 3 + ((x >> 33) % 4) as usize;
             let mut items = Vec::with_capacity(len);
@@ -310,5 +316,33 @@ mod tests {
         let q = Signature::from_items(NBITS, &[1]);
         assert!(table.nn(&q, &Metric::hamming()).0.is_empty());
         assert!(table.range(&q, 5.0, &Metric::hamming()).0.is_empty());
+    }
+
+    #[test]
+    fn registered_obs_records_queries() {
+        let data = make_data(200);
+        let mut table = table_of(&data);
+        let registry = sg_obs::Registry::new();
+        table.register_obs(&registry, "sg_table");
+        let io0 = table.pool().stats().snapshot();
+        let q = &queries()[0];
+        let (_, s1) = table.knn(q, 5, &Metric::hamming());
+        let (_, s2) = table.range(q, 4.0, &Metric::hamming());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("sg_table.queries"), 2);
+        assert_eq!(
+            snap.counter("sg_table.nodes_accessed"),
+            s1.nodes_accessed + s2.nodes_accessed
+        );
+        assert_eq!(
+            snap.counter("sg_table.data_compared"),
+            s1.data_compared + s2.data_compared
+        );
+        // The pool mirror agrees with the pool's own statistics.
+        let io = table.pool().stats().snapshot().since(&io0);
+        assert_eq!(
+            snap.counter("sg_table.pool.hits") + snap.counter("sg_table.pool.misses"),
+            io.logical_reads
+        );
     }
 }

@@ -146,7 +146,10 @@ pub fn decode(nbits: u32, buf: &[u8]) -> Result<(Signature, usize), DecodeError>
             bytes[..w].copy_from_slice(&rest[w * i..w * (i + 1)]);
             let pos = u32::from_le_bytes(bytes);
             if pos >= nbits {
-                return Err(DecodeError::PositionOutOfRange { position: pos, nbits });
+                return Err(DecodeError::PositionOutOfRange {
+                    position: pos,
+                    nbits,
+                });
             }
             sig.set(pos);
         }
@@ -243,7 +246,10 @@ mod tests {
         let sig = Signature::from_items(1000, &[1, 2, 3]);
         let mut buf = Vec::new();
         encode(&sig, &mut buf);
-        assert_eq!(decode(1000, &buf[..buf.len() - 1]), Err(DecodeError::Truncated));
+        assert_eq!(
+            decode(1000, &buf[..buf.len() - 1]),
+            Err(DecodeError::Truncated)
+        );
         assert_eq!(decode(1000, &[]), Err(DecodeError::Truncated));
     }
 
@@ -254,7 +260,10 @@ mod tests {
         let buf1 = [1u8, 9];
         assert!(matches!(
             decode(8, &buf1),
-            Err(DecodeError::PositionOutOfRange { position: 9, nbits: 8 })
+            Err(DecodeError::PositionOutOfRange {
+                position: 9,
+                nbits: 8
+            })
         ));
         let _ = buf;
     }

@@ -79,7 +79,10 @@ pub struct Metric {
 impl Metric {
     /// A metric without dimensionality assumptions (general set data).
     pub const fn new(kind: MetricKind) -> Self {
-        Metric { kind, fixed_dim: None }
+        Metric {
+            kind,
+            fixed_dim: None,
+        }
     }
 
     /// The paper's default: Hamming distance on general set data.

@@ -113,7 +113,12 @@ impl Signature {
     /// Panics if `item >= nbits`.
     #[inline]
     pub fn set(&mut self, item: u32) {
-        assert!(item < self.nbits, "item {} out of universe {}", item, self.nbits);
+        assert!(
+            item < self.nbits,
+            "item {} out of universe {}",
+            item,
+            self.nbits
+        );
         self.words[item as usize / WORD_BITS] |= 1u64 << (item as usize % WORD_BITS);
     }
 
@@ -124,7 +129,12 @@ impl Signature {
     /// Panics if `item >= nbits`.
     #[inline]
     pub fn clear(&mut self, item: u32) {
-        assert!(item < self.nbits, "item {} out of universe {}", item, self.nbits);
+        assert!(
+            item < self.nbits,
+            "item {} out of universe {}",
+            item,
+            self.nbits
+        );
         self.words[item as usize / WORD_BITS] &= !(1u64 << (item as usize % WORD_BITS));
     }
 

@@ -24,8 +24,14 @@ fn main() {
         "schema: {} categorical attributes, {} values total (domains {}..{})",
         schema.n_attrs(),
         schema.n_values(),
-        (0..schema.n_attrs()).map(|a| schema.domain_size(a)).min().unwrap(),
-        (0..schema.n_attrs()).map(|a| schema.domain_size(a)).max().unwrap(),
+        (0..schema.n_attrs())
+            .map(|a| schema.domain_size(a))
+            .min()
+            .unwrap(),
+        (0..schema.n_attrs())
+            .map(|a| schema.domain_size(a))
+            .max()
+            .unwrap(),
     );
     let gen = CensusGenerator::new(schema, CensusParams::default(), 7);
     let ds = gen.dataset(D, 7);

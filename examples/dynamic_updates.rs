@@ -105,5 +105,8 @@ fn main() {
     );
     let q = Signature::from_items(NBITS, &pools[0].queries(1, 33)[0]);
     let (nn, _) = tree.nn(&q, &metric);
-    println!("post-delete NN query still answers: tid {} at distance {}", nn[0].tid, nn[0].dist);
+    println!(
+        "post-delete NN query still answers: tid {} at distance {}",
+        nn[0].tid, nn[0].dist
+    );
 }

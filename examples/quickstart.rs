@@ -15,13 +15,12 @@ fn main() {
     // SKUs to dense ids once and keep the mapping alongside the tree.
     const N: u32 = 64;
     let products = [
-        "bread", "milk", "butter", "eggs", "coffee", "tea", "sugar", "beer",
-        "chips", "salsa", "apples", "pears",
+        "bread", "milk", "butter", "eggs", "coffee", "tea", "sugar", "beer", "chips", "salsa",
+        "apples", "pears",
     ];
     let id = |name: &str| products.iter().position(|p| *p == name).unwrap() as u32;
-    let basket = |names: &[&str]| -> Signature {
-        Signature::from_iter(N, names.iter().map(|n| id(n)))
-    };
+    let basket =
+        |names: &[&str]| -> Signature { Signature::from_iter(N, names.iter().map(|n| id(n))) };
 
     // The index lives on fixed-size pages; MemStore keeps them in memory,
     // FileStore would put the same bytes on disk.
@@ -41,7 +40,11 @@ fn main() {
     for (tid, sig) in &baskets {
         tree.insert(*tid, sig);
     }
-    println!("indexed {} baskets, tree height {}", tree.len(), tree.height());
+    println!(
+        "indexed {} baskets, tree height {}",
+        tree.len(),
+        tree.height()
+    );
 
     // Nearest neighbor: which basket is most similar to a new customer's?
     let q = basket(&["bread", "milk"]);
@@ -55,14 +58,28 @@ fn main() {
 
     // k-NN and range queries.
     let (top3, _) = tree.knn(&q, 3, &metric);
-    println!("top-3: {:?}", top3.iter().map(|n| (n.tid, n.dist)).collect::<Vec<_>>());
+    println!(
+        "top-3: {:?}",
+        top3.iter().map(|n| (n.tid, n.dist)).collect::<Vec<_>>()
+    );
     let (close, _) = tree.range(&q, 2.0, &metric);
-    println!("within distance 2: {:?}", close.iter().map(|n| n.tid).collect::<Vec<_>>());
+    println!(
+        "within distance 2: {:?}",
+        close.iter().map(|n| n.tid).collect::<Vec<_>>()
+    );
 
     // Containment: §3's example query type — all baskets holding a given
     // itemset.
     let (with_beer_chips, _) = tree.containing(&basket(&["beer", "chips"]));
     println!("baskets containing {{beer, chips}}: {with_beer_chips:?}");
+
+    // EXPLAIN a k-NN query: per-level nodes visited, entries pruned by the
+    // directory lower bound, and exact distances computed.
+    let (_, _, trace) = tree.knn_explain(&q, 3, &metric);
+    println!("\n{}", trace.render());
+    // The trace round-trips through JSON for log pipelines.
+    let roundtrip = sg_tree::QueryTrace::from_json(&trace.to_json()).expect("valid trace JSON");
+    assert_eq!(roundtrip, trace);
 
     // The index is dynamic: delete a basket and re-query.
     assert!(tree.delete(0, &baskets[0].1));

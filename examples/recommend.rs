@@ -64,10 +64,7 @@ fn main() {
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         ranked.truncate(5);
 
-        println!(
-            "\ncustomer {qi}: basket {:?}",
-            customer
-        );
+        println!("\ncustomer {qi}: basket {:?}", customer);
         println!(
             "  {K} nearest baskets found in {:.2}ms, comparing {:.1}% of the data",
             elapsed.as_secs_f64() * 1000.0,

@@ -1,0 +1,248 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach a cargo registry, so the workspace
+//! vendors the benchmark API subset it uses: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Measurement is a straightforward wall-clock sampler: calibrate
+//! iterations so each sample lasts ~2 ms, collect `sample_size` samples,
+//! and report min/median/mean per iteration. No statistical regression
+//! analysis, no HTML reports — but the medians are real and stable enough
+//! to compare builds (e.g. the sg-obs disabled-recorder overhead check).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; the sampler treats all variants
+/// the same (setup always runs outside the timed section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver; holds the default sample count.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark (builder style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(label: &str, sample_size: usize, f: F) {
+    let mut bencher = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let mut s = bencher.samples;
+    if s.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    s.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN sample"));
+    let min = s[0];
+    let median = s[s.len() / 2];
+    let mean = s.iter().sum::<f64>() / s.len() as f64;
+    println!(
+        "{label:<50} time: [{} {} {}]  ({} samples)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        s.len(),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collects per-iteration timing samples for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f` in a tight loop; each recorded sample is the mean
+    /// nanoseconds per iteration over a calibrated batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate per-iteration cost.
+        let warm = Instant::now();
+        let mut iters: u64 = 0;
+        while warm.elapsed() < Duration::from_millis(5) && iters < 1_000_000 {
+            black_box(f());
+            iters += 1;
+        }
+        let per_iter_ns = (warm.elapsed().as_nanos() as f64 / iters as f64).max(0.1);
+        // Aim for ~2 ms per sample so Instant overhead is negligible.
+        let n = ((2_000_000.0 / per_iter_ns).ceil() as u64).clamp(1, 10_000_000);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed().as_nanos() as f64 / n as f64);
+        }
+    }
+
+    /// Times `routine` only, constructing its input with `setup` outside
+    /// the timed section each iteration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Estimate routine cost (setup excluded from estimate too).
+        let mut spent = Duration::ZERO;
+        let mut runs: u32 = 0;
+        while spent < Duration::from_millis(4) && runs < 200 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            spent += t.elapsed();
+            runs += 1;
+        }
+        let per_run_ns = (spent.as_nanos() as f64 / runs as f64).max(0.1);
+        // Setup can dominate the routine; keep batches modest.
+        let n = ((1_000_000.0 / per_run_ns).ceil() as u64).clamp(1, 10_000) as usize;
+        for _ in 0..self.sample_size {
+            let mut total = Duration::ZERO;
+            for _ in 0..n {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                total += t.elapsed();
+            }
+            self.samples.push(total.as_nanos() as f64 / n as f64);
+        }
+    }
+}
+
+/// Declares a benchmark group function, optionally with a custom config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        g.bench_function(format!("fmt-{}", 7), |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(12_000_000_000.0).ends_with('s'));
+    }
+}

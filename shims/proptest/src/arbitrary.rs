@@ -1,0 +1,55 @@
+//! `any::<T>()` — default strategies per type.
+
+use std::marker::PhantomData;
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a default full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The default strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.inner.gen()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.inner.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite unit-interval values; enough for the workspace's use.
+        rng.inner.gen()
+    }
+}

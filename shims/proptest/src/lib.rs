@@ -1,0 +1,141 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach a cargo registry, so the workspace
+//! vendors the subset of proptest it uses: the [`strategy::Strategy`]
+//! trait over ranges / [`strategy::Just`] / tuples / `prop_map` /
+//! `prop_oneof!` / [`collection::vec`] / [`arbitrary::any`], and the
+//! [`proptest!`] macro driving each case with a deterministic per-test
+//! RNG. There is no shrinking: a failing case panics with the regular
+//! assert message, and re-running the test replays the identical
+//! sequence (seeds derive from the test name, not from entropy).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Upstream-style alias so `prop::collection::vec(..)` works.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the upstream surface the workspace uses: an optional leading
+/// `#![proptest_config(..)]`, then one or more `#[test] fn name(arg in
+/// strategy, ...) { body }` items. Each test runs `config.cases` cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)
+     $( #[test] fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Chooses uniformly between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u32, bool)> {
+        (0u32..100, any::<bool>())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 1usize..12, f in 0.4f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((1..12).contains(&y));
+            prop_assert!((0.4..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_len_and_map(v in prop::collection::vec(0u8..60, 0..80),
+                           w in prop::collection::vec(0u32..64, 8),
+                           s in (0u32..10).prop_map(|x| x * 2)) {
+            prop_assert!(v.len() < 80);
+            prop_assert_eq!(w.len(), 8);
+            prop_assert!(s % 2 == 0 && s < 20);
+        }
+
+        #[test]
+        fn oneof_and_tuples(choice in prop_oneof![Just(1u8), Just(5u8), Just(9u8)],
+                            pair in arb_pair()) {
+            prop_assert!(choice == 1 || choice == 5 || choice == 9);
+            prop_assert!(pair.0 < 100);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let strat = crate::collection::vec(0u32..1000, 0..20);
+            let mut rng = crate::test_runner::TestRng::deterministic("fixed");
+            (0..10)
+                .map(|_| crate::strategy::Strategy::generate(&strat, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

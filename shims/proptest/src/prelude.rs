@@ -1,0 +1,7 @@
+//! The usual imports: `use proptest::prelude::*;`.
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::prop;
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};

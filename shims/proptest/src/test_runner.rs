@@ -1,0 +1,47 @@
+//! Test-run configuration and the deterministic per-test RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How many cases each `proptest!` test executes.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the offline suite quick while
+        // still exercising the generators broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic RNG driving strategy generation for one test function.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    pub(crate) inner: StdRng,
+}
+
+impl TestRng {
+    /// Seeds the RNG from the test name so every run replays the same
+    /// case sequence (there is no shrinking to rediscover a failure).
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-331b223de85d2006.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-331b223de85d2006: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

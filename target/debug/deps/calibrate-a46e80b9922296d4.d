@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-a46e80b9922296d4.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-a46e80b9922296d4: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-b28255a58b3e96aa.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-b28255a58b3e96aa: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-da6ef1767cc041bb.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-da6ef1767cc041bb: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-efbaa5867c5fe6f4.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-efbaa5867c5fe6f4: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

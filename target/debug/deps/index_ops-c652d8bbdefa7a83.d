@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/index_ops-c652d8bbdefa7a83.d: crates/bench/benches/index_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libindex_ops-c652d8bbdefa7a83.rmeta: crates/bench/benches/index_ops.rs Cargo.toml
+
+crates/bench/benches/index_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

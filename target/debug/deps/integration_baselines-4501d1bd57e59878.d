@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_baselines-4501d1bd57e59878.d: crates/bench/../../tests/integration_baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_baselines-4501d1bd57e59878.rmeta: crates/bench/../../tests/integration_baselines.rs Cargo.toml
+
+crates/bench/../../tests/integration_baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

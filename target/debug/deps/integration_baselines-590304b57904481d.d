@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_baselines-590304b57904481d.d: crates/bench/../../tests/integration_baselines.rs
+
+/root/repo/target/debug/deps/integration_baselines-590304b57904481d: crates/bench/../../tests/integration_baselines.rs
+
+crates/bench/../../tests/integration_baselines.rs:

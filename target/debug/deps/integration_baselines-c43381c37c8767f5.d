@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_baselines-c43381c37c8767f5.d: crates/bench/../../tests/integration_baselines.rs
+
+/root/repo/target/debug/deps/integration_baselines-c43381c37c8767f5: crates/bench/../../tests/integration_baselines.rs
+
+crates/bench/../../tests/integration_baselines.rs:

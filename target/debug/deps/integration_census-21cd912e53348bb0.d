@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_census-21cd912e53348bb0.d: crates/bench/../../tests/integration_census.rs
+
+/root/repo/target/debug/deps/integration_census-21cd912e53348bb0: crates/bench/../../tests/integration_census.rs
+
+crates/bench/../../tests/integration_census.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_census-573d1f38d4d6afd8.d: crates/bench/../../tests/integration_census.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_census-573d1f38d4d6afd8.rmeta: crates/bench/../../tests/integration_census.rs Cargo.toml
+
+crates/bench/../../tests/integration_census.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_census-f38eea3ae1f8385e.d: crates/bench/../../tests/integration_census.rs
+
+/root/repo/target/debug/deps/integration_census-f38eea3ae1f8385e: crates/bench/../../tests/integration_census.rs
+
+crates/bench/../../tests/integration_census.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_dynamic-bf7cfa854590fa17.d: crates/bench/../../tests/integration_dynamic.rs
+
+/root/repo/target/debug/deps/integration_dynamic-bf7cfa854590fa17: crates/bench/../../tests/integration_dynamic.rs
+
+crates/bench/../../tests/integration_dynamic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_dynamic-c68a752f91443b81.d: crates/bench/../../tests/integration_dynamic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_dynamic-c68a752f91443b81.rmeta: crates/bench/../../tests/integration_dynamic.rs Cargo.toml
+
+crates/bench/../../tests/integration_dynamic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_dynamic-dee5b792ff33c8bd.d: crates/bench/../../tests/integration_dynamic.rs
+
+/root/repo/target/debug/deps/integration_dynamic-dee5b792ff33c8bd: crates/bench/../../tests/integration_dynamic.rs
+
+crates/bench/../../tests/integration_dynamic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_joins-421de1517d4a0286.d: crates/bench/../../tests/integration_joins.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_joins-421de1517d4a0286.rmeta: crates/bench/../../tests/integration_joins.rs Cargo.toml
+
+crates/bench/../../tests/integration_joins.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

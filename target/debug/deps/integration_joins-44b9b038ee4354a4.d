@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_joins-44b9b038ee4354a4.d: crates/bench/../../tests/integration_joins.rs
+
+/root/repo/target/debug/deps/integration_joins-44b9b038ee4354a4: crates/bench/../../tests/integration_joins.rs
+
+crates/bench/../../tests/integration_joins.rs:

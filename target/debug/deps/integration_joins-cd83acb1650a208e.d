@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_joins-cd83acb1650a208e.d: crates/bench/../../tests/integration_joins.rs
+
+/root/repo/target/debug/deps/integration_joins-cd83acb1650a208e: crates/bench/../../tests/integration_joins.rs
+
+crates/bench/../../tests/integration_joins.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_persistence-196b825a15646f91.d: crates/bench/../../tests/integration_persistence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_persistence-196b825a15646f91.rmeta: crates/bench/../../tests/integration_persistence.rs Cargo.toml
+
+crates/bench/../../tests/integration_persistence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

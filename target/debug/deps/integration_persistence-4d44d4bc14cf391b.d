@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_persistence-4d44d4bc14cf391b.d: crates/bench/../../tests/integration_persistence.rs
+
+/root/repo/target/debug/deps/integration_persistence-4d44d4bc14cf391b: crates/bench/../../tests/integration_persistence.rs
+
+crates/bench/../../tests/integration_persistence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_persistence-dab779bc29e8c771.d: crates/bench/../../tests/integration_persistence.rs
+
+/root/repo/target/debug/deps/integration_persistence-dab779bc29e8c771: crates/bench/../../tests/integration_persistence.rs
+
+crates/bench/../../tests/integration_persistence.rs:

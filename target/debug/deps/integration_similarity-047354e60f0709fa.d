@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_similarity-047354e60f0709fa.d: crates/bench/../../tests/integration_similarity.rs
+
+/root/repo/target/debug/deps/integration_similarity-047354e60f0709fa: crates/bench/../../tests/integration_similarity.rs
+
+crates/bench/../../tests/integration_similarity.rs:

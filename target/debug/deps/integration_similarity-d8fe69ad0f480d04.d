@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_similarity-d8fe69ad0f480d04.d: crates/bench/../../tests/integration_similarity.rs
+
+/root/repo/target/debug/deps/integration_similarity-d8fe69ad0f480d04: crates/bench/../../tests/integration_similarity.rs
+
+crates/bench/../../tests/integration_similarity.rs:

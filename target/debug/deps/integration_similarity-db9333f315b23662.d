@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_similarity-db9333f315b23662.d: crates/bench/../../tests/integration_similarity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_similarity-db9333f315b23662.rmeta: crates/bench/../../tests/integration_similarity.rs Cargo.toml
+
+crates/bench/../../tests/integration_similarity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

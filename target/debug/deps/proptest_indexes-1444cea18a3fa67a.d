@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_indexes-1444cea18a3fa67a.d: crates/bench/../../tests/proptest_indexes.rs
+
+/root/repo/target/debug/deps/proptest_indexes-1444cea18a3fa67a: crates/bench/../../tests/proptest_indexes.rs
+
+crates/bench/../../tests/proptest_indexes.rs:

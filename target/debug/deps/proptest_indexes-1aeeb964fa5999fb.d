@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_indexes-1aeeb964fa5999fb.d: crates/bench/../../tests/proptest_indexes.rs
+
+/root/repo/target/debug/deps/proptest_indexes-1aeeb964fa5999fb: crates/bench/../../tests/proptest_indexes.rs
+
+crates/bench/../../tests/proptest_indexes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_indexes-9adc8c080fe2244b.d: crates/bench/../../tests/proptest_indexes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_indexes-9adc8c080fe2244b.rmeta: crates/bench/../../tests/proptest_indexes.rs Cargo.toml
+
+crates/bench/../../tests/proptest_indexes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-0d819bbf352f3a0c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-0d819bbf352f3a0c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-38d0f6da0f8fd274.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-38d0f6da0f8fd274: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-744efa02e004d71d.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-744efa02e004d71d: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-dee6581b67c5ad3b.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-dee6581b67c5ad3b: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

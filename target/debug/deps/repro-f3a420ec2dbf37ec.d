@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-f3a420ec2dbf37ec.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-f3a420ec2dbf37ec: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sg_bench-141a03f1e041ecf7.d: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libsg_bench-141a03f1e041ecf7.rlib: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libsg_bench-141a03f1e041ecf7.rmeta: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workloads.rs:

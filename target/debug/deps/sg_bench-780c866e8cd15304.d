@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sg_bench-780c866e8cd15304.d: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsg_bench-780c866e8cd15304.rmeta: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

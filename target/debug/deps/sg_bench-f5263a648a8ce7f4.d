@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sg_bench-f5263a648a8ce7f4.d: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libsg_bench-f5263a648a8ce7f4.rlib: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libsg_bench-f5263a648a8ce7f4.rmeta: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sg_inverted-32662005fedfb040.d: crates/inverted/src/lib.rs crates/inverted/src/postings.rs crates/inverted/src/proptests.rs
+
+/root/repo/target/debug/deps/sg_inverted-32662005fedfb040: crates/inverted/src/lib.rs crates/inverted/src/postings.rs crates/inverted/src/proptests.rs
+
+crates/inverted/src/lib.rs:
+crates/inverted/src/postings.rs:
+crates/inverted/src/proptests.rs:

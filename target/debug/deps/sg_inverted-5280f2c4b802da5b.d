@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sg_inverted-5280f2c4b802da5b.d: crates/inverted/src/lib.rs crates/inverted/src/postings.rs crates/inverted/src/proptests.rs
+
+/root/repo/target/debug/deps/sg_inverted-5280f2c4b802da5b: crates/inverted/src/lib.rs crates/inverted/src/postings.rs crates/inverted/src/proptests.rs
+
+crates/inverted/src/lib.rs:
+crates/inverted/src/postings.rs:
+crates/inverted/src/proptests.rs:

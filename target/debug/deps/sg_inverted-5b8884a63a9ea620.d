@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sg_inverted-5b8884a63a9ea620.d: crates/inverted/src/lib.rs crates/inverted/src/postings.rs crates/inverted/src/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsg_inverted-5b8884a63a9ea620.rmeta: crates/inverted/src/lib.rs crates/inverted/src/postings.rs crates/inverted/src/proptests.rs Cargo.toml
+
+crates/inverted/src/lib.rs:
+crates/inverted/src/postings.rs:
+crates/inverted/src/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

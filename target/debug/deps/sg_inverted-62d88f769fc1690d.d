@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sg_inverted-62d88f769fc1690d.d: crates/inverted/src/lib.rs crates/inverted/src/postings.rs
+
+/root/repo/target/debug/deps/libsg_inverted-62d88f769fc1690d.rlib: crates/inverted/src/lib.rs crates/inverted/src/postings.rs
+
+/root/repo/target/debug/deps/libsg_inverted-62d88f769fc1690d.rmeta: crates/inverted/src/lib.rs crates/inverted/src/postings.rs
+
+crates/inverted/src/lib.rs:
+crates/inverted/src/postings.rs:

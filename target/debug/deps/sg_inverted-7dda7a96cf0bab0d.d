@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sg_inverted-7dda7a96cf0bab0d.d: crates/inverted/src/lib.rs crates/inverted/src/postings.rs
+
+/root/repo/target/debug/deps/libsg_inverted-7dda7a96cf0bab0d.rlib: crates/inverted/src/lib.rs crates/inverted/src/postings.rs
+
+/root/repo/target/debug/deps/libsg_inverted-7dda7a96cf0bab0d.rmeta: crates/inverted/src/lib.rs crates/inverted/src/postings.rs
+
+crates/inverted/src/lib.rs:
+crates/inverted/src/postings.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sg_inverted-b524c895073eef5d.d: crates/inverted/src/lib.rs crates/inverted/src/postings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsg_inverted-b524c895073eef5d.rmeta: crates/inverted/src/lib.rs crates/inverted/src/postings.rs Cargo.toml
+
+crates/inverted/src/lib.rs:
+crates/inverted/src/postings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sg_inverted-badbe32022766afb.d: crates/inverted/src/lib.rs crates/inverted/src/postings.rs
+
+/root/repo/target/debug/deps/libsg_inverted-badbe32022766afb.rlib: crates/inverted/src/lib.rs crates/inverted/src/postings.rs
+
+/root/repo/target/debug/deps/libsg_inverted-badbe32022766afb.rmeta: crates/inverted/src/lib.rs crates/inverted/src/postings.rs
+
+crates/inverted/src/lib.rs:
+crates/inverted/src/postings.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sg_minhash-463e1b94fe7a8317.d: crates/minhash/src/lib.rs crates/minhash/src/hasher.rs crates/minhash/src/lsh.rs
+
+/root/repo/target/debug/deps/sg_minhash-463e1b94fe7a8317: crates/minhash/src/lib.rs crates/minhash/src/hasher.rs crates/minhash/src/lsh.rs
+
+crates/minhash/src/lib.rs:
+crates/minhash/src/hasher.rs:
+crates/minhash/src/lsh.rs:

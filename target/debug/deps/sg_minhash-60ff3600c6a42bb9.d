@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sg_minhash-60ff3600c6a42bb9.d: crates/minhash/src/lib.rs crates/minhash/src/hasher.rs crates/minhash/src/lsh.rs
+
+/root/repo/target/debug/deps/sg_minhash-60ff3600c6a42bb9: crates/minhash/src/lib.rs crates/minhash/src/hasher.rs crates/minhash/src/lsh.rs
+
+crates/minhash/src/lib.rs:
+crates/minhash/src/hasher.rs:
+crates/minhash/src/lsh.rs:

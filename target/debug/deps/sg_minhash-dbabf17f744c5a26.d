@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sg_minhash-dbabf17f744c5a26.d: crates/minhash/src/lib.rs crates/minhash/src/hasher.rs crates/minhash/src/lsh.rs
+
+/root/repo/target/debug/deps/libsg_minhash-dbabf17f744c5a26.rlib: crates/minhash/src/lib.rs crates/minhash/src/hasher.rs crates/minhash/src/lsh.rs
+
+/root/repo/target/debug/deps/libsg_minhash-dbabf17f744c5a26.rmeta: crates/minhash/src/lib.rs crates/minhash/src/hasher.rs crates/minhash/src/lsh.rs
+
+crates/minhash/src/lib.rs:
+crates/minhash/src/hasher.rs:
+crates/minhash/src/lsh.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sg_minhash-e4c4b37a4d1b4f15.d: crates/minhash/src/lib.rs crates/minhash/src/hasher.rs crates/minhash/src/lsh.rs
+
+/root/repo/target/debug/deps/libsg_minhash-e4c4b37a4d1b4f15.rlib: crates/minhash/src/lib.rs crates/minhash/src/hasher.rs crates/minhash/src/lsh.rs
+
+/root/repo/target/debug/deps/libsg_minhash-e4c4b37a4d1b4f15.rmeta: crates/minhash/src/lib.rs crates/minhash/src/hasher.rs crates/minhash/src/lsh.rs
+
+crates/minhash/src/lib.rs:
+crates/minhash/src/hasher.rs:
+crates/minhash/src/lsh.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sg_minhash-e98632023a8367d1.d: crates/minhash/src/lib.rs crates/minhash/src/hasher.rs crates/minhash/src/lsh.rs
+
+/root/repo/target/debug/deps/libsg_minhash-e98632023a8367d1.rlib: crates/minhash/src/lib.rs crates/minhash/src/hasher.rs crates/minhash/src/lsh.rs
+
+/root/repo/target/debug/deps/libsg_minhash-e98632023a8367d1.rmeta: crates/minhash/src/lib.rs crates/minhash/src/hasher.rs crates/minhash/src/lsh.rs
+
+crates/minhash/src/lib.rs:
+crates/minhash/src/hasher.rs:
+crates/minhash/src/lsh.rs:

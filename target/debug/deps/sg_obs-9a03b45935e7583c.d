@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sg_obs-9a03b45935e7583c.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/proptests.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/sg_obs-9a03b45935e7583c: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/proptests.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/proptests.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sg_pager-0a88d3c1c6447eaf.d: crates/pager/src/lib.rs crates/pager/src/buffer.rs crates/pager/src/stats.rs crates/pager/src/store.rs
+
+/root/repo/target/debug/deps/sg_pager-0a88d3c1c6447eaf: crates/pager/src/lib.rs crates/pager/src/buffer.rs crates/pager/src/stats.rs crates/pager/src/store.rs
+
+crates/pager/src/lib.rs:
+crates/pager/src/buffer.rs:
+crates/pager/src/stats.rs:
+crates/pager/src/store.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sg_pager-52fd1824db57846f.d: crates/pager/src/lib.rs crates/pager/src/buffer.rs crates/pager/src/stats.rs crates/pager/src/store.rs
+
+/root/repo/target/debug/deps/libsg_pager-52fd1824db57846f.rlib: crates/pager/src/lib.rs crates/pager/src/buffer.rs crates/pager/src/stats.rs crates/pager/src/store.rs
+
+/root/repo/target/debug/deps/libsg_pager-52fd1824db57846f.rmeta: crates/pager/src/lib.rs crates/pager/src/buffer.rs crates/pager/src/stats.rs crates/pager/src/store.rs
+
+crates/pager/src/lib.rs:
+crates/pager/src/buffer.rs:
+crates/pager/src/stats.rs:
+crates/pager/src/store.rs:

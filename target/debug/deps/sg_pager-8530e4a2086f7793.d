@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sg_pager-8530e4a2086f7793.d: crates/pager/src/lib.rs crates/pager/src/buffer.rs crates/pager/src/stats.rs crates/pager/src/store.rs
+
+/root/repo/target/debug/deps/libsg_pager-8530e4a2086f7793.rlib: crates/pager/src/lib.rs crates/pager/src/buffer.rs crates/pager/src/stats.rs crates/pager/src/store.rs
+
+/root/repo/target/debug/deps/libsg_pager-8530e4a2086f7793.rmeta: crates/pager/src/lib.rs crates/pager/src/buffer.rs crates/pager/src/stats.rs crates/pager/src/store.rs
+
+crates/pager/src/lib.rs:
+crates/pager/src/buffer.rs:
+crates/pager/src/stats.rs:
+crates/pager/src/store.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sg_pager-c00923702fbc55df.d: crates/pager/src/lib.rs crates/pager/src/buffer.rs crates/pager/src/stats.rs crates/pager/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsg_pager-c00923702fbc55df.rmeta: crates/pager/src/lib.rs crates/pager/src/buffer.rs crates/pager/src/stats.rs crates/pager/src/store.rs Cargo.toml
+
+crates/pager/src/lib.rs:
+crates/pager/src/buffer.rs:
+crates/pager/src/stats.rs:
+crates/pager/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

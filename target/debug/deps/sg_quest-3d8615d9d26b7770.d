@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sg_quest-3d8615d9d26b7770.d: crates/quest/src/lib.rs crates/quest/src/basket.rs crates/quest/src/census.rs crates/quest/src/dist.rs crates/quest/src/perturb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsg_quest-3d8615d9d26b7770.rmeta: crates/quest/src/lib.rs crates/quest/src/basket.rs crates/quest/src/census.rs crates/quest/src/dist.rs crates/quest/src/perturb.rs Cargo.toml
+
+crates/quest/src/lib.rs:
+crates/quest/src/basket.rs:
+crates/quest/src/census.rs:
+crates/quest/src/dist.rs:
+crates/quest/src/perturb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sg_quest-65c087f1315571c4.d: crates/quest/src/lib.rs crates/quest/src/basket.rs crates/quest/src/census.rs crates/quest/src/dist.rs crates/quest/src/perturb.rs
+
+/root/repo/target/debug/deps/sg_quest-65c087f1315571c4: crates/quest/src/lib.rs crates/quest/src/basket.rs crates/quest/src/census.rs crates/quest/src/dist.rs crates/quest/src/perturb.rs
+
+crates/quest/src/lib.rs:
+crates/quest/src/basket.rs:
+crates/quest/src/census.rs:
+crates/quest/src/dist.rs:
+crates/quest/src/perturb.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sg_quest-cc515177f899be95.d: crates/quest/src/lib.rs crates/quest/src/basket.rs crates/quest/src/census.rs crates/quest/src/dist.rs crates/quest/src/perturb.rs
+
+/root/repo/target/debug/deps/libsg_quest-cc515177f899be95.rlib: crates/quest/src/lib.rs crates/quest/src/basket.rs crates/quest/src/census.rs crates/quest/src/dist.rs crates/quest/src/perturb.rs
+
+/root/repo/target/debug/deps/libsg_quest-cc515177f899be95.rmeta: crates/quest/src/lib.rs crates/quest/src/basket.rs crates/quest/src/census.rs crates/quest/src/dist.rs crates/quest/src/perturb.rs
+
+crates/quest/src/lib.rs:
+crates/quest/src/basket.rs:
+crates/quest/src/census.rs:
+crates/quest/src/dist.rs:
+crates/quest/src/perturb.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sg_sig-06e5e95befde2227.d: crates/sig/src/lib.rs crates/sig/src/codec.rs crates/sig/src/metric.rs crates/sig/src/signature.rs crates/sig/src/vocab.rs
+
+/root/repo/target/debug/deps/libsg_sig-06e5e95befde2227.rlib: crates/sig/src/lib.rs crates/sig/src/codec.rs crates/sig/src/metric.rs crates/sig/src/signature.rs crates/sig/src/vocab.rs
+
+/root/repo/target/debug/deps/libsg_sig-06e5e95befde2227.rmeta: crates/sig/src/lib.rs crates/sig/src/codec.rs crates/sig/src/metric.rs crates/sig/src/signature.rs crates/sig/src/vocab.rs
+
+crates/sig/src/lib.rs:
+crates/sig/src/codec.rs:
+crates/sig/src/metric.rs:
+crates/sig/src/signature.rs:
+crates/sig/src/vocab.rs:

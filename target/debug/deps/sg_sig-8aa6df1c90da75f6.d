@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sg_sig-8aa6df1c90da75f6.d: crates/sig/src/lib.rs crates/sig/src/codec.rs crates/sig/src/metric.rs crates/sig/src/signature.rs crates/sig/src/vocab.rs crates/sig/src/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsg_sig-8aa6df1c90da75f6.rmeta: crates/sig/src/lib.rs crates/sig/src/codec.rs crates/sig/src/metric.rs crates/sig/src/signature.rs crates/sig/src/vocab.rs crates/sig/src/proptests.rs Cargo.toml
+
+crates/sig/src/lib.rs:
+crates/sig/src/codec.rs:
+crates/sig/src/metric.rs:
+crates/sig/src/signature.rs:
+crates/sig/src/vocab.rs:
+crates/sig/src/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

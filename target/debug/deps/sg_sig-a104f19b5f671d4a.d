@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sg_sig-a104f19b5f671d4a.d: crates/sig/src/lib.rs crates/sig/src/codec.rs crates/sig/src/metric.rs crates/sig/src/signature.rs crates/sig/src/vocab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsg_sig-a104f19b5f671d4a.rmeta: crates/sig/src/lib.rs crates/sig/src/codec.rs crates/sig/src/metric.rs crates/sig/src/signature.rs crates/sig/src/vocab.rs Cargo.toml
+
+crates/sig/src/lib.rs:
+crates/sig/src/codec.rs:
+crates/sig/src/metric.rs:
+crates/sig/src/signature.rs:
+crates/sig/src/vocab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sg_sig-d2440ff09991adf5.d: crates/sig/src/lib.rs crates/sig/src/codec.rs crates/sig/src/metric.rs crates/sig/src/signature.rs crates/sig/src/vocab.rs crates/sig/src/proptests.rs
+
+/root/repo/target/debug/deps/sg_sig-d2440ff09991adf5: crates/sig/src/lib.rs crates/sig/src/codec.rs crates/sig/src/metric.rs crates/sig/src/signature.rs crates/sig/src/vocab.rs crates/sig/src/proptests.rs
+
+crates/sig/src/lib.rs:
+crates/sig/src/codec.rs:
+crates/sig/src/metric.rs:
+crates/sig/src/signature.rs:
+crates/sig/src/vocab.rs:
+crates/sig/src/proptests.rs:

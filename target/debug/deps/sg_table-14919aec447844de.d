@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sg_table-14919aec447844de.d: crates/sgtable/src/lib.rs crates/sgtable/src/build.rs crates/sgtable/src/search.rs
+
+/root/repo/target/debug/deps/libsg_table-14919aec447844de.rlib: crates/sgtable/src/lib.rs crates/sgtable/src/build.rs crates/sgtable/src/search.rs
+
+/root/repo/target/debug/deps/libsg_table-14919aec447844de.rmeta: crates/sgtable/src/lib.rs crates/sgtable/src/build.rs crates/sgtable/src/search.rs
+
+crates/sgtable/src/lib.rs:
+crates/sgtable/src/build.rs:
+crates/sgtable/src/search.rs:

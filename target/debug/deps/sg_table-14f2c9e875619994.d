@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sg_table-14f2c9e875619994.d: crates/sgtable/src/lib.rs crates/sgtable/src/build.rs crates/sgtable/src/search.rs
+
+/root/repo/target/debug/deps/sg_table-14f2c9e875619994: crates/sgtable/src/lib.rs crates/sgtable/src/build.rs crates/sgtable/src/search.rs
+
+crates/sgtable/src/lib.rs:
+crates/sgtable/src/build.rs:
+crates/sgtable/src/search.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sg_table-64a9f912b04a88c7.d: crates/sgtable/src/lib.rs crates/sgtable/src/build.rs crates/sgtable/src/search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsg_table-64a9f912b04a88c7.rmeta: crates/sgtable/src/lib.rs crates/sgtable/src/build.rs crates/sgtable/src/search.rs Cargo.toml
+
+crates/sgtable/src/lib.rs:
+crates/sgtable/src/build.rs:
+crates/sgtable/src/search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

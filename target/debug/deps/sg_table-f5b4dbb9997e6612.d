@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sg_table-f5b4dbb9997e6612.d: crates/sgtable/src/lib.rs crates/sgtable/src/build.rs crates/sgtable/src/search.rs
+
+/root/repo/target/debug/deps/sg_table-f5b4dbb9997e6612: crates/sgtable/src/lib.rs crates/sgtable/src/build.rs crates/sgtable/src/search.rs
+
+crates/sgtable/src/lib.rs:
+crates/sgtable/src/build.rs:
+crates/sgtable/src/search.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sg_table-f8853f43b5086a0f.d: crates/sgtable/src/lib.rs crates/sgtable/src/build.rs crates/sgtable/src/search.rs
+
+/root/repo/target/debug/deps/libsg_table-f8853f43b5086a0f.rlib: crates/sgtable/src/lib.rs crates/sgtable/src/build.rs crates/sgtable/src/search.rs
+
+/root/repo/target/debug/deps/libsg_table-f8853f43b5086a0f.rmeta: crates/sgtable/src/lib.rs crates/sgtable/src/build.rs crates/sgtable/src/search.rs
+
+crates/sgtable/src/lib.rs:
+crates/sgtable/src/build.rs:
+crates/sgtable/src/search.rs:

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/sg_tree-ec9419ac07aefc64.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/delete.rs crates/core/src/insert.rs crates/core/src/node.rs crates/core/src/split.rs crates/core/src/tree.rs crates/core/src/bulkload.rs crates/core/src/cluster.rs crates/core/src/query/mod.rs crates/core/src/query/bestfirst.rs crates/core/src/query/containment.rs crates/core/src/query/dfs.rs crates/core/src/query/incremental.rs crates/core/src/query/join.rs crates/core/src/scan.rs crates/core/src/stats.rs crates/core/src/treestats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsg_tree-ec9419ac07aefc64.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/delete.rs crates/core/src/insert.rs crates/core/src/node.rs crates/core/src/split.rs crates/core/src/tree.rs crates/core/src/bulkload.rs crates/core/src/cluster.rs crates/core/src/query/mod.rs crates/core/src/query/bestfirst.rs crates/core/src/query/containment.rs crates/core/src/query/dfs.rs crates/core/src/query/incremental.rs crates/core/src/query/join.rs crates/core/src/scan.rs crates/core/src/stats.rs crates/core/src/treestats.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/delete.rs:
+crates/core/src/insert.rs:
+crates/core/src/node.rs:
+crates/core/src/split.rs:
+crates/core/src/tree.rs:
+crates/core/src/bulkload.rs:
+crates/core/src/cluster.rs:
+crates/core/src/query/mod.rs:
+crates/core/src/query/bestfirst.rs:
+crates/core/src/query/containment.rs:
+crates/core/src/query/dfs.rs:
+crates/core/src/query/incremental.rs:
+crates/core/src/query/join.rs:
+crates/core/src/scan.rs:
+crates/core/src/stats.rs:
+crates/core/src/treestats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

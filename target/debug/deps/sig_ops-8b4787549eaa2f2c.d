@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sig_ops-8b4787549eaa2f2c.d: crates/bench/benches/sig_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsig_ops-8b4787549eaa2f2c.rmeta: crates/bench/benches/sig_ops.rs Cargo.toml
+
+crates/bench/benches/sig_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/census_search-77fabab2e0950164.d: crates/bench/../../examples/census_search.rs
+
+/root/repo/target/debug/examples/census_search-77fabab2e0950164: crates/bench/../../examples/census_search.rs
+
+crates/bench/../../examples/census_search.rs:

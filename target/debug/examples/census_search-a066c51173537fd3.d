@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/census_search-a066c51173537fd3.d: crates/bench/../../examples/census_search.rs
+
+/root/repo/target/debug/examples/census_search-a066c51173537fd3: crates/bench/../../examples/census_search.rs
+
+crates/bench/../../examples/census_search.rs:

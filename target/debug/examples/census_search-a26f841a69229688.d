@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/census_search-a26f841a69229688.d: crates/bench/../../examples/census_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcensus_search-a26f841a69229688.rmeta: crates/bench/../../examples/census_search.rs Cargo.toml
+
+crates/bench/../../examples/census_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

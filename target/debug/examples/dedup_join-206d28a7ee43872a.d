@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dedup_join-206d28a7ee43872a.d: crates/bench/../../examples/dedup_join.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdedup_join-206d28a7ee43872a.rmeta: crates/bench/../../examples/dedup_join.rs Cargo.toml
+
+crates/bench/../../examples/dedup_join.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dedup_join-279177285e31f559.d: crates/bench/../../examples/dedup_join.rs
+
+/root/repo/target/debug/examples/dedup_join-279177285e31f559: crates/bench/../../examples/dedup_join.rs
+
+crates/bench/../../examples/dedup_join.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dedup_join-b47c245b5104b02e.d: crates/bench/../../examples/dedup_join.rs
+
+/root/repo/target/debug/examples/dedup_join-b47c245b5104b02e: crates/bench/../../examples/dedup_join.rs
+
+crates/bench/../../examples/dedup_join.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_updates-3e96fd4c667d8f08.d: crates/bench/../../examples/dynamic_updates.rs
+
+/root/repo/target/debug/examples/dynamic_updates-3e96fd4c667d8f08: crates/bench/../../examples/dynamic_updates.rs
+
+crates/bench/../../examples/dynamic_updates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_updates-e43d08924ee01f74.d: crates/bench/../../examples/dynamic_updates.rs
+
+/root/repo/target/debug/examples/dynamic_updates-e43d08924ee01f74: crates/bench/../../examples/dynamic_updates.rs
+
+crates/bench/../../examples/dynamic_updates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dynamic_updates-e7989fb4c5f16ef2.d: crates/bench/../../examples/dynamic_updates.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdynamic_updates-e7989fb4c5f16ef2.rmeta: crates/bench/../../examples/dynamic_updates.rs Cargo.toml
+
+crates/bench/../../examples/dynamic_updates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6513d1b59202da2d.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6513d1b59202da2d: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bac7b1487617ba93.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bac7b1487617ba93: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

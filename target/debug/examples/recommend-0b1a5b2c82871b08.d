@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/recommend-0b1a5b2c82871b08.d: crates/bench/../../examples/recommend.rs
+
+/root/repo/target/debug/examples/recommend-0b1a5b2c82871b08: crates/bench/../../examples/recommend.rs
+
+crates/bench/../../examples/recommend.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/recommend-16e5f1f4e9f96697.d: crates/bench/../../examples/recommend.rs Cargo.toml
+
+/root/repo/target/debug/examples/librecommend-16e5f1f4e9f96697.rmeta: crates/bench/../../examples/recommend.rs Cargo.toml
+
+crates/bench/../../examples/recommend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

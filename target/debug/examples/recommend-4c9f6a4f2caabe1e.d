@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/recommend-4c9f6a4f2caabe1e.d: crates/bench/../../examples/recommend.rs
+
+/root/repo/target/debug/examples/recommend-4c9f6a4f2caabe1e: crates/bench/../../examples/recommend.rs
+
+crates/bench/../../examples/recommend.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/calibrate-035e04a2e0795aff.d: crates/bench/src/bin/calibrate.rs Cargo.toml
+
+/root/repo/target/release/deps/libcalibrate-035e04a2e0795aff.rmeta: crates/bench/src/bin/calibrate.rs Cargo.toml
+
+crates/bench/src/bin/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-539d83fd04cbcc6a.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-539d83fd04cbcc6a: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/calibrate-592417c8e635c202.d: crates/bench/src/bin/calibrate.rs Cargo.toml
+
+/root/repo/target/release/deps/libcalibrate-592417c8e635c202.rmeta: crates/bench/src/bin/calibrate.rs Cargo.toml
+
+crates/bench/src/bin/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-f16782aa4eb5601a.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-f16782aa4eb5601a: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

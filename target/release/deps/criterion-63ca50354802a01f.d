@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-63ca50354802a01f.d: shims/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-63ca50354802a01f.rmeta: shims/criterion/src/lib.rs Cargo.toml
+
+shims/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

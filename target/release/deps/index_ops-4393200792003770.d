@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/index_ops-4393200792003770.d: crates/bench/benches/index_ops.rs Cargo.toml
+
+/root/repo/target/release/deps/libindex_ops-4393200792003770.rmeta: crates/bench/benches/index_ops.rs Cargo.toml
+
+crates/bench/benches/index_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/index_ops-6e2f2f5db207d9f4.d: crates/bench/benches/index_ops.rs
+
+/root/repo/target/release/deps/index_ops-6e2f2f5db207d9f4: crates/bench/benches/index_ops.rs
+
+crates/bench/benches/index_ops.rs:

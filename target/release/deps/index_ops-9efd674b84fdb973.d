@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/index_ops-9efd674b84fdb973.d: crates/bench/benches/index_ops.rs
+
+/root/repo/target/release/deps/index_ops-9efd674b84fdb973: crates/bench/benches/index_ops.rs
+
+crates/bench/benches/index_ops.rs:

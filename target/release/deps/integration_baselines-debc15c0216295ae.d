@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_baselines-debc15c0216295ae.d: crates/bench/../../tests/integration_baselines.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_baselines-debc15c0216295ae.rmeta: crates/bench/../../tests/integration_baselines.rs Cargo.toml
+
+crates/bench/../../tests/integration_baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_census-251342ced8c1bff1.d: crates/bench/../../tests/integration_census.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_census-251342ced8c1bff1.rmeta: crates/bench/../../tests/integration_census.rs Cargo.toml
+
+crates/bench/../../tests/integration_census.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

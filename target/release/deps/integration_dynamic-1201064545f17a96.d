@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_dynamic-1201064545f17a96.d: crates/bench/../../tests/integration_dynamic.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_dynamic-1201064545f17a96.rmeta: crates/bench/../../tests/integration_dynamic.rs Cargo.toml
+
+crates/bench/../../tests/integration_dynamic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

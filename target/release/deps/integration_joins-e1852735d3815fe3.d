@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_joins-e1852735d3815fe3.d: crates/bench/../../tests/integration_joins.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_joins-e1852735d3815fe3.rmeta: crates/bench/../../tests/integration_joins.rs Cargo.toml
+
+crates/bench/../../tests/integration_joins.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

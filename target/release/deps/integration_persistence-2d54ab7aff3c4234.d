@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_persistence-2d54ab7aff3c4234.d: crates/bench/../../tests/integration_persistence.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_persistence-2d54ab7aff3c4234.rmeta: crates/bench/../../tests/integration_persistence.rs Cargo.toml
+
+crates/bench/../../tests/integration_persistence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

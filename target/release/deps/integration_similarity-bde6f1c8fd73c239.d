@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_similarity-bde6f1c8fd73c239.d: crates/bench/../../tests/integration_similarity.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_similarity-bde6f1c8fd73c239.rmeta: crates/bench/../../tests/integration_similarity.rs Cargo.toml
+
+crates/bench/../../tests/integration_similarity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parking_lot-fe3aeca36284bf2b.d: shims/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libparking_lot-fe3aeca36284bf2b.rmeta: shims/parking_lot/src/lib.rs Cargo.toml
+
+shims/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/proptest-50232646ee303735.d: shims/proptest/src/lib.rs shims/proptest/src/arbitrary.rs shims/proptest/src/collection.rs shims/proptest/src/prelude.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-50232646ee303735.rmeta: shims/proptest/src/lib.rs shims/proptest/src/arbitrary.rs shims/proptest/src/collection.rs shims/proptest/src/prelude.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs Cargo.toml
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/arbitrary.rs:
+shims/proptest/src/collection.rs:
+shims/proptest/src/prelude.rs:
+shims/proptest/src/strategy.rs:
+shims/proptest/src/test_runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

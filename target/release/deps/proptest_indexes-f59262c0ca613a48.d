@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest_indexes-f59262c0ca613a48.d: crates/bench/../../tests/proptest_indexes.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest_indexes-f59262c0ca613a48.rmeta: crates/bench/../../tests/proptest_indexes.rs Cargo.toml
+
+crates/bench/../../tests/proptest_indexes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

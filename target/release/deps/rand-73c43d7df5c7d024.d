@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-73c43d7df5c7d024.d: shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-73c43d7df5c7d024.rmeta: shims/rand/src/lib.rs Cargo.toml
+
+shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-1daa8a3aeaa6aa96.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-1daa8a3aeaa6aa96: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-734ad2f755a6a7d0.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-734ad2f755a6a7d0: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

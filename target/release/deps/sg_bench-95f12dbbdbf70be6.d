@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sg_bench-95f12dbbdbf70be6.d: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libsg_bench-95f12dbbdbf70be6.rlib: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libsg_bench-95f12dbbdbf70be6.rmeta: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workloads.rs:

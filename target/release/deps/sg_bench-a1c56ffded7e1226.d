@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sg_bench-a1c56ffded7e1226.d: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs Cargo.toml
+
+/root/repo/target/release/deps/libsg_bench-a1c56ffded7e1226.rmeta: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sg_inverted-44a2ced844195e0a.d: crates/inverted/src/lib.rs crates/inverted/src/postings.rs
+
+/root/repo/target/release/deps/libsg_inverted-44a2ced844195e0a.rlib: crates/inverted/src/lib.rs crates/inverted/src/postings.rs
+
+/root/repo/target/release/deps/libsg_inverted-44a2ced844195e0a.rmeta: crates/inverted/src/lib.rs crates/inverted/src/postings.rs
+
+crates/inverted/src/lib.rs:
+crates/inverted/src/postings.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sg_inverted-56ef0a1f8b5b8f30.d: crates/inverted/src/lib.rs crates/inverted/src/postings.rs crates/inverted/src/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libsg_inverted-56ef0a1f8b5b8f30.rmeta: crates/inverted/src/lib.rs crates/inverted/src/postings.rs crates/inverted/src/proptests.rs Cargo.toml
+
+crates/inverted/src/lib.rs:
+crates/inverted/src/postings.rs:
+crates/inverted/src/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

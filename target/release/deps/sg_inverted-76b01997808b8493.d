@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sg_inverted-76b01997808b8493.d: crates/inverted/src/lib.rs crates/inverted/src/postings.rs
+
+/root/repo/target/release/deps/libsg_inverted-76b01997808b8493.rlib: crates/inverted/src/lib.rs crates/inverted/src/postings.rs
+
+/root/repo/target/release/deps/libsg_inverted-76b01997808b8493.rmeta: crates/inverted/src/lib.rs crates/inverted/src/postings.rs
+
+crates/inverted/src/lib.rs:
+crates/inverted/src/postings.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sg_inverted-b2ebb98aac21916d.d: crates/inverted/src/lib.rs crates/inverted/src/postings.rs Cargo.toml
+
+/root/repo/target/release/deps/libsg_inverted-b2ebb98aac21916d.rmeta: crates/inverted/src/lib.rs crates/inverted/src/postings.rs Cargo.toml
+
+crates/inverted/src/lib.rs:
+crates/inverted/src/postings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sg_minhash-7cc6f66821483911.d: crates/minhash/src/lib.rs crates/minhash/src/hasher.rs crates/minhash/src/lsh.rs Cargo.toml
+
+/root/repo/target/release/deps/libsg_minhash-7cc6f66821483911.rmeta: crates/minhash/src/lib.rs crates/minhash/src/hasher.rs crates/minhash/src/lsh.rs Cargo.toml
+
+crates/minhash/src/lib.rs:
+crates/minhash/src/hasher.rs:
+crates/minhash/src/lsh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sg_minhash-bb0b2c7e2e1b61b2.d: crates/minhash/src/lib.rs crates/minhash/src/hasher.rs crates/minhash/src/lsh.rs
+
+/root/repo/target/release/deps/libsg_minhash-bb0b2c7e2e1b61b2.rlib: crates/minhash/src/lib.rs crates/minhash/src/hasher.rs crates/minhash/src/lsh.rs
+
+/root/repo/target/release/deps/libsg_minhash-bb0b2c7e2e1b61b2.rmeta: crates/minhash/src/lib.rs crates/minhash/src/hasher.rs crates/minhash/src/lsh.rs
+
+crates/minhash/src/lib.rs:
+crates/minhash/src/hasher.rs:
+crates/minhash/src/lsh.rs:

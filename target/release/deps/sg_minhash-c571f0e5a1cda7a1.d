@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sg_minhash-c571f0e5a1cda7a1.d: crates/minhash/src/lib.rs crates/minhash/src/hasher.rs crates/minhash/src/lsh.rs
+
+/root/repo/target/release/deps/libsg_minhash-c571f0e5a1cda7a1.rlib: crates/minhash/src/lib.rs crates/minhash/src/hasher.rs crates/minhash/src/lsh.rs
+
+/root/repo/target/release/deps/libsg_minhash-c571f0e5a1cda7a1.rmeta: crates/minhash/src/lib.rs crates/minhash/src/hasher.rs crates/minhash/src/lsh.rs
+
+crates/minhash/src/lib.rs:
+crates/minhash/src/hasher.rs:
+crates/minhash/src/lsh.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sg_minhash-fd5815cc4d1f2508.d: crates/minhash/src/lib.rs crates/minhash/src/hasher.rs crates/minhash/src/lsh.rs Cargo.toml
+
+/root/repo/target/release/deps/libsg_minhash-fd5815cc4d1f2508.rmeta: crates/minhash/src/lib.rs crates/minhash/src/hasher.rs crates/minhash/src/lsh.rs Cargo.toml
+
+crates/minhash/src/lib.rs:
+crates/minhash/src/hasher.rs:
+crates/minhash/src/lsh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

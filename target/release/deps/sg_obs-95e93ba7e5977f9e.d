@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sg_obs-95e93ba7e5977f9e.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/proptests.rs crates/obs/src/trace.rs Cargo.toml
+
+/root/repo/target/release/deps/libsg_obs-95e93ba7e5977f9e.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/proptests.rs crates/obs/src/trace.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/proptests.rs:
+crates/obs/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

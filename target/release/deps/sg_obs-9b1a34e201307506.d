@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sg_obs-9b1a34e201307506.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libsg_obs-9b1a34e201307506.rlib: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libsg_obs-9b1a34e201307506.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/trace.rs:

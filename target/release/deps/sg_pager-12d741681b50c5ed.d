@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sg_pager-12d741681b50c5ed.d: crates/pager/src/lib.rs crates/pager/src/buffer.rs crates/pager/src/stats.rs crates/pager/src/store.rs
+
+/root/repo/target/release/deps/libsg_pager-12d741681b50c5ed.rlib: crates/pager/src/lib.rs crates/pager/src/buffer.rs crates/pager/src/stats.rs crates/pager/src/store.rs
+
+/root/repo/target/release/deps/libsg_pager-12d741681b50c5ed.rmeta: crates/pager/src/lib.rs crates/pager/src/buffer.rs crates/pager/src/stats.rs crates/pager/src/store.rs
+
+crates/pager/src/lib.rs:
+crates/pager/src/buffer.rs:
+crates/pager/src/stats.rs:
+crates/pager/src/store.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sg_pager-d4e5f2d4c10e12ee.d: crates/pager/src/lib.rs crates/pager/src/buffer.rs crates/pager/src/stats.rs crates/pager/src/store.rs
+
+/root/repo/target/release/deps/libsg_pager-d4e5f2d4c10e12ee.rlib: crates/pager/src/lib.rs crates/pager/src/buffer.rs crates/pager/src/stats.rs crates/pager/src/store.rs
+
+/root/repo/target/release/deps/libsg_pager-d4e5f2d4c10e12ee.rmeta: crates/pager/src/lib.rs crates/pager/src/buffer.rs crates/pager/src/stats.rs crates/pager/src/store.rs
+
+crates/pager/src/lib.rs:
+crates/pager/src/buffer.rs:
+crates/pager/src/stats.rs:
+crates/pager/src/store.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sg_pager-d53606fc50c33590.d: crates/pager/src/lib.rs crates/pager/src/buffer.rs crates/pager/src/stats.rs crates/pager/src/store.rs Cargo.toml
+
+/root/repo/target/release/deps/libsg_pager-d53606fc50c33590.rmeta: crates/pager/src/lib.rs crates/pager/src/buffer.rs crates/pager/src/stats.rs crates/pager/src/store.rs Cargo.toml
+
+crates/pager/src/lib.rs:
+crates/pager/src/buffer.rs:
+crates/pager/src/stats.rs:
+crates/pager/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sg_quest-10478bed15487275.d: crates/quest/src/lib.rs crates/quest/src/basket.rs crates/quest/src/census.rs crates/quest/src/dist.rs crates/quest/src/perturb.rs
+
+/root/repo/target/release/deps/libsg_quest-10478bed15487275.rlib: crates/quest/src/lib.rs crates/quest/src/basket.rs crates/quest/src/census.rs crates/quest/src/dist.rs crates/quest/src/perturb.rs
+
+/root/repo/target/release/deps/libsg_quest-10478bed15487275.rmeta: crates/quest/src/lib.rs crates/quest/src/basket.rs crates/quest/src/census.rs crates/quest/src/dist.rs crates/quest/src/perturb.rs
+
+crates/quest/src/lib.rs:
+crates/quest/src/basket.rs:
+crates/quest/src/census.rs:
+crates/quest/src/dist.rs:
+crates/quest/src/perturb.rs:

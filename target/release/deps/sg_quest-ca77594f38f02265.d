@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sg_quest-ca77594f38f02265.d: crates/quest/src/lib.rs crates/quest/src/basket.rs crates/quest/src/census.rs crates/quest/src/dist.rs crates/quest/src/perturb.rs Cargo.toml
+
+/root/repo/target/release/deps/libsg_quest-ca77594f38f02265.rmeta: crates/quest/src/lib.rs crates/quest/src/basket.rs crates/quest/src/census.rs crates/quest/src/dist.rs crates/quest/src/perturb.rs Cargo.toml
+
+crates/quest/src/lib.rs:
+crates/quest/src/basket.rs:
+crates/quest/src/census.rs:
+crates/quest/src/dist.rs:
+crates/quest/src/perturb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sg_sig-b33a552842ab5d82.d: crates/sig/src/lib.rs crates/sig/src/codec.rs crates/sig/src/metric.rs crates/sig/src/signature.rs crates/sig/src/vocab.rs crates/sig/src/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libsg_sig-b33a552842ab5d82.rmeta: crates/sig/src/lib.rs crates/sig/src/codec.rs crates/sig/src/metric.rs crates/sig/src/signature.rs crates/sig/src/vocab.rs crates/sig/src/proptests.rs Cargo.toml
+
+crates/sig/src/lib.rs:
+crates/sig/src/codec.rs:
+crates/sig/src/metric.rs:
+crates/sig/src/signature.rs:
+crates/sig/src/vocab.rs:
+crates/sig/src/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sg_sig-beb0188f377aa282.d: crates/sig/src/lib.rs crates/sig/src/codec.rs crates/sig/src/metric.rs crates/sig/src/signature.rs crates/sig/src/vocab.rs Cargo.toml
+
+/root/repo/target/release/deps/libsg_sig-beb0188f377aa282.rmeta: crates/sig/src/lib.rs crates/sig/src/codec.rs crates/sig/src/metric.rs crates/sig/src/signature.rs crates/sig/src/vocab.rs Cargo.toml
+
+crates/sig/src/lib.rs:
+crates/sig/src/codec.rs:
+crates/sig/src/metric.rs:
+crates/sig/src/signature.rs:
+crates/sig/src/vocab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sg_table-0ae402dd8f425762.d: crates/sgtable/src/lib.rs crates/sgtable/src/build.rs crates/sgtable/src/search.rs
+
+/root/repo/target/release/deps/libsg_table-0ae402dd8f425762.rlib: crates/sgtable/src/lib.rs crates/sgtable/src/build.rs crates/sgtable/src/search.rs
+
+/root/repo/target/release/deps/libsg_table-0ae402dd8f425762.rmeta: crates/sgtable/src/lib.rs crates/sgtable/src/build.rs crates/sgtable/src/search.rs
+
+crates/sgtable/src/lib.rs:
+crates/sgtable/src/build.rs:
+crates/sgtable/src/search.rs:

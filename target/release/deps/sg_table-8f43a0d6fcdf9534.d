@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sg_table-8f43a0d6fcdf9534.d: crates/sgtable/src/lib.rs crates/sgtable/src/build.rs crates/sgtable/src/search.rs Cargo.toml
+
+/root/repo/target/release/deps/libsg_table-8f43a0d6fcdf9534.rmeta: crates/sgtable/src/lib.rs crates/sgtable/src/build.rs crates/sgtable/src/search.rs Cargo.toml
+
+crates/sgtable/src/lib.rs:
+crates/sgtable/src/build.rs:
+crates/sgtable/src/search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sg_table-ecc780c549ae51fd.d: crates/sgtable/src/lib.rs crates/sgtable/src/build.rs crates/sgtable/src/search.rs Cargo.toml
+
+/root/repo/target/release/deps/libsg_table-ecc780c549ae51fd.rmeta: crates/sgtable/src/lib.rs crates/sgtable/src/build.rs crates/sgtable/src/search.rs Cargo.toml
+
+crates/sgtable/src/lib.rs:
+crates/sgtable/src/build.rs:
+crates/sgtable/src/search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sig_ops-c11272b3d3ee0fc7.d: crates/bench/benches/sig_ops.rs Cargo.toml
+
+/root/repo/target/release/deps/libsig_ops-c11272b3d3ee0fc7.rmeta: crates/bench/benches/sig_ops.rs Cargo.toml
+
+crates/bench/benches/sig_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/census_search-16ac88179f7b2835.d: crates/bench/../../examples/census_search.rs Cargo.toml
+
+/root/repo/target/release/examples/libcensus_search-16ac88179f7b2835.rmeta: crates/bench/../../examples/census_search.rs Cargo.toml
+
+crates/bench/../../examples/census_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/dedup_join-c5786f96fcd8da8f.d: crates/bench/../../examples/dedup_join.rs Cargo.toml
+
+/root/repo/target/release/examples/libdedup_join-c5786f96fcd8da8f.rmeta: crates/bench/../../examples/dedup_join.rs Cargo.toml
+
+crates/bench/../../examples/dedup_join.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

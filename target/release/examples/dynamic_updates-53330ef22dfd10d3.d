@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/dynamic_updates-53330ef22dfd10d3.d: crates/bench/../../examples/dynamic_updates.rs Cargo.toml
+
+/root/repo/target/release/examples/libdynamic_updates-53330ef22dfd10d3.rmeta: crates/bench/../../examples/dynamic_updates.rs Cargo.toml
+
+crates/bench/../../examples/dynamic_updates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-9c82857369b98c10.d: crates/bench/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-9c82857369b98c10.rmeta: crates/bench/../../examples/quickstart.rs Cargo.toml
+
+crates/bench/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

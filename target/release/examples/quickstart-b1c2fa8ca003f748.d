@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-b1c2fa8ca003f748.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-b1c2fa8ca003f748: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

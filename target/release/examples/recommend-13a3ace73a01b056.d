@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/recommend-13a3ace73a01b056.d: crates/bench/../../examples/recommend.rs Cargo.toml
+
+/root/repo/target/release/examples/librecommend-13a3ace73a01b056.rmeta: crates/bench/../../examples/recommend.rs Cargo.toml
+
+crates/bench/../../examples/recommend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -27,7 +27,12 @@ fn workload(n: usize) -> (Vec<(u64, Signature)>, Vec<Signature>, u32) {
 fn inverted_and_tree_agree_on_every_exact_query() {
     let (data, queries, nbits) = workload(4_000);
     let (tree, _) = build_tree(nbits, &data, None);
-    let inv = InvertedIndex::build(Arc::new(MemStore::new(PAGE_SIZE)), nbits, POOL_FRAMES, &data);
+    let inv = InvertedIndex::build(
+        Arc::new(MemStore::new(PAGE_SIZE)),
+        nbits,
+        POOL_FRAMES,
+        &data,
+    );
     let m = Metric::hamming();
     for q in &queries {
         let (a, _) = tree.knn(q, 8, &m);
@@ -63,7 +68,12 @@ fn inverted_dominates_containment_tree_dominates_nn() {
         .collect();
     let nbits = ds.n_items;
     let (tree, _) = build_tree(nbits, &data, None);
-    let inv = InvertedIndex::build(Arc::new(MemStore::new(PAGE_SIZE)), nbits, POOL_FRAMES, &data);
+    let inv = InvertedIndex::build(
+        Arc::new(MemStore::new(PAGE_SIZE)),
+        nbits,
+        POOL_FRAMES,
+        &data,
+    );
     let m = Metric::hamming();
     let mut tree_contain_pages = 0u64;
     let mut inv_contain_pages = 0u64;
@@ -118,12 +128,21 @@ fn perturbed_workload_has_promised_nn_distances() {
     // tree, the table, and the inverted index alike.
     let (data, _, nbits) = workload(3_000);
     let (tree, _) = build_tree(nbits, &data, None);
-    let inv = InvertedIndex::build(Arc::new(MemStore::new(PAGE_SIZE)), nbits, POOL_FRAMES, &data);
+    let inv = InvertedIndex::build(
+        Arc::new(MemStore::new(PAGE_SIZE)),
+        nbits,
+        POOL_FRAMES,
+        &data,
+    );
     let sigs: Vec<Signature> = data.iter().map(|(_, s)| s.clone()).collect();
     let m = Metric::hamming();
     for (r, q) in perturbed_queries(&sigs, &[0, 1, 3, 8], 10, 5) {
         let (nn_tree, _) = tree.nn(&q, &m);
-        assert!(nn_tree[0].dist <= r as f64, "tree NN {} > r {r}", nn_tree[0].dist);
+        assert!(
+            nn_tree[0].dist <= r as f64,
+            "tree NN {} > r {r}",
+            nn_tree[0].dist
+        );
         let (nn_inv, _) = inv.nn(&q, &m);
         assert_eq!(nn_tree[0].dist, nn_inv[0].dist);
     }
@@ -153,7 +172,12 @@ fn perturb_controls_cost_monotonically() {
 fn single_edit_perturbation_found_by_all_indexes() {
     let (data, _, nbits) = workload(2_000);
     let (tree, _) = build_tree(nbits, &data, None);
-    let inv = InvertedIndex::build(Arc::new(MemStore::new(PAGE_SIZE)), nbits, POOL_FRAMES, &data);
+    let inv = InvertedIndex::build(
+        Arc::new(MemStore::new(PAGE_SIZE)),
+        nbits,
+        POOL_FRAMES,
+        &data,
+    );
     let m = Metric::hamming();
     let mut x = 99u64;
     let mut rng = move || {
@@ -165,6 +189,9 @@ fn single_edit_perturbation_found_by_all_indexes() {
         let (hits, _) = tree.range(&q, 1.0, &m);
         assert!(hits.iter().any(|n| n.tid == *tid), "tree missed tid {tid}");
         let (hits, _) = inv.range(&q, 1.0, &m);
-        assert!(hits.iter().any(|n| n.tid == *tid), "inverted missed tid {tid}");
+        assert!(
+            hits.iter().any(|n| n.tid == *tid),
+            "inverted missed tid {tid}"
+        );
     }
 }

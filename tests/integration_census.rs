@@ -35,7 +35,10 @@ fn fixed_dim_bound_never_compares_more() {
     assert!(s <= r, "strict bound compared {s} vs relaxed {r}");
     // And on this fixed-size data it should be a real improvement, not a
     // wash: every relaxed bound is 0 whenever the entry covers the query.
-    assert!(s < r, "strict bound should strictly help on categorical data");
+    assert!(
+        s < r,
+        "strict bound should strictly help on categorical data"
+    );
 }
 
 #[test]

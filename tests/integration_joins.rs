@@ -39,7 +39,9 @@ fn similarity_join_matches_nested_loop_on_generator_data() {
         }
         assert_eq!(got.len(), want, "eps={eps}");
         assert!(got.iter().all(|p| p.dist <= eps));
-        assert!(got.iter().all(|p| p.left < 1_000_000 && p.right >= 1_000_000));
+        assert!(got
+            .iter()
+            .all(|p| p.left < 1_000_000 && p.right >= 1_000_000));
         assert!(stats.nodes_accessed > 0);
     }
 }

@@ -93,7 +93,11 @@ fn all_split_policies_remain_exact_on_generator_data() {
         d.truncate(k);
         d
     };
-    for policy in [SplitPolicy::Quadratic, SplitPolicy::AvLink, SplitPolicy::MinLink] {
+    for policy in [
+        SplitPolicy::Quadratic,
+        SplitPolicy::AvLink,
+        SplitPolicy::MinLink,
+    ] {
         let cfg = sg_tree::TreeConfig::new(ds.n_items).split(policy);
         let (tree, _) = build_tree(ds.n_items, &data, Some(cfg));
         tree.validate();
