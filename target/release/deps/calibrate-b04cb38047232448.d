@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-b04cb38047232448.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-b04cb38047232448: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

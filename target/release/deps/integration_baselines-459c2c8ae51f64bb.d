@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_baselines-459c2c8ae51f64bb.d: crates/bench/../../tests/integration_baselines.rs
+
+/root/repo/target/release/deps/integration_baselines-459c2c8ae51f64bb: crates/bench/../../tests/integration_baselines.rs
+
+crates/bench/../../tests/integration_baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_census-fd77d3735f99f079.d: crates/bench/../../tests/integration_census.rs
+
+/root/repo/target/release/deps/integration_census-fd77d3735f99f079: crates/bench/../../tests/integration_census.rs
+
+crates/bench/../../tests/integration_census.rs:

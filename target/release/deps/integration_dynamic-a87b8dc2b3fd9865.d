@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_dynamic-a87b8dc2b3fd9865.d: crates/bench/../../tests/integration_dynamic.rs
+
+/root/repo/target/release/deps/integration_dynamic-a87b8dc2b3fd9865: crates/bench/../../tests/integration_dynamic.rs
+
+crates/bench/../../tests/integration_dynamic.rs:

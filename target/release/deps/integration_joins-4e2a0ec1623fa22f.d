@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_joins-4e2a0ec1623fa22f.d: crates/bench/../../tests/integration_joins.rs
+
+/root/repo/target/release/deps/integration_joins-4e2a0ec1623fa22f: crates/bench/../../tests/integration_joins.rs
+
+crates/bench/../../tests/integration_joins.rs:

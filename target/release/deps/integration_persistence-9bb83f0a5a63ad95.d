@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_persistence-9bb83f0a5a63ad95.d: crates/bench/../../tests/integration_persistence.rs
+
+/root/repo/target/release/deps/integration_persistence-9bb83f0a5a63ad95: crates/bench/../../tests/integration_persistence.rs
+
+crates/bench/../../tests/integration_persistence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_similarity-78684b65cf4a8323.d: crates/bench/../../tests/integration_similarity.rs
+
+/root/repo/target/release/deps/integration_similarity-78684b65cf4a8323: crates/bench/../../tests/integration_similarity.rs
+
+crates/bench/../../tests/integration_similarity.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/proptest-51d7f4d6c612e4a0.d: shims/proptest/src/lib.rs shims/proptest/src/arbitrary.rs shims/proptest/src/collection.rs shims/proptest/src/prelude.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/proptest-51d7f4d6c612e4a0: shims/proptest/src/lib.rs shims/proptest/src/arbitrary.rs shims/proptest/src/collection.rs shims/proptest/src/prelude.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/arbitrary.rs:
+shims/proptest/src/collection.rs:
+shims/proptest/src/prelude.rs:
+shims/proptest/src/strategy.rs:
+shims/proptest/src/test_runner.rs:

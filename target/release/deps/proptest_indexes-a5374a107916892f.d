@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_indexes-a5374a107916892f.d: crates/bench/../../tests/proptest_indexes.rs
+
+/root/repo/target/release/deps/proptest_indexes-a5374a107916892f: crates/bench/../../tests/proptest_indexes.rs
+
+crates/bench/../../tests/proptest_indexes.rs:

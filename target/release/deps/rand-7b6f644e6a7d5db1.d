@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-7b6f644e6a7d5db1.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-7b6f644e6a7d5db1: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-e0fe2a1d6405e4bd.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-e0fe2a1d6405e4bd: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

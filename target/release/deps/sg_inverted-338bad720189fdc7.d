@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sg_inverted-338bad720189fdc7.d: crates/inverted/src/lib.rs crates/inverted/src/postings.rs crates/inverted/src/proptests.rs
+
+/root/repo/target/release/deps/sg_inverted-338bad720189fdc7: crates/inverted/src/lib.rs crates/inverted/src/postings.rs crates/inverted/src/proptests.rs
+
+crates/inverted/src/lib.rs:
+crates/inverted/src/postings.rs:
+crates/inverted/src/proptests.rs:

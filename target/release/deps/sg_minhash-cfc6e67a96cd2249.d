@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sg_minhash-cfc6e67a96cd2249.d: crates/minhash/src/lib.rs crates/minhash/src/hasher.rs crates/minhash/src/lsh.rs
+
+/root/repo/target/release/deps/sg_minhash-cfc6e67a96cd2249: crates/minhash/src/lib.rs crates/minhash/src/hasher.rs crates/minhash/src/lsh.rs
+
+crates/minhash/src/lib.rs:
+crates/minhash/src/hasher.rs:
+crates/minhash/src/lsh.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sg_obs-72919cfa29f5c4e5.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/proptests.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/sg_obs-72919cfa29f5c4e5: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/proptests.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/proptests.rs:
+crates/obs/src/trace.rs:

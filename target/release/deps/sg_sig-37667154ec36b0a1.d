@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sg_sig-37667154ec36b0a1.d: crates/sig/src/lib.rs crates/sig/src/codec.rs crates/sig/src/metric.rs crates/sig/src/signature.rs crates/sig/src/vocab.rs crates/sig/src/proptests.rs
+
+/root/repo/target/release/deps/sg_sig-37667154ec36b0a1: crates/sig/src/lib.rs crates/sig/src/codec.rs crates/sig/src/metric.rs crates/sig/src/signature.rs crates/sig/src/vocab.rs crates/sig/src/proptests.rs
+
+crates/sig/src/lib.rs:
+crates/sig/src/codec.rs:
+crates/sig/src/metric.rs:
+crates/sig/src/signature.rs:
+crates/sig/src/vocab.rs:
+crates/sig/src/proptests.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sg_table-949da21d4c031a8d.d: crates/sgtable/src/lib.rs crates/sgtable/src/build.rs crates/sgtable/src/search.rs
+
+/root/repo/target/release/deps/sg_table-949da21d4c031a8d: crates/sgtable/src/lib.rs crates/sgtable/src/build.rs crates/sgtable/src/search.rs
+
+crates/sgtable/src/lib.rs:
+crates/sgtable/src/build.rs:
+crates/sgtable/src/search.rs:

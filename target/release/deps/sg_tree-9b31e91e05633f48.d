@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/sg_tree-9b31e91e05633f48.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/delete.rs crates/core/src/insert.rs crates/core/src/node.rs crates/core/src/split.rs crates/core/src/tree.rs crates/core/src/bulkload.rs crates/core/src/cluster.rs crates/core/src/query/mod.rs crates/core/src/query/bestfirst.rs crates/core/src/query/containment.rs crates/core/src/query/dfs.rs crates/core/src/query/incremental.rs crates/core/src/query/join.rs crates/core/src/query/tests.rs crates/core/src/scan.rs crates/core/src/stats.rs crates/core/src/treestats.rs
+
+/root/repo/target/release/deps/sg_tree-9b31e91e05633f48: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/delete.rs crates/core/src/insert.rs crates/core/src/node.rs crates/core/src/split.rs crates/core/src/tree.rs crates/core/src/bulkload.rs crates/core/src/cluster.rs crates/core/src/query/mod.rs crates/core/src/query/bestfirst.rs crates/core/src/query/containment.rs crates/core/src/query/dfs.rs crates/core/src/query/incremental.rs crates/core/src/query/join.rs crates/core/src/query/tests.rs crates/core/src/scan.rs crates/core/src/stats.rs crates/core/src/treestats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/delete.rs:
+crates/core/src/insert.rs:
+crates/core/src/node.rs:
+crates/core/src/split.rs:
+crates/core/src/tree.rs:
+crates/core/src/bulkload.rs:
+crates/core/src/cluster.rs:
+crates/core/src/query/mod.rs:
+crates/core/src/query/bestfirst.rs:
+crates/core/src/query/containment.rs:
+crates/core/src/query/dfs.rs:
+crates/core/src/query/incremental.rs:
+crates/core/src/query/join.rs:
+crates/core/src/query/tests.rs:
+crates/core/src/scan.rs:
+crates/core/src/stats.rs:
+crates/core/src/treestats.rs:

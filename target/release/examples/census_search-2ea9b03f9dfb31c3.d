@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/census_search-2ea9b03f9dfb31c3.d: crates/bench/../../examples/census_search.rs
+
+/root/repo/target/release/examples/census_search-2ea9b03f9dfb31c3: crates/bench/../../examples/census_search.rs
+
+crates/bench/../../examples/census_search.rs:

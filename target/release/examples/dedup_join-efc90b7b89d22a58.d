@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dedup_join-efc90b7b89d22a58.d: crates/bench/../../examples/dedup_join.rs
+
+/root/repo/target/release/examples/dedup_join-efc90b7b89d22a58: crates/bench/../../examples/dedup_join.rs
+
+crates/bench/../../examples/dedup_join.rs:

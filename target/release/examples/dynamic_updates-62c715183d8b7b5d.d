@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dynamic_updates-62c715183d8b7b5d.d: crates/bench/../../examples/dynamic_updates.rs
+
+/root/repo/target/release/examples/dynamic_updates-62c715183d8b7b5d: crates/bench/../../examples/dynamic_updates.rs
+
+crates/bench/../../examples/dynamic_updates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/recommend-94ed7d7839dc46b4.d: crates/bench/../../examples/recommend.rs
+
+/root/repo/target/release/examples/recommend-94ed7d7839dc46b4: crates/bench/../../examples/recommend.rs
+
+crates/bench/../../examples/recommend.rs:
