@@ -141,6 +141,50 @@ fn bench_queries(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_sharded_exec(c: &mut Criterion) {
+    use sg_exec::{BatchQuery, ExecConfig, Partitioner, ShardedExecutor};
+
+    let (data, queries, nbits) = workload();
+    let m = Metric::jaccard();
+    let mut g = c.benchmark_group("sharded_exec_20k");
+    g.sample_size(10);
+    for shards in [1usize, 4] {
+        let exec = ShardedExecutor::build(
+            nbits,
+            &data,
+            &ExecConfig {
+                shards,
+                partitioner: Partitioner::SignatureClustered,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap();
+        let batch: Vec<BatchQuery> = queries
+            .iter()
+            .map(|q| BatchQuery::Knn {
+                q: q.clone(),
+                k: 10,
+                metric: m,
+            })
+            .collect();
+        g.bench_function(format!("knn10_single_{shards}shard"), |b| {
+            let mut qi = 0usize;
+            b.iter(|| {
+                qi = (qi + 1) % queries.len();
+                black_box(exec.knn(&queries[qi], 10, &m))
+            })
+        });
+        g.bench_function(format!("knn10_batch64_{shards}shard"), |b| {
+            b.iter_batched(
+                || batch.clone(),
+                |batch| black_box(exec.execute_batch(batch).len()),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
 fn bench_insert_delete(c: &mut Criterion) {
     let (data, _, nbits) = workload();
     let mut g = c.benchmark_group("maintenance_20k");
@@ -169,6 +213,6 @@ fn bench_insert_delete(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default();
-    targets = bench_build, bench_queries, bench_insert_delete
+    targets = bench_build, bench_queries, bench_sharded_exec, bench_insert_delete
 }
 criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! repro [EXPERIMENT ...] [--scale F] [--queries N] [--out DIR]
 //!
 //! EXPERIMENT: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-//!             fig14 fig15 fig16 fig17 ablate all      (default: all)
+//!             fig14 fig15 fig16 fig17 ablate scaling all  (default: all)
 //! --scale F   scales every dataset cardinality by F (default 1.0 = the
 //!             paper's sizes; use 0.1 for a quick pass)
 //! --queries N queries per experimental point (default 100, as the paper;
@@ -148,6 +148,9 @@ fn main() {
     }
     if want("ablate") {
         finish_section(registry, &mut last, ablations(&opts), &mut tables);
+    }
+    if want("scaling") {
+        finish_section(registry, &mut last, scaling(&opts), &mut tables);
     }
 
     for (t, metrics) in &tables {
@@ -994,4 +997,89 @@ fn wrap_tree(ds: &sg_quest::Dataset, data: &[(u64, Signature)], tree: SgTree) ->
         tree_build_secs: 0.0,
         scan,
     }
+}
+
+// ------------------------------------------------------------ Scaling
+
+/// Not in the paper: batch-query throughput of the sharded executor
+/// (`sg-exec`) against shard count, on the T8.I4 basket workload. Each
+/// configuration pushes the same k-NN batch through the executor and
+/// reports queries/second plus the per-query fan-out costs.
+fn scaling(opts: &Opts) -> Vec<Table> {
+    use sg_exec::{BatchQuery, ExecConfig, Partitioner, ShardedExecutor};
+
+    let d = scaled(100_000, opts.scale);
+    eprintln!("[scaling] sharded executor on {}…", dataset_name(8, 4, d));
+    let pool = PatternPool::new(BasketParams::standard(8, 4), SEED);
+    let ds = pool.dataset(d, SEED);
+    let data = pairs_of(&ds);
+    let queries: Vec<Signature> = pool
+        .queries(opts.queries, SEED ^ 0x5CA1E)
+        .iter()
+        .map(|q| Signature::from_items(ds.n_items, q))
+        .collect();
+    let m = Metric::jaccard();
+
+    let mut out = Table::new(
+        "scaling",
+        "Sharded executor: batch k-NN throughput vs shard count (T8.I4)",
+        &[
+            "shards",
+            "threads",
+            "build s",
+            "batch q/s",
+            "speedup",
+            "nodes/query",
+            "merge us/query",
+        ],
+    );
+    let mut base_qps = 0.0;
+    for shards in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let exec = ShardedExecutor::build(
+            ds.n_items,
+            &data,
+            &ExecConfig {
+                shards,
+                partitioner: Partitioner::SignatureClustered,
+                page_size: PAGE_SIZE,
+                pool_frames: POOL_FRAMES,
+                ..ExecConfig::default()
+            },
+        )
+        .expect("executor config");
+        let build_secs = t0.elapsed().as_secs_f64();
+
+        let batch: Vec<BatchQuery> = queries
+            .iter()
+            .map(|q| BatchQuery::Knn {
+                q: q.clone(),
+                k: 10,
+                metric: m,
+            })
+            .collect();
+        // Warm the pools once, then measure.
+        let _ = exec.execute_batch(batch.clone());
+        let t0 = Instant::now();
+        let results = exec.execute_batch(batch);
+        let secs = t0.elapsed().as_secs_f64();
+
+        let qps = results.len() as f64 / secs;
+        if shards == 1 {
+            base_qps = qps;
+        }
+        let n = results.len() as f64;
+        let nodes: u64 = results.iter().map(|r| r.stats.total.nodes_accessed).sum();
+        let merge_ns: u64 = results.iter().map(|r| r.stats.merge_ns).sum();
+        out.row(vec![
+            shards.to_string(),
+            exec.threads().to_string(),
+            f(build_secs),
+            f(qps),
+            f(qps / base_qps),
+            f(nodes as f64 / n),
+            f(merge_ns as f64 / n / 1000.0),
+        ]);
+    }
+    vec![out]
 }

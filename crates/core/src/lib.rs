@@ -55,7 +55,7 @@ pub mod treestats;
 
 pub use config::{ChooseSubtree, SplitPolicy, TreeConfig};
 pub use node::{Entry, Node};
-pub use query::{JoinPair, Neighbor, NnIter};
+pub use query::{JoinPair, Neighbor, NnIter, SharedBound};
 pub use scan::ScanIndex;
 pub use sg_obs::{IndexObs, QueryTrace, Registry};
 pub use stats::QueryStats;
@@ -64,3 +64,17 @@ pub use treestats::{LevelStats, TreeStats};
 
 /// Transaction identifier stored in leaf entries.
 pub type Tid = u64;
+
+// Compile-time thread-safety audit: queries take `&self`, so the sharded
+// executor (and any other fan-out layer) shares trees across worker
+// threads. These assertions fail the build — instead of silently
+// un-`Sync`-ing downstream crates — if a non-thread-safe field ever
+// sneaks into the query path.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SgTree>();
+    assert_send_sync::<ScanIndex>();
+    assert_send_sync::<SharedBound>();
+    assert_send_sync::<Neighbor>();
+    assert_send_sync::<QueryStats>();
+};

@@ -5,10 +5,16 @@
 //! `mindist`, ties broken by **minimum area** — the paper's secondary key:
 //! among subtrees covering the query equally, a smaller (denser) one is
 //! probabilistically more likely to hold the optimistic neighbor. Once an
-//! entry's lower bound reaches the pruning distance, that entry *and every
+//! entry's lower bound exceeds the pruning distance, that entry *and every
 //! later one in the order* are skipped.
+//!
+//! The `k`-NN candidate set is **canonical**: ties at the k-th boundary are
+//! resolved by ascending tid, so the result is exactly the `k` smallest
+//! `(dist, tid)` pairs regardless of traversal order. That determinism is
+//! what lets the sharded executor (`sg-exec`) merge per-shard answers into
+//! a byte-identical copy of the single-tree result.
 
-use super::{Neighbor, OrdF64, SearchCtx};
+use super::{Neighbor, OrdF64, SearchCtx, SharedBound};
 use crate::tree::SgTree;
 use sg_pager::PageId;
 use sg_sig::{Metric, Signature};
@@ -61,12 +67,18 @@ fn ordered_children(
 
 /// `k`-NN, depth-first. `init_bound` seeds the pruning distance (exclusive)
 /// — `f64::INFINITY` for an unbounded search.
+///
+/// When `shared` is given, the search additionally prunes against the
+/// cross-shard distance bound and publishes its own k-th-best distance
+/// into it, so concurrent searches over sibling shards prune against each
+/// other's best-so-far.
 fn knn_bounded(
     tree: &SgTree,
     q: &Signature,
     k: usize,
     metric: &Metric,
     init_bound: f64,
+    shared: Option<&SharedBound>,
     ctx: &mut SearchCtx,
 ) -> Vec<Neighbor> {
     let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
@@ -81,29 +93,43 @@ fn knn_bounded(
         k: usize,
         metric: &Metric,
         init_bound: f64,
+        shared: Option<&SharedBound>,
         heap: &mut BinaryHeap<HeapItem>,
         ctx: &mut SearchCtx,
     ) {
-        let prune = |heap: &BinaryHeap<HeapItem>| -> f64 {
-            if heap.len() == k {
-                heap.peek().expect("nonempty").dist.0
-            } else {
-                init_bound
-            }
-        };
         let node = tree.read_node(page);
         ctx.visit(node.level);
         if node.is_leaf() {
             for e in &node.entries {
                 ctx.exact(node.level);
                 let d = metric.dist(q, &e.sig);
-                if d < prune(heap) {
-                    heap.push(HeapItem {
-                        dist: OrdF64(d),
-                        tid: e.ptr,
-                    });
+                let cand = HeapItem {
+                    dist: OrdF64(d),
+                    tid: e.ptr,
+                };
+                // Canonical acceptance: below k the only gate is the
+                // caller's exclusive bound; at k the candidate must beat
+                // the current worst under the (dist, tid) order. A
+                // candidate strictly beyond the cross-shard bound can
+                // never reach the merged top-k (equality is kept — it may
+                // still win its tie on tid).
+                let accept = shared.map_or(true, |s| d <= s.get())
+                    && if heap.len() < k {
+                        d < init_bound
+                    } else {
+                        cand < *heap.peek().expect("heap is full")
+                    };
+                if accept {
+                    heap.push(cand);
                     if heap.len() > k {
                         heap.pop();
+                    }
+                    if heap.len() == k {
+                        if let Some(s) = shared {
+                            // k local results at ≤ this distance exist, so
+                            // the *global* k-th distance is at most it.
+                            s.observe(heap.peek().expect("heap is full").dist.0);
+                        }
                     }
                 }
             }
@@ -111,13 +137,24 @@ fn knn_bounded(
         }
         let order = ordered_children(&node, q, metric, ctx);
         for (i, (mindist, _, child)) in order.iter().enumerate() {
-            if *mindist >= prune(heap) {
+            // With a full candidate set the subtree is pruned only when its
+            // bound is *strictly* worse than the k-th distance: at equality
+            // it may still hold an equal-distance, smaller-tid neighbor.
+            // Below k the caller's `init_bound` is exclusive, so `>=` prunes.
+            let prune = shared.is_some_and(|s| *mindist > s.get())
+                || if heap.len() == k {
+                    *mindist > heap.peek().expect("heap is full").dist.0
+                } else {
+                    *mindist >= init_bound
+                };
+            if prune {
                 // Later entries have even larger bounds: this one and the
-                // rest of the order are all pruned.
+                // rest of the order are all pruned. (The shared bound only
+                // ever decreases, so the break stays valid for it too.)
                 ctx.pruned(node.level, (order.len() - i) as u64);
                 break;
             }
-            recurse(tree, *child, q, k, metric, init_bound, heap, ctx);
+            recurse(tree, *child, q, k, metric, init_bound, shared, heap, ctx);
         }
     }
     recurse(
@@ -127,6 +164,7 @@ fn knn_bounded(
         k,
         metric,
         init_bound,
+        shared,
         &mut heap,
         ctx,
     );
@@ -149,7 +187,19 @@ pub(crate) fn knn(
     metric: &Metric,
     ctx: &mut SearchCtx,
 ) -> Vec<Neighbor> {
-    knn_bounded(tree, q, k, metric, f64::INFINITY, ctx)
+    knn_bounded(tree, q, k, metric, f64::INFINITY, None, ctx)
+}
+
+/// `k`-NN cooperating with sibling shards through a [`SharedBound`].
+pub(crate) fn knn_shared(
+    tree: &SgTree,
+    q: &Signature,
+    k: usize,
+    metric: &Metric,
+    shared: &SharedBound,
+    ctx: &mut SearchCtx,
+) -> Vec<Neighbor> {
+    knn_bounded(tree, q, k, metric, f64::INFINITY, Some(shared), ctx)
 }
 
 /// Single NN strictly closer than `bound`.
@@ -160,7 +210,7 @@ pub(crate) fn nn_within(
     metric: &Metric,
     ctx: &mut SearchCtx,
 ) -> Option<Neighbor> {
-    knn_bounded(tree, q, 1, metric, bound, ctx)
+    knn_bounded(tree, q, 1, metric, bound, None, ctx)
         .into_iter()
         .next()
 }

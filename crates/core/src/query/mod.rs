@@ -22,7 +22,57 @@ use crate::tree::SgTree;
 use crate::Tid;
 use sg_obs::QueryTrace;
 use sg_sig::{Metric, Signature};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// A monotonically non-increasing distance bound shared by concurrent
+/// searches over sibling shards (the sharded executor's k-NN fan-out).
+///
+/// Each shard publishes its local k-th-best distance with
+/// [`SharedBound::observe`]; every shard prunes subtrees whose directory
+/// lower bound strictly exceeds [`SharedBound::get`]. The invariant that
+/// makes this sound: once *any* shard holds `k` candidates at distance
+/// `≤ d`, the merged k-th-nearest distance is `≤ d`, so no pruned entry
+/// can reach the merged top-k. Equal distances are never pruned — they
+/// may still win their tie on tid, keeping the merged result canonical.
+///
+/// Distances are non-negative IEEE-754 doubles, whose bit patterns order
+/// exactly like their values, so the bound is one lock-free
+/// `AtomicU64::fetch_min`.
+#[derive(Debug)]
+pub struct SharedBound(AtomicU64);
+
+impl Default for SharedBound {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedBound {
+    /// An unbounded (infinite) starting bound.
+    pub fn new() -> Self {
+        SharedBound(AtomicU64::new(f64::INFINITY.to_bits()))
+    }
+
+    /// The current bound. Stale reads are safe: the bound only ever
+    /// decreases, so a stale value is merely conservative.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Lowers the bound to `dist` if it improves on the current value.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `dist` is non-negative (negative distances
+    /// would break the bit-pattern ordering trick).
+    #[inline]
+    pub fn observe(&self, dist: f64) {
+        debug_assert!(dist >= 0.0, "distances must be non-negative");
+        self.0.fetch_min(dist.to_bits(), Ordering::Relaxed);
+    }
+}
 
 /// One similarity-search hit.
 #[derive(Debug, Clone, PartialEq)]
@@ -192,6 +242,20 @@ impl SgTree {
         self.run_query(|ctx| dfs::nn_all_ties(self, q, metric, ctx))
     }
 
+    /// `k`-nearest-neighbor query cooperating with concurrent searches
+    /// over sibling shards: prunes against the cross-shard [`SharedBound`]
+    /// and publishes its own k-th-best distance into it. With a fresh
+    /// bound this is exactly [`SgTree::knn`].
+    pub fn knn_shared(
+        &self,
+        q: &Signature,
+        k: usize,
+        metric: &Metric,
+        shared: &SharedBound,
+    ) -> (Vec<Neighbor>, QueryStats) {
+        self.run_query(|ctx| dfs::knn_shared(self, q, k, metric, shared, ctx))
+    }
+
     /// `k`-NN by best-first (Hjaltason–Samet) search — the node-access-
     /// optimal algorithm §4.1 recommends over depth-first.
     pub fn knn_best_first(
@@ -272,6 +336,23 @@ impl SgTree {
         let label = format!("knn k={k} metric={:?}", metric.kind());
         let (result, stats, mut trace) =
             self.run_query_traced(&label, |ctx| dfs::knn(self, q, k, metric, ctx));
+        trace.results = result.len() as u64;
+        (result, stats, trace)
+    }
+
+    /// [`SgTree::knn_shared`] with an EXPLAIN-style [`QueryTrace`] — the
+    /// per-shard trace the sharded executor nests under its fan-out trace.
+    pub fn knn_shared_explain(
+        &self,
+        q: &Signature,
+        k: usize,
+        metric: &Metric,
+        shared: &SharedBound,
+    ) -> (Vec<Neighbor>, QueryStats, QueryTrace) {
+        let label = format!("knn-shared k={k} metric={:?}", metric.kind());
+        let (result, stats, mut trace) = self.run_query_traced(&label, |ctx| {
+            dfs::knn_shared(self, q, k, metric, shared, ctx)
+        });
         trace.results = result.len() as u64;
         (result, stats, trace)
     }

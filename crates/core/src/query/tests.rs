@@ -562,7 +562,10 @@ fn knn_explain_trace_is_consistent_and_roundtrips() {
     let tree = tree_of(&data);
     assert!(tree.height() >= 2, "need a directory level");
     let m = Metric::hamming();
-    let q = Signature::from_items(NBITS, &[3, 17, 40]);
+    // A wide single-cluster query: cross-cluster subtrees have a Hamming
+    // lower bound of |q| = 8, well beyond the in-cluster k-th distance, so
+    // the (strict) canonical pruning rule demonstrably fires.
+    let q = Signature::from_items(NBITS, &[1, 3, 5, 9, 14, 17, 22, 28]);
     let (hits, stats, trace) = tree.knn_explain(&q, 10, &m);
     assert_eq!(hits.len(), 10);
     assert_eq!(trace.results, 10);

@@ -1,0 +1,469 @@
+//! The sharded executor: partition, fan out, merge.
+
+use crate::merge::{self, ExecStats};
+use crate::obs::ExecObs;
+use crate::partition::Partitioner;
+use crate::pool::ThreadPool;
+use sg_obs::{QueryTrace, Registry};
+use sg_pager::MemStore;
+use sg_sig::{Metric, Signature};
+use sg_tree::{Neighbor, QueryStats, SgTree, SharedBound, Tid, TreeConfig, TreeError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Construction parameters for a [`ShardedExecutor`].
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Number of SG-tree shards the dataset is split across.
+    pub shards: usize,
+    /// Worker threads in the fan-out pool; `0` means one per shard.
+    pub threads: usize,
+    /// How transactions are assigned to shards.
+    pub partitioner: Partitioner,
+    /// Page size of each shard's backing store.
+    pub page_size: usize,
+    /// Buffer-pool frames per shard.
+    pub pool_frames: usize,
+    /// Per-shard tree configuration; defaults to `TreeConfig::new(nbits)`.
+    pub tree: Option<TreeConfig>,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            shards: 4,
+            threads: 0,
+            partitioner: Partitioner::RoundRobin,
+            page_size: 4096,
+            pool_frames: 1024,
+            tree: None,
+        }
+    }
+}
+
+/// One shard's share of a fan-out query: runs against that shard's tree.
+type ShardTask<R> = dyn Fn(&SgTree) -> (R, QueryStats) + Send + Sync;
+
+struct Inner {
+    shards: Vec<SgTree>,
+    obs: OnceLock<Arc<ExecObs>>,
+}
+
+impl Inner {
+    fn record_shard(&self, idx: usize, stats: &QueryStats) {
+        if let Some(obs) = self.obs.get() {
+            obs.shard_visits[idx].add(stats.nodes_accessed);
+        }
+    }
+}
+
+/// A dataset partitioned across `K` independent SG-tree shards, queried by
+/// fanning each request out over a fixed worker pool and merging the
+/// per-shard answers into the canonical global answer.
+///
+/// All query methods take `&self`: the executor is `Sync` and may be
+/// shared (e.g. behind an [`Arc`]) by any number of caller threads.
+pub struct ShardedExecutor {
+    inner: Arc<Inner>,
+    pool: ThreadPool,
+    nbits: u32,
+    len: u64,
+    partitioner: Partitioner,
+}
+
+impl ShardedExecutor {
+    /// Partitions `data` and builds one SG-tree per shard.
+    pub fn build(
+        nbits: u32,
+        data: &[(Tid, Signature)],
+        config: &ExecConfig,
+    ) -> Result<ShardedExecutor, TreeError> {
+        let parts = config.partitioner.partition(data, config.shards);
+        let mut shards = Vec::with_capacity(parts.len());
+        for part in &parts {
+            let cfg = config
+                .tree
+                .clone()
+                .unwrap_or_else(|| TreeConfig::new(nbits))
+                .pool_frames(config.pool_frames);
+            let mut tree = SgTree::create(Arc::new(MemStore::new(config.page_size)), cfg)?;
+            for (tid, sig) in part {
+                tree.insert(*tid, sig);
+            }
+            shards.push(tree);
+        }
+        let threads = if config.threads == 0 {
+            config.shards
+        } else {
+            config.threads
+        };
+        Ok(ShardedExecutor {
+            inner: Arc::new(Inner {
+                shards,
+                obs: OnceLock::new(),
+            }),
+            pool: ThreadPool::new(threads),
+            nbits,
+            len: data.len() as u64,
+            partitioner: config.partitioner,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Worker threads serving the fan-out pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Total transactions indexed across all shards.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the executor indexes no data.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Signature width shared by every shard.
+    pub fn nbits(&self) -> u32 {
+        self.nbits
+    }
+
+    /// The partitioner the dataset was laid out with.
+    pub fn partitioner(&self) -> Partitioner {
+        self.partitioner
+    }
+
+    /// Read access to an individual shard (used by tests and tools).
+    pub fn shard(&self, idx: usize) -> &SgTree {
+        &self.inner.shards[idx]
+    }
+
+    /// Registers executor instruments (and the pool's queue-depth gauge)
+    /// under `<prefix>.*`. Effective once; later calls return the first
+    /// instrument set.
+    pub fn register_obs(&self, registry: &Registry, prefix: &str) -> Arc<ExecObs> {
+        let obs = ExecObs::register(registry, prefix, self.shards());
+        let obs = self.inner.obs.get_or_init(|| obs);
+        self.pool.set_depth_gauge(Arc::clone(&obs.queue_depth));
+        Arc::clone(obs)
+    }
+
+    /// Fans `run` out over every shard and collects `(result, stats)` per
+    /// shard, in shard order.
+    fn fan_out<R: Send + 'static>(&self, run: Arc<ShardTask<R>>) -> (Vec<R>, Vec<QueryStats>) {
+        let n = self.shards();
+        let (tx, rx) = mpsc::channel();
+        for idx in 0..n {
+            let inner = Arc::clone(&self.inner);
+            let run = Arc::clone(&run);
+            let tx = tx.clone();
+            self.pool.submit(move || {
+                let (r, stats) = run(&inner.shards[idx]);
+                inner.record_shard(idx, &stats);
+                let _ = tx.send((idx, r, stats));
+            });
+        }
+        drop(tx);
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut per_shard = vec![QueryStats::default(); n];
+        for (idx, r, stats) in rx {
+            results[idx] = Some(r);
+            per_shard[idx] = stats;
+        }
+        let results = results
+            .into_iter()
+            .map(|r| r.expect("every shard task reports"))
+            .collect();
+        (results, per_shard)
+    }
+
+    fn finish<R>(
+        &self,
+        started: Instant,
+        per_shard: Vec<QueryStats>,
+        merge: impl FnOnce() -> R,
+    ) -> (R, ExecStats) {
+        let m0 = Instant::now();
+        let merged = merge();
+        let merge_ns = m0.elapsed().as_nanos() as u64;
+        let mut stats = ExecStats::from_shards(per_shard);
+        stats.merge_ns = merge_ns;
+        if let Some(obs) = self.inner.obs.get() {
+            obs.queries.inc();
+            obs.query_ns.record(started.elapsed().as_nanos() as u64);
+            obs.merge_ns.record(merge_ns);
+        }
+        (merged, stats)
+    }
+
+    /// Global `k`-NN: each shard runs a depth-first k-NN cooperating
+    /// through a [`SharedBound`], so a shard that already found `k` close
+    /// neighbors shrinks every other shard's search. The merged answer is
+    /// exactly the single-tree (canonical) k-NN result.
+    pub fn knn(&self, q: &Signature, k: usize, metric: &Metric) -> (Vec<Neighbor>, ExecStats) {
+        let started = Instant::now();
+        let q = Arc::new(q.clone());
+        let m = *metric;
+        let bound = Arc::new(SharedBound::new());
+        let (parts, per_shard) = self.fan_out(Arc::new(move |tree: &SgTree| {
+            tree.knn_shared(&q, k, &m, &bound)
+        }));
+        self.finish(started, per_shard, || merge::merge_knn(parts, k))
+    }
+
+    /// Global similarity range query (distance ≤ `eps`).
+    pub fn range(&self, q: &Signature, eps: f64, metric: &Metric) -> (Vec<Neighbor>, ExecStats) {
+        let started = Instant::now();
+        let q = Arc::new(q.clone());
+        let m = *metric;
+        let (parts, per_shard) =
+            self.fan_out(Arc::new(move |tree: &SgTree| tree.range(&q, eps, &m)));
+        self.finish(started, per_shard, || merge::merge_range(parts))
+    }
+
+    /// Transactions whose signature is a superset of `q`.
+    pub fn containing(&self, q: &Signature) -> (Vec<Tid>, ExecStats) {
+        let started = Instant::now();
+        let q = Arc::new(q.clone());
+        let (parts, per_shard) = self.fan_out(Arc::new(move |tree: &SgTree| tree.containing(&q)));
+        self.finish(started, per_shard, || merge::merge_tids(parts))
+    }
+
+    /// Transactions whose signature is a subset of `q`.
+    pub fn contained_in(&self, q: &Signature) -> (Vec<Tid>, ExecStats) {
+        let started = Instant::now();
+        let q = Arc::new(q.clone());
+        let (parts, per_shard) = self.fan_out(Arc::new(move |tree: &SgTree| tree.contained_in(&q)));
+        self.finish(started, per_shard, || merge::merge_tids(parts))
+    }
+
+    /// Transactions whose signature equals `q` exactly.
+    pub fn exact(&self, q: &Signature) -> (Vec<Tid>, ExecStats) {
+        let started = Instant::now();
+        let q = Arc::new(q.clone());
+        let (parts, per_shard) = self.fan_out(Arc::new(move |tree: &SgTree| tree.exact(&q)));
+        self.finish(started, per_shard, || merge::merge_tids(parts))
+    }
+
+    /// [`ShardedExecutor::knn`] with an EXPLAIN trace whose children are
+    /// the per-shard traces, one per shard in shard order.
+    pub fn knn_explain(
+        &self,
+        q: &Signature,
+        k: usize,
+        metric: &Metric,
+    ) -> (Vec<Neighbor>, ExecStats, QueryTrace) {
+        let started = Instant::now();
+        let qa = Arc::new(q.clone());
+        let m = *metric;
+        let bound = Arc::new(SharedBound::new());
+        let (parts, per_shard) = self.fan_out(Arc::new(move |tree: &SgTree| {
+            let (hits, stats, trace) = tree.knn_shared_explain(&qa, k, &m, &bound);
+            ((hits, trace), stats)
+        }));
+        let mut children = Vec::with_capacity(parts.len());
+        let mut hit_parts = Vec::with_capacity(parts.len());
+        for (hits, trace) in parts {
+            hit_parts.push(hits);
+            children.push(trace);
+        }
+        let (merged, stats) = self.finish(started, per_shard, || merge::merge_knn(hit_parts, k));
+        let mut trace = QueryTrace::new(
+            format!("knn k={k} metric={:?} shards={}", m.kind(), self.shards()),
+            "sg-exec",
+        );
+        trace.nodes_accessed = stats.total.nodes_accessed;
+        trace.data_compared = stats.total.data_compared;
+        trace.dist_computations = stats.total.dist_computations;
+        trace.logical_reads = stats.total.io.logical_reads;
+        trace.physical_reads = stats.total.io.physical_reads;
+        trace.duration_ns = started.elapsed().as_nanos() as u64;
+        trace.results = merged.len() as u64;
+        for child in children {
+            trace.push_child(child);
+        }
+        (merged, stats, trace)
+    }
+
+    /// Runs a batch of heterogeneous queries through the pool, pipelined:
+    /// all `queries.len() × shards` shard-tasks are enqueued up front, and
+    /// whichever task finishes a query last performs that query's merge.
+    /// Results come back in input order.
+    pub fn execute_batch(&self, queries: Vec<BatchQuery>) -> Vec<BatchResult> {
+        let n_shards = self.shards();
+        let n_queries = queries.len();
+        if n_queries == 0 {
+            return Vec::new();
+        }
+        if let Some(obs) = self.inner.obs.get() {
+            obs.batches.inc();
+        }
+        let (tx, rx) = mpsc::channel();
+        for (qi, query) in queries.into_iter().enumerate() {
+            let state = Arc::new(BatchState {
+                parts: Mutex::new((0..n_shards).map(|_| None).collect()),
+                remaining: AtomicUsize::new(n_shards),
+                started: Instant::now(),
+            });
+            let query = Arc::new(query);
+            let bound = Arc::new(SharedBound::new());
+            for si in 0..n_shards {
+                let inner = Arc::clone(&self.inner);
+                let state = Arc::clone(&state);
+                let query = Arc::clone(&query);
+                let bound = Arc::clone(&bound);
+                let tx = tx.clone();
+                self.pool.submit(move || {
+                    let tree = &inner.shards[si];
+                    let (out, stats) = run_one(tree, &query, &bound);
+                    inner.record_shard(si, &stats);
+                    state.parts.lock().expect("batch state poisoned")[si] = Some((out, stats));
+                    if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        let result = finish_batch_query(&inner, &state, &query);
+                        let _ = tx.send((qi, result));
+                    }
+                });
+            }
+        }
+        drop(tx);
+        let mut out: Vec<Option<BatchResult>> = (0..n_queries).map(|_| None).collect();
+        for (qi, result) in rx {
+            out[qi] = Some(result);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every batch query reports"))
+            .collect()
+    }
+}
+
+/// One query of a heterogeneous batch.
+#[derive(Debug, Clone)]
+pub enum BatchQuery {
+    /// `k` nearest neighbors of `q` under `metric`.
+    Knn {
+        /// Query signature.
+        q: Signature,
+        /// Result size.
+        k: usize,
+        /// Distance function.
+        metric: Metric,
+    },
+    /// Everything within distance `eps` of `q` under `metric`.
+    Range {
+        /// Query signature.
+        q: Signature,
+        /// Inclusive distance threshold.
+        eps: f64,
+        /// Distance function.
+        metric: Metric,
+    },
+    /// Supersets of `q`.
+    Containing {
+        /// Query signature.
+        q: Signature,
+    },
+    /// Exact matches of `q`.
+    Exact {
+        /// Query signature.
+        q: Signature,
+    },
+}
+
+/// A batch query's merged answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchOutput {
+    /// Distance-ranked answer (k-NN, range).
+    Neighbors(Vec<Neighbor>),
+    /// Id-set answer (containment, exact match).
+    Tids(Vec<Tid>),
+}
+
+/// Merged answer plus the fan-out cost breakdown for one batch query.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// The merged, canonically ordered answer.
+    pub output: BatchOutput,
+    /// Per-shard and aggregate costs.
+    pub stats: ExecStats,
+}
+
+struct BatchState {
+    parts: Mutex<Vec<Option<(BatchOutput, QueryStats)>>>,
+    remaining: AtomicUsize,
+    started: Instant,
+}
+
+fn run_one(tree: &SgTree, query: &BatchQuery, bound: &SharedBound) -> (BatchOutput, QueryStats) {
+    match query {
+        BatchQuery::Knn { q, k, metric } => {
+            let (r, s) = tree.knn_shared(q, *k, metric, bound);
+            (BatchOutput::Neighbors(r), s)
+        }
+        BatchQuery::Range { q, eps, metric } => {
+            let (r, s) = tree.range(q, *eps, metric);
+            (BatchOutput::Neighbors(r), s)
+        }
+        BatchQuery::Containing { q } => {
+            let (r, s) = tree.containing(q);
+            (BatchOutput::Tids(r), s)
+        }
+        BatchQuery::Exact { q } => {
+            let (r, s) = tree.exact(q);
+            (BatchOutput::Tids(r), s)
+        }
+    }
+}
+
+/// Runs on whichever worker finished a batch query's last shard-task:
+/// merges the per-shard parts and records executor metrics.
+fn finish_batch_query(inner: &Inner, state: &BatchState, query: &BatchQuery) -> BatchResult {
+    let parts: Vec<(BatchOutput, QueryStats)> = state
+        .parts
+        .lock()
+        .expect("batch state poisoned")
+        .drain(..)
+        .map(|p| p.expect("all shard parts present"))
+        .collect();
+    let mut per_shard = Vec::with_capacity(parts.len());
+    let mut neighbor_parts = Vec::new();
+    let mut tid_parts = Vec::new();
+    for (out, stats) in parts {
+        per_shard.push(stats);
+        match out {
+            BatchOutput::Neighbors(v) => neighbor_parts.push(v),
+            BatchOutput::Tids(v) => tid_parts.push(v),
+        }
+    }
+    let m0 = Instant::now();
+    let output = match query {
+        BatchQuery::Knn { k, .. } => BatchOutput::Neighbors(merge::merge_knn(neighbor_parts, *k)),
+        BatchQuery::Range { .. } => BatchOutput::Neighbors(merge::merge_range(neighbor_parts)),
+        BatchQuery::Containing { .. } | BatchQuery::Exact { .. } => {
+            BatchOutput::Tids(merge::merge_tids(tid_parts))
+        }
+    };
+    let merge_ns = m0.elapsed().as_nanos() as u64;
+    let mut stats = ExecStats::from_shards(per_shard);
+    stats.merge_ns = merge_ns;
+    if let Some(obs) = inner.obs.get() {
+        obs.queries.inc();
+        obs.query_ns
+            .record(state.started.elapsed().as_nanos() as u64);
+        obs.merge_ns.record(merge_ns);
+    }
+    BatchResult { output, stats }
+}
+
+// The executor is shared across caller threads; fail the build if a
+// non-thread-safe field ever sneaks in.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ShardedExecutor>();
+};

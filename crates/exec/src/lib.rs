@@ -1,0 +1,58 @@
+//! # sg-exec — sharded parallel query execution for the SG-tree
+//!
+//! The paper's SG-tree ([`sg_tree::SgTree`]) answers one query on one
+//! tree. This crate scales that out: the dataset is partitioned across
+//! `K` independent shards (each its own SG-tree over its own page store
+//! and buffer pool), and every query fans out over a fixed pool of worker
+//! threads, one task per shard, with the per-shard answers merged into
+//! the **canonical global answer** — byte-identical to what a single tree
+//! over the whole dataset returns.
+//!
+//! Key pieces:
+//!
+//! * [`Partitioner`] — round-robin or greedy signature clustering; both
+//!   deterministic and complete (every tid in exactly one shard).
+//! * [`ShardedExecutor`] — build once, query from any thread. Supports
+//!   containment (`containing` / `contained_in` / `exact`), similarity
+//!   `range`, and `knn`.
+//! * k-NN shards cooperate through [`sg_tree::SharedBound`]: each shard
+//!   publishes its local k-th-best distance into a lock-free global
+//!   bound, so one shard's good neighbors prune another shard's search.
+//! * [`ShardedExecutor::execute_batch`] — pipeline many heterogeneous
+//!   queries through the pool at once; merges run on whichever worker
+//!   finishes a query's last shard.
+//! * [`ShardedExecutor::knn_explain`] — an EXPLAIN trace whose children
+//!   are the per-shard traces ([`sg_obs::QueryTrace::children`]).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use sg_exec::{ExecConfig, Partitioner, ShardedExecutor};
+//! use sg_sig::{Metric, Signature};
+//!
+//! let nbits = 64;
+//! let data: Vec<(u64, Signature)> = (0..100)
+//!     .map(|tid| (tid, Signature::from_items(nbits, &[(tid % 16) as u32, 40])))
+//!     .collect();
+//! let exec = ShardedExecutor::build(
+//!     nbits,
+//!     &data,
+//!     &ExecConfig { shards: 4, partitioner: Partitioner::RoundRobin, ..ExecConfig::default() },
+//! )
+//! .unwrap();
+//! let (hits, stats) = exec.knn(&Signature::from_items(nbits, &[3, 40]), 5, &Metric::hamming());
+//! assert_eq!(hits.len(), 5);
+//! assert_eq!(stats.per_shard.len(), 4);
+//! ```
+
+mod executor;
+mod merge;
+mod obs;
+mod partition;
+mod pool;
+
+pub use executor::{BatchOutput, BatchQuery, BatchResult, ExecConfig, ShardedExecutor};
+pub use merge::{merge_knn, merge_range, merge_tids, ExecStats};
+pub use obs::ExecObs;
+pub use partition::Partitioner;
+pub use pool::ThreadPool;

@@ -1,0 +1,97 @@
+//! Merging per-shard answers into the global answer.
+//!
+//! Every merge reproduces the *canonical* order the single-tree queries
+//! use — `(dist, tid)` for distance queries, ascending tid for id sets —
+//! so a sharded answer is byte-identical to the unsharded one.
+
+use sg_tree::{Neighbor, QueryStats, Tid};
+
+/// Costs of one fan-out query: the per-shard breakdown, their sum, and how
+/// long the final merge took.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Sum of all shard costs (what a single tree would report, modulo
+    /// cross-shard pruning savings).
+    pub total: QueryStats,
+    /// Per-shard costs, indexed by shard.
+    pub per_shard: Vec<QueryStats>,
+    /// Wall time of the merge step, nanoseconds.
+    pub merge_ns: u64,
+}
+
+impl ExecStats {
+    /// Folds `per_shard` into the aggregate view.
+    pub fn from_shards(per_shard: Vec<QueryStats>) -> ExecStats {
+        let mut total = QueryStats::default();
+        for s in &per_shard {
+            total.add(s);
+        }
+        ExecStats {
+            total,
+            per_shard,
+            merge_ns: 0,
+        }
+    }
+}
+
+fn canonical(a: &Neighbor, b: &Neighbor) -> std::cmp::Ordering {
+    a.dist
+        .partial_cmp(&b.dist)
+        .expect("distances are never NaN")
+        .then(a.tid.cmp(&b.tid))
+}
+
+/// Global k-NN = the k smallest `(dist, tid)` pairs across all shards.
+pub fn merge_knn(parts: Vec<Vec<Neighbor>>, k: usize) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = parts.into_iter().flatten().collect();
+    all.sort_by(canonical);
+    all.truncate(k);
+    all
+}
+
+/// Range answers concatenate; shards are disjoint so no dedup is needed.
+pub fn merge_range(parts: Vec<Vec<Neighbor>>) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = parts.into_iter().flatten().collect();
+    all.sort_by(canonical);
+    all
+}
+
+/// Id-set answers (containment / exact match) concatenate and sort.
+pub fn merge_tids(parts: Vec<Vec<Tid>>) -> Vec<Tid> {
+    let mut all: Vec<Tid> = parts.into_iter().flatten().collect();
+    all.sort_unstable();
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(tid: Tid, dist: f64) -> Neighbor {
+        Neighbor { tid, dist }
+    }
+
+    #[test]
+    fn knn_keeps_k_smallest_with_tid_ties() {
+        let parts = vec![
+            vec![n(5, 1.0), n(9, 2.0)],
+            vec![n(2, 1.0), n(7, 0.5)],
+            vec![],
+        ];
+        let merged = merge_knn(parts, 3);
+        assert_eq!(
+            merged.iter().map(|x| x.tid).collect::<Vec<_>>(),
+            vec![7, 2, 5]
+        );
+    }
+
+    #[test]
+    fn range_and_tids_sort_globally() {
+        let r = merge_range(vec![vec![n(3, 0.2)], vec![n(1, 0.1), n(8, 0.2)]]);
+        assert_eq!(r.iter().map(|x| x.tid).collect::<Vec<_>>(), vec![1, 3, 8]);
+        assert_eq!(
+            merge_tids(vec![vec![4, 9], vec![1], vec![6]]),
+            vec![1, 4, 6, 9]
+        );
+    }
+}

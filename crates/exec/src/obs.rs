@@ -1,0 +1,38 @@
+//! Executor-level instruments, following the `IndexObs` naming scheme so
+//! dashboards line the executor up against the single-index columns.
+
+use sg_obs::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
+
+/// Instrument set for one sharded executor.
+#[derive(Debug)]
+pub struct ExecObs {
+    /// Fan-out queries executed (`<prefix>.queries`).
+    pub queries: Arc<Counter>,
+    /// Batches executed (`<prefix>.batches`).
+    pub batches: Arc<Counter>,
+    /// End-to-end per-query wall time, ns (`<prefix>.query_ns`).
+    pub query_ns: Arc<Histogram>,
+    /// Merge-step wall time, ns (`<prefix>.merge_ns`).
+    pub merge_ns: Arc<Histogram>,
+    /// Instantaneous thread-pool queue depth (`<prefix>.queue.depth`).
+    pub queue_depth: Arc<Gauge>,
+    /// Nodes visited per shard (`<prefix>.shard<i>.visits`).
+    pub shard_visits: Vec<Arc<Counter>>,
+}
+
+impl ExecObs {
+    /// Registers the instruments under `<prefix>.*` for `shards` shards.
+    pub fn register(registry: &Registry, prefix: &str, shards: usize) -> Arc<ExecObs> {
+        Arc::new(ExecObs {
+            queries: registry.counter(&format!("{prefix}.queries")),
+            batches: registry.counter(&format!("{prefix}.batches")),
+            query_ns: registry.histogram(&format!("{prefix}.query_ns")),
+            merge_ns: registry.histogram(&format!("{prefix}.merge_ns")),
+            queue_depth: registry.gauge(&format!("{prefix}.queue.depth")),
+            shard_visits: (0..shards)
+                .map(|i| registry.counter(&format!("{prefix}.shard{i}.visits")))
+                .collect(),
+        })
+    }
+}

@@ -1,0 +1,159 @@
+//! Dataset partitioners: how transactions are split across shards.
+//!
+//! Both strategies are deterministic — partitioning the same data with the
+//! same shard count always yields the same layout — and **complete**: every
+//! transaction lands in exactly one shard. The differential test suite
+//! relies on both properties to compare sharded answers against a single
+//! tree byte for byte.
+
+use sg_sig::{Metric, Signature};
+use sg_tree::Tid;
+
+/// How to split a dataset into `k` shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioner {
+    /// Transaction `i` (by input position) goes to shard `i % k`. Shards
+    /// end up statistically identical, so per-shard work is balanced but
+    /// every shard sees every cluster of the data.
+    RoundRobin,
+    /// Greedy signature clustering: `k` seed signatures are picked
+    /// farthest-first under Jaccard distance, then each transaction joins
+    /// the nearest seed's shard, subject to a balance cap of `ceil(n/k)`.
+    /// Similar transactions co-locate, so directory signatures stay
+    /// selective and whole shards prune early on clustered queries.
+    SignatureClustered,
+}
+
+impl Partitioner {
+    /// Splits `data` into `k` shards (some possibly empty when `n < k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn partition(&self, data: &[(Tid, Signature)], k: usize) -> Vec<Vec<(Tid, Signature)>> {
+        assert!(k > 0, "shard count must be positive");
+        match self {
+            Partitioner::RoundRobin => {
+                let mut shards: Vec<Vec<(Tid, Signature)>> = vec![Vec::new(); k];
+                for (i, pair) in data.iter().enumerate() {
+                    shards[i % k].push(pair.clone());
+                }
+                shards
+            }
+            Partitioner::SignatureClustered => clustered(data, k),
+        }
+    }
+}
+
+/// Farthest-first seed selection + capped nearest-seed assignment.
+fn clustered(data: &[(Tid, Signature)], k: usize) -> Vec<Vec<(Tid, Signature)>> {
+    let n = data.len();
+    let mut shards: Vec<Vec<(Tid, Signature)>> = vec![Vec::new(); k];
+    if n == 0 {
+        return shards;
+    }
+    let metric = Metric::jaccard();
+    // Seeds: start from the first transaction, then repeatedly take the
+    // transaction farthest from its closest seed (ties → lowest position,
+    // keeping the layout deterministic).
+    let mut seeds: Vec<usize> = vec![0];
+    let mut dist_to_seed: Vec<f64> = data
+        .iter()
+        .map(|(_, s)| metric.dist(s, &data[0].1))
+        .collect();
+    while seeds.len() < k.min(n) {
+        let (far, _) =
+            dist_to_seed
+                .iter()
+                .enumerate()
+                .fold((0usize, f64::NEG_INFINITY), |best, (i, &d)| {
+                    if d > best.1 {
+                        (i, d)
+                    } else {
+                        best
+                    }
+                });
+        seeds.push(far);
+        for (i, (_, s)) in data.iter().enumerate() {
+            let d = metric.dist(s, &data[far].1);
+            if d < dist_to_seed[i] {
+                dist_to_seed[i] = d;
+            }
+        }
+    }
+    // Assignment: nearest seed first, overflowing to the next-nearest once
+    // a shard hits the cap. The cap keeps the fan-out balanced — a single
+    // hot cluster cannot serialize the whole executor behind one shard.
+    let cap = n.div_ceil(k);
+    for pair in data {
+        let mut order: Vec<(f64, usize)> = seeds
+            .iter()
+            .enumerate()
+            .map(|(si, &seed)| (metric.dist(&pair.1, &data[seed].1), si))
+            .collect();
+        order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        let slot = order
+            .iter()
+            .find(|(_, si)| shards[*si].len() < cap)
+            .map(|(_, si)| *si)
+            .expect("cap * k >= n, so some shard has room");
+        shards[slot].push(pair.clone());
+    }
+    shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: u64) -> Vec<(Tid, Signature)> {
+        (0..n)
+            .map(|tid| {
+                let base = (tid % 4) as u32 * 16;
+                let items = [base + (tid % 7) as u32, base + (tid % 11) as u32 + 1];
+                (tid, Signature::from_items(64, &items))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_is_complete_and_balanced() {
+        let data = sample(103);
+        let shards = Partitioner::RoundRobin.partition(&data, 4);
+        let mut tids: Vec<Tid> = shards.iter().flatten().map(|(t, _)| *t).collect();
+        tids.sort_unstable();
+        assert_eq!(tids, (0..103).collect::<Vec<_>>());
+        for s in &shards {
+            assert!((25..=26).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn clustered_is_complete_and_capped() {
+        let data = sample(103);
+        let shards = Partitioner::SignatureClustered.partition(&data, 4);
+        let mut tids: Vec<Tid> = shards.iter().flatten().map(|(t, _)| *t).collect();
+        tids.sort_unstable();
+        assert_eq!(tids, (0..103).collect::<Vec<_>>());
+        let cap = 103usize.div_ceil(4);
+        for s in &shards {
+            assert!(s.len() <= cap, "{} > cap {cap}", s.len());
+        }
+    }
+
+    #[test]
+    fn clustered_is_deterministic() {
+        let data = sample(64);
+        let a = Partitioner::SignatureClustered.partition(&data, 3);
+        let b = Partitioner::SignatureClustered.partition(&data, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_shards_than_data_leaves_empties() {
+        let data = sample(2);
+        let shards = Partitioner::SignatureClustered.partition(&data, 5);
+        assert_eq!(shards.iter().filter(|s| !s.is_empty()).count(), 2);
+        assert_eq!(shards.iter().map(Vec::len).sum::<usize>(), 2);
+    }
+}

@@ -1,0 +1,157 @@
+//! A fixed-size worker pool over `std::thread`.
+//!
+//! The executor is built once and then serves queries from stable worker
+//! threads: no per-query spawn cost, and a bounded degree of parallelism
+//! chosen at construction. Tasks are plain boxed closures; the queue depth
+//! is exported as a gauge once observability is registered.
+
+use sg_obs::Gauge;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    depth: OnceLock<Arc<Gauge>>,
+}
+
+/// Fixed pool of worker threads consuming a FIFO job queue.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `threads` workers (at least one).
+    pub fn new(threads: usize) -> ThreadPool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            depth: OnceLock::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sg-exec-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ThreadPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job; some worker will run it.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        let mut q = self.shared.queue.lock().expect("pool queue poisoned");
+        q.push_back(Box::new(job));
+        if let Some(g) = self.shared.depth.get() {
+            g.set(q.len() as i64);
+        }
+        drop(q);
+        self.shared.available.notify_one();
+    }
+
+    /// Exports the instantaneous queue depth through `gauge`. May be set
+    /// once; later calls are ignored.
+    pub fn set_depth_gauge(&self, gauge: Arc<Gauge>) {
+        let _ = self.shared.depth.set(gauge);
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = q.pop_front() {
+                    if let Some(g) = shared.depth.get() {
+                        g.set(q.len() as i64);
+                    }
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = shared.available.wait(q).expect("pool queue poisoned");
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_every_submitted_job() {
+        let pool = ThreadPool::new(3);
+        let hits = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..50 {
+            let hits = Arc::clone(&hits);
+            let tx = tx.clone();
+            pool.submit(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..50 {
+            rx.recv().unwrap();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let pool = ThreadPool::new(2);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(move || tx.send(7u32).unwrap());
+        assert_eq!(rx.recv().unwrap(), 7);
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn depth_gauge_returns_to_zero() {
+        let pool = ThreadPool::new(1);
+        let gauge = Arc::new(Gauge::new());
+        pool.set_depth_gauge(Arc::clone(&gauge));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..8 {
+            let tx = tx.clone();
+            pool.submit(move || tx.send(()).unwrap());
+        }
+        for _ in 0..8 {
+            rx.recv().unwrap();
+        }
+        assert_eq!(gauge.get(), 0);
+    }
+}

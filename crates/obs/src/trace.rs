@@ -53,6 +53,10 @@ pub struct QueryTrace {
     pub duration_ns: u64,
     /// Result rows returned.
     pub results: u64,
+    /// Nested sub-traces: a fan-out engine (e.g. the sharded executor)
+    /// attaches one child per shard, each a complete trace of that
+    /// shard's share of the query. Empty for plain single-index queries.
+    pub children: Vec<QueryTrace>,
 }
 
 impl QueryTrace {
@@ -115,13 +119,25 @@ impl QueryTrace {
         }
     }
 
-    /// Human-readable plan summary, root level first.
+    /// Attaches a child trace (one shard's share of a fan-out query).
+    pub fn push_child(&mut self, child: QueryTrace) {
+        self.children.push(child);
+    }
+
+    /// Human-readable plan summary, root level first; children render
+    /// indented below their parent.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "EXPLAIN {} on {}", self.query, self.index);
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let pad = "    ".repeat(depth);
+        let _ = writeln!(out, "{pad}EXPLAIN {} on {}", self.query, self.index);
         let _ = writeln!(
             out,
-            "  {:<8} {:>8} {:>8} {:>10} {:>10}",
+            "{pad}  {:<8} {:>8} {:>8} {:>10} {:>10}",
             "level", "visited", "pruned", "lb-evals", "exact-dist"
         );
         let mut levels = self.levels.clone();
@@ -134,29 +150,32 @@ impl QueryTrace {
             };
             let _ = writeln!(
                 out,
-                "  {:<8} {:>8} {:>8} {:>10} {:>10}",
+                "{pad}  {:<8} {:>8} {:>8} {:>10} {:>10}",
                 label, l.nodes_visited, l.entries_pruned, l.lower_bound_evals, l.exact_distances
             );
         }
         let _ = writeln!(
             out,
-            "  totals: {} nodes, {} data compared, {} dist computations, {} results",
+            "{pad}  totals: {} nodes, {} data compared, {} dist computations, {} results",
             self.nodes_accessed, self.data_compared, self.dist_computations, self.results
         );
         let _ = writeln!(
             out,
-            "  io: {} logical / {} physical reads, pool hit rate {:.1}%",
+            "{pad}  io: {} logical / {} physical reads, pool hit rate {:.1}%",
             self.logical_reads,
             self.physical_reads,
             self.hit_rate() * 100.0
         );
-        let _ = write!(out, "  time: {:.3} ms", self.duration_ns as f64 / 1e6);
-        out
+        let _ = write!(out, "{pad}  time: {:.3} ms", self.duration_ns as f64 / 1e6);
+        for child in &self.children {
+            out.push('\n');
+            child.render_into(out, depth + 1);
+        }
     }
 
     /// JSON document for this trace.
     pub fn to_json_value(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("query".into(), Json::Str(self.query.clone())),
             ("index".into(), Json::Str(self.index.clone())),
             (
@@ -188,7 +207,14 @@ impl QueryTrace {
             ("hit_rate".into(), Json::F64(self.hit_rate())),
             ("duration_ns".into(), Json::U64(self.duration_ns)),
             ("results".into(), Json::U64(self.results)),
-        ])
+        ];
+        if !self.children.is_empty() {
+            fields.push((
+                "children".into(),
+                Json::Arr(self.children.iter().map(|c| c.to_json_value()).collect()),
+            ));
+        }
+        Json::Obj(fields)
     }
 
     /// Serializes the trace as pretty JSON.
@@ -199,6 +225,12 @@ impl QueryTrace {
     /// Parses a trace previously produced by [`QueryTrace::to_json`].
     pub fn from_json(text: &str) -> Result<QueryTrace, String> {
         let doc = json::parse(text)?;
+        Self::from_json_value(&doc)
+    }
+
+    /// Builds a trace from an already-parsed JSON document (recursive entry
+    /// point for nested `children`).
+    pub fn from_json_value(doc: &Json) -> Result<QueryTrace, String> {
         let str_field = |key: &str| -> Result<String, String> {
             doc.get(key)
                 .and_then(Json::as_str)
@@ -224,17 +256,24 @@ impl QueryTrace {
                 exact_distances: u64_field(l, "exact_distances")?,
             });
         }
+        let mut children = Vec::new();
+        if let Some(arr) = doc.get("children").and_then(Json::as_arr) {
+            for c in arr {
+                children.push(QueryTrace::from_json_value(c)?);
+            }
+        }
         Ok(QueryTrace {
             query: str_field("query")?,
             index: str_field("index")?,
             levels,
-            nodes_accessed: u64_field(&doc, "nodes_accessed")?,
-            data_compared: u64_field(&doc, "data_compared")?,
-            dist_computations: u64_field(&doc, "dist_computations")?,
-            logical_reads: u64_field(&doc, "logical_reads")?,
-            physical_reads: u64_field(&doc, "physical_reads")?,
-            duration_ns: u64_field(&doc, "duration_ns")?,
-            results: u64_field(&doc, "results")?,
+            nodes_accessed: u64_field(doc, "nodes_accessed")?,
+            data_compared: u64_field(doc, "data_compared")?,
+            dist_computations: u64_field(doc, "dist_computations")?,
+            logical_reads: u64_field(doc, "logical_reads")?,
+            physical_reads: u64_field(doc, "physical_reads")?,
+            duration_ns: u64_field(doc, "duration_ns")?,
+            results: u64_field(doc, "results")?,
+            children,
         })
     }
 }
@@ -300,6 +339,34 @@ mod tests {
         let t = sample();
         let back = QueryTrace::from_json(&t.to_json()).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn nested_children_roundtrip_and_render() {
+        let mut parent = QueryTrace::new("knn k=5 shards=2", "sg-exec");
+        parent.nodes_accessed = 8;
+        parent.results = 5;
+        for shard in 0..2 {
+            let mut child = sample();
+            child.query = format!("shard-{shard}");
+            parent.push_child(child);
+        }
+        let back = QueryTrace::from_json(&parent.to_json()).unwrap();
+        assert_eq!(back, parent);
+        assert_eq!(back.children.len(), 2);
+        let text = parent.render();
+        assert!(
+            text.contains("EXPLAIN knn k=5 shards=2 on sg-exec"),
+            "{text}"
+        );
+        assert!(text.contains("EXPLAIN shard-0 on sg-tree"), "{text}");
+        assert!(text.contains("EXPLAIN shard-1 on sg-tree"), "{text}");
+        // Children render indented below the parent.
+        assert!(
+            text.find("shard-0").unwrap() < text.find("shard-1").unwrap(),
+            "{text}"
+        );
+        assert!(text.contains("\n    EXPLAIN shard-0"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Parallel search: shard a basket dataset across several SG-trees and
+//! serve similarity queries through the sharded executor.
+//!
+//! ```sh
+//! cargo run --release -p sg-bench --example parallel_search
+//! ```
+
+use sg_bench::workloads::{pairs_of, SEED};
+use sg_exec::{BatchQuery, ExecConfig, Partitioner, ShardedExecutor};
+use sg_obs::Registry;
+use sg_quest::basket::{BasketParams, PatternPool};
+use sg_sig::{Metric, Signature};
+use std::time::Instant;
+
+fn main() {
+    // A synthetic T8.I4 market-basket workload, as in the paper's §5.
+    let pool = PatternPool::new(BasketParams::standard(8, 4), SEED);
+    let ds = pool.dataset(20_000, SEED);
+    let data = pairs_of(&ds);
+    let queries: Vec<Signature> = pool
+        .queries(64, SEED ^ 1)
+        .iter()
+        .map(|q| Signature::from_items(ds.n_items, q))
+        .collect();
+    let m = Metric::jaccard();
+
+    // Partition across 4 shards; similar transactions co-locate, so whole
+    // shards prune early on clustered queries.
+    let exec = ShardedExecutor::build(
+        ds.n_items,
+        &data,
+        &ExecConfig {
+            shards: 4,
+            partitioner: Partitioner::SignatureClustered,
+            ..ExecConfig::default()
+        },
+    )
+    .expect("valid executor config");
+    let registry = Registry::new();
+    let obs = exec.register_obs(&registry, "exec");
+    println!(
+        "built {} shards over {} transactions ({} worker threads)\n",
+        exec.shards(),
+        exec.len(),
+        exec.threads()
+    );
+
+    // One k-NN, with the fan-out EXPLAIN trace: the parent line is the
+    // executor's merge, each child is one shard's branch-and-bound search.
+    let (hits, stats, trace) = exec.knn_explain(&queries[0], 5, &m);
+    println!("5-NN of query 0 (Jaccard):");
+    for n in &hits {
+        println!("  tid {:>6}  dist {:.3}", n.tid, n.dist);
+    }
+    println!(
+        "\nmerge took {} ns; per-shard nodes visited: {:?}\n",
+        stats.merge_ns,
+        stats
+            .per_shard
+            .iter()
+            .map(|s| s.nodes_accessed)
+            .collect::<Vec<_>>()
+    );
+    println!("{}", trace.render());
+
+    // Batched execution pipelines every query × shard task through the
+    // worker pool at once.
+    let batch: Vec<BatchQuery> = queries
+        .iter()
+        .map(|q| BatchQuery::Knn {
+            q: q.clone(),
+            k: 10,
+            metric: m,
+        })
+        .collect();
+    let t0 = Instant::now();
+    let results = exec.execute_batch(batch);
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "batch of {} k-NN queries: {:.1} q/s ({} shard tasks)",
+        results.len(),
+        results.len() as f64 / secs,
+        results.len() * exec.shards()
+    );
+    println!(
+        "executor counters: {} queries, {} batches, p50 query {} ns",
+        obs.queries.get(),
+        obs.batches.get(),
+        obs.query_ns.snapshot().quantile(0.5)
+    );
+}

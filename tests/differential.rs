@@ -1,0 +1,317 @@
+//! Differential testing: every index structure in the workspace against a
+//! from-scratch linear-scan oracle, over seeded random basket workloads.
+//!
+//! The oracle is deliberately *not* [`sg_tree::ScanIndex`] — it is a
+//! ~20-line reference implementation written here, so a bug shared by the
+//! indexes and the scan baseline cannot cancel out.
+//!
+//! Exactness contracts verified:
+//! * `SgTree` and `ShardedExecutor` (all shard counts and partitioners)
+//!   return the oracle answer **byte for byte** — distances, tids, and
+//!   order — for k-NN, range, containment, and exact-match queries.
+//! * `SgTable` and `InvertedIndex` return the oracle's distance vector for
+//!   k-NN and the oracle's exact answer set for range / containment.
+//! * `MinHashLsh` is sound (every reported distance is real) and its
+//!   recall on close neighbors stays above a measured floor.
+
+use sg_bench::workloads::{build_tree, pairs_of, PAGE_SIZE, POOL_FRAMES, SEED};
+use sg_exec::{BatchOutput, BatchQuery, ExecConfig, Partitioner, ShardedExecutor};
+use sg_inverted::InvertedIndex;
+use sg_minhash::{LshParams, MinHashLsh};
+use sg_pager::MemStore;
+use sg_quest::basket::{BasketParams, PatternPool};
+use sg_sig::{Metric, Signature};
+use sg_table::{SgTable, TableParams};
+use sg_tree::{Neighbor, Tid};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// The oracle: a plain linear scan over the raw data.
+// ---------------------------------------------------------------------------
+
+fn oracle_knn(data: &[(Tid, Signature)], q: &Signature, k: usize, m: &Metric) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = data
+        .iter()
+        .map(|(tid, s)| Neighbor {
+            tid: *tid,
+            dist: m.dist(q, s),
+        })
+        .collect();
+    all.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap().then(a.tid.cmp(&b.tid)));
+    all.truncate(k);
+    all
+}
+
+fn oracle_range(data: &[(Tid, Signature)], q: &Signature, eps: f64, m: &Metric) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = data
+        .iter()
+        .filter_map(|(tid, s)| {
+            let d = m.dist(q, s);
+            (d <= eps).then_some(Neighbor { tid: *tid, dist: d })
+        })
+        .collect();
+    all.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap().then(a.tid.cmp(&b.tid)));
+    all
+}
+
+fn oracle_containing(data: &[(Tid, Signature)], q: &Signature) -> Vec<Tid> {
+    data.iter()
+        .filter(|(_, s)| s.contains(q))
+        .map(|(tid, _)| *tid)
+        .collect()
+}
+
+fn oracle_exact(data: &[(Tid, Signature)], q: &Signature) -> Vec<Tid> {
+    data.iter()
+        .filter(|(_, s)| s == q)
+        .map(|(tid, _)| *tid)
+        .collect()
+}
+
+fn dists(ns: &[Neighbor]) -> Vec<f64> {
+    ns.iter().map(|n| n.dist).collect()
+}
+
+/// Seeded basket workload: `n` transactions plus `n_queries` queries drawn
+/// from the same pattern pool, so queries resemble (but rarely equal) data.
+fn workload(n: usize, n_queries: usize) -> (Vec<(Tid, Signature)>, Vec<Signature>, u32) {
+    let pool = PatternPool::new(BasketParams::standard(8, 4), SEED ^ 0xD1FF);
+    let ds = pool.dataset(n, SEED ^ 0xD1FF);
+    let queries = pool
+        .queries(n_queries, SEED ^ 0xFACE)
+        .iter()
+        .map(|q| Signature::from_items(ds.n_items, q))
+        .collect();
+    (pairs_of(&ds), queries, ds.n_items)
+}
+
+fn metrics() -> Vec<Metric> {
+    vec![Metric::hamming(), Metric::jaccard()]
+}
+
+// ---------------------------------------------------------------------------
+// SgTree: byte-identical to the oracle.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn tree_matches_oracle_byte_for_byte() {
+    let (data, queries, nbits) = workload(3_000, 25);
+    let (tree, _) = build_tree(nbits, &data, None);
+    for m in &metrics() {
+        for q in &queries {
+            let (got, _) = tree.knn(q, 10, m);
+            assert_eq!(got, oracle_knn(&data, q, 10, m), "knn {m:?}");
+            let eps = oracle_knn(&data, q, 10, m).last().unwrap().dist;
+            let (got, _) = tree.range(q, eps, m);
+            assert_eq!(got, oracle_range(&data, q, eps, m), "range {m:?}");
+        }
+    }
+    for q in &queries {
+        let (got, _) = tree.containing(q);
+        assert_eq!(got, oracle_containing(&data, q));
+        let (got, _) = tree.exact(q);
+        assert_eq!(got, oracle_exact(&data, q));
+    }
+    // Data points must find themselves at distance zero.
+    for (tid, s) in data.iter().step_by(271) {
+        let (got, _) = tree.knn(s, 1, &Metric::jaccard());
+        assert_eq!(got[0].dist, 0.0);
+        let (ex, _) = tree.exact(s);
+        assert!(ex.contains(tid));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedExecutor: byte-identical to both the oracle and the single tree,
+// for every shard count × partitioner combination.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_executor_matches_single_tree_byte_for_byte() {
+    let (data, queries, nbits) = workload(3_000, 20);
+    let (tree, _) = build_tree(nbits, &data, None);
+    let m = Metric::jaccard();
+    for partitioner in [Partitioner::RoundRobin, Partitioner::SignatureClustered] {
+        for shards in [1usize, 3, 4] {
+            let exec = ShardedExecutor::build(
+                nbits,
+                &data,
+                &ExecConfig {
+                    shards,
+                    partitioner,
+                    page_size: PAGE_SIZE,
+                    pool_frames: POOL_FRAMES,
+                    ..ExecConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(exec.len(), data.len() as u64);
+            for q in &queries {
+                let (single, _) = tree.knn(q, 10, &m);
+                let (sharded, stats) = exec.knn(q, 10, &m);
+                assert_eq!(
+                    sharded, single,
+                    "knn differs at shards={shards} {partitioner:?}"
+                );
+                assert_eq!(stats.per_shard.len(), shards);
+                assert_eq!(sharded, oracle_knn(&data, q, 10, &m));
+
+                let eps = single.last().unwrap().dist;
+                let (single_r, _) = tree.range(q, eps, &m);
+                let (sharded_r, _) = exec.range(q, eps, &m);
+                assert_eq!(sharded_r, single_r, "range differs at shards={shards}");
+
+                let (single_c, _) = tree.containing(q);
+                let (sharded_c, _) = exec.containing(q);
+                assert_eq!(sharded_c, single_c, "containing differs at shards={shards}");
+
+                let (single_e, _) = tree.exact(q);
+                let (sharded_e, _) = exec.exact(q);
+                assert_eq!(sharded_e, single_e, "exact differs at shards={shards}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_batch_matches_sequential_answers() {
+    let (data, queries, nbits) = workload(2_000, 16);
+    let m = Metric::hamming();
+    let exec = ShardedExecutor::build(
+        nbits,
+        &data,
+        &ExecConfig {
+            shards: 4,
+            ..ExecConfig::default()
+        },
+    )
+    .unwrap();
+    let batch: Vec<BatchQuery> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| match i % 4 {
+            0 => BatchQuery::Knn {
+                q: q.clone(),
+                k: 8,
+                metric: m,
+            },
+            1 => BatchQuery::Range {
+                q: q.clone(),
+                eps: 3.0,
+                metric: m,
+            },
+            2 => BatchQuery::Containing { q: q.clone() },
+            _ => BatchQuery::Exact { q: q.clone() },
+        })
+        .collect();
+    let results = exec.execute_batch(batch);
+    assert_eq!(results.len(), queries.len());
+    for (i, (q, r)) in queries.iter().zip(&results).enumerate() {
+        match (i % 4, &r.output) {
+            (0, BatchOutput::Neighbors(ns)) => assert_eq!(*ns, oracle_knn(&data, q, 8, &m)),
+            (1, BatchOutput::Neighbors(ns)) => assert_eq!(*ns, oracle_range(&data, q, 3.0, &m)),
+            (2, BatchOutput::Tids(ts)) => assert_eq!(*ts, oracle_containing(&data, q)),
+            (3, BatchOutput::Tids(ts)) => assert_eq!(*ts, oracle_exact(&data, q)),
+            (_, out) => panic!("query {i} returned mismatched output kind {out:?}"),
+        }
+        assert_eq!(r.stats.per_shard.len(), 4);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SgTable: same distance vector as the oracle (tie order at the k-th
+// boundary is the table's own; distances must agree exactly).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn table_matches_oracle_distances() {
+    let (data, queries, nbits) = workload(3_000, 20);
+    let params = TableParams {
+        k_signatures: 10,
+        activation: 2,
+        critical_mass: 0.15,
+        pool_frames: POOL_FRAMES,
+    };
+    let table = SgTable::build(Arc::new(MemStore::new(PAGE_SIZE)), nbits, &params, &data);
+    let m = Metric::hamming(); // the table's bounds are Hamming-only
+    for q in &queries {
+        let (got, _) = table.knn(q, 10, &m);
+        assert_eq!(dists(&got), dists(&oracle_knn(&data, q, 10, &m)));
+        let (got_r, _) = table.range(q, 2.5, &m);
+        let mut got_r = got_r;
+        got_r.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap().then(a.tid.cmp(&b.tid)));
+        assert_eq!(got_r, oracle_range(&data, q, 2.5, &m));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// InvertedIndex: exact on every supported query type.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn inverted_matches_oracle() {
+    let (data, queries, nbits) = workload(3_000, 20);
+    let inv = InvertedIndex::build(
+        Arc::new(MemStore::new(PAGE_SIZE)),
+        nbits,
+        POOL_FRAMES,
+        &data,
+    );
+    let m = Metric::hamming(); // overlap scoring is Hamming-only
+    for q in &queries {
+        let (got, _) = inv.knn(q, 10, &m);
+        assert_eq!(dists(&got), dists(&oracle_knn(&data, q, 10, &m)));
+        let (got_r, _) = inv.range(q, 3.0, &m);
+        let mut got_r = got_r;
+        got_r.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap().then(a.tid.cmp(&b.tid)));
+        assert_eq!(got_r, oracle_range(&data, q, 3.0, &m));
+        let (got_c, _) = inv.containing(q);
+        assert_eq!(got_c, oracle_containing(&data, q));
+        let (got_e, _) = inv.exact(q);
+        assert_eq!(got_e, oracle_exact(&data, q));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MinHashLsh: sound, self-recalling, and recall-bounded on close pairs.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn minhash_is_sound_and_recall_bounded() {
+    let (data, queries, nbits) = workload(3_000, 20);
+    let lsh = MinHashLsh::build(nbits, LshParams::default(), &data);
+    let m = Metric::jaccard();
+    let by_tid: std::collections::HashMap<Tid, &Signature> =
+        data.iter().map(|(t, s)| (*t, s)).collect();
+    // Soundness: every reported distance is the true distance.
+    for q in &queries {
+        let (got, _) = lsh.range(q, 0.5, &m);
+        for n in &got {
+            assert_eq!(n.dist, m.dist(q, by_tid[&n.tid]), "fabricated distance");
+            assert!(n.dist <= 0.5);
+        }
+    }
+    // Self-recall: a data signature always finds itself at distance 0.
+    for (tid, s) in data.iter().step_by(173) {
+        let (got, _) = lsh.knn(s, 1, &m);
+        assert_eq!(got[0].dist, 0.0, "tid {tid} missed itself");
+    }
+    // Recall floor on close neighbors (Jaccard ≤ 0.3 ⇒ candidate
+    // probability ≥ 97% with the default 16×4 bands): measured recall on
+    // this seeded workload is 1.0; assert a safety margin below it.
+    let mut close = 0usize;
+    let mut found = 0usize;
+    for q in &queries {
+        let truth = oracle_range(&data, q, 0.3, &m);
+        let (got, _) = lsh.range(q, 0.3, &m);
+        let got_tids: std::collections::HashSet<Tid> = got.iter().map(|n| n.tid).collect();
+        close += truth.len();
+        found += truth.iter().filter(|n| got_tids.contains(&n.tid)).count();
+    }
+    assert!(close > 0, "workload produced no close pairs");
+    let recall = found as f64 / close as f64;
+    assert!(
+        recall >= 0.9,
+        "recall {recall:.3} below floor ({found}/{close})"
+    );
+}

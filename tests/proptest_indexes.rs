@@ -326,3 +326,124 @@ proptest! {
         prop_assert_eq!(got.iter().map(|n| n.dist).collect::<Vec<_>>(), want);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Sharded-execution invariants (sg-exec).
+// ---------------------------------------------------------------------------
+
+use sg_exec::{merge_knn, ExecConfig, Partitioner, ShardedExecutor};
+use sg_tree::{Neighbor, SharedBound};
+
+fn pairs(data: &[Vec<u32>]) -> Vec<(u64, Signature)> {
+    data.iter()
+        .enumerate()
+        .map(|(tid, t)| (tid as u64, Signature::from_items(NBITS, t)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // The cross-shard k-NN bound only ever tightens: after any sequence
+    // of `observe` calls, `get()` equals the running minimum and every
+    // intermediate read is monotone non-increasing.
+    #[test]
+    fn shared_bound_is_monotone_non_increasing(
+        dists in prop::collection::vec(0.0f64..1e6, 1..64),
+    ) {
+        let bound = SharedBound::new();
+        prop_assert_eq!(bound.get(), f64::INFINITY);
+        let mut prev = f64::INFINITY;
+        let mut min = f64::INFINITY;
+        for d in dists {
+            bound.observe(d);
+            min = min.min(d);
+            let now = bound.get();
+            prop_assert!(now <= prev, "bound rose from {} to {}", prev, now);
+            prop_assert_eq!(now, min);
+            prev = now;
+        }
+    }
+
+    // Merging per-shard top-k lists yields exactly the first k of the
+    // canonical (dist, tid) ranking of everything the shards returned —
+    // a permutation-stable prefix, independent of how the input was
+    // split into parts.
+    #[test]
+    fn merged_topk_is_canonical_prefix(
+        raw in prop::collection::vec((0u64..500, 0.0f64..32.0), 1..80),
+        cuts in prop::collection::vec(0usize..80, 0..4),
+        k in 1usize..16,
+    ) {
+        // Dedup tids so the canonical order is a total order.
+        let mut seen = std::collections::HashSet::new();
+        let all: Vec<Neighbor> = raw
+            .into_iter()
+            .filter(|(tid, _)| seen.insert(*tid))
+            .map(|(tid, dist)| Neighbor { tid, dist })
+            .collect();
+        // Split into parts at arbitrary cut points.
+        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c % (all.len() + 1)).collect();
+        cuts.sort_unstable();
+        let mut parts: Vec<Vec<Neighbor>> = Vec::new();
+        let mut prev = 0;
+        for c in cuts {
+            parts.push(all[prev..c].to_vec());
+            prev = c;
+        }
+        parts.push(all[prev..].to_vec());
+
+        let merged = merge_knn(parts, k);
+
+        let mut want = all.clone();
+        want.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap().then(a.tid.cmp(&b.tid)));
+        want.truncate(k);
+        prop_assert_eq!(merged, want);
+    }
+
+    // Both partitioners are complete and duplicate-free: every tid lands
+    // in exactly one shard, whatever the data and shard count.
+    #[test]
+    fn partitioners_preserve_every_tid_exactly_once(
+        data in arb_dataset(120),
+        shards in 1usize..8,
+        clustered in any::<bool>(),
+    ) {
+        let p = if clustered {
+            Partitioner::SignatureClustered
+        } else {
+            Partitioner::RoundRobin
+        };
+        let input = pairs(&data);
+        let parts = p.partition(&input, shards);
+        prop_assert_eq!(parts.len(), shards);
+        let mut tids: Vec<u64> = parts.iter().flatten().map(|(t, _)| *t).collect();
+        tids.sort_unstable();
+        let want: Vec<u64> = (0..input.len() as u64).collect();
+        prop_assert_eq!(tids, want);
+    }
+
+    // End to end: for arbitrary data, the sharded executor's k-NN equals
+    // the single tree's k-NN byte for byte.
+    #[test]
+    fn sharded_knn_equals_single_tree(
+        data in arb_dataset(100),
+        query in arb_transaction(),
+        k in 1usize..12,
+        shards in 1usize..5,
+    ) {
+        let input = pairs(&data);
+        let tree = build_tree(&data, SplitPolicy::MinLink);
+        let exec = ShardedExecutor::build(
+            NBITS,
+            &input,
+            &ExecConfig { shards, pool_frames: 64, ..ExecConfig::default() },
+        )
+        .unwrap();
+        let q = Signature::from_items(NBITS, &query);
+        let m = Metric::hamming();
+        let (want, _) = tree.knn(&q, k, &m);
+        let (got, _) = exec.knn(&q, k, &m);
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,197 @@
+//! Concurrency stress: many reader threads hammering one shared
+//! [`ShardedExecutor`] while an observer samples the metrics registry.
+//!
+//! Verifies that (a) results under contention are identical to the
+//! single-tree answers computed up front, (b) every registered counter is
+//! monotone non-decreasing across observer samples, and (c) the pool's
+//! queue-depth gauge returns to zero once the storm is over.
+
+use sg_bench::workloads::{build_tree, pairs_of, PAGE_SIZE, POOL_FRAMES, SEED};
+use sg_exec::{BatchOutput, BatchQuery, ExecConfig, Partitioner, ShardedExecutor};
+use sg_obs::Registry;
+use sg_quest::basket::{BasketParams, PatternPool};
+use sg_sig::{Metric, Signature};
+use sg_tree::{Neighbor, Tid};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const READERS: usize = 8;
+const ROUNDS: usize = 12;
+
+fn workload() -> (Vec<(Tid, Signature)>, Vec<Signature>, u32) {
+    let pool = PatternPool::new(BasketParams::standard(8, 4), SEED ^ 0x57E5);
+    let ds = pool.dataset(2_000, SEED ^ 0x57E5);
+    let queries = pool
+        .queries(24, SEED ^ 0xBEEF)
+        .iter()
+        .map(|q| Signature::from_items(ds.n_items, q))
+        .collect();
+    (pairs_of(&ds), queries, ds.n_items)
+}
+
+#[test]
+fn readers_see_single_tree_answers_and_counters_stay_monotone() {
+    let (data, queries, nbits) = workload();
+    let (tree, _) = build_tree(nbits, &data, None);
+    let m = Metric::jaccard();
+
+    // Ground truth, computed single-threaded on the unsharded tree.
+    let expected_knn: Vec<Vec<Neighbor>> = queries.iter().map(|q| tree.knn(q, 10, &m).0).collect();
+    let expected_containing: Vec<Vec<Tid>> = queries.iter().map(|q| tree.containing(q).0).collect();
+
+    let exec = Arc::new(
+        ShardedExecutor::build(
+            nbits,
+            &data,
+            &ExecConfig {
+                shards: 4,
+                threads: 4,
+                partitioner: Partitioner::SignatureClustered,
+                page_size: PAGE_SIZE,
+                pool_frames: POOL_FRAMES,
+                tree: None,
+            },
+        )
+        .unwrap(),
+    );
+    let registry = Registry::new();
+    let obs = exec.register_obs(&registry, "exec");
+
+    let queries = Arc::new(queries);
+    let expected_knn = Arc::new(expected_knn);
+    let expected_containing = Arc::new(expected_containing);
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Observer: sample every counter repeatedly; monotonicity checked after.
+    let sampler = {
+        let registry_snapshot = move || {
+            let snap = registry.snapshot();
+            (
+                snap.counter("exec.queries"),
+                snap.counter("exec.shard0.visits")
+                    + snap.counter("exec.shard1.visits")
+                    + snap.counter("exec.shard2.visits")
+                    + snap.counter("exec.shard3.visits"),
+            )
+        };
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut samples = Vec::new();
+            while !done.load(Ordering::Relaxed) {
+                samples.push(registry_snapshot());
+                std::thread::yield_now();
+            }
+            samples.push(registry_snapshot());
+            samples
+        })
+    };
+
+    std::thread::scope(|s| {
+        for reader in 0..READERS {
+            let exec = Arc::clone(&exec);
+            let queries = Arc::clone(&queries);
+            let expected_knn = Arc::clone(&expected_knn);
+            let expected_containing = Arc::clone(&expected_containing);
+            s.spawn(move || {
+                for round in 0..ROUNDS {
+                    if (reader + round) % 3 == 0 {
+                        // Batch path: all queries at once, mixed types.
+                        let batch: Vec<BatchQuery> = queries
+                            .iter()
+                            .enumerate()
+                            .map(|(i, q)| {
+                                if i % 2 == 0 {
+                                    BatchQuery::Knn {
+                                        q: q.clone(),
+                                        k: 10,
+                                        metric: m,
+                                    }
+                                } else {
+                                    BatchQuery::Containing { q: q.clone() }
+                                }
+                            })
+                            .collect();
+                        for (i, r) in exec.execute_batch(batch).into_iter().enumerate() {
+                            match r.output {
+                                BatchOutput::Neighbors(ns) => assert_eq!(ns, expected_knn[i]),
+                                BatchOutput::Tids(ts) => assert_eq!(ts, expected_containing[i]),
+                            }
+                        }
+                    } else {
+                        // Single-query path, striped over the query set.
+                        for (i, q) in queries.iter().enumerate() {
+                            if (i + reader) % 2 == 0 {
+                                let (got, _) = exec.knn(q, 10, &m);
+                                assert_eq!(got, expected_knn[i], "reader {reader} round {round}");
+                            } else {
+                                let (got, _) = exec.containing(q);
+                                assert_eq!(got, expected_containing[i]);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    done.store(true, Ordering::Relaxed);
+    let samples = sampler.join().unwrap();
+
+    // Counters are cumulative: every sample dominates the previous one.
+    for pair in samples.windows(2) {
+        assert!(pair[1].0 >= pair[0].0, "exec.queries went backwards");
+        assert!(
+            pair[1].1 >= pair[0].1,
+            "shard visit counters went backwards"
+        );
+    }
+    let (final_queries, final_visits) = *samples.last().unwrap();
+    // 8 readers × 12 rounds × 24 queries, batch or not, all recorded.
+    assert_eq!(final_queries, (READERS * ROUNDS * queries.len()) as u64);
+    assert!(final_visits > 0);
+    // The storm is over: no queued work remains.
+    assert_eq!(obs.queue_depth.get(), 0);
+    // Batches were exercised.
+    assert!(obs.batches.get() > 0);
+    assert_eq!(obs.query_ns.snapshot().count, final_queries);
+}
+
+/// Cross-shard pruning must never change answers under contention: run the
+/// same k-NN repeatedly from many threads and require one unique answer.
+#[test]
+fn repeated_concurrent_knn_is_deterministic() {
+    let (data, queries, nbits) = workload();
+    let m = Metric::hamming();
+    let exec = Arc::new(
+        ShardedExecutor::build(
+            nbits,
+            &data,
+            &ExecConfig {
+                shards: 3,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    let q = Arc::new(queries[0].clone());
+    let answers: Vec<Vec<Neighbor>> = std::thread::scope(|s| {
+        (0..READERS)
+            .map(|_| {
+                let exec = Arc::clone(&exec);
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    let mut last = Vec::new();
+                    for _ in 0..ROUNDS {
+                        last = exec.knn(&q, 15, &m).0;
+                    }
+                    last
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    for a in &answers[1..] {
+        assert_eq!(*a, answers[0]);
+    }
+}
