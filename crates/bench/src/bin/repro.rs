@@ -5,7 +5,8 @@
 //! repro [EXPERIMENT ...] [--scale F] [--queries N] [--out DIR]
 //!
 //! EXPERIMENT: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-//!             fig14 fig15 fig16 fig17 ablate scaling all  (default: all)
+//!             fig14 fig15 fig16 fig17 ablate scaling serve all
+//!             (default: all)
 //! --scale F   scales every dataset cardinality by F (default 1.0 = the
 //!             paper's sizes; use 0.1 for a quick pass)
 //! --queries N queries per experimental point (default 100, as the paper;
@@ -68,7 +69,7 @@ fn parse_args() -> Opts {
             }
             "--help" | "-h" => {
                 println!("repro [EXPERIMENT ...] [--scale F] [--queries N] [--out DIR]");
-                println!("experiments: table1 fig5..fig17 ablate all");
+                println!("experiments: table1 fig5..fig17 ablate scaling serve all");
                 std::process::exit(0);
             }
             other if other.starts_with('-') => die(&format!("unknown flag {other}")),
@@ -151,6 +152,9 @@ fn main() {
     }
     if want("scaling") {
         finish_section(registry, &mut last, scaling(&opts), &mut tables);
+    }
+    if want("serve") {
+        finish_section(registry, &mut last, serve(&opts), &mut tables);
     }
 
     for (t, metrics) in &tables {
@@ -1080,6 +1084,95 @@ fn scaling(opts: &Opts) -> Vec<Table> {
             f(nodes as f64 / n),
             f(merge_ns as f64 / n / 1000.0),
         ]);
+    }
+    vec![out]
+}
+
+/// The `serve` figure: closed- and open-loop load against an embedded
+/// sg-serve instance over real loopback sockets — end-to-end throughput
+/// and tail latency of the full network + micro-batching + executor
+/// pipeline. The fixed closed-loop point also appends a perf-trajectory
+/// entry to `BENCH_serve.json`.
+fn serve(opts: &Opts) -> Vec<Table> {
+    use sg_exec::{ExecConfig, Partitioner, ShardedExecutor};
+    use sg_serve::{LoadConfig, LoadMode, ServeConfig, Server, Workload};
+
+    let d = scaled(100_000, opts.scale);
+    eprintln!("[serve] network service on {}…", dataset_name(8, 4, d));
+    let pool = PatternPool::new(BasketParams::standard(8, 4), SEED);
+    let ds = pool.dataset(d, SEED);
+    let data = pairs_of(&ds);
+    let exec = Arc::new(
+        ShardedExecutor::build(
+            ds.n_items,
+            &data,
+            &ExecConfig {
+                shards: 4,
+                partitioner: Partitioner::SignatureClustered,
+                page_size: PAGE_SIZE,
+                pool_frames: POOL_FRAMES,
+                ..ExecConfig::default()
+            },
+        )
+        .expect("executor config"),
+    );
+    let server = Server::start(
+        exec,
+        Arc::new(Registry::new()),
+        ServeConfig {
+            admin_addr: None,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start embedded server");
+    let addr = server.local_addr().to_string();
+
+    let mut out = Table::new(
+        "serve",
+        "Network service: load-generator throughput and tail latency (T8.I4)",
+        &[
+            "mode", "conns", "queries", "q/s", "p50 us", "p95 us", "p99 us", "busy",
+        ],
+    );
+    let base = LoadConfig {
+        addr,
+        conns: 4,
+        queries: (opts.queries * 10).max(1000),
+        nbits: ds.n_items,
+        query_items: 8,
+        workload: Workload::Mix,
+        ..LoadConfig::default()
+    };
+    let mut trajectory: Option<(LoadConfig, sg_serve::LoadReport)> = None;
+    for mode in [LoadMode::Closed, LoadMode::Open { rate_qps: 2000.0 }] {
+        let cfg = LoadConfig {
+            mode,
+            ..base.clone()
+        };
+        let report = sg_serve::run_load(&cfg).expect("load run");
+        out.row(vec![
+            cfg.mode.as_str().to_string(),
+            cfg.conns.to_string(),
+            cfg.queries.to_string(),
+            f(report.throughput_qps),
+            report.p50_us.to_string(),
+            report.p95_us.to_string(),
+            report.p99_us.to_string(),
+            report.busy.to_string(),
+        ]);
+        if matches!(mode, LoadMode::Closed) {
+            trajectory = Some((cfg, report));
+        }
+    }
+    server.join();
+
+    // The fixed load point tracked across PRs.
+    if let Some((cfg, report)) = trajectory {
+        let path = "BENCH_serve.json";
+        match sg_serve::append_bench_json(path, &cfg, &report) {
+            Ok(()) => eprintln!("[serve] appended trajectory entry to {path}"),
+            Err(e) => eprintln!("[serve] could not write {path}: {e}"),
+        }
     }
     vec![out]
 }

@@ -8,9 +8,37 @@ use sg_obs::{QueryTrace, Registry};
 use sg_pager::MemStore;
 use sg_sig::{Metric, Signature};
 use sg_tree::{Neighbor, QueryStats, SgTree, SharedBound, Tid, TreeConfig, TreeError};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::time::Instant;
+
+/// A shared cancellation flag for one in-flight batch query.
+///
+/// A serving layer hands one of these to [`ShardedExecutor::execute_batch_cancellable`]
+/// per query and flips it when the caller stops waiting (deadline passed,
+/// connection gone). Shard tasks that have not started yet observe the flag
+/// and return immediately, and the final merge for the query is skipped —
+/// abandoned work costs close to nothing.
+#[derive(Debug, Clone, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, un-cancelled flag.
+    pub fn new() -> CancelFlag {
+        CancelFlag::default()
+    }
+
+    /// Requests cancellation. Idempotent; already-running shard tasks
+    /// finish, but pending ones and the merge are skipped.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
 
 /// Construction parameters for a [`ShardedExecutor`].
 #[derive(Debug, Clone)]
@@ -297,6 +325,26 @@ impl ShardedExecutor {
     /// whichever task finishes a query last performs that query's merge.
     /// Results come back in input order.
     pub fn execute_batch(&self, queries: Vec<BatchQuery>) -> Vec<BatchResult> {
+        let items = queries
+            .into_iter()
+            .map(|q| (q, CancelFlag::new()))
+            .collect();
+        self.execute_batch_cancellable(items)
+            .into_iter()
+            .map(|r| r.expect("uncancelled batch query reports"))
+            .collect()
+    }
+
+    /// [`ShardedExecutor::execute_batch`] with a per-query [`CancelFlag`].
+    ///
+    /// A query whose flag is cancelled before all of its shard tasks ran
+    /// skips the remaining shard work and its merge, and reports `None` in
+    /// the output slot. Queries whose flag is never cancelled behave
+    /// exactly like `execute_batch` and report `Some`.
+    pub fn execute_batch_cancellable(
+        &self,
+        queries: Vec<(BatchQuery, CancelFlag)>,
+    ) -> Vec<Option<BatchResult>> {
         let n_shards = self.shards();
         let n_queries = queries.len();
         if n_queries == 0 {
@@ -306,11 +354,12 @@ impl ShardedExecutor {
             obs.batches.inc();
         }
         let (tx, rx) = mpsc::channel();
-        for (qi, query) in queries.into_iter().enumerate() {
+        for (qi, (query, cancel)) in queries.into_iter().enumerate() {
             let state = Arc::new(BatchState {
                 parts: Mutex::new((0..n_shards).map(|_| None).collect()),
                 remaining: AtomicUsize::new(n_shards),
                 started: Instant::now(),
+                cancel,
             });
             let query = Arc::new(query);
             let bound = Arc::new(SharedBound::new());
@@ -321,10 +370,18 @@ impl ShardedExecutor {
                 let bound = Arc::clone(&bound);
                 let tx = tx.clone();
                 self.pool.submit(move || {
-                    let tree = &inner.shards[si];
-                    let (out, stats) = run_one(tree, &query, &bound);
-                    inner.record_shard(si, &stats);
-                    state.parts.lock().expect("batch state poisoned")[si] = Some((out, stats));
+                    let part = if state.cancel.is_cancelled() {
+                        None
+                    } else {
+                        let tree = &inner.shards[si];
+                        let (out, stats) = run_one(tree, &query, &bound);
+                        inner.record_shard(si, &stats);
+                        Some((out, stats))
+                    };
+                    {
+                        let mut parts = state.parts.lock().expect("batch state poisoned");
+                        parts[si] = part;
+                    }
                     if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                         let result = finish_batch_query(&inner, &state, &query);
                         let _ = tx.send((qi, result));
@@ -333,7 +390,7 @@ impl ShardedExecutor {
             }
         }
         drop(tx);
-        let mut out: Vec<Option<BatchResult>> = (0..n_queries).map(|_| None).collect();
+        let mut out: Vec<Option<Option<BatchResult>>> = (0..n_queries).map(|_| None).collect();
         for (qi, result) in rx {
             out[qi] = Some(result);
         }
@@ -369,6 +426,11 @@ pub enum BatchQuery {
         /// Query signature.
         q: Signature,
     },
+    /// Subsets of `q`.
+    ContainedIn {
+        /// Query signature.
+        q: Signature,
+    },
     /// Exact matches of `q`.
     Exact {
         /// Query signature.
@@ -398,6 +460,7 @@ struct BatchState {
     parts: Mutex<Vec<Option<(BatchOutput, QueryStats)>>>,
     remaining: AtomicUsize,
     started: Instant,
+    cancel: CancelFlag,
 }
 
 fn run_one(tree: &SgTree, query: &BatchQuery, bound: &SharedBound) -> (BatchOutput, QueryStats) {
@@ -414,6 +477,10 @@ fn run_one(tree: &SgTree, query: &BatchQuery, bound: &SharedBound) -> (BatchOutp
             let (r, s) = tree.containing(q);
             (BatchOutput::Tids(r), s)
         }
+        BatchQuery::ContainedIn { q } => {
+            let (r, s) = tree.contained_in(q);
+            (BatchOutput::Tids(r), s)
+        }
         BatchQuery::Exact { q } => {
             let (r, s) = tree.exact(q);
             (BatchOutput::Tids(r), s)
@@ -422,15 +489,25 @@ fn run_one(tree: &SgTree, query: &BatchQuery, bound: &SharedBound) -> (BatchOutp
 }
 
 /// Runs on whichever worker finished a batch query's last shard-task:
-/// merges the per-shard parts and records executor metrics.
-fn finish_batch_query(inner: &Inner, state: &BatchState, query: &BatchQuery) -> BatchResult {
-    let parts: Vec<(BatchOutput, QueryStats)> = state
+/// merges the per-shard parts and records executor metrics. Returns `None`
+/// (skipping the merge) if any shard task was skipped by cancellation.
+fn finish_batch_query(
+    inner: &Inner,
+    state: &BatchState,
+    query: &BatchQuery,
+) -> Option<BatchResult> {
+    let raw: Vec<Option<(BatchOutput, QueryStats)>> = state
         .parts
         .lock()
         .expect("batch state poisoned")
         .drain(..)
-        .map(|p| p.expect("all shard parts present"))
         .collect();
+    if raw.iter().any(|p| p.is_none()) {
+        // At least one shard observed the cancel flag: the answer would be
+        // incomplete, and nobody is waiting for it anyway.
+        return None;
+    }
+    let parts: Vec<(BatchOutput, QueryStats)> = raw.into_iter().map(|p| p.unwrap()).collect();
     let mut per_shard = Vec::with_capacity(parts.len());
     let mut neighbor_parts = Vec::new();
     let mut tid_parts = Vec::new();
@@ -445,9 +522,9 @@ fn finish_batch_query(inner: &Inner, state: &BatchState, query: &BatchQuery) -> 
     let output = match query {
         BatchQuery::Knn { k, .. } => BatchOutput::Neighbors(merge::merge_knn(neighbor_parts, *k)),
         BatchQuery::Range { .. } => BatchOutput::Neighbors(merge::merge_range(neighbor_parts)),
-        BatchQuery::Containing { .. } | BatchQuery::Exact { .. } => {
-            BatchOutput::Tids(merge::merge_tids(tid_parts))
-        }
+        BatchQuery::Containing { .. }
+        | BatchQuery::ContainedIn { .. }
+        | BatchQuery::Exact { .. } => BatchOutput::Tids(merge::merge_tids(tid_parts)),
     };
     let merge_ns = m0.elapsed().as_nanos() as u64;
     let mut stats = ExecStats::from_shards(per_shard);
@@ -458,7 +535,7 @@ fn finish_batch_query(inner: &Inner, state: &BatchState, query: &BatchQuery) -> 
             .record(state.started.elapsed().as_nanos() as u64);
         obs.merge_ns.record(merge_ns);
     }
-    BatchResult { output, stats }
+    Some(BatchResult { output, stats })
 }
 
 // The executor is shared across caller threads; fail the build if a

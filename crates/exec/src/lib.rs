@@ -51,7 +51,7 @@ mod obs;
 mod partition;
 mod pool;
 
-pub use executor::{BatchOutput, BatchQuery, BatchResult, ExecConfig, ShardedExecutor};
+pub use executor::{BatchOutput, BatchQuery, BatchResult, CancelFlag, ExecConfig, ShardedExecutor};
 pub use merge::{merge_knn, merge_range, merge_tids, ExecStats};
 pub use obs::ExecObs;
 pub use partition::Partitioner;

@@ -4,11 +4,17 @@
 //! threads: no per-query spawn cost, and a bounded degree of parallelism
 //! chosen at construction. Tasks are plain boxed closures; the queue depth
 //! is exported as a gauge once observability is registered.
+//!
+//! The shutdown path is deliberately panic-free: a server draining its
+//! connections drops pools with in-flight work all the time, so a poisoned
+//! queue mutex, a job submitted during teardown, or a job that itself
+//! panics must never take the pool (or the thread dropping it) down with
+//! it. Panicking jobs are caught, counted, and the worker keeps serving.
 
 use sg_obs::Gauge;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -17,7 +23,18 @@ struct Shared {
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     shutdown: AtomicBool,
+    job_panics: AtomicU64,
     depth: OnceLock<Arc<Gauge>>,
+}
+
+impl Shared {
+    /// Locks the queue, recovering from poisoning: the queue holds plain
+    /// data (boxed closures), which stays structurally valid even if a
+    /// panic unwound through a previous guard, so continuing is safe and
+    /// keeps drop/drain paths panic-free.
+    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<Job>> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 /// Fixed pool of worker threads consuming a FIFO job queue.
@@ -34,6 +51,7 @@ impl ThreadPool {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            job_panics: AtomicU64::new(0),
             depth: OnceLock::new(),
         });
         let workers = (0..threads)
@@ -53,15 +71,27 @@ impl ThreadPool {
         self.workers.len()
     }
 
-    /// Enqueues a job; some worker will run it.
-    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
-        let mut q = self.shared.queue.lock().expect("pool queue poisoned");
+    /// Enqueues a job; some worker will run it. Returns `false` (dropping
+    /// the job) if the pool has already begun shutting down, so racing a
+    /// submit against teardown cannot panic or enqueue work nobody will
+    /// run.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        let mut q = self.shared.lock_queue();
         q.push_back(Box::new(job));
         if let Some(g) = self.shared.depth.get() {
             g.set(q.len() as i64);
         }
         drop(q);
         self.shared.available.notify_one();
+        true
+    }
+
+    /// Jobs that panicked while running (caught; the worker survives).
+    pub fn job_panics(&self) -> u64 {
+        self.shared.job_panics.load(Ordering::Relaxed)
     }
 
     /// Exports the instantaneous queue depth through `gauge`. May be set
@@ -84,7 +114,7 @@ impl Drop for ThreadPool {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut q = shared.queue.lock().expect("pool queue poisoned");
+            let mut q = shared.lock_queue();
             loop {
                 if let Some(job) = q.pop_front() {
                     if let Some(g) = shared.depth.get() {
@@ -95,11 +125,18 @@ fn worker_loop(shared: &Shared) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
-                q = shared.available.wait(q).expect("pool queue poisoned");
+                q = shared.available.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         };
         match job {
-            Some(job) => job(),
+            Some(job) => {
+                // A panicking query task must not kill the worker: the
+                // pool would silently lose capacity and a later drop could
+                // block on a job nobody will ever run.
+                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+                    shared.job_panics.fetch_add(1, Ordering::Relaxed);
+                }
+            }
             None => return,
         }
     }
@@ -110,6 +147,7 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
     use std::sync::mpsc;
+    use std::time::Duration;
 
     #[test]
     fn runs_every_submitted_job() {
@@ -137,6 +175,34 @@ mod tests {
         pool.submit(move || tx.send(7u32).unwrap());
         assert_eq!(rx.recv().unwrap(), 7);
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn drop_with_queued_in_flight_work_drains_without_panic() {
+        // One slow worker, many queued jobs: dropping the pool while most
+        // of the queue is still pending must finish every accepted job and
+        // never panic — the exact shape of a server drain.
+        let pool = ThreadPool::new(1);
+        let done = Arc::new(AtomicU64::new(0));
+        for _ in 0..32 {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                std::thread::sleep(Duration::from_millis(1));
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_worker() {
+        let pool = ThreadPool::new(1);
+        pool.submit(|| panic!("job explodes"));
+        let (tx, rx) = mpsc::channel();
+        pool.submit(move || tx.send(11u32).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 11);
+        assert_eq!(pool.job_panics(), 1);
     }
 
     #[test]

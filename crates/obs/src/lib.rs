@@ -23,6 +23,6 @@ pub mod trace;
 
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, IndexObs, MetricSnapshot, MetricValue, PoolObs,
-    Registry, RegistrySnapshot,
+    Registry, RegistrySnapshot, ServeObs,
 };
 pub use trace::{LevelTrace, QueryTrace, TraceSink};

@@ -519,6 +519,56 @@ impl PoolObs {
     }
 }
 
+/// Network-serving instrument set (`sg-serve`): connection and request
+/// counters, micro-batch shape, admission-queue depth, and drain state.
+#[derive(Debug)]
+pub struct ServeObs {
+    /// Connections accepted (`<prefix>.accepted`).
+    pub accepted: Arc<Counter>,
+    /// Requests admitted to the batch queue (`<prefix>.requests`).
+    pub requests: Arc<Counter>,
+    /// Requests refused with `SERVER_BUSY` (`<prefix>.busy_rejected`).
+    pub busy_rejected: Arc<Counter>,
+    /// Requests whose deadline expired before the answer was ready
+    /// (`<prefix>.timeouts`).
+    pub timeouts: Arc<Counter>,
+    /// Protocol or internal errors sent to clients (`<prefix>.errors`).
+    pub errors: Arc<Counter>,
+    /// Micro-batches dispatched to the executor (`<prefix>.batches`).
+    pub batches: Arc<Counter>,
+    /// Requests per dispatched micro-batch (`<prefix>.batch_size`).
+    pub batch_size: Arc<Histogram>,
+    /// Queue-to-reply latency per served request, ns
+    /// (`<prefix>.request_ns`).
+    pub request_ns: Arc<Histogram>,
+    /// Instantaneous admission-queue depth (`<prefix>.queue.depth`).
+    pub queue_depth: Arc<Gauge>,
+    /// Currently open client connections (`<prefix>.connections`).
+    pub connections: Arc<Gauge>,
+    /// `1` while the server is draining, else `0` (`<prefix>.draining`).
+    pub draining: Arc<Gauge>,
+}
+
+impl ServeObs {
+    /// Registers the serving instrument set under `<prefix>.<name>`.
+    pub fn register(registry: &Registry, prefix: &str) -> Arc<ServeObs> {
+        let c = |name: &str| registry.counter(&format!("{prefix}.{name}"));
+        Arc::new(ServeObs {
+            accepted: c("accepted"),
+            requests: c("requests"),
+            busy_rejected: c("busy_rejected"),
+            timeouts: c("timeouts"),
+            errors: c("errors"),
+            batches: c("batches"),
+            batch_size: registry.histogram(&format!("{prefix}.batch_size")),
+            request_ns: registry.histogram(&format!("{prefix}.request_ns")),
+            queue_depth: registry.gauge(&format!("{prefix}.queue.depth")),
+            connections: registry.gauge(&format!("{prefix}.connections")),
+            draining: registry.gauge(&format!("{prefix}.draining")),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

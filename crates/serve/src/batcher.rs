@@ -1,0 +1,432 @@
+//! The dynamic micro-batcher: admission control + batching window.
+//!
+//! Connection workers [`Batcher::submit`] decoded queries into a
+//! **bounded** queue. A dedicated batch thread collects up to
+//! [`BatchPolicy::max_batch`] requests or waits at most
+//! [`BatchPolicy::max_wait`] after the first one arrives — whichever
+//! comes first — and drives the whole batch through
+//! [`ShardedExecutor::execute_batch_cancellable`], so concurrent clients
+//! share fan-out scheduling and per-batch bookkeeping instead of paying
+//! it per request.
+//!
+//! Backpressure is explicit: when the queue is full, `submit` fails fast
+//! with [`SubmitError::Busy`] carrying a `retry_after_ms` hint derived
+//! from the current backlog and the last observed batch service time —
+//! the server never queues unboundedly. A request whose deadline lapses
+//! before dispatch is dropped (its waiter has already given up), and a
+//! waiter that times out flips the ticket's [`CancelFlag`] so the
+//! executor skips remaining shard work and the merge.
+
+use sg_exec::{BatchOutput, BatchQuery, CancelFlag, ShardedExecutor};
+use sg_obs::ServeObs;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Shape of the dynamic micro-batches.
+#[derive(Debug, Clone)]
+pub struct BatchPolicy {
+    /// Dispatch as soon as this many requests are pending.
+    pub max_batch: usize,
+    /// … or when the oldest pending request has waited this long.
+    pub max_wait: Duration,
+    /// Admission-queue capacity; beyond it, submits fail with
+    /// [`SubmitError::Busy`].
+    pub queue_cap: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 32,
+            max_wait: Duration::from_micros(500),
+            queue_cap: 256,
+        }
+    }
+}
+
+/// Outcome of one admitted request, delivered on the ticket's channel.
+#[derive(Debug)]
+pub enum BatchReply {
+    /// The merged canonical answer.
+    Done(BatchOutput),
+    /// The deadline passed before the batch was dispatched.
+    Expired,
+    /// The executor failed (e.g. a panic caught during batch execution).
+    Failed(String),
+}
+
+/// Handed back by [`Batcher::submit`]: where the answer will arrive, and
+/// the cancel flag to flip if the caller stops waiting.
+#[derive(Debug)]
+pub struct Ticket {
+    /// Receives exactly one [`BatchReply`] unless the query is cancelled.
+    pub rx: mpsc::Receiver<BatchReply>,
+    /// Flip to abandon the query (skips remaining shard work + merge).
+    pub cancel: CancelFlag,
+}
+
+/// Why a request was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is full.
+    Busy {
+        /// Suggested client backoff, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The batcher is draining and admits nothing new.
+    ShuttingDown,
+}
+
+struct Pending {
+    query: BatchQuery,
+    deadline: Instant,
+    cancel: CancelFlag,
+    reply: mpsc::Sender<BatchReply>,
+    admitted: Instant,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Pending>>,
+    changed: Condvar,
+    draining: AtomicBool,
+    /// Service time of the most recent batch, for the retry hint (ms).
+    last_batch_ms: AtomicU64,
+}
+
+impl Shared {
+    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<Pending>> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The micro-batcher: a bounded admission queue plus one batch thread.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    policy: BatchPolicy,
+    obs: Arc<ServeObs>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Batcher {
+    /// Starts the batch thread over `exec`.
+    pub fn start(exec: Arc<ShardedExecutor>, policy: BatchPolicy, obs: Arc<ServeObs>) -> Batcher {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            changed: Condvar::new(),
+            draining: AtomicBool::new(false),
+            last_batch_ms: AtomicU64::new(1),
+        });
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let policy = policy.clone();
+            let obs = Arc::clone(&obs);
+            std::thread::Builder::new()
+                .name("sg-serve-batch".into())
+                .spawn(move || batch_loop(&shared, &exec, &policy, &obs))
+                .expect("spawn batch thread")
+        };
+        Batcher {
+            shared,
+            policy,
+            obs,
+            worker: Mutex::new(Some(worker)),
+        }
+    }
+
+    /// Admits one query, or refuses with backpressure.
+    pub fn submit(&self, query: BatchQuery, deadline: Instant) -> Result<Ticket, SubmitError> {
+        if self.shared.draining.load(Ordering::SeqCst) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let mut q = self.shared.lock_queue();
+        if q.len() >= self.policy.queue_cap {
+            let depth = q.len() as u64;
+            drop(q);
+            let batch_ms = self.shared.last_batch_ms.load(Ordering::Relaxed).max(1);
+            let batches_ahead = depth / self.policy.max_batch as u64 + 1;
+            let retry_after_ms = (batches_ahead * batch_ms).clamp(1, 5_000);
+            self.obs.busy_rejected.inc();
+            return Err(SubmitError::Busy { retry_after_ms });
+        }
+        let (tx, rx) = mpsc::channel();
+        let cancel = CancelFlag::new();
+        q.push_back(Pending {
+            query,
+            deadline,
+            cancel: cancel.clone(),
+            reply: tx,
+            admitted: Instant::now(),
+        });
+        self.obs.queue_depth.set(q.len() as i64);
+        self.obs.requests.inc();
+        drop(q);
+        self.shared.changed.notify_all();
+        Ok(Ticket { rx, cancel })
+    }
+
+    /// Instantaneous admission-queue depth.
+    pub fn depth(&self) -> usize {
+        self.shared.lock_queue().len()
+    }
+
+    /// Stops admitting, flushes every already-admitted request through the
+    /// executor, and joins the batch thread. Idempotent.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.changed.notify_all();
+        let handle = self.worker.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+fn batch_loop(shared: &Shared, exec: &ShardedExecutor, policy: &BatchPolicy, obs: &Arc<ServeObs>) {
+    loop {
+        let batch: Vec<Pending> = {
+            let mut q = shared.lock_queue();
+            // Wait for the first pending request (or drain of an empty
+            // queue). The periodic timeout re-checks the drain flag.
+            loop {
+                if !q.is_empty() {
+                    break;
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                let (guard, _) = shared
+                    .changed
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+            // Batching window: give the batch `max_wait` to fill, unless
+            // it is already full or the server is draining.
+            let window_open = Instant::now();
+            while q.len() < policy.max_batch && !shared.draining.load(Ordering::SeqCst) {
+                let elapsed = window_open.elapsed();
+                if elapsed >= policy.max_wait {
+                    break;
+                }
+                let (guard, _) = shared
+                    .changed
+                    .wait_timeout(q, policy.max_wait - elapsed)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+            let take = q.len().min(policy.max_batch);
+            let batch = q.drain(..take).collect();
+            obs.queue_depth.set(q.len() as i64);
+            batch
+        };
+        dispatch(shared, exec, obs, batch);
+    }
+}
+
+/// Runs one collected batch through the executor and replies to every
+/// still-interested waiter.
+fn dispatch(shared: &Shared, exec: &ShardedExecutor, obs: &Arc<ServeObs>, batch: Vec<Pending>) {
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(batch.len());
+    for p in batch {
+        if p.cancel.is_cancelled() || p.deadline <= now {
+            // The waiter timed out (or is about to): make sure no shard
+            // work runs for it, and tell it why if it is still listening.
+            p.cancel.cancel();
+            let _ = p.reply.send(BatchReply::Expired);
+            continue;
+        }
+        live.push(p);
+    }
+    if live.is_empty() {
+        return;
+    }
+    obs.batches.inc();
+    obs.batch_size.record(live.len() as u64);
+    let queries: Vec<(BatchQuery, CancelFlag)> = live
+        .iter()
+        .map(|p| (p.query.clone(), p.cancel.clone()))
+        .collect();
+    let t0 = Instant::now();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        exec.execute_batch_cancellable(queries)
+    }));
+    shared
+        .last_batch_ms
+        .store((t0.elapsed().as_millis() as u64).max(1), Ordering::Relaxed);
+    match outcome {
+        Ok(results) => {
+            for (p, result) in live.iter().zip(results) {
+                // `None` means cancelled mid-batch: the waiter already gave up.
+                if let Some(r) = result {
+                    obs.request_ns
+                        .record(p.admitted.elapsed().as_nanos() as u64);
+                    let _ = p.reply.send(BatchReply::Done(r.output));
+                }
+            }
+        }
+        Err(_) => {
+            obs.errors.add(live.len() as u64);
+            for p in &live {
+                let _ = p
+                    .reply
+                    .send(BatchReply::Failed("internal execution error".into()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_exec::{ExecConfig, ShardedExecutor};
+    use sg_obs::Registry;
+    use sg_sig::Signature;
+
+    const NBITS: u32 = 64;
+
+    fn tiny_exec() -> Arc<ShardedExecutor> {
+        let data: Vec<(u64, Signature)> = (0..64)
+            .map(|tid| (tid, Signature::from_items(NBITS, &[(tid % 16) as u32, 40])))
+            .collect();
+        Arc::new(
+            ShardedExecutor::build(
+                NBITS,
+                &data,
+                &ExecConfig {
+                    shards: 2,
+                    ..ExecConfig::default()
+                },
+            )
+            .unwrap(),
+        )
+    }
+
+    fn obs() -> Arc<ServeObs> {
+        ServeObs::register(&Registry::new(), "serve")
+    }
+
+    fn far_deadline() -> Instant {
+        Instant::now() + Duration::from_secs(10)
+    }
+
+    #[test]
+    fn batches_multiple_submitters_into_one_dispatch() {
+        let obs = obs();
+        let batcher = Batcher::start(
+            tiny_exec(),
+            BatchPolicy {
+                max_batch: 8,
+                max_wait: Duration::from_millis(50),
+                queue_cap: 64,
+            },
+            Arc::clone(&obs),
+        );
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| {
+                batcher
+                    .submit(
+                        BatchQuery::Containing {
+                            q: Signature::from_items(NBITS, &[(i % 16) as u32]),
+                        },
+                        far_deadline(),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        for t in tickets {
+            match t.rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+                BatchReply::Done(BatchOutput::Tids(_)) => {}
+                other => panic!("unexpected reply: {other:?}"),
+            }
+        }
+        // All eight arrived before the 50ms window closed: exactly one
+        // batch of size 8 (the window dispatches as soon as it fills).
+        assert_eq!(obs.batches.get(), 1);
+        assert_eq!(obs.batch_size.snapshot().max, 8);
+        batcher.drain();
+    }
+
+    #[test]
+    fn full_queue_is_refused_with_retry_hint() {
+        let obs = obs();
+        // max_wait is long, so submitted requests sit in the queue.
+        let batcher = Batcher::start(
+            tiny_exec(),
+            BatchPolicy {
+                max_batch: 64,
+                max_wait: Duration::from_secs(5),
+                queue_cap: 4,
+            },
+            Arc::clone(&obs),
+        );
+        let q = || BatchQuery::Containing {
+            q: Signature::from_items(NBITS, &[1]),
+        };
+        let mut tickets = Vec::new();
+        for _ in 0..4 {
+            tickets.push(batcher.submit(q(), far_deadline()).unwrap());
+        }
+        match batcher.submit(q(), far_deadline()) {
+            Err(SubmitError::Busy { retry_after_ms }) => assert!(retry_after_ms >= 1),
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        assert_eq!(obs.busy_rejected.get(), 1);
+        // Drain flushes the four admitted requests.
+        batcher.drain();
+        for t in tickets {
+            assert!(matches!(
+                t.rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+                BatchReply::Done(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn expired_requests_are_skipped() {
+        let obs = obs();
+        let batcher = Batcher::start(
+            tiny_exec(),
+            BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_millis(100),
+                queue_cap: 16,
+            },
+            Arc::clone(&obs),
+        );
+        // Deadline far in the past: must come back Expired, not Done.
+        let t = batcher
+            .submit(
+                BatchQuery::Containing {
+                    q: Signature::from_items(NBITS, &[1]),
+                },
+                Instant::now() - Duration::from_millis(1),
+            )
+            .unwrap();
+        assert!(matches!(
+            t.rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            BatchReply::Expired
+        ));
+        batcher.drain();
+    }
+
+    #[test]
+    fn submit_after_drain_is_refused() {
+        let batcher = Batcher::start(tiny_exec(), BatchPolicy::default(), obs());
+        batcher.drain();
+        assert_eq!(
+            batcher
+                .submit(
+                    BatchQuery::Containing {
+                        q: Signature::from_items(NBITS, &[1]),
+                    },
+                    far_deadline(),
+                )
+                .err(),
+            Some(SubmitError::ShuttingDown)
+        );
+    }
+}

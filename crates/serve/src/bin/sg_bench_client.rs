@@ -1,0 +1,121 @@
+//! `sg-bench-client` — open-/closed-loop load generator for sg-serve.
+//!
+//! Reports throughput and p50/p95/p99 latency; `--bench-json PATH`
+//! appends the run to a `BENCH_serve.json`-style perf-trajectory file.
+//!
+//! ```text
+//! sg-bench-client --addr 127.0.0.1:7878 --mode closed --conns 4 --queries 1000
+//! sg-bench-client --addr 127.0.0.1:7878 --mode open --rate 2000
+//! ```
+
+use sg_serve::{append_bench_json, run_load, LoadConfig, LoadMode, Workload};
+
+const USAGE: &str = "sg-bench-client: load generator for sg-serve
+
+  --addr HOST:PORT   server address (default 127.0.0.1:7878)
+  --mode closed|open loop discipline (default closed)
+  --rate QPS         open-loop aggregate arrival rate (default 1000)
+  --conns N          concurrent connections (default 4)
+  --queries N        total queries (default 1000)
+  --nbits N          item universe, must match the server (default 512)
+  --query-items N    items per query set (default 8)
+  --workload W       mix|knn|containment|range|similarity (default mix)
+  --k N              k for k-NN queries (default 10)
+  --radius R         Hamming radius for range queries (default 8)
+  --min-sim S        similarity threshold (default 0.5)
+  --seed N           workload seed (default 20030305)
+  --timeout-ms N     per-request timeout_ms sent on the wire
+  --bench-json PATH  append a perf-trajectory entry to PATH
+";
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("{flag}: `{s}` is not a valid number"))
+}
+
+fn parse_opts() -> Result<(LoadConfig, Option<String>), String> {
+    let mut cfg = LoadConfig::default();
+    let mut rate = 1000.0f64;
+    let mut open = false;
+    let mut bench_json = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--addr" => cfg.addr = val("--addr")?,
+            "--mode" => match val("--mode")?.as_str() {
+                "closed" => open = false,
+                "open" => open = true,
+                other => return Err(format!("--mode: unknown mode `{other}`")),
+            },
+            "--rate" => rate = parse_num(&val("--rate")?, "--rate")?,
+            "--conns" => cfg.conns = parse_num(&val("--conns")?, "--conns")?,
+            "--queries" => cfg.queries = parse_num(&val("--queries")?, "--queries")?,
+            "--nbits" => cfg.nbits = parse_num(&val("--nbits")?, "--nbits")?,
+            "--query-items" => {
+                cfg.query_items = parse_num(&val("--query-items")?, "--query-items")?
+            }
+            "--workload" => {
+                let w = val("--workload")?;
+                cfg.workload = Workload::from_wire(&w)
+                    .ok_or_else(|| format!("--workload: unknown workload `{w}`"))?;
+            }
+            "--k" => cfg.k = parse_num(&val("--k")?, "--k")?,
+            "--radius" => cfg.radius = parse_num(&val("--radius")?, "--radius")?,
+            "--min-sim" => cfg.min_sim = parse_num(&val("--min-sim")?, "--min-sim")?,
+            "--seed" => cfg.seed = parse_num(&val("--seed")?, "--seed")?,
+            "--timeout-ms" => {
+                cfg.timeout_ms = Some(parse_num(&val("--timeout-ms")?, "--timeout-ms")?)
+            }
+            "--bench-json" => bench_json = Some(val("--bench-json")?),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    cfg.mode = if open {
+        LoadMode::Open { rate_qps: rate }
+    } else {
+        LoadMode::Closed
+    };
+    Ok((cfg, bench_json))
+}
+
+fn main() {
+    let (cfg, bench_json) = match parse_opts() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("sg-bench-client: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "sg-bench-client: {} loop, {} conns, {} queries against {}",
+        cfg.mode.as_str(),
+        cfg.conns,
+        cfg.queries,
+        cfg.addr
+    );
+    let report = match run_load(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sg-bench-client: cannot connect to {}: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("{}", report.render());
+    if let Some(path) = bench_json {
+        if let Err(e) = append_bench_json(&path, &cfg, &report) {
+            eprintln!("sg-bench-client: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("sg-bench-client: appended trajectory entry to {path}");
+    }
+    // Busy rejections are expected under deliberate overload; hard errors
+    // are not.
+    if report.errors > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,243 @@
+//! `sg-serve` — serve a generated SG-tree dataset over TCP.
+//!
+//! Builds a synthetic dataset (deterministic in `--seed`), shards it
+//! across a [`sg_exec::ShardedExecutor`], and serves the frame protocol
+//! until SIGTERM/SIGINT, then drains gracefully: stops accepting, answers
+//! every in-flight request, joins all threads, and prints a drain summary
+//! (the CI smoke test greps for it).
+//!
+//! ```text
+//! sg-serve --addr 127.0.0.1:7878 --rows 20000 --nbits 512 --shards 4
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sg_exec::{ExecConfig, ShardedExecutor};
+use sg_obs::Registry;
+use sg_serve::{BatchPolicy, ServeConfig, Server};
+use sg_sig::Signature;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Global shutdown flag flipped from the signal handler; handlers may only
+/// perform async-signal-safe work, so an atomic store is all they do.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod signals {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs SIGINT + SIGTERM handlers that flip the shutdown flag.
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    /// No signal handling off Unix; shut down by killing the process.
+    pub fn install() {}
+}
+
+struct Opts {
+    addr: String,
+    admin_addr: Option<String>,
+    port_file: Option<String>,
+    rows: usize,
+    nbits: u32,
+    row_items: usize,
+    seed: u64,
+    shards: usize,
+    exec_threads: usize,
+    conn_workers: usize,
+    max_batch: usize,
+    max_wait_us: u64,
+    queue_cap: usize,
+    timeout_ms: u64,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            addr: "127.0.0.1:0".into(),
+            admin_addr: Some("127.0.0.1:0".into()),
+            port_file: None,
+            rows: 20_000,
+            nbits: 512,
+            row_items: 12,
+            seed: 20030305,
+            shards: 4,
+            exec_threads: 0,
+            conn_workers: 8,
+            max_batch: 32,
+            max_wait_us: 500,
+            queue_cap: 256,
+            timeout_ms: 1000,
+        }
+    }
+}
+
+const USAGE: &str = "sg-serve: serve a generated SG-tree dataset over TCP
+
+  --addr HOST:PORT        query listener (default 127.0.0.1:0)
+  --admin-addr HOST:PORT  admin HTTP listener for /metrics and /healthz
+  --no-admin              disable the admin listener
+  --port-file PATH        write `data_port\\nadmin_port\\n` once bound
+  --rows N                dataset size (default 20000)
+  --nbits N               signature bits / item universe (default 512)
+  --row-items N           items per generated transaction (default 12)
+  --seed N                dataset RNG seed (default 20030305)
+  --shards N              SG-tree shards (default 4)
+  --exec-threads N        executor pool threads, 0 = one per shard
+  --conn-workers N        connection handler threads (default 8)
+  --max-batch N           micro-batch size cap (default 32)
+  --max-wait-us N         micro-batch window, microseconds (default 500)
+  --queue-cap N           admission queue capacity (default 256)
+  --timeout-ms N          default per-request deadline (default 1000)
+";
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--addr" => opts.addr = val("--addr")?,
+            "--admin-addr" => opts.admin_addr = Some(val("--admin-addr")?),
+            "--no-admin" => opts.admin_addr = None,
+            "--port-file" => opts.port_file = Some(val("--port-file")?),
+            "--rows" => opts.rows = parse_num(&val("--rows")?, "--rows")?,
+            "--nbits" => opts.nbits = parse_num(&val("--nbits")?, "--nbits")?,
+            "--row-items" => opts.row_items = parse_num(&val("--row-items")?, "--row-items")?,
+            "--seed" => opts.seed = parse_num(&val("--seed")?, "--seed")?,
+            "--shards" => opts.shards = parse_num(&val("--shards")?, "--shards")?,
+            "--exec-threads" => {
+                opts.exec_threads = parse_num(&val("--exec-threads")?, "--exec-threads")?
+            }
+            "--conn-workers" => {
+                opts.conn_workers = parse_num(&val("--conn-workers")?, "--conn-workers")?
+            }
+            "--max-batch" => opts.max_batch = parse_num(&val("--max-batch")?, "--max-batch")?,
+            "--max-wait-us" => {
+                opts.max_wait_us = parse_num(&val("--max-wait-us")?, "--max-wait-us")?
+            }
+            "--queue-cap" => opts.queue_cap = parse_num(&val("--queue-cap")?, "--queue-cap")?,
+            "--timeout-ms" => opts.timeout_ms = parse_num(&val("--timeout-ms")?, "--timeout-ms")?,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("{flag}: `{s}` is not a valid number"))
+}
+
+/// The deterministic synthetic dataset: clustered transactions, the same
+/// shape the bench workloads use.
+fn generate(rows: usize, nbits: u32, row_items: usize, seed: u64) -> Vec<(u64, Signature)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..rows as u64)
+        .map(|tid| {
+            // A soft cluster center plus per-row jitter, so containment and
+            // similarity queries have non-trivial answers.
+            let center = rng.gen_range(0..nbits.max(16) / 4) * 4;
+            let items: Vec<u32> = (0..row_items)
+                .map(|_| (center + rng.gen_range(0..nbits / 2)) % nbits)
+                .collect();
+            (tid, Signature::from_items(nbits, &items))
+        })
+        .collect()
+}
+
+fn main() {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("sg-serve: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    signals::install();
+
+    eprintln!(
+        "sg-serve: building index ({} rows, {} bits, {} shards)",
+        opts.rows, opts.nbits, opts.shards
+    );
+    let data = generate(opts.rows, opts.nbits, opts.row_items, opts.seed);
+    let exec = Arc::new(
+        ShardedExecutor::build(
+            opts.nbits,
+            &data,
+            &ExecConfig {
+                shards: opts.shards.max(1),
+                threads: opts.exec_threads,
+                ..ExecConfig::default()
+            },
+        )
+        .expect("build sharded executor"),
+    );
+
+    let registry = Arc::new(Registry::new());
+    let config = ServeConfig {
+        addr: opts.addr.clone(),
+        admin_addr: opts.admin_addr.clone(),
+        conn_workers: opts.conn_workers,
+        policy: BatchPolicy {
+            max_batch: opts.max_batch.max(1),
+            max_wait: Duration::from_micros(opts.max_wait_us),
+            queue_cap: opts.queue_cap.max(1),
+        },
+        default_timeout: Duration::from_millis(opts.timeout_ms.max(1)),
+        ..ServeConfig::default()
+    };
+    let server = match Server::start(exec, registry, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sg-serve: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("sg-serve: listening on {}", server.local_addr());
+    if let Some(admin) = server.admin_addr() {
+        println!("sg-serve: admin http on {admin} (/metrics, /healthz)");
+    }
+    if let Some(path) = &opts.port_file {
+        let admin_port = server.admin_addr().map(|a| a.port()).unwrap_or(0);
+        let body = format!("{}\n{}\n", server.local_addr().port(), admin_port);
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("sg-serve: cannot write --port-file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("sg-serve: shutdown requested, draining");
+    let report = server.join();
+    println!(
+        "sg-serve: drain complete (served={}, busy_rejected={}, timeouts={}, errors={})",
+        report.requests, report.busy_rejected, report.timeouts, report.errors
+    );
+}

@@ -1,0 +1,156 @@
+//! A minimal blocking client for the sg-serve frame protocol.
+
+use crate::frame::{read_frame, write_frame, FrameError, MAX_FRAME_DEFAULT};
+use crate::proto::{
+    decode_response, encode_request, ContainmentMode, MetricName, ProtoError, Request, Response,
+};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a call failed below the protocol level.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed.
+    Io(std::io::Error),
+    /// The response frame was malformed (truncated, oversize, …).
+    Frame(FrameError),
+    /// The response payload did not parse.
+    Proto(ProtoError),
+    /// The server closed the connection instead of responding.
+    ConnectionClosed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client i/o error: {e}"),
+            ClientError::Frame(e) => write!(f, "client frame error: {e}"),
+            ClientError::Proto(e) => write!(f, "client protocol error: {e}"),
+            ClientError::ConnectionClosed => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// One blocking connection; request ids are assigned automatically by the
+/// convenience methods.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects with `TCP_NODELAY` (the frames are tiny; latency wins).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            next_id: 1,
+            max_frame: MAX_FRAME_DEFAULT,
+        })
+    }
+
+    /// Sends one request frame and blocks for the matching response.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        match read_frame(&mut self.stream, self.max_frame)? {
+            Some(payload) => Ok(decode_response(&payload)?),
+            None => Err(ClientError::ConnectionClosed),
+        }
+    }
+
+    fn take_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Containment query over the given item set.
+    pub fn containment(
+        &mut self,
+        mode: ContainmentMode,
+        items: &[u32],
+        timeout_ms: Option<u64>,
+    ) -> Result<Response, ClientError> {
+        let req = Request::Containment {
+            id: self.take_id(),
+            mode,
+            items: items.to_vec(),
+            timeout_ms,
+        };
+        self.call(&req)
+    }
+
+    /// Hamming range query: everything within `radius`.
+    pub fn range(
+        &mut self,
+        items: &[u32],
+        radius: f64,
+        timeout_ms: Option<u64>,
+    ) -> Result<Response, ClientError> {
+        let req = Request::Range {
+            id: self.take_id(),
+            items: items.to_vec(),
+            radius,
+            timeout_ms,
+        };
+        self.call(&req)
+    }
+
+    /// Similarity threshold query: everything with similarity ≥ `min_sim`.
+    pub fn similarity(
+        &mut self,
+        items: &[u32],
+        min_sim: f64,
+        metric: MetricName,
+        timeout_ms: Option<u64>,
+    ) -> Result<Response, ClientError> {
+        let req = Request::Similarity {
+            id: self.take_id(),
+            items: items.to_vec(),
+            min_sim,
+            metric,
+            timeout_ms,
+        };
+        self.call(&req)
+    }
+
+    /// `k` nearest neighbors under `metric`.
+    pub fn knn(
+        &mut self,
+        items: &[u32],
+        k: u64,
+        metric: MetricName,
+        timeout_ms: Option<u64>,
+    ) -> Result<Response, ClientError> {
+        let req = Request::Knn {
+            id: self.take_id(),
+            items: items.to_vec(),
+            k,
+            metric,
+            timeout_ms,
+        };
+        self.call(&req)
+    }
+}

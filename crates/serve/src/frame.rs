@@ -1,0 +1,264 @@
+//! Length-prefixed framing: 4-byte big-endian payload length, then the
+//! payload bytes (JSON, see [`crate::proto`]).
+//!
+//! Two readers are provided. [`read_frame`] is the simple blocking form
+//! used by clients and tests. [`FrameReader`] is the server's incremental
+//! form: it owns a reassembly buffer, treats read timeouts as
+//! [`Step::Pending`] (so a connection worker can poll its shutdown flag
+//! between reads without losing partially received bytes), and keeps any
+//! excess bytes for the next frame, so pipelined clients work.
+//!
+//! Malformed input is always an error value, never a panic or a hang: a
+//! length prefix that exceeds the frame cap surfaces as
+//! [`FrameError::TooLarge`] / [`Step::TooLarge`] *before* any payload is
+//! buffered, and a connection that dies mid-frame surfaces as
+//! [`FrameError::Truncated`].
+
+use std::io::{self, Read, Write};
+
+/// Default frame-size cap: 1 MiB of JSON is far beyond any legitimate
+/// query or answer in this workspace.
+pub const MAX_FRAME_DEFAULT: usize = 1 << 20;
+
+/// Bytes of the length prefix.
+const PREFIX: usize = 4;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// The length prefix announced a payload beyond the configured cap.
+    TooLarge {
+        /// The announced payload length.
+        len: u32,
+        /// The configured cap.
+        max: usize,
+    },
+    /// The peer closed the connection in the middle of a frame (including
+    /// a truncated length prefix).
+    Truncated,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::Truncated => write!(f, "connection closed mid-frame"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame: length prefix, payload, flush.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "payload exceeds u32 length"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Blocking read of one frame.
+///
+/// Returns `Ok(None)` on a clean end-of-stream at a frame boundary (the
+/// peer hung up between requests); [`FrameError::Truncated`] if the stream
+/// ends inside a prefix or payload.
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut prefix = [0u8; PREFIX];
+    let mut got = 0;
+    while got < PREFIX {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(None)
+                } else {
+                    Err(FrameError::Truncated)
+                }
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(prefix);
+    if len as usize > max {
+        return Err(FrameError::TooLarge { len, max });
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut got = 0;
+    while got < payload.len() {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(Some(payload))
+}
+
+/// One step of incremental frame reading.
+#[derive(Debug)]
+pub enum Step {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// No complete frame yet; the read timed out (poll again).
+    Pending,
+    /// Clean end-of-stream at a frame boundary.
+    Eof,
+    /// The next frame's announced length exceeds the cap; the connection
+    /// cannot be resynchronized and should be closed after an error frame.
+    TooLarge(u32),
+}
+
+/// Incremental frame reassembly for sockets with a read timeout.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// An empty reassembly buffer.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Reads until one frame is complete, the stream ends, or the read
+    /// times out. Partial bytes stay buffered across calls; bytes beyond
+    /// the first complete frame are kept for the next call.
+    pub fn step(&mut self, r: &mut impl Read, max: usize) -> Result<Step, FrameError> {
+        loop {
+            if self.buf.len() >= PREFIX {
+                let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+                if len as usize > max {
+                    return Ok(Step::TooLarge(len));
+                }
+                let total = PREFIX + len as usize;
+                if self.buf.len() >= total {
+                    let payload = self.buf[PREFIX..total].to_vec();
+                    self.buf.drain(..total);
+                    return Ok(Step::Frame(payload));
+                }
+            }
+            let mut chunk = [0u8; 4096];
+            match r.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(Step::Eof)
+                    } else {
+                        Err(FrameError::Truncated)
+                    }
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(Step::Pending)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_blocking() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = Cursor::new(wire);
+        assert_eq!(
+            read_frame(&mut r, MAX_FRAME_DEFAULT).unwrap().unwrap(),
+            b"hello"
+        );
+        assert_eq!(read_frame(&mut r, MAX_FRAME_DEFAULT).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r, MAX_FRAME_DEFAULT).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_prefix_is_an_error_not_a_hang() {
+        let mut r = Cursor::new(vec![0u8, 0]);
+        assert!(matches!(
+            read_frame(&mut r, MAX_FRAME_DEFAULT),
+            Err(FrameError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello world").unwrap();
+        wire.truncate(wire.len() - 3);
+        let mut r = Cursor::new(wire);
+        assert!(matches!(
+            read_frame(&mut r, MAX_FRAME_DEFAULT),
+            Err(FrameError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn oversize_frame_rejected_before_buffering() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut r = Cursor::new(wire);
+        match read_frame(&mut r, 1024) {
+            Err(FrameError::TooLarge { len, max }) => {
+                assert_eq!(len, u32::MAX);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_reader_handles_pipelined_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"first").unwrap();
+        write_frame(&mut wire, b"second").unwrap();
+        let mut r = Cursor::new(wire);
+        let mut reader = FrameReader::new();
+        match reader.step(&mut r, MAX_FRAME_DEFAULT).unwrap() {
+            Step::Frame(p) => assert_eq!(p, b"first"),
+            other => panic!("{other:?}"),
+        }
+        // Second frame is already buffered: no further reads required.
+        match reader.step(&mut r, MAX_FRAME_DEFAULT).unwrap() {
+            Step::Frame(p) => assert_eq!(p, b"second"),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            reader.step(&mut r, MAX_FRAME_DEFAULT).unwrap(),
+            Step::Eof
+        ));
+    }
+
+    #[test]
+    fn incremental_reader_flags_oversize() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&1_000_000u32.to_be_bytes());
+        let mut r = Cursor::new(wire);
+        let mut reader = FrameReader::new();
+        assert!(matches!(
+            reader.step(&mut r, 1024).unwrap(),
+            Step::TooLarge(1_000_000)
+        ));
+    }
+}

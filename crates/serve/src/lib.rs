@@ -1,0 +1,78 @@
+//! # sg-serve — a zero-dependency network query service for the SG-tree
+//!
+//! PR 2's [`sg_exec::ShardedExecutor`] scales the paper's SG-tree across
+//! shards and worker threads, but every query still enters through an
+//! in-process Rust call. This crate turns the executor into a *system*: a
+//! std-only TCP server speaking a simple length-prefixed JSON frame
+//! protocol, built from four cooperating pieces:
+//!
+//! * [`proto`] — the wire protocol: `Containment` / `Range` /
+//!   `Similarity` / `Knn` requests, canonical `(dist, tid)` responses,
+//!   and structured error frames (`SERVER_BUSY`, `DEADLINE_EXCEEDED`, …).
+//! * [`frame`] — 4-byte big-endian length prefix + JSON payload, with a
+//!   hard frame-size cap so a hostile peer cannot balloon memory.
+//! * [`batcher`] — the **dynamic micro-batcher**: admitted requests wait
+//!   in a bounded queue until either `max_batch` of them accumulate or
+//!   `max_wait` elapses, then the whole batch rides one
+//!   [`sg_exec::ShardedExecutor::execute_batch_cancellable`] call. When
+//!   the queue is full the submitter gets `SERVER_BUSY` with a
+//!   `retry_after_ms` hint instead of queueing unboundedly, and a request
+//!   whose deadline lapses flips its [`sg_exec::CancelFlag`] so abandoned
+//!   work is skipped, merge included.
+//! * [`server`] — a fixed accept/worker thread model: one accept thread,
+//!   `conn_workers` connection handlers, an optional admin HTTP listener
+//!   (`GET /metrics` Prometheus text from the [`sg_obs`] registry,
+//!   `GET /healthz` readiness), and **graceful drain**: stop accepting,
+//!   finish every in-flight request, join all threads.
+//!
+//! [`client`] is the matching blocking client and [`loadgen`] an open- and
+//! closed-loop load generator reporting throughput and p50/p95/p99
+//! latency (the `sg-bench-client` binary, which also appends the
+//! `BENCH_serve.json` perf trajectory).
+//!
+//! ## Embedded quick example
+//!
+//! ```
+//! use sg_exec::{ExecConfig, ShardedExecutor};
+//! use sg_obs::Registry;
+//! use sg_serve::{Client, MetricName, Response, ServeConfig, Server};
+//! use sg_sig::Signature;
+//! use std::sync::Arc;
+//!
+//! let nbits = 64;
+//! let data: Vec<(u64, Signature)> = (0..100)
+//!     .map(|tid| (tid, Signature::from_items(nbits, &[(tid % 16) as u32, 40])))
+//!     .collect();
+//! let exec = Arc::new(
+//!     ShardedExecutor::build(nbits, &data, &ExecConfig::default()).unwrap(),
+//! );
+//! let server = Server::start(exec, Arc::new(Registry::new()), ServeConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! match client.knn(&[3, 40], 5, MetricName::Hamming, None).unwrap() {
+//!     Response::Neighbors { pairs, .. } => assert_eq!(pairs.len(), 5),
+//!     other => panic!("unexpected response: {other:?}"),
+//! }
+//! drop(client);
+//! let report = server.join();
+//! assert!(report.requests >= 1);
+//! ```
+
+pub mod batcher;
+pub mod client;
+pub mod frame;
+pub mod loadgen;
+pub mod proto;
+pub mod server;
+
+#[cfg(test)]
+mod proptests;
+
+pub use batcher::{BatchPolicy, BatchReply, Batcher, SubmitError, Ticket};
+pub use client::{Client, ClientError};
+pub use frame::{read_frame, write_frame, FrameError, FrameReader, Step, MAX_FRAME_DEFAULT};
+pub use loadgen::{append_bench_json, run_load, LoadConfig, LoadMode, LoadReport, Workload};
+pub use proto::{
+    decode_request, decode_response, encode_request, encode_response, ContainmentMode, ErrorCode,
+    MetricName, ProtoError, Request, Response,
+};
+pub use server::{DrainReport, ServeConfig, Server, ShutdownHandle};

@@ -1,0 +1,374 @@
+//! Open- and closed-loop load generation against a running server.
+//!
+//! The two loops answer different questions. A **closed** loop keeps
+//! `conns` outstanding requests at all times — each connection fires its
+//! next query the moment the previous answer lands — and so measures the
+//! service capacity of the pipeline. An **open** loop fires queries on a
+//! fixed global schedule (`rate_qps`) regardless of completions, and
+//! measures latency *including the queueing* a real arrival process would
+//! see: each query's latency clock starts at its scheduled arrival time,
+//! not at its actual send time, so schedule slip shows up in the tail
+//! percentiles instead of being hidden (no coordinated omission).
+//!
+//! Queries are generated deterministically from `seed` and the global
+//! query index, so two runs against the same dataset issue the identical
+//! workload regardless of thread interleaving.
+
+use crate::client::Client;
+use crate::proto::{ContainmentMode, MetricName, Response};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sg_obs::json::{self, Json};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Which request mix to issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Round-robin over all four query families.
+    Mix,
+    /// k-NN only.
+    Knn,
+    /// Containment (`containing`) only.
+    Containment,
+    /// Hamming range only.
+    Range,
+    /// Jaccard similarity-threshold only.
+    Similarity,
+}
+
+impl Workload {
+    /// Parses the CLI spelling.
+    pub fn from_wire(s: &str) -> Option<Workload> {
+        match s {
+            "mix" => Some(Workload::Mix),
+            "knn" => Some(Workload::Knn),
+            "containment" => Some(Workload::Containment),
+            "range" => Some(Workload::Range),
+            "similarity" => Some(Workload::Similarity),
+            _ => None,
+        }
+    }
+}
+
+/// Closed-loop (capacity) vs open-loop (fixed arrival rate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// `conns` outstanding requests at all times.
+    Closed,
+    /// Queries arrive on a fixed global schedule.
+    Open {
+        /// Aggregate arrival rate, queries per second.
+        rate_qps: f64,
+    },
+}
+
+impl LoadMode {
+    /// CLI spelling, for reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LoadMode::Closed => "closed",
+            LoadMode::Open { .. } => "open",
+        }
+    }
+}
+
+/// Everything a load run needs.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Loop discipline.
+    pub mode: LoadMode,
+    /// Concurrent connections.
+    pub conns: usize,
+    /// Total queries across all connections.
+    pub queries: usize,
+    /// Item-id universe (must match the served index's `nbits`).
+    pub nbits: u32,
+    /// Items per generated query set.
+    pub query_items: usize,
+    /// Request mix.
+    pub workload: Workload,
+    /// `k` for k-NN queries.
+    pub k: u64,
+    /// Radius for Hamming range queries.
+    pub radius: f64,
+    /// Threshold for similarity queries.
+    pub min_sim: f64,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Per-request `timeout_ms` sent on the wire, if any.
+    pub timeout_ms: Option<u64>,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:7878".into(),
+            mode: LoadMode::Closed,
+            conns: 4,
+            queries: 1000,
+            nbits: 512,
+            query_items: 8,
+            workload: Workload::Mix,
+            k: 10,
+            radius: 8.0,
+            min_sim: 0.5,
+            seed: 20030305,
+            timeout_ms: None,
+        }
+    }
+}
+
+/// Aggregate results of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Queries sent.
+    pub sent: u64,
+    /// Queries answered with a result.
+    pub ok: u64,
+    /// Queries refused with `SERVER_BUSY`.
+    pub busy: u64,
+    /// Other error responses and transport failures.
+    pub errors: u64,
+    /// Wall-clock duration of the run, seconds.
+    pub elapsed_s: f64,
+    /// Completed queries per second.
+    pub throughput_qps: f64,
+    /// Latency percentiles over successful queries, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Mean latency, microseconds.
+    pub mean_us: u64,
+}
+
+impl LoadReport {
+    /// Human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        format!(
+            "sent={} ok={} busy={} errors={} elapsed={:.3}s throughput={:.1} qps\n\
+             latency_us: p50={} p95={} p99={} mean={}",
+            self.sent,
+            self.ok,
+            self.busy,
+            self.errors,
+            self.elapsed_s,
+            self.throughput_qps,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.mean_us
+        )
+    }
+}
+
+/// The deterministic query for global index `i`.
+pub fn request_for(cfg: &LoadConfig, i: usize) -> crate::proto::Request {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let n = cfg.query_items.clamp(1, cfg.nbits as usize);
+    let items: Vec<u32> = (0..n).map(|_| rng.gen_range(0..cfg.nbits)).collect();
+    let id = i as u64 + 1;
+    let kind = match cfg.workload {
+        Workload::Mix => i % 4,
+        Workload::Knn => 0,
+        Workload::Containment => 1,
+        Workload::Range => 2,
+        Workload::Similarity => 3,
+    };
+    match kind {
+        0 => crate::proto::Request::Knn {
+            id,
+            items,
+            k: cfg.k,
+            metric: MetricName::Hamming,
+            timeout_ms: cfg.timeout_ms,
+        },
+        1 => crate::proto::Request::Containment {
+            id,
+            mode: ContainmentMode::Containing,
+            items,
+            timeout_ms: cfg.timeout_ms,
+        },
+        2 => crate::proto::Request::Range {
+            id,
+            items,
+            radius: cfg.radius,
+            timeout_ms: cfg.timeout_ms,
+        },
+        _ => crate::proto::Request::Similarity {
+            id,
+            items,
+            min_sim: cfg.min_sim,
+            metric: MetricName::Jaccard,
+            timeout_ms: cfg.timeout_ms,
+        },
+    }
+}
+
+struct Tally {
+    sent: u64,
+    ok: u64,
+    busy: u64,
+    errors: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// Runs the configured load and reports throughput + latency percentiles.
+///
+/// Returns `Err` if no connection could be established.
+pub fn run_load(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
+    let conns = cfg.conns.max(1);
+    let next = Arc::new(AtomicUsize::new(0));
+    let barrier = Arc::new(Barrier::new(conns + 1));
+    let tallies: Arc<Mutex<Vec<Tally>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // Connect up front so a dead server fails fast instead of producing a
+    // report full of transport errors.
+    let clients: Vec<Client> = (0..conns)
+        .map(|_| Client::connect(&*cfg.addr))
+        .collect::<std::io::Result<Vec<_>>>()?;
+
+    let mut handles = Vec::with_capacity(conns);
+    for mut client in clients {
+        let cfg = cfg.clone();
+        let next = Arc::clone(&next);
+        let barrier = Arc::clone(&barrier);
+        let tallies = Arc::clone(&tallies);
+        handles.push(std::thread::spawn(move || {
+            let mut tally = Tally {
+                sent: 0,
+                ok: 0,
+                busy: 0,
+                errors: 0,
+                latencies_us: Vec::new(),
+            };
+            barrier.wait();
+            let start = Instant::now();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cfg.queries {
+                    break;
+                }
+                // Open loop: query i is *due* at start + i/rate, and its
+                // latency clock starts then, whether or not we were ready
+                // to send it (no coordinated omission).
+                let t0 = match cfg.mode {
+                    LoadMode::Closed => Instant::now(),
+                    LoadMode::Open { rate_qps } => {
+                        let due = start + Duration::from_secs_f64(i as f64 / rate_qps.max(1e-9));
+                        let now = Instant::now();
+                        if due > now {
+                            std::thread::sleep(due - now);
+                        }
+                        due
+                    }
+                };
+                let req = request_for(&cfg, i);
+                tally.sent += 1;
+                match client.call(&req) {
+                    Ok(Response::Neighbors { .. }) | Ok(Response::Tids { .. }) => {
+                        tally.ok += 1;
+                        tally
+                            .latencies_us
+                            .push(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                    }
+                    Ok(Response::Error {
+                        code: crate::proto::ErrorCode::ServerBusy,
+                        ..
+                    }) => {
+                        tally.busy += 1;
+                    }
+                    Ok(Response::Error { .. }) => tally.errors += 1,
+                    Err(_) => {
+                        tally.errors += 1;
+                        // The connection may be dead; stop this worker
+                        // rather than spinning on errors.
+                        break;
+                    }
+                }
+            }
+            tallies
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(tally);
+        }));
+    }
+
+    barrier.wait();
+    let start = Instant::now();
+    for h in handles {
+        let _ = h.join();
+    }
+    let elapsed_s = start.elapsed().as_secs_f64().max(1e-9);
+
+    let mut sent = 0;
+    let mut ok = 0;
+    let mut busy = 0;
+    let mut errors = 0;
+    let mut lat: Vec<u64> = Vec::new();
+    for t in tallies.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+        sent += t.sent;
+        ok += t.ok;
+        busy += t.busy;
+        errors += t.errors;
+        lat.extend_from_slice(&t.latencies_us);
+    }
+    lat.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if lat.is_empty() {
+            return 0;
+        }
+        let idx = ((lat.len() as f64 * p).ceil() as usize).clamp(1, lat.len()) - 1;
+        lat[idx]
+    };
+    let mean_us = if lat.is_empty() {
+        0
+    } else {
+        lat.iter().sum::<u64>() / lat.len() as u64
+    };
+    Ok(LoadReport {
+        sent,
+        ok,
+        busy,
+        errors,
+        elapsed_s,
+        throughput_qps: ok as f64 / elapsed_s,
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        p99_us: pct(0.99),
+        mean_us,
+    })
+}
+
+/// Appends one perf-trajectory entry to a JSON array file (creating it if
+/// absent), in the style of the workspace's `BENCH_*.json` files.
+pub fn append_bench_json(path: &str, cfg: &LoadConfig, report: &LoadReport) -> std::io::Result<()> {
+    let mut entries = match std::fs::read_to_string(path) {
+        Ok(text) => match json::parse(&text) {
+            Ok(Json::Arr(entries)) => entries,
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    let unix_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    entries.push(Json::Obj(vec![
+        ("unix_ms".into(), Json::U64(unix_ms)),
+        ("mode".into(), Json::Str(cfg.mode.as_str().into())),
+        ("conns".into(), Json::U64(cfg.conns as u64)),
+        ("queries".into(), Json::U64(cfg.queries as u64)),
+        ("throughput_qps".into(), Json::F64(report.throughput_qps)),
+        ("p50_us".into(), Json::U64(report.p50_us)),
+        ("p95_us".into(), Json::U64(report.p95_us)),
+        ("p99_us".into(), Json::U64(report.p99_us)),
+        ("busy".into(), Json::U64(report.busy)),
+    ]));
+    std::fs::write(path, Json::Arr(entries).to_string_pretty())
+}

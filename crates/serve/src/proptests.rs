@@ -1,0 +1,249 @@
+//! Property tests for the wire layer: every request/response variant must
+//! survive an encode → decode round trip bit-exactly, and malformed bytes
+//! (truncation, garbage, chunk-fragmented frames) must surface as error
+//! values — never a panic or a hang.
+
+use proptest::prelude::*;
+use proptest::strategy::{boxed, Strategy, Union};
+
+use crate::frame::{write_frame, FrameReader, Step, MAX_FRAME_DEFAULT};
+use crate::proto::{
+    decode_request, decode_response, encode_request, encode_response, ContainmentMode, ErrorCode,
+    MetricName, Request, Response,
+};
+
+fn items() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..512, 0..20)
+}
+
+fn timeout() -> impl Strategy<Value = Option<u64>> {
+    prop_oneof![
+        Just(None),
+        boxed((1u64..600_000).prop_map(Some)) as Box<dyn Strategy<Value = Option<u64>>>,
+    ]
+}
+
+fn metric() -> impl Strategy<Value = MetricName> {
+    (0usize..4).prop_map(|i| {
+        [
+            MetricName::Hamming,
+            MetricName::Jaccard,
+            MetricName::Dice,
+            MetricName::Overlap,
+        ][i]
+    })
+}
+
+fn mode() -> impl Strategy<Value = ContainmentMode> {
+    (0usize..3).prop_map(|i| {
+        [
+            ContainmentMode::Containing,
+            ContainmentMode::ContainedIn,
+            ContainmentMode::Exact,
+        ][i]
+    })
+}
+
+/// Arbitrary finite `f64`, drawn from the full bit pattern space so the
+/// shortest-round-trip formatting claim is exercised on awkward values
+/// (subnormals, huge magnitudes), not just tidy fractions.
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (0u64..=u64::MAX).prop_map(|bits| {
+        let v = f64::from_bits(bits);
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Text with the characters JSON string escaping must handle.
+fn message() -> impl Strategy<Value = String> {
+    const PALETTE: [char; 12] = [
+        'a', 'Z', '0', ' ', '"', '\\', '\n', '\t', '/', 'λ', '∆', '\u{1}',
+    ];
+    prop::collection::vec(0usize..PALETTE.len(), 0..24)
+        .prop_map(|idxs| idxs.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    let containment =
+        (0u64..1_000_000, mode(), items(), timeout()).prop_map(|(id, mode, items, timeout_ms)| {
+            Request::Containment {
+                id,
+                mode,
+                items,
+                timeout_ms,
+            }
+        });
+    let range = (0u64..1_000_000, items(), 0u32..1000, timeout()).prop_map(
+        |(id, items, r8, timeout_ms)| Request::Range {
+            id,
+            items,
+            radius: r8 as f64 / 8.0,
+            timeout_ms,
+        },
+    );
+    let similarity = (0u64..1_000_000, items(), 0u32..=8, metric(), timeout()).prop_map(
+        |(id, items, s8, metric, timeout_ms)| Request::Similarity {
+            id,
+            items,
+            min_sim: s8 as f64 / 8.0,
+            metric,
+            timeout_ms,
+        },
+    );
+    let knn = (0u64..1_000_000, items(), 0u64..10_000, metric(), timeout()).prop_map(
+        |(id, items, k, metric, timeout_ms)| Request::Knn {
+            id,
+            items,
+            k,
+            metric,
+            timeout_ms,
+        },
+    );
+    Union::new(vec![
+        boxed(containment),
+        boxed(range),
+        boxed(similarity),
+        boxed(knn),
+    ])
+}
+
+fn response() -> impl Strategy<Value = Response> {
+    let neighbors = (
+        0u64..1_000_000,
+        prop::collection::vec((finite_f64(), 0u64..=u64::MAX), 0..16),
+    )
+        .prop_map(|(id, pairs)| Response::Neighbors { id, pairs });
+    let tids = (
+        0u64..1_000_000,
+        prop::collection::vec(0u64..=u64::MAX, 0..32),
+    )
+        .prop_map(|(id, tids)| Response::Tids { id, tids });
+    let error = (0u64..1_000_000, 0usize..6, message(), timeout()).prop_map(
+        |(id, c, message, retry_after_ms)| Response::Error {
+            id,
+            code: [
+                ErrorCode::BadRequest,
+                ErrorCode::FrameTooLarge,
+                ErrorCode::ServerBusy,
+                ErrorCode::DeadlineExceeded,
+                ErrorCode::ShuttingDown,
+                ErrorCode::Internal,
+            ][c],
+            message,
+            retry_after_ms,
+        },
+    );
+    Union::new(vec![boxed(neighbors), boxed(tids), boxed(error)])
+}
+
+/// Compares responses with `-0.0`-vs-`0.0` and NaN out of the picture
+/// (strategies only generate finite values), but **bit-exactly** on the
+/// distances: `PartialEq` on f64 would accept `-0.0 == 0.0`.
+fn bits_equal(a: &Response, b: &Response) -> bool {
+    match (a, b) {
+        (Response::Neighbors { id: ia, pairs: pa }, Response::Neighbors { id: ib, pairs: pb }) => {
+            ia == ib
+                && pa.len() == pb.len()
+                && pa
+                    .iter()
+                    .zip(pb)
+                    .all(|(&(da, ta), &(db, tb))| da.to_bits() == db.to_bits() && ta == tb)
+        }
+        (a, b) => a == b,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn request_roundtrip(req in request()) {
+        let wire = encode_request(&req);
+        let back = decode_request(&wire).expect("valid request must decode");
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn response_roundtrip(resp in response()) {
+        let wire = encode_response(&resp);
+        let back = decode_response(&wire).expect("valid response must decode");
+        prop_assert!(
+            bits_equal(&back, &resp),
+            "response changed across the wire: {:?} vs {:?}",
+            back,
+            resp
+        );
+    }
+
+    #[test]
+    fn truncated_request_is_an_error_not_a_panic(
+        req in request(),
+        cut_permille in 0u32..1000,
+    ) {
+        // Any strict prefix of a valid payload is unbalanced JSON.
+        let wire = encode_request(&req);
+        let cut = (wire.len() * cut_permille as usize) / 1000;
+        prop_assert!(decode_request(&wire[..cut]).is_err());
+    }
+
+    #[test]
+    fn truncated_response_is_an_error_not_a_panic(
+        resp in response(),
+        cut_permille in 0u32..1000,
+    ) {
+        let wire = encode_response(&resp);
+        let cut = (wire.len() * cut_permille as usize) / 1000;
+        prop_assert!(decode_response(&wire[..cut]).is_err());
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic_the_decoders(
+        bytes in prop::collection::vec(0u8..=255, 0..64),
+    ) {
+        // Any Err is fine; what is being asserted is "returns".
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+    }
+
+    #[test]
+    fn fragmented_frames_reassemble(
+        payloads in prop::collection::vec(prop::collection::vec(0u8..=255, 0..64), 1..6),
+        chunk in 1usize..7,
+    ) {
+        // Write all frames to one buffer, then feed it to the incremental
+        // reader through a transport that returns at most `chunk` bytes
+        // per read: every frame must come back intact and in order.
+        let mut wire = Vec::new();
+        for p in &payloads {
+            write_frame(&mut wire, p).unwrap();
+        }
+        struct Dribble<'a> {
+            data: &'a [u8],
+            pos: usize,
+            chunk: usize,
+        }
+        impl std::io::Read for Dribble<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let n = (self.data.len() - self.pos).min(self.chunk).min(buf.len());
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+        let mut r = Dribble { data: &wire, pos: 0, chunk };
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        loop {
+            match reader.step(&mut r, MAX_FRAME_DEFAULT).unwrap() {
+                Step::Frame(p) => got.push(p),
+                Step::Eof => break,
+                other => prop_assert!(false, "unexpected step: {:?}", other),
+            }
+        }
+        prop_assert_eq!(got, payloads);
+    }
+}

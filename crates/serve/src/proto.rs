@@ -1,0 +1,569 @@
+//! The wire protocol: JSON request and response payloads.
+//!
+//! Every frame payload is one JSON object. Requests carry a caller-chosen
+//! `id` that the matching response echoes, a `type` discriminator, and the
+//! query parameters; responses are either an answer (`"ok": true` with
+//! `neighbors` — canonical `(dist, tid)` pairs — or `tids`) or a
+//! structured error (`"ok": false` with `error.code`, `error.message`,
+//! and, for `SERVER_BUSY`, an `error.retry_after_ms` hint).
+//!
+//! ```text
+//! -> {"id":1,"type":"knn","items":[3,40],"k":5,"metric":"hamming"}
+//! <- {"id":1,"ok":true,"neighbors":[[0.0,3],[2.0,19], ...]}
+//! -> {"id":2,"type":"containment","mode":"containing","items":[40]}
+//! <- {"id":2,"ok":true,"tids":[0,1,2, ...]}
+//! <- {"id":3,"ok":false,"error":{"code":"SERVER_BUSY",
+//!        "message":"admission queue full","retry_after_ms":12}}
+//! ```
+//!
+//! Encoding and decoding ride the workspace's hand-rolled JSON
+//! ([`sg_obs::json`]); distances are written with Rust's shortest
+//! round-trip float formatting, so a served distance re-parses to the
+//! *bit-identical* `f64` the executor produced.
+
+use sg_obs::json::{self, Json};
+use sg_sig::{Metric, MetricKind};
+
+/// Containment query flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainmentMode {
+    /// Transactions whose signature is a superset of the query.
+    Containing,
+    /// Transactions whose signature is a subset of the query.
+    ContainedIn,
+    /// Transactions whose signature equals the query exactly.
+    Exact,
+}
+
+impl ContainmentMode {
+    /// Wire spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ContainmentMode::Containing => "containing",
+            ContainmentMode::ContainedIn => "contained_in",
+            ContainmentMode::Exact => "exact",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn from_wire(s: &str) -> Option<ContainmentMode> {
+        match s {
+            "containing" => Some(ContainmentMode::Containing),
+            "contained_in" => Some(ContainmentMode::ContainedIn),
+            "exact" => Some(ContainmentMode::Exact),
+            _ => None,
+        }
+    }
+}
+
+/// Distance metric selector on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricName {
+    /// Symmetric-difference size (the paper's metric).
+    Hamming,
+    /// Jaccard distance.
+    Jaccard,
+    /// Dice distance.
+    Dice,
+    /// Overlap distance.
+    Overlap,
+}
+
+impl MetricName {
+    /// Wire spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MetricName::Hamming => "hamming",
+            MetricName::Jaccard => "jaccard",
+            MetricName::Dice => "dice",
+            MetricName::Overlap => "overlap",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn from_wire(s: &str) -> Option<MetricName> {
+        match s {
+            "hamming" => Some(MetricName::Hamming),
+            "jaccard" => Some(MetricName::Jaccard),
+            "dice" => Some(MetricName::Dice),
+            "overlap" => Some(MetricName::Overlap),
+            _ => None,
+        }
+    }
+
+    /// The [`sg_sig::Metric`] this name selects.
+    pub fn to_metric(self) -> Metric {
+        match self {
+            MetricName::Hamming => Metric::hamming(),
+            MetricName::Jaccard => Metric::jaccard(),
+            MetricName::Dice => Metric::new(MetricKind::Dice),
+            MetricName::Overlap => Metric::new(MetricKind::Overlap),
+        }
+    }
+}
+
+/// One query request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Set-containment query (`containing` / `contained_in` / `exact`).
+    Containment {
+        /// Caller-chosen id echoed in the response.
+        id: u64,
+        /// Which containment relation to evaluate.
+        mode: ContainmentMode,
+        /// Item ids of the query set.
+        items: Vec<u32>,
+        /// Per-request deadline override, milliseconds.
+        timeout_ms: Option<u64>,
+    },
+    /// Similarity range query under **Hamming** distance: everything
+    /// within `radius` symmetric-difference items of the query.
+    Range {
+        /// Caller-chosen id echoed in the response.
+        id: u64,
+        /// Item ids of the query set.
+        items: Vec<u32>,
+        /// Inclusive Hamming radius.
+        radius: f64,
+        /// Per-request deadline override, milliseconds.
+        timeout_ms: Option<u64>,
+    },
+    /// Similarity threshold query under a fractional metric: everything
+    /// with `similarity ≥ min_sim`, i.e. distance ≤ `1 − min_sim`.
+    Similarity {
+        /// Caller-chosen id echoed in the response.
+        id: u64,
+        /// Item ids of the query set.
+        items: Vec<u32>,
+        /// Minimum similarity in `[0, 1]`.
+        min_sim: f64,
+        /// Fractional metric (jaccard / dice / overlap).
+        metric: MetricName,
+        /// Per-request deadline override, milliseconds.
+        timeout_ms: Option<u64>,
+    },
+    /// `k` nearest neighbors under `metric`.
+    Knn {
+        /// Caller-chosen id echoed in the response.
+        id: u64,
+        /// Item ids of the query set.
+        items: Vec<u32>,
+        /// Result size.
+        k: u64,
+        /// Distance metric.
+        metric: MetricName,
+        /// Per-request deadline override, milliseconds.
+        timeout_ms: Option<u64>,
+    },
+}
+
+impl Request {
+    /// The caller-chosen request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Containment { id, .. }
+            | Request::Range { id, .. }
+            | Request::Similarity { id, .. }
+            | Request::Knn { id, .. } => *id,
+        }
+    }
+
+    /// The per-request deadline override, if any.
+    pub fn timeout_ms(&self) -> Option<u64> {
+        match self {
+            Request::Containment { timeout_ms, .. }
+            | Request::Range { timeout_ms, .. }
+            | Request::Similarity { timeout_ms, .. }
+            | Request::Knn { timeout_ms, .. } => *timeout_ms,
+        }
+    }
+}
+
+/// Structured error category on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request was syntactically or semantically invalid.
+    BadRequest,
+    /// The frame exceeded the size cap; the connection will close.
+    FrameTooLarge,
+    /// The admission queue is full; retry after `retry_after_ms`.
+    ServerBusy,
+    /// The per-request deadline passed before an answer was ready.
+    DeadlineExceeded,
+    /// The server is draining and no longer admits requests.
+    ShuttingDown,
+    /// The server failed internally while executing the query.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "BAD_REQUEST",
+            ErrorCode::FrameTooLarge => "FRAME_TOO_LARGE",
+            ErrorCode::ServerBusy => "SERVER_BUSY",
+            ErrorCode::DeadlineExceeded => "DEADLINE_EXCEEDED",
+            ErrorCode::ShuttingDown => "SHUTTING_DOWN",
+            ErrorCode::Internal => "INTERNAL",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn from_wire(s: &str) -> Option<ErrorCode> {
+        match s {
+            "BAD_REQUEST" => Some(ErrorCode::BadRequest),
+            "FRAME_TOO_LARGE" => Some(ErrorCode::FrameTooLarge),
+            "SERVER_BUSY" => Some(ErrorCode::ServerBusy),
+            "DEADLINE_EXCEEDED" => Some(ErrorCode::DeadlineExceeded),
+            "SHUTTING_DOWN" => Some(ErrorCode::ShuttingDown),
+            "INTERNAL" => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// One response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Distance-ranked answer: canonical `(dist, tid)` pairs.
+    Neighbors {
+        /// Echo of the request id.
+        id: u64,
+        /// `(dist, tid)` in canonical order.
+        pairs: Vec<(f64, u64)>,
+    },
+    /// Id-set answer (containment queries), ascending tids.
+    Tids {
+        /// Echo of the request id.
+        id: u64,
+        /// Matching transaction ids.
+        tids: Vec<u64>,
+    },
+    /// Structured error.
+    Error {
+        /// Echo of the request id (`0` when no request could be parsed).
+        id: u64,
+        /// Error category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+        /// Backpressure hint: retry no sooner than this many milliseconds.
+        retry_after_ms: Option<u64>,
+    },
+}
+
+impl Response {
+    /// The echoed request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Neighbors { id, .. }
+            | Response::Tids { id, .. }
+            | Response::Error { id, .. } => *id,
+        }
+    }
+}
+
+/// A malformed payload: what was wrong, for the error frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+// ------------------------------------------------------------- encoding
+
+fn items_json(items: &[u32]) -> Json {
+    Json::Arr(items.iter().map(|&i| Json::U64(i as u64)).collect())
+}
+
+fn push_timeout(members: &mut Vec<(String, Json)>, timeout_ms: Option<u64>) {
+    if let Some(t) = timeout_ms {
+        members.push(("timeout_ms".into(), Json::U64(t)));
+    }
+}
+
+/// Serializes a request to its JSON payload bytes.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut m: Vec<(String, Json)> = vec![("id".into(), Json::U64(req.id()))];
+    match req {
+        Request::Containment {
+            mode,
+            items,
+            timeout_ms,
+            ..
+        } => {
+            m.push(("type".into(), Json::Str("containment".into())));
+            m.push(("mode".into(), Json::Str(mode.as_str().into())));
+            m.push(("items".into(), items_json(items)));
+            push_timeout(&mut m, *timeout_ms);
+        }
+        Request::Range {
+            items,
+            radius,
+            timeout_ms,
+            ..
+        } => {
+            m.push(("type".into(), Json::Str("range".into())));
+            m.push(("items".into(), items_json(items)));
+            m.push(("radius".into(), Json::F64(*radius)));
+            push_timeout(&mut m, *timeout_ms);
+        }
+        Request::Similarity {
+            items,
+            min_sim,
+            metric,
+            timeout_ms,
+            ..
+        } => {
+            m.push(("type".into(), Json::Str("similarity".into())));
+            m.push(("items".into(), items_json(items)));
+            m.push(("min_sim".into(), Json::F64(*min_sim)));
+            m.push(("metric".into(), Json::Str(metric.as_str().into())));
+            push_timeout(&mut m, *timeout_ms);
+        }
+        Request::Knn {
+            items,
+            k,
+            metric,
+            timeout_ms,
+            ..
+        } => {
+            m.push(("type".into(), Json::Str("knn".into())));
+            m.push(("items".into(), items_json(items)));
+            m.push(("k".into(), Json::U64(*k)));
+            m.push(("metric".into(), Json::Str(metric.as_str().into())));
+            push_timeout(&mut m, *timeout_ms);
+        }
+    }
+    Json::Obj(m).to_string_compact().into_bytes()
+}
+
+/// Serializes a response to its JSON payload bytes.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let m: Vec<(String, Json)> = match resp {
+        Response::Neighbors { id, pairs } => vec![
+            ("id".into(), Json::U64(*id)),
+            ("ok".into(), Json::Bool(true)),
+            (
+                "neighbors".into(),
+                Json::Arr(
+                    pairs
+                        .iter()
+                        .map(|&(d, t)| Json::Arr(vec![Json::F64(d), Json::U64(t)]))
+                        .collect(),
+                ),
+            ),
+        ],
+        Response::Tids { id, tids } => vec![
+            ("id".into(), Json::U64(*id)),
+            ("ok".into(), Json::Bool(true)),
+            (
+                "tids".into(),
+                Json::Arr(tids.iter().map(|&t| Json::U64(t)).collect()),
+            ),
+        ],
+        Response::Error {
+            id,
+            code,
+            message,
+            retry_after_ms,
+        } => {
+            let mut err: Vec<(String, Json)> = vec![
+                ("code".into(), Json::Str(code.as_str().into())),
+                ("message".into(), Json::Str(message.clone())),
+            ];
+            if let Some(r) = retry_after_ms {
+                err.push(("retry_after_ms".into(), Json::U64(*r)));
+            }
+            vec![
+                ("id".into(), Json::U64(*id)),
+                ("ok".into(), Json::Bool(false)),
+                ("error".into(), Json::Obj(err)),
+            ]
+        }
+    };
+    Json::Obj(m).to_string_compact().into_bytes()
+}
+
+// ------------------------------------------------------------- decoding
+
+fn err(msg: impl Into<String>) -> ProtoError {
+    ProtoError(msg.into())
+}
+
+fn get_u64(obj: &Json, key: &str) -> Result<u64, ProtoError> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| err(format!("missing or non-integer `{key}`")))
+}
+
+fn get_f64(obj: &Json, key: &str) -> Result<f64, ProtoError> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| err(format!("missing or non-numeric `{key}`")))
+}
+
+fn get_str<'a>(obj: &'a Json, key: &str) -> Result<&'a str, ProtoError> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| err(format!("missing or non-string `{key}`")))
+}
+
+fn get_items(obj: &Json) -> Result<Vec<u32>, ProtoError> {
+    let arr = obj
+        .get("items")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| err("missing or non-array `items`"))?;
+    arr.iter()
+        .map(|v| {
+            v.as_u64()
+                .and_then(|x| u32::try_from(x).ok())
+                .ok_or_else(|| err("`items` entries must be u32 item ids"))
+        })
+        .collect()
+}
+
+fn get_timeout(obj: &Json) -> Result<Option<u64>, ProtoError> {
+    match obj.get("timeout_ms") {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| err("`timeout_ms` must be a non-negative integer")),
+    }
+}
+
+fn get_metric(obj: &Json, default: MetricName) -> Result<MetricName, ProtoError> {
+    match obj.get("metric") {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => {
+            let s = v.as_str().ok_or_else(|| err("`metric` must be a string"))?;
+            MetricName::from_wire(s).ok_or_else(|| err(format!("unknown metric `{s}`")))
+        }
+    }
+}
+
+/// Parses a request payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
+    let text = std::str::from_utf8(payload).map_err(|_| err("payload is not UTF-8"))?;
+    let doc = json::parse(text).map_err(|e| err(format!("invalid JSON: {e}")))?;
+    if !matches!(doc, Json::Obj(_)) {
+        return Err(err("payload must be a JSON object"));
+    }
+    let id = get_u64(&doc, "id")?;
+    let timeout_ms = get_timeout(&doc)?;
+    match get_str(&doc, "type")? {
+        "containment" => {
+            let mode_s = get_str(&doc, "mode")?;
+            let mode = ContainmentMode::from_wire(mode_s)
+                .ok_or_else(|| err(format!("unknown containment mode `{mode_s}`")))?;
+            Ok(Request::Containment {
+                id,
+                mode,
+                items: get_items(&doc)?,
+                timeout_ms,
+            })
+        }
+        "range" => {
+            let radius = get_f64(&doc, "radius")?;
+            if !radius.is_finite() || radius < 0.0 {
+                return Err(err("`radius` must be finite and non-negative"));
+            }
+            Ok(Request::Range {
+                id,
+                items: get_items(&doc)?,
+                radius,
+                timeout_ms,
+            })
+        }
+        "similarity" => {
+            let min_sim = get_f64(&doc, "min_sim")?;
+            if !(0.0..=1.0).contains(&min_sim) {
+                return Err(err("`min_sim` must be within [0, 1]"));
+            }
+            Ok(Request::Similarity {
+                id,
+                items: get_items(&doc)?,
+                min_sim,
+                metric: get_metric(&doc, MetricName::Jaccard)?,
+                timeout_ms,
+            })
+        }
+        "knn" => Ok(Request::Knn {
+            id,
+            items: get_items(&doc)?,
+            k: get_u64(&doc, "k")?,
+            metric: get_metric(&doc, MetricName::Hamming)?,
+            timeout_ms,
+        }),
+        other => Err(err(format!("unknown request type `{other}`"))),
+    }
+}
+
+/// Parses a response payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
+    let text = std::str::from_utf8(payload).map_err(|_| err("payload is not UTF-8"))?;
+    let doc = json::parse(text).map_err(|e| err(format!("invalid JSON: {e}")))?;
+    if !matches!(doc, Json::Obj(_)) {
+        return Err(err("payload must be a JSON object"));
+    }
+    let id = get_u64(&doc, "id")?;
+    let ok = match doc.get("ok") {
+        Some(Json::Bool(b)) => *b,
+        _ => return Err(err("missing or non-boolean `ok`")),
+    };
+    if !ok {
+        let e = doc.get("error").ok_or_else(|| err("missing `error`"))?;
+        let code_s = get_str(e, "code")?;
+        let code = ErrorCode::from_wire(code_s)
+            .ok_or_else(|| err(format!("unknown error code `{code_s}`")))?;
+        let retry_after_ms = match e.get("retry_after_ms") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| err("`retry_after_ms` must be an integer"))?,
+            ),
+        };
+        return Ok(Response::Error {
+            id,
+            code,
+            message: get_str(e, "message")?.to_string(),
+            retry_after_ms,
+        });
+    }
+    if let Some(arr) = doc.get("neighbors") {
+        let arr = arr
+            .as_arr()
+            .ok_or_else(|| err("`neighbors` must be an array"))?;
+        let mut pairs = Vec::with_capacity(arr.len());
+        for pair in arr {
+            let p = pair
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| err("`neighbors` entries must be [dist, tid] pairs"))?;
+            let dist = p[0]
+                .as_f64()
+                .ok_or_else(|| err("neighbor dist must be numeric"))?;
+            let tid = p[1]
+                .as_u64()
+                .ok_or_else(|| err("neighbor tid must be a u64"))?;
+            pairs.push((dist, tid));
+        }
+        return Ok(Response::Neighbors { id, pairs });
+    }
+    if let Some(arr) = doc.get("tids") {
+        let arr = arr.as_arr().ok_or_else(|| err("`tids` must be an array"))?;
+        let tids = arr
+            .iter()
+            .map(|v| v.as_u64().ok_or_else(|| err("tids must be u64s")))
+            .collect::<Result<Vec<u64>, ProtoError>>()?;
+        return Ok(Response::Tids { id, tids });
+    }
+    Err(err("ok response carries neither `neighbors` nor `tids`"))
+}

@@ -1,0 +1,546 @@
+//! The TCP query server: fixed accept/worker thread model over the
+//! micro-batcher, plus an optional admin HTTP listener and graceful drain.
+//!
+//! One accept thread hands sockets to a fixed pool of `conn_workers`
+//! connection handlers through a shared queue; each handler reads frames
+//! incrementally (so it can observe the drain flag between reads), decodes
+//! and validates requests, and waits on its batch ticket with the
+//! remaining per-request deadline. A waiter that times out flips its
+//! [`sg_exec::CancelFlag`], so the executor skips any shard work and the
+//! merge for the abandoned query.
+//!
+//! Graceful drain ([`Server::join`], or a [`ShutdownHandle`] flipped from
+//! a signal handler) proceeds strictly in dependency order: stop
+//! accepting, let connection workers finish their in-flight requests,
+//! flush the batcher's admitted queue, then stop the admin listener —
+//! so every admitted query is answered and no thread is left behind.
+
+use crate::batcher::{BatchPolicy, BatchReply, Batcher, SubmitError};
+use crate::frame::{write_frame, FrameReader, Step, MAX_FRAME_DEFAULT};
+use crate::proto::{
+    decode_request, encode_response, ContainmentMode, ErrorCode, Request, Response,
+};
+use sg_exec::{BatchOutput, BatchQuery, ShardedExecutor};
+use sg_obs::{export, Registry, ServeObs};
+use sg_sig::{Metric, Signature};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tunables. The defaults bind ephemeral loopback ports and suit
+/// tests and demos; real deployments set `addr` (and usually
+/// `admin_addr`) explicitly.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Query listener address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Admin HTTP listener (`/metrics`, `/healthz`); `None` disables it.
+    pub admin_addr: Option<String>,
+    /// Fixed number of connection-handler threads.
+    pub conn_workers: usize,
+    /// Micro-batching and admission-control policy.
+    pub policy: BatchPolicy,
+    /// Frame-size cap in bytes.
+    pub max_frame: usize,
+    /// Deadline applied when a request carries no `timeout_ms`.
+    pub default_timeout: Duration,
+    /// Socket poll granularity: how often blocked reads wake to check the
+    /// drain flag.
+    pub poll: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            admin_addr: Some("127.0.0.1:0".into()),
+            conn_workers: 8,
+            policy: BatchPolicy::default(),
+            max_frame: MAX_FRAME_DEFAULT,
+            default_timeout: Duration::from_secs(1),
+            poll: Duration::from_millis(10),
+        }
+    }
+}
+
+/// Counters summarizing a completed run, returned by [`Server::join`].
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Requests admitted to the batcher.
+    pub requests: u64,
+    /// Requests refused with `SERVER_BUSY`.
+    pub busy_rejected: u64,
+    /// Requests that hit their deadline.
+    pub timeouts: u64,
+    /// Requests that failed internally.
+    pub errors: u64,
+}
+
+/// Cloneable remote control: flips the drain flag from anywhere (e.g. a
+/// signal handler thread). [`Server::join`] still performs the join.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Requests a graceful drain.
+    pub fn shutdown(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+struct ConnQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+}
+
+struct Inner {
+    exec: Arc<ShardedExecutor>,
+    batcher: Batcher,
+    obs: Arc<ServeObs>,
+    shutdown: Arc<AtomicBool>,
+    conns: ConnQueue,
+    config: ServeConfig,
+}
+
+/// A running query server; drop-in lifetime is managed via [`Server::join`].
+pub struct Server {
+    inner: Arc<Inner>,
+    registry: Arc<Registry>,
+    local_addr: SocketAddr,
+    admin_addr: Option<SocketAddr>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    admin: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listeners and starts every thread.
+    pub fn start(
+        exec: Arc<ShardedExecutor>,
+        registry: Arc<Registry>,
+        config: ServeConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let admin_listener = match &config.admin_addr {
+            Some(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let admin_addr = match &admin_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
+
+        let obs = ServeObs::register(&registry, "serve");
+        let batcher = Batcher::start(Arc::clone(&exec), config.policy.clone(), Arc::clone(&obs));
+        let inner = Arc::new(Inner {
+            exec,
+            batcher,
+            obs,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            conns: ConnQueue {
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+            },
+            config,
+        });
+
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("sg-serve-accept".into())
+                .spawn(move || accept_loop(&inner, listener))?
+        };
+        let workers = (0..inner.config.conn_workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("sg-serve-conn-{i}"))
+                    .spawn(move || conn_worker_loop(&inner))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let admin = match admin_listener {
+            Some(l) => Some({
+                let inner = Arc::clone(&inner);
+                let registry = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name("sg-serve-admin".into())
+                    .spawn(move || admin_loop(&inner, &registry, l))?
+            }),
+            None => None,
+        };
+
+        Ok(Server {
+            inner,
+            registry,
+            local_addr,
+            admin_addr,
+            accept: Some(accept),
+            workers,
+            admin: Some(admin).flatten(),
+        })
+    }
+
+    /// The bound query-listener address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The bound admin HTTP address, when enabled.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin_addr
+    }
+
+    /// A cloneable handle that triggers a graceful drain.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.inner.shutdown))
+    }
+
+    /// The metrics registry this server reports into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Graceful drain: stop accepting, finish in-flight requests, flush
+    /// the batcher, stop the admin listener, join every thread.
+    pub fn join(mut self) -> DrainReport {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.obs.draining.set(1);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Wake connection workers parked on the empty queue.
+        self.inner.conns.available.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Only after the last connection worker has returned can no new
+        // submits race the batcher's drain.
+        self.inner.batcher.drain();
+        if let Some(h) = self.admin.take() {
+            let _ = h.join();
+        }
+        let obs = &self.inner.obs;
+        DrainReport {
+            accepted: obs.accepted.get(),
+            requests: obs.requests.get(),
+            busy_rejected: obs.busy_rejected.get(),
+            timeouts: obs.timeouts.get(),
+            errors: obs.errors.get(),
+        }
+    }
+}
+
+fn lock_conns(q: &ConnQueue) -> std::sync::MutexGuard<'_, VecDeque<TcpStream>> {
+    q.queue.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn accept_loop(inner: &Inner, listener: TcpListener) {
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                inner.obs.accepted.inc();
+                lock_conns(&inner.conns).push_back(stream);
+                inner.conns.available.notify_one();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(inner.config.poll);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            // Transient accept failures (e.g. the peer aborted while
+            // queued) must not kill the listener.
+            Err(_) => std::thread::sleep(inner.config.poll),
+        }
+    }
+}
+
+fn conn_worker_loop(inner: &Inner) {
+    loop {
+        let stream = {
+            let mut q = lock_conns(&inner.conns);
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break s;
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let (guard, _) = inner
+                    .conns
+                    .available
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        };
+        inner.obs.connections.add(1);
+        serve_conn(inner, stream);
+        inner.obs.connections.add(-1);
+    }
+}
+
+/// Handles one connection until EOF, a fatal framing error, or drain.
+fn serve_conn(inner: &Inner, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(inner.config.poll));
+    let mut reader = FrameReader::new();
+    loop {
+        match reader.step(&mut stream, inner.config.max_frame) {
+            Ok(Step::Frame(payload)) => {
+                let resp = handle_payload(inner, &payload);
+                if write_frame(&mut stream, &encode_response(&resp)).is_err() {
+                    return;
+                }
+            }
+            Ok(Step::Pending) => {
+                // Finish any request already in flight, but don't start
+                // reading new ones once the server is draining.
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Ok(Step::Eof) => return,
+            Ok(Step::TooLarge(len)) => {
+                // The stream cannot be resynchronized: send a structured
+                // error frame, then close.
+                let resp = Response::Error {
+                    id: 0,
+                    code: ErrorCode::FrameTooLarge,
+                    message: format!(
+                        "frame of {len} bytes exceeds the {}-byte cap",
+                        inner.config.max_frame
+                    ),
+                    retry_after_ms: None,
+                };
+                let _ = write_frame(&mut stream, &encode_response(&resp));
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Decodes, validates, executes (through the batcher), and builds the
+/// response for one request payload.
+fn handle_payload(inner: &Inner, payload: &[u8]) -> Response {
+    let req = match decode_request(payload) {
+        Ok(req) => req,
+        Err(e) => {
+            inner.obs.errors.inc();
+            return Response::Error {
+                id: 0,
+                code: ErrorCode::BadRequest,
+                message: e.to_string(),
+                retry_after_ms: None,
+            };
+        }
+    };
+    let id = req.id();
+    let query = match to_batch_query(inner, &req) {
+        Ok(q) => q,
+        Err(message) => {
+            inner.obs.errors.inc();
+            return Response::Error {
+                id,
+                code: ErrorCode::BadRequest,
+                message,
+                retry_after_ms: None,
+            };
+        }
+    };
+    let timeout = req
+        .timeout_ms()
+        .map(Duration::from_millis)
+        .unwrap_or(inner.config.default_timeout);
+    let deadline = Instant::now() + timeout;
+    let ticket = match inner.batcher.submit(query, deadline) {
+        Ok(t) => t,
+        Err(SubmitError::Busy { retry_after_ms }) => {
+            return Response::Error {
+                id,
+                code: ErrorCode::ServerBusy,
+                message: "admission queue full".into(),
+                retry_after_ms: Some(retry_after_ms),
+            }
+        }
+        Err(SubmitError::ShuttingDown) => {
+            return Response::Error {
+                id,
+                code: ErrorCode::ShuttingDown,
+                message: "server is draining".into(),
+                retry_after_ms: None,
+            }
+        }
+    };
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    match ticket.rx.recv_timeout(remaining) {
+        Ok(BatchReply::Done(output)) => match output {
+            BatchOutput::Neighbors(neighbors) => Response::Neighbors {
+                id,
+                pairs: neighbors.into_iter().map(|n| (n.dist, n.tid)).collect(),
+            },
+            BatchOutput::Tids(tids) => Response::Tids { id, tids },
+        },
+        Ok(BatchReply::Expired) => {
+            inner.obs.timeouts.inc();
+            Response::Error {
+                id,
+                code: ErrorCode::DeadlineExceeded,
+                message: "deadline passed before dispatch".into(),
+                retry_after_ms: None,
+            }
+        }
+        Ok(BatchReply::Failed(message)) => Response::Error {
+            id,
+            code: ErrorCode::Internal,
+            message,
+            retry_after_ms: None,
+        },
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+            // Stop paying for an answer nobody will read: the flag makes
+            // the executor skip this query's remaining shard work + merge.
+            ticket.cancel.cancel();
+            inner.obs.timeouts.inc();
+            Response::Error {
+                id,
+                code: ErrorCode::DeadlineExceeded,
+                message: "deadline exceeded".into(),
+                retry_after_ms: None,
+            }
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+            inner.obs.errors.inc();
+            Response::Error {
+                id,
+                code: ErrorCode::Internal,
+                message: "batcher dropped the request".into(),
+                retry_after_ms: None,
+            }
+        }
+    }
+}
+
+/// Maps a validated wire request to the executor's batch-query form.
+fn to_batch_query(inner: &Inner, req: &Request) -> Result<BatchQuery, String> {
+    let nbits = inner.exec.nbits();
+    let sig_of = |items: &[u32]| -> Result<Signature, String> {
+        if let Some(&bad) = items.iter().find(|&&i| i >= nbits) {
+            return Err(format!(
+                "item id {bad} out of range: this index maps items to {nbits} signature bits"
+            ));
+        }
+        Ok(Signature::from_items(nbits, items))
+    };
+    match req {
+        Request::Containment { mode, items, .. } => {
+            let q = sig_of(items)?;
+            Ok(match mode {
+                ContainmentMode::Containing => BatchQuery::Containing { q },
+                ContainmentMode::ContainedIn => BatchQuery::ContainedIn { q },
+                ContainmentMode::Exact => BatchQuery::Exact { q },
+            })
+        }
+        Request::Range { items, radius, .. } => Ok(BatchQuery::Range {
+            q: sig_of(items)?,
+            eps: *radius,
+            metric: Metric::hamming(),
+        }),
+        Request::Similarity {
+            items,
+            min_sim,
+            metric,
+            ..
+        } => Ok(BatchQuery::Range {
+            q: sig_of(items)?,
+            eps: 1.0 - min_sim,
+            metric: metric.to_metric(),
+        }),
+        Request::Knn {
+            items, k, metric, ..
+        } => {
+            let k = usize::try_from(*k).map_err(|_| "`k` is out of range".to_string())?;
+            Ok(BatchQuery::Knn {
+                q: sig_of(items)?,
+                k,
+                metric: metric.to_metric(),
+            })
+        }
+    }
+}
+
+// --------------------------------------------------------- admin listener
+
+fn admin_loop(inner: &Inner, registry: &Registry, listener: TcpListener) {
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => serve_admin_conn(inner, registry, stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(inner.config.poll);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(inner.config.poll),
+        }
+    }
+}
+
+/// Minimal HTTP/1.1: answers exactly one request, then closes.
+fn serve_admin_conn(inner: &Inner, registry: &Registry, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    // Read until the end of the request head; the admin endpoints take no
+    // body.
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8192 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            export::to_prometheus(&registry.snapshot()),
+        ),
+        ("GET", "/healthz") => {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                ("503 Service Unavailable", "text/plain", "draining\n".into())
+            } else {
+                ("200 OK", "text/plain", "ok\n".into())
+            }
+        }
+        _ => ("404 Not Found", "text/plain", "not found\n".into()),
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}

@@ -1,0 +1,78 @@
+//! End-to-end demo: build an index, start the TCP server in-process, run
+//! a few queries through a real socket, then drain gracefully.
+//!
+//! ```text
+//! cargo run --example serve_demo
+//! ```
+
+use sg_exec::{ExecConfig, ShardedExecutor};
+use sg_obs::Registry;
+use sg_serve::{Client, ContainmentMode, MetricName, Response, ServeConfig, Server};
+use sg_sig::Signature;
+use std::sync::Arc;
+
+fn main() {
+    // A tiny clustered dataset: transaction `tid` holds items
+    // {tid % 32, tid % 32 + 1, 40}.
+    let nbits = 128;
+    let data: Vec<(u64, Signature)> = (0..2000)
+        .map(|tid| {
+            let base = (tid % 32) as u32;
+            (tid, Signature::from_items(nbits, &[base, base + 1, 40]))
+        })
+        .collect();
+    let exec = Arc::new(
+        ShardedExecutor::build(nbits, &data, &ExecConfig::default())
+            .expect("build sharded executor"),
+    );
+
+    let registry = Arc::new(Registry::new());
+    let server =
+        Server::start(exec, Arc::clone(&registry), ServeConfig::default()).expect("start server");
+    println!("server listening on {}", server.local_addr());
+
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Five nearest neighbors of {3, 4, 40} under Hamming distance.
+    match client
+        .knn(&[3, 4, 40], 5, MetricName::Hamming, None)
+        .unwrap()
+    {
+        Response::Neighbors { pairs, .. } => {
+            println!("knn({{3,4,40}}, 5):");
+            for (dist, tid) in pairs {
+                println!("  dist={dist:<4} tid={tid}");
+            }
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    // Everything containing both items {7, 8}.
+    match client
+        .containment(ContainmentMode::Containing, &[7, 8], None)
+        .unwrap()
+    {
+        Response::Tids { tids, .. } => {
+            println!("containing({{7,8}}): {} transactions", tids.len())
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    // Jaccard similarity >= 0.5 against {3, 4, 40}.
+    match client
+        .similarity(&[3, 4, 40], 0.5, MetricName::Jaccard, None)
+        .unwrap()
+    {
+        Response::Neighbors { pairs, .. } => {
+            println!("similarity({{3,4,40}}, >=0.5): {} hits", pairs.len())
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    drop(client);
+    let report = server.join();
+    println!(
+        "graceful drain complete: served={} busy_rejected={} errors={}",
+        report.requests, report.busy_rejected, report.errors
+    );
+}
