@@ -142,7 +142,7 @@ fn bench_queries(c: &mut Criterion) {
 }
 
 fn bench_sharded_exec(c: &mut Criterion) {
-    use sg_exec::{BatchQuery, ExecConfig, Partitioner, ShardedExecutor};
+    use sg_exec::{ExecConfig, Partitioner, QueryRequest, ShardedExecutor};
 
     let (data, queries, nbits) = workload();
     let m = Metric::jaccard();
@@ -159,9 +159,9 @@ fn bench_sharded_exec(c: &mut Criterion) {
             },
         )
         .unwrap();
-        let batch: Vec<BatchQuery> = queries
+        let batch: Vec<QueryRequest> = queries
             .iter()
-            .map(|q| BatchQuery::Knn {
+            .map(|q| QueryRequest::Knn {
                 q: q.clone(),
                 k: 10,
                 metric: m,

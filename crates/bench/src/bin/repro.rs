@@ -5,7 +5,7 @@
 //! repro [EXPERIMENT ...] [--scale F] [--queries N] [--out DIR]
 //!
 //! EXPERIMENT: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-//!             fig14 fig15 fig16 fig17 ablate scaling serve all
+//!             fig14 fig15 fig16 fig17 ablate scaling serve ingest all
 //!             (default: all)
 //! --scale F   scales every dataset cardinality by F (default 1.0 = the
 //!             paper's sizes; use 0.1 for a quick pass)
@@ -69,7 +69,7 @@ fn parse_args() -> Opts {
             }
             "--help" | "-h" => {
                 println!("repro [EXPERIMENT ...] [--scale F] [--queries N] [--out DIR]");
-                println!("experiments: table1 fig5..fig17 ablate scaling serve all");
+                println!("experiments: table1 fig5..fig17 ablate scaling serve ingest all");
                 std::process::exit(0);
             }
             other if other.starts_with('-') => die(&format!("unknown flag {other}")),
@@ -155,6 +155,9 @@ fn main() {
     }
     if want("serve") {
         finish_section(registry, &mut last, serve(&opts), &mut tables);
+    }
+    if want("ingest") {
+        finish_section(registry, &mut last, ingest(&opts), &mut tables);
     }
 
     for (t, metrics) in &tables {
@@ -1010,7 +1013,7 @@ fn wrap_tree(ds: &sg_quest::Dataset, data: &[(u64, Signature)], tree: SgTree) ->
 /// configuration pushes the same k-NN batch through the executor and
 /// reports queries/second plus the per-query fan-out costs.
 fn scaling(opts: &Opts) -> Vec<Table> {
-    use sg_exec::{BatchQuery, ExecConfig, Partitioner, ShardedExecutor};
+    use sg_exec::{ExecConfig, Partitioner, QueryRequest, ShardedExecutor};
 
     let d = scaled(100_000, opts.scale);
     eprintln!("[scaling] sharded executor on {}…", dataset_name(8, 4, d));
@@ -1054,9 +1057,9 @@ fn scaling(opts: &Opts) -> Vec<Table> {
         .expect("executor config");
         let build_secs = t0.elapsed().as_secs_f64();
 
-        let batch: Vec<BatchQuery> = queries
+        let batch: Vec<QueryRequest> = queries
             .iter()
-            .map(|q| BatchQuery::Knn {
+            .map(|q| QueryRequest::Knn {
                 q: q.clone(),
                 k: 10,
                 metric: m,
@@ -1073,8 +1076,9 @@ fn scaling(opts: &Opts) -> Vec<Table> {
             base_qps = qps;
         }
         let n = results.len() as f64;
-        let nodes: u64 = results.iter().map(|r| r.stats.total.nodes_accessed).sum();
-        let merge_ns: u64 = results.iter().map(|r| r.stats.merge_ns).sum();
+        let ok = results.iter().flatten().collect::<Vec<_>>();
+        let nodes: u64 = ok.iter().map(|r| r.stats.nodes_accessed).sum();
+        let merge_ns: u64 = ok.iter().map(|r| r.merge_ns).sum();
         out.row(vec![
             shards.to_string(),
             exec.threads().to_string(),
@@ -1172,6 +1176,134 @@ fn serve(opts: &Opts) -> Vec<Table> {
         match sg_serve::append_bench_json(path, &cfg, &report) {
             Ok(()) => eprintln!("[serve] appended trajectory entry to {path}"),
             Err(e) => eprintln!("[serve] could not write {path}: {e}"),
+        }
+    }
+    vec![out]
+}
+
+// ------------------------------------------------------------- Ingest
+
+/// The `ingest` figure: durable write throughput of the sharded
+/// executor's WAL path against group-commit batch size and fsync policy,
+/// plus the recovery (replay) rate a crash would pay. The fixed
+/// `(always, 256)` point also appends a perf-trajectory entry to
+/// `BENCH_ingest.json`.
+fn ingest(opts: &Opts) -> Vec<Table> {
+    use sg_bench::workloads::crash_ops;
+    use sg_exec::{DurabilityConfig, ExecConfig, FsyncPolicy, Partitioner, ShardedExecutor};
+    use sg_obs::json::Json;
+
+    const NBITS: u32 = 256;
+    const SHARDS: usize = 4;
+    eprintln!("[ingest] durable write path, {SHARDS} shards…");
+
+    let mut out = Table::new(
+        "ingest",
+        "Durable ingest: WAL group-commit throughput and replay rate",
+        &[
+            "fsync",
+            "batch",
+            "ops",
+            "writes/s",
+            "wal MB",
+            "replay rec/s",
+            "recovered",
+        ],
+    );
+    let mut trajectory: Option<(f64, f64)> = None;
+    for fsync in [FsyncPolicy::Always, FsyncPolicy::OsOnly] {
+        for batch in [1usize, 32, 256] {
+            // A per-op fsync is orders of magnitude slower; shrink its
+            // op count so the figure stays a quick pass.
+            let n_ops = if matches!(fsync, FsyncPolicy::Always) && batch == 1 {
+                scaled(2_000, opts.scale)
+            } else {
+                scaled(20_000, opts.scale)
+            };
+            let ops = crash_ops(NBITS, n_ops, SEED);
+            let dir = std::env::temp_dir().join(format!(
+                "sg-repro-ingest-{}-{batch}-{:?}",
+                std::process::id(),
+                fsync
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let config = ExecConfig {
+                shards: SHARDS,
+                partitioner: Partitioner::RoundRobin,
+                page_size: PAGE_SIZE,
+                pool_frames: POOL_FRAMES,
+                ..ExecConfig::default()
+            };
+            let durability = DurabilityConfig {
+                dir: dir.clone(),
+                fsync,
+            };
+            let exec = ShardedExecutor::open_durable(NBITS, &config, &durability)
+                .expect("open durable executor");
+            let registry = Registry::new();
+            let obs = exec.register_ingest_obs(&registry, "ingest");
+
+            let t0 = Instant::now();
+            for chunk in ops.chunks(batch) {
+                for ack in exec.write_batch(chunk.to_vec()) {
+                    ack.expect("ingest op");
+                }
+            }
+            let write_secs = t0.elapsed().as_secs_f64();
+            let wal_mb = obs.wal_bytes.get() as f64 / (1024.0 * 1024.0);
+            drop(exec); // no checkpoint: reopen pays the full WAL replay
+
+            let t0 = Instant::now();
+            let exec = ShardedExecutor::open_durable(NBITS, &config, &durability)
+                .expect("reopen durable executor");
+            let replay_secs = t0.elapsed().as_secs_f64().max(1e-9);
+            let report = exec.recovery().expect("durable reopen has a report");
+            let writes_per_s = n_ops as f64 / write_secs.max(1e-9);
+            let replay_per_s = report.replayed as f64 / replay_secs;
+            out.row(vec![
+                match fsync {
+                    FsyncPolicy::Always => "always".to_string(),
+                    FsyncPolicy::OsOnly => "os".to_string(),
+                },
+                batch.to_string(),
+                n_ops.to_string(),
+                f(writes_per_s),
+                f(wal_mb),
+                f(replay_per_s),
+                exec.len().to_string(),
+            ]);
+            if matches!(fsync, FsyncPolicy::Always) && batch == 256 {
+                trajectory = Some((writes_per_s, replay_per_s));
+            }
+            drop(exec);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    // The fixed ingest point tracked across PRs.
+    if let Some((writes_per_s, replay_per_s)) = trajectory {
+        let path = "BENCH_ingest.json";
+        let mut entries = match std::fs::read_to_string(path) {
+            Ok(text) => match sg_obs::json::parse(&text) {
+                Ok(Json::Arr(entries)) => entries,
+                _ => Vec::new(),
+            },
+            Err(_) => Vec::new(),
+        };
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        entries.push(Json::Obj(vec![
+            ("unix_ms".into(), Json::U64(unix_ms)),
+            ("fsync".into(), Json::Str("always".into())),
+            ("batch".into(), Json::U64(256)),
+            ("writes_per_s".into(), Json::F64(writes_per_s)),
+            ("replay_per_s".into(), Json::F64(replay_per_s)),
+        ]));
+        match std::fs::write(path, Json::Arr(entries).to_string_pretty()) {
+            Ok(()) => eprintln!("[ingest] appended trajectory entry to {path}"),
+            Err(e) => eprintln!("[ingest] could not write {path}: {e}"),
         }
     }
     vec![out]

@@ -149,6 +149,50 @@ pub fn census_instance(
     (instance_of(&ds, split), queries)
 }
 
+/// The deterministic write-op stream shared by the crash-recovery test
+/// (`tests/crash_recovery.rs`) and its SIGKILLed child process
+/// (`crash_ingest_child`): both sides derive op `i` from `(nbits, n_ops,
+/// seed)` alone, so the parent can reconstruct exactly what the child was
+/// applying when it died.
+///
+/// The stream is ~70% inserts of fresh tids (so it is valid to apply from
+/// an empty index), with deletes and upserts of earlier tids mixed in so
+/// recovery is exercised on tombstones and replacements, not just
+/// appends.
+pub fn crash_ops(nbits: u32, n_ops: usize, seed: u64) -> Vec<sg_exec::WriteOp> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ops = Vec::with_capacity(n_ops);
+    let mut next_tid: Tid = 0;
+    for _ in 0..n_ops {
+        let sig_of = |rng: &mut StdRng| {
+            let items: Vec<u32> = (0..8).map(|_| rng.gen_range(0..nbits)).collect();
+            Signature::from_items(nbits, &items)
+        };
+        let roll: u32 = rng.gen_range(0..100);
+        let op = if roll < 70 || next_tid == 0 {
+            let tid = next_tid;
+            next_tid += 1;
+            sg_exec::WriteOp::Insert {
+                tid,
+                sig: sig_of(&mut rng),
+            }
+        } else if roll < 85 {
+            sg_exec::WriteOp::Delete {
+                tid: rng.gen_range(0..next_tid),
+            }
+        } else {
+            sg_exec::WriteOp::Upsert {
+                tid: rng.gen_range(0..next_tid),
+                sig: sig_of(&mut rng),
+            }
+        };
+        ops.push(op);
+    }
+    ops
+}
+
 /// Assembles the three indexes over a dataset.
 pub fn instance_of(ds: &Dataset, split: SplitPolicy) -> Instance {
     let data = pairs_of(ds);

@@ -11,9 +11,10 @@
 
 use crate::node::{entry_encoded_len, Entry, Node, NODE_HEADER};
 use crate::split::{rebalance, SplitBudget};
-use crate::tree::{SgTree, TreeError};
+use crate::tree::SgTree;
 use crate::{Tid, TreeConfig};
 use sg_pager::PageStore;
+use sg_pager::SgError;
 use sg_sig::Signature;
 use std::sync::Arc;
 
@@ -45,7 +46,7 @@ pub fn bulk_load(
     config: TreeConfig,
     data: impl IntoIterator<Item = (Tid, Signature)>,
     fill: f64,
-) -> Result<SgTree, TreeError> {
+) -> Result<SgTree, SgError> {
     let mut tree = SgTree::create(store, config)?;
     let nbits = tree.nbits();
 

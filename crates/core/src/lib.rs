@@ -46,6 +46,7 @@ mod node;
 mod split;
 mod tree;
 
+pub mod api;
 pub mod bulkload;
 pub mod cluster;
 pub mod query;
@@ -53,13 +54,17 @@ pub mod scan;
 pub mod stats;
 pub mod treestats;
 
+pub use api::{CancelFlag, QueryOptions, QueryOutput, QueryRequest, QueryResponse, SetIndex};
 pub use config::{ChooseSubtree, SplitPolicy, TreeConfig};
 pub use node::{Entry, Node};
 pub use query::{JoinPair, Neighbor, NnIter, SharedBound};
 pub use scan::ScanIndex;
 pub use sg_obs::{IndexObs, QueryTrace, Registry};
+pub use sg_pager::{SgError, SgResult};
 pub use stats::QueryStats;
-pub use tree::{SgTree, TreeError};
+pub use tree::SgTree;
+#[allow(deprecated)]
+pub use tree::TreeError;
 pub use treestats::{LevelStats, TreeStats};
 
 /// Transaction identifier stored in leaf entries.

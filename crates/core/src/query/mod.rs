@@ -324,10 +324,21 @@ impl SgTree {
         join::closest_pair(self, other, metric)
     }
 
-    /// [`SgTree::knn`] with an EXPLAIN-style [`QueryTrace`]: per-level
-    /// nodes visited, entries pruned by the directory lower bound,
-    /// lower-bound evaluations and exact distances, plus pool behaviour.
-    pub fn knn_explain(
+    /// Runs `f` (one of the public untraced query methods' bodies) under a
+    /// fresh EXPLAIN trace labelled `label`. Used by the unified
+    /// [`SgTree::query`](crate::api) path for the kinds that never had a
+    /// dedicated `*_explain` method.
+    pub(crate) fn run_traced_request<R>(
+        &self,
+        label: &str,
+        f: impl FnOnce(&SgTree, &mut SearchCtx) -> R,
+    ) -> (R, QueryStats, QueryTrace) {
+        self.run_query_traced(label, |ctx| f(self, ctx))
+    }
+
+    /// Traced k-NN (depth-first), for the unified API and the deprecated
+    /// `knn_explain` shim.
+    pub(crate) fn knn_traced(
         &self,
         q: &Signature,
         k: usize,
@@ -340,9 +351,8 @@ impl SgTree {
         (result, stats, trace)
     }
 
-    /// [`SgTree::knn_shared`] with an EXPLAIN-style [`QueryTrace`] — the
-    /// per-shard trace the sharded executor nests under its fan-out trace.
-    pub fn knn_shared_explain(
+    /// Traced shared-bound k-NN, for the unified API's sharded path.
+    pub(crate) fn knn_shared_traced(
         &self,
         q: &Signature,
         k: usize,
@@ -357,7 +367,84 @@ impl SgTree {
         (result, stats, trace)
     }
 
+    /// Traced range query, for the unified API.
+    pub(crate) fn range_traced(
+        &self,
+        q: &Signature,
+        eps: f64,
+        metric: &Metric,
+    ) -> (Vec<Neighbor>, QueryStats, QueryTrace) {
+        let label = format!("range eps={eps} metric={:?}", metric.kind());
+        let (result, stats, mut trace) =
+            self.run_query_traced(&label, |ctx| dfs::range(self, q, eps, metric, ctx));
+        trace.results = result.len() as u64;
+        (result, stats, trace)
+    }
+
+    /// Traced containment query, for the unified API.
+    pub(crate) fn containing_traced(&self, q: &Signature) -> (Vec<Tid>, QueryStats, QueryTrace) {
+        let (result, stats, mut trace) = self.run_traced_request("containment", |tree, ctx| {
+            containment::containing(tree, q, ctx)
+        });
+        trace.results = result.len() as u64;
+        (result, stats, trace)
+    }
+
+    /// Traced subset query, for the unified API (`contained_in` has no
+    /// legacy `*_explain` twin).
+    pub(crate) fn contained_in_traced(&self, q: &Signature) -> (Vec<Tid>, QueryStats, QueryTrace) {
+        let (result, stats, mut trace) = self.run_traced_request("contained-in", |tree, ctx| {
+            containment::contained_in(tree, q, ctx)
+        });
+        trace.results = result.len() as u64;
+        (result, stats, trace)
+    }
+
+    /// Traced exact-match query, for the unified API.
+    pub(crate) fn exact_traced(&self, q: &Signature) -> (Vec<Tid>, QueryStats, QueryTrace) {
+        let (result, stats, mut trace) =
+            self.run_traced_request("exact", |tree, ctx| containment::exact(tree, q, ctx));
+        trace.results = result.len() as u64;
+        (result, stats, trace)
+    }
+
+    /// [`SgTree::knn`] with an EXPLAIN-style [`QueryTrace`]: per-level
+    /// nodes visited, entries pruned by the directory lower bound,
+    /// lower-bound evaluations and exact distances, plus pool behaviour.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `query(&QueryRequest::Knn { .. }, &QueryOptions::traced())`"
+    )]
+    pub fn knn_explain(
+        &self,
+        q: &Signature,
+        k: usize,
+        metric: &Metric,
+    ) -> (Vec<Neighbor>, QueryStats, QueryTrace) {
+        self.knn_traced(q, k, metric)
+    }
+
+    /// [`SgTree::knn_shared`] with an EXPLAIN-style [`QueryTrace`] — the
+    /// per-shard trace the sharded executor nests under its fan-out trace.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `query_shared(&QueryRequest::Knn { .. }, &QueryOptions::traced(), bound)`"
+    )]
+    pub fn knn_shared_explain(
+        &self,
+        q: &Signature,
+        k: usize,
+        metric: &Metric,
+        shared: &SharedBound,
+    ) -> (Vec<Neighbor>, QueryStats, QueryTrace) {
+        self.knn_shared_traced(q, k, metric, shared)
+    }
+
     /// [`SgTree::knn_best_first`] with an EXPLAIN-style [`QueryTrace`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `query` with `QueryOptions::traced()` (best-first stays available untraced)"
+    )]
     pub fn knn_best_first_explain(
         &self,
         q: &Signature,
@@ -372,24 +459,25 @@ impl SgTree {
     }
 
     /// [`SgTree::range`] with an EXPLAIN-style [`QueryTrace`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `query(&QueryRequest::Range { .. }, &QueryOptions::traced())`"
+    )]
     pub fn range_explain(
         &self,
         q: &Signature,
         eps: f64,
         metric: &Metric,
     ) -> (Vec<Neighbor>, QueryStats, QueryTrace) {
-        let label = format!("range eps={eps} metric={:?}", metric.kind());
-        let (result, stats, mut trace) =
-            self.run_query_traced(&label, |ctx| dfs::range(self, q, eps, metric, ctx));
-        trace.results = result.len() as u64;
-        (result, stats, trace)
+        self.range_traced(q, eps, metric)
     }
 
     /// [`SgTree::containing`] with an EXPLAIN-style [`QueryTrace`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `query(&QueryRequest::Containing { .. }, &QueryOptions::traced())`"
+    )]
     pub fn containing_explain(&self, q: &Signature) -> (Vec<Tid>, QueryStats, QueryTrace) {
-        let (result, stats, mut trace) =
-            self.run_query_traced("containment", |ctx| containment::containing(self, q, ctx));
-        trace.results = result.len() as u64;
-        (result, stats, trace)
+        self.containing_traced(q)
     }
 }

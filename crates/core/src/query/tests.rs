@@ -1,6 +1,7 @@
 //! Query correctness against the sequential-scan ground truth, plus
 //! behaviour checks specific to the branch-and-bound algorithms.
 
+use crate::api::{QueryOptions, QueryRequest};
 use crate::query::Neighbor;
 use crate::scan::ScanIndex;
 use crate::tree::SgTree;
@@ -566,7 +567,18 @@ fn knn_explain_trace_is_consistent_and_roundtrips() {
     // lower bound of |q| = 8, well beyond the in-cluster k-th distance, so
     // the (strict) canonical pruning rule demonstrably fires.
     let q = Signature::from_items(NBITS, &[1, 3, 5, 9, 14, 17, 22, 28]);
-    let (hits, stats, trace) = tree.knn_explain(&q, 10, &m);
+    let resp = tree
+        .query(
+            &QueryRequest::Knn {
+                q: q.clone(),
+                k: 10,
+                metric: m,
+            },
+            &QueryOptions::traced(),
+        )
+        .unwrap();
+    let hits = resp.output.neighbors().unwrap();
+    let (stats, trace) = (resp.stats, resp.trace.expect("trace requested"));
     assert_eq!(hits.len(), 10);
     assert_eq!(trace.results, 10);
     assert_trace_matches_stats(&trace, &stats);
@@ -588,6 +600,7 @@ fn knn_explain_trace_is_consistent_and_roundtrips() {
 }
 
 #[test]
+#[allow(deprecated)] // the deprecated shim itself is under test here
 fn best_first_explain_trace_is_consistent() {
     let data = make_data(800);
     let tree = tree_of(&data);
@@ -602,37 +615,179 @@ fn best_first_explain_trace_is_consistent() {
 }
 
 #[test]
-fn range_and_containing_explain_traces_are_consistent() {
+fn range_and_containing_traces_are_consistent() {
     let data = make_data(500);
     let tree = tree_of(&data);
     let m = Metric::hamming();
     let q = Signature::from_items(NBITS, &[3, 17]);
-    let (hits, stats, trace) = tree.range_explain(&q, 4.0, &m);
-    assert_eq!(trace.results, hits.len() as u64);
-    assert_trace_matches_stats(&trace, &stats);
+    let resp = tree
+        .query(
+            &QueryRequest::Range {
+                q: q.clone(),
+                eps: 4.0,
+                metric: m,
+            },
+            &QueryOptions::traced(),
+        )
+        .unwrap();
+    let trace = resp.trace.expect("trace requested");
+    assert_eq!(trace.results, resp.output.len() as u64);
+    assert_trace_matches_stats(&trace, &resp.stats);
     assert_trace_conservation(&trace);
 
-    let (chits, cstats, ctrace) = tree.containing_explain(&q);
-    assert_eq!(ctrace.results, chits.len() as u64);
-    assert_eq!(ctrace.nodes_accessed, cstats.nodes_accessed);
-    assert_eq!(ctrace.data_compared, cstats.data_compared);
+    let cresp = tree
+        .query(
+            &QueryRequest::Containing { q: q.clone() },
+            &QueryOptions::traced(),
+        )
+        .unwrap();
+    let ctrace = cresp.trace.expect("trace requested");
+    assert_eq!(ctrace.results, cresp.output.len() as u64);
+    assert_eq!(ctrace.nodes_accessed, cresp.stats.nodes_accessed);
+    assert_eq!(ctrace.data_compared, cresp.stats.data_compared);
     assert_trace_conservation(&ctrace);
     let back = crate::QueryTrace::from_json(&ctrace.to_json()).unwrap();
     assert_eq!(back, ctrace);
 }
 
 #[test]
-fn explain_variants_do_not_change_results_or_counters() {
+fn traced_queries_do_not_change_results_or_counters() {
     let data = make_data(400);
     let tree = tree_of(&data);
     let m = Metric::hamming();
     let q = Signature::from_items(NBITS, &[7, 21, 60]);
     let (plain, ps) = tree.knn(&q, 10, &m);
-    let (traced, ts, _) = tree.knn_explain(&q, 10, &m);
+    let resp = tree
+        .query(
+            &QueryRequest::Knn {
+                q: q.clone(),
+                k: 10,
+                metric: m,
+            },
+            &QueryOptions::traced(),
+        )
+        .unwrap();
+    let traced = resp.output.neighbors().unwrap().to_vec();
+    let ts = resp.stats;
     assert_eq!(dists(&plain), dists(&traced));
     assert_eq!(ps.nodes_accessed, ts.nodes_accessed);
     assert_eq!(ps.data_compared, ts.data_compared);
     assert_eq!(ps.dist_computations, ts.dist_computations);
+}
+
+// ---------------------------------------------------------------------------
+// The unified API: untraced parity, option handling, and SetIndex dynamics.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unified_query_matches_legacy_methods_untraced() {
+    use crate::api::QueryOutput;
+    let data = make_data(600);
+    let tree = tree_of(&data);
+    let m = Metric::jaccard();
+    let q = Signature::from_items(NBITS, &[5, 9, 33]);
+    let opts = QueryOptions::default();
+
+    let (legacy, _) = tree.knn(&q, 7, &m);
+    let resp = tree
+        .query(
+            &QueryRequest::Knn {
+                q: q.clone(),
+                k: 7,
+                metric: m,
+            },
+            &opts,
+        )
+        .unwrap();
+    assert_eq!(resp.output, QueryOutput::Neighbors(legacy));
+    assert!(resp.trace.is_none());
+    assert!(resp.per_shard.is_empty());
+
+    let (legacy_r, _) = tree.range(&q, 0.7, &m);
+    let resp = tree
+        .query(
+            &QueryRequest::Range {
+                q: q.clone(),
+                eps: 0.7,
+                metric: m,
+            },
+            &opts,
+        )
+        .unwrap();
+    assert_eq!(resp.output, QueryOutput::Neighbors(legacy_r));
+
+    for (req, legacy) in [
+        (
+            QueryRequest::Containing { q: q.clone() },
+            tree.containing(&q).0,
+        ),
+        (
+            QueryRequest::ContainedIn { q: q.clone() },
+            tree.contained_in(&q).0,
+        ),
+        (QueryRequest::Exact { q: q.clone() }, tree.exact(&q).0),
+    ] {
+        let resp = tree.query(&req, &opts).unwrap();
+        assert_eq!(resp.output, QueryOutput::Tids(legacy), "{}", req.label());
+    }
+}
+
+#[test]
+fn unified_query_rejects_cancelled_mismatched_and_expired() {
+    use crate::api::CancelFlag;
+    use sg_pager::SgError;
+    let data = make_data(100);
+    let tree = tree_of(&data);
+    let m = Metric::hamming();
+    let req = QueryRequest::Knn {
+        q: Signature::from_items(NBITS, &[1]),
+        k: 3,
+        metric: m,
+    };
+
+    let cancel = CancelFlag::new();
+    cancel.cancel();
+    let opts = QueryOptions {
+        cancel: Some(cancel),
+        ..QueryOptions::default()
+    };
+    assert!(matches!(tree.query(&req, &opts), Err(SgError::Cancelled)));
+
+    let opts = QueryOptions {
+        deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+        ..QueryOptions::default()
+    };
+    assert!(matches!(tree.query(&req, &opts), Err(SgError::Cancelled)));
+
+    let bad = QueryRequest::Exact {
+        q: Signature::from_items(NBITS * 2, &[1]),
+    };
+    assert!(matches!(
+        tree.query(&bad, &QueryOptions::default()),
+        Err(SgError::Invalid(_))
+    ));
+}
+
+#[test]
+fn set_index_trait_mutates_and_queries_through_dyn() {
+    use crate::api::SetIndex;
+    let mut tree = SgTree::create(Arc::new(MemStore::new(512)), TreeConfig::new(NBITS)).unwrap();
+    let idx: &mut dyn SetIndex = &mut tree;
+    let a = Signature::from_items(NBITS, &[1, 2, 3]);
+    let b = Signature::from_items(NBITS, &[4, 5]);
+    idx.insert(7, &a).unwrap();
+    idx.insert(8, &b).unwrap();
+    assert_eq!(idx.len(), 2);
+    let resp = idx
+        .query(
+            &QueryRequest::Exact { q: a.clone() },
+            &QueryOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(resp.output.tids().unwrap(), &[7]);
+    assert!(idx.delete(7, &a).unwrap());
+    assert!(!idx.delete(7, &a).unwrap());
+    assert_eq!(idx.len(), 1);
 }
 
 // ---------------------------------------------------------------------------

@@ -89,6 +89,11 @@ impl ScanIndex {
         self.pages.len()
     }
 
+    /// Signature width the index stores.
+    pub fn nbits(&self) -> u32 {
+        self.nbits
+    }
+
     /// The buffer pool (for I/O statistics and cache control).
     pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool

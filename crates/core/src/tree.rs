@@ -5,33 +5,18 @@ use crate::config::{ChooseSubtree, SplitPolicy, TreeConfig};
 use crate::node::{Entry, Node};
 use crate::Tid;
 use sg_obs::{IndexObs, PoolObs, Registry};
-use sg_pager::{BufferPool, PageId, PageStore};
+use sg_pager::{BufferPool, PageId, PageStore, SgError};
 use sg_sig::Signature;
-use std::fmt;
 use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"SGTREE01";
 
-/// Errors surfaced by tree construction and persistence.
-#[derive(Debug)]
-pub enum TreeError {
-    /// The meta page does not look like an SG-tree (bad magic or fields).
-    BadMeta(String),
-    /// The configuration cannot work on the store (e.g. pages too small to
-    /// hold even two worst-case entries).
-    BadConfig(String),
-}
-
-impl fmt::Display for TreeError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            TreeError::BadMeta(m) => write!(f, "bad SG-tree meta page: {m}"),
-            TreeError::BadConfig(m) => write!(f, "bad SG-tree config: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for TreeError {}
+/// Former per-crate error type, now an alias of the workspace-wide
+/// [`SgError`] (the `BadMeta` / `BadConfig` variants live there), so
+/// `matches!(err, Err(SgError::BadConfig(_)))`-style call sites keep
+/// compiling while they migrate.
+#[deprecated(since = "0.1.0", note = "use `SgError` (re-exported by this crate)")]
+pub type TreeError = SgError;
 
 /// A signature tree over a page store.
 ///
@@ -60,10 +45,10 @@ pub struct SgTree {
 impl SgTree {
     /// Creates a new, empty tree on `store`. Claims two pages: the meta
     /// page and an empty root leaf.
-    pub fn create(store: Arc<dyn PageStore>, config: TreeConfig) -> Result<SgTree, TreeError> {
+    pub fn create(store: Arc<dyn PageStore>, config: TreeConfig) -> Result<SgTree, SgError> {
         let capacity = config.capacity_for(store.page_size());
         if capacity < 2 {
-            return Err(TreeError::BadConfig(format!(
+            return Err(SgError::BadConfig(format!(
                 "page size {} fits only {} worst-case {}-bit entries; need ≥ 2",
                 store.page_size(),
                 capacity,
@@ -99,24 +84,24 @@ impl SgTree {
         store: Arc<dyn PageStore>,
         meta_page: PageId,
         config_hints: TreeConfig,
-    ) -> Result<SgTree, TreeError> {
+    ) -> Result<SgTree, SgError> {
         let pool = Arc::new(BufferPool::new(store, config_hints.pool_frames));
         let page = pool.read(meta_page);
         if &page[0..8] != MAGIC {
-            return Err(TreeError::BadMeta("magic mismatch".into()));
+            return Err(SgError::BadMeta("magic mismatch".into()));
         }
         let nbits = u32::from_le_bytes(page[8..12].try_into().unwrap());
         let root = u64::from_le_bytes(page[12..20].try_into().unwrap());
         let height = u16::from_le_bytes(page[20..22].try_into().unwrap());
         let len = u64::from_le_bytes(page[22..30].try_into().unwrap());
         let split = SplitPolicy::from_byte(page[30])
-            .ok_or_else(|| TreeError::BadMeta(format!("unknown split policy {}", page[30])))?;
+            .ok_or_else(|| SgError::BadMeta(format!("unknown split policy {}", page[30])))?;
         let choose = ChooseSubtree::from_byte(page[31])
-            .ok_or_else(|| TreeError::BadMeta(format!("unknown choose policy {}", page[31])))?;
+            .ok_or_else(|| SgError::BadMeta(format!("unknown choose policy {}", page[31])))?;
         let compression = page[32] != 0;
         let min_fill = f64::from_le_bytes(page[33..41].try_into().unwrap());
         if height == 0 {
-            return Err(TreeError::BadMeta("zero height".into()));
+            return Err(SgError::BadMeta("zero height".into()));
         }
         let config = TreeConfig {
             nbits,
@@ -405,7 +390,7 @@ mod tests {
     #[test]
     fn create_rejects_tiny_pages() {
         let err = SgTree::create(Arc::new(MemStore::new(64)), TreeConfig::new(1000));
-        assert!(matches!(err, Err(TreeError::BadConfig(_))));
+        assert!(matches!(err, Err(SgError::BadConfig(_))));
     }
 
     #[test]
@@ -435,7 +420,7 @@ mod tests {
         let id = pool.allocate();
         pool.write(id, &vec![7u8; 1024]);
         let err = SgTree::open(store, id, TreeConfig::new(64));
-        assert!(matches!(err, Err(TreeError::BadMeta(_))));
+        assert!(matches!(err, Err(SgError::BadMeta(_))));
     }
 
     #[test]

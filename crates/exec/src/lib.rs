@@ -19,15 +19,27 @@
 //!   publishes its local k-th-best distance into a lock-free global
 //!   bound, so one shard's good neighbors prune another shard's search.
 //! * [`ShardedExecutor::execute_batch`] — pipeline many heterogeneous
-//!   queries through the pool at once; merges run on whichever worker
-//!   finishes a query's last shard.
-//! * [`ShardedExecutor::knn_explain`] — an EXPLAIN trace whose children
-//!   are the per-shard traces ([`sg_obs::QueryTrace::children`]).
+//!   [`QueryRequest`]s through the pool at once; merges run on whichever
+//!   worker finishes a query's last shard. [`QueryOptions::traced`] asks
+//!   any query for an EXPLAIN trace whose children are the per-shard
+//!   traces ([`sg_obs::QueryTrace::children`]).
+//! * **Live writes** — [`ShardedExecutor::insert`] / `delete` / `upsert`
+//!   route to one shard by tid ([`Partitioner::route`]) behind a
+//!   per-shard `RwLock`, so queries keep running against the other
+//!   shards while a writer mutates;
+//!   [`ShardedExecutor::write_batch`] group-commits a mixed batch.
+//! * **Durability** — [`ShardedExecutor::open_durable`] puts a CRC-framed
+//!   write-ahead log and checkpoint snapshot under every shard
+//!   ([`DurabilityConfig`]): writes are logged and fsynced *before* they
+//!   are applied and acknowledged, and reopening replays snapshot + WAL
+//!   back to the last acknowledged write
+//!   ([`ShardedExecutor::recovery`]).
 //!
 //! ## Quick example
 //!
 //! ```
-//! use sg_exec::{ExecConfig, Partitioner, ShardedExecutor};
+//! use sg_exec::{ExecConfig, Partitioner, QueryOptions, QueryOutput, QueryRequest,
+//!               ShardedExecutor};
 //! use sg_sig::{Metric, Signature};
 //!
 //! let nbits = 64;
@@ -40,9 +52,26 @@
 //!     &ExecConfig { shards: 4, partitioner: Partitioner::RoundRobin, ..ExecConfig::default() },
 //! )
 //! .unwrap();
-//! let (hits, stats) = exec.knn(&Signature::from_items(nbits, &[3, 40]), 5, &Metric::hamming());
-//! assert_eq!(hits.len(), 5);
-//! assert_eq!(stats.per_shard.len(), 4);
+//! // Unified query surface: one request enum, one response struct.
+//! let resp = exec
+//!     .query(
+//!         &QueryRequest::Knn {
+//!             q: Signature::from_items(nbits, &[3, 40]),
+//!             k: 5,
+//!             metric: Metric::hamming(),
+//!         },
+//!         &QueryOptions::default(),
+//!     )
+//!     .unwrap();
+//! match &resp.output {
+//!     QueryOutput::Neighbors(hits) => assert_eq!(hits.len(), 5),
+//!     other => panic!("unexpected output: {other:?}"),
+//! }
+//! assert_eq!(resp.per_shard.len(), 4);
+//! // The executor is live: writes land while readers keep going.
+//! let ack = exec.insert(100, &Signature::from_items(nbits, &[9, 40])).unwrap();
+//! assert!(ack.applied);
+//! assert_eq!(exec.len(), 101);
 //! ```
 
 mod executor;
@@ -50,9 +79,21 @@ mod merge;
 mod obs;
 mod partition;
 mod pool;
+mod shard;
 
-pub use executor::{BatchOutput, BatchQuery, BatchResult, CancelFlag, ExecConfig, ShardedExecutor};
+#[allow(deprecated)]
+pub use executor::{BatchOutput, BatchQuery};
+pub use executor::{ExecConfig, ShardedExecutor};
 pub use merge::{merge_knn, merge_range, merge_tids, ExecStats};
 pub use obs::ExecObs;
 pub use partition::Partitioner;
 pub use pool::ThreadPool;
+pub use sg_pager::FsyncPolicy;
+pub use shard::{DurabilityConfig, RecoveryReport, WriteAck, WriteOp};
+
+// The unified query surface (and its cancellation flag, which used to be
+// defined here) comes from `sg_tree`; re-exported so executor callers need
+// only this crate.
+pub use sg_tree::{
+    CancelFlag, QueryOptions, QueryOutput, QueryRequest, QueryResponse, SetIndex, SgError, SgResult,
+};

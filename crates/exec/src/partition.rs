@@ -25,6 +25,43 @@ pub enum Partitioner {
 }
 
 impl Partitioner {
+    /// Routes a *live* write for `tid` to a shard.
+    ///
+    /// Unlike [`Partitioner::partition`] — which places bulk data by input
+    /// position or signature clustering — live routing is keyed by tid
+    /// alone, so the insert, delete, and upsert of one tid always target
+    /// the same shard and a single WAL record covers the whole mutation.
+    /// `SignatureClustered` scrambles the tid (splitmix64) so sequential
+    /// tids spread evenly instead of marching through one shard at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn route(&self, tid: Tid, k: usize) -> usize {
+        assert!(k > 0, "shard count must be positive");
+        match self {
+            Partitioner::RoundRobin => (tid % k as u64) as usize,
+            Partitioner::SignatureClustered => (splitmix64(tid) % k as u64) as usize,
+        }
+    }
+
+    /// Stable byte tag for the durable meta file.
+    pub(crate) fn to_byte(self) -> u8 {
+        match self {
+            Partitioner::RoundRobin => 0,
+            Partitioner::SignatureClustered => 1,
+        }
+    }
+
+    /// Inverse of [`Partitioner::to_byte`].
+    pub(crate) fn from_byte(b: u8) -> Option<Partitioner> {
+        match b {
+            0 => Some(Partitioner::RoundRobin),
+            1 => Some(Partitioner::SignatureClustered),
+            _ => None,
+        }
+    }
+
     /// Splits `data` into `k` shards (some possibly empty when `n < k`).
     ///
     /// # Panics
@@ -43,6 +80,15 @@ impl Partitioner {
             Partitioner::SignatureClustered => clustered(data, k),
         }
     }
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed permutation of `u64` used to
+/// spread sequential tids across shards in [`Partitioner::route`].
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 /// Farthest-first seed selection + capped nearest-seed assignment.

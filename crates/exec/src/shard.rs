@@ -1,0 +1,521 @@
+//! One shard of the executor: a reader-writer protected SG-tree plus an
+//! optional durability sidecar (write-ahead log + checkpoint snapshot).
+//!
+//! ## Concurrency
+//!
+//! Each shard is an independent [`parking_lot::RwLock`] over
+//! `{ tree, catalog }`. Queries take the read lock for the duration of one
+//! shard task, so every query sees an atomic snapshot of that shard while
+//! writers mutate other shards (or wait their turn on this one). Writers
+//! take the write lock, log to the WAL, apply, and release — a write is
+//! observable only after its WAL record is on disk, so an acknowledged
+//! write is always recoverable.
+//!
+//! Lock order (deadlock freedom): the state lock is always acquired
+//! **before** the WAL mutex, and no thread ever holds two shards' state
+//! locks at once — cross-shard operations (legacy-placement upserts)
+//! decompose into single-shard steps.
+//!
+//! ## Durability
+//!
+//! A durable shard owns two files: `shard-NNN.wal` (CRC-framed redo log,
+//! see [`sg_pager::Wal`]) and `shard-NNN.ckpt` (an atomic snapshot of the
+//! whole catalog at some LSN). [`Shard::checkpoint`] writes the snapshot
+//! with the WAL's *next LSN* as its watermark, then truncates the log;
+//! [`Shard::open_durable`] loads the snapshot (if any), replays every WAL
+//! record at or past the watermark, and discards a torn tail. A crash
+//! between snapshot rename and log truncation merely replays records the
+//! snapshot already covers — replay skips anything below the watermark, so
+//! recovery is idempotent.
+
+use crate::partition::Partitioner;
+use parking_lot::{Mutex, RwLock};
+use sg_obs::IngestObs;
+use sg_pager::{
+    read_snapshot, write_snapshot, FsyncPolicy, MemStore, SgError, SgResult, Wal, WalOp,
+};
+use sg_sig::{codec, Signature};
+use sg_tree::{SgTree, Tid, TreeConfig};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Where (and how hard) a durable executor persists its writes.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding the meta file plus one WAL + snapshot per shard.
+    pub dir: PathBuf,
+    /// `Always` fsyncs every group commit (survives power loss); `OsOnly`
+    /// leaves flushing to the OS (survives process kill, not power loss).
+    pub fsync: FsyncPolicy,
+}
+
+impl DurabilityConfig {
+    /// Durability rooted at `dir` with per-commit fsync.
+    pub fn new(dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+        }
+    }
+
+    /// Same, but leaving flushing to the OS page cache.
+    pub fn os_only(dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::OsOnly,
+        }
+    }
+}
+
+/// One mutation bound for a shard, routed by tid.
+#[derive(Debug, Clone)]
+pub enum WriteOp {
+    /// Add a new transaction; rejects a tid that is already indexed.
+    Insert {
+        /// Transaction id.
+        tid: Tid,
+        /// Its signature.
+        sig: Signature,
+    },
+    /// Remove a transaction by id; a missing tid is not an error
+    /// (`applied` comes back `false`).
+    Delete {
+        /// Transaction id.
+        tid: Tid,
+    },
+    /// Insert-or-replace a transaction.
+    Upsert {
+        /// Transaction id.
+        tid: Tid,
+        /// Its new signature.
+        sig: Signature,
+    },
+}
+
+impl WriteOp {
+    /// The tid the op targets.
+    pub fn tid(&self) -> Tid {
+        match self {
+            WriteOp::Insert { tid, .. } | WriteOp::Delete { tid } | WriteOp::Upsert { tid, .. } => {
+                *tid
+            }
+        }
+    }
+
+    /// The signature carried by the op, if any.
+    pub fn signature(&self) -> Option<&Signature> {
+        match self {
+            WriteOp::Insert { sig, .. } | WriteOp::Upsert { sig, .. } => Some(sig),
+            WriteOp::Delete { .. } => None,
+        }
+    }
+}
+
+/// Acknowledgement of one [`WriteOp`]. Once returned, the write is as
+/// durable as the shard's [`FsyncPolicy`] promises.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteAck {
+    /// The tid the op targeted.
+    pub tid: Tid,
+    /// Whether the index changed (`false` only for a delete of a missing
+    /// tid).
+    pub applied: bool,
+    /// LSN of the WAL record that covers the op; `None` for a memory-only
+    /// executor or an op that logged nothing (no-op delete).
+    pub lsn: Option<u64>,
+}
+
+/// What [`Shard::open_durable`] recovered, aggregated per executor into
+/// [`crate::ShardedExecutor::recovery`].
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Entries restored on open: snapshot entries + replayed WAL records.
+    pub replayed: u64,
+    /// Of which, records replayed from WALs (past the snapshot watermark).
+    pub wal_records: u64,
+    /// Torn/corrupt WAL tail bytes discarded across all shards.
+    pub truncated_bytes: u64,
+    /// Per-shard replay wall time, ns.
+    pub replay_ns: Vec<u64>,
+}
+
+/// Per-shard recovery outcome, folded into a [`RecoveryReport`].
+pub(crate) struct ShardRecovery {
+    pub(crate) snapshot_entries: u64,
+    pub(crate) wal_records: u64,
+    pub(crate) truncated_bytes: u64,
+    pub(crate) replay_ns: u64,
+}
+
+/// The mutable heart of a shard: the tree plus a tid → signature catalog.
+///
+/// The catalog makes deletes and upserts self-contained (the tree's
+/// `delete` needs the exact signature) and is what checkpoints serialize.
+pub(crate) struct ShardState {
+    pub(crate) tree: SgTree,
+    pub(crate) catalog: HashMap<Tid, Signature>,
+}
+
+struct DurableSide {
+    wal: Wal,
+    snapshot_path: PathBuf,
+}
+
+/// One executor shard: reader-writer state plus an optional WAL.
+pub(crate) struct Shard {
+    pub(crate) state: RwLock<ShardState>,
+    durable: Option<Mutex<DurableSide>>,
+}
+
+/// Applies one staged mutation to `st`, returning the net change in entry
+/// count. Shared by the live write path and WAL replay so both produce
+/// identical states.
+fn apply_op(st: &mut ShardState, op: &WriteOp) -> i64 {
+    match op {
+        WriteOp::Insert { tid, sig } => {
+            st.tree.insert(*tid, sig);
+            st.catalog.insert(*tid, sig.clone());
+            1
+        }
+        WriteOp::Delete { tid } => match st.catalog.remove(tid) {
+            Some(old) => {
+                st.tree.delete(*tid, &old);
+                -1
+            }
+            None => 0,
+        },
+        WriteOp::Upsert { tid, sig } => {
+            let replaced = match st.catalog.remove(tid) {
+                Some(old) => {
+                    st.tree.delete(*tid, &old);
+                    true
+                }
+                None => false,
+            };
+            st.tree.insert(*tid, sig);
+            st.catalog.insert(*tid, sig.clone());
+            if replaced {
+                0
+            } else {
+                1
+            }
+        }
+    }
+}
+
+fn wal_op(op: &WriteOp) -> WalOp {
+    match op {
+        WriteOp::Insert { .. } => WalOp::Insert,
+        WriteOp::Delete { .. } => WalOp::Delete,
+        WriteOp::Upsert { .. } => WalOp::Upsert,
+    }
+}
+
+/// WAL payload of an op: the encoded signature (deletes log the signature
+/// being removed, purely as an audit aid — replay resolves it from the
+/// catalog it is rebuilding).
+fn wal_payload(op: &WriteOp, old: Option<&Signature>) -> Vec<u8> {
+    let mut out = Vec::new();
+    if let Some(sig) = op.signature().or(old) {
+        codec::encode(sig, &mut out);
+    }
+    out
+}
+
+impl Shard {
+    /// A memory-only shard (no WAL, no snapshot).
+    pub(crate) fn memory(tree: SgTree, catalog: HashMap<Tid, Signature>) -> Shard {
+        Shard {
+            state: RwLock::new(ShardState { tree, catalog }),
+            durable: None,
+        }
+    }
+
+    /// Opens (or creates) durable shard `idx` under `dir`: loads the
+    /// snapshot, replays the WAL past its watermark, truncates any torn
+    /// tail, and floors the LSN counter so reused LSNs can never collide
+    /// with checkpointed ones.
+    pub(crate) fn open_durable(
+        dir: &Path,
+        idx: usize,
+        fsync: FsyncPolicy,
+        nbits: u32,
+        tree_config: &TreeConfig,
+        page_size: usize,
+    ) -> SgResult<(Shard, ShardRecovery)> {
+        let snapshot_path = dir.join(format!("shard-{idx:03}.ckpt"));
+        let wal_path = dir.join(format!("shard-{idx:03}.wal"));
+        let t0 = Instant::now();
+        let snap = read_snapshot(&snapshot_path)?;
+        // The snapshot stores the WAL's next-LSN at checkpoint time:
+        // records below it are already folded into the snapshot.
+        let watermark = snap.as_ref().map(|(w, _)| *w).unwrap_or(0);
+        let (wal, replay) = Wal::open(&wal_path, fsync, watermark)?;
+        let mut st = ShardState {
+            tree: SgTree::create(Arc::new(MemStore::new(page_size)), tree_config.clone())?,
+            catalog: HashMap::new(),
+        };
+        let mut snapshot_entries = 0u64;
+        if let Some((_, entries)) = snap {
+            for (tid, payload) in entries {
+                let (sig, _) = codec::decode(nbits, &payload).map_err(|e| {
+                    SgError::corrupt(format!(
+                        "snapshot {snapshot_path:?} entry for tid {tid}: {e}"
+                    ))
+                })?;
+                st.tree.insert(tid, &sig);
+                st.catalog.insert(tid, sig);
+                snapshot_entries += 1;
+            }
+        }
+        let mut wal_records = 0u64;
+        for rec in &replay.records {
+            if rec.lsn < watermark {
+                continue; // crash between snapshot rename and truncation
+            }
+            let op = match rec.op {
+                WalOp::Insert => {
+                    let (sig, _) = codec::decode(nbits, &rec.payload).map_err(|e| {
+                        SgError::corrupt(format!("wal {wal_path:?} record lsn {}: {e}", rec.lsn))
+                    })?;
+                    WriteOp::Insert { tid: rec.tid, sig }
+                }
+                WalOp::Delete => WriteOp::Delete { tid: rec.tid },
+                WalOp::Upsert => {
+                    let (sig, _) = codec::decode(nbits, &rec.payload).map_err(|e| {
+                        SgError::corrupt(format!("wal {wal_path:?} record lsn {}: {e}", rec.lsn))
+                    })?;
+                    WriteOp::Upsert { tid: rec.tid, sig }
+                }
+            };
+            // A replayed insert may collide with itself if the same record
+            // is somehow applied twice; route inserts through upsert
+            // semantics so replay is idempotent.
+            match op {
+                WriteOp::Insert { tid, sig } => {
+                    apply_op(&mut st, &WriteOp::Upsert { tid, sig });
+                }
+                other => {
+                    apply_op(&mut st, &other);
+                }
+            }
+            wal_records += 1;
+        }
+        let recovery = ShardRecovery {
+            snapshot_entries,
+            wal_records,
+            truncated_bytes: replay.truncated_bytes,
+            replay_ns: t0.elapsed().as_nanos() as u64,
+        };
+        Ok((
+            Shard {
+                state: RwLock::new(st),
+                durable: Some(Mutex::new(DurableSide { wal, snapshot_path })),
+            },
+            recovery,
+        ))
+    }
+
+    /// Number of transactions currently in the shard.
+    pub(crate) fn len(&self) -> u64 {
+        self.state.read().catalog.len() as u64
+    }
+
+    /// Whether this shard holds `tid`.
+    pub(crate) fn contains(&self, tid: Tid) -> bool {
+        self.state.read().catalog.contains_key(&tid)
+    }
+
+    /// Applies a group of ops under one write lock with one group commit:
+    /// every op that passes validation gets a WAL record, the batch is
+    /// appended and synced **once**, and only then do the mutations become
+    /// observable (the lock is released after apply). Returns one result
+    /// per op, in input order, plus the net change in entry count.
+    ///
+    /// `expected` (parallel to `ops`, or empty) carries an optional
+    /// signature a delete must match (the `SetIndex::delete` contract);
+    /// a mismatch acknowledges `applied = false` without touching state.
+    pub(crate) fn apply_batch(
+        &self,
+        ops: &[WriteOp],
+        expected: &[Option<Signature>],
+        obs: Option<&IngestObs>,
+    ) -> (Vec<SgResult<WriteAck>>, i64) {
+        let mut st = self.state.write();
+        // Stage: validate each op against the catalog *as mutated by
+        // earlier ops in this batch*, collecting the WAL items to log.
+        let mut staged: Vec<Option<WriteOp>> = Vec::with_capacity(ops.len());
+        let mut results: Vec<SgResult<WriteAck>> = Vec::with_capacity(ops.len());
+        let mut wal_items: Vec<(WalOp, u64, Vec<u8>)> = Vec::new();
+        // Track catalog effects of earlier staged ops without applying yet.
+        let mut pending: HashMap<Tid, bool> = HashMap::new(); // tid → exists after staged ops
+        let exists = |st: &ShardState, pending: &HashMap<Tid, bool>, tid: Tid| {
+            pending
+                .get(&tid)
+                .copied()
+                .unwrap_or_else(|| st.catalog.contains_key(&tid))
+        };
+        for (i, op) in ops.iter().enumerate() {
+            let want = expected.get(i).and_then(|e| e.as_ref());
+            match op {
+                WriteOp::Insert { tid, .. } => {
+                    if exists(&st, &pending, *tid) {
+                        staged.push(None);
+                        results.push(Err(SgError::invalid(format!(
+                            "insert of duplicate tid {tid}"
+                        ))));
+                        continue;
+                    }
+                    pending.insert(*tid, true);
+                }
+                WriteOp::Delete { tid } => {
+                    let present = exists(&st, &pending, *tid);
+                    let matches = match (present, want) {
+                        (false, _) => false,
+                        (true, None) => true,
+                        (true, Some(sig)) => st.catalog.get(tid) == Some(sig),
+                    };
+                    if !matches {
+                        staged.push(None);
+                        results.push(Ok(WriteAck {
+                            tid: *tid,
+                            applied: false,
+                            lsn: None,
+                        }));
+                        continue;
+                    }
+                    pending.insert(*tid, false);
+                }
+                WriteOp::Upsert { tid, .. } => {
+                    pending.insert(*tid, true);
+                }
+            }
+            let old = st.catalog.get(&op.tid()).cloned();
+            wal_items.push((wal_op(op), op.tid(), wal_payload(op, old.as_ref())));
+            staged.push(Some(op.clone()));
+            results.push(Ok(WriteAck {
+                tid: op.tid(),
+                applied: true,
+                lsn: None,
+            }));
+        }
+        // Log: one append + one sync for the whole group. Nothing has been
+        // applied yet, so a failure here leaves memory untouched and every
+        // staged op is failed instead of acknowledged.
+        let lsns: Vec<u64> = if wal_items.is_empty() {
+            Vec::new()
+        } else if let Some(d) = &self.durable {
+            let mut side = d.lock();
+            let before = side.wal.bytes();
+            match side.wal.append_batch(&wal_items) {
+                Ok(lsns) => {
+                    if let Some(o) = obs {
+                        o.wal_bytes.add(side.wal.bytes().saturating_sub(before));
+                        o.wal_syncs.inc();
+                    }
+                    lsns
+                }
+                Err(e) => {
+                    let msg = e.to_string();
+                    for (slot, op) in results.iter_mut().zip(&staged) {
+                        if op.is_some() {
+                            *slot = Err(SgError::io(
+                                "appending to the shard WAL",
+                                std::io::Error::other(msg.clone()),
+                            ));
+                        }
+                    }
+                    return (results, 0);
+                }
+            }
+        } else {
+            Vec::new()
+        };
+        // Apply: the records are durable; make the mutations observable.
+        let mut delta = 0i64;
+        let mut lsn_iter = lsns.into_iter();
+        for (slot, op) in results.iter_mut().zip(&staged) {
+            if let Some(op) = op {
+                delta += apply_op(&mut st, op);
+                if let Ok(ack) = slot {
+                    ack.lsn = lsn_iter.next();
+                }
+            }
+        }
+        (results, delta)
+    }
+
+    /// Snapshots the whole catalog at the WAL's current position, then
+    /// truncates the log. Holding the read lock pins the state the
+    /// snapshot describes; the WAL mutex keeps concurrent appends out
+    /// (writers hold the write lock anyway, so none can be mid-append).
+    pub(crate) fn checkpoint(&self, obs: Option<&IngestObs>) -> SgResult<()> {
+        let Some(d) = &self.durable else {
+            return Ok(());
+        };
+        let t0 = Instant::now();
+        let st = self.state.read();
+        let mut side = d.lock();
+        let watermark = side.wal.next_lsn();
+        let mut entries: Vec<(u64, Vec<u8>)> = st
+            .catalog
+            .iter()
+            .map(|(tid, sig)| {
+                let mut payload = Vec::new();
+                codec::encode(sig, &mut payload);
+                (*tid, payload)
+            })
+            .collect();
+        entries.sort_unstable_by_key(|(tid, _)| *tid);
+        let snapshot_path = side.snapshot_path.clone();
+        write_snapshot(&snapshot_path, watermark, entries)?;
+        side.wal.truncate()?;
+        if let Some(o) = obs {
+            o.checkpoints.inc();
+            o.checkpoint_ns.record(t0.elapsed().as_nanos() as u64);
+        }
+        Ok(())
+    }
+}
+
+const META_MAGIC: &[u8; 8] = b"SGEXMET1";
+
+/// Writes the executor-level meta file (atomically: tmp + rename).
+pub(crate) fn write_meta(
+    dir: &Path,
+    nbits: u32,
+    shards: u32,
+    partitioner: Partitioner,
+) -> SgResult<()> {
+    let mut buf = Vec::with_capacity(17);
+    buf.extend_from_slice(META_MAGIC);
+    buf.extend_from_slice(&nbits.to_le_bytes());
+    buf.extend_from_slice(&shards.to_le_bytes());
+    buf.push(partitioner.to_byte());
+    let tmp = dir.join("meta.tmp");
+    let path = dir.join("meta.bin");
+    std::fs::write(&tmp, &buf).map_err(|e| SgError::io("writing the executor meta file", e))?;
+    std::fs::rename(&tmp, &path)
+        .map_err(|e| SgError::io("publishing the executor meta file", e))?;
+    Ok(())
+}
+
+/// Reads the meta file back; `Ok(None)` when the directory is fresh.
+pub(crate) fn read_meta(dir: &Path) -> SgResult<Option<(u32, u32, Partitioner)>> {
+    let path = dir.join("meta.bin");
+    let buf = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(SgError::io("reading the executor meta file", e)),
+    };
+    if buf.len() != 17 || &buf[..8] != META_MAGIC {
+        return Err(SgError::corrupt(format!("malformed meta file {path:?}")));
+    }
+    let nbits = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+    let shards = u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes"));
+    let partitioner = Partitioner::from_byte(buf[16])
+        .ok_or_else(|| SgError::corrupt(format!("unknown partitioner tag in {path:?}")))?;
+    Ok(Some((nbits, shards, partitioner)))
+}

@@ -30,6 +30,7 @@
 //!   evaluation, O(Σ posting lengths of q's items).
 
 mod postings;
+mod setindex;
 
 pub use postings::InvertedIndex;
 

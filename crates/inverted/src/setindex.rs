@@ -1,0 +1,92 @@
+//! [`SetIndex`] implementation: the inverted index through the unified
+//! query API. Containment, subset and exact-match queries are its home
+//! turf; k-NN and range work under plain Hamming (term-at-a-time
+//! accumulation); mutation is unsupported — the postings are build-only.
+
+use crate::InvertedIndex;
+use sg_sig::{Metric, MetricKind, Signature};
+use sg_tree::{
+    QueryOptions, QueryOutput, QueryRequest, QueryResponse, SetIndex, SgError, SgResult, Tid,
+};
+
+/// Score-by-accumulation distances hold only for plain Hamming.
+fn plain_hamming(metric: &Metric) -> bool {
+    (metric.kind(), metric.fixed_dim()) == (MetricKind::Hamming, None)
+}
+
+fn check_nbits(expected: u32, q: &Signature) -> SgResult<()> {
+    if q.nbits() != expected {
+        return Err(SgError::invalid(format!(
+            "query signature has {} bits; index expects {}",
+            q.nbits(),
+            expected
+        )));
+    }
+    Ok(())
+}
+
+impl SetIndex for InvertedIndex {
+    fn name(&self) -> &'static str {
+        "inverted"
+    }
+
+    fn len(&self) -> u64 {
+        InvertedIndex::len(self)
+    }
+
+    fn nbits(&self) -> u32 {
+        InvertedIndex::nbits(self)
+    }
+
+    fn insert(&mut self, _tid: Tid, _sig: &Signature) -> SgResult<()> {
+        Err(SgError::Unsupported(
+            "insert on the build-only inverted index",
+        ))
+    }
+
+    fn delete(&mut self, _tid: Tid, _sig: &Signature) -> SgResult<bool> {
+        Err(SgError::Unsupported(
+            "delete on the build-only inverted index",
+        ))
+    }
+
+    fn query(&self, req: &QueryRequest, opts: &QueryOptions) -> SgResult<QueryResponse> {
+        check_nbits(InvertedIndex::nbits(self), req.signature())?;
+        if opts.expired() {
+            return Err(SgError::Cancelled);
+        }
+        let (output, stats) = match req {
+            QueryRequest::Knn { q, k, metric } => {
+                if !plain_hamming(metric) {
+                    return Err(SgError::Unsupported(
+                        "the inverted index scores k-NN only under plain Hamming",
+                    ));
+                }
+                let (r, s) = self.knn(q, *k, metric);
+                (QueryOutput::Neighbors(r), s)
+            }
+            QueryRequest::Range { q, eps, metric } => {
+                if !plain_hamming(metric) {
+                    return Err(SgError::Unsupported(
+                        "the inverted index scores range only under plain Hamming",
+                    ));
+                }
+                let (r, s) = self.range(q, *eps, metric);
+                (QueryOutput::Neighbors(r), s)
+            }
+            QueryRequest::Containing { q } => {
+                let (r, s) = self.containing(q);
+                (QueryOutput::Tids(r), s)
+            }
+            QueryRequest::ContainedIn { q } => {
+                let (r, s) = self.contained_in(q);
+                (QueryOutput::Tids(r), s)
+            }
+            QueryRequest::Exact { q } => {
+                let (r, s) = self.exact(q);
+                (QueryOutput::Tids(r), s)
+            }
+        };
+        Ok(QueryResponse::single(output, stats))
+    }
+}

@@ -22,6 +22,7 @@
 
 mod hasher;
 mod lsh;
+mod setindex;
 
 pub use hasher::{MinHashVector, MinHasher};
 pub use lsh::{LshParams, MinHashLsh};

@@ -1,0 +1,68 @@
+//! [`SetIndex`] implementation: MinHash-LSH through the unified query
+//! API. k-NN and range answers are *approximate* (sound but possibly
+//! incomplete — candidates that never collided are missed); containment
+//! queries and mutation are unsupported.
+
+use crate::MinHashLsh;
+use sg_sig::Signature;
+use sg_tree::{
+    QueryOptions, QueryOutput, QueryRequest, QueryResponse, SetIndex, SgError, SgResult, Tid,
+};
+
+fn check_nbits(expected: u32, q: &Signature) -> SgResult<()> {
+    if q.nbits() != expected {
+        return Err(SgError::invalid(format!(
+            "query signature has {} bits; index expects {}",
+            q.nbits(),
+            expected
+        )));
+    }
+    Ok(())
+}
+
+impl SetIndex for MinHashLsh {
+    fn name(&self) -> &'static str {
+        "minhash"
+    }
+
+    fn len(&self) -> u64 {
+        MinHashLsh::len(self)
+    }
+
+    fn nbits(&self) -> u32 {
+        MinHashLsh::nbits(self)
+    }
+
+    fn insert(&mut self, _tid: Tid, _sig: &Signature) -> SgResult<()> {
+        Err(SgError::Unsupported("insert on the build-only MinHash-LSH"))
+    }
+
+    fn delete(&mut self, _tid: Tid, _sig: &Signature) -> SgResult<bool> {
+        Err(SgError::Unsupported("delete on the build-only MinHash-LSH"))
+    }
+
+    fn query(&self, req: &QueryRequest, opts: &QueryOptions) -> SgResult<QueryResponse> {
+        check_nbits(MinHashLsh::nbits(self), req.signature())?;
+        if opts.expired() {
+            return Err(SgError::Cancelled);
+        }
+        let (output, stats) = match req {
+            QueryRequest::Knn { q, k, metric } => {
+                let (r, s) = self.knn(q, *k, metric);
+                (QueryOutput::Neighbors(r), s)
+            }
+            QueryRequest::Range { q, eps, metric } => {
+                let (r, s) = self.range(q, *eps, metric);
+                (QueryOutput::Neighbors(r), s)
+            }
+            QueryRequest::Containing { .. }
+            | QueryRequest::ContainedIn { .. }
+            | QueryRequest::Exact { .. } => {
+                return Err(SgError::Unsupported(
+                    "containment queries on MinHash-LSH (similarity-only baseline)",
+                ));
+            }
+        };
+        Ok(QueryResponse::single(output, stats))
+    }
+}

@@ -22,7 +22,7 @@ mod proptests;
 pub mod trace;
 
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, IndexObs, MetricSnapshot, MetricValue, PoolObs,
-    Registry, RegistrySnapshot, ServeObs,
+    Counter, Gauge, Histogram, HistogramSnapshot, IndexObs, IngestObs, MetricSnapshot, MetricValue,
+    PoolObs, Registry, RegistrySnapshot, ServeObs,
 };
 pub use trace::{LevelTrace, QueryTrace, TraceSink};

@@ -569,6 +569,64 @@ impl ServeObs {
     }
 }
 
+/// Instrument set for the live write path (WAL + shard mutation +
+/// recovery), registered under a caller-chosen prefix (`"ingest"` in the
+/// serve layer).
+#[derive(Debug)]
+pub struct IngestObs {
+    /// Acknowledged write operations of any kind (`<prefix>.writes`).
+    pub writes: Arc<Counter>,
+    /// Acknowledged inserts (`<prefix>.inserts`).
+    pub inserts: Arc<Counter>,
+    /// Acknowledged deletes (`<prefix>.deletes`).
+    pub deletes: Arc<Counter>,
+    /// Acknowledged upserts (`<prefix>.upserts`).
+    pub upserts: Arc<Counter>,
+    /// Writes rejected before reaching the WAL (`<prefix>.rejected`).
+    pub rejected: Arc<Counter>,
+    /// Bytes appended to write-ahead logs (`<prefix>.wal_bytes`).
+    pub wal_bytes: Arc<Counter>,
+    /// WAL sync (group-commit) operations (`<prefix>.wal_syncs`).
+    pub wal_syncs: Arc<Counter>,
+    /// Records replayed from WAL + snapshot on open (`<prefix>.replayed`).
+    pub replayed: Arc<Counter>,
+    /// Checkpoints taken (`<prefix>.checkpoints`).
+    pub checkpoints: Arc<Counter>,
+    /// Torn/corrupt WAL tail bytes discarded on open
+    /// (`<prefix>.truncated_bytes`).
+    pub truncated_bytes: Arc<Counter>,
+    /// End-to-end latency of one durable write (WAL append + sync + apply),
+    /// ns (`<prefix>.write_ns`).
+    pub write_ns: Arc<Histogram>,
+    /// Recovery (replay) time per shard on open, ns (`<prefix>.replay_ns`).
+    pub replay_ns: Arc<Histogram>,
+    /// Time spent writing a checkpoint, ns (`<prefix>.checkpoint_ns`).
+    pub checkpoint_ns: Arc<Histogram>,
+}
+
+impl IngestObs {
+    /// Registers the ingest instrument set under `<prefix>.<name>`.
+    pub fn register(registry: &Registry, prefix: &str) -> Arc<IngestObs> {
+        let c = |name: &str| registry.counter(&format!("{prefix}.{name}"));
+        let h = |name: &str| registry.histogram(&format!("{prefix}.{name}"));
+        Arc::new(IngestObs {
+            writes: c("writes"),
+            inserts: c("inserts"),
+            deletes: c("deletes"),
+            upserts: c("upserts"),
+            rejected: c("rejected"),
+            wal_bytes: c("wal_bytes"),
+            wal_syncs: c("wal_syncs"),
+            replayed: c("replayed"),
+            checkpoints: c("checkpoints"),
+            truncated_bytes: c("truncated_bytes"),
+            write_ns: h("write_ns"),
+            replay_ns: h("replay_ns"),
+            checkpoint_ns: h("checkpoint_ns"),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

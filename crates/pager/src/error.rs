@@ -1,0 +1,127 @@
+//! The workspace-wide error type.
+//!
+//! Every fallible operation in the storage, index, execution, and serving
+//! layers reports through one [`SgError`] enum, so call sites compose with
+//! `?` across crate boundaries instead of translating between per-crate
+//! error types. The enum lives in `sg-pager` because it is the lowest
+//! crate on every I/O path; upper crates re-export it.
+
+use std::fmt;
+use std::io;
+
+/// Unified error for the SG-tree workspace (storage, index, execution,
+/// serving).
+#[derive(Debug)]
+pub enum SgError {
+    /// An operating-system I/O failure, with the operation that hit it.
+    Io {
+        /// What the workspace was doing (e.g. `"append wal record"`).
+        context: String,
+        /// The underlying OS error.
+        source: io::Error,
+    },
+    /// On-disk bytes failed validation (bad CRC, impossible lengths).
+    Corrupt(String),
+    /// A persisted meta page does not describe a valid structure.
+    BadMeta(String),
+    /// A configuration cannot work (e.g. pages too small for two entries).
+    BadConfig(String),
+    /// The request itself is malformed (bad parameters, universe
+    /// mismatch, unknown id).
+    Invalid(String),
+    /// The backend does not support this operation (e.g. deletes on a
+    /// build-only baseline index).
+    Unsupported(&'static str),
+    /// The caller cancelled the operation before it completed.
+    Cancelled,
+    /// The component is draining and admits no new work.
+    ShuttingDown,
+    /// An internal invariant failed (worker died, channel closed).
+    Internal(String),
+}
+
+impl SgError {
+    /// Wraps an [`io::Error`] with the operation that produced it.
+    pub fn io(context: impl Into<String>, source: io::Error) -> SgError {
+        SgError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// Convenience constructor for [`SgError::Corrupt`].
+    pub fn corrupt(msg: impl Into<String>) -> SgError {
+        SgError::Corrupt(msg.into())
+    }
+
+    /// Convenience constructor for [`SgError::Invalid`].
+    pub fn invalid(msg: impl Into<String>) -> SgError {
+        SgError::Invalid(msg.into())
+    }
+}
+
+impl fmt::Display for SgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgError::Io { context, source } => write!(f, "I/O error while {context}: {source}"),
+            SgError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            SgError::BadMeta(m) => write!(f, "bad meta page: {m}"),
+            SgError::BadConfig(m) => write!(f, "bad config: {m}"),
+            SgError::Invalid(m) => write!(f, "invalid request: {m}"),
+            SgError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
+            SgError::Cancelled => write!(f, "operation cancelled"),
+            SgError::ShuttingDown => write!(f, "shutting down"),
+            SgError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SgError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SgError {
+    fn from(e: io::Error) -> SgError {
+        SgError::io("performing file I/O", e)
+    }
+}
+
+/// Workspace-wide result alias.
+pub type SgResult<T> = Result<T, SgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = SgError::io(
+            "reading page 7",
+            io::Error::new(io::ErrorKind::UnexpectedEof, "eof"),
+        );
+        let s = e.to_string();
+        assert!(s.contains("reading page 7"), "{s}");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn variants_format() {
+        for e in [
+            SgError::corrupt("bad crc"),
+            SgError::BadMeta("magic".into()),
+            SgError::BadConfig("page too small".into()),
+            SgError::invalid("k = 0"),
+            SgError::Unsupported("delete on inverted index"),
+            SgError::Cancelled,
+            SgError::ShuttingDown,
+            SgError::Internal("worker died".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

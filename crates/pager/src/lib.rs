@@ -18,12 +18,18 @@
 //! code can run unchanged whether or not an experiment is collecting them.
 
 mod buffer;
+mod error;
 mod stats;
 mod store;
+mod wal;
 
 pub use buffer::BufferPool;
+pub use error::{SgError, SgResult};
 pub use stats::{IoSnapshot, IoStats};
 pub use store::{FileStore, MemStore, PageStore};
+pub use wal::{
+    crc32, read_snapshot, write_snapshot, FsyncPolicy, Replay, Snapshot, Wal, WalOp, WalRecord,
+};
 
 /// Identifier of a page within a store. Dense, starting at 0; freed ids are
 /// recycled by the stores' free lists.

@@ -1,5 +1,6 @@
 //! Page stores: the raw fixed-size-page backends.
 
+use crate::error::{SgError, SgResult};
 use crate::PageId;
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
@@ -42,6 +43,38 @@ pub trait PageStore: Send + Sync {
 
     /// Number of pages currently allocated (excluding freed ones).
     fn allocated_pages(&self) -> u64;
+
+    /// Fallible [`PageStore::allocate`]: propagates I/O failures instead of
+    /// panicking. Write paths (ingest, checkpoint) use these `try_*` forms;
+    /// the panicking forms remain for the read-hot query paths whose
+    /// signatures predate live writes.
+    fn try_allocate(&self) -> SgResult<PageId> {
+        Ok(self.allocate())
+    }
+
+    /// Fallible [`PageStore::free`].
+    fn try_free(&self, id: PageId) -> SgResult<()> {
+        self.free(id);
+        Ok(())
+    }
+
+    /// Fallible [`PageStore::read`].
+    fn try_read(&self, id: PageId, buf: &mut [u8]) -> SgResult<()> {
+        self.read(id, buf);
+        Ok(())
+    }
+
+    /// Fallible [`PageStore::write`].
+    fn try_write(&self, id: PageId, buf: &[u8]) -> SgResult<()> {
+        self.write(id, buf);
+        Ok(())
+    }
+
+    /// Forces written pages to stable storage. In-memory stores are a
+    /// no-op; file stores `fsync`.
+    fn sync(&self) -> SgResult<()> {
+        Ok(())
+    }
 }
 
 struct MemStoreInner {
@@ -192,20 +225,8 @@ impl PageStore for FileStore {
     }
 
     fn allocate(&self) -> PageId {
-        let mut inner = self.inner.lock();
-        if let Some(id) = inner.free_list.pop() {
-            id
-        } else {
-            let id = inner.next_id;
-            inner.next_id += 1;
-            // Extend the file with a zeroed page so reads of fresh pages
-            // are well-defined.
-            let zeroes = vec![0u8; self.page_size];
-            self.file
-                .write_all_at(&zeroes, self.offset(id))
-                .expect("extend page file");
-            id
-        }
+        self.try_allocate()
+            .unwrap_or_else(|e| panic!("allocate page: {e}"))
     }
 
     fn free(&self, id: PageId) {
@@ -215,22 +236,56 @@ impl PageStore for FileStore {
     }
 
     fn read(&self, id: PageId, buf: &mut [u8]) {
-        assert_eq!(buf.len(), self.page_size);
-        self.file
-            .read_exact_at(buf, self.offset(id))
+        self.try_read(id, buf)
             .unwrap_or_else(|e| panic!("read page {id}: {e}"));
     }
 
     fn write(&self, id: PageId, buf: &[u8]) {
-        assert_eq!(buf.len(), self.page_size);
-        self.file
-            .write_all_at(buf, self.offset(id))
+        self.try_write(id, buf)
             .unwrap_or_else(|e| panic!("write page {id}: {e}"));
     }
 
     fn allocated_pages(&self) -> u64 {
         let inner = self.inner.lock();
         inner.next_id - inner.free_list.len() as u64
+    }
+
+    fn try_allocate(&self) -> SgResult<PageId> {
+        let mut inner = self.inner.lock();
+        if let Some(id) = inner.free_list.pop() {
+            Ok(id)
+        } else {
+            let id = inner.next_id;
+            // Extend the file with a zeroed page so reads of fresh pages
+            // are well-defined. Only bump next_id once the extension
+            // succeeded, so a failed allocation leaves the store unchanged.
+            let zeroes = vec![0u8; self.page_size];
+            self.file
+                .write_all_at(&zeroes, self.offset(id))
+                .map_err(|e| SgError::io(format!("extend page file to page {id}"), e))?;
+            inner.next_id += 1;
+            Ok(id)
+        }
+    }
+
+    fn try_read(&self, id: PageId, buf: &mut [u8]) -> SgResult<()> {
+        assert_eq!(buf.len(), self.page_size);
+        self.file
+            .read_exact_at(buf, self.offset(id))
+            .map_err(|e| SgError::io(format!("read page {id}"), e))
+    }
+
+    fn try_write(&self, id: PageId, buf: &[u8]) -> SgResult<()> {
+        assert_eq!(buf.len(), self.page_size);
+        self.file
+            .write_all_at(buf, self.offset(id))
+            .map_err(|e| SgError::io(format!("write page {id}"), e))
+    }
+
+    fn sync(&self) -> SgResult<()> {
+        self.file
+            .sync_data()
+            .map_err(|e| SgError::io("sync page file", e))
     }
 }
 

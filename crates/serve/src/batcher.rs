@@ -1,13 +1,16 @@
 //! The dynamic micro-batcher: admission control + batching window.
 //!
-//! Connection workers [`Batcher::submit`] decoded queries into a
-//! **bounded** queue. A dedicated batch thread collects up to
-//! [`BatchPolicy::max_batch`] requests or waits at most
-//! [`BatchPolicy::max_wait`] after the first one arrives — whichever
-//! comes first — and drives the whole batch through
+//! Connection workers [`Batcher::submit`] decoded queries — and
+//! [`Batcher::submit_write`] decoded writes — into one **bounded** queue.
+//! A dedicated batch thread collects up to [`BatchPolicy::max_batch`]
+//! requests or waits at most [`BatchPolicy::max_wait`] after the first
+//! one arrives — whichever comes first — then drives the batch's writes
+//! through one group-committed [`ShardedExecutor::write_batch`] (a single
+//! WAL fsync per shard touched, regardless of how many clients wrote)
+//! and its queries through one
 //! [`ShardedExecutor::execute_batch_cancellable`], so concurrent clients
-//! share fan-out scheduling and per-batch bookkeeping instead of paying
-//! it per request.
+//! share fan-out scheduling, WAL syncs, and per-batch bookkeeping instead
+//! of paying them per request.
 //!
 //! Backpressure is explicit: when the queue is full, `submit` fails fast
 //! with [`SubmitError::Busy`] carrying a `retry_after_ms` hint derived
@@ -17,7 +20,7 @@
 //! waiter that times out flips the ticket's [`CancelFlag`] so the
 //! executor skips remaining shard work and the merge.
 
-use sg_exec::{BatchOutput, BatchQuery, CancelFlag, ShardedExecutor};
+use sg_exec::{CancelFlag, QueryOutput, QueryRequest, SgError, ShardedExecutor, WriteAck, WriteOp};
 use sg_obs::ServeObs;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -51,7 +54,9 @@ impl Default for BatchPolicy {
 #[derive(Debug)]
 pub enum BatchReply {
     /// The merged canonical answer.
-    Done(BatchOutput),
+    Done(QueryOutput),
+    /// The write is durable (to the server's fsync policy) and applied.
+    Acked(WriteAck),
     /// The deadline passed before the batch was dispatched.
     Expired,
     /// The executor failed (e.g. a panic caught during batch execution).
@@ -80,8 +85,14 @@ pub enum SubmitError {
     ShuttingDown,
 }
 
+/// One admitted unit of work: a query to fan out or a write to group-commit.
+enum Work {
+    Query(QueryRequest),
+    Write(WriteOp),
+}
+
 struct Pending {
-    query: BatchQuery,
+    work: Work,
     deadline: Instant,
     cancel: CancelFlag,
     reply: mpsc::Sender<BatchReply>,
@@ -137,7 +148,17 @@ impl Batcher {
     }
 
     /// Admits one query, or refuses with backpressure.
-    pub fn submit(&self, query: BatchQuery, deadline: Instant) -> Result<Ticket, SubmitError> {
+    pub fn submit(&self, query: QueryRequest, deadline: Instant) -> Result<Ticket, SubmitError> {
+        self.admit(Work::Query(query), deadline)
+    }
+
+    /// Admits one write; its [`BatchReply::Acked`] arrives only after the
+    /// operation is group-committed to the WAL.
+    pub fn submit_write(&self, op: WriteOp, deadline: Instant) -> Result<Ticket, SubmitError> {
+        self.admit(Work::Write(op), deadline)
+    }
+
+    fn admit(&self, work: Work, deadline: Instant) -> Result<Ticket, SubmitError> {
         if self.shared.draining.load(Ordering::SeqCst) {
             return Err(SubmitError::ShuttingDown);
         }
@@ -154,7 +175,7 @@ impl Batcher {
         let (tx, rx) = mpsc::channel();
         let cancel = CancelFlag::new();
         q.push_back(Pending {
-            query,
+            work,
             deadline,
             cancel: cancel.clone(),
             reply: tx,
@@ -227,50 +248,113 @@ fn batch_loop(shared: &Shared, exec: &ShardedExecutor, policy: &BatchPolicy, obs
 }
 
 /// Runs one collected batch through the executor and replies to every
-/// still-interested waiter.
+/// still-interested waiter. Writes in the batch ride one group-committed
+/// [`ShardedExecutor::write_batch`] call (one WAL sync per shard touched),
+/// then queries ride one [`ShardedExecutor::execute_batch_cancellable`] —
+/// so a query admitted after a write in the same batch reads its effect.
 fn dispatch(shared: &Shared, exec: &ShardedExecutor, obs: &Arc<ServeObs>, batch: Vec<Pending>) {
     let now = Instant::now();
-    let mut live = Vec::with_capacity(batch.len());
+    let mut queries = Vec::new();
+    let mut writes = Vec::new();
     for p in batch {
         if p.cancel.is_cancelled() || p.deadline <= now {
             // The waiter timed out (or is about to): make sure no shard
             // work runs for it, and tell it why if it is still listening.
+            // A write dropped here was never acked, so dropping is sound.
             p.cancel.cancel();
             let _ = p.reply.send(BatchReply::Expired);
             continue;
         }
-        live.push(p);
+        match p.work {
+            Work::Query(_) => queries.push(p),
+            Work::Write(_) => writes.push(p),
+        }
     }
-    if live.is_empty() {
+    if queries.is_empty() && writes.is_empty() {
         return;
     }
     obs.batches.inc();
-    obs.batch_size.record(live.len() as u64);
-    let queries: Vec<(BatchQuery, CancelFlag)> = live
-        .iter()
-        .map(|p| (p.query.clone(), p.cancel.clone()))
-        .collect();
+    obs.batch_size.record((queries.len() + writes.len()) as u64);
     let t0 = Instant::now();
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        exec.execute_batch_cancellable(queries)
-    }));
+    if !writes.is_empty() {
+        dispatch_writes(exec, obs, &writes);
+    }
+    if !queries.is_empty() {
+        dispatch_queries(exec, obs, &queries);
+    }
     shared
         .last_batch_ms
         .store((t0.elapsed().as_millis() as u64).max(1), Ordering::Relaxed);
+}
+
+fn dispatch_writes(exec: &ShardedExecutor, obs: &Arc<ServeObs>, writes: &[Pending]) {
+    let ops: Vec<WriteOp> = writes
+        .iter()
+        .map(|p| match &p.work {
+            Work::Write(op) => op.clone(),
+            Work::Query(_) => unreachable!("queries are partitioned out"),
+        })
+        .collect();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exec.write_batch(ops)));
     match outcome {
         Ok(results) => {
-            for (p, result) in live.iter().zip(results) {
-                // `None` means cancelled mid-batch: the waiter already gave up.
-                if let Some(r) = result {
-                    obs.request_ns
-                        .record(p.admitted.elapsed().as_nanos() as u64);
-                    let _ = p.reply.send(BatchReply::Done(r.output));
+            for (p, result) in writes.iter().zip(results) {
+                match result {
+                    Ok(ack) => {
+                        obs.request_ns
+                            .record(p.admitted.elapsed().as_nanos() as u64);
+                        let _ = p.reply.send(BatchReply::Acked(ack));
+                    }
+                    Err(e) => {
+                        obs.errors.inc();
+                        let _ = p.reply.send(BatchReply::Failed(e.to_string()));
+                    }
                 }
             }
         }
         Err(_) => {
-            obs.errors.add(live.len() as u64);
-            for p in &live {
+            obs.errors.add(writes.len() as u64);
+            for p in writes {
+                let _ = p
+                    .reply
+                    .send(BatchReply::Failed("internal write error".into()));
+            }
+        }
+    }
+}
+
+fn dispatch_queries(exec: &ShardedExecutor, obs: &Arc<ServeObs>, queries: &[Pending]) {
+    let batch: Vec<(QueryRequest, CancelFlag)> = queries
+        .iter()
+        .map(|p| match &p.work {
+            Work::Query(q) => (q.clone(), p.cancel.clone()),
+            Work::Write(_) => unreachable!("writes are partitioned out"),
+        })
+        .collect();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        exec.execute_batch_cancellable(batch)
+    }));
+    match outcome {
+        Ok(results) => {
+            for (p, result) in queries.iter().zip(results) {
+                match result {
+                    Ok(r) => {
+                        obs.request_ns
+                            .record(p.admitted.elapsed().as_nanos() as u64);
+                        let _ = p.reply.send(BatchReply::Done(r.output));
+                    }
+                    // Cancelled mid-batch: the waiter already gave up.
+                    Err(SgError::Cancelled) => {}
+                    Err(e) => {
+                        obs.errors.inc();
+                        let _ = p.reply.send(BatchReply::Failed(e.to_string()));
+                    }
+                }
+            }
+        }
+        Err(_) => {
+            obs.errors.add(queries.len() as u64);
+            for p in queries {
                 let _ = p
                     .reply
                     .send(BatchReply::Failed("internal execution error".into()));
@@ -329,7 +413,7 @@ mod tests {
             .map(|i| {
                 batcher
                     .submit(
-                        BatchQuery::Containing {
+                        QueryRequest::Containing {
                             q: Signature::from_items(NBITS, &[(i % 16) as u32]),
                         },
                         far_deadline(),
@@ -339,7 +423,7 @@ mod tests {
             .collect();
         for t in tickets {
             match t.rx.recv_timeout(Duration::from_secs(5)).unwrap() {
-                BatchReply::Done(BatchOutput::Tids(_)) => {}
+                BatchReply::Done(QueryOutput::Tids(_)) => {}
                 other => panic!("unexpected reply: {other:?}"),
             }
         }
@@ -363,7 +447,7 @@ mod tests {
             },
             Arc::clone(&obs),
         );
-        let q = || BatchQuery::Containing {
+        let q = || QueryRequest::Containing {
             q: Signature::from_items(NBITS, &[1]),
         };
         let mut tickets = Vec::new();
@@ -400,7 +484,7 @@ mod tests {
         // Deadline far in the past: must come back Expired, not Done.
         let t = batcher
             .submit(
-                BatchQuery::Containing {
+                QueryRequest::Containing {
                     q: Signature::from_items(NBITS, &[1]),
                 },
                 Instant::now() - Duration::from_millis(1),
@@ -414,13 +498,74 @@ mod tests {
     }
 
     #[test]
+    fn writes_and_queries_share_a_batch() {
+        let obs = obs();
+        let batcher = Batcher::start(
+            tiny_exec(),
+            BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_millis(100),
+                queue_cap: 16,
+            },
+            Arc::clone(&obs),
+        );
+        // tid 1000 / item 50 is absent from the seed data; the write and a
+        // containment query for it are admitted into the same window, and
+        // writes dispatch before queries, so the query must see the insert.
+        let w = batcher
+            .submit_write(
+                WriteOp::Insert {
+                    tid: 1000,
+                    sig: Signature::from_items(NBITS, &[50]),
+                },
+                far_deadline(),
+            )
+            .unwrap();
+        let q = batcher
+            .submit(
+                QueryRequest::Containing {
+                    q: Signature::from_items(NBITS, &[50]),
+                },
+                far_deadline(),
+            )
+            .unwrap();
+        match w.rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            // A memory-only executor acks with no WAL sequence number.
+            BatchReply::Acked(ack) => {
+                assert!(ack.applied);
+                assert_eq!(ack.lsn, None);
+            }
+            other => panic!("unexpected write reply: {other:?}"),
+        }
+        match q.rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            BatchReply::Done(QueryOutput::Tids(tids)) => assert_eq!(tids, vec![1000]),
+            other => panic!("unexpected query reply: {other:?}"),
+        }
+        // A duplicate insert surfaces as a structured failure, not a panic.
+        let dup = batcher
+            .submit_write(
+                WriteOp::Insert {
+                    tid: 1000,
+                    sig: Signature::from_items(NBITS, &[50]),
+                },
+                far_deadline(),
+            )
+            .unwrap();
+        assert!(matches!(
+            dup.rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            BatchReply::Failed(_)
+        ));
+        batcher.drain();
+    }
+
+    #[test]
     fn submit_after_drain_is_refused() {
         let batcher = Batcher::start(tiny_exec(), BatchPolicy::default(), obs());
         batcher.drain();
         assert_eq!(
             batcher
                 .submit(
-                    BatchQuery::Containing {
+                    QueryRequest::Containing {
                         q: Signature::from_items(NBITS, &[1]),
                     },
                     far_deadline(),

@@ -12,7 +12,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sg_exec::{ExecConfig, ShardedExecutor};
+use sg_exec::{DurabilityConfig, ExecConfig, FsyncPolicy, ShardedExecutor, WriteOp};
 use sg_obs::Registry;
 use sg_serve::{BatchPolicy, ServeConfig, Server};
 use sg_sig::Signature;
@@ -69,6 +69,8 @@ struct Opts {
     max_wait_us: u64,
     queue_cap: usize,
     timeout_ms: u64,
+    data_dir: Option<String>,
+    fsync: FsyncPolicy,
 }
 
 impl Default for Opts {
@@ -88,6 +90,8 @@ impl Default for Opts {
             max_wait_us: 500,
             queue_cap: 256,
             timeout_ms: 1000,
+            data_dir: None,
+            fsync: FsyncPolicy::Always,
         }
     }
 }
@@ -109,6 +113,9 @@ const USAGE: &str = "sg-serve: serve a generated SG-tree dataset over TCP
   --max-wait-us N         micro-batch window, microseconds (default 500)
   --queue-cap N           admission queue capacity (default 256)
   --timeout-ms N          default per-request deadline (default 1000)
+  --data-dir PATH         run durably: WAL + checkpoints under PATH,
+                          replayed on restart; live writes survive kill -9
+  --fsync always|os       WAL sync policy with --data-dir (default always)
 ";
 
 fn parse_opts() -> Result<Opts, String> {
@@ -138,6 +145,14 @@ fn parse_opts() -> Result<Opts, String> {
             }
             "--queue-cap" => opts.queue_cap = parse_num(&val("--queue-cap")?, "--queue-cap")?,
             "--timeout-ms" => opts.timeout_ms = parse_num(&val("--timeout-ms")?, "--timeout-ms")?,
+            "--data-dir" => opts.data_dir = Some(val("--data-dir")?),
+            "--fsync" => {
+                opts.fsync = match val("--fsync")?.as_str() {
+                    "always" => FsyncPolicy::Always,
+                    "os" => FsyncPolicy::OsOnly,
+                    other => return Err(format!("--fsync: `{other}` is not `always` or `os`")),
+                }
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -180,25 +195,77 @@ fn main() {
     };
     signals::install();
 
-    eprintln!(
-        "sg-serve: building index ({} rows, {} bits, {} shards)",
-        opts.rows, opts.nbits, opts.shards
-    );
-    let data = generate(opts.rows, opts.nbits, opts.row_items, opts.seed);
-    let exec = Arc::new(
-        ShardedExecutor::build(
-            opts.nbits,
-            &data,
-            &ExecConfig {
-                shards: opts.shards.max(1),
-                threads: opts.exec_threads,
-                ..ExecConfig::default()
-            },
-        )
-        .expect("build sharded executor"),
-    );
+    let exec_config = ExecConfig {
+        shards: opts.shards.max(1),
+        threads: opts.exec_threads,
+        ..ExecConfig::default()
+    };
+    let exec = match &opts.data_dir {
+        Some(dir) => {
+            eprintln!("sg-serve: opening durable index at {dir}");
+            let durability = DurabilityConfig {
+                dir: dir.into(),
+                fsync: opts.fsync,
+            };
+            let exec = match ShardedExecutor::open_durable(opts.nbits, &exec_config, &durability) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("sg-serve: cannot open {dir}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            if let Some(rec) = exec.recovery() {
+                eprintln!(
+                    "sg-serve: recovered {} records ({} from wal, {} torn bytes discarded)",
+                    rec.replayed, rec.wal_records, rec.truncated_bytes
+                );
+            }
+            // Seed a fresh durable index with the synthetic dataset; a
+            // restart serves the recovered data instead of re-seeding.
+            if exec.is_empty() && opts.rows > 0 {
+                eprintln!(
+                    "sg-serve: seeding empty durable index ({} rows, {} bits)",
+                    opts.rows, opts.nbits
+                );
+                let data = generate(opts.rows, opts.nbits, opts.row_items, opts.seed);
+                for chunk in data.chunks(1024) {
+                    let ops = chunk
+                        .iter()
+                        .map(|(tid, sig)| WriteOp::Insert {
+                            tid: *tid,
+                            sig: sig.clone(),
+                        })
+                        .collect();
+                    for ack in exec.write_batch(ops) {
+                        if let Err(e) = ack {
+                            eprintln!("sg-serve: seeding failed: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                if let Err(e) = exec.checkpoint() {
+                    eprintln!("sg-serve: checkpoint after seeding failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+            Arc::new(exec)
+        }
+        None => {
+            eprintln!(
+                "sg-serve: building index ({} rows, {} bits, {} shards)",
+                opts.rows, opts.nbits, opts.shards
+            );
+            let data = generate(opts.rows, opts.nbits, opts.row_items, opts.seed);
+            Arc::new(
+                ShardedExecutor::build(opts.nbits, &data, &exec_config)
+                    .expect("build sharded executor"),
+            )
+        }
+    };
 
     let registry = Arc::new(Registry::new());
+    exec.register_obs(&registry, "exec");
+    exec.register_ingest_obs(&registry, "ingest");
     let config = ServeConfig {
         addr: opts.addr.clone(),
         admin_addr: opts.admin_addr.clone(),
@@ -211,7 +278,7 @@ fn main() {
         default_timeout: Duration::from_millis(opts.timeout_ms.max(1)),
         ..ServeConfig::default()
     };
-    let server = match Server::start(exec, registry, config) {
+    let server = match Server::start(Arc::clone(&exec), registry, config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("sg-serve: failed to start: {e}");
@@ -236,6 +303,14 @@ fn main() {
     }
     eprintln!("sg-serve: shutdown requested, draining");
     let report = server.join();
+    // Every acknowledged write is already on the WAL; the checkpoint just
+    // makes the next open fast (snapshot + short tail).
+    if opts.data_dir.is_some() {
+        match exec.checkpoint() {
+            Ok(()) => eprintln!("sg-serve: checkpoint written"),
+            Err(e) => eprintln!("sg-serve: checkpoint on drain failed: {e}"),
+        }
+    }
     println!(
         "sg-serve: drain complete (served={}, busy_rejected={}, timeouts={}, errors={})",
         report.requests, report.busy_rejected, report.timeouts, report.errors

@@ -136,6 +136,49 @@ impl Client {
         self.call(&req)
     }
 
+    /// Inserts a transaction; the server acks only once the write is
+    /// durable to its fsync policy.
+    pub fn insert(
+        &mut self,
+        tid: u64,
+        items: &[u32],
+        timeout_ms: Option<u64>,
+    ) -> Result<Response, ClientError> {
+        let req = Request::Insert {
+            id: self.take_id(),
+            tid,
+            items: items.to_vec(),
+            timeout_ms,
+        };
+        self.call(&req)
+    }
+
+    /// Deletes a transaction by id (`applied: false` when absent).
+    pub fn delete(&mut self, tid: u64, timeout_ms: Option<u64>) -> Result<Response, ClientError> {
+        let req = Request::Delete {
+            id: self.take_id(),
+            tid,
+            timeout_ms,
+        };
+        self.call(&req)
+    }
+
+    /// Inserts or replaces a transaction.
+    pub fn upsert(
+        &mut self,
+        tid: u64,
+        items: &[u32],
+        timeout_ms: Option<u64>,
+    ) -> Result<Response, ClientError> {
+        let req = Request::Upsert {
+            id: self.take_id(),
+            tid,
+            items: items.to_vec(),
+            timeout_ms,
+        };
+        self.call(&req)
+    }
+
     /// `k` nearest neighbors under `metric`.
     pub fn knn(
         &mut self,

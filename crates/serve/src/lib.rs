@@ -7,13 +7,17 @@
 //! protocol, built from four cooperating pieces:
 //!
 //! * [`proto`] — the wire protocol: `Containment` / `Range` /
-//!   `Similarity` / `Knn` requests, canonical `(dist, tid)` responses,
-//!   and structured error frames (`SERVER_BUSY`, `DEADLINE_EXCEEDED`, …).
+//!   `Similarity` / `Knn` queries plus `Insert` / `Delete` / `Upsert`
+//!   writes, canonical `(dist, tid)` responses, durable write acks
+//!   (`applied` + WAL `lsn`), and structured error frames
+//!   (`SERVER_BUSY`, `DEADLINE_EXCEEDED`, …).
 //! * [`frame`] — 4-byte big-endian length prefix + JSON payload, with a
 //!   hard frame-size cap so a hostile peer cannot balloon memory.
 //! * [`batcher`] — the **dynamic micro-batcher**: admitted requests wait
 //!   in a bounded queue until either `max_batch` of them accumulate or
-//!   `max_wait` elapses, then the whole batch rides one
+//!   `max_wait` elapses; the batch's writes then ride one group-committed
+//!   [`sg_exec::ShardedExecutor::write_batch`] (a single WAL fsync per
+//!   shard touched) and its queries one
 //!   [`sg_exec::ShardedExecutor::execute_batch_cancellable`] call. When
 //!   the queue is full the submitter gets `SERVER_BUSY` with a
 //!   `retry_after_ms` hint instead of queueing unboundedly, and a request

@@ -271,7 +271,9 @@ pub fn run_load(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
                 let req = request_for(&cfg, i);
                 tally.sent += 1;
                 match client.call(&req) {
-                    Ok(Response::Neighbors { .. }) | Ok(Response::Tids { .. }) => {
+                    Ok(Response::Neighbors { .. })
+                    | Ok(Response::Tids { .. })
+                    | Ok(Response::Ack { .. }) => {
                         tally.ok += 1;
                         tally
                             .latencies_us

@@ -103,11 +103,37 @@ fn request() -> impl Strategy<Value = Request> {
             timeout_ms,
         },
     );
+    let insert = (0u64..1_000_000, 0u64..=u64::MAX, items(), timeout()).prop_map(
+        |(id, tid, items, timeout_ms)| Request::Insert {
+            id,
+            tid,
+            items,
+            timeout_ms,
+        },
+    );
+    let delete = (0u64..1_000_000, 0u64..=u64::MAX, timeout()).prop_map(|(id, tid, timeout_ms)| {
+        Request::Delete {
+            id,
+            tid,
+            timeout_ms,
+        }
+    });
+    let upsert = (0u64..1_000_000, 0u64..=u64::MAX, items(), timeout()).prop_map(
+        |(id, tid, items, timeout_ms)| Request::Upsert {
+            id,
+            tid,
+            items,
+            timeout_ms,
+        },
+    );
     Union::new(vec![
         boxed(containment),
         boxed(range),
         boxed(similarity),
         boxed(knn),
+        boxed(insert),
+        boxed(delete),
+        boxed(upsert),
     ])
 }
 
@@ -137,7 +163,21 @@ fn response() -> impl Strategy<Value = Response> {
             retry_after_ms,
         },
     );
-    Union::new(vec![boxed(neighbors), boxed(tids), boxed(error)])
+    let ack = (
+        0u64..1_000_000,
+        (0u8..2).prop_map(|b| b == 1),
+        prop_oneof![
+            Just(None),
+            boxed((0u64..=u64::MAX).prop_map(Some)) as Box<dyn Strategy<Value = Option<u64>>>,
+        ],
+    )
+        .prop_map(|(id, applied, lsn)| Response::Ack { id, applied, lsn });
+    Union::new(vec![
+        boxed(neighbors),
+        boxed(tids),
+        boxed(error),
+        boxed(ack),
+    ])
 }
 
 /// Compares responses with `-0.0`-vs-`0.0` and NaN out of the picture

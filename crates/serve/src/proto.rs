@@ -3,7 +3,8 @@
 //! Every frame payload is one JSON object. Requests carry a caller-chosen
 //! `id` that the matching response echoes, a `type` discriminator, and the
 //! query parameters; responses are either an answer (`"ok": true` with
-//! `neighbors` — canonical `(dist, tid)` pairs — or `tids`) or a
+//! `neighbors` — canonical `(dist, tid)` pairs — `tids`, or a write
+//! `applied`/`lsn` ack) or a
 //! structured error (`"ok": false` with `error.code`, `error.message`,
 //! and, for `SERVER_BUSY`, an `error.retry_after_ms` hint).
 //!
@@ -12,6 +13,8 @@
 //! <- {"id":1,"ok":true,"neighbors":[[0.0,3],[2.0,19], ...]}
 //! -> {"id":2,"type":"containment","mode":"containing","items":[40]}
 //! <- {"id":2,"ok":true,"tids":[0,1,2, ...]}
+//! -> {"id":4,"type":"insert","tid":900,"items":[3,40]}
+//! <- {"id":4,"ok":true,"applied":true,"lsn":17}
 //! <- {"id":3,"ok":false,"error":{"code":"SERVER_BUSY",
 //!        "message":"admission queue full","retry_after_ms":12}}
 //! ```
@@ -155,6 +158,38 @@ pub enum Request {
         /// Per-request deadline override, milliseconds.
         timeout_ms: Option<u64>,
     },
+    /// Insert a new transaction; the ack arrives only after the write is
+    /// as durable as the server's fsync policy promises.
+    Insert {
+        /// Caller-chosen id echoed in the response.
+        id: u64,
+        /// Transaction id to insert.
+        tid: u64,
+        /// Item ids of the new transaction's set.
+        items: Vec<u32>,
+        /// Per-request deadline override, milliseconds.
+        timeout_ms: Option<u64>,
+    },
+    /// Delete a transaction by id; `applied: false` when absent.
+    Delete {
+        /// Caller-chosen id echoed in the response.
+        id: u64,
+        /// Transaction id to delete.
+        tid: u64,
+        /// Per-request deadline override, milliseconds.
+        timeout_ms: Option<u64>,
+    },
+    /// Insert-or-replace a transaction.
+    Upsert {
+        /// Caller-chosen id echoed in the response.
+        id: u64,
+        /// Transaction id to upsert.
+        tid: u64,
+        /// Item ids of the transaction's new set.
+        items: Vec<u32>,
+        /// Per-request deadline override, milliseconds.
+        timeout_ms: Option<u64>,
+    },
 }
 
 impl Request {
@@ -164,7 +199,10 @@ impl Request {
             Request::Containment { id, .. }
             | Request::Range { id, .. }
             | Request::Similarity { id, .. }
-            | Request::Knn { id, .. } => *id,
+            | Request::Knn { id, .. }
+            | Request::Insert { id, .. }
+            | Request::Delete { id, .. }
+            | Request::Upsert { id, .. } => *id,
         }
     }
 
@@ -174,8 +212,19 @@ impl Request {
             Request::Containment { timeout_ms, .. }
             | Request::Range { timeout_ms, .. }
             | Request::Similarity { timeout_ms, .. }
-            | Request::Knn { timeout_ms, .. } => *timeout_ms,
+            | Request::Knn { timeout_ms, .. }
+            | Request::Insert { timeout_ms, .. }
+            | Request::Delete { timeout_ms, .. }
+            | Request::Upsert { timeout_ms, .. } => *timeout_ms,
         }
+    }
+
+    /// Whether this request mutates the index.
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            Request::Insert { .. } | Request::Delete { .. } | Request::Upsert { .. }
+        )
     }
 }
 
@@ -240,6 +289,17 @@ pub enum Response {
         /// Matching transaction ids.
         tids: Vec<u64>,
     },
+    /// Durable write acknowledgement: the operation reached the WAL (and
+    /// was fsynced per the server's policy) before this frame was sent.
+    Ack {
+        /// Echo of the request id.
+        id: u64,
+        /// Whether the write changed the index (`false` e.g. for a delete
+        /// of an absent tid).
+        applied: bool,
+        /// WAL sequence number, when the server runs durably.
+        lsn: Option<u64>,
+    },
     /// Structured error.
     Error {
         /// Echo of the request id (`0` when no request could be parsed).
@@ -259,6 +319,7 @@ impl Response {
         match self {
             Response::Neighbors { id, .. }
             | Response::Tids { id, .. }
+            | Response::Ack { id, .. }
             | Response::Error { id, .. } => *id,
         }
     }
@@ -340,6 +401,35 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             m.push(("metric".into(), Json::Str(metric.as_str().into())));
             push_timeout(&mut m, *timeout_ms);
         }
+        Request::Insert {
+            tid,
+            items,
+            timeout_ms,
+            ..
+        } => {
+            m.push(("type".into(), Json::Str("insert".into())));
+            m.push(("tid".into(), Json::U64(*tid)));
+            m.push(("items".into(), items_json(items)));
+            push_timeout(&mut m, *timeout_ms);
+        }
+        Request::Delete {
+            tid, timeout_ms, ..
+        } => {
+            m.push(("type".into(), Json::Str("delete".into())));
+            m.push(("tid".into(), Json::U64(*tid)));
+            push_timeout(&mut m, *timeout_ms);
+        }
+        Request::Upsert {
+            tid,
+            items,
+            timeout_ms,
+            ..
+        } => {
+            m.push(("type".into(), Json::Str("upsert".into())));
+            m.push(("tid".into(), Json::U64(*tid)));
+            m.push(("items".into(), items_json(items)));
+            push_timeout(&mut m, *timeout_ms);
+        }
     }
     Json::Obj(m).to_string_compact().into_bytes()
 }
@@ -368,6 +458,17 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 Json::Arr(tids.iter().map(|&t| Json::U64(t)).collect()),
             ),
         ],
+        Response::Ack { id, applied, lsn } => {
+            let mut m = vec![
+                ("id".into(), Json::U64(*id)),
+                ("ok".into(), Json::Bool(true)),
+                ("applied".into(), Json::Bool(*applied)),
+            ];
+            if let Some(l) = lsn {
+                m.push(("lsn".into(), Json::U64(*l)));
+            }
+            m
+        }
         Response::Error {
             id,
             code,
@@ -502,6 +603,23 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
             metric: get_metric(&doc, MetricName::Hamming)?,
             timeout_ms,
         }),
+        "insert" => Ok(Request::Insert {
+            id,
+            tid: get_u64(&doc, "tid")?,
+            items: get_items(&doc)?,
+            timeout_ms,
+        }),
+        "delete" => Ok(Request::Delete {
+            id,
+            tid: get_u64(&doc, "tid")?,
+            timeout_ms,
+        }),
+        "upsert" => Ok(Request::Upsert {
+            id,
+            tid: get_u64(&doc, "tid")?,
+            items: get_items(&doc)?,
+            timeout_ms,
+        }),
         other => Err(err(format!("unknown request type `{other}`"))),
     }
 }
@@ -537,6 +655,17 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
             retry_after_ms,
         });
     }
+    if let Some(applied) = doc.get("applied") {
+        let applied = match applied {
+            Json::Bool(b) => *b,
+            _ => return Err(err("`applied` must be a boolean")),
+        };
+        let lsn = match doc.get("lsn") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(v.as_u64().ok_or_else(|| err("`lsn` must be a u64"))?),
+        };
+        return Ok(Response::Ack { id, applied, lsn });
+    }
     if let Some(arr) = doc.get("neighbors") {
         let arr = arr
             .as_arr()
@@ -565,5 +694,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
             .collect::<Result<Vec<u64>, ProtoError>>()?;
         return Ok(Response::Tids { id, tids });
     }
-    Err(err("ok response carries neither `neighbors` nor `tids`"))
+    Err(err(
+        "ok response carries none of `neighbors`, `tids`, `applied`",
+    ))
 }

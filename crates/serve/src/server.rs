@@ -20,7 +20,7 @@ use crate::frame::{write_frame, FrameReader, Step, MAX_FRAME_DEFAULT};
 use crate::proto::{
     decode_request, encode_response, ContainmentMode, ErrorCode, Request, Response,
 };
-use sg_exec::{BatchOutput, BatchQuery, ShardedExecutor};
+use sg_exec::{QueryOutput, QueryRequest, ShardedExecutor, WriteOp};
 use sg_obs::{export, Registry, ServeObs};
 use sg_sig::{Metric, Signature};
 use std::collections::VecDeque;
@@ -355,24 +355,39 @@ fn handle_payload(inner: &Inner, payload: &[u8]) -> Response {
         }
     };
     let id = req.id();
-    let query = match to_batch_query(inner, &req) {
-        Ok(q) => q,
-        Err(message) => {
-            inner.obs.errors.inc();
-            return Response::Error {
-                id,
-                code: ErrorCode::BadRequest,
-                message,
-                retry_after_ms: None,
-            };
-        }
-    };
     let timeout = req
         .timeout_ms()
         .map(Duration::from_millis)
         .unwrap_or(inner.config.default_timeout);
     let deadline = Instant::now() + timeout;
-    let ticket = match inner.batcher.submit(query, deadline) {
+    let submitted = if req.is_write() {
+        match to_write_op(inner, &req) {
+            Ok(op) => inner.batcher.submit_write(op, deadline),
+            Err(message) => {
+                inner.obs.errors.inc();
+                return Response::Error {
+                    id,
+                    code: ErrorCode::BadRequest,
+                    message,
+                    retry_after_ms: None,
+                };
+            }
+        }
+    } else {
+        match to_query(inner, &req) {
+            Ok(q) => inner.batcher.submit(q, deadline),
+            Err(message) => {
+                inner.obs.errors.inc();
+                return Response::Error {
+                    id,
+                    code: ErrorCode::BadRequest,
+                    message,
+                    retry_after_ms: None,
+                };
+            }
+        }
+    };
+    let ticket = match submitted {
         Ok(t) => t,
         Err(SubmitError::Busy { retry_after_ms }) => {
             return Response::Error {
@@ -394,11 +409,16 @@ fn handle_payload(inner: &Inner, payload: &[u8]) -> Response {
     let remaining = deadline.saturating_duration_since(Instant::now());
     match ticket.rx.recv_timeout(remaining) {
         Ok(BatchReply::Done(output)) => match output {
-            BatchOutput::Neighbors(neighbors) => Response::Neighbors {
+            QueryOutput::Neighbors(neighbors) => Response::Neighbors {
                 id,
                 pairs: neighbors.into_iter().map(|n| (n.dist, n.tid)).collect(),
             },
-            BatchOutput::Tids(tids) => Response::Tids { id, tids },
+            QueryOutput::Tids(tids) => Response::Tids { id, tids },
+        },
+        Ok(BatchReply::Acked(ack)) => Response::Ack {
+            id,
+            applied: ack.applied,
+            lsn: ack.lsn,
         },
         Ok(BatchReply::Expired) => {
             inner.obs.timeouts.inc();
@@ -439,28 +459,31 @@ fn handle_payload(inner: &Inner, payload: &[u8]) -> Response {
     }
 }
 
-/// Maps a validated wire request to the executor's batch-query form.
-fn to_batch_query(inner: &Inner, req: &Request) -> Result<BatchQuery, String> {
+/// Builds a query signature, validating every item id against the index
+/// universe.
+fn sig_of(nbits: u32, items: &[u32]) -> Result<Signature, String> {
+    if let Some(&bad) = items.iter().find(|&&i| i >= nbits) {
+        return Err(format!(
+            "item id {bad} out of range: this index maps items to {nbits} signature bits"
+        ));
+    }
+    Ok(Signature::from_items(nbits, items))
+}
+
+/// Maps a validated wire request to the executor's unified query form.
+fn to_query(inner: &Inner, req: &Request) -> Result<QueryRequest, String> {
     let nbits = inner.exec.nbits();
-    let sig_of = |items: &[u32]| -> Result<Signature, String> {
-        if let Some(&bad) = items.iter().find(|&&i| i >= nbits) {
-            return Err(format!(
-                "item id {bad} out of range: this index maps items to {nbits} signature bits"
-            ));
-        }
-        Ok(Signature::from_items(nbits, items))
-    };
     match req {
         Request::Containment { mode, items, .. } => {
-            let q = sig_of(items)?;
+            let q = sig_of(nbits, items)?;
             Ok(match mode {
-                ContainmentMode::Containing => BatchQuery::Containing { q },
-                ContainmentMode::ContainedIn => BatchQuery::ContainedIn { q },
-                ContainmentMode::Exact => BatchQuery::Exact { q },
+                ContainmentMode::Containing => QueryRequest::Containing { q },
+                ContainmentMode::ContainedIn => QueryRequest::ContainedIn { q },
+                ContainmentMode::Exact => QueryRequest::Exact { q },
             })
         }
-        Request::Range { items, radius, .. } => Ok(BatchQuery::Range {
-            q: sig_of(items)?,
+        Request::Range { items, radius, .. } => Ok(QueryRequest::Range {
+            q: sig_of(nbits, items)?,
             eps: *radius,
             metric: Metric::hamming(),
         }),
@@ -469,8 +492,8 @@ fn to_batch_query(inner: &Inner, req: &Request) -> Result<BatchQuery, String> {
             min_sim,
             metric,
             ..
-        } => Ok(BatchQuery::Range {
-            q: sig_of(items)?,
+        } => Ok(QueryRequest::Range {
+            q: sig_of(nbits, items)?,
             eps: 1.0 - min_sim,
             metric: metric.to_metric(),
         }),
@@ -478,12 +501,32 @@ fn to_batch_query(inner: &Inner, req: &Request) -> Result<BatchQuery, String> {
             items, k, metric, ..
         } => {
             let k = usize::try_from(*k).map_err(|_| "`k` is out of range".to_string())?;
-            Ok(BatchQuery::Knn {
-                q: sig_of(items)?,
+            Ok(QueryRequest::Knn {
+                q: sig_of(nbits, items)?,
                 k,
                 metric: metric.to_metric(),
             })
         }
+        Request::Insert { .. } | Request::Delete { .. } | Request::Upsert { .. } => {
+            Err("write request routed to the query path".into())
+        }
+    }
+}
+
+/// Maps a validated wire request to the executor's write-op form.
+fn to_write_op(inner: &Inner, req: &Request) -> Result<WriteOp, String> {
+    let nbits = inner.exec.nbits();
+    match req {
+        Request::Insert { tid, items, .. } => Ok(WriteOp::Insert {
+            tid: *tid,
+            sig: sig_of(nbits, items)?,
+        }),
+        Request::Delete { tid, .. } => Ok(WriteOp::Delete { tid: *tid }),
+        Request::Upsert { tid, items, .. } => Ok(WriteOp::Upsert {
+            tid: *tid,
+            sig: sig_of(nbits, items)?,
+        }),
+        _ => Err("query request routed to the write path".into()),
     }
 }
 

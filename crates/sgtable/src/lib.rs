@@ -33,6 +33,7 @@
 
 mod build;
 mod search;
+mod setindex;
 
 pub use build::{cluster_items, ClusterInfo};
 
@@ -225,6 +226,11 @@ impl SgTable {
     /// Number of indexed transactions.
     pub fn len(&self) -> u64 {
         self.len
+    }
+
+    /// Size of the item universe the table was built for.
+    pub fn nbits(&self) -> u32 {
+        self.nbits
     }
 
     /// `true` when nothing is indexed.

@@ -1,0 +1,86 @@
+//! [`SetIndex`] implementation: the SG-table through the unified query
+//! API, so differential tests and benches drive it as a `dyn SetIndex`
+//! alongside the tree and the other baselines.
+
+use crate::SgTable;
+use sg_sig::{Metric, MetricKind, Signature};
+use sg_tree::{
+    QueryOptions, QueryOutput, QueryRequest, QueryResponse, SetIndex, SgError, SgResult, Tid,
+};
+
+/// The table's distance bounds hold only for plain Hamming.
+fn plain_hamming(metric: &Metric) -> bool {
+    (metric.kind(), metric.fixed_dim()) == (MetricKind::Hamming, None)
+}
+
+fn check_nbits(expected: u32, q: &Signature) -> SgResult<()> {
+    if q.nbits() != expected {
+        return Err(SgError::invalid(format!(
+            "query signature has {} bits; index expects {}",
+            q.nbits(),
+            expected
+        )));
+    }
+    Ok(())
+}
+
+impl SetIndex for SgTable {
+    fn name(&self) -> &'static str {
+        "sg-table"
+    }
+
+    fn len(&self) -> u64 {
+        SgTable::len(self)
+    }
+
+    fn nbits(&self) -> u32 {
+        SgTable::nbits(self)
+    }
+
+    fn insert(&mut self, tid: Tid, sig: &Signature) -> SgResult<()> {
+        check_nbits(SgTable::nbits(self), sig)?;
+        SgTable::insert(self, tid, sig);
+        Ok(())
+    }
+
+    fn delete(&mut self, _tid: Tid, _sig: &Signature) -> SgResult<bool> {
+        Err(SgError::Unsupported(
+            "delete on the append-only SG-table (rebuild instead)",
+        ))
+    }
+
+    fn query(&self, req: &QueryRequest, opts: &QueryOptions) -> SgResult<QueryResponse> {
+        check_nbits(SgTable::nbits(self), req.signature())?;
+        if opts.expired() {
+            return Err(SgError::Cancelled);
+        }
+        let (output, stats) = match req {
+            QueryRequest::Knn { q, k, metric } => {
+                if !plain_hamming(metric) {
+                    return Err(SgError::Unsupported(
+                        "the SG-table supports only the plain Hamming metric",
+                    ));
+                }
+                let (r, s) = self.knn(q, *k, metric);
+                (QueryOutput::Neighbors(r), s)
+            }
+            QueryRequest::Range { q, eps, metric } => {
+                if !plain_hamming(metric) {
+                    return Err(SgError::Unsupported(
+                        "the SG-table supports only the plain Hamming metric",
+                    ));
+                }
+                let (r, s) = self.range(q, *eps, metric);
+                (QueryOutput::Neighbors(r), s)
+            }
+            QueryRequest::Containing { .. }
+            | QueryRequest::ContainedIn { .. }
+            | QueryRequest::Exact { .. } => {
+                return Err(SgError::Unsupported(
+                    "containment queries on the SG-table (similarity-only baseline)",
+                ));
+            }
+        };
+        Ok(QueryResponse::single(output, stats))
+    }
+}

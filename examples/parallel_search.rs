@@ -6,7 +6,7 @@
 //! ```
 
 use sg_bench::workloads::{pairs_of, SEED};
-use sg_exec::{BatchQuery, ExecConfig, Partitioner, ShardedExecutor};
+use sg_exec::{ExecConfig, Partitioner, QueryOptions, QueryOutput, QueryRequest, ShardedExecutor};
 use sg_obs::Registry;
 use sg_quest::basket::{BasketParams, PatternPool};
 use sg_sig::{Metric, Signature};
@@ -45,29 +45,40 @@ fn main() {
         exec.threads()
     );
 
-    // One k-NN, with the fan-out EXPLAIN trace: the parent line is the
-    // executor's merge, each child is one shard's branch-and-bound search.
-    let (hits, stats, trace) = exec.knn_explain(&queries[0], 5, &m);
+    // One k-NN through the unified query API, with the fan-out EXPLAIN
+    // trace: the parent line is the executor's merge, each child is one
+    // shard's branch-and-bound search.
+    let resp = exec
+        .query(
+            &QueryRequest::Knn {
+                q: queries[0].clone(),
+                k: 5,
+                metric: m,
+            },
+            &QueryOptions::traced(),
+        )
+        .expect("valid query");
     println!("5-NN of query 0 (Jaccard):");
-    for n in &hits {
-        println!("  tid {:>6}  dist {:.3}", n.tid, n.dist);
+    if let QueryOutput::Neighbors(hits) = &resp.output {
+        for n in hits {
+            println!("  tid {:>6}  dist {:.3}", n.tid, n.dist);
+        }
     }
     println!(
         "\nmerge took {} ns; per-shard nodes visited: {:?}\n",
-        stats.merge_ns,
-        stats
-            .per_shard
+        resp.merge_ns,
+        resp.per_shard
             .iter()
             .map(|s| s.nodes_accessed)
             .collect::<Vec<_>>()
     );
-    println!("{}", trace.render());
+    println!("{}", resp.trace.expect("traced query").render());
 
     // Batched execution pipelines every query × shard task through the
     // worker pool at once.
-    let batch: Vec<BatchQuery> = queries
+    let batch: Vec<QueryRequest> = queries
         .iter()
-        .map(|q| BatchQuery::Knn {
+        .map(|q| QueryRequest::Knn {
             q: q.clone(),
             k: 10,
             metric: m,

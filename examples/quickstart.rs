@@ -75,7 +75,17 @@ fn main() {
 
     // EXPLAIN a k-NN query: per-level nodes visited, entries pruned by the
     // directory lower bound, and exact distances computed.
-    let (_, _, trace) = tree.knn_explain(&q, 3, &metric);
+    let resp = tree
+        .query(
+            &sg_tree::QueryRequest::Knn {
+                q: q.clone(),
+                k: 3,
+                metric,
+            },
+            &sg_tree::QueryOptions::traced(),
+        )
+        .expect("valid query");
+    let trace = resp.trace.expect("traced query carries a trace");
     println!("\n{}", trace.render());
     // The trace round-trips through JSON for log pipelines.
     let roundtrip = sg_tree::QueryTrace::from_json(&trace.to_json()).expect("valid trace JSON");

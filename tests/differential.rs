@@ -5,24 +5,31 @@
 //! ~20-line reference implementation written here, so a bug shared by the
 //! indexes and the scan baseline cannot cancel out.
 //!
-//! Exactness contracts verified:
+//! Every backend is driven through `dyn` [`SetIndex`] — the unified
+//! query/mutation trait — so the differential harness is one loop over
+//! trait objects, not a copy of itself per index type. Exactness
+//! contracts verified:
 //! * `SgTree` and `ShardedExecutor` (all shard counts and partitioners)
 //!   return the oracle answer **byte for byte** — distances, tids, and
 //!   order — for k-NN, range, containment, and exact-match queries.
 //! * `SgTable` and `InvertedIndex` return the oracle's distance vector for
-//!   k-NN and the oracle's exact answer set for range / containment.
+//!   k-NN and the oracle's exact answer set for range; queries outside a
+//!   backend's contract surface as [`SgError::Unsupported`], never wrong
+//!   answers.
 //! * `MinHashLsh` is sound (every reported distance is real) and its
 //!   recall on close neighbors stays above a measured floor.
 
 use sg_bench::workloads::{build_tree, pairs_of, PAGE_SIZE, POOL_FRAMES, SEED};
-use sg_exec::{BatchOutput, BatchQuery, ExecConfig, Partitioner, ShardedExecutor};
+use sg_exec::{ExecConfig, Partitioner, ShardedExecutor};
 use sg_inverted::InvertedIndex;
 use sg_minhash::{LshParams, MinHashLsh};
 use sg_pager::MemStore;
 use sg_quest::basket::{BasketParams, PatternPool};
 use sg_sig::{Metric, Signature};
 use sg_table::{SgTable, TableParams};
-use sg_tree::{Neighbor, Tid};
+use sg_tree::{
+    Neighbor, QueryOptions, QueryOutput, QueryRequest, SetIndex, SgError, SgResult, Tid,
+};
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
@@ -87,6 +94,231 @@ fn workload(n: usize, n_queries: usize) -> (Vec<(Tid, Signature)>, Vec<Signature
 
 fn metrics() -> Vec<Metric> {
     vec![Metric::hamming(), Metric::jaccard()]
+}
+
+// ---------------------------------------------------------------------------
+// The dyn SetIndex harness: every backend behind one trait object.
+// ---------------------------------------------------------------------------
+
+/// Builds every workspace backend over `data` as a boxed [`SetIndex`].
+fn backends(data: &[(Tid, Signature)], nbits: u32) -> Vec<Box<dyn SetIndex>> {
+    let (tree, _) = build_tree(nbits, data, None);
+    let exec = ShardedExecutor::build(
+        nbits,
+        data,
+        &ExecConfig {
+            shards: 3,
+            page_size: PAGE_SIZE,
+            pool_frames: POOL_FRAMES,
+            ..ExecConfig::default()
+        },
+    )
+    .unwrap();
+    let table = SgTable::build(
+        Arc::new(MemStore::new(PAGE_SIZE)),
+        nbits,
+        &TableParams {
+            k_signatures: 10,
+            activation: 2,
+            critical_mass: 0.15,
+            pool_frames: POOL_FRAMES,
+        },
+        data,
+    );
+    let inv = InvertedIndex::build(Arc::new(MemStore::new(PAGE_SIZE)), nbits, POOL_FRAMES, data);
+    let lsh = MinHashLsh::build(nbits, LshParams::default(), data);
+    vec![
+        Box::new(tree),
+        Box::new(exec),
+        Box::new(table),
+        Box::new(inv),
+        Box::new(lsh),
+    ]
+}
+
+/// Issues one request through the trait object and unwraps a neighbor list.
+fn neighbors_via(idx: &dyn SetIndex, req: &QueryRequest) -> SgResult<Vec<Neighbor>> {
+    match idx.query(req, &QueryOptions::default())?.output {
+        QueryOutput::Neighbors(ns) => Ok(ns),
+        other => panic!("{}: expected neighbors, got {other:?}", idx.name()),
+    }
+}
+
+/// Issues one request through the trait object and unwraps a tid list.
+fn tids_via(idx: &dyn SetIndex, req: &QueryRequest) -> SgResult<Vec<Tid>> {
+    match idx.query(req, &QueryOptions::default())?.output {
+        QueryOutput::Tids(ts) => Ok(ts),
+        other => panic!("{}: expected tids, got {other:?}", idx.name()),
+    }
+}
+
+/// One loop, five backends: each answers the unified requests within its
+/// contract (byte-exact, distance-exact, or sound-approximate), and
+/// anything outside the contract is a structured `Unsupported` error.
+#[test]
+fn all_backends_match_oracle_through_dyn_set_index() {
+    let (data, queries, nbits) = workload(3_000, 15);
+    let m = Metric::hamming();
+    let by_tid: std::collections::HashMap<Tid, &Signature> =
+        data.iter().map(|(t, s)| (*t, s)).collect();
+    for idx in backends(&data, nbits) {
+        let idx: &dyn SetIndex = idx.as_ref();
+        let name = idx.name();
+        assert_eq!(idx.len(), data.len() as u64, "{name}: len");
+        assert_eq!(idx.nbits(), nbits, "{name}: nbits");
+        assert!(!idx.is_empty(), "{name}: is_empty");
+        for q in &queries {
+            let knn = QueryRequest::Knn {
+                q: q.clone(),
+                k: 10,
+                metric: m,
+            };
+            let range = QueryRequest::Range {
+                q: q.clone(),
+                eps: 3.0,
+                metric: m,
+            };
+            let truth_knn = oracle_knn(&data, q, 10, &m);
+            let truth_range = oracle_range(&data, q, 3.0, &m);
+            match name {
+                // Exact backends: byte-identical, order included.
+                "sg-tree" | "sg-exec" => {
+                    assert_eq!(neighbors_via(idx, &knn).unwrap(), truth_knn, "{name}: knn");
+                    assert_eq!(
+                        neighbors_via(idx, &range).unwrap(),
+                        truth_range,
+                        "{name}: range"
+                    );
+                }
+                // Distance-exact backends: the distance vector matches;
+                // tie order at the k-th boundary is their own.
+                "sg-table" | "inverted" => {
+                    assert_eq!(
+                        dists(&neighbors_via(idx, &knn).unwrap()),
+                        dists(&truth_knn),
+                        "{name}: knn distances"
+                    );
+                    let mut got = neighbors_via(idx, &range).unwrap();
+                    got.sort_by(|a, b| {
+                        a.dist.partial_cmp(&b.dist).unwrap().then(a.tid.cmp(&b.tid))
+                    });
+                    assert_eq!(got, truth_range, "{name}: range");
+                }
+                // Approximate backend: sound (no fabricated distances, no
+                // out-of-radius answers), completeness not guaranteed.
+                "minhash" => {
+                    for n in neighbors_via(idx, &range).unwrap() {
+                        assert_eq!(n.dist, m.dist(q, by_tid[&n.tid]), "{name}: fabricated");
+                        assert!(n.dist <= 3.0, "{name}: out of radius");
+                    }
+                }
+                other => panic!("unknown backend `{other}` joined the harness"),
+            }
+            // Containment queries: exact where supported, a structured
+            // error (never a wrong answer) where not.
+            let containing = QueryRequest::Containing { q: q.clone() };
+            let exact = QueryRequest::Exact { q: q.clone() };
+            match name {
+                "sg-tree" | "sg-exec" | "inverted" => {
+                    assert_eq!(
+                        tids_via(idx, &containing).unwrap(),
+                        oracle_containing(&data, q),
+                        "{name}: containing"
+                    );
+                    assert_eq!(
+                        tids_via(idx, &exact).unwrap(),
+                        oracle_exact(&data, q),
+                        "{name}: exact"
+                    );
+                }
+                _ => {
+                    assert!(
+                        matches!(tids_via(idx, &containing), Err(SgError::Unsupported(_))),
+                        "{name}: containment must be Unsupported"
+                    );
+                }
+            }
+        }
+        // A fractional metric is outside the table/inverted contract: it
+        // must refuse, not return Hamming-scored distances.
+        let jaccard_knn = QueryRequest::Knn {
+            q: queries[0].clone(),
+            k: 5,
+            metric: Metric::jaccard(),
+        };
+        match name {
+            "sg-table" | "inverted" => assert!(
+                matches!(
+                    neighbors_via(idx, &jaccard_knn),
+                    Err(SgError::Unsupported(_))
+                ),
+                "{name}: jaccard k-NN must be Unsupported"
+            ),
+            _ => assert!(neighbors_via(idx, &jaccard_knn).is_ok(), "{name}: jaccard"),
+        }
+        // A wrong-universe query is Invalid everywhere, uniformly.
+        let wrong = QueryRequest::Exact {
+            q: Signature::from_items(nbits + 64, &[1]),
+        };
+        assert!(
+            matches!(
+                idx.query(&wrong, &QueryOptions::default()),
+                Err(SgError::Invalid(_))
+            ),
+            "{name}: universe mismatch must be Invalid"
+        );
+    }
+}
+
+/// Mutation through the trait: dynamic backends apply inserts and deletes
+/// and the new state is immediately queryable; build-only backends refuse
+/// with `Unsupported` and stay untouched.
+#[test]
+fn dyn_set_index_mutation_contract() {
+    let (data, _, nbits) = workload(500, 1);
+    let fresh_tid: Tid = 9_999_999;
+    let fresh_sig = Signature::from_items(nbits, &[1, 5, 9]);
+    for mut idx in backends(&data, nbits) {
+        let name = idx.name();
+        let before = idx.len();
+        let exact = QueryRequest::Exact {
+            q: fresh_sig.clone(),
+        };
+        match idx.insert(fresh_tid, &fresh_sig) {
+            Ok(()) => {
+                assert_eq!(idx.len(), before + 1, "{name}: len after insert");
+                // Backends that can answer exact-match must now find it.
+                if let Ok(ts) = tids_via(idx.as_ref(), &exact) {
+                    assert!(ts.contains(&fresh_tid), "{name}: inserted tid missing");
+                }
+                match idx.delete(fresh_tid, &fresh_sig) {
+                    Ok(applied) => {
+                        assert!(applied, "{name}: delete of a present tid");
+                        assert_eq!(idx.len(), before, "{name}: len after delete");
+                    }
+                    Err(SgError::Unsupported(_)) => {
+                        // Append-only (the SG-table): the insert stays.
+                        assert_eq!(idx.len(), before + 1, "{name}: append-only len");
+                    }
+                    Err(e) => panic!("{name}: delete failed unexpectedly: {e}"),
+                }
+            }
+            Err(SgError::Unsupported(_)) => {
+                assert_eq!(idx.len(), before, "{name}: build-only len must not move");
+            }
+            Err(e) => panic!("{name}: insert failed unexpectedly: {e}"),
+        }
+        // A wrong-universe insert is Invalid (not Unsupported, not a panic)
+        // on every backend that accepts inserts at all.
+        let bad = Signature::from_items(nbits + 64, &[2]);
+        assert!(
+            matches!(
+                idx.insert(fresh_tid + 1, &bad),
+                Err(SgError::Invalid(_)) | Err(SgError::Unsupported(_))
+            ),
+            "{name}: wrong-universe insert must be refused"
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -186,89 +418,36 @@ fn sharded_batch_matches_sequential_answers() {
         },
     )
     .unwrap();
-    let batch: Vec<BatchQuery> = queries
+    let batch: Vec<QueryRequest> = queries
         .iter()
         .enumerate()
         .map(|(i, q)| match i % 4 {
-            0 => BatchQuery::Knn {
+            0 => QueryRequest::Knn {
                 q: q.clone(),
                 k: 8,
                 metric: m,
             },
-            1 => BatchQuery::Range {
+            1 => QueryRequest::Range {
                 q: q.clone(),
                 eps: 3.0,
                 metric: m,
             },
-            2 => BatchQuery::Containing { q: q.clone() },
-            _ => BatchQuery::Exact { q: q.clone() },
+            2 => QueryRequest::Containing { q: q.clone() },
+            _ => QueryRequest::Exact { q: q.clone() },
         })
         .collect();
     let results = exec.execute_batch(batch);
     assert_eq!(results.len(), queries.len());
     for (i, (q, r)) in queries.iter().zip(&results).enumerate() {
+        let r = r.as_ref().expect("batch query must succeed");
         match (i % 4, &r.output) {
-            (0, BatchOutput::Neighbors(ns)) => assert_eq!(*ns, oracle_knn(&data, q, 8, &m)),
-            (1, BatchOutput::Neighbors(ns)) => assert_eq!(*ns, oracle_range(&data, q, 3.0, &m)),
-            (2, BatchOutput::Tids(ts)) => assert_eq!(*ts, oracle_containing(&data, q)),
-            (3, BatchOutput::Tids(ts)) => assert_eq!(*ts, oracle_exact(&data, q)),
+            (0, QueryOutput::Neighbors(ns)) => assert_eq!(*ns, oracle_knn(&data, q, 8, &m)),
+            (1, QueryOutput::Neighbors(ns)) => assert_eq!(*ns, oracle_range(&data, q, 3.0, &m)),
+            (2, QueryOutput::Tids(ts)) => assert_eq!(*ts, oracle_containing(&data, q)),
+            (3, QueryOutput::Tids(ts)) => assert_eq!(*ts, oracle_exact(&data, q)),
             (_, out) => panic!("query {i} returned mismatched output kind {out:?}"),
         }
-        assert_eq!(r.stats.per_shard.len(), 4);
-    }
-}
-
-// ---------------------------------------------------------------------------
-// SgTable: same distance vector as the oracle (tie order at the k-th
-// boundary is the table's own; distances must agree exactly).
-// ---------------------------------------------------------------------------
-
-#[test]
-fn table_matches_oracle_distances() {
-    let (data, queries, nbits) = workload(3_000, 20);
-    let params = TableParams {
-        k_signatures: 10,
-        activation: 2,
-        critical_mass: 0.15,
-        pool_frames: POOL_FRAMES,
-    };
-    let table = SgTable::build(Arc::new(MemStore::new(PAGE_SIZE)), nbits, &params, &data);
-    let m = Metric::hamming(); // the table's bounds are Hamming-only
-    for q in &queries {
-        let (got, _) = table.knn(q, 10, &m);
-        assert_eq!(dists(&got), dists(&oracle_knn(&data, q, 10, &m)));
-        let (got_r, _) = table.range(q, 2.5, &m);
-        let mut got_r = got_r;
-        got_r.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap().then(a.tid.cmp(&b.tid)));
-        assert_eq!(got_r, oracle_range(&data, q, 2.5, &m));
-    }
-}
-
-// ---------------------------------------------------------------------------
-// InvertedIndex: exact on every supported query type.
-// ---------------------------------------------------------------------------
-
-#[test]
-fn inverted_matches_oracle() {
-    let (data, queries, nbits) = workload(3_000, 20);
-    let inv = InvertedIndex::build(
-        Arc::new(MemStore::new(PAGE_SIZE)),
-        nbits,
-        POOL_FRAMES,
-        &data,
-    );
-    let m = Metric::hamming(); // overlap scoring is Hamming-only
-    for q in &queries {
-        let (got, _) = inv.knn(q, 10, &m);
-        assert_eq!(dists(&got), dists(&oracle_knn(&data, q, 10, &m)));
-        let (got_r, _) = inv.range(q, 3.0, &m);
-        let mut got_r = got_r;
-        got_r.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap().then(a.tid.cmp(&b.tid)));
-        assert_eq!(got_r, oracle_range(&data, q, 3.0, &m));
-        let (got_c, _) = inv.containing(q);
-        assert_eq!(got_c, oracle_containing(&data, q));
-        let (got_e, _) = inv.exact(q);
-        assert_eq!(got_e, oracle_exact(&data, q));
+        assert_eq!(r.per_shard.len(), 4);
     }
 }
 

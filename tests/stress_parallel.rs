@@ -7,7 +7,7 @@
 //! queue-depth gauge returns to zero once the storm is over.
 
 use sg_bench::workloads::{build_tree, pairs_of, PAGE_SIZE, POOL_FRAMES, SEED};
-use sg_exec::{BatchOutput, BatchQuery, ExecConfig, Partitioner, ShardedExecutor};
+use sg_exec::{ExecConfig, Partitioner, QueryOutput, QueryRequest, ShardedExecutor};
 use sg_obs::Registry;
 use sg_quest::basket::{BasketParams, PatternPool};
 use sg_sig::{Metric, Signature};
@@ -96,25 +96,26 @@ fn readers_see_single_tree_answers_and_counters_stay_monotone() {
                 for round in 0..ROUNDS {
                     if (reader + round) % 3 == 0 {
                         // Batch path: all queries at once, mixed types.
-                        let batch: Vec<BatchQuery> = queries
+                        let batch: Vec<QueryRequest> = queries
                             .iter()
                             .enumerate()
                             .map(|(i, q)| {
                                 if i % 2 == 0 {
-                                    BatchQuery::Knn {
+                                    QueryRequest::Knn {
                                         q: q.clone(),
                                         k: 10,
                                         metric: m,
                                     }
                                 } else {
-                                    BatchQuery::Containing { q: q.clone() }
+                                    QueryRequest::Containing { q: q.clone() }
                                 }
                             })
                             .collect();
                         for (i, r) in exec.execute_batch(batch).into_iter().enumerate() {
+                            let r = r.expect("batch query must succeed");
                             match r.output {
-                                BatchOutput::Neighbors(ns) => assert_eq!(ns, expected_knn[i]),
-                                BatchOutput::Tids(ts) => assert_eq!(ts, expected_containing[i]),
+                                QueryOutput::Neighbors(ns) => assert_eq!(ns, expected_knn[i]),
+                                QueryOutput::Tids(ts) => assert_eq!(ts, expected_containing[i]),
                             }
                         }
                     } else {
