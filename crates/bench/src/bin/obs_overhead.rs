@@ -1,0 +1,148 @@
+//! `obs-overhead` — the cost of the observability layer, measured.
+//!
+//! Runs the same operations twice, flight recorder off then on, and
+//! appends both sides to `BENCH_obs.json` so the overhead is tracked
+//! across PRs like the serve/ingest trajectories:
+//!
+//! * per-op: `tree.knn(k=10)` on the `T10.I6.D20K` workload — the same
+//!   op as `index_ops`'s `query_20k/knn10_sg_tree` — mean ns over a
+//!   fixed iteration count. With the recorder off this path pays one
+//!   relaxed atomic load per query, which is the <5% acceptance bound.
+//! * end-to-end: a closed-loop load against an embedded server (every
+//!   request stamped with a `trace_id` when the recorder is on), p50/p99.
+//!
+//! ```text
+//! obs-overhead [--queries N] [--out PATH]
+//! ```
+
+use sg_bench::workloads::{build_tree, pairs_of, SEED};
+use sg_obs::json::{self, Json};
+use sg_obs::{span, Registry};
+use sg_quest::basket::{BasketParams, PatternPool};
+use sg_serve::{LoadConfig, LoadMode, ServeConfig, Server, Workload};
+use sg_sig::{Metric, Signature};
+use std::sync::Arc;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+const D: usize = 20_000;
+
+fn main() {
+    let mut iters = 20_000usize;
+    let mut out = "BENCH_obs.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--queries" => iters = val("--queries").parse().expect("--queries"),
+            "--out" => out = val("--out"),
+            other => panic!("unknown flag `{other}`"),
+        }
+    }
+
+    let pool = PatternPool::new(BasketParams::standard(10, 6), SEED);
+    let ds = pool.dataset(D, SEED);
+    let queries: Vec<Signature> = pool
+        .queries(64, SEED)
+        .iter()
+        .map(|q| Signature::from_items(ds.n_items, q))
+        .collect();
+    let data = pairs_of(&ds);
+
+    // ---- per-op: knn10 against the 20k tree, recorder off vs on.
+    let (tree, _) = build_tree(ds.n_items, &data, None);
+    let m = Metric::hamming();
+    let mut knn_ns = [0u64; 2];
+    for (side, on) in [(0usize, false), (1usize, true)] {
+        span::set_enabled(on);
+        // Warmup, then a fixed measured count.
+        for q in queries.iter().take(16) {
+            std::hint::black_box(tree.knn(q, 10, &m));
+        }
+        let t0 = Instant::now();
+        for i in 0..iters {
+            std::hint::black_box(tree.knn(&queries[i % queries.len()], 10, &m));
+        }
+        knn_ns[side] = t0.elapsed().as_nanos() as u64 / iters as u64;
+    }
+    span::set_enabled(false);
+    let overhead_pct = if knn_ns[0] > 0 {
+        100.0 * (knn_ns[1] as f64 - knn_ns[0] as f64) / knn_ns[0] as f64
+    } else {
+        0.0
+    };
+    println!(
+        "tree.knn10/20k: off {} ns/op, on {} ns/op ({overhead_pct:+.2}% recording cost)",
+        knn_ns[0], knn_ns[1]
+    );
+
+    // ---- end-to-end: closed-loop load, recorder off vs on.
+    let serve_side = |on: bool| {
+        span::set_enabled(on);
+        let exec = Arc::new(
+            sg_exec::ShardedExecutor::build(ds.n_items, &data, &sg_exec::ExecConfig::default())
+                .expect("executor"),
+        );
+        let server = Server::start(
+            exec,
+            Arc::new(Registry::new()),
+            ServeConfig {
+                admin_addr: None,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("server");
+        let cfg = LoadConfig {
+            addr: server.local_addr().to_string(),
+            conns: 4,
+            queries: 1000,
+            nbits: ds.n_items,
+            query_items: 8,
+            workload: Workload::Mix,
+            mode: LoadMode::Closed,
+            trace_sample: if on { 1 } else { 0 },
+            ..LoadConfig::default()
+        };
+        let report = sg_serve::run_load(&cfg).expect("load");
+        server.join();
+        span::set_enabled(false);
+        println!(
+            "serve closed loop ({}): p50 {} us, p99 {} us, {:.1} qps",
+            if on { "recorder on" } else { "recorder off" },
+            report.p50_us,
+            report.p99_us,
+            report.throughput_qps
+        );
+        report
+    };
+    let off = serve_side(false);
+    let on = serve_side(true);
+
+    let mut entries = match std::fs::read_to_string(&out) {
+        Ok(text) => match json::parse(&text) {
+            Ok(Json::Arr(entries)) => entries,
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    let unix_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    entries.push(Json::Obj(vec![
+        ("unix_ms".into(), Json::U64(unix_ms)),
+        ("knn10_off_ns".into(), Json::U64(knn_ns[0])),
+        ("knn10_on_ns".into(), Json::U64(knn_ns[1])),
+        ("knn10_overhead_pct".into(), Json::F64(overhead_pct)),
+        ("serve_off_p50_us".into(), Json::U64(off.p50_us)),
+        ("serve_off_p99_us".into(), Json::U64(off.p99_us)),
+        ("serve_on_p50_us".into(), Json::U64(on.p50_us)),
+        ("serve_on_p99_us".into(), Json::U64(on.p99_us)),
+        ("serve_off_qps".into(), Json::F64(off.throughput_qps)),
+        ("serve_on_qps".into(), Json::F64(on.throughput_qps)),
+    ]));
+    std::fs::write(&out, Json::Arr(entries).to_string_pretty()).expect("write BENCH_obs.json");
+    println!("obs-overhead: appended trajectory entry to {out}");
+}

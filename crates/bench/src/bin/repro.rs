@@ -5,8 +5,8 @@
 //! repro [EXPERIMENT ...] [--scale F] [--queries N] [--out DIR]
 //!
 //! EXPERIMENT: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-//!             fig14 fig15 fig16 fig17 ablate scaling serve ingest all
-//!             (default: all)
+//!             fig14 fig15 fig16 fig17 ablate scaling serve spans ingest
+//!             all (default: all)
 //! --scale F   scales every dataset cardinality by F (default 1.0 = the
 //!             paper's sizes; use 0.1 for a quick pass)
 //! --queries N queries per experimental point (default 100, as the paper;
@@ -69,7 +69,7 @@ fn parse_args() -> Opts {
             }
             "--help" | "-h" => {
                 println!("repro [EXPERIMENT ...] [--scale F] [--queries N] [--out DIR]");
-                println!("experiments: table1 fig5..fig17 ablate scaling serve ingest all");
+                println!("experiments: table1 fig5..fig17 ablate scaling serve spans ingest all");
                 std::process::exit(0);
             }
             other if other.starts_with('-') => die(&format!("unknown flag {other}")),
@@ -155,6 +155,9 @@ fn main() {
     }
     if want("serve") {
         finish_section(registry, &mut last, serve(&opts), &mut tables);
+    }
+    if want("spans") {
+        finish_section(registry, &mut last, spans(&opts), &mut tables);
     }
     if want("ingest") {
         finish_section(registry, &mut last, ingest(&opts), &mut tables);
@@ -1177,6 +1180,100 @@ fn serve(opts: &Opts) -> Vec<Table> {
             Ok(()) => eprintln!("[serve] appended trajectory entry to {path}"),
             Err(e) => eprintln!("[serve] could not write {path}: {e}"),
         }
+    }
+    vec![out]
+}
+
+// ------------------------------------------------------------- Spans
+
+/// The `spans` figure: where a request's time goes, stage by stage. Runs
+/// a traced closed-loop load against an embedded server with the flight
+/// recorder on (every request carries a `trace_id`), then aggregates the
+/// recorder's spans per instrumentation site into `results/spans.csv`.
+fn spans(opts: &Opts) -> Vec<Table> {
+    use sg_exec::{ExecConfig, Partitioner, ShardedExecutor};
+    use sg_obs::span;
+    use sg_serve::{LoadConfig, LoadMode, ServeConfig, Server, Workload};
+    use std::collections::BTreeMap;
+
+    let d = scaled(50_000, opts.scale);
+    let queries = (opts.queries * 5).max(500);
+    eprintln!(
+        "[spans] flight-recorder span profile, {queries} traced queries on {}…",
+        dataset_name(8, 4, d)
+    );
+    let pool = PatternPool::new(BasketParams::standard(8, 4), SEED);
+    let ds = pool.dataset(d, SEED);
+    let data = pairs_of(&ds);
+    let exec = Arc::new(
+        ShardedExecutor::build(
+            ds.n_items,
+            &data,
+            &ExecConfig {
+                shards: 4,
+                partitioner: Partitioner::SignatureClustered,
+                page_size: PAGE_SIZE,
+                pool_frames: POOL_FRAMES,
+                ..ExecConfig::default()
+            },
+        )
+        .expect("executor config"),
+    );
+    // Rings are sized lazily per recording thread: raise the capacity
+    // before the server's threads record anything, so the whole run fits
+    // and the aggregate is not just the tail of the ring.
+    span::set_ring_capacity(4 * queries.next_power_of_two());
+    span::set_enabled(true);
+    let server = Server::start(
+        exec,
+        Arc::new(Registry::new()),
+        ServeConfig {
+            admin_addr: None,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start embedded server");
+
+    let cfg = LoadConfig {
+        addr: server.local_addr().to_string(),
+        conns: 4,
+        queries,
+        nbits: ds.n_items,
+        query_items: 8,
+        workload: Workload::Mix,
+        mode: LoadMode::Closed,
+        trace_sample: 1,
+        ..LoadConfig::default()
+    };
+    let report = sg_serve::run_load(&cfg).expect("load run");
+    server.join();
+    span::set_enabled(false);
+    eprintln!(
+        "[spans] {} of {} responses echoed their trace_id",
+        report.traced, report.sent
+    );
+
+    let mut by_stage: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+    for s in span::flight_spans() {
+        by_stage.entry(s.name).or_default().push(s.dur_ns);
+    }
+    let mut out = Table::new(
+        "spans",
+        "Request anatomy: per-stage span durations over a traced load run (T8.I4)",
+        &["stage", "count", "mean us", "p50 us", "p99 us"],
+    );
+    let us = |ns: u64| f(ns as f64 / 1_000.0);
+    for (stage, mut durs) in by_stage {
+        durs.sort_unstable();
+        let mean = durs.iter().sum::<u64>() / durs.len() as u64;
+        let pct = |p: f64| durs[((durs.len() - 1) as f64 * p) as usize];
+        out.row(vec![
+            stage.to_string(),
+            durs.len().to_string(),
+            us(mean),
+            us(pct(0.50)),
+            us(pct(0.99)),
+        ]);
     }
     vec![out]
 }

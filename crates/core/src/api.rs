@@ -22,7 +22,7 @@ use crate::scan::ScanIndex;
 use crate::stats::QueryStats;
 use crate::tree::SgTree;
 use crate::Tid;
-use sg_obs::QueryTrace;
+use sg_obs::{QueryTrace, SpanCtx};
 use sg_pager::{SgError, SgResult};
 use sg_sig::{Metric, Signature};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -136,6 +136,9 @@ pub struct QueryOptions {
     /// Absolute deadline; work observed past it returns
     /// [`SgError::Cancelled`].
     pub deadline: Option<Instant>,
+    /// Causal parent for any spans this query records into the flight
+    /// recorder (cross-thread hand-off from the serving layer).
+    pub span: Option<SpanCtx>,
 }
 
 impl QueryOptions {

@@ -20,10 +20,44 @@ pub use join::JoinPair;
 use crate::stats::QueryStats;
 use crate::tree::SgTree;
 use crate::Tid;
+use sg_obs::span::{self, Span};
 use sg_obs::QueryTrace;
 use sg_sig::{Metric, Signature};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Synthesizes one flight-recorder span per tree level from a finished
+/// [`QueryTrace`], nested under the query's `core.query` span. Levels
+/// have no individually-measured wall time, so the parent's duration is
+/// partitioned across them proportionally to nodes visited — the spans
+/// carry the *accounting* (visits, prunes, exact distances); their
+/// widths are an attribution aid, not a measurement.
+fn emit_level_spans(parent: span::SpanCtx, start_ns: u64, end_ns: u64, trace: &QueryTrace) {
+    let total: u64 = trace.levels.iter().map(|l| l.nodes_visited.max(1)).sum();
+    if total == 0 {
+        return;
+    }
+    let dur = end_ns.saturating_sub(start_ns);
+    let mut offset = 0u64;
+    for l in &trace.levels {
+        let d = dur * l.nodes_visited.max(1) / total;
+        span::emit(
+            parent.trace_id,
+            parent.span_id,
+            "core.level",
+            "core",
+            start_ns + offset,
+            d,
+            &[
+                ("level", l.level as u64),
+                ("nodes_visited", l.nodes_visited),
+                ("pruned", l.entries_pruned),
+                ("exact", l.exact_distances),
+            ],
+        );
+        offset += d;
+    }
+}
 
 /// A monotonically non-increasing distance bound shared by concurrent
 /// searches over sibling shards (the sharded executor's k-NN fan-out).
@@ -171,11 +205,16 @@ impl SgTree {
     /// delta) into [`QueryStats`]. When metrics are attached the query's
     /// aggregate costs and wall time are recorded into them.
     pub(crate) fn run_query<R>(&self, f: impl FnOnce(&mut SearchCtx) -> R) -> (R, QueryStats) {
+        // No-op (one relaxed load) unless the flight recorder is on.
+        let mut qspan = Span::start("core.query", "core");
         let start = self.obs().map(|_| Instant::now());
         let io_before = self.pool().stats().snapshot();
         let mut ctx = SearchCtx::default();
         let result = f(&mut ctx);
         let stats = ctx.stats(self, io_before);
+        qspan.attr("nodes", stats.nodes_accessed);
+        qspan.attr("data_compared", stats.data_compared);
+        qspan.attr("dists", stats.dist_computations);
         if let (Some(obs), Some(start)) = (self.obs(), start) {
             obs.observe_query(
                 stats.nodes_accessed,
@@ -196,6 +235,8 @@ impl SgTree {
         label: &str,
         f: impl FnOnce(&mut SearchCtx) -> R,
     ) -> (R, QueryStats, QueryTrace) {
+        let mut qspan = Span::start("core.query", "core");
+        let span_start = qspan.ctx().map(|_| span::now_ns());
         let start = Instant::now();
         let io_before = self.pool().stats().snapshot();
         let mut ctx = SearchCtx {
@@ -211,6 +252,12 @@ impl SgTree {
         trace.logical_reads = stats.io.logical_reads;
         trace.physical_reads = stats.io.physical_reads;
         trace.duration_ns = start.elapsed().as_nanos() as u64;
+        if let (Some(span_ctx), Some(span_start)) = (qspan.ctx(), span_start) {
+            qspan.attr("nodes", stats.nodes_accessed);
+            qspan.attr("data_compared", stats.data_compared);
+            qspan.attr("dists", stats.dist_computations);
+            emit_level_spans(span_ctx, span_start, span::now_ns(), &trace);
+        }
         if let Some(obs) = self.obs() {
             obs.observe_query(
                 stats.nodes_accessed,

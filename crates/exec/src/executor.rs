@@ -15,7 +15,7 @@ use crate::pool::ThreadPool;
 use crate::shard::{
     read_meta, write_meta, DurabilityConfig, RecoveryReport, Shard, WriteAck, WriteOp,
 };
-use sg_obs::{IngestObs, QueryTrace, Registry};
+use sg_obs::{span, IngestObs, QueryTrace, Registry, Span, SpanCtx};
 use sg_pager::{MemStore, SgError, SgResult};
 use sg_sig::{Metric, Signature};
 use sg_tree::{
@@ -449,6 +449,19 @@ impl ShardedExecutor {
     /// in input order; ops for different tids may interleave across
     /// shards.
     pub fn write_batch(&self, ops: Vec<WriteOp>) -> Vec<SgResult<WriteAck>> {
+        self.write_batch_spanned(ops, None)
+    }
+
+    /// [`ShardedExecutor::write_batch`] with a causal span parent: each
+    /// per-shard group commit runs under an `exec.write_group` span, so
+    /// the pager's WAL append/fsync spans nest beneath it. Because the
+    /// group shares one WAL sync, its pager work is attributed to the one
+    /// carried trace.
+    pub fn write_batch_spanned(
+        &self,
+        ops: Vec<WriteOp>,
+        parent: Option<SpanCtx>,
+    ) -> Vec<SgResult<WriteAck>> {
         let started = Instant::now();
         let k = self.shards();
         let n = ops.len();
@@ -512,6 +525,12 @@ impl ShardedExecutor {
             let inner = Arc::clone(&self.inner);
             let tx = tx.clone();
             self.pool.submit(move || {
+                let _sp = parent.map(|p| {
+                    let mut s = Span::with_parent(Some(p), "exec.write_group", "exec");
+                    s.attr("shard", shard_idx as u64);
+                    s.attr("ops", group.len() as u64);
+                    s
+                });
                 let (indices, ops): (Vec<usize>, Vec<WriteOp>) = group.into_iter().unzip();
                 let (results, delta) = inner.shards[shard_idx].apply_batch(
                     &ops,
@@ -771,6 +790,31 @@ impl ShardedExecutor {
         &self,
         queries: Vec<(QueryRequest, CancelFlag)>,
     ) -> Vec<SgResult<QueryResponse>> {
+        let items = queries
+            .into_iter()
+            .map(|(q, cancel)| {
+                (
+                    q,
+                    QueryOptions {
+                        cancel: Some(cancel),
+                        ..QueryOptions::default()
+                    },
+                )
+            })
+            .collect();
+        self.execute_batch_with(items)
+    }
+
+    /// [`ShardedExecutor::execute_batch_cancellable`] with full per-query
+    /// [`QueryOptions`]: cancellation, a deadline, EXPLAIN tracing (the
+    /// merged response carries a parent trace whose children are the
+    /// per-shard traces), and a causal span parent under which each shard
+    /// task records an `exec.shard` span and the merge an `exec.merge`
+    /// span.
+    pub fn execute_batch_with(
+        &self,
+        queries: Vec<(QueryRequest, QueryOptions)>,
+    ) -> Vec<SgResult<QueryResponse>> {
         let n_shards = self.shards();
         let n_queries = queries.len();
         if n_queries == 0 {
@@ -783,7 +827,7 @@ impl ShardedExecutor {
         let mut resolved: Vec<Option<SgResult<QueryResponse>>> =
             (0..n_queries).map(|_| None).collect();
         let mut submitted = 0usize;
-        for (qi, (query, cancel)) in queries.into_iter().enumerate() {
+        for (qi, (query, opts)) in queries.into_iter().enumerate() {
             if let Err(e) = self.check_sig(query.signature()) {
                 resolved[qi] = Some(Err(e));
                 continue;
@@ -793,7 +837,10 @@ impl ShardedExecutor {
                 parts: Mutex::new((0..n_shards).map(|_| None).collect()),
                 remaining: AtomicUsize::new(n_shards),
                 started: Instant::now(),
-                cancel,
+                cancel: opts.cancel.clone().unwrap_or_default(),
+                trace: opts.trace,
+                deadline: opts.deadline,
+                span: opts.span,
             });
             let query = Arc::new(query);
             let bound = Arc::new(SharedBound::new());
@@ -805,17 +852,40 @@ impl ShardedExecutor {
                 let tx = tx.clone();
                 self.pool.submit(move || {
                     let part = if state.cancel.is_cancelled() {
+                        if let Some(p) = state.span {
+                            // Record the skip so a cancelled request's
+                            // trace shows where work stopped.
+                            span::emit(
+                                p.trace_id,
+                                p.span_id,
+                                "exec.shard",
+                                "exec",
+                                span::now_ns(),
+                                0,
+                                &[("shard", si as u64), ("cancelled", 1)],
+                            );
+                        }
                         None
                     } else {
+                        let mut sp = state.span.map(|p| {
+                            let mut s = Span::with_parent(Some(p), "exec.shard", "exec");
+                            s.attr("shard", si as u64);
+                            s
+                        });
                         let st = inner.shards[si].state.read();
                         let opts = QueryOptions {
+                            trace: state.trace,
                             cancel: Some(state.cancel.clone()),
-                            ..QueryOptions::default()
+                            deadline: state.deadline,
+                            span: None,
                         };
                         match st.tree.query_shared(&query, &opts, &bound) {
                             Ok(resp) => {
                                 inner.record_shard(si, &resp.stats);
-                                Some((resp.output, resp.stats))
+                                if let Some(s) = sp.as_mut() {
+                                    s.attr("nodes", resp.stats.nodes_accessed);
+                                }
+                                Some((resp.output, resp.stats, resp.trace))
                             }
                             Err(_) => None, // cancelled mid-flight
                         }
@@ -890,11 +960,18 @@ fn merge_outputs(req: &QueryRequest, outputs: Vec<QueryOutput>) -> QueryOutput {
     }
 }
 
+/// One shard's contribution to a batched query: its partial output,
+/// stats, and (when tracing) per-shard EXPLAIN subtree.
+type ShardPart = (QueryOutput, QueryStats, Option<QueryTrace>);
+
 struct BatchState {
-    parts: Mutex<Vec<Option<(QueryOutput, QueryStats)>>>,
+    parts: Mutex<Vec<Option<ShardPart>>>,
     remaining: AtomicUsize,
     started: Instant,
     cancel: CancelFlag,
+    trace: bool,
+    deadline: Option<Instant>,
+    span: Option<SpanCtx>,
 }
 
 /// Runs on whichever worker finished a batch query's last shard-task:
@@ -906,7 +983,7 @@ fn finish_batch_query(
     state: &BatchState,
     query: &QueryRequest,
 ) -> SgResult<QueryResponse> {
-    let raw: Vec<Option<(QueryOutput, QueryStats)>> = state
+    let raw: Vec<Option<ShardPart>> = state
         .parts
         .lock()
         .expect("batch state poisoned")
@@ -917,15 +994,33 @@ fn finish_batch_query(
         // incomplete, and nobody is waiting for it anyway.
         return Err(SgError::Cancelled);
     }
+    let n_shards = raw.len();
     let mut per_shard = Vec::with_capacity(raw.len());
     let mut outputs = Vec::with_capacity(raw.len());
-    for (out, stats) in raw.into_iter().flatten() {
+    let mut children = Vec::with_capacity(raw.len());
+    for (out, stats, trace) in raw.into_iter().flatten() {
         per_shard.push(stats);
         outputs.push(out);
+        children.push(trace);
     }
     let m0 = Instant::now();
+    let merge_start_ns = span::now_ns();
     let output = merge_outputs(query, outputs);
     let merge_ns = m0.elapsed().as_nanos() as u64;
+    if let Some(p) = state.span {
+        span::emit(
+            p.trace_id,
+            p.span_id,
+            "exec.merge",
+            "exec",
+            merge_start_ns,
+            merge_ns,
+            &[
+                ("shards", n_shards as u64),
+                ("results", output.len() as u64),
+            ],
+        );
+    }
     let mut stats = ExecStats::from_shards(per_shard);
     stats.merge_ns = merge_ns;
     if let Some(obs) = inner.obs.get() {
@@ -934,12 +1029,28 @@ fn finish_batch_query(
             .record(state.started.elapsed().as_nanos() as u64);
         obs.merge_ns.record(merge_ns);
     }
+    let trace = if state.trace {
+        let mut trace = QueryTrace::new(format!("{} shards={n_shards}", query.label()), "sg-exec");
+        trace.nodes_accessed = stats.total.nodes_accessed;
+        trace.data_compared = stats.total.data_compared;
+        trace.dist_computations = stats.total.dist_computations;
+        trace.logical_reads = stats.total.io.logical_reads;
+        trace.physical_reads = stats.total.io.physical_reads;
+        trace.duration_ns = state.started.elapsed().as_nanos() as u64;
+        trace.results = output.len() as u64;
+        for child in children.into_iter().flatten() {
+            trace.push_child(child);
+        }
+        Some(trace)
+    } else {
+        None
+    };
     Ok(QueryResponse {
         output,
         stats: stats.total,
         per_shard: stats.per_shard,
         merge_ns,
-        trace: None,
+        trace,
     })
 }
 

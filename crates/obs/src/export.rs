@@ -18,6 +18,21 @@ fn prom_name(name: &str) -> String {
     out
 }
 
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double-quote, and newline must be backslash-escaped.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders a snapshot in the Prometheus text exposition format.
 ///
 /// Histograms emit cumulative `_bucket{le=...}` series over the base-2
@@ -47,7 +62,7 @@ pub fn to_prometheus(snapshot: &RegistrySnapshot) -> String {
                     let _ = writeln!(
                         out,
                         "{pname}_bucket{{le=\"{}\"}} {cumulative}",
-                        bucket_upper_bound(b)
+                        escape_label_value(&bucket_upper_bound(b).to_string())
                     );
                 }
                 let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {}", h.count);
@@ -57,6 +72,152 @@ pub fn to_prometheus(snapshot: &RegistrySnapshot) -> String {
         }
     }
     out
+}
+
+/// A minimal parser for the Prometheus text exposition format — just
+/// enough to *check* what [`to_prometheus`] emits. Used by the
+/// conformance tests; deliberately strict (any surprise is an `Err`).
+#[cfg(test)]
+pub(crate) mod textparse {
+    /// One parsed line of exposition text.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Line {
+        /// `# TYPE <name> <kind>`
+        Type { name: String, kind: String },
+        /// `<name>{labels} <value>`
+        Sample {
+            name: String,
+            labels: Vec<(String, String)>,
+            value: f64,
+        },
+    }
+
+    /// Reverses [`super::escape_label_value`]. Errors on a dangling or
+    /// unknown escape.
+    pub fn unescape_label_value(v: &str) -> Result<String, String> {
+        let mut out = String::with_capacity(v.len());
+        let mut chars = v.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                other => return Err(format!("bad escape \\{other:?}")),
+            }
+        }
+        Ok(out)
+    }
+
+    fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+        // s is the text between `{` and `}`.
+        let mut labels = Vec::new();
+        let mut rest = s;
+        while !rest.is_empty() {
+            let eq = rest.find('=').ok_or("label without '='")?;
+            let key = rest[..eq].trim().to_string();
+            rest = rest[eq + 1..].strip_prefix('"').ok_or("unquoted value")?;
+            // Scan to the closing quote, honouring backslash escapes.
+            let mut end = None;
+            let mut escaped = false;
+            for (i, c) in rest.char_indices() {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    end = Some(i);
+                    break;
+                }
+            }
+            let end = end.ok_or("unterminated label value")?;
+            labels.push((key, unescape_label_value(&rest[..end])?));
+            rest = &rest[end + 1..];
+            rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+        }
+        Ok(labels)
+    }
+
+    /// Parses a whole exposition document.
+    pub fn parse(text: &str) -> Result<Vec<Line>, String> {
+        let mut out = Vec::new();
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().ok_or("TYPE without name")?.to_string();
+                let kind = parts.next().ok_or("TYPE without kind")?.to_string();
+                if parts.next().is_some() {
+                    return Err(format!("trailing tokens in TYPE line: {line}"));
+                }
+                out.push(Line::Type { name, kind });
+                continue;
+            }
+            if line.starts_with('#') {
+                continue; // other comments (HELP etc.)
+            }
+            // Find the end of the series (the `}` outside any quoted
+            // label value, or the first space when there are no labels).
+            let mut close = None;
+            let (mut in_quotes, mut escaped) = (false, false);
+            for (i, c) in line.char_indices() {
+                match c {
+                    _ if escaped => escaped = false,
+                    '\\' if in_quotes => escaped = true,
+                    '"' => in_quotes = !in_quotes,
+                    '{' if !in_quotes => {}
+                    '}' if !in_quotes => {
+                        close = Some(i);
+                        break;
+                    }
+                    ' ' if !in_quotes && close.is_none() && !line[..i].contains('{') => {
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            let (series, value) = match close {
+                Some(close) => {
+                    let value = line[close + 1..].trim();
+                    (&line[..close + 1], value)
+                }
+                None => {
+                    let sp = line.find(' ').ok_or("sample without value")?;
+                    (&line[..sp], line[sp + 1..].trim())
+                }
+            };
+            let value: f64 = value
+                .parse()
+                .map_err(|e| format!("bad sample value {value:?}: {e}"))?;
+            let (name, labels) = match series.find('{') {
+                Some(open) => {
+                    let body = series[open + 1..].strip_suffix('}').ok_or("missing '}'")?;
+                    (series[..open].to_string(), parse_labels(body)?)
+                }
+                None => (series.to_string(), Vec::new()),
+            };
+            if name.is_empty()
+                || !name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+                || name.chars().next().is_some_and(|c| c.is_ascii_digit())
+            {
+                return Err(format!("illegal metric name {name:?}"));
+            }
+            out.push(Line::Sample {
+                name,
+                labels,
+                value,
+            });
+        }
+        Ok(out)
+    }
 }
 
 fn histogram_json(h: &HistogramSnapshot) -> Json {

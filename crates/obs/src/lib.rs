@@ -13,16 +13,23 @@
 //!    breakdown: per-tree-level nodes visited / entries pruned / exact
 //!    distances computed, plus buffer-pool hit rate. Renders human-
 //!    readable and round-trips through JSON.
+//! 4. **Spans** ([`span`]) — causal request spans recorded lock-free
+//!    into per-thread ring buffers (the **flight recorder**), dumped as
+//!    Chrome/Perfetto `trace_event` JSON, plus a slow-query log that
+//!    retains the full span tree and EXPLAIN trace of any request over
+//!    a latency threshold.
 
 pub mod export;
 pub mod json;
 pub mod metrics;
 #[cfg(test)]
 mod proptests;
+pub mod span;
 pub mod trace;
 
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, IndexObs, IngestObs, MetricSnapshot, MetricValue,
     PoolObs, Registry, RegistrySnapshot, ServeObs,
 };
+pub use span::{Span, SpanCtx, SpanData};
 pub use trace::{LevelTrace, QueryTrace, TraceSink};

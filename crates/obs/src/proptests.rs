@@ -1,9 +1,14 @@
-//! Property tests for snapshot merge semantics: merging two recorders'
-//! snapshots must equal one recorder that observed the union.
+//! Property tests for snapshot merge semantics (merging two recorders'
+//! snapshots must equal one recorder that observed the union), for
+//! Prometheus text-format conformance, and for the flight recorder's
+//! ring buffer.
 
 use proptest::prelude::*;
 
+use crate::export::textparse::{self, Line};
+use crate::export::{escape_label_value, to_prometheus};
 use crate::metrics::{Histogram, Registry};
+use crate::span::{RawRecord, SpanData, ThreadRing, MAX_ATTRS};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -117,4 +122,277 @@ proptest! {
         }
         prop_assert_eq!(restored.counter("n"), snap2.counter("n"));
     }
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text-format conformance
+// ---------------------------------------------------------------------------
+
+/// Asserts every format guarantee [`to_prometheus`] makes, against the
+/// strict little parser in [`textparse`]:
+///
+/// * the document parses at all;
+/// * every sample series is preceded by a `# TYPE` line for its metric;
+/// * histogram buckets are cumulative, their `le` bounds strictly
+///   increase, and the series ends in `le="+Inf"`;
+/// * the `+Inf` bucket, `_count`, and the number of observations agree,
+///   and `_sum` is present exactly once.
+fn assert_prometheus_conformance(text: &str, observations: &[(String, Vec<u64>)]) {
+    let lines = textparse::parse(text).expect("exporter output must parse");
+
+    // TYPE-before-sample, for every series.
+    let mut declared: Vec<&str> = Vec::new();
+    for line in &lines {
+        match line {
+            Line::Type { name, .. } => declared.push(name),
+            Line::Sample { name, .. } => {
+                let base = name
+                    .strip_suffix("_bucket")
+                    .or_else(|| name.strip_suffix("_sum"))
+                    .or_else(|| name.strip_suffix("_count"))
+                    .filter(|b| declared.contains(b))
+                    .unwrap_or(name);
+                assert!(
+                    declared.contains(&base) || declared.contains(&name.as_str()),
+                    "sample {name} not preceded by a # TYPE line\n{text}"
+                );
+            }
+        }
+    }
+
+    // Histogram invariants, per histogram that observed anything.
+    for (hist_name, values) in observations {
+        let base = hist_name.replace(|c: char| !c.is_ascii_alphanumeric(), "_");
+        let buckets: Vec<(&str, f64)> = lines
+            .iter()
+            .filter_map(|l| match l {
+                Line::Sample {
+                    name,
+                    labels,
+                    value,
+                } if *name == format!("{base}_bucket") => {
+                    assert_eq!(labels.len(), 1, "bucket series must carry only le");
+                    assert_eq!(labels[0].0, "le");
+                    Some((labels[0].1.as_str(), *value))
+                }
+                _ => None,
+            })
+            .collect();
+        let count_val = lines
+            .iter()
+            .filter_map(|l| match l {
+                Line::Sample { name, value, .. } if *name == format!("{base}_count") => {
+                    Some(*value)
+                }
+                _ => None,
+            })
+            .collect::<Vec<_>>();
+        let sum_val = lines
+            .iter()
+            .filter_map(|l| match l {
+                Line::Sample { name, value, .. } if *name == format!("{base}_sum") => Some(*value),
+                _ => None,
+            })
+            .collect::<Vec<_>>();
+        assert_eq!(count_val.len(), 1, "{base}_count must appear exactly once");
+        assert_eq!(sum_val.len(), 1, "{base}_sum must appear exactly once");
+        assert_eq!(count_val[0], values.len() as f64);
+        assert_eq!(sum_val[0], values.iter().sum::<u64>() as f64);
+
+        assert!(!buckets.is_empty(), "histogram must emit buckets");
+        assert_eq!(buckets.last().unwrap().0, "+Inf", "buckets end in +Inf");
+        assert_eq!(buckets.last().unwrap().1, count_val[0]);
+        let mut prev_le = f64::NEG_INFINITY;
+        let mut prev_n = 0.0f64;
+        for (le, n) in &buckets {
+            let bound: f64 = if *le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().expect("numeric le")
+            };
+            assert!(bound > prev_le, "le bounds strictly increase\n{text}");
+            assert!(*n >= prev_n, "bucket counts are cumulative\n{text}");
+            prev_le = bound;
+            prev_n = *n;
+        }
+    }
+}
+
+/// Name pools for generated registries. Distinct prefixes per metric
+/// kind so a generated registry never registers one name as two kinds.
+const COUNTER_NAMES: [&str; 6] = [
+    "tree.queries",
+    "serve.requests",
+    "pool.hits",
+    "wal.syncs",
+    "exec.batches",
+    "ingest.replayed",
+];
+const GAUGE_NAMES: [&str; 4] = ["g.frames", "g.depth", "g.conns", "g.draining"];
+const HIST_NAMES: [&str; 4] = ["h.query_ns", "h.batch_size", "h.write_ns", "h.wait_us"];
+
+/// Characters a label value may contain, including everything that
+/// needs escaping and the structural characters that could confuse a
+/// naive parser.
+const LABEL_CHARS: [char; 16] = [
+    'a', 'b', 'z', '0', '9', '_', '"', '\\', '\n', '{', '}', '=', ',', ' ', 'λ', '€',
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prometheus_export_conforms(
+        counters in prop::collection::vec((0usize..COUNTER_NAMES.len(), 0u64..1_000_000), 0..5),
+        gauges in prop::collection::vec((0usize..GAUGE_NAMES.len(), -500i64..500), 0..4),
+        hists in prop::collection::vec(
+            (0usize..HIST_NAMES.len(), prop::collection::vec(0u64..10_000_000, 1..80)),
+            0..4,
+        ),
+    ) {
+        let r = Registry::new();
+        for &(i, v) in &counters {
+            r.counter(COUNTER_NAMES[i]).add(v);
+        }
+        for &(i, v) in &gauges {
+            r.gauge(GAUGE_NAMES[i]).set(v);
+        }
+        let mut observations: Vec<(String, Vec<u64>)> = Vec::new();
+        for (i, values) in &hists {
+            let name = HIST_NAMES[*i];
+            let h = r.histogram(name);
+            for &v in values {
+                h.record(v);
+            }
+            if let Some(existing) = observations.iter_mut().find(|(n, _)| n == name) {
+                existing.1.extend_from_slice(values);
+            } else {
+                observations.push((name.to_string(), values.clone()));
+            }
+        }
+        let text = to_prometheus(&r.snapshot());
+        assert_prometheus_conformance(&text, &observations);
+    }
+
+    #[test]
+    fn label_value_escaping_round_trips(
+        chars in prop::collection::vec(0usize..LABEL_CHARS.len(), 0..24),
+    ) {
+        // Any label value — including quotes, backslashes, newlines and
+        // braces — must survive escape → embed in a series line → parse.
+        let v: String = chars.iter().map(|&i| LABEL_CHARS[i]).collect();
+        let escaped = escape_label_value(&v);
+        prop_assert!(!escaped.contains('\n'), "escaped value is single-line");
+        let line = format!("m{{k=\"{escaped}\"}} 1\n");
+        let lines = textparse::parse(&line).expect("escaped line parses");
+        match &lines[..] {
+            [Line::Sample { name, labels, value }] => {
+                prop_assert_eq!(name.as_str(), "m");
+                prop_assert_eq!(*value, 1.0);
+                prop_assert_eq!(&labels[0].1, &v);
+            }
+            other => prop_assert!(false, "unexpected parse: {:?}", other),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flight-recorder ring buffer
+// ---------------------------------------------------------------------------
+
+/// A record whose fields are all derived from one integer, so a torn
+/// read (fields mixed from two different records) is detectable.
+fn synthetic_record(k: u64) -> RawRecord {
+    let t = k + 1;
+    RawRecord {
+        trace_id: t,
+        span_id: t ^ 0x5EED_5EED,
+        parent: t / 2,
+        start_ns: t * 1_000,
+        dur_ns: t * 3,
+        name: 0,
+        cat: 0,
+        nattrs: 1,
+        attrs: {
+            let mut a = [(0u16, 0u64); MAX_ATTRS];
+            a[0] = (0, t * 7);
+            a
+        },
+    }
+}
+
+fn assert_not_torn(s: &SpanData) {
+    let t = s.trace_id;
+    assert_eq!(s.span_id, t ^ 0x5EED_5EED, "torn span_id: {s:?}");
+    assert_eq!(s.parent, t / 2, "torn parent: {s:?}");
+    assert_eq!(s.start_ns, t * 1_000, "torn start: {s:?}");
+    assert_eq!(s.dur_ns, t * 3, "torn dur: {s:?}");
+    assert_eq!(s.attrs, vec![("", t * 7)], "torn attrs: {s:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ring_overwrite_keeps_newest_and_never_tears(
+        cap in 1usize..48,
+        total in 0u64..200,
+    ) {
+        let ring = ThreadRing::new(cap);
+        for k in 0..total {
+            ring.push(&synthetic_record(k));
+        }
+        let spans = ring.drain();
+        // Exactly the newest min(total, cap) records, oldest first.
+        let expect_len = (total as usize).min(cap);
+        prop_assert_eq!(spans.len(), expect_len);
+        let first = total - expect_len as u64;
+        for (i, s) in spans.iter().enumerate() {
+            prop_assert_eq!(s.trace_id, first + i as u64 + 1);
+            assert_not_torn(s);
+        }
+    }
+}
+
+/// A dumper racing a writer over a tiny ring must only ever observe
+/// whole records: every drained span satisfies the derived-field
+/// relationship and appears at most once. (Scan *order* is not
+/// guaranteed under concurrent overwrite — a slot can be lapped with a
+/// newer committed record mid-scan — which is why [`flight_spans`]
+/// sorts by start time; what the seqlock guarantees is no tearing.)
+#[test]
+fn concurrent_drain_never_observes_a_torn_record() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let ring = Arc::new(ThreadRing::new(8));
+    let stop = Arc::new(AtomicBool::new(false));
+    let w = {
+        let ring = Arc::clone(&ring);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut k = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                ring.push(&synthetic_record(k));
+                k += 1;
+            }
+            k
+        })
+    };
+    for _ in 0..2_000 {
+        let spans = ring.drain();
+        let mut seen = Vec::with_capacity(spans.len());
+        for s in &spans {
+            assert_not_torn(s);
+            assert!(
+                !seen.contains(&s.trace_id),
+                "duplicate record {}",
+                s.trace_id
+            );
+            seen.push(s.trace_id);
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    let written = w.join().unwrap();
+    assert!(written > 0);
 }

@@ -1,0 +1,835 @@
+//! `sg-trace`: causal spans and an always-on flight recorder.
+//!
+//! A **span** is one timed stage of a request — frame decode, queue
+//! wait, a shard task, a tree descent, a WAL fsync — with a causal
+//! parent, so the spans of one request form a tree keyed by `trace_id`.
+//! Spans are recorded into fixed-size **per-thread ring buffers** (the
+//! flight recorder): the last few thousand spans per thread are always
+//! available for dumping, with old records silently overwritten.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Disabled cost ≈ zero.** Every instrumentation site starts with
+//!    a single relaxed atomic load ([`enabled`]); when tracing is off a
+//!    [`Span`] is a `None` and its `Drop` does nothing.
+//! 2. **Enabled cost is lock-free.** A thread writes only its own ring.
+//!    Each slot is a fixed array of `AtomicU64` words guarded by a
+//!    seqlock sequence word, so concurrent dumpers can never observe a
+//!    torn record — a slot caught mid-write is skipped.
+//! 3. **No allocation on the hot path.** Span names, categories and
+//!    attribute keys are `&'static str`s interned to small indices;
+//!    attribute values are `u64`.
+//!
+//! Parenting is implicit within a thread (a thread-local stack of open
+//! spans) and explicit across threads ([`Span::with_parent`] carries a
+//! [`SpanCtx`] over a channel or into a closure).
+//!
+//! The recorder dumps as Chrome/Perfetto `trace_event` JSON
+//! ([`flight_trace_json`]) and feeds the slow-query log
+//! ([`observe_slow`]), which retains the full span tree plus the
+//! EXPLAIN trace for any request over a configurable threshold.
+
+use crate::json::Json;
+use std::cell::{OnceCell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Maximum key=value attributes per span; extras are dropped.
+pub const MAX_ATTRS: usize = 4;
+
+/// Default per-thread ring capacity, in spans.
+pub const DEFAULT_RING_SPANS: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// Globals
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RING_CAP: AtomicUsize = AtomicUsize::new(DEFAULT_RING_SPANS);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_SEQ: AtomicU64 = AtomicU64::new(1);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn rings() -> &'static Mutex<Vec<Arc<ThreadRing>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<ThreadRing>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn interner() -> &'static Mutex<Vec<&'static str>> {
+    static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    // Index 0 is reserved so 0 can mean "no attribute".
+    NAMES.get_or_init(|| Mutex::new(vec![""]))
+}
+
+thread_local! {
+    static LOCAL_RING: OnceCell<Arc<ThreadRing>> = const { OnceCell::new() };
+    static SPAN_STACK: RefCell<Vec<SpanCtx>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Turns span recording on or off, process-wide. Off is the default;
+/// the only residual cost at every instrumentation site is one relaxed
+/// atomic load.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether spans are currently being recorded.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Sets the per-thread ring capacity (in spans) for rings created
+/// *after* this call. Clamped to at least 16.
+pub fn set_ring_capacity(spans: usize) {
+    RING_CAP.store(spans.max(16), Ordering::Relaxed);
+}
+
+/// Nanoseconds since the recorder's process-wide epoch. All span
+/// timestamps share this timebase.
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Allocates a fresh trace id (for requests that did not supply one).
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+fn intern(s: &'static str) -> u16 {
+    let mut table = interner().lock().unwrap();
+    if let Some(i) = table.iter().position(|&t| std::ptr::eq(t, s) || t == s) {
+        return i as u16;
+    }
+    let i = table.len();
+    // The table only ever holds distinct instrumentation-site literals;
+    // 65k of them would mean something is very wrong.
+    assert!(i <= u16::MAX as usize, "span name intern table overflow");
+    table.push(s);
+    i as u16
+}
+
+fn resolve(idx: u16) -> &'static str {
+    interner().lock().unwrap()[idx as usize]
+}
+
+// ---------------------------------------------------------------------------
+// The per-thread ring
+// ---------------------------------------------------------------------------
+
+/// Words per record: trace, span, parent, start, dur, meta, then
+/// `MAX_ATTRS` (key, value) pairs.
+const WORDS: usize = 6 + 2 * MAX_ATTRS;
+
+/// One ring slot: a seqlock sequence word plus the record words. The
+/// sequence is odd while the owning thread is writing; a reader that
+/// sees an odd value, or a value that changed across its read, discards
+/// the slot. Every word is an atomic, so a torn *word* is impossible
+/// and a torn *record* is detected.
+struct Slot {
+    seq: AtomicU64,
+    words: [AtomicU64; WORDS],
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            seq: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+pub(crate) struct ThreadRing {
+    /// Small dense id for the owning thread (Perfetto `tid`).
+    tid: u64,
+    /// Total records ever written; `head % cap` is the next slot.
+    head: AtomicU64,
+    slots: Vec<Slot>,
+}
+
+impl ThreadRing {
+    pub(crate) fn new(cap: usize) -> Self {
+        ThreadRing {
+            tid: NEXT_THREAD_SEQ.fetch_add(1, Ordering::Relaxed),
+            head: AtomicU64::new(0),
+            slots: (0..cap).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// Single-writer append (owning thread only).
+    pub(crate) fn push(&self, rec: &RawRecord) {
+        let h = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(h % self.slots.len() as u64) as usize];
+        slot.seq.fetch_add(1, Ordering::AcqRel); // now odd: write in progress
+        for (w, v) in slot.words.iter().zip(rec.words()) {
+            w.store(v, Ordering::Relaxed);
+        }
+        slot.seq.fetch_add(1, Ordering::Release); // even again: committed
+        self.head.store(h + 1, Ordering::Release);
+    }
+
+    /// Reads every committed record, oldest first, skipping any slot
+    /// the writer is concurrently overwriting.
+    pub(crate) fn drain(&self) -> Vec<SpanData> {
+        let h = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let oldest = h.saturating_sub(cap);
+        let mut out = Vec::with_capacity((h - oldest) as usize);
+        for i in oldest..h {
+            let slot = &self.slots[(i % cap) as usize];
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 % 2 != 0 {
+                continue; // mid-write
+            }
+            let words: [u64; WORDS] =
+                std::array::from_fn(|w| slot.words[w].load(Ordering::Relaxed));
+            let s2 = slot.seq.load(Ordering::Acquire);
+            if s1 != s2 {
+                continue; // overwritten while reading
+            }
+            let rec = RawRecord::from_words(&words);
+            if rec.span_id == 0 {
+                continue; // never written
+            }
+            out.push(rec.decode(self.tid));
+        }
+        out
+    }
+}
+
+fn local_ring() -> Arc<ThreadRing> {
+    LOCAL_RING.with(|cell| {
+        cell.get_or_init(|| {
+            let ring = Arc::new(ThreadRing::new(RING_CAP.load(Ordering::Relaxed)));
+            rings().lock().unwrap().push(Arc::clone(&ring));
+            ring
+        })
+        .clone()
+    })
+}
+
+/// The fixed-width on-ring representation of a span.
+pub(crate) struct RawRecord {
+    pub(crate) trace_id: u64,
+    pub(crate) span_id: u64,
+    pub(crate) parent: u64,
+    pub(crate) start_ns: u64,
+    pub(crate) dur_ns: u64,
+    pub(crate) name: u16,
+    pub(crate) cat: u16,
+    pub(crate) nattrs: u8,
+    pub(crate) attrs: [(u16, u64); MAX_ATTRS],
+}
+
+impl RawRecord {
+    fn words(&self) -> [u64; WORDS] {
+        let mut w = [0u64; WORDS];
+        w[0] = self.trace_id;
+        w[1] = self.span_id;
+        w[2] = self.parent;
+        w[3] = self.start_ns;
+        w[4] = self.dur_ns;
+        w[5] = self.name as u64 | (self.cat as u64) << 16 | (self.nattrs as u64) << 32;
+        for (i, (k, v)) in self.attrs.iter().enumerate() {
+            w[6 + 2 * i] = *k as u64;
+            w[7 + 2 * i] = *v;
+        }
+        w
+    }
+
+    fn from_words(w: &[u64; WORDS]) -> Self {
+        RawRecord {
+            trace_id: w[0],
+            span_id: w[1],
+            parent: w[2],
+            start_ns: w[3],
+            dur_ns: w[4],
+            name: w[5] as u16,
+            cat: (w[5] >> 16) as u16,
+            nattrs: (w[5] >> 32) as u8,
+            attrs: std::array::from_fn(|i| (w[6 + 2 * i] as u16, w[7 + 2 * i])),
+        }
+    }
+
+    fn decode(&self, tid: u64) -> SpanData {
+        SpanData {
+            trace_id: self.trace_id,
+            span_id: self.span_id,
+            parent: self.parent,
+            name: resolve(self.name),
+            cat: resolve(self.cat),
+            start_ns: self.start_ns,
+            dur_ns: self.dur_ns,
+            tid,
+            attrs: self.attrs[..(self.nattrs as usize).min(MAX_ATTRS)]
+                .iter()
+                .map(|&(k, v)| (resolve(k), v))
+                .collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public span API
+// ---------------------------------------------------------------------------
+
+/// The causal coordinates of an open span: enough to parent children
+/// started on another thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanCtx {
+    pub trace_id: u64,
+    pub span_id: u64,
+}
+
+/// A decoded span, as returned by [`flight_spans`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanData {
+    pub trace_id: u64,
+    pub span_id: u64,
+    /// Parent span id within the same trace; 0 for a root.
+    pub parent: u64,
+    pub name: &'static str,
+    pub cat: &'static str,
+    /// Nanoseconds since the recorder epoch ([`now_ns`] timebase).
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    /// Dense id of the recording thread.
+    pub tid: u64,
+    pub attrs: Vec<(&'static str, u64)>,
+}
+
+/// The innermost open span on this thread, if any — the implicit
+/// parent for [`Span::start`].
+pub fn current_ctx() -> Option<SpanCtx> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+struct ActiveSpan {
+    ctx: SpanCtx,
+    parent: u64,
+    name: &'static str,
+    cat: &'static str,
+    start_ns: u64,
+    attrs: [(u16, u64); MAX_ATTRS],
+    nattrs: u8,
+}
+
+/// A RAII span guard. Created no-op when recording is disabled; on
+/// drop, records `[start, now)` into this thread's ring.
+pub struct Span {
+    inner: Option<ActiveSpan>,
+}
+
+impl Span {
+    fn open(trace_id: u64, parent: u64, name: &'static str, cat: &'static str) -> Span {
+        Span::open_at(trace_id, parent, name, cat, now_ns())
+    }
+
+    fn open_at(
+        trace_id: u64,
+        parent: u64,
+        name: &'static str,
+        cat: &'static str,
+        start_ns: u64,
+    ) -> Span {
+        let ctx = SpanCtx {
+            trace_id,
+            span_id: next_span_id(),
+        };
+        SPAN_STACK.with(|s| s.borrow_mut().push(ctx));
+        Span {
+            inner: Some(ActiveSpan {
+                ctx,
+                parent,
+                name,
+                cat,
+                start_ns,
+                attrs: [(0, 0); MAX_ATTRS],
+                nattrs: 0,
+            }),
+        }
+    }
+
+    /// Starts a root span of a fresh or caller-supplied trace.
+    pub fn root(trace_id: u64, name: &'static str, cat: &'static str) -> Span {
+        if !enabled() {
+            return Span { inner: None };
+        }
+        Span::open(trace_id, 0, name, cat)
+    }
+
+    /// Starts a root span whose start was measured earlier (e.g. before
+    /// frame decode resolved the request's own `trace_id`).
+    pub fn root_at(trace_id: u64, name: &'static str, cat: &'static str, start_ns: u64) -> Span {
+        if !enabled() {
+            return Span { inner: None };
+        }
+        Span::open_at(trace_id, 0, name, cat, start_ns)
+    }
+
+    /// Starts a span parented to the innermost open span on this
+    /// thread; with no open span it starts a root of a fresh trace.
+    pub fn start(name: &'static str, cat: &'static str) -> Span {
+        if !enabled() {
+            return Span { inner: None };
+        }
+        match current_ctx() {
+            Some(p) => Span::open(p.trace_id, p.span_id, name, cat),
+            None => Span::open(next_trace_id(), 0, name, cat),
+        }
+    }
+
+    /// Starts a span under an explicitly carried parent (cross-thread
+    /// hand-off); `None` behaves like [`Span::start`].
+    pub fn with_parent(parent: Option<SpanCtx>, name: &'static str, cat: &'static str) -> Span {
+        if !enabled() {
+            return Span { inner: None };
+        }
+        match parent {
+            Some(p) => Span::open(p.trace_id, p.span_id, name, cat),
+            None => Span::start(name, cat),
+        }
+    }
+
+    /// The span's causal coordinates, for handing to another thread.
+    pub fn ctx(&self) -> Option<SpanCtx> {
+        self.inner.as_ref().map(|a| a.ctx)
+    }
+
+    /// Attaches a `key=value` attribute (at most [`MAX_ATTRS`]; extras
+    /// are dropped).
+    pub fn attr(&mut self, key: &'static str, value: u64) {
+        if let Some(a) = self.inner.as_mut() {
+            if (a.nattrs as usize) < MAX_ATTRS {
+                a.attrs[a.nattrs as usize] = (intern(key), value);
+                a.nattrs += 1;
+            }
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(a) = self.inner.take() else { return };
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Guards drop LIFO, so this is almost always a pop; the
+            // retain covers a guard outliving a later sibling.
+            if stack.last() == Some(&a.ctx) {
+                stack.pop();
+            } else {
+                stack.retain(|c| *c != a.ctx);
+            }
+        });
+        let rec = RawRecord {
+            trace_id: a.ctx.trace_id,
+            span_id: a.ctx.span_id,
+            parent: a.parent,
+            start_ns: a.start_ns,
+            dur_ns: now_ns().saturating_sub(a.start_ns),
+            name: intern(a.name),
+            cat: intern(a.cat),
+            nattrs: a.nattrs,
+            attrs: a.attrs,
+        };
+        local_ring().push(&rec);
+    }
+}
+
+/// Records a fully-specified span directly (used to synthesize spans
+/// whose timing was measured out-of-band, e.g. queue waits and
+/// per-level tree descents). Returns the span id.
+pub fn emit(
+    trace_id: u64,
+    parent: u64,
+    name: &'static str,
+    cat: &'static str,
+    start_ns: u64,
+    dur_ns: u64,
+    attrs: &[(&'static str, u64)],
+) -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    let span_id = next_span_id();
+    let mut packed = [(0u16, 0u64); MAX_ATTRS];
+    let n = attrs.len().min(MAX_ATTRS);
+    for (slot, &(k, v)) in packed.iter_mut().zip(&attrs[..n]) {
+        *slot = (intern(k), v);
+    }
+    let rec = RawRecord {
+        trace_id,
+        span_id,
+        parent,
+        start_ns,
+        dur_ns,
+        name: intern(name),
+        cat: intern(cat),
+        nattrs: n as u8,
+        attrs: packed,
+    };
+    local_ring().push(&rec);
+    span_id
+}
+
+// ---------------------------------------------------------------------------
+// Flight dump
+// ---------------------------------------------------------------------------
+
+/// Snapshot of every committed span across all threads' rings, sorted
+/// by start time. Concurrent writers keep writing; a record caught
+/// mid-overwrite is skipped rather than torn.
+pub fn flight_spans() -> Vec<SpanData> {
+    let rings: Vec<Arc<ThreadRing>> = rings().lock().unwrap().clone();
+    let mut out: Vec<SpanData> = rings.iter().flat_map(|r| r.drain()).collect();
+    out.sort_by_key(|s| (s.start_ns, s.span_id));
+    out
+}
+
+/// Spans of one trace, sorted by start time.
+pub fn trace_spans(trace_id: u64) -> Vec<SpanData> {
+    let mut out = flight_spans();
+    out.retain(|s| s.trace_id == trace_id);
+    out
+}
+
+fn span_event(s: &SpanData) -> Json {
+    let mut args = vec![
+        ("trace_id".to_string(), Json::U64(s.trace_id)),
+        ("span_id".to_string(), Json::U64(s.span_id)),
+        ("parent".to_string(), Json::U64(s.parent)),
+    ];
+    for (k, v) in &s.attrs {
+        args.push((k.to_string(), Json::U64(*v)));
+    }
+    Json::Obj(vec![
+        ("name".to_string(), Json::Str(s.name.to_string())),
+        ("cat".to_string(), Json::Str(s.cat.to_string())),
+        ("ph".to_string(), Json::Str("X".to_string())),
+        ("ts".to_string(), Json::F64(s.start_ns as f64 / 1_000.0)),
+        ("dur".to_string(), Json::F64(s.dur_ns as f64 / 1_000.0)),
+        ("pid".to_string(), Json::U64(1)),
+        ("tid".to_string(), Json::U64(s.tid)),
+        ("args".to_string(), Json::Obj(args)),
+    ])
+}
+
+/// The flight recorder's contents as Chrome/Perfetto `trace_event`
+/// JSON (`ph:"X"` complete events, microsecond timestamps).
+pub fn flight_trace_json() -> Json {
+    let events: Vec<Json> = flight_spans().iter().map(span_event).collect();
+    Json::Obj(vec![
+        ("traceEvents".to_string(), Json::Arr(events)),
+        ("displayTimeUnit".to_string(), Json::Str("ms".to_string())),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Slow-query log
+// ---------------------------------------------------------------------------
+
+/// A request promoted to the slow-query log: its root identity, the
+/// full span tree collected from the flight recorder at promotion
+/// time, and the EXPLAIN trace if one was produced.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    pub trace_id: u64,
+    pub name: String,
+    pub dur_ns: u64,
+    /// Wall-clock capture time (Unix ms), for postmortem correlation.
+    pub unix_ms: u64,
+    pub spans: Vec<SpanData>,
+    pub explain: Option<Json>,
+}
+
+struct SlowLog {
+    threshold_ns: AtomicU64,
+    cap: AtomicUsize,
+    entries: Mutex<std::collections::VecDeque<SlowEntry>>,
+}
+
+fn slow_log() -> &'static SlowLog {
+    static SLOW: OnceLock<SlowLog> = OnceLock::new();
+    SLOW.get_or_init(|| SlowLog {
+        threshold_ns: AtomicU64::new(u64::MAX),
+        cap: AtomicUsize::new(64),
+        entries: Mutex::new(std::collections::VecDeque::new()),
+    })
+}
+
+/// Sets the slow-query latency threshold; `u64::MAX` disables capture.
+pub fn set_slow_threshold_ns(ns: u64) {
+    slow_log().threshold_ns.store(ns, Ordering::Relaxed);
+}
+
+/// The current slow-query threshold in nanoseconds.
+pub fn slow_threshold_ns() -> u64 {
+    slow_log().threshold_ns.load(Ordering::Relaxed)
+}
+
+/// Sets how many slow entries are retained (oldest evicted first).
+pub fn set_slow_capacity(cap: usize) {
+    slow_log().cap.store(cap.max(1), Ordering::Relaxed);
+}
+
+/// Offers a finished request to the slow-query log. Promoted (and
+/// retained with its span tree and EXPLAIN trace) iff `dur_ns` meets
+/// the threshold. Returns whether it was promoted.
+pub fn observe_slow(trace_id: u64, name: &str, dur_ns: u64, explain: Option<Json>) -> bool {
+    let log = slow_log();
+    if dur_ns < log.threshold_ns.load(Ordering::Relaxed) {
+        return false;
+    }
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let entry = SlowEntry {
+        trace_id,
+        name: name.to_string(),
+        dur_ns,
+        unix_ms,
+        spans: trace_spans(trace_id),
+        explain,
+    };
+    let mut entries = log.entries.lock().unwrap();
+    entries.push_back(entry);
+    let cap = log.cap.load(Ordering::Relaxed);
+    while entries.len() > cap {
+        entries.pop_front();
+    }
+    true
+}
+
+/// Retained slow-query entries, oldest first.
+pub fn slow_entries() -> Vec<SlowEntry> {
+    slow_log().entries.lock().unwrap().iter().cloned().collect()
+}
+
+/// Empties the slow-query log (tests, admin reset).
+pub fn clear_slow() {
+    slow_log().entries.lock().unwrap().clear();
+}
+
+/// The slow-query log as a JSON array, newest last.
+pub fn slow_entries_json() -> Json {
+    let entries = slow_entries();
+    Json::Arr(
+        entries
+            .iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("trace_id".to_string(), Json::U64(e.trace_id)),
+                    ("name".to_string(), Json::Str(e.name.clone())),
+                    ("dur_us".to_string(), Json::U64(e.dur_ns / 1_000)),
+                    ("unix_ms".to_string(), Json::U64(e.unix_ms)),
+                    (
+                        "spans".to_string(),
+                        Json::Arr(e.spans.iter().map(span_event).collect()),
+                    ),
+                    (
+                        "explain".to_string(),
+                        e.explain.clone().unwrap_or(Json::Null),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that toggle the global recorder.
+    fn recorder_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = recorder_lock();
+        set_enabled(false);
+        let tid = next_trace_id() + 1_000_000; // never allocated to anyone
+        {
+            let mut s = Span::root(tid, "ghost", "test");
+            s.attr("k", 1);
+        }
+        assert!(trace_spans(tid).is_empty());
+        assert!(current_ctx().is_none());
+    }
+
+    #[test]
+    fn nested_guards_build_a_connected_tree() {
+        let _g = recorder_lock();
+        set_enabled(true);
+        let trace = next_trace_id();
+        {
+            let root = Span::root(trace, "request", "serve");
+            let rctx = root.ctx().unwrap();
+            {
+                let child = Span::start("decode", "serve");
+                assert_eq!(child.ctx().unwrap().trace_id, trace);
+                {
+                    let mut grand = Span::start("tree_descent", "core");
+                    grand.attr("nodes", 42);
+                }
+            }
+            // Cross-thread hand-off: explicit parent.
+            let handoff = rctx;
+            std::thread::spawn(move || {
+                let _s = Span::with_parent(Some(handoff), "shard_task", "exec");
+            })
+            .join()
+            .unwrap();
+        }
+        set_enabled(false);
+
+        let spans = trace_spans(trace);
+        assert_eq!(spans.len(), 4, "spans: {spans:#?}");
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+        let root = by_name("request");
+        assert_eq!(root.parent, 0);
+        assert_eq!(by_name("decode").parent, root.span_id);
+        assert_eq!(by_name("shard_task").parent, root.span_id);
+        let grand = by_name("tree_descent");
+        assert_eq!(grand.parent, by_name("decode").span_id);
+        assert_eq!(grand.attrs, vec![("nodes", 42)]);
+
+        // Every parent resolves within the trace, and every child's
+        // interval nests inside its parent's.
+        for s in &spans {
+            if s.parent == 0 {
+                continue;
+            }
+            let p = spans
+                .iter()
+                .find(|c| c.span_id == s.parent)
+                .unwrap_or_else(|| panic!("dangling parent for {}", s.name));
+            assert!(p.start_ns <= s.start_ns, "{} starts before parent", s.name);
+            assert!(
+                s.start_ns + s.dur_ns <= p.start_ns + p.dur_ns,
+                "{} ends after parent {}",
+                s.name,
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn emit_records_synthesized_spans() {
+        let _g = recorder_lock();
+        set_enabled(true);
+        let trace = next_trace_id();
+        let parent = emit(trace, 0, "root", "test", 100, 50, &[("a", 1)]);
+        let child = emit(trace, parent, "leaf", "test", 110, 10, &[]);
+        set_enabled(false);
+        assert_ne!(parent, 0);
+        assert_ne!(child, 0);
+        let spans = trace_spans(trace);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "root");
+        assert_eq!(spans[0].attrs, vec![("a", 1)]);
+        assert_eq!(spans[1].parent, parent);
+    }
+
+    #[test]
+    fn trace_json_is_valid_and_parseable() {
+        let _g = recorder_lock();
+        set_enabled(true);
+        let trace = next_trace_id();
+        emit(trace, 0, "evt", "test", 5_000, 2_000, &[("n", 7)]);
+        set_enabled(false);
+        let doc = flight_trace_json();
+        let text = doc.to_string_compact();
+        let parsed = crate::json::parse(&text).expect("flight JSON must parse");
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        let ev = events
+            .iter()
+            .find(|e| e.get("args").unwrap().get("trace_id").unwrap().as_u64() == Some(trace))
+            .expect("our event present");
+        assert_eq!(ev.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(ev.get("ts").unwrap().as_f64(), Some(5.0));
+        assert_eq!(ev.get("dur").unwrap().as_f64(), Some(2.0));
+        assert_eq!(ev.get("args").unwrap().get("n").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn slow_log_promotes_exactly_the_requests_over_threshold() {
+        let _g = recorder_lock();
+        clear_slow();
+        set_slow_threshold_ns(1_000_000); // 1ms
+        let t1 = next_trace_id();
+        let t2 = next_trace_id();
+        assert!(!observe_slow(t1, "fast", 999_999, None));
+        assert!(observe_slow(t2, "slow", 1_000_000, None));
+        let entries = slow_entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].trace_id, t2);
+        assert_eq!(entries[0].name, "slow");
+        set_slow_threshold_ns(u64::MAX);
+        assert!(!observe_slow(t2, "slow", u64::MAX - 1, None));
+        clear_slow();
+    }
+
+    #[test]
+    fn slow_log_retention_evicts_oldest() {
+        let _g = recorder_lock();
+        clear_slow();
+        set_slow_capacity(3);
+        set_slow_threshold_ns(0);
+        for i in 0..5u64 {
+            observe_slow(i + 1, "q", i, None);
+        }
+        let entries = slow_entries();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(
+            entries.iter().map(|e| e.trace_id).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+        set_slow_threshold_ns(u64::MAX);
+        set_slow_capacity(64);
+        clear_slow();
+    }
+
+    #[test]
+    fn ring_overwrite_keeps_newest() {
+        // A private ring (not the thread-local one) so the test fully
+        // controls capacity and contents.
+        let ring = ThreadRing::new(16);
+        for i in 0..100u64 {
+            let rec = RawRecord {
+                trace_id: i + 1,
+                span_id: i + 1,
+                parent: 0,
+                start_ns: i * 10,
+                dur_ns: 1,
+                name: 0,
+                cat: 0,
+                nattrs: 0,
+                attrs: [(0, 0); MAX_ATTRS],
+            };
+            ring.push(&rec);
+        }
+        let spans = ring.drain();
+        assert_eq!(spans.len(), 16);
+        assert_eq!(
+            spans.iter().map(|s| s.trace_id).collect::<Vec<_>>(),
+            (85..=100).collect::<Vec<_>>()
+        );
+    }
+}

@@ -224,8 +224,11 @@ impl BufferPool {
         if let Some(obs) = self.obs.get() {
             obs.misses.inc();
         }
+        let mut miss_span = sg_obs::span::Span::start("pager.pool_miss", "pager");
+        miss_span.attr("page", id);
         let mut buf = vec![0u8; self.store.page_size()];
         self.store.read(id, &mut buf);
+        drop(miss_span);
         let data: Arc<[u8]> = Arc::from(buf.into_boxed_slice());
         if self.capacity > 0 {
             let mut lru = self.lru.lock();

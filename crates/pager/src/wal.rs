@@ -31,6 +31,7 @@
 //! the log truncation harmless: those records replay as no-ops.
 
 use crate::error::{SgError, SgResult};
+use sg_obs::span::Span;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -192,6 +193,9 @@ impl Wal {
 
     /// Appends one record and syncs per policy. Returns its LSN.
     pub fn append(&mut self, op: WalOp, tid: u64, payload: &[u8]) -> SgResult<u64> {
+        let mut span = Span::start("pager.wal_append", "pager");
+        span.attr("records", 1);
+        span.attr("bytes", (HEADER_BYTES + BODY_FIXED + payload.len()) as u64);
         let lsn = self.append_unsynced(op, tid, payload)?;
         self.sync()?;
         Ok(lsn)
@@ -202,6 +206,7 @@ impl Wal {
     /// batched ack amortizes the fsync across every write in the batch.
     /// Returns the LSN of each record, in order.
     pub fn append_batch(&mut self, items: &[(WalOp, u64, Vec<u8>)]) -> SgResult<Vec<u64>> {
+        let mut span = Span::start("pager.wal_append", "pager");
         let mut frame = Vec::new();
         let mut lsns = Vec::with_capacity(items.len());
         for (op, tid, payload) in items {
@@ -209,6 +214,8 @@ impl Wal {
             encode_record(&mut frame, self.next_lsn, *op, *tid, payload);
             self.next_lsn += 1;
         }
+        span.attr("records", items.len() as u64);
+        span.attr("bytes", frame.len() as u64);
         self.file
             .write_all(&frame)
             .map_err(|e| SgError::io("append wal batch", e))?;
@@ -232,10 +239,12 @@ impl Wal {
     /// Forces appended records to stable storage per policy.
     pub fn sync(&mut self) -> SgResult<()> {
         match self.policy {
-            FsyncPolicy::Always => self
-                .file
-                .sync_data()
-                .map_err(|e| SgError::io("fsync wal", e)),
+            FsyncPolicy::Always => {
+                let _span = Span::start("pager.fsync", "pager");
+                self.file
+                    .sync_data()
+                    .map_err(|e| SgError::io("fsync wal", e))
+            }
             FsyncPolicy::OsOnly => Ok(()),
         }
     }

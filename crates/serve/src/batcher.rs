@@ -20,8 +20,11 @@
 //! waiter that times out flips the ticket's [`CancelFlag`] so the
 //! executor skips remaining shard work and the merge.
 
-use sg_exec::{CancelFlag, QueryOutput, QueryRequest, SgError, ShardedExecutor, WriteAck, WriteOp};
-use sg_obs::ServeObs;
+use sg_exec::{
+    CancelFlag, QueryOptions, QueryRequest, QueryResponse, SgError, ShardedExecutor, WriteAck,
+    WriteOp,
+};
+use sg_obs::{span, ServeObs, SpanCtx};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
@@ -53,8 +56,9 @@ impl Default for BatchPolicy {
 /// Outcome of one admitted request, delivered on the ticket's channel.
 #[derive(Debug)]
 pub enum BatchReply {
-    /// The merged canonical answer.
-    Done(QueryOutput),
+    /// The merged canonical answer (with stats, and an EXPLAIN trace when
+    /// the slow-query log is armed).
+    Done(Box<QueryResponse>),
     /// The write is durable (to the server's fsync policy) and applied.
     Acked(WriteAck),
     /// The deadline passed before the batch was dispatched.
@@ -97,6 +101,12 @@ struct Pending {
     cancel: CancelFlag,
     reply: mpsc::Sender<BatchReply>,
     admitted: Instant,
+    /// Causal parent (the connection worker's `serve.request` span) for
+    /// the queue-wait / dispatch / executor spans of this request.
+    span: Option<SpanCtx>,
+    /// [`span::now_ns`] at admission, for the synthesized `serve.queue`
+    /// span (zero when the recorder was off at admission).
+    admitted_ns: u64,
 }
 
 struct Shared {
@@ -149,16 +159,42 @@ impl Batcher {
 
     /// Admits one query, or refuses with backpressure.
     pub fn submit(&self, query: QueryRequest, deadline: Instant) -> Result<Ticket, SubmitError> {
-        self.admit(Work::Query(query), deadline)
+        self.admit(Work::Query(query), deadline, None)
+    }
+
+    /// [`Batcher::submit`] carrying the request's span context, so the
+    /// queue wait and executor work parent under it.
+    pub fn submit_with(
+        &self,
+        query: QueryRequest,
+        deadline: Instant,
+        span: Option<SpanCtx>,
+    ) -> Result<Ticket, SubmitError> {
+        self.admit(Work::Query(query), deadline, span)
     }
 
     /// Admits one write; its [`BatchReply::Acked`] arrives only after the
     /// operation is group-committed to the WAL.
     pub fn submit_write(&self, op: WriteOp, deadline: Instant) -> Result<Ticket, SubmitError> {
-        self.admit(Work::Write(op), deadline)
+        self.admit(Work::Write(op), deadline, None)
     }
 
-    fn admit(&self, work: Work, deadline: Instant) -> Result<Ticket, SubmitError> {
+    /// [`Batcher::submit_write`] carrying the request's span context.
+    pub fn submit_write_with(
+        &self,
+        op: WriteOp,
+        deadline: Instant,
+        span: Option<SpanCtx>,
+    ) -> Result<Ticket, SubmitError> {
+        self.admit(Work::Write(op), deadline, span)
+    }
+
+    fn admit(
+        &self,
+        work: Work,
+        deadline: Instant,
+        span: Option<SpanCtx>,
+    ) -> Result<Ticket, SubmitError> {
         if self.shared.draining.load(Ordering::SeqCst) {
             return Err(SubmitError::ShuttingDown);
         }
@@ -180,6 +216,8 @@ impl Batcher {
             cancel: cancel.clone(),
             reply: tx,
             admitted: Instant::now(),
+            span,
+            admitted_ns: if span::enabled() { span::now_ns() } else { 0 },
         });
         self.obs.queue_depth.set(q.len() as i64);
         self.obs.requests.inc();
@@ -273,6 +311,23 @@ fn dispatch(shared: &Shared, exec: &ShardedExecutor, obs: &Arc<ServeObs>, batch:
     if queries.is_empty() && writes.is_empty() {
         return;
     }
+    if span::enabled() {
+        // Synthesize each survivor's queue wait, parented to its request.
+        let dispatched_ns = span::now_ns();
+        for p in queries.iter().chain(writes.iter()) {
+            if let (Some(ctx), true) = (p.span, p.admitted_ns != 0) {
+                span::emit(
+                    ctx.trace_id,
+                    ctx.span_id,
+                    "serve.queue",
+                    "serve",
+                    p.admitted_ns,
+                    dispatched_ns.saturating_sub(p.admitted_ns),
+                    &[],
+                );
+            }
+        }
+    }
     obs.batches.inc();
     obs.batch_size.record((queries.len() + writes.len()) as u64);
     let t0 = Instant::now();
@@ -295,7 +350,29 @@ fn dispatch_writes(exec: &ShardedExecutor, obs: &Arc<ServeObs>, writes: &[Pendin
             Work::Query(_) => unreachable!("queries are partitioned out"),
         })
         .collect();
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exec.write_batch(ops)));
+    // Group-committed writes share WAL appends and fsyncs, so their pager
+    // spans are attributed to the first traced writer in the group.
+    let group_span = writes.iter().find_map(|p| p.span);
+    let t0_ns = span::now_ns();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        exec.write_batch_spanned(ops, group_span)
+    }));
+    if span::enabled() {
+        let dur = span::now_ns().saturating_sub(t0_ns);
+        for p in writes {
+            if let Some(ctx) = p.span {
+                span::emit(
+                    ctx.trace_id,
+                    ctx.span_id,
+                    "serve.dispatch",
+                    "serve",
+                    t0_ns,
+                    dur,
+                    &[("batch_writes", writes.len() as u64)],
+                );
+            }
+        }
+    }
     match outcome {
         Ok(results) => {
             for (p, result) in writes.iter().zip(results) {
@@ -324,16 +401,44 @@ fn dispatch_writes(exec: &ShardedExecutor, obs: &Arc<ServeObs>, writes: &[Pendin
 }
 
 fn dispatch_queries(exec: &ShardedExecutor, obs: &Arc<ServeObs>, queries: &[Pending]) {
-    let batch: Vec<(QueryRequest, CancelFlag)> = queries
+    // Collect an EXPLAIN trace per query whenever the slow-query log is
+    // armed, so a promoted request retains its full cost breakdown.
+    let explain = span::slow_threshold_ns() != u64::MAX;
+    let batch: Vec<(QueryRequest, QueryOptions)> = queries
         .iter()
         .map(|p| match &p.work {
-            Work::Query(q) => (q.clone(), p.cancel.clone()),
+            Work::Query(q) => (
+                q.clone(),
+                QueryOptions {
+                    trace: explain,
+                    cancel: Some(p.cancel.clone()),
+                    deadline: None,
+                    span: p.span,
+                },
+            ),
             Work::Write(_) => unreachable!("writes are partitioned out"),
         })
         .collect();
+    let t0_ns = span::now_ns();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        exec.execute_batch_cancellable(batch)
+        exec.execute_batch_with(batch)
     }));
+    if span::enabled() {
+        let dur = span::now_ns().saturating_sub(t0_ns);
+        for p in queries {
+            if let Some(ctx) = p.span {
+                span::emit(
+                    ctx.trace_id,
+                    ctx.span_id,
+                    "serve.dispatch",
+                    "serve",
+                    t0_ns,
+                    dur,
+                    &[("batch_queries", queries.len() as u64)],
+                );
+            }
+        }
+    }
     match outcome {
         Ok(results) => {
             for (p, result) in queries.iter().zip(results) {
@@ -341,7 +446,7 @@ fn dispatch_queries(exec: &ShardedExecutor, obs: &Arc<ServeObs>, queries: &[Pend
                     Ok(r) => {
                         obs.request_ns
                             .record(p.admitted.elapsed().as_nanos() as u64);
-                        let _ = p.reply.send(BatchReply::Done(r.output));
+                        let _ = p.reply.send(BatchReply::Done(Box::new(r)));
                     }
                     // Cancelled mid-batch: the waiter already gave up.
                     Err(SgError::Cancelled) => {}
@@ -366,7 +471,7 @@ fn dispatch_queries(exec: &ShardedExecutor, obs: &Arc<ServeObs>, queries: &[Pend
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sg_exec::{ExecConfig, ShardedExecutor};
+    use sg_exec::{ExecConfig, QueryOutput, ShardedExecutor};
     use sg_obs::Registry;
     use sg_sig::Signature;
 
@@ -423,7 +528,7 @@ mod tests {
             .collect();
         for t in tickets {
             match t.rx.recv_timeout(Duration::from_secs(5)).unwrap() {
-                BatchReply::Done(QueryOutput::Tids(_)) => {}
+                BatchReply::Done(r) => assert!(matches!(r.output, QueryOutput::Tids(_))),
                 other => panic!("unexpected reply: {other:?}"),
             }
         }
@@ -538,7 +643,7 @@ mod tests {
             other => panic!("unexpected write reply: {other:?}"),
         }
         match q.rx.recv_timeout(Duration::from_secs(5)).unwrap() {
-            BatchReply::Done(QueryOutput::Tids(tids)) => assert_eq!(tids, vec![1000]),
+            BatchReply::Done(r) => assert_eq!(r.output, QueryOutput::Tids(vec![1000])),
             other => panic!("unexpected query reply: {other:?}"),
         }
         // A duplicate insert surfaces as a structured failure, not a panic.

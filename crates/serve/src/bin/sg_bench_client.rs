@@ -25,6 +25,8 @@ const USAGE: &str = "sg-bench-client: load generator for sg-serve
   --min-sim S        similarity threshold (default 0.5)
   --seed N           workload seed (default 20030305)
   --timeout-ms N     per-request timeout_ms sent on the wire
+  --trace-sample N   stamp a trace_id on every Nth request (0 = none);
+                     the report counts how many came back echoed
   --bench-json PATH  append a perf-trajectory entry to PATH
 ";
 
@@ -66,6 +68,9 @@ fn parse_opts() -> Result<(LoadConfig, Option<String>), String> {
             "--seed" => cfg.seed = parse_num(&val("--seed")?, "--seed")?,
             "--timeout-ms" => {
                 cfg.timeout_ms = Some(parse_num(&val("--timeout-ms")?, "--timeout-ms")?)
+            }
+            "--trace-sample" => {
+                cfg.trace_sample = parse_num(&val("--trace-sample")?, "--trace-sample")?
             }
             "--bench-json" => bench_json = Some(val("--bench-json")?),
             "--help" | "-h" => {

@@ -23,26 +23,35 @@ use std::time::Duration;
 /// Global shutdown flag flipped from the signal handler; handlers may only
 /// perform async-signal-safe work, so an atomic store is all they do.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+/// SIGUSR1 flag: the main loop notices it and dumps the flight recorder.
+static DUMP: AtomicBool = AtomicBool::new(false);
 
 #[cfg(unix)]
 mod signals {
-    use super::SHUTDOWN;
+    use super::{DUMP, SHUTDOWN};
     use std::sync::atomic::Ordering;
 
     extern "C" {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
     }
 
-    extern "C" fn on_signal(_signum: i32) {
-        SHUTDOWN.store(true, Ordering::SeqCst);
+    extern "C" fn on_signal(signum: i32) {
+        const SIGUSR1: i32 = 10;
+        if signum == SIGUSR1 {
+            DUMP.store(true, Ordering::SeqCst);
+        } else {
+            SHUTDOWN.store(true, Ordering::SeqCst);
+        }
     }
 
-    /// Installs SIGINT + SIGTERM handlers that flip the shutdown flag.
+    /// Installs SIGINT/SIGTERM (drain) and SIGUSR1 (flight dump) handlers.
     pub fn install() {
         const SIGINT: i32 = 2;
+        const SIGUSR1: i32 = 10;
         const SIGTERM: i32 = 15;
         unsafe {
             signal(SIGINT, on_signal);
+            signal(SIGUSR1, on_signal);
             signal(SIGTERM, on_signal);
         }
     }
@@ -71,6 +80,8 @@ struct Opts {
     timeout_ms: u64,
     data_dir: Option<String>,
     fsync: FsyncPolicy,
+    trace: bool,
+    slow_ms: Option<u64>,
 }
 
 impl Default for Opts {
@@ -92,6 +103,8 @@ impl Default for Opts {
             timeout_ms: 1000,
             data_dir: None,
             fsync: FsyncPolicy::Always,
+            trace: false,
+            slow_ms: None,
         }
     }
 }
@@ -116,6 +129,10 @@ const USAGE: &str = "sg-serve: serve a generated SG-tree dataset over TCP
   --data-dir PATH         run durably: WAL + checkpoints under PATH,
                           replayed on restart; live writes survive kill -9
   --fsync always|os       WAL sync policy with --data-dir (default always)
+  --trace                 turn on the flight recorder (spans served at
+                          /debug/flight; kill -USR1 dumps them to a file)
+  --slow-ms N             capture requests slower than N ms, with their
+                          span tree and EXPLAIN trace, at /debug/slow
 ";
 
 fn parse_opts() -> Result<Opts, String> {
@@ -153,6 +170,8 @@ fn parse_opts() -> Result<Opts, String> {
                     other => return Err(format!("--fsync: `{other}` is not `always` or `os`")),
                 }
             }
+            "--trace" => opts.trace = true,
+            "--slow-ms" => opts.slow_ms = Some(parse_num(&val("--slow-ms")?, "--slow-ms")?),
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -166,6 +185,27 @@ fn parse_opts() -> Result<Opts, String> {
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
     s.parse()
         .map_err(|_| format!("{flag}: `{s}` is not a valid number"))
+}
+
+/// SIGUSR1 postmortem dump: writes the flight recorder's contents as
+/// Chrome `trace_event` JSON to `<data-dir>/flight-<unix_ms>.json` (or
+/// the working directory when the server runs without durability).
+fn dump_flight(data_dir: Option<&str>) {
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    let dir = std::path::Path::new(data_dir.unwrap_or("."));
+    let path = dir.join(format!("flight-{unix_ms}.json"));
+    let body = sg_obs::span::flight_trace_json().to_string_compact();
+    match std::fs::write(&path, &body) {
+        Ok(()) => eprintln!(
+            "sg-serve: flight recorder dumped to {} ({} bytes)",
+            path.display(),
+            body.len()
+        ),
+        Err(e) => eprintln!("sg-serve: flight dump to {} failed: {e}", path.display()),
+    }
 }
 
 /// The deterministic synthetic dataset: clustered transactions, the same
@@ -194,6 +234,14 @@ fn main() {
         }
     };
     signals::install();
+    if opts.trace {
+        sg_obs::span::set_enabled(true);
+        eprintln!("sg-serve: flight recorder on");
+    }
+    if let Some(ms) = opts.slow_ms {
+        sg_obs::span::set_slow_threshold_ns(ms.saturating_mul(1_000_000));
+        eprintln!("sg-serve: slow-query capture at {ms}ms");
+    }
 
     let exec_config = ExecConfig {
         shards: opts.shards.max(1),
@@ -287,7 +335,9 @@ fn main() {
     };
     println!("sg-serve: listening on {}", server.local_addr());
     if let Some(admin) = server.admin_addr() {
-        println!("sg-serve: admin http on {admin} (/metrics, /healthz)");
+        println!(
+            "sg-serve: admin http on {admin} (/metrics, /healthz, /debug/flight, /debug/slow)"
+        );
     }
     if let Some(path) = &opts.port_file {
         let admin_port = server.admin_addr().map(|a| a.port()).unwrap_or(0);
@@ -299,6 +349,9 @@ fn main() {
     }
 
     while !SHUTDOWN.load(Ordering::SeqCst) {
+        if DUMP.swap(false, Ordering::SeqCst) {
+            dump_flight(opts.data_dir.as_deref());
+        }
         std::thread::sleep(Duration::from_millis(50));
     }
     eprintln!("sg-serve: shutdown requested, draining");

@@ -57,6 +57,7 @@ pub struct Client {
     stream: TcpStream,
     next_id: u64,
     max_frame: usize,
+    trace: Option<u64>,
 }
 
 impl Client {
@@ -68,7 +69,15 @@ impl Client {
             stream,
             next_id: 1,
             max_frame: MAX_FRAME_DEFAULT,
+            trace: None,
         })
+    }
+
+    /// Sets (or clears) the `trace_id` the convenience methods stamp on
+    /// subsequent requests. The server echoes it and, when its flight
+    /// recorder is on, tags every span of the request with it.
+    pub fn set_trace_id(&mut self, trace_id: Option<u64>) {
+        self.trace = trace_id;
     }
 
     /// Sends one request frame and blocks for the matching response.
@@ -98,6 +107,7 @@ impl Client {
             mode,
             items: items.to_vec(),
             timeout_ms,
+            trace_id: self.trace,
         };
         self.call(&req)
     }
@@ -114,6 +124,7 @@ impl Client {
             items: items.to_vec(),
             radius,
             timeout_ms,
+            trace_id: self.trace,
         };
         self.call(&req)
     }
@@ -132,6 +143,7 @@ impl Client {
             min_sim,
             metric,
             timeout_ms,
+            trace_id: self.trace,
         };
         self.call(&req)
     }
@@ -149,6 +161,7 @@ impl Client {
             tid,
             items: items.to_vec(),
             timeout_ms,
+            trace_id: self.trace,
         };
         self.call(&req)
     }
@@ -159,6 +172,7 @@ impl Client {
             id: self.take_id(),
             tid,
             timeout_ms,
+            trace_id: self.trace,
         };
         self.call(&req)
     }
@@ -175,6 +189,7 @@ impl Client {
             tid,
             items: items.to_vec(),
             timeout_ms,
+            trace_id: self.trace,
         };
         self.call(&req)
     }
@@ -193,6 +208,7 @@ impl Client {
             k,
             metric,
             timeout_ms,
+            trace_id: self.trace,
         };
         self.call(&req)
     }

@@ -101,6 +101,10 @@ pub struct LoadConfig {
     pub seed: u64,
     /// Per-request `timeout_ms` sent on the wire, if any.
     pub timeout_ms: Option<u64>,
+    /// Stamp a `trace_id` on every `trace_sample`-th request (`0`
+    /// disables sampling). Sampled requests can be pulled back out of the
+    /// server's `/debug/flight` dump by their ids.
+    pub trace_sample: usize,
 }
 
 impl Default for LoadConfig {
@@ -118,6 +122,7 @@ impl Default for LoadConfig {
             min_sim: 0.5,
             seed: 20030305,
             timeout_ms: None,
+            trace_sample: 0,
         }
     }
 }
@@ -145,13 +150,20 @@ pub struct LoadReport {
     pub p99_us: u64,
     /// Mean latency, microseconds.
     pub mean_us: u64,
+    /// Responses that echoed a sampled `trace_id`.
+    pub traced: u64,
 }
 
 impl LoadReport {
     /// Human-readable multi-line summary.
     pub fn render(&self) -> String {
+        let traced = if self.traced > 0 {
+            format!(" traced={}", self.traced)
+        } else {
+            String::new()
+        };
         format!(
-            "sent={} ok={} busy={} errors={} elapsed={:.3}s throughput={:.1} qps\n\
+            "sent={} ok={} busy={} errors={}{traced} elapsed={:.3}s throughput={:.1} qps\n\
              latency_us: p50={} p95={} p99={} mean={}",
             self.sent,
             self.ok,
@@ -173,6 +185,7 @@ pub fn request_for(cfg: &LoadConfig, i: usize) -> crate::proto::Request {
     let n = cfg.query_items.clamp(1, cfg.nbits as usize);
     let items: Vec<u32> = (0..n).map(|_| rng.gen_range(0..cfg.nbits)).collect();
     let id = i as u64 + 1;
+    let trace_id = trace_id_for(cfg, i);
     let kind = match cfg.workload {
         Workload::Mix => i % 4,
         Workload::Knn => 0,
@@ -187,18 +200,21 @@ pub fn request_for(cfg: &LoadConfig, i: usize) -> crate::proto::Request {
             k: cfg.k,
             metric: MetricName::Hamming,
             timeout_ms: cfg.timeout_ms,
+            trace_id,
         },
         1 => crate::proto::Request::Containment {
             id,
             mode: ContainmentMode::Containing,
             items,
             timeout_ms: cfg.timeout_ms,
+            trace_id,
         },
         2 => crate::proto::Request::Range {
             id,
             items,
             radius: cfg.radius,
             timeout_ms: cfg.timeout_ms,
+            trace_id,
         },
         _ => crate::proto::Request::Similarity {
             id,
@@ -206,7 +222,19 @@ pub fn request_for(cfg: &LoadConfig, i: usize) -> crate::proto::Request {
             min_sim: cfg.min_sim,
             metric: MetricName::Jaccard,
             timeout_ms: cfg.timeout_ms,
+            trace_id,
         },
+    }
+}
+
+/// The deterministic `trace_id` sampled requests carry: a recognizable
+/// high-bit prefix plus the global query index, so a run's sampled traces
+/// are easy to pick out of a flight dump.
+pub fn trace_id_for(cfg: &LoadConfig, i: usize) -> Option<u64> {
+    if cfg.trace_sample > 0 && i % cfg.trace_sample == 0 {
+        Some(0xC1AE_0000_0000_0000 | i as u64)
+    } else {
+        None
     }
 }
 
@@ -215,6 +243,7 @@ struct Tally {
     ok: u64,
     busy: u64,
     errors: u64,
+    traced: u64,
     latencies_us: Vec<u64>,
 }
 
@@ -245,6 +274,7 @@ pub fn run_load(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
                 ok: 0,
                 busy: 0,
                 errors: 0,
+                traced: 0,
                 latencies_us: Vec::new(),
             };
             barrier.wait();
@@ -271,10 +301,15 @@ pub fn run_load(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
                 let req = request_for(&cfg, i);
                 tally.sent += 1;
                 match client.call(&req) {
-                    Ok(Response::Neighbors { .. })
-                    | Ok(Response::Tids { .. })
-                    | Ok(Response::Ack { .. }) => {
+                    Ok(
+                        resp @ (Response::Neighbors { .. }
+                        | Response::Tids { .. }
+                        | Response::Ack { .. }),
+                    ) => {
                         tally.ok += 1;
+                        if resp.trace_id().is_some() && resp.trace_id() == req.trace_id() {
+                            tally.traced += 1;
+                        }
                         tally
                             .latencies_us
                             .push(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
@@ -312,12 +347,14 @@ pub fn run_load(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
     let mut ok = 0;
     let mut busy = 0;
     let mut errors = 0;
+    let mut traced = 0;
     let mut lat: Vec<u64> = Vec::new();
     for t in tallies.lock().unwrap_or_else(|e| e.into_inner()).iter() {
         sent += t.sent;
         ok += t.ok;
         busy += t.busy;
         errors += t.errors;
+        traced += t.traced;
         lat.extend_from_slice(&t.latencies_us);
     }
     lat.sort_unstable();
@@ -344,6 +381,7 @@ pub fn run_load(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
         p95_us: pct(0.95),
         p99_us: pct(0.99),
         mean_us,
+        traced,
     })
 }
 

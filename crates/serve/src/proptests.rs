@@ -23,6 +23,13 @@ fn timeout() -> impl Strategy<Value = Option<u64>> {
     ]
 }
 
+fn trace() -> impl Strategy<Value = Option<u64>> {
+    prop_oneof![
+        Just(None),
+        boxed((0u64..=u64::MAX).prop_map(Some)) as Box<dyn Strategy<Value = Option<u64>>>,
+    ]
+}
+
 fn metric() -> impl Strategy<Value = MetricName> {
     (0usize..4).prop_map(|i| {
         [
@@ -68,64 +75,96 @@ fn message() -> impl Strategy<Value = String> {
 }
 
 fn request() -> impl Strategy<Value = Request> {
-    let containment =
-        (0u64..1_000_000, mode(), items(), timeout()).prop_map(|(id, mode, items, timeout_ms)| {
-            Request::Containment {
-                id,
-                mode,
-                items,
-                timeout_ms,
-            }
-        });
-    let range = (0u64..1_000_000, items(), 0u32..1000, timeout()).prop_map(
-        |(id, items, r8, timeout_ms)| Request::Range {
+    let containment = (0u64..1_000_000, mode(), items(), timeout(), trace()).prop_map(
+        |(id, mode, items, timeout_ms, trace_id)| Request::Containment {
+            id,
+            mode,
+            items,
+            timeout_ms,
+            trace_id,
+        },
+    );
+    let range = (0u64..1_000_000, items(), 0u32..1000, timeout(), trace()).prop_map(
+        |(id, items, r8, timeout_ms, trace_id)| Request::Range {
             id,
             items,
             radius: r8 as f64 / 8.0,
             timeout_ms,
+            trace_id,
         },
     );
-    let similarity = (0u64..1_000_000, items(), 0u32..=8, metric(), timeout()).prop_map(
-        |(id, items, s8, metric, timeout_ms)| Request::Similarity {
-            id,
-            items,
-            min_sim: s8 as f64 / 8.0,
-            metric,
-            timeout_ms,
-        },
-    );
-    let knn = (0u64..1_000_000, items(), 0u64..10_000, metric(), timeout()).prop_map(
-        |(id, items, k, metric, timeout_ms)| Request::Knn {
-            id,
-            items,
-            k,
-            metric,
-            timeout_ms,
-        },
-    );
-    let insert = (0u64..1_000_000, 0u64..=u64::MAX, items(), timeout()).prop_map(
-        |(id, tid, items, timeout_ms)| Request::Insert {
+    let similarity = (
+        0u64..1_000_000,
+        items(),
+        0u32..=8,
+        metric(),
+        timeout(),
+        trace(),
+    )
+        .prop_map(
+            |(id, items, s8, metric, timeout_ms, trace_id)| Request::Similarity {
+                id,
+                items,
+                min_sim: s8 as f64 / 8.0,
+                metric,
+                timeout_ms,
+                trace_id,
+            },
+        );
+    let knn = (
+        0u64..1_000_000,
+        items(),
+        0u64..10_000,
+        metric(),
+        timeout(),
+        trace(),
+    )
+        .prop_map(
+            |(id, items, k, metric, timeout_ms, trace_id)| Request::Knn {
+                id,
+                items,
+                k,
+                metric,
+                timeout_ms,
+                trace_id,
+            },
+        );
+    let insert = (
+        0u64..1_000_000,
+        0u64..=u64::MAX,
+        items(),
+        timeout(),
+        trace(),
+    )
+        .prop_map(|(id, tid, items, timeout_ms, trace_id)| Request::Insert {
             id,
             tid,
             items,
             timeout_ms,
-        },
-    );
-    let delete = (0u64..1_000_000, 0u64..=u64::MAX, timeout()).prop_map(|(id, tid, timeout_ms)| {
-        Request::Delete {
+            trace_id,
+        });
+    let delete = (0u64..1_000_000, 0u64..=u64::MAX, timeout(), trace()).prop_map(
+        |(id, tid, timeout_ms, trace_id)| Request::Delete {
             id,
             tid,
             timeout_ms,
-        }
-    });
-    let upsert = (0u64..1_000_000, 0u64..=u64::MAX, items(), timeout()).prop_map(
-        |(id, tid, items, timeout_ms)| Request::Upsert {
+            trace_id,
+        },
+    );
+    let upsert = (
+        0u64..1_000_000,
+        0u64..=u64::MAX,
+        items(),
+        timeout(),
+        trace(),
+    )
+        .prop_map(|(id, tid, items, timeout_ms, trace_id)| Request::Upsert {
             id,
             tid,
             items,
             timeout_ms,
-        },
-    );
+            trace_id,
+        });
     Union::new(vec![
         boxed(containment),
         boxed(range),
@@ -141,15 +180,21 @@ fn response() -> impl Strategy<Value = Response> {
     let neighbors = (
         0u64..1_000_000,
         prop::collection::vec((finite_f64(), 0u64..=u64::MAX), 0..16),
+        trace(),
     )
-        .prop_map(|(id, pairs)| Response::Neighbors { id, pairs });
+        .prop_map(|(id, pairs, trace_id)| Response::Neighbors {
+            id,
+            pairs,
+            trace_id,
+        });
     let tids = (
         0u64..1_000_000,
         prop::collection::vec(0u64..=u64::MAX, 0..32),
+        trace(),
     )
-        .prop_map(|(id, tids)| Response::Tids { id, tids });
-    let error = (0u64..1_000_000, 0usize..6, message(), timeout()).prop_map(
-        |(id, c, message, retry_after_ms)| Response::Error {
+        .prop_map(|(id, tids, trace_id)| Response::Tids { id, tids, trace_id });
+    let error = (0u64..1_000_000, 0usize..6, message(), timeout(), trace()).prop_map(
+        |(id, c, message, retry_after_ms, trace_id)| Response::Error {
             id,
             code: [
                 ErrorCode::BadRequest,
@@ -161,6 +206,7 @@ fn response() -> impl Strategy<Value = Response> {
             ][c],
             message,
             retry_after_ms,
+            trace_id,
         },
     );
     let ack = (
@@ -170,8 +216,14 @@ fn response() -> impl Strategy<Value = Response> {
             Just(None),
             boxed((0u64..=u64::MAX).prop_map(Some)) as Box<dyn Strategy<Value = Option<u64>>>,
         ],
+        trace(),
     )
-        .prop_map(|(id, applied, lsn)| Response::Ack { id, applied, lsn });
+        .prop_map(|(id, applied, lsn, trace_id)| Response::Ack {
+            id,
+            applied,
+            lsn,
+            trace_id,
+        });
     Union::new(vec![
         boxed(neighbors),
         boxed(tids),
@@ -185,8 +237,20 @@ fn response() -> impl Strategy<Value = Response> {
 /// distances: `PartialEq` on f64 would accept `-0.0 == 0.0`.
 fn bits_equal(a: &Response, b: &Response) -> bool {
     match (a, b) {
-        (Response::Neighbors { id: ia, pairs: pa }, Response::Neighbors { id: ib, pairs: pb }) => {
+        (
+            Response::Neighbors {
+                id: ia,
+                pairs: pa,
+                trace_id: ta_id,
+            },
+            Response::Neighbors {
+                id: ib,
+                pairs: pb,
+                trace_id: tb_id,
+            },
+        ) => {
             ia == ib
+                && ta_id == tb_id
                 && pa.len() == pb.len()
                 && pa
                     .iter()

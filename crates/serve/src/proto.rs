@@ -1,7 +1,10 @@
 //! The wire protocol: JSON request and response payloads.
 //!
 //! Every frame payload is one JSON object. Requests carry a caller-chosen
-//! `id` that the matching response echoes, a `type` discriminator, and the
+//! `id` that the matching response echoes, a `type` discriminator, an
+//! optional `trace_id` (echoed back, and — when the server's flight
+//! recorder is on — stamped onto every span the request produces, so the
+//! client can later pull its span tree from `/debug/flight`), and the
 //! query parameters; responses are either an answer (`"ok": true` with
 //! `neighbors` — canonical `(dist, tid)` pairs — `tids`, or a write
 //! `applied`/`lsn` ack) or a
@@ -118,6 +121,9 @@ pub enum Request {
         items: Vec<u32>,
         /// Per-request deadline override, milliseconds.
         timeout_ms: Option<u64>,
+        /// Client-supplied trace id, echoed in the response and stamped
+        /// onto the request's spans.
+        trace_id: Option<u64>,
     },
     /// Similarity range query under **Hamming** distance: everything
     /// within `radius` symmetric-difference items of the query.
@@ -130,6 +136,9 @@ pub enum Request {
         radius: f64,
         /// Per-request deadline override, milliseconds.
         timeout_ms: Option<u64>,
+        /// Client-supplied trace id, echoed in the response and stamped
+        /// onto the request's spans.
+        trace_id: Option<u64>,
     },
     /// Similarity threshold query under a fractional metric: everything
     /// with `similarity ≥ min_sim`, i.e. distance ≤ `1 − min_sim`.
@@ -144,6 +153,9 @@ pub enum Request {
         metric: MetricName,
         /// Per-request deadline override, milliseconds.
         timeout_ms: Option<u64>,
+        /// Client-supplied trace id, echoed in the response and stamped
+        /// onto the request's spans.
+        trace_id: Option<u64>,
     },
     /// `k` nearest neighbors under `metric`.
     Knn {
@@ -157,6 +169,9 @@ pub enum Request {
         metric: MetricName,
         /// Per-request deadline override, milliseconds.
         timeout_ms: Option<u64>,
+        /// Client-supplied trace id, echoed in the response and stamped
+        /// onto the request's spans.
+        trace_id: Option<u64>,
     },
     /// Insert a new transaction; the ack arrives only after the write is
     /// as durable as the server's fsync policy promises.
@@ -169,6 +184,9 @@ pub enum Request {
         items: Vec<u32>,
         /// Per-request deadline override, milliseconds.
         timeout_ms: Option<u64>,
+        /// Client-supplied trace id, echoed in the response and stamped
+        /// onto the request's spans.
+        trace_id: Option<u64>,
     },
     /// Delete a transaction by id; `applied: false` when absent.
     Delete {
@@ -178,6 +196,9 @@ pub enum Request {
         tid: u64,
         /// Per-request deadline override, milliseconds.
         timeout_ms: Option<u64>,
+        /// Client-supplied trace id, echoed in the response and stamped
+        /// onto the request's spans.
+        trace_id: Option<u64>,
     },
     /// Insert-or-replace a transaction.
     Upsert {
@@ -189,6 +210,9 @@ pub enum Request {
         items: Vec<u32>,
         /// Per-request deadline override, milliseconds.
         timeout_ms: Option<u64>,
+        /// Client-supplied trace id, echoed in the response and stamped
+        /// onto the request's spans.
+        trace_id: Option<u64>,
     },
 }
 
@@ -216,6 +240,33 @@ impl Request {
             | Request::Insert { timeout_ms, .. }
             | Request::Delete { timeout_ms, .. }
             | Request::Upsert { timeout_ms, .. } => *timeout_ms,
+        }
+    }
+
+    /// The client-supplied trace id, if any.
+    pub fn trace_id(&self) -> Option<u64> {
+        match self {
+            Request::Containment { trace_id, .. }
+            | Request::Range { trace_id, .. }
+            | Request::Similarity { trace_id, .. }
+            | Request::Knn { trace_id, .. }
+            | Request::Insert { trace_id, .. }
+            | Request::Delete { trace_id, .. }
+            | Request::Upsert { trace_id, .. } => *trace_id,
+        }
+    }
+
+    /// The wire `type` discriminator, for span names and the slow-query
+    /// log.
+    pub fn type_str(&self) -> &'static str {
+        match self {
+            Request::Containment { .. } => "containment",
+            Request::Range { .. } => "range",
+            Request::Similarity { .. } => "similarity",
+            Request::Knn { .. } => "knn",
+            Request::Insert { .. } => "insert",
+            Request::Delete { .. } => "delete",
+            Request::Upsert { .. } => "upsert",
         }
     }
 
@@ -281,6 +332,8 @@ pub enum Response {
         id: u64,
         /// `(dist, tid)` in canonical order.
         pairs: Vec<(f64, u64)>,
+        /// Echo of the request's `trace_id`, when it carried one.
+        trace_id: Option<u64>,
     },
     /// Id-set answer (containment queries), ascending tids.
     Tids {
@@ -288,6 +341,8 @@ pub enum Response {
         id: u64,
         /// Matching transaction ids.
         tids: Vec<u64>,
+        /// Echo of the request's `trace_id`, when it carried one.
+        trace_id: Option<u64>,
     },
     /// Durable write acknowledgement: the operation reached the WAL (and
     /// was fsynced per the server's policy) before this frame was sent.
@@ -299,6 +354,8 @@ pub enum Response {
         applied: bool,
         /// WAL sequence number, when the server runs durably.
         lsn: Option<u64>,
+        /// Echo of the request's `trace_id`, when it carried one.
+        trace_id: Option<u64>,
     },
     /// Structured error.
     Error {
@@ -310,6 +367,8 @@ pub enum Response {
         message: String,
         /// Backpressure hint: retry no sooner than this many milliseconds.
         retry_after_ms: Option<u64>,
+        /// Echo of the request's `trace_id`, when it carried one.
+        trace_id: Option<u64>,
     },
 }
 
@@ -321,6 +380,16 @@ impl Response {
             | Response::Tids { id, .. }
             | Response::Ack { id, .. }
             | Response::Error { id, .. } => *id,
+        }
+    }
+
+    /// The echoed trace id, if the request carried one.
+    pub fn trace_id(&self) -> Option<u64> {
+        match self {
+            Response::Neighbors { trace_id, .. }
+            | Response::Tids { trace_id, .. }
+            | Response::Ack { trace_id, .. }
+            | Response::Error { trace_id, .. } => *trace_id,
         }
     }
 }
@@ -349,9 +418,16 @@ fn push_timeout(members: &mut Vec<(String, Json)>, timeout_ms: Option<u64>) {
     }
 }
 
+fn push_trace(members: &mut Vec<(String, Json)>, trace_id: Option<u64>) {
+    if let Some(t) = trace_id {
+        members.push(("trace_id".into(), Json::U64(t)));
+    }
+}
+
 /// Serializes a request to its JSON payload bytes.
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut m: Vec<(String, Json)> = vec![("id".into(), Json::U64(req.id()))];
+    push_trace(&mut m, req.trace_id());
     match req {
         Request::Containment {
             mode,
@@ -436,8 +512,8 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
 
 /// Serializes a response to its JSON payload bytes.
 pub fn encode_response(resp: &Response) -> Vec<u8> {
-    let m: Vec<(String, Json)> = match resp {
-        Response::Neighbors { id, pairs } => vec![
+    let mut m: Vec<(String, Json)> = match resp {
+        Response::Neighbors { id, pairs, .. } => vec![
             ("id".into(), Json::U64(*id)),
             ("ok".into(), Json::Bool(true)),
             (
@@ -450,7 +526,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 ),
             ),
         ],
-        Response::Tids { id, tids } => vec![
+        Response::Tids { id, tids, .. } => vec![
             ("id".into(), Json::U64(*id)),
             ("ok".into(), Json::Bool(true)),
             (
@@ -458,7 +534,9 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 Json::Arr(tids.iter().map(|&t| Json::U64(t)).collect()),
             ),
         ],
-        Response::Ack { id, applied, lsn } => {
+        Response::Ack {
+            id, applied, lsn, ..
+        } => {
             let mut m = vec![
                 ("id".into(), Json::U64(*id)),
                 ("ok".into(), Json::Bool(true)),
@@ -474,6 +552,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             code,
             message,
             retry_after_ms,
+            ..
         } => {
             let mut err: Vec<(String, Json)> = vec![
                 ("code".into(), Json::Str(code.as_str().into())),
@@ -489,6 +568,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             ]
         }
     };
+    push_trace(&mut m, resp.trace_id());
     Json::Obj(m).to_string_compact().into_bytes()
 }
 
@@ -540,6 +620,16 @@ fn get_timeout(obj: &Json) -> Result<Option<u64>, ProtoError> {
     }
 }
 
+fn get_trace(obj: &Json) -> Result<Option<u64>, ProtoError> {
+    match obj.get("trace_id") {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| err("`trace_id` must be a non-negative integer")),
+    }
+}
+
 fn get_metric(obj: &Json, default: MetricName) -> Result<MetricName, ProtoError> {
     match obj.get("metric") {
         None | Some(Json::Null) => Ok(default),
@@ -559,6 +649,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
     }
     let id = get_u64(&doc, "id")?;
     let timeout_ms = get_timeout(&doc)?;
+    let trace_id = get_trace(&doc)?;
     match get_str(&doc, "type")? {
         "containment" => {
             let mode_s = get_str(&doc, "mode")?;
@@ -569,6 +660,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
                 mode,
                 items: get_items(&doc)?,
                 timeout_ms,
+                trace_id,
             })
         }
         "range" => {
@@ -581,6 +673,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
                 items: get_items(&doc)?,
                 radius,
                 timeout_ms,
+                trace_id,
             })
         }
         "similarity" => {
@@ -594,6 +687,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
                 min_sim,
                 metric: get_metric(&doc, MetricName::Jaccard)?,
                 timeout_ms,
+                trace_id,
             })
         }
         "knn" => Ok(Request::Knn {
@@ -602,23 +696,27 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
             k: get_u64(&doc, "k")?,
             metric: get_metric(&doc, MetricName::Hamming)?,
             timeout_ms,
+            trace_id,
         }),
         "insert" => Ok(Request::Insert {
             id,
             tid: get_u64(&doc, "tid")?,
             items: get_items(&doc)?,
             timeout_ms,
+            trace_id,
         }),
         "delete" => Ok(Request::Delete {
             id,
             tid: get_u64(&doc, "tid")?,
             timeout_ms,
+            trace_id,
         }),
         "upsert" => Ok(Request::Upsert {
             id,
             tid: get_u64(&doc, "tid")?,
             items: get_items(&doc)?,
             timeout_ms,
+            trace_id,
         }),
         other => Err(err(format!("unknown request type `{other}`"))),
     }
@@ -632,6 +730,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
         return Err(err("payload must be a JSON object"));
     }
     let id = get_u64(&doc, "id")?;
+    let trace_id = get_trace(&doc)?;
     let ok = match doc.get("ok") {
         Some(Json::Bool(b)) => *b,
         _ => return Err(err("missing or non-boolean `ok`")),
@@ -653,6 +752,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
             code,
             message: get_str(e, "message")?.to_string(),
             retry_after_ms,
+            trace_id,
         });
     }
     if let Some(applied) = doc.get("applied") {
@@ -664,7 +764,12 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
             None | Some(Json::Null) => None,
             Some(v) => Some(v.as_u64().ok_or_else(|| err("`lsn` must be a u64"))?),
         };
-        return Ok(Response::Ack { id, applied, lsn });
+        return Ok(Response::Ack {
+            id,
+            applied,
+            lsn,
+            trace_id,
+        });
     }
     if let Some(arr) = doc.get("neighbors") {
         let arr = arr
@@ -684,7 +789,11 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
                 .ok_or_else(|| err("neighbor tid must be a u64"))?;
             pairs.push((dist, tid));
         }
-        return Ok(Response::Neighbors { id, pairs });
+        return Ok(Response::Neighbors {
+            id,
+            pairs,
+            trace_id,
+        });
     }
     if let Some(arr) = doc.get("tids") {
         let arr = arr.as_arr().ok_or_else(|| err("`tids` must be an array"))?;
@@ -692,7 +801,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
             .iter()
             .map(|v| v.as_u64().ok_or_else(|| err("tids must be u64s")))
             .collect::<Result<Vec<u64>, ProtoError>>()?;
-        return Ok(Response::Tids { id, tids });
+        return Ok(Response::Tids { id, tids, trace_id });
     }
     Err(err(
         "ok response carries none of `neighbors`, `tids`, `applied`",

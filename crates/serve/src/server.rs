@@ -21,7 +21,7 @@ use crate::proto::{
     decode_request, encode_response, ContainmentMode, ErrorCode, Request, Response,
 };
 use sg_exec::{QueryOutput, QueryRequest, ShardedExecutor, WriteOp};
-use sg_obs::{export, Registry, ServeObs};
+use sg_obs::{export, span, Registry, ServeObs, Span};
 use sg_sig::{Metric, Signature};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -109,6 +109,10 @@ struct Inner {
     batcher: Batcher,
     obs: Arc<ServeObs>,
     shutdown: Arc<AtomicBool>,
+    /// Separate stop flag for the admin listener: it outlives `shutdown`
+    /// so `/healthz` can report `503 draining` *during* the drain, and is
+    /// set only once the drain has finished.
+    admin_stop: AtomicBool,
     conns: ConnQueue,
     config: ServeConfig,
 }
@@ -154,6 +158,7 @@ impl Server {
             batcher,
             obs,
             shutdown: Arc::new(AtomicBool::new(false)),
+            admin_stop: AtomicBool::new(false),
             conns: ConnQueue {
                 queue: Mutex::new(VecDeque::new()),
                 available: Condvar::new(),
@@ -233,6 +238,9 @@ impl Server {
         // Only after the last connection worker has returned can no new
         // submits race the batcher's drain.
         self.inner.batcher.drain();
+        // The admin listener stays up through the drain (healthz reports
+        // 503 `draining` the whole time) and stops only now.
+        self.inner.admin_stop.store(true, Ordering::SeqCst);
         if let Some(h) = self.admin.take() {
             let _ = h.join();
         }
@@ -259,8 +267,21 @@ fn accept_loop(inner: &Inner, listener: TcpListener) {
         match listener.accept() {
             Ok((stream, _)) => {
                 inner.obs.accepted.inc();
+                let t0 = span::now_ns();
                 lock_conns(&inner.conns).push_back(stream);
                 inner.conns.available.notify_one();
+                if span::enabled() {
+                    // Connection-scoped, so it roots a trace of its own.
+                    span::emit(
+                        span::next_trace_id(),
+                        0,
+                        "serve.accept",
+                        "serve",
+                        t0,
+                        span::now_ns().saturating_sub(t0),
+                        &[],
+                    );
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(inner.config.poll);
@@ -330,6 +351,7 @@ fn serve_conn(inner: &Inner, mut stream: TcpStream) {
                         inner.config.max_frame
                     ),
                     retry_after_ms: None,
+                    trace_id: None,
                 };
                 let _ = write_frame(&mut stream, &encode_response(&resp));
                 return;
@@ -341,7 +363,14 @@ fn serve_conn(inner: &Inner, mut stream: TcpStream) {
 
 /// Decodes, validates, executes (through the batcher), and builds the
 /// response for one request payload.
+///
+/// When the flight recorder or the slow-query log is armed, the whole
+/// handler runs under a `serve.request` root span — client-supplied
+/// `trace_id` or a fresh one — with the decode measured as a child and
+/// the root's context handed down through the batcher so queue wait,
+/// dispatch, executor, tree, and WAL spans all connect to it.
 fn handle_payload(inner: &Inner, payload: &[u8]) -> Response {
+    let t0 = span::now_ns();
     let req = match decode_request(payload) {
         Ok(req) => req,
         Err(e) => {
@@ -351,18 +380,61 @@ fn handle_payload(inner: &Inner, payload: &[u8]) -> Response {
                 code: ErrorCode::BadRequest,
                 message: e.to_string(),
                 retry_after_ms: None,
+                trace_id: None,
             };
         }
     };
+    let armed = span::enabled() || span::slow_threshold_ns() != u64::MAX;
+    let client_trace = req.trace_id();
+    let trace_id = if armed {
+        client_trace.unwrap_or_else(span::next_trace_id)
+    } else {
+        0
+    };
+    // Root span backdated to before decode; a no-op unless recording.
+    let root = Span::root_at(trace_id, "serve.request", "serve", t0);
+    if let Some(ctx) = root.ctx() {
+        let t_dec = span::now_ns();
+        span::emit(
+            trace_id,
+            ctx.span_id,
+            "serve.decode",
+            "serve",
+            t0,
+            t_dec.saturating_sub(t0),
+            &[("bytes", payload.len() as u64)],
+        );
+    }
+    let mut explain = None;
+    let resp = handle_request(inner, &req, root.ctx(), &mut explain);
+    // Record the root span before the slow log snapshots the trace.
+    drop(root);
+    if armed {
+        let dur_ns = span::now_ns().saturating_sub(t0);
+        span::observe_slow(trace_id, req.type_str(), dur_ns, explain);
+    }
+    resp
+}
+
+/// The submit → wait → respond path of [`handle_payload`], with the root
+/// span context to hand down and a slot for the EXPLAIN trace the
+/// executor may return.
+fn handle_request(
+    inner: &Inner,
+    req: &Request,
+    span_ctx: Option<sg_obs::SpanCtx>,
+    explain: &mut Option<sg_obs::json::Json>,
+) -> Response {
     let id = req.id();
+    let trace_id = req.trace_id();
     let timeout = req
         .timeout_ms()
         .map(Duration::from_millis)
         .unwrap_or(inner.config.default_timeout);
     let deadline = Instant::now() + timeout;
     let submitted = if req.is_write() {
-        match to_write_op(inner, &req) {
-            Ok(op) => inner.batcher.submit_write(op, deadline),
+        match to_write_op(inner, req) {
+            Ok(op) => inner.batcher.submit_write_with(op, deadline, span_ctx),
             Err(message) => {
                 inner.obs.errors.inc();
                 return Response::Error {
@@ -370,12 +442,13 @@ fn handle_payload(inner: &Inner, payload: &[u8]) -> Response {
                     code: ErrorCode::BadRequest,
                     message,
                     retry_after_ms: None,
+                    trace_id,
                 };
             }
         }
     } else {
-        match to_query(inner, &req) {
-            Ok(q) => inner.batcher.submit(q, deadline),
+        match to_query(inner, req) {
+            Ok(q) => inner.batcher.submit_with(q, deadline, span_ctx),
             Err(message) => {
                 inner.obs.errors.inc();
                 return Response::Error {
@@ -383,6 +456,7 @@ fn handle_payload(inner: &Inner, payload: &[u8]) -> Response {
                     code: ErrorCode::BadRequest,
                     message,
                     retry_after_ms: None,
+                    trace_id,
                 };
             }
         }
@@ -395,6 +469,7 @@ fn handle_payload(inner: &Inner, payload: &[u8]) -> Response {
                 code: ErrorCode::ServerBusy,
                 message: "admission queue full".into(),
                 retry_after_ms: Some(retry_after_ms),
+                trace_id,
             }
         }
         Err(SubmitError::ShuttingDown) => {
@@ -403,22 +478,28 @@ fn handle_payload(inner: &Inner, payload: &[u8]) -> Response {
                 code: ErrorCode::ShuttingDown,
                 message: "server is draining".into(),
                 retry_after_ms: None,
+                trace_id,
             }
         }
     };
     let remaining = deadline.saturating_duration_since(Instant::now());
     match ticket.rx.recv_timeout(remaining) {
-        Ok(BatchReply::Done(output)) => match output {
-            QueryOutput::Neighbors(neighbors) => Response::Neighbors {
-                id,
-                pairs: neighbors.into_iter().map(|n| (n.dist, n.tid)).collect(),
-            },
-            QueryOutput::Tids(tids) => Response::Tids { id, tids },
-        },
+        Ok(BatchReply::Done(r)) => {
+            *explain = r.trace.as_ref().map(|t| t.to_json_value());
+            match r.output {
+                QueryOutput::Neighbors(neighbors) => Response::Neighbors {
+                    id,
+                    pairs: neighbors.into_iter().map(|n| (n.dist, n.tid)).collect(),
+                    trace_id,
+                },
+                QueryOutput::Tids(tids) => Response::Tids { id, tids, trace_id },
+            }
+        }
         Ok(BatchReply::Acked(ack)) => Response::Ack {
             id,
             applied: ack.applied,
             lsn: ack.lsn,
+            trace_id,
         },
         Ok(BatchReply::Expired) => {
             inner.obs.timeouts.inc();
@@ -427,6 +508,7 @@ fn handle_payload(inner: &Inner, payload: &[u8]) -> Response {
                 code: ErrorCode::DeadlineExceeded,
                 message: "deadline passed before dispatch".into(),
                 retry_after_ms: None,
+                trace_id,
             }
         }
         Ok(BatchReply::Failed(message)) => Response::Error {
@@ -434,6 +516,7 @@ fn handle_payload(inner: &Inner, payload: &[u8]) -> Response {
             code: ErrorCode::Internal,
             message,
             retry_after_ms: None,
+            trace_id,
         },
         Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
             // Stop paying for an answer nobody will read: the flag makes
@@ -445,6 +528,7 @@ fn handle_payload(inner: &Inner, payload: &[u8]) -> Response {
                 code: ErrorCode::DeadlineExceeded,
                 message: "deadline exceeded".into(),
                 retry_after_ms: None,
+                trace_id,
             }
         }
         Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
@@ -454,6 +538,7 @@ fn handle_payload(inner: &Inner, payload: &[u8]) -> Response {
                 code: ErrorCode::Internal,
                 message: "batcher dropped the request".into(),
                 retry_after_ms: None,
+                trace_id,
             }
         }
     }
@@ -534,7 +619,7 @@ fn to_write_op(inner: &Inner, req: &Request) -> Result<WriteOp, String> {
 
 fn admin_loop(inner: &Inner, registry: &Registry, listener: TcpListener) {
     loop {
-        if inner.shutdown.load(Ordering::SeqCst) {
+        if inner.admin_stop.load(Ordering::SeqCst) {
             return;
         }
         match listener.accept() {
@@ -578,6 +663,16 @@ fn serve_admin_conn(inner: &Inner, registry: &Registry, mut stream: TcpStream) {
                 ("200 OK", "text/plain", "ok\n".into())
             }
         }
+        ("GET", "/debug/flight") => (
+            "200 OK",
+            "application/json",
+            span::flight_trace_json().to_string_compact(),
+        ),
+        ("GET", "/debug/slow") => (
+            "200 OK",
+            "application/json",
+            span::slow_entries_json().to_string_compact(),
+        ),
         _ => ("404 Not Found", "text/plain", "not found\n".into()),
     };
     let _ = write!(

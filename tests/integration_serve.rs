@@ -13,12 +13,16 @@
 //!   error frames — never a crash or a hang — and per-request deadlines
 //!   produce `DEADLINE_EXCEEDED`.
 //! * **Admin**: `/metrics` serves the serve.* counters in Prometheus
-//!   text, `/healthz` reports readiness.
+//!   text, `/healthz` reports readiness (and `503 draining` mid-drain).
+//! * **Tracing**: a client-supplied `trace_id` yields one connected span
+//!   tree (serve → exec → core, and → pager for durable writes) in the
+//!   flight recorder, served by `/debug/flight`; the slow-query log
+//!   captures exactly the requests over threshold.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sg_exec::{ExecConfig, ShardedExecutor};
-use sg_obs::Registry;
+use sg_exec::{DurabilityConfig, ExecConfig, ShardedExecutor};
+use sg_obs::{span, Registry};
 use sg_serve::{
     read_frame, write_frame, BatchPolicy, Client, ContainmentMode, ErrorCode, MetricName, Response,
     ServeConfig, Server, MAX_FRAME_DEFAULT,
@@ -366,11 +370,12 @@ fn malformed_json_gets_bad_request_and_connection_stays_usable() {
         k: 4,
         metric: MetricName::Hamming,
         timeout_ms: None,
+        trace_id: None,
     };
     write_frame(&mut raw, &sg_serve::encode_request(&req)).unwrap();
     let payload = read_frame(&mut raw, MAX_FRAME_DEFAULT).unwrap().unwrap();
     match sg_serve::decode_response(&payload).unwrap() {
-        Response::Neighbors { id, pairs } => {
+        Response::Neighbors { id, pairs, .. } => {
             assert_eq!(id, 7);
             assert_eq!(pairs.len(), 4);
         }
@@ -485,4 +490,244 @@ fn admin_endpoint_serves_metrics_and_health() {
 
     drop(client);
     server.join();
+}
+
+#[test]
+fn healthz_reports_draining_during_graceful_drain() {
+    let exec = executor(1);
+    let server = Server::start(exec, Arc::new(Registry::new()), ServeConfig::default()).unwrap();
+    let admin = server.admin_addr().expect("admin listener enabled");
+
+    let health = http_get(admin, "/healthz");
+    assert!(health.starts_with("HTTP/1.1 200"), "healthz: {health}");
+    assert!(health.ends_with("ok\n"), "healthz: {health}");
+
+    // Flip the drain flag without joining: the accept loop and workers
+    // wind down, but the admin listener must stay up and report the
+    // drain until `join()` finishes it.
+    server.shutdown_handle().shutdown();
+    let health = http_get(admin, "/healthz");
+    assert!(health.starts_with("HTTP/1.1 503"), "healthz: {health}");
+    assert!(health.ends_with("draining\n"), "healthz: {health}");
+
+    server.join();
+}
+
+/// Spans of `trace_id` with name `name`, from a flight-recorder snapshot.
+fn named<'a>(spans: &'a [sg_obs::SpanData], name: &str) -> Vec<&'a sg_obs::SpanData> {
+    spans.iter().filter(|s| s.name == name).collect()
+}
+
+#[test]
+fn client_trace_id_yields_connected_span_chain() {
+    // Process-global recorder: other tests in this binary may record
+    // concurrently, but every assertion below filters by this test's own
+    // trace ids, so interleaving is harmless.
+    span::set_enabled(true);
+
+    let dir = std::env::temp_dir().join(format!("sg-trace-chain-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let exec = Arc::new(
+        ShardedExecutor::open_durable(
+            NBITS,
+            &ExecConfig {
+                shards: 2,
+                ..ExecConfig::default()
+            },
+            &DurabilityConfig::new(&dir),
+        )
+        .unwrap(),
+    );
+    let server = Server::start(
+        Arc::clone(&exec),
+        Arc::new(Registry::new()),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let admin = server.admin_addr().expect("admin listener enabled");
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Untraced preload so the traced query has real work to do.
+    for tid in 0..64u64 {
+        client.insert(tid, &query_items(tid), None).unwrap();
+    }
+
+    const WRITE_TRACE: u64 = 0xC1AE_0000_0000_0001;
+    const QUERY_TRACE: u64 = 0xC1AE_0000_0000_0002;
+
+    // One traced durable write; the server must echo the client's id.
+    client.set_trace_id(Some(WRITE_TRACE));
+    match client.insert(10_000, &query_items(1), None).unwrap() {
+        Response::Ack {
+            applied, trace_id, ..
+        } => {
+            assert!(applied);
+            assert_eq!(trace_id, Some(WRITE_TRACE));
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    // One traced query.
+    client.set_trace_id(Some(QUERY_TRACE));
+    match client
+        .knn(&query_items(2), 5, MetricName::Hamming, None)
+        .unwrap()
+    {
+        Response::Neighbors {
+            pairs, trace_id, ..
+        } => {
+            assert_eq!(pairs.len(), 5);
+            assert_eq!(trace_id, Some(QUERY_TRACE));
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    // Query chain: serve.request → {decode, queue, dispatch, exec.shard,
+    // exec.merge} → core.query under a shard task.
+    let spans = span::trace_spans(QUERY_TRACE);
+    let roots = named(&spans, "serve.request");
+    assert_eq!(roots.len(), 1, "one root per request: {spans:?}");
+    let root = roots[0];
+    assert_eq!(root.parent, 0);
+    for child in [
+        "serve.decode",
+        "serve.queue",
+        "serve.dispatch",
+        "exec.merge",
+    ] {
+        let found = named(&spans, child);
+        assert_eq!(found.len(), 1, "missing {child}: {spans:?}");
+        assert_eq!(
+            found[0].parent, root.span_id,
+            "{child} must parent to the root"
+        );
+    }
+    let shards = named(&spans, "exec.shard");
+    assert!(!shards.is_empty(), "no shard spans: {spans:?}");
+    assert!(shards.iter().all(|s| s.parent == root.span_id));
+    let cores = named(&spans, "core.query");
+    assert!(!cores.is_empty(), "no core spans: {spans:?}");
+    assert!(
+        cores
+            .iter()
+            .all(|c| shards.iter().any(|s| s.span_id == c.parent)),
+        "core.query must parent to a shard task: {spans:?}"
+    );
+
+    // Write chain: serve.request → exec.write_group → pager.wal_append
+    // → pager.fsync.
+    let spans = span::trace_spans(WRITE_TRACE);
+    let roots = named(&spans, "serve.request");
+    assert_eq!(roots.len(), 1, "one root per request: {spans:?}");
+    let root = roots[0];
+    let groups = named(&spans, "exec.write_group");
+    assert_eq!(groups.len(), 1, "one write group: {spans:?}");
+    assert_eq!(groups[0].parent, root.span_id);
+    let appends = named(&spans, "pager.wal_append");
+    assert!(!appends.is_empty(), "no WAL spans: {spans:?}");
+    assert!(appends.iter().all(|a| a.parent == groups[0].span_id));
+    let syncs = named(&spans, "pager.fsync");
+    assert!(!syncs.is_empty(), "no fsync spans: {spans:?}");
+    assert!(
+        syncs
+            .iter()
+            .all(|f| appends.iter().any(|a| a.span_id == f.parent)),
+        "fsync must parent to a WAL append: {spans:?}"
+    );
+
+    // The admin endpoint serves the recorder as Chrome trace_event JSON.
+    let flight = http_get(admin, "/debug/flight");
+    assert!(flight.starts_with("HTTP/1.1 200"), "flight: {flight}");
+    assert!(flight.contains("\"traceEvents\""));
+    assert!(flight.contains("serve.request"));
+    assert!(flight.contains("\"ph\":\"X\""));
+
+    span::set_enabled(false);
+    drop(client);
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slow_query_log_captures_exactly_the_requests_over_threshold() {
+    const THRESHOLD: Duration = Duration::from_millis(60);
+    span::set_slow_threshold_ns(THRESHOLD.as_nanos() as u64);
+
+    // Slow by construction: a long batching window holds each query
+    // admitted until the window lapses, so its end-to-end latency is
+    // ≥ max_wait ≫ threshold, deterministically.
+    let slow_server = Server::start(
+        executor(1),
+        Arc::new(Registry::new()),
+        ServeConfig {
+            policy: BatchPolicy {
+                max_batch: 64,
+                max_wait: Duration::from_millis(150),
+                queue_cap: 64,
+            },
+            default_timeout: Duration::from_secs(10),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    // Fast by construction: dispatch is immediate and a 3k-row k-NN is
+    // far below the threshold.
+    let fast_server = Server::start(
+        executor(1),
+        Arc::new(Registry::new()),
+        ServeConfig::default(),
+    )
+    .unwrap();
+
+    const SLOW_TRACE: u64 = 0xC1AE_0000_0000_0011;
+    const FAST_TRACE: u64 = 0xC1AE_0000_0000_0012;
+
+    let mut slow_client = Client::connect(slow_server.local_addr()).unwrap();
+    slow_client.set_trace_id(Some(SLOW_TRACE));
+    let mut fast_client = Client::connect(fast_server.local_addr()).unwrap();
+    fast_client.set_trace_id(Some(FAST_TRACE));
+
+    for i in 0..2u64 {
+        slow_client
+            .knn(&query_items(i), 3, MetricName::Hamming, None)
+            .unwrap();
+        fast_client
+            .knn(&query_items(i), 3, MetricName::Hamming, None)
+            .unwrap();
+    }
+
+    // The log is process-global and other tests may promote their own
+    // requests concurrently; filter by this test's trace ids.
+    let entries = span::slow_entries();
+    let slow: Vec<_> = entries
+        .iter()
+        .filter(|e| e.trace_id == SLOW_TRACE)
+        .collect();
+    assert_eq!(
+        slow.len(),
+        2,
+        "both over-threshold queries must be captured"
+    );
+    for e in &slow {
+        assert_eq!(e.name, "knn");
+        assert!(e.dur_ns >= THRESHOLD.as_nanos() as u64);
+        // An armed threshold also arms EXPLAIN collection at dispatch, so
+        // a captured entry carries the per-shard trace.
+        assert!(e.explain.is_some(), "slow entry must carry EXPLAIN: {e:?}");
+    }
+    assert!(
+        entries.iter().all(|e| e.trace_id != FAST_TRACE),
+        "under-threshold queries must not be captured"
+    );
+
+    let admin = slow_server.admin_addr().expect("admin listener enabled");
+    let slow_json = http_get(admin, "/debug/slow");
+    assert!(slow_json.starts_with("HTTP/1.1 200"), "slow: {slow_json}");
+    assert!(slow_json.contains(&format!("\"trace_id\":{SLOW_TRACE}")));
+
+    span::set_slow_threshold_ns(u64::MAX);
+    drop(slow_client);
+    drop(fast_client);
+    slow_server.join();
+    fast_server.join();
 }
