@@ -1,13 +1,17 @@
 //! `obs-overhead` — the cost of the observability layer, measured.
 //!
-//! Runs the same operations twice, flight recorder off then on, and
-//! appends both sides to `BENCH_obs.json` so the overhead is tracked
-//! across PRs like the serve/ingest trajectories:
+//! Runs the same operations with the instrument off and on — per-op
+//! comparisons interleave the two sides in alternating blocks so host
+//! drift cancels — and appends both sides to `BENCH_obs.json` so the
+//! overhead is tracked across PRs like the serve/ingest trajectories:
 //!
 //! * per-op: `tree.knn(k=10)` on the `T10.I6.D20K` workload — the same
 //!   op as `index_ops`'s `query_20k/knn10_sg_tree` — mean ns over a
 //!   fixed iteration count. With the recorder off this path pays one
 //!   relaxed atomic load per query, which is the <5% acceptance bound.
+//! * sampler: the same per-op loop on a metrics-registered tree with the
+//!   metric-history sampler off vs snapshotting every 100ms, which bounds
+//!   the cost of `/metrics/history` sampling on the hot path (<2%).
 //! * end-to-end: a closed-loop load against an embedded server (every
 //!   request stamped with a `trace_id` when the recorder is on), p50/p99.
 //!
@@ -17,14 +21,57 @@
 
 use sg_bench::workloads::{build_tree, pairs_of, SEED};
 use sg_obs::json::{self, Json};
-use sg_obs::{span, Registry};
+use sg_obs::{span, Registry, Sampler};
 use sg_quest::basket::{BasketParams, PatternPool};
 use sg_serve::{LoadConfig, LoadMode, ServeConfig, Server, Workload};
 use sg_sig::{Metric, Signature};
 use std::sync::Arc;
-use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 const D: usize = 20_000;
+
+/// A/B per-op measurement in interleaved blocks: the off and on sides
+/// alternate through the run, so slow drift on the host (thermal,
+/// scheduler, noisy neighbors) lands evenly on both sides instead of
+/// biasing whichever side runs last. Returns mean ns/op as `[off, on]`.
+fn ab_knn(
+    tree: &sg_tree::SgTree,
+    queries: &[Signature],
+    m: &Metric,
+    iters: usize,
+    mut enter_on: impl FnMut(),
+    mut exit_on: impl FnMut(),
+) -> [u64; 2] {
+    const BLOCKS_PER_SIDE: usize = 8;
+    let block = (iters / (BLOCKS_PER_SIDE * 2)).max(1);
+    // Warmup outside the clock.
+    for q in queries.iter().take(16) {
+        std::hint::black_box(tree.knn(q, 10, m));
+    }
+    let mut total = [Duration::ZERO; 2];
+    let mut count = [0u64; 2];
+    let mut qi = 0usize;
+    for b in 0..BLOCKS_PER_SIDE * 2 {
+        let side = b % 2;
+        if side == 1 {
+            enter_on();
+        }
+        let t0 = Instant::now();
+        for _ in 0..block {
+            std::hint::black_box(tree.knn(&queries[qi % queries.len()], 10, m));
+            qi += 1;
+        }
+        total[side] += t0.elapsed();
+        count[side] += block as u64;
+        if side == 1 {
+            exit_on();
+        }
+    }
+    [
+        total[0].as_nanos() as u64 / count[0],
+        total[1].as_nanos() as u64 / count[1],
+    ]
+}
 
 fn main() {
     let mut iters = 20_000usize;
@@ -54,20 +101,14 @@ fn main() {
     // ---- per-op: knn10 against the 20k tree, recorder off vs on.
     let (tree, _) = build_tree(ds.n_items, &data, None);
     let m = Metric::hamming();
-    let mut knn_ns = [0u64; 2];
-    for (side, on) in [(0usize, false), (1usize, true)] {
-        span::set_enabled(on);
-        // Warmup, then a fixed measured count.
-        for q in queries.iter().take(16) {
-            std::hint::black_box(tree.knn(q, 10, &m));
-        }
-        let t0 = Instant::now();
-        for i in 0..iters {
-            std::hint::black_box(tree.knn(&queries[i % queries.len()], 10, &m));
-        }
-        knn_ns[side] = t0.elapsed().as_nanos() as u64 / iters as u64;
-    }
-    span::set_enabled(false);
+    let knn_ns = ab_knn(
+        &tree,
+        &queries,
+        &m,
+        iters,
+        || span::set_enabled(true),
+        || span::set_enabled(false),
+    );
     let overhead_pct = if knn_ns[0] > 0 {
         100.0 * (knn_ns[1] as f64 - knn_ns[0] as f64) / knn_ns[0] as f64
     } else {
@@ -76,6 +117,44 @@ fn main() {
     println!(
         "tree.knn10/20k: off {} ns/op, on {} ns/op ({overhead_pct:+.2}% recording cost)",
         knn_ns[0], knn_ns[1]
+    );
+
+    // ---- sampler: the metric-history ring's cost on the hot query path.
+    // The same knn op on a metrics-registered tree, with the background
+    // sampler off vs snapshotting the whole registry every 100ms — ten
+    // samples a second, faster than any dashboard refresh. The query
+    // path itself is untouched (sampling is a separate thread); what
+    // this measures is the sampler's CPU share plus cache traffic from
+    // reading the hot counters.
+    const SAMPLE_MS: u64 = 100;
+    let sampler_registry = Arc::new(Registry::new());
+    let (mut sampled_tree, _) = build_tree(ds.n_items, &data, None);
+    sampled_tree.register_obs(&sampler_registry, "sg_tree");
+    let slot: std::cell::RefCell<Option<Sampler>> = std::cell::RefCell::new(None);
+    let sampler_ns = ab_knn(
+        &sampled_tree,
+        &queries,
+        &m,
+        iters,
+        || {
+            *slot.borrow_mut() = Some(Sampler::start(
+                Arc::clone(&sampler_registry),
+                Duration::from_millis(SAMPLE_MS),
+                512,
+            ))
+        },
+        // Dropping the sampler stops and joins its thread.
+        || drop(slot.borrow_mut().take()),
+    );
+    let sampler_overhead_pct = if sampler_ns[0] > 0 {
+        100.0 * (sampler_ns[1] as f64 - sampler_ns[0] as f64) / sampler_ns[0] as f64
+    } else {
+        0.0
+    };
+    println!(
+        "tree.knn10/20k + {SAMPLE_MS}ms sampler: off {} ns/op, on {} ns/op \
+         ({sampler_overhead_pct:+.2}% sampling cost)",
+        sampler_ns[0], sampler_ns[1]
     );
 
     // ---- end-to-end: closed-loop load, recorder off vs on.
@@ -136,6 +215,13 @@ fn main() {
         ("knn10_off_ns".into(), Json::U64(knn_ns[0])),
         ("knn10_on_ns".into(), Json::U64(knn_ns[1])),
         ("knn10_overhead_pct".into(), Json::F64(overhead_pct)),
+        ("sampler_interval_ms".into(), Json::U64(SAMPLE_MS)),
+        ("sampler_off_ns".into(), Json::U64(sampler_ns[0])),
+        ("sampler_on_ns".into(), Json::U64(sampler_ns[1])),
+        (
+            "sampler_overhead_pct".into(),
+            Json::F64(sampler_overhead_pct),
+        ),
         ("serve_off_p50_us".into(), Json::U64(off.p50_us)),
         ("serve_off_p99_us".into(), Json::U64(off.p99_us)),
         ("serve_on_p50_us".into(), Json::U64(on.p50_us)),

@@ -6,7 +6,7 @@
 //!
 //! EXPERIMENT: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //!             fig14 fig15 fig16 fig17 ablate scaling serve spans ingest
-//!             all (default: all)
+//!             health all (default: all)
 //! --scale F   scales every dataset cardinality by F (default 1.0 = the
 //!             paper's sizes; use 0.1 for a quick pass)
 //! --queries N queries per experimental point (default 100, as the paper;
@@ -69,7 +69,9 @@ fn parse_args() -> Opts {
             }
             "--help" | "-h" => {
                 println!("repro [EXPERIMENT ...] [--scale F] [--queries N] [--out DIR]");
-                println!("experiments: table1 fig5..fig17 ablate scaling serve spans ingest all");
+                println!(
+                    "experiments: table1 fig5..fig17 ablate scaling serve spans ingest health all"
+                );
                 std::process::exit(0);
             }
             other if other.starts_with('-') => die(&format!("unknown flag {other}")),
@@ -161,6 +163,9 @@ fn main() {
     }
     if want("ingest") {
         finish_section(registry, &mut last, ingest(&opts), &mut tables);
+    }
+    if want("health") {
+        finish_section(registry, &mut last, health(&opts), &mut tables);
     }
 
     for (t, metrics) in &tables {
@@ -1401,6 +1406,80 @@ fn ingest(opts: &Opts) -> Vec<Table> {
         match std::fs::write(path, Json::Arr(entries).to_string_pretty()) {
             Ok(()) => eprintln!("[ingest] appended trajectory entry to {path}"),
             Err(e) => eprintln!("[ingest] could not write {path}: {e}"),
+        }
+    }
+    vec![out]
+}
+
+// ------------------------------------------------------------- Health
+
+/// The `health` figure: how signature saturation and the paper's §3
+/// false-drop estimate degrade as ingest volume grows, from
+/// [`SgTree::health_report`] at geometric checkpoints of one long insert
+/// stream. Directory signatures are ORs of their subtrees, so every
+/// insert can only set more bits: the figure shows pruning power decay
+/// with volume, which is exactly what `/debug/tree` watches in a live
+/// server.
+fn health(opts: &Opts) -> Vec<Table> {
+    let pool = PatternPool::new(BasketParams::standard(10, 6), SEED);
+    let rows_max = scaled(50_000, opts.scale).max(100);
+    let ds = pool.dataset(rows_max, SEED);
+    let data = pairs_of(&ds);
+    eprintln!(
+        "[health] saturation vs ingest volume, {rows_max} rows, {} bits…",
+        ds.n_items
+    );
+
+    let mut out = Table::new(
+        "health",
+        "Index health: signature saturation and estimated false-drop vs ingest volume",
+        &[
+            "rows",
+            "height",
+            "nodes",
+            "leaf sat",
+            "dir sat",
+            "max sat",
+            "est false drop",
+            "status",
+            "findings",
+        ],
+    );
+    let mut tree = SgTree::create(
+        Arc::new(MemStore::new(PAGE_SIZE)),
+        TreeConfig::new(ds.n_items).pool_frames(POOL_FRAMES),
+    )
+    .expect("tree config");
+    let mut checkpoints: Vec<usize> = [1_000, 2_000, 5_000, 10_000, 20_000, 50_000]
+        .iter()
+        .map(|&r| scaled(r, opts.scale))
+        .filter(|&r| r > 0 && r < rows_max)
+        .collect();
+    checkpoints.push(rows_max);
+    checkpoints.dedup();
+    let mut next = 0usize;
+    for (i, (tid, sig)) in data.iter().enumerate() {
+        tree.insert(*tid, sig);
+        if next < checkpoints.len() && i + 1 == checkpoints[next] {
+            next += 1;
+            let r = tree.health_report();
+            // Directory levels are where saturation costs pruning power;
+            // report the worst of them next to the leaf baseline.
+            let dirs = &r.levels[1..];
+            let dir_sat = dirs.iter().map(|l| l.avg_saturation).fold(0.0, f64::max);
+            let max_sat = dirs.iter().map(|l| l.max_saturation).fold(0.0, f64::max);
+            let fd = dirs.iter().map(|l| l.est_false_drop).fold(0.0, f64::max);
+            out.row(vec![
+                (i + 1).to_string(),
+                r.height.to_string(),
+                r.nodes.to_string(),
+                f(r.levels[0].avg_saturation),
+                f(dir_sat),
+                f(max_sat),
+                f(fd),
+                r.status().to_string(),
+                r.findings.len().to_string(),
+            ]);
         }
     }
     vec![out]

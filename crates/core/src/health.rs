@@ -1,0 +1,620 @@
+//! Tree health introspection.
+//!
+//! The paper's performance story hangs on signature quality: a
+//! directory entry prunes only when the query's bits are *not* all
+//! covered by the entry's OR-signature, so as signatures saturate the
+//! tree degenerates toward a sequential scan. [`SgTree::health_report`]
+//! walks the tree once and reports, per level, the node fill factor,
+//! the signature bit-saturation (mean and worst-case set-bit fraction),
+//! and the estimated false-drop probability under the classic
+//! signature-file model: a uniformly random `t`-item query "falls
+//! through" an entry of weight `w` over `N` bits with probability
+//! `(w/N)^t`. Threshold-based [`Finding`]s turn the numbers into
+//! operator guidance ("level 2 saturation 0.92 → signatures
+//! near-useless, recommend re-split/rebuild").
+
+use crate::tree::SgTree;
+use sg_obs::json::Json;
+
+/// How urgent a [`Finding`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational; no action needed.
+    Info,
+    /// Degraded quality; worth scheduling maintenance.
+    Warning,
+    /// The index is no longer doing its job.
+    Critical,
+}
+
+impl Severity {
+    /// Lowercase label used in JSON and logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+/// One threshold-based observation about the tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Urgency.
+    pub severity: Severity,
+    /// Stable machine-readable code (`saturation`, `false_drop`,
+    /// `underfilled`, `empty`).
+    pub code: &'static str,
+    /// Tree level the finding refers to, if level-specific.
+    pub level: Option<u32>,
+    /// Human-readable explanation with the offending numbers inline.
+    pub message: String,
+}
+
+impl Finding {
+    /// JSON object for this finding.
+    pub fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "severity".into(),
+                Json::Str(self.severity.as_str().to_string()),
+            ),
+            ("code".into(), Json::Str(self.code.to_string())),
+            (
+                "level".into(),
+                self.level.map_or(Json::Null, |l| Json::U64(l as u64)),
+            ),
+            ("message".into(), Json::Str(self.message.clone())),
+        ])
+    }
+}
+
+/// Health metrics for one tree level (level 0 = leaves).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LevelHealth {
+    /// Tree level (0 = leaves).
+    pub level: u32,
+    /// Nodes at this level.
+    pub nodes: u64,
+    /// Entries across this level's nodes.
+    pub entries: u64,
+    /// Mean entries per node.
+    pub avg_fanout: f64,
+    /// Mean byte occupancy relative to the page size (0..=1).
+    pub avg_fill: f64,
+    /// Mean set-bit fraction over this level's entry signatures.
+    pub avg_saturation: f64,
+    /// Largest single-entry set-bit fraction at this level.
+    pub max_saturation: f64,
+    /// Estimated probability that a uniformly random `query_items`-item
+    /// query false-drops through an entry at this level: the mean of
+    /// `(w_i / nbits) ^ query_items` over the level's entries.
+    pub est_false_drop: f64,
+}
+
+impl LevelHealth {
+    fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("level".into(), Json::U64(self.level as u64)),
+            ("nodes".into(), Json::U64(self.nodes)),
+            ("entries".into(), Json::U64(self.entries)),
+            ("avg_fanout".into(), Json::F64(self.avg_fanout)),
+            ("avg_fill".into(), Json::F64(self.avg_fill)),
+            ("avg_saturation".into(), Json::F64(self.avg_saturation)),
+            ("max_saturation".into(), Json::F64(self.max_saturation)),
+            ("est_false_drop".into(), Json::F64(self.est_false_drop)),
+        ])
+    }
+}
+
+/// Whole-tree health: per-level metrics plus threshold findings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// Indexed transactions.
+    pub len: u64,
+    /// Total node pages.
+    pub nodes: u64,
+    /// Tree height (levels; 1 = root-only).
+    pub height: u16,
+    /// Signature length (item-universe size).
+    pub nbits: u32,
+    /// The `t` used for the false-drop estimate (defaults to the mean
+    /// leaf entry area — "how many items does a typical query have").
+    pub query_items: u32,
+    /// Overall byte occupancy (`used / allocated`).
+    pub utilization: f64,
+    /// Per-level breakdown, index 0 = leaves.
+    pub levels: Vec<LevelHealth>,
+    /// Threshold-based findings, most severe first.
+    pub findings: Vec<Finding>,
+}
+
+impl HealthReport {
+    /// The most severe finding's severity, or `None` when all clear.
+    pub fn worst(&self) -> Option<Severity> {
+        self.findings.iter().map(|f| f.severity).max()
+    }
+
+    /// `"ok"`, `"info"`, `"warning"`, or `"critical"` — the summary
+    /// string surfaced on `/healthz`.
+    pub fn status(&self) -> &'static str {
+        match self.worst() {
+            None => "ok",
+            Some(s) => s.as_str(),
+        }
+    }
+
+    /// JSON document for this report (what `/debug/tree` serves).
+    pub fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("status".into(), Json::Str(self.status().to_string())),
+            ("len".into(), Json::U64(self.len)),
+            ("nodes".into(), Json::U64(self.nodes)),
+            ("height".into(), Json::U64(self.height as u64)),
+            ("nbits".into(), Json::U64(self.nbits as u64)),
+            ("query_items".into(), Json::U64(self.query_items as u64)),
+            ("utilization".into(), Json::F64(self.utilization)),
+            (
+                "levels".into(),
+                Json::Arr(self.levels.iter().map(|l| l.to_json_value()).collect()),
+            ),
+            (
+                "findings".into(),
+                Json::Arr(self.findings.iter().map(|f| f.to_json_value()).collect()),
+            ),
+        ])
+    }
+
+    /// Folds several per-shard reports into one summary: counts sum,
+    /// per-level means are entry-weighted, and findings are re-derived
+    /// from the merged levels.
+    pub fn merged<'a>(reports: impl IntoIterator<Item = &'a HealthReport>) -> HealthReport {
+        let mut out = HealthReport {
+            len: 0,
+            nodes: 0,
+            height: 0,
+            nbits: 0,
+            query_items: 1,
+            utilization: 0.0,
+            levels: Vec::new(),
+            findings: Vec::new(),
+        };
+        let mut allocated_weight = 0u64; // nodes, for utilization weighting
+        for r in reports {
+            out.len += r.len;
+            out.nodes += r.nodes;
+            out.height = out.height.max(r.height);
+            out.nbits = out.nbits.max(r.nbits);
+            out.query_items = out.query_items.max(r.query_items);
+            out.utilization += r.utilization * r.nodes as f64;
+            allocated_weight += r.nodes;
+            if out.levels.len() < r.levels.len() {
+                out.levels.resize_with(r.levels.len(), LevelHealth::default);
+            }
+            for (l, lv) in r.levels.iter().enumerate() {
+                let m = &mut out.levels[l];
+                m.level = l as u32;
+                m.nodes += lv.nodes;
+                m.entries += lv.entries;
+                let w = lv.entries as f64;
+                m.avg_saturation += lv.avg_saturation * w;
+                m.est_false_drop += lv.est_false_drop * w;
+                m.max_saturation = m.max_saturation.max(lv.max_saturation);
+                let nw = lv.nodes as f64;
+                m.avg_fill += lv.avg_fill * nw;
+                m.avg_fanout += lv.avg_fanout * nw;
+            }
+        }
+        if allocated_weight > 0 {
+            out.utilization /= allocated_weight as f64;
+        }
+        for m in &mut out.levels {
+            if m.entries > 0 {
+                m.avg_saturation /= m.entries as f64;
+                m.est_false_drop /= m.entries as f64;
+            }
+            if m.nodes > 0 {
+                m.avg_fill /= m.nodes as f64;
+                m.avg_fanout /= m.nodes as f64;
+            }
+        }
+        out.findings = findings_for(&out.levels, out.len, out.nodes);
+        out
+    }
+}
+
+/// Derives threshold findings from per-level metrics (shared between
+/// single-tree reports and merged shard summaries), most severe first.
+fn findings_for(levels: &[LevelHealth], len: u64, nodes: u64) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if len == 0 {
+        findings.push(Finding {
+            severity: Severity::Info,
+            code: "empty",
+            level: None,
+            message: "tree is empty; health metrics are trivial".to_string(),
+        });
+        return findings;
+    }
+    for l in levels {
+        // Directory signatures are OR-aggregates: saturation is what
+        // decides whether they can prune at all.
+        if l.level > 0 {
+            if l.avg_saturation >= 0.90 {
+                findings.push(Finding {
+                    severity: Severity::Critical,
+                    code: "saturation",
+                    level: Some(l.level),
+                    message: format!(
+                        "level {} saturation {:.2} → signatures near-useless, \
+                         recommend re-split/rebuild",
+                        l.level, l.avg_saturation
+                    ),
+                });
+            } else if l.avg_saturation >= 0.75 {
+                findings.push(Finding {
+                    severity: Severity::Warning,
+                    code: "saturation",
+                    level: Some(l.level),
+                    message: format!(
+                        "level {} saturation {:.2} → pruning power degrading; \
+                         consider re-clustering or a larger signature",
+                        l.level, l.avg_saturation
+                    ),
+                });
+            }
+            if l.est_false_drop >= 0.5 && l.avg_saturation < 0.90 {
+                findings.push(Finding {
+                    severity: Severity::Warning,
+                    code: "false_drop",
+                    level: Some(l.level),
+                    message: format!(
+                        "level {} estimated false-drop {:.2} → most visits at \
+                         this level are wasted for typical queries",
+                        l.level, l.est_false_drop
+                    ),
+                });
+            }
+        } else if l.avg_saturation >= 0.5 {
+            findings.push(Finding {
+                severity: Severity::Info,
+                code: "saturation",
+                level: Some(0),
+                message: format!(
+                    "leaf saturation {:.2} — dense transactions; signature \
+                     length may be too small for this workload",
+                    l.avg_saturation
+                ),
+            });
+        }
+        if nodes > 1 && l.nodes > 1 && l.avg_fill < 0.30 {
+            findings.push(Finding {
+                severity: Severity::Warning,
+                code: "underfilled",
+                level: Some(l.level),
+                message: format!(
+                    "level {} pages only {:.0}% full on average; a bulk \
+                     reload would shrink the tree",
+                    l.level,
+                    l.avg_fill * 100.0
+                ),
+            });
+        }
+    }
+    findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
+    findings
+}
+
+impl SgTree {
+    /// One-walk health report with `t` defaulting to the mean leaf
+    /// entry area (≈ items per indexed transaction), clamped to ≥ 1.
+    pub fn health_report(&self) -> HealthReport {
+        let t = self
+            .level_areas()
+            .first()
+            .copied()
+            .unwrap_or(0.0)
+            .round()
+            .max(1.0) as u32;
+        self.health_report_for(t)
+    }
+
+    /// One-walk health report using `query_items` as the `t` in the
+    /// `(w/N)^t` false-drop estimate.
+    pub fn health_report_for(&self, query_items: u32) -> HealthReport {
+        let t = query_items.max(1);
+        let nbits = self.nbits() as f64;
+        let page_size = self.pool().page_size() as f64;
+        let compression = self.config().compression;
+        let height = self.height() as usize;
+        let mut levels: Vec<LevelHealth> = (0..height)
+            .map(|l| LevelHealth {
+                level: l as u32,
+                ..LevelHealth::default()
+            })
+            .collect();
+        let mut used_bytes = 0u64;
+        let mut nodes = 0u64;
+        self.walk(|_, node, _| {
+            nodes += 1;
+            let l = &mut levels[node.level as usize];
+            let bytes = node.encoded_size(compression) as u64;
+            used_bytes += bytes;
+            l.nodes += 1;
+            l.entries += node.entries.len() as u64;
+            l.avg_fill += bytes as f64 / page_size;
+            for e in &node.entries {
+                let s = e.sig.count() as f64 / nbits;
+                l.avg_saturation += s;
+                l.max_saturation = l.max_saturation.max(s);
+                l.est_false_drop += s.powi(t as i32);
+            }
+        });
+        for l in &mut levels {
+            if l.nodes > 0 {
+                l.avg_fill /= l.nodes as f64;
+                l.avg_fanout = l.entries as f64 / l.nodes as f64;
+            }
+            if l.entries > 0 {
+                l.avg_saturation /= l.entries as f64;
+                l.est_false_drop /= l.entries as f64;
+            }
+        }
+        let allocated = nodes * self.pool().page_size() as u64;
+        let findings = findings_for(&levels, self.len(), nodes);
+        HealthReport {
+            len: self.len(),
+            nodes,
+            height: self.height(),
+            nbits: self.nbits(),
+            query_items: t,
+            utilization: if allocated == 0 {
+                0.0
+            } else {
+                used_bytes as f64 / allocated as f64
+            },
+            levels,
+            findings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TreeConfig;
+    use sg_pager::MemStore;
+    use sg_sig::Signature;
+    use std::sync::Arc;
+
+    fn build(n: u64, nbits: u32) -> SgTree {
+        let mut tree =
+            SgTree::create(Arc::new(MemStore::new(512)), TreeConfig::new(nbits)).unwrap();
+        for tid in 0..n {
+            let items = [
+                (tid % nbits as u64) as u32,
+                ((tid * 7 + 1) % nbits as u64) as u32,
+                ((tid * 13 + 5) % nbits as u64) as u32,
+            ];
+            tree.insert(tid, &Signature::from_items(nbits, &items));
+        }
+        tree
+    }
+
+    /// Brute-force recomputation of per-level saturation and false-drop
+    /// by testing every bit of every entry signature individually —
+    /// deliberately avoiding `Signature::count`'s popcount path.
+    fn brute_force(tree: &SgTree, t: u32) -> Vec<(f64, f64, f64)> {
+        let nbits = tree.nbits();
+        let mut per_level: Vec<Vec<f64>> = vec![Vec::new(); tree.height() as usize];
+        tree.walk(|_, node, _| {
+            for e in &node.entries {
+                let mut w = 0u64;
+                for bit in 0..nbits {
+                    if e.sig.get(bit) {
+                        w += 1;
+                    }
+                }
+                per_level[node.level as usize].push(w as f64 / nbits as f64);
+            }
+        });
+        per_level
+            .iter()
+            .map(|sats| {
+                if sats.is_empty() {
+                    return (0.0, 0.0, 0.0);
+                }
+                let avg = sats.iter().sum::<f64>() / sats.len() as f64;
+                let max = sats.iter().cloned().fold(0.0, f64::max);
+                let fd = sats.iter().map(|s| s.powi(t as i32)).sum::<f64>() / sats.len() as f64;
+                (avg, max, fd)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn report_matches_brute_force() {
+        let tree = build(800, 128);
+        let report = tree.health_report();
+        assert!(report.query_items >= 1);
+        let brute = brute_force(&tree, report.query_items);
+        assert_eq!(report.levels.len(), brute.len());
+        for (l, (avg, max, fd)) in brute.iter().enumerate() {
+            let lv = &report.levels[l];
+            assert!(
+                (lv.avg_saturation - avg).abs() < 1e-12,
+                "level {l}: {} vs {avg}",
+                lv.avg_saturation
+            );
+            assert!((lv.max_saturation - max).abs() < 1e-12);
+            assert!(
+                (lv.est_false_drop - fd).abs() < 1e-12,
+                "level {l}: {} vs {fd}",
+                lv.est_false_drop
+            );
+        }
+    }
+
+    #[test]
+    fn report_consistent_with_stats() {
+        let tree = build(500, 128);
+        let report = tree.health_report();
+        let stats = tree.stats();
+        assert_eq!(report.len, 500);
+        assert_eq!(report.nodes, stats.nodes);
+        assert_eq!(report.levels.len(), stats.levels.len());
+        for (h, s) in report.levels.iter().zip(&stats.levels) {
+            assert_eq!(h.nodes, s.nodes);
+            assert_eq!(h.entries, s.entries);
+            // Saturation is area / nbits.
+            assert!((h.avg_saturation - s.avg_entry_area / 128.0).abs() < 1e-9);
+        }
+        assert!((report.utilization - stats.utilization()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn false_drop_decreases_with_more_query_items() {
+        let tree = build(800, 128);
+        let fd = |t| tree.health_report_for(t).levels[1].est_false_drop;
+        assert!(fd(1) > fd(3));
+        assert!(fd(3) > fd(8));
+        // All probabilities.
+        for t in [1, 3, 8] {
+            for l in &tree.health_report_for(t).levels {
+                assert!((0.0..=1.0).contains(&l.est_false_drop));
+                assert!((0.0..=1.0).contains(&l.avg_saturation));
+                assert!(l.max_saturation >= l.avg_saturation);
+            }
+        }
+    }
+
+    #[test]
+    fn saturated_tree_triggers_critical_finding() {
+        // A tiny universe with dense transactions saturates directory
+        // signatures almost immediately.
+        let nbits = 16;
+        let mut tree =
+            SgTree::create(Arc::new(MemStore::new(512)), TreeConfig::new(nbits)).unwrap();
+        for tid in 0..600u64 {
+            // Pseudo-random dense sets: any OR of a few covers most
+            // bits. Draw each item from a different nibble of a mixed
+            // hash so low-modulus aliasing can't re-introduce structure.
+            let h = tid.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let items: Vec<u32> = (0..8u64).map(|j| ((h >> (j * 4)) % 16) as u32).collect();
+            tree.insert(tid, &Signature::from_items(nbits, &items));
+        }
+        let report = tree.health_report();
+        assert!(tree.height() > 1, "need a directory level");
+        let dir = &report.levels[1];
+        assert!(
+            dir.avg_saturation >= 0.90,
+            "expected saturation, got {}",
+            dir.avg_saturation
+        );
+        assert_eq!(report.status(), "critical");
+        let f = report
+            .findings
+            .iter()
+            .find(|f| f.code == "saturation" && f.severity == Severity::Critical)
+            .expect("critical saturation finding");
+        assert!(f.message.contains("re-split/rebuild"), "{}", f.message);
+        // Most severe first.
+        assert_eq!(report.findings[0].severity, report.worst().unwrap());
+    }
+
+    #[test]
+    fn empty_tree_reports_info_only() {
+        let tree = SgTree::create(Arc::new(MemStore::new(512)), TreeConfig::new(64)).unwrap();
+        let report = tree.health_report();
+        assert_eq!(report.len, 0);
+        assert_eq!(report.status(), "info");
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].code, "empty");
+    }
+
+    #[test]
+    fn json_document_is_complete_and_parseable() {
+        let tree = build(400, 128);
+        let report = tree.health_report();
+        let text = report.to_json_value().to_string_compact();
+        let doc = sg_obs::json::parse(&text).unwrap();
+        assert_eq!(doc.get("len").and_then(Json::as_u64), Some(400));
+        let levels = doc.get("levels").and_then(Json::as_arr).unwrap();
+        assert_eq!(levels.len(), tree.height() as usize);
+        for (i, l) in levels.iter().enumerate() {
+            assert_eq!(l.get("level").and_then(Json::as_u64), Some(i as u64));
+            assert!(l.get("est_false_drop").and_then(Json::as_f64).is_some());
+        }
+        assert!(doc.get("findings").and_then(Json::as_arr).is_some());
+        assert!(doc.get("status").and_then(Json::as_str).is_some());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        // For arbitrary transaction sets and query sizes, the report's
+        // per-level saturation and false-drop numbers must equal a
+        // brute-force per-bit recount over the actual node signatures.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            #[test]
+            fn saturation_and_false_drop_match_brute_force(
+                sets in prop::collection::vec(
+                    prop::collection::vec(0u32..96, 1..12),
+                    1..300,
+                ),
+                t in 1u32..10,
+            ) {
+                let nbits = 96;
+                let mut tree = SgTree::create(
+                    Arc::new(MemStore::new(512)),
+                    TreeConfig::new(nbits),
+                )
+                .unwrap();
+                for (tid, items) in sets.iter().enumerate() {
+                    tree.insert(tid as u64, &Signature::from_items(nbits, items));
+                }
+                let report = tree.health_report_for(t);
+                prop_assert_eq!(report.query_items, t);
+                prop_assert_eq!(report.len, sets.len() as u64);
+                let brute = brute_force(&tree, t);
+                prop_assert_eq!(report.levels.len(), brute.len());
+                for (l, (avg, max, fd)) in brute.iter().enumerate() {
+                    let lv = &report.levels[l];
+                    prop_assert!((lv.avg_saturation - avg).abs() < 1e-12,
+                        "level {} avg {} vs {}", l, lv.avg_saturation, avg);
+                    prop_assert!((lv.max_saturation - max).abs() < 1e-12,
+                        "level {} max {} vs {}", l, lv.max_saturation, max);
+                    prop_assert!((lv.est_false_drop - fd).abs() < 1e-12,
+                        "level {} fd {} vs {}", l, lv.est_false_drop, fd);
+                    prop_assert!(lv.est_false_drop <= lv.max_saturation.powi(1) + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merged_reports_weight_by_entries() {
+        let a = build(300, 128);
+        let b = build(900, 128);
+        let (ra, rb) = (a.health_report(), b.health_report());
+        let m = HealthReport::merged([&ra, &rb]);
+        assert_eq!(m.len, 1200);
+        assert_eq!(m.nodes, ra.nodes + rb.nodes);
+        assert_eq!(m.height, ra.height.max(rb.height));
+        assert_eq!(m.levels[0].entries, 1200);
+        // Entry-weighted mean sits between the two inputs.
+        let (lo, hi) = (
+            ra.levels[0].avg_saturation.min(rb.levels[0].avg_saturation),
+            ra.levels[0].avg_saturation.max(rb.levels[0].avg_saturation),
+        );
+        assert!((lo..=hi).contains(&m.levels[0].avg_saturation));
+        // Merging a report with itself is idempotent on the means.
+        let twice = HealthReport::merged([&ra, &ra]);
+        assert!((twice.levels[0].avg_saturation - ra.levels[0].avg_saturation).abs() < 1e-12);
+        assert_eq!(twice.len, 2 * ra.len);
+    }
+}

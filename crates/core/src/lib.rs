@@ -49,6 +49,7 @@ mod tree;
 pub mod api;
 pub mod bulkload;
 pub mod cluster;
+pub mod health;
 pub mod query;
 pub mod scan;
 pub mod stats;
@@ -56,6 +57,7 @@ pub mod treestats;
 
 pub use api::{CancelFlag, QueryOptions, QueryOutput, QueryRequest, QueryResponse, SetIndex};
 pub use config::{ChooseSubtree, SplitPolicy, TreeConfig};
+pub use health::{Finding, HealthReport, LevelHealth, Severity};
 pub use node::{Entry, Node};
 pub use query::{JoinPair, Neighbor, NnIter, SharedBound};
 pub use scan::ScanIndex;

@@ -15,12 +15,13 @@ use crate::pool::ThreadPool;
 use crate::shard::{
     read_meta, write_meta, DurabilityConfig, RecoveryReport, Shard, WriteAck, WriteOp,
 };
+use sg_obs::json::Json;
 use sg_obs::{span, IngestObs, QueryTrace, Registry, Span, SpanCtx};
 use sg_pager::{MemStore, SgError, SgResult};
 use sg_sig::{Metric, Signature};
 use sg_tree::{
-    CancelFlag, Neighbor, QueryOptions, QueryOutput, QueryRequest, QueryResponse, QueryStats,
-    SetIndex, SgTree, SharedBound, Tid, TreeConfig,
+    CancelFlag, HealthReport, Neighbor, QueryOptions, QueryOutput, QueryRequest, QueryResponse,
+    QueryStats, SetIndex, SgTree, SharedBound, Tid, TreeConfig,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
@@ -271,6 +272,88 @@ impl ShardedExecutor {
     pub fn with_shard<R>(&self, idx: usize, f: impl FnOnce(&SgTree) -> R) -> R {
         let st = self.inner.shards[idx].state.read();
         f(&st.tree)
+    }
+
+    /// One [`HealthReport`] per shard, each computed in a single tree
+    /// walk under that shard's read lock (locks are taken one shard at
+    /// a time, so writes keep flowing on the other shards).
+    pub fn health_reports(&self) -> Vec<HealthReport> {
+        (0..self.shards())
+            .map(|i| self.with_shard(i, |t| t.health_report()))
+            .collect()
+    }
+
+    /// The `/debug/tree` document: per-shard health reports, an
+    /// entry-weighted merged summary (whose findings are re-derived
+    /// from the merged levels), and the *observed* per-level prune
+    /// behaviour from the process-wide trace aggregates — so the
+    /// paper's estimated false-drop probability sits next to what the
+    /// executed queries actually did.
+    pub fn health_json(&self) -> Json {
+        let reports = self.health_reports();
+        let merged = HealthReport::merged(reports.iter());
+        let (traces, observed) = sg_obs::trace_level_aggregates();
+        let shard_docs: Vec<Json> = reports
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let mut doc = vec![("shard".to_string(), Json::U64(i as u64))];
+                let mut visits = None;
+                if let Some(obs) = self.inner.obs.get() {
+                    if let Some(c) = obs.shard_visits.get(i) {
+                        visits = Some(c.get());
+                    }
+                }
+                doc.push(("visits".to_string(), visits.map_or(Json::Null, Json::U64)));
+                doc.push(("report".to_string(), r.to_json_value()));
+                Json::Obj(doc)
+            })
+            .collect();
+        let observed_docs: Vec<Json> = observed
+            .iter()
+            .map(|l| {
+                let prune_rate = if l.lower_bound_evals > 0 {
+                    l.entries_pruned as f64 / l.lower_bound_evals as f64
+                } else {
+                    0.0
+                };
+                let est = merged
+                    .levels
+                    .get(l.level as usize)
+                    .map(|m| m.est_false_drop);
+                Json::Obj(vec![
+                    ("level".to_string(), Json::U64(l.level as u64)),
+                    ("nodes_visited".to_string(), Json::U64(l.nodes_visited)),
+                    ("entries_pruned".to_string(), Json::U64(l.entries_pruned)),
+                    (
+                        "lower_bound_evals".to_string(),
+                        Json::U64(l.lower_bound_evals),
+                    ),
+                    ("exact_distances".to_string(), Json::U64(l.exact_distances)),
+                    ("observed_prune_rate".to_string(), Json::F64(prune_rate)),
+                    (
+                        "observed_pass_rate".to_string(),
+                        Json::F64(1.0 - prune_rate),
+                    ),
+                    (
+                        "est_false_drop".to_string(),
+                        est.map_or(Json::Null, Json::F64),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("status".to_string(), Json::Str(merged.status().to_string())),
+            ("shards".to_string(), Json::Arr(shard_docs)),
+            ("summary".to_string(), merged.to_json_value()),
+            (
+                "observed".to_string(),
+                Json::Obj(vec![
+                    ("traces".to_string(), Json::U64(traces)),
+                    ("levels".to_string(), Json::Arr(observed_docs)),
+                ]),
+            ),
+        ])
     }
 
     /// Registers executor instruments (and the pool's queue-depth gauge)
@@ -1105,6 +1188,65 @@ mod tests {
             .collect();
         tids.sort_unstable();
         tids
+    }
+
+    #[test]
+    fn health_reports_cover_every_shard_and_merge() {
+        let nbits = 64;
+        let data = sample(400, nbits);
+        let exec = ShardedExecutor::build(nbits, &data, &ExecConfig::default()).unwrap();
+        let registry = Registry::new();
+        exec.register_obs(&registry, "exec");
+        let reports = exec.health_reports();
+        assert_eq!(reports.len(), exec.shards());
+        assert_eq!(reports.iter().map(|r| r.len).sum::<u64>(), 400);
+        for r in &reports {
+            assert_eq!(r.nbits, nbits);
+            for l in &r.levels {
+                assert!((0.0..=1.0).contains(&l.avg_saturation));
+                assert!((0.0..=1.0).contains(&l.est_false_drop));
+            }
+        }
+        let doc = exec.health_json();
+        let text = doc.to_string_compact();
+        let parsed = sg_obs::json::parse(&text).unwrap();
+        let shards = parsed.get("shards").and_then(Json::as_arr).unwrap();
+        assert_eq!(shards.len(), exec.shards());
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(s.get("shard").and_then(Json::as_u64), Some(i as u64));
+            assert!(s.get("visits").and_then(Json::as_u64).is_some());
+            assert!(s.get("report").and_then(|r| r.get("levels")).is_some());
+        }
+        let summary = parsed.get("summary").unwrap();
+        assert_eq!(summary.get("len").and_then(Json::as_u64), Some(400));
+        assert!(parsed
+            .get("observed")
+            .and_then(|o| o.get("traces"))
+            .and_then(Json::as_u64)
+            .is_some());
+        // Traced queries feed the observed per-level aggregates.
+        let (traces_before, _) = sg_obs::trace_level_aggregates();
+        let q = sig(nbits, &[1, 9]);
+        let r = exec
+            .query(
+                &QueryRequest::Knn {
+                    q,
+                    k: 5,
+                    metric: Metric::hamming(),
+                },
+                &QueryOptions {
+                    trace: true,
+                    ..QueryOptions::default()
+                },
+            )
+            .unwrap();
+        sg_obs::record_trace_levels(r.trace.as_ref().expect("trace requested"));
+        let (traces_after, levels) = sg_obs::trace_level_aggregates();
+        assert_eq!(traces_after, traces_before + 1);
+        assert!(
+            levels.iter().any(|l| l.nodes_visited > 0),
+            "expected visits in {levels:?}"
+        );
     }
 
     #[test]

@@ -95,5 +95,6 @@ pub use shard::{DurabilityConfig, RecoveryReport, WriteAck, WriteOp};
 // defined here) comes from `sg_tree`; re-exported so executor callers need
 // only this crate.
 pub use sg_tree::{
-    CancelFlag, QueryOptions, QueryOutput, QueryRequest, QueryResponse, SetIndex, SgError, SgResult,
+    CancelFlag, Finding, HealthReport, LevelHealth, QueryOptions, QueryOutput, QueryRequest,
+    QueryResponse, SetIndex, Severity, SgError, SgResult,
 };

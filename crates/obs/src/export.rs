@@ -33,6 +33,49 @@ pub fn escape_label_value(v: &str) -> String {
     out
 }
 
+/// Builds a labeled registry name: `base{key="value",...}` with label
+/// names sanitized to `[a-zA-Z_][a-zA-Z0-9_]*` and values escaped via
+/// [`escape_label_value`]. Register metrics under the returned string
+/// and [`to_prometheus`] emits them as labeled series — values carrying
+/// backslashes, quotes, or newlines stay legal exposition text.
+pub fn labeled(base: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return base.to_string();
+    }
+    let mut out = String::from(base);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if k.chars().next().map_or(true, |c| c.is_ascii_digit()) {
+            out.push('_');
+        }
+        for c in k.chars() {
+            out.push(if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            });
+        }
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Splits a registry name into its base and an optional pre-escaped
+/// `{...}` label block (as produced by [`labeled`]). A stray `{` that
+/// is not part of a well-formed block is treated as part of the name.
+fn split_series(name: &str) -> (&str, Option<&str>) {
+    match name.find('{') {
+        Some(open) if name.ends_with('}') && open > 0 => (&name[..open], Some(&name[open..])),
+        _ => (name, None),
+    }
+}
+
 /// Renders a snapshot in the Prometheus text exposition format.
 ///
 /// Histograms emit cumulative `_bucket{le=...}` series over the base-2
@@ -40,19 +83,39 @@ pub fn escape_label_value(v: &str) -> String {
 /// one), plus `_sum` and `_count`.
 pub fn to_prometheus(snapshot: &RegistrySnapshot) -> String {
     let mut out = String::new();
+    // Labeled series of one base metric sort adjacently in the
+    // BTreeMap; emit the `# TYPE` header once per base name.
+    let mut last_typed: Option<String> = None;
     for (name, value) in &snapshot.metrics {
-        let pname = prom_name(name);
+        let (base, labels) = split_series(name);
+        let pname = prom_name(base);
+        // The label block was escaped when the series was registered
+        // (see `labeled`); it passes through verbatim.
+        let labels = labels.unwrap_or("");
+        // Appends `le` to an existing label block, or opens a new one.
+        let le_labels = |le: &str| -> String {
+            match labels.strip_suffix('}') {
+                Some(head) => format!("{head},le=\"{le}\"}}"),
+                None => format!("{{le=\"{le}\"}}"),
+            }
+        };
+        let mut type_line = |kind: &str, out: &mut String| {
+            if last_typed.as_deref() != Some(pname.as_str()) {
+                let _ = writeln!(out, "# TYPE {pname} {kind}");
+                last_typed = Some(pname.clone());
+            }
+        };
         match value {
             MetricValue::Counter(v) => {
-                let _ = writeln!(out, "# TYPE {pname} counter");
-                let _ = writeln!(out, "{pname} {v}");
+                type_line("counter", &mut out);
+                let _ = writeln!(out, "{pname}{labels} {v}");
             }
             MetricValue::Gauge(v) => {
-                let _ = writeln!(out, "# TYPE {pname} gauge");
-                let _ = writeln!(out, "{pname} {v}");
+                type_line("gauge", &mut out);
+                let _ = writeln!(out, "{pname}{labels} {v}");
             }
             MetricValue::Histogram(h) => {
-                let _ = writeln!(out, "# TYPE {pname} histogram");
+                type_line("histogram", &mut out);
                 let mut cumulative = 0u64;
                 for (b, &n) in h.buckets.iter().enumerate() {
                     if n == 0 {
@@ -61,13 +124,13 @@ pub fn to_prometheus(snapshot: &RegistrySnapshot) -> String {
                     cumulative += n;
                     let _ = writeln!(
                         out,
-                        "{pname}_bucket{{le=\"{}\"}} {cumulative}",
-                        escape_label_value(&bucket_upper_bound(b).to_string())
+                        "{pname}_bucket{} {cumulative}",
+                        le_labels(&bucket_upper_bound(b).to_string())
                     );
                 }
-                let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {}", h.count);
-                let _ = writeln!(out, "{pname}_sum {}", h.sum);
-                let _ = writeln!(out, "{pname}_count {}", h.count);
+                let _ = writeln!(out, "{pname}_bucket{} {}", le_labels("+Inf"), h.count);
+                let _ = writeln!(out, "{pname}_sum{labels} {}", h.sum);
+                let _ = writeln!(out, "{pname}_count{labels} {}", h.count);
             }
         }
     }
@@ -325,5 +388,87 @@ mod tests {
     fn prom_name_sanitizes() {
         assert_eq!(prom_name("tree.query-ns/total"), "tree_query_ns_total");
         assert_eq!(prom_name("9lives"), "_9lives");
+    }
+
+    #[test]
+    fn labeled_builds_escaped_series_names() {
+        assert_eq!(labeled("req.total", &[]), "req.total");
+        assert_eq!(
+            labeled("req.total", &[("path", "/query"), ("1st", "a")]),
+            "req.total{path=\"/query\",_1st=\"a\"}"
+        );
+        assert_eq!(
+            labeled("x", &[("k", "a\\b\"c\nd")]),
+            "x{k=\"a\\\\b\\\"c\\nd\"}"
+        );
+    }
+
+    #[test]
+    fn hostile_label_values_survive_exposition() {
+        use textparse::Line;
+        let hostile = "path\\with\\backslash \"quoted\"\nsecond line";
+        let r = Registry::new();
+        r.counter(&labeled(
+            "req.total",
+            &[("route", hostile), ("code", "200")],
+        ))
+        .add(7);
+        let h = r.histogram(&labeled("req.ns", &[("route", hostile)]));
+        h.record(100);
+        h.record(3000);
+        let text = to_prometheus(&r.snapshot());
+        // The raw value must not appear unescaped (a bare newline would
+        // split the sample line).
+        assert!(!text.contains(hostile), "{text}");
+        let lines = textparse::parse(&text).expect(&text);
+        let counter = lines
+            .iter()
+            .find_map(|l| match l {
+                Line::Sample {
+                    name,
+                    labels,
+                    value,
+                } if name == "req_total" => Some((labels.clone(), *value)),
+                _ => None,
+            })
+            .expect("req_total sample");
+        // Round-trip: parsing the exposition recovers the exact value.
+        assert_eq!(
+            counter.0,
+            vec![
+                ("route".to_string(), hostile.to_string()),
+                ("code".to_string(), "200".to_string()),
+            ]
+        );
+        assert_eq!(counter.1, 7.0);
+        // Histogram buckets merge `le` into the existing label block.
+        let bucket = lines
+            .iter()
+            .find_map(|l| match l {
+                Line::Sample { name, labels, .. }
+                    if name == "req_ns_bucket"
+                        && labels.iter().any(|(k, v)| k == "le" && v == "+Inf") =>
+                {
+                    Some(labels.clone())
+                }
+                _ => None,
+            })
+            .expect("req_ns_bucket +Inf sample");
+        assert!(bucket.iter().any(|(k, v)| k == "route" && v == hostile));
+        // One TYPE header per base name even with several series.
+        let type_count = lines
+            .iter()
+            .filter(|l| matches!(l, Line::Type { name, .. } if name == "req_total"))
+            .count();
+        assert_eq!(type_count, 1);
+    }
+
+    #[test]
+    fn unlabeled_names_with_braces_fall_back_to_sanitizing() {
+        let r = Registry::new();
+        r.counter("weird{name").add(1);
+        let text = to_prometheus(&r.snapshot());
+        assert!(text.contains("weird_name 1"), "{text}");
+        assert!(textparse::parse(&text).is_ok(), "{text}");
     }
 }

@@ -1,0 +1,423 @@
+//! Metric time-series history.
+//!
+//! A [`MetricHistory`] is a fixed-capacity ring of whole-registry
+//! snapshots; a [`Sampler`] is the background thread that fills it on a
+//! fixed interval. The sample path is allocation-free in steady state:
+//! ring slots are preallocated and refreshed in place via
+//! [`Registry::snapshot_into`], so only a metric registered since the
+//! previous tick costs an allocation. Deltas, rates and interval
+//! quantiles are computed at *read* time by [`MetricHistory::history_json`],
+//! which backs the admin server's `/metrics/history?window=..` endpoint
+//! and the `sg-top` dashboard.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use crate::json::Json;
+use crate::metrics::{MetricValue, Registry, RegistrySnapshot};
+
+/// One ring slot: wall/monotonic capture times plus a full registry
+/// snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct Sample {
+    /// Wall-clock capture time, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// Monotonic capture time, milliseconds since the history was
+    /// created (immune to wall-clock steps; used for rate math).
+    pub mono_ms: u64,
+    /// The captured registry state.
+    pub snap: RegistrySnapshot,
+}
+
+struct Ring {
+    slots: Vec<Sample>,
+    /// Next slot to overwrite.
+    head: usize,
+    /// Populated slots (≤ capacity).
+    len: usize,
+}
+
+/// Fixed-capacity ring of registry snapshots, oldest overwritten first.
+pub struct MetricHistory {
+    epoch: Instant,
+    inner: Mutex<Ring>,
+}
+
+impl MetricHistory {
+    /// A ring holding at most `capacity` samples (clamped to ≥ 2 so
+    /// deltas and rates are always computable once warm).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(2);
+        MetricHistory {
+            epoch: Instant::now(),
+            inner: Mutex::new(Ring {
+                slots: (0..capacity).map(|_| Sample::default()).collect(),
+                head: 0,
+                len: 0,
+            }),
+        }
+    }
+
+    /// Maximum samples retained.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().unwrap().slots.len()
+    }
+
+    /// Samples currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len
+    }
+
+    /// True when no sample has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Captures one sample, reusing the overwritten slot's allocations.
+    pub fn record(&self, registry: &Registry) {
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mono_ms = self.epoch.elapsed().as_millis() as u64;
+        let mut ring = self.inner.lock().unwrap();
+        let head = ring.head;
+        let cap = ring.slots.len();
+        let slot = &mut ring.slots[head];
+        slot.unix_ms = unix_ms;
+        slot.mono_ms = mono_ms;
+        registry.snapshot_into(&mut slot.snap);
+        ring.head = (head + 1) % cap;
+        ring.len = (ring.len + 1).min(cap);
+    }
+
+    /// Samples oldest→newest; `window` keeps only those within that
+    /// trailing duration of the newest sample.
+    pub fn samples(&self, window: Option<Duration>) -> Vec<Sample> {
+        let ring = self.inner.lock().unwrap();
+        let cap = ring.slots.len();
+        let start = (ring.head + cap - ring.len) % cap;
+        let mut out: Vec<Sample> = (0..ring.len)
+            .map(|i| ring.slots[(start + i) % cap].clone())
+            .collect();
+        drop(ring);
+        if let Some(w) = window {
+            let w_ms = w.as_millis() as u64;
+            if let Some(latest) = out.last().map(|s| s.mono_ms) {
+                out.retain(|s| latest.saturating_sub(s.mono_ms) <= w_ms);
+            }
+        }
+        out
+    }
+
+    /// The JSON document served on `/metrics/history`: capture
+    /// timestamps plus, per metric, the aligned value series and
+    /// window-level deltas/rates (counters), levels (gauges), or
+    /// interval count/rate and approximate p50/p99/mean over the window
+    /// (histograms). All derived numbers are computed here, never on
+    /// the sample path.
+    pub fn history_json(&self, window: Option<Duration>) -> Json {
+        let samples = self.samples(window);
+        let span_ms = match (samples.first(), samples.last()) {
+            (Some(a), Some(b)) => b.mono_ms.saturating_sub(a.mono_ms),
+            _ => 0,
+        };
+        let span_s = span_ms as f64 / 1e3;
+        let mut metrics: Vec<(String, Json)> = Vec::new();
+        if let (Some(first), Some(last)) = (samples.first(), samples.last()) {
+            for (name, newest) in &last.snap.metrics {
+                let series = |f: &dyn Fn(&MetricValue) -> Json| -> Json {
+                    Json::Arr(
+                        samples
+                            .iter()
+                            .map(|s| s.snap.metrics.get(name).map_or(Json::Null, &f))
+                            .collect(),
+                    )
+                };
+                let entry = match newest {
+                    MetricValue::Counter(now) => {
+                        let base = match first.snap.metrics.get(name) {
+                            Some(MetricValue::Counter(v)) => *v,
+                            _ => 0,
+                        };
+                        let delta = now.saturating_sub(base);
+                        Json::Obj(vec![
+                            ("type".into(), Json::Str("counter".into())),
+                            (
+                                "values".into(),
+                                series(&|v| match v {
+                                    MetricValue::Counter(c) => Json::U64(*c),
+                                    _ => Json::Null,
+                                }),
+                            ),
+                            ("delta".into(), Json::U64(delta)),
+                            (
+                                "rate_per_s".into(),
+                                Json::F64(if span_s > 0.0 {
+                                    delta as f64 / span_s
+                                } else {
+                                    0.0
+                                }),
+                            ),
+                        ])
+                    }
+                    MetricValue::Gauge(now) => Json::Obj(vec![
+                        ("type".into(), Json::Str("gauge".into())),
+                        (
+                            "values".into(),
+                            series(&|v| match v {
+                                MetricValue::Gauge(g) => Json::I64(*g),
+                                _ => Json::Null,
+                            }),
+                        ),
+                        ("last".into(), Json::I64(*now)),
+                    ]),
+                    MetricValue::Histogram(now) => {
+                        let interval = match first.snap.metrics.get(name) {
+                            Some(MetricValue::Histogram(base)) => {
+                                let mut h = now.clone();
+                                for (dst, src) in h.buckets.iter_mut().zip(&base.buckets) {
+                                    *dst = dst.saturating_sub(*src);
+                                }
+                                h.count = h.count.saturating_sub(base.count);
+                                h.sum = h.sum.saturating_sub(base.sum);
+                                h
+                            }
+                            _ => now.clone(),
+                        };
+                        Json::Obj(vec![
+                            ("type".into(), Json::Str("histogram".into())),
+                            (
+                                "counts".into(),
+                                series(&|v| match v {
+                                    MetricValue::Histogram(h) => Json::U64(h.count),
+                                    _ => Json::Null,
+                                }),
+                            ),
+                            ("interval_count".into(), Json::U64(interval.count)),
+                            (
+                                "rate_per_s".into(),
+                                Json::F64(if span_s > 0.0 {
+                                    interval.count as f64 / span_s
+                                } else {
+                                    0.0
+                                }),
+                            ),
+                            ("p50".into(), Json::U64(interval.quantile(0.5))),
+                            ("p99".into(), Json::U64(interval.quantile(0.99))),
+                            ("mean".into(), Json::F64(interval.mean())),
+                        ])
+                    }
+                };
+                metrics.push((name.clone(), entry));
+            }
+        }
+        Json::Obj(vec![
+            ("samples".into(), Json::U64(samples.len() as u64)),
+            ("capacity".into(), Json::U64(self.capacity() as u64)),
+            ("span_ms".into(), Json::U64(span_ms)),
+            (
+                "t_unix_ms".into(),
+                Json::Arr(samples.iter().map(|s| Json::U64(s.unix_ms)).collect()),
+            ),
+            (
+                "t_mono_ms".into(),
+                Json::Arr(samples.iter().map(|s| Json::U64(s.mono_ms)).collect()),
+            ),
+            ("metrics".into(), Json::Obj(metrics)),
+        ])
+    }
+}
+
+/// Background thread that [`MetricHistory::record`]s on a fixed
+/// interval. Stops (and joins) on [`Sampler::stop`] or drop. The
+/// sampler meters itself: `obs.sampler.samples` counts ticks and
+/// `obs.sampler.sample_ns` records per-tick cost, so the history
+/// documents its own overhead.
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    history: Arc<MetricHistory>,
+}
+
+impl Sampler {
+    /// Spawns the sampling thread: one sample immediately, then one per
+    /// `interval`, into a ring of `capacity` slots.
+    pub fn start(registry: Arc<Registry>, interval: Duration, capacity: usize) -> Sampler {
+        let history = Arc::new(MetricHistory::new(capacity));
+        let stop = Arc::new(AtomicBool::new(false));
+        // Register self-metrics up front so the sample loop never
+        // allocates for its own instruments.
+        let samples = registry.counter("obs.sampler.samples");
+        let sample_ns = registry.histogram("obs.sampler.sample_ns");
+        let (h, s) = (history.clone(), stop.clone());
+        let handle = thread::Builder::new()
+            .name("sg-obs-sampler".into())
+            .spawn(move || {
+                while !s.load(Ordering::Acquire) {
+                    let t0 = Instant::now();
+                    h.record(&registry);
+                    sample_ns.record(t0.elapsed().as_nanos() as u64);
+                    samples.inc();
+                    // Sleep in short chunks so stop() returns promptly
+                    // even with multi-second intervals.
+                    let mut left = interval;
+                    while !s.load(Ordering::Acquire) && left > Duration::ZERO {
+                        let chunk = left.min(Duration::from_millis(25));
+                        thread::sleep(chunk);
+                        left = left.saturating_sub(chunk);
+                    }
+                }
+            })
+            .expect("spawn sg-obs-sampler");
+        Sampler {
+            stop,
+            handle: Some(handle),
+            history,
+        }
+    }
+
+    /// Shared handle to the ring this sampler fills.
+    pub fn history(&self) -> Arc<MetricHistory> {
+        self.history.clone()
+    }
+
+    /// Signals the thread and joins it. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraps_and_orders_oldest_first() {
+        let r = Registry::new();
+        let c = r.counter("w.events");
+        let hist = MetricHistory::new(3);
+        for i in 0..5 {
+            c.add(10);
+            hist.record(&r);
+            assert_eq!(hist.len(), (i + 1).min(3));
+        }
+        let samples = hist.samples(None);
+        assert_eq!(samples.len(), 3);
+        let values: Vec<u64> = samples.iter().map(|s| s.snap.counter("w.events")).collect();
+        // Last three of 10,20,30,40,50 — and strictly increasing.
+        assert_eq!(values, vec![30, 40, 50]);
+        assert!(samples.windows(2).all(|w| w[0].mono_ms <= w[1].mono_ms));
+    }
+
+    #[test]
+    fn window_keeps_trailing_samples() {
+        let r = Registry::new();
+        let hist = MetricHistory::new(8);
+        hist.record(&r);
+        std::thread::sleep(Duration::from_millis(30));
+        hist.record(&r);
+        hist.record(&r);
+        let all = hist.samples(None);
+        assert_eq!(all.len(), 3);
+        let recent = hist.samples(Some(Duration::from_millis(10)));
+        assert!(
+            recent.len() < all.len(),
+            "window should drop the oldest sample"
+        );
+        assert_eq!(recent.last().unwrap().mono_ms, all.last().unwrap().mono_ms);
+    }
+
+    #[test]
+    fn history_json_reports_deltas_and_rates() {
+        let r = Registry::new();
+        let c = r.counter("q.total");
+        let g = r.gauge("q.depth");
+        let h = r.histogram("q.lat");
+        let hist = MetricHistory::new(8);
+        c.add(5);
+        g.set(2);
+        h.record(100);
+        hist.record(&r);
+        std::thread::sleep(Duration::from_millis(5));
+        c.add(7);
+        g.set(4);
+        h.record(300);
+        h.record(500);
+        hist.record(&r);
+        let doc = hist.history_json(None);
+        assert_eq!(doc.get("samples").and_then(Json::as_u64), Some(2));
+        let m = doc.get("metrics").unwrap();
+        let ctr = m.get("q.total").unwrap();
+        assert_eq!(ctr.get("delta").and_then(Json::as_u64), Some(7));
+        assert!(ctr.get("rate_per_s").and_then(Json::as_f64).unwrap() > 0.0);
+        let vals = ctr.get("values").and_then(Json::as_arr).unwrap();
+        assert_eq!(vals.len(), 2);
+        assert_eq!(vals[0].as_u64(), Some(5));
+        assert_eq!(vals[1].as_u64(), Some(12));
+        let gauge = m.get("q.depth").unwrap();
+        assert_eq!(gauge.get("last").and_then(Json::as_i64), Some(4));
+        let lat = m.get("q.lat").unwrap();
+        assert_eq!(lat.get("interval_count").and_then(Json::as_u64), Some(2));
+        // Interval quantiles cover only the two post-baseline records.
+        let p99 = lat.get("p99").and_then(Json::as_u64).unwrap();
+        assert!((256..=512).contains(&p99), "p99 = {p99}");
+        // The sampler's own parse survives a JSON round-trip.
+        let parsed = crate::json::parse(&doc.to_string_compact()).unwrap();
+        assert_eq!(parsed.get("samples").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn sampler_fills_ring_and_meters_itself() {
+        let r = Arc::new(Registry::new());
+        r.counter("s.live").add(1);
+        let mut sampler = Sampler::start(r.clone(), Duration::from_millis(10), 64);
+        let hist = sampler.history();
+        let t0 = Instant::now();
+        while hist.len() < 3 && t0.elapsed() < Duration::from_secs(5) {
+            thread::sleep(Duration::from_millis(5));
+        }
+        sampler.stop();
+        assert!(
+            hist.len() >= 3,
+            "sampler took too long: {} samples",
+            hist.len()
+        );
+        let snap = r.snapshot();
+        assert!(snap.counter("obs.sampler.samples") >= 3);
+        // Counters are monotone across samples.
+        let samples = hist.samples(None);
+        let ticks: Vec<u64> = samples
+            .iter()
+            .map(|s| s.snap.counter("obs.sampler.samples"))
+            .collect();
+        assert!(ticks.windows(2).all(|w| w[0] <= w[1]), "{ticks:?}");
+    }
+
+    #[test]
+    fn snapshot_into_matches_snapshot_and_reuses_keys() {
+        let r = Registry::new();
+        r.counter("a").add(1);
+        r.gauge("b").set(-3);
+        r.histogram("c").record(9);
+        let mut reused = RegistrySnapshot::default();
+        r.snapshot_into(&mut reused);
+        assert_eq!(reused, r.snapshot());
+        r.counter("a").add(5);
+        r.counter("new.metric").add(2);
+        r.snapshot_into(&mut reused);
+        assert_eq!(reused, r.snapshot());
+        assert_eq!(reused.counter("new.metric"), 2);
+    }
+}

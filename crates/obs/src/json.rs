@@ -46,6 +46,18 @@ impl Json {
         }
     }
 
+    /// Signed value, accepting any in-range integral number (gauges).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Json::I64(v) => Some(v),
+            Json::U64(v) => i64::try_from(v).ok(),
+            Json::F64(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
+                Some(v as i64)
+            }
+            _ => None,
+        }
+    }
+
     /// Numeric value as f64.
     pub fn as_f64(&self) -> Option<f64> {
         match *self {

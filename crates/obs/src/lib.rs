@@ -20,6 +20,7 @@
 //!    a latency threshold.
 
 pub mod export;
+pub mod history;
 pub mod json;
 pub mod metrics;
 #[cfg(test)]
@@ -27,9 +28,10 @@ mod proptests;
 pub mod span;
 pub mod trace;
 
+pub use history::{MetricHistory, Sampler};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, IndexObs, IngestObs, MetricSnapshot, MetricValue,
     PoolObs, Registry, RegistrySnapshot, ServeObs,
 };
 pub use span::{Span, SpanCtx, SpanData};
-pub use trace::{LevelTrace, QueryTrace, TraceSink};
+pub use trace::{record_trace_levels, trace_level_aggregates, LevelTrace, QueryTrace, TraceSink};

@@ -311,6 +311,48 @@ impl Registry {
         }
     }
 
+    /// Point-in-time copy of every metric written into `out`, reusing
+    /// its existing allocations.
+    ///
+    /// This is the sampler's hot path: once the metric set has
+    /// stabilized, refreshing an already-populated snapshot touches no
+    /// allocator at all — counter/gauge slots are overwritten in place
+    /// and a [`HistogramSnapshot`] is an inline array. Only a metric
+    /// registered since the previous call costs one key clone.
+    pub fn snapshot_into(&self, out: &mut RegistrySnapshot) {
+        let metrics = self.metrics.lock().unwrap();
+        if out.metrics.len() != metrics.len() {
+            // Registries never un-register today, but a caller may hand
+            // us a snapshot taken from a different registry.
+            out.metrics.retain(|k, _| metrics.contains_key(k));
+        }
+        for (name, m) in metrics.iter() {
+            let updated = match (out.metrics.get_mut(name), m) {
+                (Some(MetricValue::Counter(v)), Metric::Counter(c)) => {
+                    *v = c.get();
+                    true
+                }
+                (Some(MetricValue::Gauge(v)), Metric::Gauge(g)) => {
+                    *v = g.get();
+                    true
+                }
+                (Some(MetricValue::Histogram(hs)), Metric::Histogram(h)) => {
+                    *hs = h.snapshot();
+                    true
+                }
+                _ => false,
+            };
+            if !updated {
+                let value = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                out.metrics.insert(name.clone(), value);
+            }
+        }
+    }
+
     /// Point-in-time copy of every metric.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let metrics = self.metrics.lock().unwrap();

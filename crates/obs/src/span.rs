@@ -535,6 +535,53 @@ pub fn flight_trace_json() -> Json {
     ])
 }
 
+/// Why [`flight_trace_json_bounded`] refused to serialize: the document
+/// would have exceeded `max_bytes`. Carries enough context for the
+/// caller to suggest a workable `limit`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightOverflow {
+    /// Events available after applying the caller's `limit`.
+    pub events_total: usize,
+    /// Events that fit within `max_bytes` before the bail-out.
+    pub events_fit: usize,
+    /// The byte cap that was exceeded.
+    pub max_bytes: usize,
+}
+
+/// Serializes the flight recorder as `trace_event` JSON without ever
+/// building a document larger than `max_bytes`: events are appended
+/// one at a time and serialization bails as soon as the next event
+/// would not fit. `limit` keeps only the most recent N events (they
+/// are sorted by start time, so the tail is the newest activity).
+pub fn flight_trace_json_bounded(
+    max_bytes: usize,
+    limit: Option<usize>,
+) -> Result<String, FlightOverflow> {
+    const HEAD: &str = "{\"traceEvents\":[";
+    const TAIL: &str = "],\"displayTimeUnit\":\"ms\"}";
+    let spans = flight_spans();
+    let start = limit.map_or(0, |n| spans.len().saturating_sub(n));
+    let slice = &spans[start..];
+    let mut out = String::from(HEAD);
+    for (i, s) in slice.iter().enumerate() {
+        let event = span_event(s).to_string_compact();
+        let sep = usize::from(i > 0);
+        if out.len() + sep + event.len() + TAIL.len() > max_bytes {
+            return Err(FlightOverflow {
+                events_total: slice.len(),
+                events_fit: i,
+                max_bytes,
+            });
+        }
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&event);
+    }
+    out.push_str(TAIL);
+    Ok(out)
+}
+
 // ---------------------------------------------------------------------------
 // Slow-query log
 // ---------------------------------------------------------------------------
@@ -766,6 +813,39 @@ mod tests {
         assert_eq!(ev.get("ts").unwrap().as_f64(), Some(5.0));
         assert_eq!(ev.get("dur").unwrap().as_f64(), Some(2.0));
         assert_eq!(ev.get("args").unwrap().get("n").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn bounded_trace_json_caps_bytes_and_honours_limit() {
+        let _g = recorder_lock();
+        set_enabled(true);
+        let trace = next_trace_id();
+        for i in 0..32 {
+            emit(trace, 0, "evt", "test", 1_000 * i, 500, &[("i", i)]);
+        }
+        set_enabled(false);
+        // Generous cap: identical content to the unbounded dump.
+        let full = flight_trace_json_bounded(64 << 20, None).unwrap();
+        let parsed = crate::json::parse(&full).expect("bounded JSON must parse");
+        let n_all = parsed.get("traceEvents").unwrap().as_arr().unwrap().len();
+        assert!(n_all >= 32, "expected our 32 events, got {n_all}");
+        assert_eq!(full, flight_trace_json().to_string_compact());
+        // Tiny cap: refuses with a useful fit estimate instead of
+        // allocating the whole document.
+        let err = flight_trace_json_bounded(256, None).unwrap_err();
+        assert_eq!(err.max_bytes, 256);
+        assert_eq!(err.events_total, n_all);
+        assert!(err.events_fit < n_all);
+        // A limit keeps only the newest events and still parses.
+        let tail = flight_trace_json_bounded(64 << 20, Some(3)).unwrap();
+        let parsed = crate::json::parse(&tail).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 3);
+        let last_i = events[2].get("args").unwrap().get("i").unwrap().as_u64();
+        assert_eq!(last_i, Some(31));
+        // Every returned document respects the cap.
+        let capped = flight_trace_json_bounded(1_000, Some(2)).unwrap();
+        assert!(capped.len() <= 1_000);
     }
 
     #[test]

@@ -7,8 +7,80 @@
 //! round-trips losslessly through JSON.
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::json::{self, Json};
+
+/// Number of tree levels tracked by the process-wide trace aggregate
+/// (level 0 = leaves). Sixteen levels cover any realistic SG-tree — a
+/// fanout-2 tree of that height already holds 65k pages.
+pub const TRACE_AGG_LEVELS: usize = 16;
+
+struct LevelAgg {
+    nodes_visited: AtomicU64,
+    entries_pruned: AtomicU64,
+    lower_bound_evals: AtomicU64,
+    exact_distances: AtomicU64,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_LEVEL_AGG: LevelAgg = LevelAgg {
+    nodes_visited: AtomicU64::new(0),
+    entries_pruned: AtomicU64::new(0),
+    lower_bound_evals: AtomicU64::new(0),
+    exact_distances: AtomicU64::new(0),
+};
+
+static AGG_LEVELS: [LevelAgg; TRACE_AGG_LEVELS] = [ZERO_LEVEL_AGG; TRACE_AGG_LEVELS];
+static AGG_TRACES: AtomicU64 = AtomicU64::new(0);
+
+/// Folds one finished trace (and, recursively, its per-shard children)
+/// into the process-wide per-level aggregate that
+/// [`trace_level_aggregates`] reads. The serve layer calls this for
+/// every traced query so tree health reports can correlate the paper's
+/// *estimated* false-drop probability with *observed* prune behaviour.
+pub fn record_trace_levels(trace: &QueryTrace) {
+    AGG_TRACES.fetch_add(1, Ordering::Relaxed);
+    fold_levels(trace);
+}
+
+fn fold_levels(trace: &QueryTrace) {
+    for l in &trace.levels {
+        if let Some(agg) = AGG_LEVELS.get(l.level as usize) {
+            agg.nodes_visited
+                .fetch_add(l.nodes_visited, Ordering::Relaxed);
+            agg.entries_pruned
+                .fetch_add(l.entries_pruned, Ordering::Relaxed);
+            agg.lower_bound_evals
+                .fetch_add(l.lower_bound_evals, Ordering::Relaxed);
+            agg.exact_distances
+                .fetch_add(l.exact_distances, Ordering::Relaxed);
+        }
+    }
+    for child in &trace.children {
+        fold_levels(child);
+    }
+}
+
+/// The process-wide trace aggregate: how many traces have been folded
+/// in, plus one [`LevelTrace`] per tree level that saw any activity.
+pub fn trace_level_aggregates() -> (u64, Vec<LevelTrace>) {
+    let traces = AGG_TRACES.load(Ordering::Relaxed);
+    let mut levels = Vec::new();
+    for (i, agg) in AGG_LEVELS.iter().enumerate() {
+        let l = LevelTrace {
+            level: i as u32,
+            nodes_visited: agg.nodes_visited.load(Ordering::Relaxed),
+            entries_pruned: agg.entries_pruned.load(Ordering::Relaxed),
+            lower_bound_evals: agg.lower_bound_evals.load(Ordering::Relaxed),
+            exact_distances: agg.exact_distances.load(Ordering::Relaxed),
+        };
+        if l.nodes_visited | l.entries_pruned | l.lower_bound_evals | l.exact_distances != 0 {
+            levels.push(l);
+        }
+    }
+    (traces, levels)
+}
 
 /// Collector threaded through a search when tracing is requested;
 /// `None` keeps the hot path branch-only.
@@ -367,6 +439,36 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("\n    EXPLAIN shard-0"), "{text}");
+    }
+
+    #[test]
+    fn global_aggregate_folds_children_once() {
+        let (traces_before, levels_before) = trace_level_aggregates();
+        let before = |lvl: u32| {
+            levels_before
+                .iter()
+                .find(|l| l.level == lvl)
+                .cloned()
+                .unwrap_or_default()
+        };
+        let (b0, b1) = (before(0), before(1));
+        let mut parent = QueryTrace::new("knn k=5 shards=2", "sg-exec");
+        parent.push_child(sample());
+        parent.push_child(sample());
+        record_trace_levels(&parent);
+        let (traces_after, levels_after) = trace_level_aggregates();
+        assert_eq!(traces_after, traces_before + 1);
+        let after = |lvl: u32| {
+            levels_after
+                .iter()
+                .find(|l| l.level == lvl)
+                .cloned()
+                .unwrap()
+        };
+        // Each child contributes its per-level counts exactly once.
+        assert_eq!(after(0).exact_distances, b0.exact_distances + 2 * 23);
+        assert_eq!(after(1).entries_pruned, b1.entries_pruned + 2 * 5);
+        assert_eq!(after(1).nodes_visited, b1.nodes_visited + 2 * 2);
     }
 
     #[test]

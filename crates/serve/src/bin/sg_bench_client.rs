@@ -118,8 +118,17 @@ fn main() {
         }
         eprintln!("sg-bench-client: appended trajectory entry to {path}");
     }
-    // Busy rejections are expected under deliberate overload; hard errors
-    // are not.
+    // Busy rejections are expected under deliberate overload — but a run
+    // where *nothing* got through measured no service at all: surface the
+    // server's structured refusal and fail, so scripts don't mistake an
+    // all-rejected run for a clean one.
+    if report.ok == 0 && report.busy > 0 {
+        eprintln!("sg-bench-client: every request was refused with SERVER_BUSY");
+        if let Some(frame) = &report.busy_frame {
+            eprintln!("sg-bench-client: server error frame: {frame}");
+        }
+        std::process::exit(3);
+    }
     if report.errors > 0 {
         std::process::exit(1);
     }

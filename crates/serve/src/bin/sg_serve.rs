@@ -82,6 +82,8 @@ struct Opts {
     fsync: FsyncPolicy,
     trace: bool,
     slow_ms: Option<u64>,
+    sample_ms: Option<u64>,
+    history_cap: usize,
 }
 
 impl Default for Opts {
@@ -105,6 +107,8 @@ impl Default for Opts {
             fsync: FsyncPolicy::Always,
             trace: false,
             slow_ms: None,
+            sample_ms: None,
+            history_cap: 512,
         }
     }
 }
@@ -133,6 +137,9 @@ const USAGE: &str = "sg-serve: serve a generated SG-tree dataset over TCP
                           /debug/flight; kill -USR1 dumps them to a file)
   --slow-ms N             capture requests slower than N ms, with their
                           span tree and EXPLAIN trace, at /debug/slow
+  --sample-ms N           sample every metric into an in-memory ring every
+                          N ms, served as JSON at /metrics/history
+  --history-cap N         samples kept by the history ring (default 512)
 ";
 
 fn parse_opts() -> Result<Opts, String> {
@@ -172,6 +179,10 @@ fn parse_opts() -> Result<Opts, String> {
             }
             "--trace" => opts.trace = true,
             "--slow-ms" => opts.slow_ms = Some(parse_num(&val("--slow-ms")?, "--slow-ms")?),
+            "--sample-ms" => opts.sample_ms = Some(parse_num(&val("--sample-ms")?, "--sample-ms")?),
+            "--history-cap" => {
+                opts.history_cap = parse_num(&val("--history-cap")?, "--history-cap")?
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -324,8 +335,17 @@ fn main() {
             queue_cap: opts.queue_cap.max(1),
         },
         default_timeout: Duration::from_millis(opts.timeout_ms.max(1)),
+        sample_interval: opts.sample_ms.map(|ms| Duration::from_millis(ms.max(1))),
+        history_capacity: opts.history_cap.max(2),
         ..ServeConfig::default()
     };
+    if let Some(ms) = opts.sample_ms {
+        eprintln!(
+            "sg-serve: metric history on ({}ms interval, {} samples)",
+            ms.max(1),
+            opts.history_cap
+        );
+    }
     let server = match Server::start(Arc::clone(&exec), registry, config) {
         Ok(s) => s,
         Err(e) => {
@@ -336,7 +356,8 @@ fn main() {
     println!("sg-serve: listening on {}", server.local_addr());
     if let Some(admin) = server.admin_addr() {
         println!(
-            "sg-serve: admin http on {admin} (/metrics, /healthz, /debug/flight, /debug/slow)"
+            "sg-serve: admin http on {admin} (/metrics, /metrics/history, /healthz, \
+             /debug/tree, /debug/flight, /debug/slow)"
         );
     }
     if let Some(path) = &opts.port_file {

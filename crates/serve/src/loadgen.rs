@@ -152,6 +152,10 @@ pub struct LoadReport {
     pub mean_us: u64,
     /// Responses that echoed a sampled `trace_id`.
     pub traced: u64,
+    /// The first `SERVER_BUSY` error frame seen, re-encoded as it came
+    /// off the wire — so a fully-refused run can show the server's own
+    /// structured refusal (code, message, `retry_after_ms`).
+    pub busy_frame: Option<String>,
 }
 
 impl LoadReport {
@@ -245,6 +249,7 @@ struct Tally {
     errors: u64,
     traced: u64,
     latencies_us: Vec<u64>,
+    busy_frame: Option<String>,
 }
 
 /// Runs the configured load and reports throughput + latency percentiles.
@@ -276,6 +281,7 @@ pub fn run_load(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
                 errors: 0,
                 traced: 0,
                 latencies_us: Vec::new(),
+                busy_frame: None,
             };
             barrier.wait();
             let start = Instant::now();
@@ -314,11 +320,19 @@ pub fn run_load(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
                             .latencies_us
                             .push(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
                     }
-                    Ok(Response::Error {
-                        code: crate::proto::ErrorCode::ServerBusy,
-                        ..
-                    }) => {
+                    Ok(
+                        resp @ Response::Error {
+                            code: crate::proto::ErrorCode::ServerBusy,
+                            ..
+                        },
+                    ) => {
                         tally.busy += 1;
+                        if tally.busy_frame.is_none() {
+                            tally.busy_frame = Some(
+                                String::from_utf8_lossy(&crate::proto::encode_response(&resp))
+                                    .into_owned(),
+                            );
+                        }
                     }
                     Ok(Response::Error { .. }) => tally.errors += 1,
                     Err(_) => {
@@ -348,6 +362,7 @@ pub fn run_load(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
     let mut busy = 0;
     let mut errors = 0;
     let mut traced = 0;
+    let mut busy_frame = None;
     let mut lat: Vec<u64> = Vec::new();
     for t in tallies.lock().unwrap_or_else(|e| e.into_inner()).iter() {
         sent += t.sent;
@@ -355,6 +370,9 @@ pub fn run_load(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
         busy += t.busy;
         errors += t.errors;
         traced += t.traced;
+        if busy_frame.is_none() {
+            busy_frame = t.busy_frame.clone();
+        }
         lat.extend_from_slice(&t.latencies_us);
     }
     lat.sort_unstable();
@@ -382,6 +400,7 @@ pub fn run_load(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
         p99_us: pct(0.99),
         mean_us,
         traced,
+        busy_frame,
     })
 }
 

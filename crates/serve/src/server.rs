@@ -21,7 +21,8 @@ use crate::proto::{
     decode_request, encode_response, ContainmentMode, ErrorCode, Request, Response,
 };
 use sg_exec::{QueryOutput, QueryRequest, ShardedExecutor, WriteOp};
-use sg_obs::{export, span, Registry, ServeObs, Span};
+use sg_obs::json::Json;
+use sg_obs::{export, span, MetricHistory, Registry, Sampler, ServeObs, Span};
 use sg_sig::{Metric, Signature};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -51,6 +52,14 @@ pub struct ServeConfig {
     /// Socket poll granularity: how often blocked reads wake to check the
     /// drain flag.
     pub poll: Duration,
+    /// Metric-history sampling interval; `None` disables the background
+    /// sampler, and `/metrics/history` answers 404 with a hint.
+    pub sample_interval: Option<Duration>,
+    /// Samples retained by the metric-history ring (oldest overwritten).
+    pub history_capacity: usize,
+    /// Byte cap for `/debug/flight` responses; a dump over the cap gets a
+    /// `413` pointing at `?limit=` instead of an unbounded body.
+    pub flight_max_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +72,9 @@ impl Default for ServeConfig {
             max_frame: MAX_FRAME_DEFAULT,
             default_timeout: Duration::from_secs(1),
             poll: Duration::from_millis(10),
+            sample_interval: None,
+            history_capacity: 512,
+            flight_max_bytes: 4 << 20,
         }
     }
 }
@@ -104,6 +116,18 @@ struct ConnQueue {
     available: Condvar,
 }
 
+/// Cached `/debug/tree` document. The health walk visits every node of
+/// every shard, so no matter how hot the admin port is polled the walk
+/// reruns at most once per [`HEALTH_TTL`].
+struct HealthCache {
+    at: Instant,
+    json: String,
+    status: String,
+    detail: Option<String>,
+}
+
+const HEALTH_TTL: Duration = Duration::from_secs(2);
+
 struct Inner {
     exec: Arc<ShardedExecutor>,
     batcher: Batcher,
@@ -115,6 +139,9 @@ struct Inner {
     admin_stop: AtomicBool,
     conns: ConnQueue,
     config: ServeConfig,
+    /// Metric-history ring fed by the background sampler, when enabled.
+    history: Option<Arc<MetricHistory>>,
+    health: Mutex<Option<HealthCache>>,
 }
 
 /// A running query server; drop-in lifetime is managed via [`Server::join`].
@@ -126,6 +153,7 @@ pub struct Server {
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     admin: Option<JoinHandle<()>>,
+    sampler: Option<Sampler>,
 }
 
 impl Server {
@@ -153,6 +181,10 @@ impl Server {
 
         let obs = ServeObs::register(&registry, "serve");
         let batcher = Batcher::start(Arc::clone(&exec), config.policy.clone(), Arc::clone(&obs));
+        let sampler = config
+            .sample_interval
+            .map(|iv| Sampler::start(Arc::clone(&registry), iv, config.history_capacity));
+        let history = sampler.as_ref().map(|s| s.history());
         let inner = Arc::new(Inner {
             exec,
             batcher,
@@ -164,6 +196,8 @@ impl Server {
                 available: Condvar::new(),
             },
             config,
+            history,
+            health: Mutex::new(None),
         });
 
         let accept = {
@@ -199,6 +233,7 @@ impl Server {
             accept: Some(accept),
             workers,
             admin: Some(admin).flatten(),
+            sampler,
         })
     }
 
@@ -238,6 +273,12 @@ impl Server {
         // Only after the last connection worker has returned can no new
         // submits race the batcher's drain.
         self.inner.batcher.drain();
+        // The sampler stops after the batcher flush so the ring's last
+        // samples cover the drain itself; `/metrics/history` keeps
+        // serving the frozen ring until the admin listener goes away.
+        if let Some(mut s) = self.sampler.take() {
+            s.stop();
+        }
         // The admin listener stays up through the drain (healthz reports
         // 503 `draining` the whole time) and stops only now.
         self.inner.admin_stop.store(true, Ordering::SeqCst);
@@ -485,6 +526,12 @@ fn handle_request(
     let remaining = deadline.saturating_duration_since(Instant::now());
     match ticket.rx.recv_timeout(remaining) {
         Ok(BatchReply::Done(r)) => {
+            // Fold the per-level visit/prune counts into the process-wide
+            // aggregates that `/debug/tree` correlates against the
+            // estimated false-drop probabilities.
+            if let Some(t) = r.trace.as_ref() {
+                sg_obs::record_trace_levels(t);
+            }
             *explain = r.trace.as_ref().map(|t| t.to_json_value());
             match r.output {
                 QueryOutput::Neighbors(neighbors) => Response::Neighbors {
@@ -649,25 +696,65 @@ fn serve_admin_conn(inner: &Inner, registry: &Registry, mut stream: TcpStream) {
     }
     let head = String::from_utf8_lossy(&buf);
     let mut parts = head.split_whitespace();
-    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (path, query) = target.split_once('?').unwrap_or((target, ""));
     let (status, content_type, body) = match (method, path) {
         ("GET", "/metrics") => (
             "200 OK",
             "text/plain; version=0.0.4",
             export::to_prometheus(&registry.snapshot()),
         ),
+        ("GET", "/metrics/history") => match &inner.history {
+            Some(h) => {
+                let window = query_param(query, "window").and_then(parse_window);
+                (
+                    "200 OK",
+                    "application/json",
+                    h.history_json(window).to_string_compact(),
+                )
+            }
+            None => (
+                "404 Not Found",
+                "text/plain",
+                "metric history disabled; start with sampling on (sg-serve --sample-ms <N>)\n"
+                    .into(),
+            ),
+        },
         ("GET", "/healthz") => {
             if inner.shutdown.load(Ordering::SeqCst) {
                 ("503 Service Unavailable", "text/plain", "draining\n".into())
             } else {
-                ("200 OK", "text/plain", "ok\n".into())
+                // Degraded stays 200 — the server is still answering
+                // queries — but the top finding rides along for humans
+                // and probes that look at the body.
+                let (_, health_status, detail) = health_doc(inner);
+                let body = match detail {
+                    Some(d) if health_status != "ok" && health_status != "info" => {
+                        format!("degraded ({health_status}): {d}\n")
+                    }
+                    _ => "ok\n".into(),
+                };
+                ("200 OK", "text/plain", body)
             }
         }
-        ("GET", "/debug/flight") => (
-            "200 OK",
-            "application/json",
-            span::flight_trace_json().to_string_compact(),
-        ),
+        ("GET", "/debug/tree") => ("200 OK", "application/json", health_doc(inner).0),
+        ("GET", "/debug/flight") => {
+            let limit = query_param(query, "limit").and_then(|v| v.parse::<usize>().ok());
+            match span::flight_trace_json_bounded(inner.config.flight_max_bytes, limit) {
+                Ok(body) => ("200 OK", "application/json", body),
+                Err(o) => (
+                    "413 Payload Too Large",
+                    "text/plain",
+                    format!(
+                        "flight dump of {} events exceeds the {}-byte cap; \
+                         retry with /debug/flight?limit={}\n",
+                        o.events_total,
+                        o.max_bytes,
+                        o.events_fit.max(1)
+                    ),
+                ),
+            }
+        }
         ("GET", "/debug/slow") => (
             "200 OK",
             "application/json",
@@ -681,4 +768,56 @@ fn serve_admin_conn(inner: &Inner, registry: &Registry, mut stream: TcpStream) {
         body.len()
     );
     let _ = stream.flush();
+}
+
+/// Value of `name` in an `a=1&b=2` query string.
+fn query_param<'a>(query: &'a str, name: &str) -> Option<&'a str> {
+    query.split('&').find_map(|kv| {
+        let (k, v) = kv.split_once('=')?;
+        (k == name).then_some(v)
+    })
+}
+
+/// `90s`, `1500ms`, or a bare number of seconds.
+fn parse_window(s: &str) -> Option<Duration> {
+    if let Some(ms) = s.strip_suffix("ms") {
+        return ms.parse::<u64>().ok().map(Duration::from_millis);
+    }
+    let s = s.strip_suffix('s').unwrap_or(s);
+    s.parse::<u64>().ok().map(Duration::from_secs)
+}
+
+/// The `/debug/tree` document plus the status/top-finding pair `/healthz`
+/// reports, recomputed at most once per [`HEALTH_TTL`].
+fn health_doc(inner: &Inner) -> (String, String, Option<String>) {
+    let mut cache = inner.health.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(c) = cache.as_ref() {
+        if c.at.elapsed() < HEALTH_TTL {
+            return (c.json.clone(), c.status.clone(), c.detail.clone());
+        }
+    }
+    let doc = inner.exec.health_json();
+    let status = doc
+        .get("status")
+        .and_then(Json::as_str)
+        .unwrap_or("ok")
+        .to_string();
+    // Findings are sorted most-severe-first, so the first message is the
+    // one worth surfacing.
+    let detail = doc
+        .get("summary")
+        .and_then(|s| s.get("findings"))
+        .and_then(Json::as_arr)
+        .and_then(|a| a.first())
+        .and_then(|f| f.get("message"))
+        .and_then(Json::as_str)
+        .map(str::to_string);
+    let json = doc.to_string_compact();
+    *cache = Some(HealthCache {
+        at: Instant::now(),
+        json: json.clone(),
+        status: status.clone(),
+        detail: detail.clone(),
+    });
+    (json, status, detail)
 }

@@ -1,0 +1,198 @@
+//! Admin-endpoint smoke tests over real sockets: the metric-history ring
+//! (`/metrics/history`), the tree-health document (`/debug/tree`), the
+//! degraded-but-200 `/healthz` detail, and the byte-bounded
+//! `/debug/flight` — all through the same one-request-per-connection
+//! HTTP path that `curl` and `sg-top` use.
+
+use sg_exec::{ExecConfig, Partitioner, ShardedExecutor};
+use sg_obs::json::Json;
+use sg_obs::Registry;
+use sg_serve::{Client, MetricName, Response, ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+const NBITS: u32 = 128;
+const SHARDS: usize = 2;
+
+fn items_for(tid: u64) -> Vec<u32> {
+    vec![
+        (tid % 16) as u32,
+        16 + (tid % 16) as u32,
+        32 + (tid % 48) as u32,
+        80 + (tid / 48) as u32,
+    ]
+}
+
+fn build_exec(rows: u64) -> Arc<ShardedExecutor> {
+    let data: Vec<_> = (0..rows)
+        .map(|tid| (tid, sg_sig::Signature::from_items(NBITS, &items_for(tid))))
+        .collect();
+    Arc::new(
+        ShardedExecutor::build(
+            NBITS,
+            &data,
+            &ExecConfig {
+                shards: SHARDS,
+                partitioner: Partitioner::RoundRobin,
+                ..ExecConfig::default()
+            },
+        )
+        .expect("build executor"),
+    )
+}
+
+/// One admin round trip: status line and body of `GET path`.
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect admin");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status = raw.lines().next().unwrap_or("").to_string();
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn history_tree_and_healthz_round_trip() {
+    let exec = build_exec(400);
+    let registry = Arc::new(Registry::new());
+    exec.register_obs(&registry, "exec");
+    let server = Server::start(
+        exec,
+        registry,
+        ServeConfig {
+            sample_interval: Some(Duration::from_millis(5)),
+            history_capacity: 32,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start server");
+    let admin = server.admin_addr().expect("admin bound");
+
+    // Traffic, so the counters in the ring actually move.
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for tid in 0..20u64 {
+        match client
+            .knn(&items_for(tid), 3, MetricName::Hamming, None)
+            .expect("knn")
+        {
+            Response::Neighbors { pairs, .. } => assert_eq!(pairs.len(), 3),
+            other => panic!("knn got {other:?}"),
+        }
+    }
+    std::thread::sleep(Duration::from_millis(40));
+
+    // /metrics/history: ≥2 samples, a JSON document per metric, and the
+    // serve.requests counter both present and monotone.
+    let (status, body) = http_get(admin, "/metrics/history");
+    assert!(status.contains("200"), "history status: {status}");
+    let doc = sg_obs::json::parse(&body).expect("history is JSON");
+    let samples = doc.get("samples").and_then(Json::as_u64).unwrap();
+    assert!(samples >= 2, "expected >=2 samples, got {samples}");
+    let requests = doc
+        .get("metrics")
+        .and_then(|m| m.get("serve.requests"))
+        .expect("serve.requests series");
+    assert_eq!(requests.get("type").and_then(Json::as_str), Some("counter"));
+    let values = requests.get("values").and_then(Json::as_arr).unwrap();
+    assert_eq!(values.len() as u64, samples);
+    let v: Vec<u64> = values.iter().map(|j| j.as_u64().unwrap()).collect();
+    assert!(v.windows(2).all(|w| w[0] <= w[1]), "counter not monotone");
+    assert_eq!(*v.last().unwrap(), 20, "all 20 requests in the last sample");
+    assert!(requests.get("delta").and_then(Json::as_u64).is_some());
+
+    // A window narrows the sample count but never empties it.
+    let (status, body) = http_get(admin, "/metrics/history?window=10ms");
+    assert!(status.contains("200"));
+    let windowed = sg_obs::json::parse(&body).unwrap();
+    let w = windowed.get("samples").and_then(Json::as_u64).unwrap();
+    assert!((1..=samples + 8).contains(&w), "windowed samples: {w}");
+
+    // /debug/tree: parses, covers every shard, and carries the summary.
+    let (status, body) = http_get(admin, "/debug/tree");
+    assert!(status.contains("200"), "tree status: {status}");
+    let tree = sg_obs::json::parse(&body).expect("/debug/tree is JSON");
+    assert!(tree.get("status").and_then(Json::as_str).is_some());
+    let shards = tree.get("shards").and_then(Json::as_arr).unwrap();
+    assert_eq!(shards.len(), SHARDS);
+    for s in shards {
+        let report = s.get("report").expect("per-shard report");
+        assert!(report.get("levels").and_then(Json::as_arr).is_some());
+    }
+    let summary = tree.get("summary").expect("merged summary");
+    assert_eq!(summary.get("len").and_then(Json::as_u64), Some(400));
+
+    // /healthz while serving: 200 whether or not findings fired; a
+    // degraded body still names the top finding.
+    let (status, body) = http_get(admin, "/healthz");
+    assert!(status.contains("200"), "healthz status: {status}");
+    assert!(
+        body.starts_with("ok") || body.starts_with("degraded ("),
+        "healthz body: {body}"
+    );
+
+    drop(client);
+    server.join();
+}
+
+#[test]
+fn history_is_404_with_hint_when_sampling_off() {
+    let exec = build_exec(50);
+    let server = Server::start(exec, Arc::new(Registry::new()), ServeConfig::default())
+        .expect("start server");
+    let admin = server.admin_addr().expect("admin bound");
+    let (status, body) = http_get(admin, "/metrics/history");
+    assert!(status.contains("404"), "status: {status}");
+    assert!(body.contains("--sample-ms"), "hint missing: {body}");
+    server.join();
+}
+
+#[test]
+fn flight_over_cap_is_413_and_limit_brings_it_back() {
+    let exec = build_exec(50);
+    let server = Server::start(
+        exec,
+        Arc::new(Registry::new()),
+        ServeConfig {
+            flight_max_bytes: 256,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start server");
+    let admin = server.admin_addr().expect("admin bound");
+
+    // Record enough spans that the dump cannot fit in 256 bytes.
+    sg_obs::span::set_enabled(true);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for tid in 0..10u64 {
+        let _ = client.knn(&items_for(tid), 1, MetricName::Hamming, None);
+    }
+    sg_obs::span::set_enabled(false);
+
+    let (status, body) = http_get(admin, "/debug/flight");
+    assert!(status.contains("413"), "status: {status}");
+    assert!(body.contains("?limit="), "hint missing: {body}");
+
+    // limit=0 trims the dump to an empty (but valid) trace that fits.
+    let (status, body) = http_get(admin, "/debug/flight?limit=0");
+    assert!(status.contains("200"), "status: {status}");
+    let doc = sg_obs::json::parse(&body).expect("bounded flight is JSON");
+    assert_eq!(
+        doc.get("traceEvents")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(0)
+    );
+
+    drop(client);
+    server.join();
+}
