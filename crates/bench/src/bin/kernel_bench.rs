@@ -1,0 +1,294 @@
+//! `kernel-bench` — directory-visit throughput, old AoS path vs the SoA
+//! kernel sweep, per kernel variant.
+//!
+//! A *visit* is the hot unit of SG-tree search: given a node of `F`
+//! entries, compute every entry's `mindist` lower bound and its area
+//! (popcount). The pre-PR code did this over the AoS [`Node`] — one
+//! heap-allocated `Signature` per entry, one `metric.mindist(q, sig)`
+//! and one `sig.count()` per entry, both dispatching word-at-a-time
+//! loops. The new path decodes the page into a [`SoaNode`] (one
+//! contiguous cache-aligned lane buffer, decode-time weight cache) and
+//! sweeps it with the bit-parallel kernels behind `SG_KERNEL`.
+//!
+//! Two measurements per configuration, both in interleaved A/B blocks
+//! (alternating sides through the run, so host drift lands on both —
+//! the methodology from EXPERIMENTS.md):
+//!
+//! * **resident** — nodes decoded once outside the clock; measures the
+//!   sweep itself. This is the kernel speedup, and the number the ≥5×
+//!   tentpole target refers to.
+//! * **end-to-end** — decode + sweep per visit, the way `read_soa`
+//!   actually serves a query from the buffer pool; bounded below by the
+//!   (kernel-independent) decode cost.
+//!
+//! Appends one trajectory entry to `BENCH_kernels.json`:
+//!
+//! ```text
+//! kernel-bench [--visits N] [--out PATH]
+//! ```
+
+use sg_bench::workloads::{pairs_of, SEED};
+use sg_obs::json::{self, Json};
+use sg_quest::basket::{BasketParams, PatternPool};
+use sg_sig::kernels::{self, KernelKind};
+use sg_sig::{Metric, Signature};
+use sg_tree::{Entry, Node, QueryProbe, SoaNode};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+const D: usize = 20_000;
+const FANOUT: usize = 64;
+const PAGE: usize = 16 * 1024;
+
+/// A labelled measurement side: one closure producing a sink value per op.
+type Side<'a> = (&'a str, Box<dyn FnMut() -> u64 + 'a>);
+
+/// Interleaved multi-way measurement: each round runs every side for
+/// `block` operations, so all sides sample the same stretch of host
+/// time. Returns mean ns/op per side.
+fn interleaved(sides: &mut [Side<'_>], total_ops: usize) -> Vec<u64> {
+    const ROUNDS: usize = 8;
+    let block = (total_ops / ROUNDS).max(1);
+    let mut sink = 0u64;
+    // Warmup: one block per side outside the clock.
+    for (_, f) in sides.iter_mut() {
+        for _ in 0..block.min(256) {
+            sink = sink.wrapping_add(f());
+        }
+    }
+    let mut totals = vec![Duration::ZERO; sides.len()];
+    let mut counts = vec![0u64; sides.len()];
+    for _ in 0..ROUNDS {
+        for (i, (_, f)) in sides.iter_mut().enumerate() {
+            let t0 = Instant::now();
+            for _ in 0..block {
+                sink = sink.wrapping_add(f());
+            }
+            totals[i] += t0.elapsed();
+            counts[i] += block as u64;
+        }
+    }
+    std::hint::black_box(sink);
+    totals
+        .iter()
+        .zip(&counts)
+        .map(|(t, c)| t.as_nanos() as u64 / c)
+        .collect()
+}
+
+/// Groups `data` into encoded node pages of up to [`FANOUT`] entries.
+fn build_pages(data: &[(u64, Signature)]) -> Vec<Vec<u8>> {
+    let mut pages = Vec::new();
+    let mut node = Node::new(0);
+    for (tid, sig) in data {
+        node.entries.push(Entry::new(sig.clone(), *tid));
+        if node.entries.len() == FANOUT || node.encoded_size(true) > PAGE / 2 {
+            pages.push(node.encode(PAGE, true));
+            node = Node::new(0);
+        }
+    }
+    if !node.entries.is_empty() {
+        pages.push(node.encode(PAGE, true));
+    }
+    pages
+}
+
+/// One AoS visit: the pre-PR per-entry loop (mindist + popcount each).
+fn visit_aos(node: &Node, q: &Signature, m: &Metric) -> u64 {
+    let mut acc = 0u64;
+    for e in &node.entries {
+        acc = acc
+            .wrapping_add(m.mindist(q, &e.sig).to_bits())
+            .wrapping_add(e.sig.count() as u64);
+    }
+    acc
+}
+
+/// One SoA visit: the strided kernel sweep with the decode-time weights.
+fn visit_soa(node: &SoaNode, probe: &QueryProbe, m: &Metric) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..node.len() {
+        acc = acc
+            .wrapping_add(node.mindist(i, probe, m).to_bits())
+            .wrapping_add(node.weight(i) as u64);
+    }
+    acc
+}
+
+fn main() {
+    let mut visits = 40_000usize;
+    let mut out = "BENCH_kernels.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--visits" => visits = val("--visits").parse().expect("--visits"),
+            "--out" => out = val("--out"),
+            other => panic!("unknown flag `{other}`"),
+        }
+    }
+
+    let pool = PatternPool::new(BasketParams::standard(10, 6), SEED);
+    let ds = pool.dataset(D, SEED);
+    let nbits = ds.n_items;
+    let data = pairs_of(&ds);
+    let queries: Vec<Signature> = pool
+        .queries(64, SEED)
+        .iter()
+        .map(|q| Signature::from_items(nbits, q))
+        .collect();
+    let m = Metric::hamming();
+
+    let pages = build_pages(&data);
+    let aos: Vec<Node> = pages.iter().map(|p| Node::decode(nbits, p)).collect();
+    let soa: Vec<SoaNode> = pages.iter().map(|p| SoaNode::decode(nbits, p)).collect();
+    let probes: Vec<QueryProbe> = queries.iter().map(QueryProbe::new).collect();
+    let entries_per_node = data.len() as f64 / pages.len() as f64;
+    println!(
+        "workload: {} sigs over {} bits, {} node pages (~{entries_per_node:.0} entries/node)",
+        data.len(),
+        pages.len(),
+        nbits
+    );
+
+    // ---- resident: sweep pre-decoded nodes; one op = one node visit.
+    // Each side keeps its own cursor so every side walks the same
+    // node/query rotation.
+    let (np, nq) = (pages.len(), queries.len());
+    let variants = kernels::variants().to_vec();
+    let mut resident_ns: Vec<(String, u64)> = Vec::new();
+    {
+        let mut c0 = 0usize;
+        let mut sides: Vec<Side<'_>> = Vec::new();
+        // Pre-PR side: AoS entries, Signature ops forced to the scalar
+        // word loop (the pre-kernel code they replaced).
+        {
+            let (aos, queries, m) = (&aos, &queries, &m);
+            sides.push((
+                "aos_scalar",
+                Box::new(move || {
+                    kernels::force(KernelKind::Scalar);
+                    c0 += 1;
+                    visit_aos(&aos[c0 % np], &queries[c0 % nq], m)
+                }),
+            ));
+        }
+        for kind in variants.iter().copied() {
+            let label = match kind {
+                KernelKind::Scalar => "soa_scalar",
+                KernelKind::Unrolled => "soa_unrolled",
+                KernelKind::Simd => "soa_simd",
+            };
+            let (soa, probes, m) = (&soa, &probes, &m);
+            let mut c = 0usize;
+            sides.push((
+                label,
+                Box::new(move || {
+                    kernels::force(kind);
+                    c += 1;
+                    visit_soa(&soa[c % np], &probes[c % nq], m)
+                }),
+            ));
+        }
+        let ns = interleaved(&mut sides, visits);
+        for ((label, _), ns) in sides.iter().zip(&ns) {
+            println!("resident {label}: {ns} ns/visit");
+        }
+        for ((label, _), ns) in sides.iter().zip(&ns) {
+            resident_ns.push((label.to_string(), *ns));
+        }
+    }
+
+    // ---- end-to-end: decode + sweep per visit, old path vs best kernel
+    // (plus decode-only sides, to separate layout cost from sweep cost).
+    let best = *variants.last().expect("at least scalar is compiled in");
+    let mut e2e_ns: Vec<(String, u64)> = Vec::new();
+    {
+        let (mut i0, mut i1, mut i2, mut i3) = (0usize, 0usize, 0usize, 0usize);
+        let mut sides: Vec<Side<'_>> = vec![
+            (
+                "aos_decode_visit",
+                Box::new(|| {
+                    kernels::force(KernelKind::Scalar);
+                    i0 += 1;
+                    let node = Node::decode(nbits, &pages[i0 % np]);
+                    visit_aos(&node, &queries[i0 % nq], &m)
+                }),
+            ),
+            (
+                "soa_decode_visit",
+                Box::new(|| {
+                    kernels::force(best);
+                    i1 += 1;
+                    let node = SoaNode::decode(nbits, &pages[i1 % np]);
+                    visit_soa(&node, &probes[i1 % nq], &m)
+                }),
+            ),
+            (
+                "aos_decode_only",
+                Box::new(|| {
+                    i2 += 1;
+                    let node = Node::decode(nbits, &pages[i2 % np]);
+                    node.entries.len() as u64
+                }),
+            ),
+            (
+                "soa_decode_only",
+                Box::new(|| {
+                    i3 += 1;
+                    let node = SoaNode::decode(nbits, &pages[i3 % np]);
+                    node.len() as u64
+                }),
+            ),
+        ];
+        let ns = interleaved(&mut sides, visits / 2);
+        for ((label, _), ns) in sides.iter().zip(&ns) {
+            println!("end-to-end {label} ({}): {ns} ns/visit", best.name());
+        }
+        for ((label, _), ns) in sides.iter().zip(&ns) {
+            e2e_ns.push((label.to_string(), *ns));
+        }
+    }
+
+    let aos_ns = resident_ns[0].1;
+    let best_soa_ns = resident_ns[1..].iter().map(|(_, n)| *n).min().unwrap_or(1);
+    let speedup = aos_ns as f64 / best_soa_ns.max(1) as f64;
+    let e2e_speedup = e2e_ns[0].1 as f64 / e2e_ns[1].1.max(1) as f64;
+    println!(
+        "resident visit speedup: {speedup:.2}x (aos {aos_ns} ns -> best soa {best_soa_ns} ns); \
+         end-to-end (decode included): {e2e_speedup:.2}x"
+    );
+
+    let mut entries = match std::fs::read_to_string(&out) {
+        Ok(text) => match json::parse(&text) {
+            Ok(Json::Arr(entries)) => entries,
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    let unix_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let mut obj: Vec<(String, Json)> = vec![
+        ("unix_ms".into(), Json::U64(unix_ms)),
+        ("d".into(), Json::U64(D as u64)),
+        ("nbits".into(), Json::U64(nbits as u64)),
+        ("fanout".into(), Json::U64(FANOUT as u64)),
+        ("entries_per_node".into(), Json::F64(entries_per_node)),
+        ("best_kernel".into(), Json::Str(best.name().into())),
+    ];
+    for (label, ns) in &resident_ns {
+        obj.push((format!("resident_{label}_ns"), Json::U64(*ns)));
+    }
+    for (label, ns) in &e2e_ns {
+        obj.push((format!("e2e_{label}_ns"), Json::U64(*ns)));
+    }
+    obj.push(("resident_speedup".into(), Json::F64(speedup)));
+    obj.push(("e2e_speedup".into(), Json::F64(e2e_speedup)));
+    entries.push(Json::Obj(obj));
+    std::fs::write(&out, Json::Arr(entries).to_string_pretty()).expect("write BENCH_kernels.json");
+    println!("kernel-bench: appended trajectory entry to {out}");
+}

@@ -6,7 +6,7 @@
 //!
 //! EXPERIMENT: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //!             fig14 fig15 fig16 fig17 ablate scaling serve spans ingest
-//!             health all (default: all)
+//!             health kernels all (default: all)
 //! --scale F   scales every dataset cardinality by F (default 1.0 = the
 //!             paper's sizes; use 0.1 for a quick pass)
 //! --queries N queries per experimental point (default 100, as the paper;
@@ -30,7 +30,9 @@ use sg_pager::MemStore;
 use sg_quest::basket::{BasketParams, PatternPool};
 use sg_quest::dataset_name;
 use sg_sig::{Metric, MetricKind, Signature};
-use sg_tree::{bulkload, ChooseSubtree, SgTree, SplitPolicy, TreeConfig};
+use sg_tree::{
+    bulkload, ChooseSubtree, Entry, Node, QueryProbe, SgTree, SoaNode, SplitPolicy, TreeConfig,
+};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -70,7 +72,8 @@ fn parse_args() -> Opts {
             "--help" | "-h" => {
                 println!("repro [EXPERIMENT ...] [--scale F] [--queries N] [--out DIR]");
                 println!(
-                    "experiments: table1 fig5..fig17 ablate scaling serve spans ingest health all"
+                    "experiments: table1 fig5..fig17 ablate scaling serve spans ingest health \
+                     kernels all"
                 );
                 std::process::exit(0);
             }
@@ -166,6 +169,9 @@ fn main() {
     }
     if want("health") {
         finish_section(registry, &mut last, health(&opts), &mut tables);
+    }
+    if want("kernels") {
+        finish_section(registry, &mut last, kernels_fig(&opts), &mut tables);
     }
 
     for (t, metrics) in &tables {
@@ -1480,6 +1486,103 @@ fn health(opts: &Opts) -> Vec<Table> {
                 r.status().to_string(),
                 r.findings.len().to_string(),
             ]);
+        }
+    }
+    vec![out]
+}
+
+/// `kernels` — visit-kernel throughput, swept over signature width ×
+/// density × kernel variant. Each point builds one node of synthetic
+/// entries at the given width and fill fraction, encodes it the way the
+/// tree stores it (per-entry sparse/raw choice, so the node lands in
+/// whichever SoA representation the density dictates), then times the
+/// directory-visit sweep — every entry's `mindist` plus its cached
+/// weight — under each compiled-in kernel. `x vs scalar` is the per-point
+/// speedup; the `repr` column shows where the layout flips from dense
+/// lanes to galloping position lists.
+fn kernels_fig(opts: &Opts) -> Vec<Table> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sg_sig::kernels;
+
+    const FANOUT: usize = 64;
+    let sweeps = scaled(2_000, opts.scale).max(50);
+    eprintln!("[kernels] width × density × variant sweep, {sweeps} visits/point…");
+
+    let mut out = Table::new(
+        "kernels",
+        "Visit kernels: ns per directory visit by signature width, density, and kernel",
+        &[
+            "nbits",
+            "density",
+            "repr",
+            "kernel",
+            "decode ns",
+            "ns/visit",
+            "ns/entry",
+            "x vs scalar",
+        ],
+    );
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x4B52_4E4C); // "KRNL"
+    for &nbits in &[128u32, 512, 2_048, 8_192] {
+        for &density in &[0.01f64, 0.05, 0.25] {
+            let fill = ((nbits as f64 * density) as usize).max(1);
+            let mut draw = |n: usize| {
+                let items: Vec<u32> = (0..n).map(|_| rng.gen_range(0..nbits)).collect();
+                Signature::from_items(nbits, &items)
+            };
+            let mut node = Node::new(1);
+            for i in 0..FANOUT {
+                node.entries.push(Entry::new(draw(fill), i as u64));
+            }
+            let page_size = node.encoded_size(true).next_power_of_two().max(PAGE_SIZE);
+            let page = node.encode(page_size, true);
+            let soa = SoaNode::decode(nbits, &page);
+            let repr = if soa.is_sparse() { "sparse" } else { "dense" };
+            // Decode cost is kernel-independent but dominates one-shot
+            // visits (the tree decodes each page it reads), and it is where
+            // the sparse representation pays off: no lane materialisation.
+            let t0 = Instant::now();
+            for _ in 0..sweeps {
+                std::hint::black_box(SoaNode::decode(nbits, &page));
+            }
+            let decode_ns = t0.elapsed().as_nanos() as u64 / sweeps as u64;
+            let probe = QueryProbe::new(&draw(fill));
+            let metric = Metric::hamming();
+            let mut scalar_ns = 0u64;
+            for &kind in kernels::variants() {
+                kernels::force(kind);
+                // Warmup, then time `sweeps` full-node visits.
+                let mut acc = 0u64;
+                for _ in 0..sweeps / 10 + 1 {
+                    for i in 0..soa.len() {
+                        acc = acc.wrapping_add(soa.mindist(i, &probe, &metric).to_bits());
+                    }
+                }
+                let t0 = Instant::now();
+                for _ in 0..sweeps {
+                    for i in 0..soa.len() {
+                        acc = acc
+                            .wrapping_add(soa.mindist(i, &probe, &metric).to_bits())
+                            .wrapping_add(soa.weight(i) as u64);
+                    }
+                }
+                let ns = t0.elapsed().as_nanos() as u64 / sweeps as u64;
+                std::hint::black_box(acc);
+                if kind == kernels::KernelKind::Scalar {
+                    scalar_ns = ns;
+                }
+                out.row(vec![
+                    nbits.to_string(),
+                    f(density),
+                    repr.to_string(),
+                    kind.name().to_string(),
+                    decode_ns.to_string(),
+                    ns.to_string(),
+                    (ns / FANOUT as u64).to_string(),
+                    f(scalar_ns as f64 / ns.max(1) as f64),
+                ]);
+            }
         }
     }
     vec![out]

@@ -58,7 +58,7 @@ pub mod treestats;
 pub use api::{CancelFlag, QueryOptions, QueryOutput, QueryRequest, QueryResponse, SetIndex};
 pub use config::{ChooseSubtree, SplitPolicy, TreeConfig};
 pub use health::{Finding, HealthReport, LevelHealth, Severity};
-pub use node::{Entry, Node};
+pub use node::{Entry, LaneBuf, Node, QueryProbe, SoaNode};
 pub use query::{JoinPair, Neighbor, NnIter, SharedBound};
 pub use scan::ScanIndex;
 pub use sg_obs::{IndexObs, QueryTrace, Registry};

@@ -13,7 +13,7 @@
 //! universe size is not repeated per node — it lives in the tree's meta
 //! page.
 
-use sg_sig::{codec, Signature};
+use sg_sig::{codec, kernels, Metric, Signature};
 
 /// Bytes of the fixed node header (`level` + `count`).
 pub const NODE_HEADER: usize = 4;
@@ -148,6 +148,398 @@ impl Node {
     }
 }
 
+// ---------------------------------------------------------------------------
+// SoA node image: the query-side view of a page.
+// ---------------------------------------------------------------------------
+
+/// A 64-byte-aligned, contiguous `u64` buffer. Built safely by
+/// over-allocating a `Vec<u64>` and offsetting to the first cache-line
+/// boundary; the buffer is never grown after construction, so the
+/// alignment holds for its lifetime.
+#[derive(Debug)]
+pub struct LaneBuf {
+    buf: Vec<u64>,
+    offset: usize,
+    len: usize,
+}
+
+impl LaneBuf {
+    /// A zeroed buffer of `len` words whose first word sits on a 64-byte
+    /// boundary.
+    pub fn new(len: usize) -> Self {
+        let buf = vec![0u64; len + 7];
+        // A Vec<u64> is 8-byte aligned, so the distance to the next
+        // 64-byte boundary is a whole number of words, at most 7.
+        let offset = (64 - (buf.as_ptr() as usize) % 64) % 64 / 8;
+        LaneBuf { buf, offset, len }
+    }
+
+    /// The aligned words.
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.buf[self.offset..self.offset + self.len]
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [u64] {
+        &mut self.buf[self.offset..self.offset + self.len]
+    }
+}
+
+/// A query prepared for kernel sweeps: its bitmap words padded to the
+/// node stride, its sorted item list (for galloping against sparse
+/// entries), and its cached weight. Built once per query, reused across
+/// every node visit.
+#[derive(Debug)]
+pub struct QueryProbe {
+    nbits: u32,
+    /// Query bitmap, zero-padded to [`SoaNode::stride_for`] words.
+    words: Vec<u64>,
+    /// Set item ids, ascending.
+    pub items: Vec<u32>,
+    /// `|q|`, computed once.
+    pub weight: u32,
+}
+
+impl QueryProbe {
+    /// Prepares `q` for sweeps against nodes of the same universe.
+    pub fn new(q: &Signature) -> Self {
+        let stride = SoaNode::stride_for(q.nbits());
+        let mut words = vec![0u64; stride];
+        words[..q.words().len()].copy_from_slice(q.words());
+        QueryProbe {
+            nbits: q.nbits(),
+            words,
+            items: q.items(),
+            weight: q.count(),
+        }
+    }
+
+    /// The query as a fresh [`Signature`].
+    pub fn to_signature(&self) -> Signature {
+        Signature::from_items(self.nbits, &self.items)
+    }
+}
+
+/// Entry signatures in one of two sweepable forms.
+#[derive(Debug)]
+enum SoaRepr {
+    /// All entry bitmaps concatenated in one aligned buffer,
+    /// `stride` words per entry: a directory visit is a strided kernel
+    /// sweep with no per-entry pointer chasing.
+    Dense { lanes: LaneBuf },
+    /// Every entry kept as its sorted position list (§3.2's compressed
+    /// form, never expanded): `positions[offsets[i]..offsets[i+1]]` are
+    /// entry `i`'s items, probed by galloping intersection.
+    Sparse {
+        positions: Vec<u32>,
+        offsets: Vec<u32>,
+    },
+}
+
+/// The node layout queries actually visit: one page decoded
+/// structure-of-arrays style. Pointers, cached signature weights, and
+/// signature payloads live in separate contiguous arrays, so the hot
+/// mindist/containment sweep touches memory linearly and never recomputes
+/// a popcount.
+///
+/// The maintenance paths (insert, split, delete) keep using [`Node`] —
+/// they mutate entries; this type is read-only by design.
+#[derive(Debug)]
+pub struct SoaNode {
+    /// 0 for leaves; parents are one above their children.
+    pub level: u16,
+    len: usize,
+    nbits: u32,
+    stride: usize,
+    ptrs: Vec<u64>,
+    /// Per-entry popcounts, captured at decode time (lists carry the
+    /// count in their flag byte for free).
+    weights: Vec<u32>,
+    repr: SoaRepr,
+}
+
+impl SoaNode {
+    /// Words per entry lane for a universe of `nbits` items: the bitmap
+    /// word count rounded up to a multiple of four, so unrolled and SIMD
+    /// kernels sweep whole lanes without a remainder loop and every lane
+    /// starts 32-byte aligned within the (64-byte-aligned) buffer.
+    #[inline]
+    pub fn stride_for(nbits: u32) -> usize {
+        Signature::words_for(nbits).next_multiple_of(4)
+    }
+
+    /// Minimum lane stride (in words) for the sparse representation to be
+    /// considered at all. Below this width a dense kernel sweep is a
+    /// handful of word ops per entry — cheaper than any galloping
+    /// intersection — so narrow universes always materialize lanes.
+    /// 32 words = 2048 bits.
+    pub const SPARSE_MIN_STRIDE: usize = 32;
+
+    /// The per-node sparse/dense decision threshold: a node stays in
+    /// position-list form only when the universe is wide (see
+    /// [`Self::SPARSE_MIN_STRIDE`]) and *every* entry is list-encoded
+    /// with at most this many positions. Defaults to `nbits / 64` (at
+    /// least 4) — one position per lane word, the measured break-even
+    /// where a galloping probe plus the skipped lane materialisation
+    /// costs about as much as the dense decode-and-sweep (see the
+    /// `repro kernels` figure). The `SG_DENSITY` environment variable
+    /// overrides the fraction (e.g. `SG_DENSITY=0.03125`), read once per
+    /// process.
+    pub fn sparse_limit(nbits: u32) -> u32 {
+        use std::sync::OnceLock;
+        static FRACTION: OnceLock<f64> = OnceLock::new();
+        let f = *FRACTION.get_or_init(|| {
+            std::env::var("SG_DENSITY")
+                .ok()
+                .and_then(|v| v.parse::<f64>().ok())
+                .filter(|f| (0.0..=1.0).contains(f))
+                .unwrap_or(1.0 / 64.0)
+        });
+        ((nbits as f64 * f) as u32).max(4)
+    }
+
+    /// Decodes a page image into the SoA layout. Same panics as
+    /// [`Node::decode`]: pages come from [`Node::encode`], so corruption
+    /// is a program error.
+    pub fn decode(nbits: u32, page: &[u8]) -> SoaNode {
+        let level = u16::from_le_bytes([page[0], page[1]]);
+        let count = u16::from_le_bytes([page[2], page[3]]) as usize;
+        let stride = Self::stride_for(nbits);
+        let mut ptrs = Vec::with_capacity(count);
+        let mut weights = Vec::with_capacity(count);
+        let mut views = Vec::with_capacity(count);
+        let mut off = NODE_HEADER;
+        for _ in 0..count {
+            let ptr = u64::from_le_bytes(page[off..off + 8].try_into().expect("page truncated"));
+            off += 8;
+            let (view, used) =
+                codec::EncodedView::parse(nbits, &page[off..]).expect("corrupt node page");
+            off += used;
+            ptrs.push(ptr);
+            weights.push(view.count());
+            views.push(view);
+        }
+        let limit = Self::sparse_limit(nbits);
+        let all_sparse = stride >= Self::SPARSE_MIN_STRIDE
+            && views.iter().all(|v| v.is_list())
+            && weights.iter().all(|&w| w <= limit);
+        let repr = if all_sparse {
+            let total: usize = weights.iter().map(|&w| w as usize).sum();
+            let mut positions = Vec::with_capacity(total);
+            let mut offsets = Vec::with_capacity(count + 1);
+            offsets.push(0);
+            for v in &views {
+                v.positions_into(&mut positions);
+                offsets.push(positions.len() as u32);
+            }
+            SoaRepr::Sparse { positions, offsets }
+        } else {
+            let mut lanes = LaneBuf::new(count * stride);
+            let dst = lanes.as_mut_slice();
+            for (i, v) in views.iter().enumerate() {
+                v.write_words_into(&mut dst[i * stride..i * stride + stride]);
+            }
+            SoaRepr::Dense { lanes }
+        };
+        SoaNode {
+            level,
+            len: count,
+            nbits,
+            stride,
+            ptrs,
+            weights,
+            repr,
+        }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the node has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` for leaf nodes.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// `true` when entries are kept as position lists.
+    #[inline]
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.repr, SoaRepr::Sparse { .. })
+    }
+
+    /// The universe size.
+    #[inline]
+    pub fn nbits(&self) -> u32 {
+        self.nbits
+    }
+
+    /// Entry `i`'s child page id (directory) or transaction id (leaf).
+    #[inline]
+    pub fn ptr(&self, i: usize) -> u64 {
+        self.ptrs[i]
+    }
+
+    /// Entry `i`'s signature weight (popcount), cached at decode time.
+    #[inline]
+    pub fn weight(&self, i: usize) -> u32 {
+        self.weights[i]
+    }
+
+    #[inline]
+    fn lane(lanes: &LaneBuf, stride: usize, i: usize) -> &[u64] {
+        &lanes.as_slice()[i * stride..i * stride + stride]
+    }
+
+    #[inline]
+    fn list<'a>(positions: &'a [u32], offsets: &[u32], i: usize) -> &'a [u32] {
+        &positions[offsets[i] as usize..offsets[i + 1] as usize]
+    }
+
+    /// `|entry_i ∩ q|`.
+    #[inline]
+    pub fn and_count(&self, i: usize, probe: &QueryProbe) -> u32 {
+        debug_assert_eq!(self.nbits, probe.nbits);
+        match &self.repr {
+            SoaRepr::Dense { lanes } => {
+                kernels::active().and_count(Self::lane(lanes, self.stride, i), &probe.words)
+            }
+            SoaRepr::Sparse { positions, offsets } => {
+                gallop_intersect_count(Self::list(positions, offsets, i), &probe.items)
+            }
+        }
+    }
+
+    /// The metric lower bound for entry `i` against the probe —
+    /// `metric.mindist` with both cardinalities precomputed.
+    #[inline]
+    pub fn mindist(&self, i: usize, probe: &QueryProbe, metric: &Metric) -> f64 {
+        metric.mindist_from_counts(probe.weight, self.and_count(i, probe))
+    }
+
+    /// The exact metric distance between leaf entry `i` and the probe.
+    #[inline]
+    pub fn dist(&self, i: usize, probe: &QueryProbe, metric: &Metric) -> f64 {
+        metric.dist_from_counts(probe.weight, self.weight(i), self.and_count(i, probe))
+    }
+
+    /// `true` iff entry `i`'s signature covers the query (`e ⊇ q`): the
+    /// descent test for subset (containment) queries.
+    #[inline]
+    pub fn contains_query(&self, i: usize, probe: &QueryProbe) -> bool {
+        debug_assert_eq!(self.nbits, probe.nbits);
+        match &self.repr {
+            SoaRepr::Dense { lanes } => {
+                kernels::active().contains(Self::lane(lanes, self.stride, i), &probe.words)
+            }
+            SoaRepr::Sparse { positions, offsets } => {
+                contains_sorted(Self::list(positions, offsets, i), &probe.items)
+            }
+        }
+    }
+
+    /// `true` iff the query covers entry `i`'s signature (`q ⊇ e`): the
+    /// superset-query test.
+    #[inline]
+    pub fn covered_by_query(&self, i: usize, probe: &QueryProbe) -> bool {
+        debug_assert_eq!(self.nbits, probe.nbits);
+        match &self.repr {
+            SoaRepr::Dense { lanes } => {
+                kernels::active().contains(&probe.words, Self::lane(lanes, self.stride, i))
+            }
+            SoaRepr::Sparse { positions, offsets } => {
+                let list = Self::list(positions, offsets, i);
+                let qw = &probe.words;
+                list.iter()
+                    .all(|&p| qw[p as usize / 64] >> (p as usize % 64) & 1 == 1)
+            }
+        }
+    }
+
+    /// `true` iff entry `i`'s signature equals the query exactly.
+    #[inline]
+    pub fn equals_query(&self, i: usize, probe: &QueryProbe) -> bool {
+        self.weights[i] == probe.weight && self.covered_by_query(i, probe)
+    }
+
+    /// Materialises entry `i`'s signature (off the hot path: result
+    /// assembly and tests).
+    pub fn sig(&self, i: usize) -> Signature {
+        match &self.repr {
+            SoaRepr::Dense { lanes } => {
+                let lane = Self::lane(lanes, self.stride, i);
+                let words = lane[..Signature::words_for(self.nbits)]
+                    .to_vec()
+                    .into_boxed_slice();
+                Signature::from_words(self.nbits, words)
+            }
+            SoaRepr::Sparse { positions, offsets } => {
+                Signature::from_items(self.nbits, Self::list(positions, offsets, i))
+            }
+        }
+    }
+}
+
+/// `|a ∩ b|` for two sorted, deduplicated slices, galloping through the
+/// longer list: for each item of the shorter list, a doubling probe plus
+/// binary search brackets its position in the longer one, so runs are
+/// skipped in `O(log run)` rather than `O(run)`.
+fn gallop_intersect_count(a: &[u32], b: &[u32]) -> u32 {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut lo = 0usize;
+    let mut hits = 0u32;
+    for &item in short {
+        lo = gallop_ge(long, lo, item);
+        if lo >= long.len() {
+            break;
+        }
+        if long[lo] == item {
+            hits += 1;
+            lo += 1;
+        }
+    }
+    hits
+}
+
+/// `true` iff every item of `sub` occurs in the sorted slice `sup`.
+fn contains_sorted(sup: &[u32], sub: &[u32]) -> bool {
+    if sub.len() > sup.len() {
+        return false;
+    }
+    let mut lo = 0usize;
+    for &item in sub {
+        lo = gallop_ge(sup, lo, item);
+        if lo >= sup.len() || sup[lo] != item {
+            return false;
+        }
+        lo += 1;
+    }
+    true
+}
+
+/// First index `>= lo` with `xs[index] >= target` (galloping search).
+fn gallop_ge(xs: &[u32], lo: usize, target: u32) -> usize {
+    if lo >= xs.len() || xs[lo] >= target {
+        return lo;
+    }
+    let mut step = 1usize;
+    while lo + step < xs.len() && xs[lo + step] < target {
+        step <<= 1;
+    }
+    let left = lo + step / 2 + 1;
+    let right = (lo + step).min(xs.len());
+    xs[left..right].partition_point(|&x| x < target) + left
+}
+
 /// Encodes a signature as an (uncompressed) raw bitmap with the codec's
 /// flag byte, so [`codec::decode`] reads it back transparently.
 fn encode_raw(sig: &Signature, out: &mut Vec<u8>) {
@@ -238,6 +630,191 @@ mod tests {
             ));
         }
         n.encode(512, true);
+    }
+
+    /// Sweeps every per-entry SoA predicate against the AoS `Node` decode
+    /// of the same page, for a set of probes.
+    fn assert_soa_matches_node(nbits: u32, page: &[u8], probes: &[Signature]) {
+        let node = Node::decode(nbits, page);
+        let soa = SoaNode::decode(nbits, page);
+        assert_eq!(soa.level, node.level);
+        assert_eq!(soa.len(), node.entries.len());
+        let metric = Metric::hamming();
+        for (i, e) in node.entries.iter().enumerate() {
+            assert_eq!(soa.ptr(i), e.ptr);
+            assert_eq!(soa.weight(i), e.sig.count(), "cached weight, entry {i}");
+            assert_eq!(soa.sig(i), e.sig, "materialised signature, entry {i}");
+            for q in probes {
+                let probe = QueryProbe::new(q);
+                assert_eq!(soa.and_count(i, &probe), q.and_count(&e.sig));
+                assert_eq!(soa.contains_query(i, &probe), e.sig.contains(q));
+                assert_eq!(soa.covered_by_query(i, &probe), q.contains(&e.sig));
+                assert_eq!(soa.equals_query(i, &probe), e.sig == *q);
+                assert_eq!(
+                    soa.mindist(i, &probe, &metric).to_bits(),
+                    metric.mindist(q, &e.sig).to_bits()
+                );
+                assert_eq!(
+                    soa.dist(i, &probe, &metric).to_bits(),
+                    metric.dist(q, &e.sig).to_bits()
+                );
+            }
+        }
+    }
+
+    fn probes(nbits: u32) -> Vec<Signature> {
+        vec![
+            Signature::empty(nbits),
+            Signature::from_iter(nbits, 0..nbits),
+            Signature::from_items(nbits, &[1, 2, 3]),
+            Signature::from_items(nbits, &[2, 100, nbits - 1]),
+            Signature::from_iter(nbits, (0..nbits).filter(|i| i % 3 == 0)),
+        ]
+    }
+
+    #[test]
+    fn soa_matches_node_on_mixed_density_page() {
+        let n = sample_node(1);
+        for compression in [true, false] {
+            let page = n.encode(4096, compression);
+            let soa = SoaNode::decode(300, &page);
+            // The dense entry forces the dense representation.
+            assert!(!soa.is_sparse(), "compression={compression}");
+            assert_soa_matches_node(300, &page, &probes(300));
+        }
+    }
+
+    #[test]
+    fn soa_sparse_page_stays_compressed() {
+        // Wide universe: stride = 66 words ≥ SPARSE_MIN_STRIDE, so short
+        // position lists stay in compressed form.
+        let nbits = 4200;
+        let mut n = Node::new(0);
+        for (i, items) in [&[1u32, 2, 3][..], &[7, 640, 1280, 4111], &[], &[4199]]
+            .iter()
+            .enumerate()
+        {
+            n.entries
+                .push(Entry::new(Signature::from_items(nbits, items), i as u64));
+        }
+        let page = n.encode(8192, true);
+        let soa = SoaNode::decode(nbits, &page);
+        // All entries are short position lists: limit = 4200/64 = 65.
+        assert!(soa.is_sparse());
+        assert_soa_matches_node(nbits, &page, &probes(nbits));
+    }
+
+    #[test]
+    fn soa_narrow_universe_never_sparse() {
+        // Below SPARSE_MIN_STRIDE words a dense sweep is cheaper than
+        // galloping, so list-encoded entries still materialize lanes.
+        let nbits = 525; // 9 words -> stride 12 < 32
+        let mut n = Node::new(0);
+        n.entries
+            .push(Entry::new(Signature::from_items(nbits, &[1, 2, 3]), 0));
+        let page = n.encode(4096, true);
+        assert!(!SoaNode::decode(nbits, &page).is_sparse());
+        assert_soa_matches_node(nbits, &page, &probes(nbits));
+    }
+
+    #[test]
+    fn soa_uncompressed_page_never_sparse() {
+        // Without compression every entry is raw-encoded, so the sparse
+        // representation must not be chosen even for tiny signatures.
+        let nbits = 525;
+        let mut n = Node::new(0);
+        n.entries
+            .push(Entry::new(Signature::from_items(nbits, &[1]), 0));
+        let page = n.encode(4096, false);
+        assert!(!SoaNode::decode(nbits, &page).is_sparse());
+        assert_soa_matches_node(nbits, &page, &probes(nbits));
+    }
+
+    #[test]
+    fn soa_empty_node() {
+        let n = Node::new(2);
+        let page = n.encode(256, true);
+        let soa = SoaNode::decode(300, &page);
+        assert_eq!(soa.level, 2);
+        assert!(soa.is_empty());
+        assert!(!soa.is_leaf());
+    }
+
+    /// Regression for the `sig.count()`-in-the-hot-loop fix: the visit
+    /// order built from decode-time cached weights must be exactly the
+    /// order the old code computed by re-popcounting every entry, so
+    /// query results (which depend on the `(mindist, area)` tie-break)
+    /// are unchanged.
+    #[test]
+    fn cached_weights_reproduce_recounted_visit_order() {
+        let nbits = 300;
+        let mut n = Node::new(1);
+        // Entries engineered to collide on mindist but differ in weight,
+        // so the ordering actually exercises the cached area tie-break.
+        for (i, width) in [40u32, 10, 200, 10, 80, 1, 40].iter().enumerate() {
+            let items: Vec<u32> = (0..*width).map(|j| (j * 7 + i as u32) % nbits).collect();
+            n.entries
+                .push(Entry::new(Signature::from_items(nbits, &items), i as u64));
+        }
+        let page = n.encode(4096, true);
+        let soa = SoaNode::decode(nbits, &page);
+        let metric = Metric::hamming();
+        for q in probes(nbits) {
+            let probe = QueryProbe::new(&q);
+            let mut cached: Vec<(f64, u32, u64)> = (0..soa.len())
+                .map(|i| (soa.mindist(i, &probe, &metric), soa.weight(i), soa.ptr(i)))
+                .collect();
+            let mut recounted: Vec<(f64, u32, u64)> = n
+                .entries
+                .iter()
+                .map(|e| (metric.mindist(&q, &e.sig), e.sig.count(), e.ptr))
+                .collect();
+            let key = |t: &(f64, u32, u64)| (t.0.to_bits(), t.1, t.2);
+            cached.sort_by_key(key);
+            recounted.sort_by_key(key);
+            assert_eq!(cached, recounted);
+        }
+    }
+
+    #[test]
+    fn lane_buf_is_cache_aligned() {
+        for len in [0usize, 1, 4, 12, 100] {
+            let buf = LaneBuf::new(len);
+            let s = buf.as_slice();
+            assert_eq!(s.len(), len);
+            if len > 0 {
+                assert_eq!(s.as_ptr() as usize % 64, 0, "len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn stride_is_word_multiple_of_four() {
+        assert_eq!(SoaNode::stride_for(63), 4);
+        assert_eq!(SoaNode::stride_for(256), 4);
+        assert_eq!(SoaNode::stride_for(257), 8);
+        assert_eq!(SoaNode::stride_for(525), 12);
+        assert_eq!(SoaNode::stride_for(1000), 16);
+    }
+
+    #[test]
+    fn gallop_helpers_match_naive() {
+        let sup: Vec<u32> = (0..100).chain(500..600).chain([1000, 1002]).collect();
+        let subs: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![0],
+            vec![99, 100],
+            vec![50, 550, 1002],
+            (0..2000).filter(|x| x % 7 == 0).collect(),
+            sup.clone(),
+        ];
+        for sub in &subs {
+            let naive: u32 = sub.iter().filter(|x| sup.binary_search(x).is_ok()).count() as u32;
+            assert_eq!(gallop_intersect_count(sub, &sup), naive, "{sub:?}");
+            assert_eq!(gallop_intersect_count(&sup, sub), naive, "{sub:?} rev");
+            let naive_contained = sub.iter().all(|x| sup.binary_search(x).is_ok());
+            assert_eq!(contains_sorted(&sup, sub), naive_contained, "{sub:?}");
+        }
     }
 
     #[test]

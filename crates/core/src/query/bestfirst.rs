@@ -6,6 +6,7 @@
 //! tie-break, equals) the k-th neighbor's distance.
 
 use super::{Neighbor, OrdF64, SearchCtx};
+use crate::node::QueryProbe;
 use crate::tree::SgTree;
 use sg_pager::PageId;
 use sg_sig::{Metric, Signature};
@@ -65,6 +66,7 @@ pub(crate) fn knn(
     if k == 0 || tree.is_empty() {
         return Vec::new();
     }
+    let probe = QueryProbe::new(q);
     let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::new();
     queue.push(QueueEntry {
         key: OrdF64(0.0),
@@ -84,21 +86,21 @@ pub(crate) fn knn(
             }
             Item::Node(page, level) => {
                 ctx.visit(level);
-                let node = tree.read_node(page);
+                let node = tree.read_soa(page);
                 if node.is_leaf() {
-                    for e in &node.entries {
+                    for i in 0..node.len() {
                         ctx.exact(node.level);
                         queue.push(QueueEntry {
-                            key: OrdF64(metric.dist(q, &e.sig)),
-                            item: Item::Data(e.ptr),
+                            key: OrdF64(node.dist(i, &probe, metric)),
+                            item: Item::Data(node.ptr(i)),
                         });
                     }
                 } else {
-                    for e in &node.entries {
+                    for i in 0..node.len() {
                         ctx.lower_bound(node.level);
                         queue.push(QueueEntry {
-                            key: OrdF64(metric.mindist(q, &e.sig)),
-                            item: Item::Node(e.ptr, node.level - 1),
+                            key: OrdF64(node.mindist(i, &probe, metric)),
+                            item: Item::Node(node.ptr(i), node.level - 1),
                         });
                     }
                 }

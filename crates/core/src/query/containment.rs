@@ -4,8 +4,13 @@
 //! containing items 2 and 6"): transform the itemset into a signature and
 //! descend only entries whose signature covers it — if an entry's signature
 //! lacks a query bit, no transaction below can contain the itemset.
+//!
+//! Visits run on the [`SoaNode`](crate::node::SoaNode) layout: the prepared [`QueryProbe`] is
+//! tested against each node with one kernel sweep (dense nodes) or a
+//! galloping list check (compressed nodes).
 
 use super::SearchCtx;
+use crate::node::QueryProbe;
 use crate::tree::SgTree;
 use crate::Tid;
 use sg_pager::PageId;
@@ -13,35 +18,36 @@ use sg_sig::Signature;
 
 /// All `tid` with `t ⊇ q`.
 pub(crate) fn containing(tree: &SgTree, q: &Signature, ctx: &mut SearchCtx) -> Vec<Tid> {
+    let probe = QueryProbe::new(q);
     let mut out = Vec::new();
     fn recurse(
         tree: &SgTree,
         page: PageId,
-        q: &Signature,
+        probe: &QueryProbe,
         out: &mut Vec<Tid>,
         ctx: &mut SearchCtx,
     ) {
-        let node = tree.read_node(page);
+        let node = tree.read_soa(page);
         ctx.visit(node.level);
         if node.is_leaf() {
-            for e in &node.entries {
+            for i in 0..node.len() {
                 ctx.checked(node.level);
-                if e.sig.contains(q) {
-                    out.push(e.ptr);
+                if node.contains_query(i, probe) {
+                    out.push(node.ptr(i));
                 }
             }
             return;
         }
-        for e in &node.entries {
+        for i in 0..node.len() {
             ctx.lower_bound(node.level);
-            if e.sig.contains(q) {
-                recurse(tree, e.ptr, q, out, ctx);
+            if node.contains_query(i, probe) {
+                recurse(tree, node.ptr(i), probe, out, ctx);
             } else {
                 ctx.pruned(node.level, 1);
             }
         }
     }
-    recurse(tree, tree.root_page(), q, &mut out, ctx);
+    recurse(tree, tree.root_page(), &probe, &mut out, ctx);
     out.sort_unstable();
     out
 }
@@ -51,83 +57,85 @@ pub(crate) fn containing(tree: &SgTree, q: &Signature, ctx: &mut SearchCtx) -> V
 /// comparison when the entry signature is itself covered by `q` (then
 /// *every* transaction below qualifies).
 pub(crate) fn contained_in(tree: &SgTree, q: &Signature, ctx: &mut SearchCtx) -> Vec<Tid> {
+    let probe = QueryProbe::new(q);
     let mut out = Vec::new();
     fn collect_all(tree: &SgTree, page: PageId, out: &mut Vec<Tid>, ctx: &mut SearchCtx) {
-        let node = tree.read_node(page);
+        let node = tree.read_soa(page);
         ctx.visit(node.level);
         if node.is_leaf() {
-            out.extend(node.entries.iter().map(|e| e.ptr));
+            out.extend((0..node.len()).map(|i| node.ptr(i)));
             return;
         }
-        for e in &node.entries {
-            collect_all(tree, e.ptr, out, ctx);
+        for i in 0..node.len() {
+            collect_all(tree, node.ptr(i), out, ctx);
         }
     }
     fn recurse(
         tree: &SgTree,
         page: PageId,
-        q: &Signature,
+        probe: &QueryProbe,
         out: &mut Vec<Tid>,
         ctx: &mut SearchCtx,
     ) {
-        let node = tree.read_node(page);
+        let node = tree.read_soa(page);
         ctx.visit(node.level);
         if node.is_leaf() {
-            for e in &node.entries {
+            for i in 0..node.len() {
                 ctx.checked(node.level);
-                if q.contains(&e.sig) {
-                    out.push(e.ptr);
+                if node.covered_by_query(i, probe) {
+                    out.push(node.ptr(i));
                 }
             }
             return;
         }
-        for e in &node.entries {
+        for i in 0..node.len() {
             ctx.lower_bound(node.level);
-            if q.contains(&e.sig) {
+            if node.covered_by_query(i, probe) {
                 // The whole subtree is covered: every transaction below is
                 // a subset of q.
-                collect_all(tree, e.ptr, out, ctx);
+                collect_all(tree, node.ptr(i), out, ctx);
             } else {
-                recurse(tree, e.ptr, q, out, ctx);
+                recurse(tree, node.ptr(i), probe, out, ctx);
             }
         }
     }
-    recurse(tree, tree.root_page(), q, &mut out, ctx);
+    recurse(tree, tree.root_page(), &probe, &mut out, ctx);
     out.sort_unstable();
     out
 }
 
 /// All `tid` with `t = q` exactly.
 pub(crate) fn exact(tree: &SgTree, q: &Signature, ctx: &mut SearchCtx) -> Vec<Tid> {
+    let probe = QueryProbe::new(q);
     let mut out = Vec::new();
     fn recurse(
         tree: &SgTree,
         page: PageId,
-        q: &Signature,
+        probe: &QueryProbe,
         out: &mut Vec<Tid>,
         ctx: &mut SearchCtx,
     ) {
-        let node = tree.read_node(page);
+        let node = tree.read_soa(page);
         ctx.visit(node.level);
         if node.is_leaf() {
-            for e in &node.entries {
+            for i in 0..node.len() {
                 ctx.checked(node.level);
-                if e.sig == *q {
-                    out.push(e.ptr);
+                if node.equals_query(i, probe) {
+                    out.push(node.ptr(i));
                 }
             }
             return;
         }
-        for e in &node.entries {
+        for i in 0..node.len() {
             ctx.lower_bound(node.level);
-            if e.sig.contains(q) {
-                recurse(tree, e.ptr, q, out, ctx);
+            if node.contains_query(i, probe) {
+                recurse(tree, node.ptr(i), probe, out, ctx);
             } else {
                 ctx.pruned(node.level, 1);
             }
         }
     }
-    recurse(tree, tree.root_page(), q, &mut out, ctx);
+    recurse(tree, tree.root_page(), &probe, &mut out, ctx);
     out.sort_unstable();
     out
 }

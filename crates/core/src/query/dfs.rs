@@ -13,8 +13,14 @@
 //! `(dist, tid)` pairs regardless of traversal order. That determinism is
 //! what lets the sharded executor (`sg-exec`) merge per-shard answers into
 //! a byte-identical copy of the single-tree result.
+//!
+//! Visits run on the [`SoaNode`] layout: the query is prepared once as a
+//! [`QueryProbe`] (padded bitmap + sorted items + cached weight) and each
+//! node is a strided kernel sweep over one contiguous buffer — or a
+//! galloping list intersection when the node stays in compressed form.
 
 use super::{Neighbor, OrdF64, SearchCtx, SharedBound};
+use crate::node::{QueryProbe, SoaNode};
 use crate::tree::SgTree;
 use sg_pager::PageId;
 use sg_sig::{Metric, Signature};
@@ -40,20 +46,19 @@ impl PartialOrd for HeapItem {
     }
 }
 
-/// Sorts directory entries (by index) by `(mindist, area)`, the Figure 4
-/// visit order.
+/// Sorts directory entries by `(mindist, area)`, the Figure 4 visit order.
+/// One strided sweep computes every bound; areas come from the decode-time
+/// weight cache instead of a per-entry popcount.
 fn ordered_children(
-    node: &crate::node::Node,
-    q: &Signature,
+    node: &SoaNode,
+    probe: &QueryProbe,
     metric: &Metric,
     ctx: &mut SearchCtx,
 ) -> Vec<(f64, u32, PageId)> {
-    let mut order: Vec<(f64, u32, PageId)> = node
-        .entries
-        .iter()
-        .map(|e| {
+    let mut order: Vec<(f64, u32, PageId)> = (0..node.len())
+        .map(|i| {
             ctx.lower_bound(node.level);
-            (metric.mindist(q, &e.sig), e.sig.count(), e.ptr)
+            (node.mindist(i, probe, metric), node.weight(i), node.ptr(i))
         })
         .collect();
     order.sort_by(|a, b| {
@@ -85,11 +90,12 @@ fn knn_bounded(
     if k == 0 || tree.is_empty() {
         return Vec::new();
     }
+    let probe = QueryProbe::new(q);
     #[allow(clippy::too_many_arguments)] // faithful transliteration of Fig. 4's recursion state
     fn recurse(
         tree: &SgTree,
         page: PageId,
-        q: &Signature,
+        probe: &QueryProbe,
         k: usize,
         metric: &Metric,
         init_bound: f64,
@@ -97,15 +103,15 @@ fn knn_bounded(
         heap: &mut BinaryHeap<HeapItem>,
         ctx: &mut SearchCtx,
     ) {
-        let node = tree.read_node(page);
+        let node = tree.read_soa(page);
         ctx.visit(node.level);
         if node.is_leaf() {
-            for e in &node.entries {
+            for i in 0..node.len() {
                 ctx.exact(node.level);
-                let d = metric.dist(q, &e.sig);
+                let d = node.dist(i, probe, metric);
                 let cand = HeapItem {
                     dist: OrdF64(d),
-                    tid: e.ptr,
+                    tid: node.ptr(i),
                 };
                 // Canonical acceptance: below k the only gate is the
                 // caller's exclusive bound; at k the candidate must beat
@@ -135,7 +141,7 @@ fn knn_bounded(
             }
             return;
         }
-        let order = ordered_children(&node, q, metric, ctx);
+        let order = ordered_children(&node, probe, metric, ctx);
         for (i, (mindist, _, child)) in order.iter().enumerate() {
             // With a full candidate set the subtree is pruned only when its
             // bound is *strictly* worse than the k-th distance: at equality
@@ -154,13 +160,15 @@ fn knn_bounded(
                 ctx.pruned(node.level, (order.len() - i) as u64);
                 break;
             }
-            recurse(tree, *child, q, k, metric, init_bound, shared, heap, ctx);
+            recurse(
+                tree, *child, probe, k, metric, init_bound, shared, heap, ctx,
+            );
         }
     }
     recurse(
         tree,
         tree.root_page(),
-        q,
+        &probe,
         k,
         metric,
         init_bound,
@@ -225,46 +233,55 @@ pub(crate) fn nn_all_ties(
     if tree.is_empty() {
         return Vec::new();
     }
+    let probe = QueryProbe::new(q);
     let mut best = f64::INFINITY;
     let mut out: Vec<Neighbor> = Vec::new();
     fn recurse(
         tree: &SgTree,
         page: PageId,
-        q: &Signature,
+        probe: &QueryProbe,
         metric: &Metric,
         best: &mut f64,
         out: &mut Vec<Neighbor>,
         ctx: &mut SearchCtx,
     ) {
-        let node = tree.read_node(page);
+        let node = tree.read_soa(page);
         ctx.visit(node.level);
         if node.is_leaf() {
-            for e in &node.entries {
+            for i in 0..node.len() {
                 ctx.exact(node.level);
-                let d = metric.dist(q, &e.sig);
+                let d = node.dist(i, probe, metric);
                 if d < *best {
                     *best = d;
                     out.clear();
                 }
                 if d <= *best {
                     out.push(Neighbor {
-                        tid: e.ptr,
+                        tid: node.ptr(i),
                         dist: d,
                     });
                 }
             }
             return;
         }
-        let order = ordered_children(&node, q, metric, ctx);
+        let order = ordered_children(&node, probe, metric, ctx);
         for (i, (mindist, _, child)) in order.iter().enumerate() {
             if *mindist > *best {
                 ctx.pruned(node.level, (order.len() - i) as u64);
                 break;
             }
-            recurse(tree, *child, q, metric, best, out, ctx);
+            recurse(tree, *child, probe, metric, best, out, ctx);
         }
     }
-    recurse(tree, tree.root_page(), q, metric, &mut best, &mut out, ctx);
+    recurse(
+        tree,
+        tree.root_page(),
+        &probe,
+        metric,
+        &mut best,
+        &mut out,
+        ctx,
+    );
     out.sort_by_key(|n| n.tid);
     out
 }
@@ -280,41 +297,42 @@ pub(crate) fn range(
     if tree.is_empty() {
         return Vec::new();
     }
+    let probe = QueryProbe::new(q);
     let mut out = Vec::new();
     fn recurse(
         tree: &SgTree,
         page: PageId,
-        q: &Signature,
+        probe: &QueryProbe,
         eps: f64,
         metric: &Metric,
         out: &mut Vec<Neighbor>,
         ctx: &mut SearchCtx,
     ) {
-        let node = tree.read_node(page);
+        let node = tree.read_soa(page);
         ctx.visit(node.level);
         if node.is_leaf() {
-            for e in &node.entries {
+            for i in 0..node.len() {
                 ctx.exact(node.level);
-                let d = metric.dist(q, &e.sig);
+                let d = node.dist(i, probe, metric);
                 if d <= eps {
                     out.push(Neighbor {
-                        tid: e.ptr,
+                        tid: node.ptr(i),
                         dist: d,
                     });
                 }
             }
             return;
         }
-        for e in &node.entries {
+        for i in 0..node.len() {
             ctx.lower_bound(node.level);
-            if metric.mindist(q, &e.sig) <= eps {
-                recurse(tree, e.ptr, q, eps, metric, out, ctx);
+            if node.mindist(i, probe, metric) <= eps {
+                recurse(tree, node.ptr(i), probe, eps, metric, out, ctx);
             } else {
                 ctx.pruned(node.level, 1);
             }
         }
     }
-    recurse(tree, tree.root_page(), q, eps, metric, &mut out, ctx);
+    recurse(tree, tree.root_page(), &probe, eps, metric, &mut out, ctx);
     out.sort_by(|a, b| OrdF64(a.dist).cmp(&OrdF64(b.dist)).then(a.tid.cmp(&b.tid)));
     out
 }

@@ -14,6 +14,7 @@
 //! next answer.
 
 use super::{Neighbor, OrdF64};
+use crate::node::QueryProbe;
 use crate::stats::QueryStats;
 use crate::tree::SgTree;
 use sg_pager::PageId;
@@ -65,7 +66,7 @@ impl Ord for QueueEntry {
 /// with [`NnIter::stats`].
 pub struct NnIter<'t> {
     tree: &'t SgTree,
-    q: Signature,
+    probe: QueryProbe,
     metric: Metric,
     queue: BinaryHeap<QueueEntry>,
     stats: QueryStats,
@@ -84,7 +85,7 @@ impl<'t> NnIter<'t> {
         }
         NnIter {
             tree,
-            q,
+            probe: QueryProbe::new(&q),
             metric,
             queue,
             stats: QueryStats::default(),
@@ -124,22 +125,22 @@ impl Iterator for NnIter<'_> {
                 }
                 Item::Node(page) => {
                     self.stats.nodes_accessed += 1;
-                    let node = self.tree.read_node(page);
+                    let node = self.tree.read_soa(page);
                     if node.is_leaf() {
-                        for e in &node.entries {
+                        for i in 0..node.len() {
                             self.stats.data_compared += 1;
                             self.stats.dist_computations += 1;
                             self.queue.push(QueueEntry {
-                                key: OrdF64(self.metric.dist(&self.q, &e.sig)),
-                                item: Item::Data(e.ptr),
+                                key: OrdF64(node.dist(i, &self.probe, &self.metric)),
+                                item: Item::Data(node.ptr(i)),
                             });
                         }
                     } else {
-                        for e in &node.entries {
+                        for i in 0..node.len() {
                             self.stats.dist_computations += 1;
                             self.queue.push(QueueEntry {
-                                key: OrdF64(self.metric.mindist(&self.q, &e.sig)),
-                                item: Item::Node(e.ptr),
+                                key: OrdF64(node.mindist(i, &self.probe, &self.metric)),
+                                item: Item::Node(node.ptr(i)),
                             });
                         }
                     }

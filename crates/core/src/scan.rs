@@ -99,8 +99,10 @@ impl ScanIndex {
         &self.pool
     }
 
-    /// Streams every stored record through `visit`.
-    fn scan(&self, mut visit: impl FnMut(Tid, &Signature)) -> QueryStats {
+    /// Streams every stored record through `visit` as a parsed
+    /// [`codec::EncodedView`]: predicates evaluate directly on the
+    /// encoded bytes, with no per-record signature allocation.
+    fn scan(&self, mut visit: impl FnMut(Tid, &codec::EncodedView<'_>)) -> QueryStats {
         let io_before = self.pool.stats().snapshot();
         let mut stats = QueryStats::default();
         for &pid in &self.pages {
@@ -111,12 +113,12 @@ impl ScanIndex {
             for _ in 0..count {
                 let tid = Tid::from_le_bytes(page[off..off + 8].try_into().expect("page layout"));
                 off += 8;
-                let (sig, used) =
-                    codec::decode(self.nbits, &page[off..]).expect("corrupt data page");
+                let (view, used) =
+                    codec::EncodedView::parse(self.nbits, &page[off..]).expect("corrupt data page");
                 off += used;
                 stats.data_compared += 1;
                 stats.dist_computations += 1;
-                visit(tid, &sig);
+                visit(tid, &view);
             }
         }
         stats.io = self.pool.stats().snapshot().since(&io_before);
@@ -125,11 +127,12 @@ impl ScanIndex {
 
     /// Exact `k`-NN by full scan, sorted ascending (ties by tid).
     pub fn knn(&self, q: &Signature, k: usize, metric: &Metric) -> (Vec<Neighbor>, QueryStats) {
+        let (cq, q_items) = (q.count(), q.items());
         let mut all: Vec<Neighbor> = Vec::new();
-        let stats = self.scan(|tid, sig| {
+        let stats = self.scan(|tid, view| {
             all.push(Neighbor {
                 tid,
-                dist: metric.dist(q, sig),
+                dist: metric.dist_from_counts(cq, view.count(), view.and_count_items(q, &q_items)),
             });
         });
         all.sort_by(|a, b| {
@@ -144,9 +147,10 @@ impl ScanIndex {
 
     /// Exact range query by full scan.
     pub fn range(&self, q: &Signature, eps: f64, metric: &Metric) -> (Vec<Neighbor>, QueryStats) {
+        let (cq, q_items) = (q.count(), q.items());
         let mut out: Vec<Neighbor> = Vec::new();
-        let stats = self.scan(|tid, sig| {
-            let d = metric.dist(q, sig);
+        let stats = self.scan(|tid, view| {
+            let d = metric.dist_from_counts(cq, view.count(), view.and_count_items(q, &q_items));
             if d <= eps {
                 out.push(Neighbor { tid, dist: d });
             }
@@ -162,9 +166,10 @@ impl ScanIndex {
 
     /// All transactions containing `q` (supersets), by full scan.
     pub fn containing(&self, q: &Signature) -> (Vec<Tid>, QueryStats) {
+        let q_items = q.items();
         let mut out = Vec::new();
-        let stats = self.scan(|tid, sig| {
-            if sig.contains(q) {
+        let stats = self.scan(|tid, view| {
+            if view.contains(q, &q_items) {
                 out.push(tid);
             }
         });
@@ -175,8 +180,8 @@ impl ScanIndex {
     /// All transactions that are subsets of `q`, by full scan.
     pub fn contained_in(&self, q: &Signature) -> (Vec<Tid>, QueryStats) {
         let mut out = Vec::new();
-        let stats = self.scan(|tid, sig| {
-            if q.contains(sig) {
+        let stats = self.scan(|tid, view| {
+            if view.covered_by(q) {
                 out.push(tid);
             }
         });
@@ -187,8 +192,8 @@ impl ScanIndex {
     /// All transactions exactly equal to `q`, by full scan.
     pub fn exact(&self, q: &Signature) -> (Vec<Tid>, QueryStats) {
         let mut out = Vec::new();
-        let stats = self.scan(|tid, sig| {
-            if sig == q {
+        let stats = self.scan(|tid, view| {
+            if view.equals(q) {
                 out.push(tid);
             }
         });

@@ -2,7 +2,7 @@
 //! API (insert / delete / validate / statistics).
 
 use crate::config::{ChooseSubtree, SplitPolicy, TreeConfig};
-use crate::node::{Entry, Node};
+use crate::node::{Entry, Node, SoaNode};
 use crate::Tid;
 use sg_obs::{IndexObs, PoolObs, Registry};
 use sg_pager::{BufferPool, PageId, PageStore, SgError};
@@ -228,6 +228,13 @@ impl SgTree {
     pub(crate) fn read_node(&self, id: PageId) -> Node {
         let page = self.pool.read(id);
         Node::decode(self.config.nbits, &page)
+    }
+
+    /// Reads a node in the SoA layout the query paths sweep. Maintenance
+    /// keeps using [`SgTree::read_node`] — [`SoaNode`] is read-only.
+    pub(crate) fn read_soa(&self, id: PageId) -> SoaNode {
+        let page = self.pool.read(id);
+        SoaNode::decode(self.config.nbits, &page)
     }
 
     pub(crate) fn write_node(&self, id: PageId, node: &Node) {

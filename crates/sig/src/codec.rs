@@ -157,6 +157,323 @@ pub fn decode(nbits: u32, buf: &[u8]) -> Result<(Signature, usize), DecodeError>
     }
 }
 
+/// A parsed-but-not-decoded stored signature: evaluates set predicates
+/// directly on the encoded bytes, with no bitmap materialisation.
+///
+/// For position-list encodings the fixed per-position width gives O(1)
+/// random access into the sorted list, so query probes run as *galloping*
+/// searches — doubling steps then binary search — instead of decoding the
+/// whole entry. For raw-bitmap encodings the bytes are swept eight at a
+/// time against the query's words. Either way the counts are exact, so
+/// distances computed from them are bit-identical to the decode-first
+/// path (a property the codec proptests pin down).
+#[derive(Clone, Copy, Debug)]
+pub struct EncodedView<'a> {
+    nbits: u32,
+    form: Form<'a>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Form<'a> {
+    /// Raw little-endian bitmap bytes (tail bits zero).
+    Raw(&'a [u8]),
+    /// `len` positions, ascending, `width` bytes each, little-endian.
+    List { bytes: &'a [u8], width: usize },
+}
+
+impl<'a> EncodedView<'a> {
+    /// Parses one stored signature from the front of `buf`, returning the
+    /// view and the number of bytes it spans. Performs the same validation
+    /// as [`decode`] (including position range checks) without building a
+    /// [`Signature`].
+    pub fn parse(nbits: u32, buf: &'a [u8]) -> Result<(Self, usize), DecodeError> {
+        let (&flag, rest) = buf.split_first().ok_or(DecodeError::Truncated)?;
+        if flag == RAW_FLAG {
+            let nbytes = bitmap_bytes(nbits);
+            if rest.len() < nbytes {
+                return Err(DecodeError::Truncated);
+            }
+            Ok((
+                EncodedView {
+                    nbits,
+                    form: Form::Raw(&rest[..nbytes]),
+                },
+                1 + nbytes,
+            ))
+        } else {
+            let w = pos_width(nbits);
+            let n = flag as usize;
+            if rest.len() < n * w {
+                return Err(DecodeError::Truncated);
+            }
+            let bytes = &rest[..n * w];
+            if let Some(position) = list_positions(bytes, w).find(|&p| p >= nbits) {
+                return Err(DecodeError::PositionOutOfRange { position, nbits });
+            }
+            let view = EncodedView {
+                nbits,
+                form: Form::List { bytes, width: w },
+            };
+            Ok((view, 1 + n * w))
+        }
+    }
+
+    /// The universe size this view was parsed against.
+    #[inline]
+    pub fn nbits(&self) -> u32 {
+        self.nbits
+    }
+
+    /// `true` when the stored form is a position list (the sparse form).
+    #[inline]
+    pub fn is_list(&self) -> bool {
+        matches!(self.form, Form::List { .. })
+    }
+
+    /// The `i`-th stored position (list form only).
+    #[inline]
+    fn list_position(&self, i: usize) -> u32 {
+        match self.form {
+            Form::List { bytes, width } => read_position(bytes, width, i),
+            Form::Raw(_) => unreachable!("list_position on raw form"),
+        }
+    }
+
+    fn list_len(&self) -> usize {
+        match self.form {
+            Form::List { bytes, width } => bytes.len() / width,
+            Form::Raw(_) => 0,
+        }
+    }
+
+    /// First index `>= lo` whose position is `>= target`, by galloping:
+    /// doubling probes from `lo`, then binary search inside the bracket.
+    fn gallop_ge(&self, lo: usize, target: u32) -> usize {
+        let n = self.list_len();
+        if lo >= n || self.list_position(lo) >= target {
+            return lo;
+        }
+        // Invariant: position(lo + step/2) < target  (for step > 1).
+        let mut step = 1usize;
+        while lo + step < n && self.list_position(lo + step) < target {
+            step <<= 1;
+        }
+        let mut left = lo + step / 2 + 1;
+        let mut right = (lo + step).min(n);
+        while left < right {
+            let mid = left + (right - left) / 2;
+            if self.list_position(mid) < target {
+                left = mid + 1;
+            } else {
+                right = mid;
+            }
+        }
+        left
+    }
+
+    /// Number of set bits, straight off the encoding: the flag byte for
+    /// lists, a byte-popcount for raw bitmaps.
+    pub fn count(&self) -> u32 {
+        match self.form {
+            Form::Raw(bytes) => raw_words(bytes).map(|w| w.count_ones()).sum(),
+            Form::List { .. } => self.list_len() as u32,
+        }
+    }
+
+    /// `|self ∩ q|` against a query bitmap.
+    ///
+    /// Lists probe the query's words per stored position; raw bitmaps are
+    /// swept word-parallel against `q`.
+    pub fn and_count(&self, q: &Signature) -> u32 {
+        debug_assert_eq!(self.nbits, q.nbits());
+        match self.form {
+            Form::Raw(bytes) => raw_words(bytes)
+                .zip(q.words().iter())
+                .map(|(w, qw)| (w & qw).count_ones())
+                .sum(),
+            Form::List { .. } => {
+                let qw = q.words();
+                (0..self.list_len())
+                    .filter(|&i| {
+                        let p = self.list_position(i) as usize;
+                        qw[p / 64] >> (p % 64) & 1 == 1
+                    })
+                    .count() as u32
+            }
+        }
+    }
+
+    /// `|self ∩ q|` by galloping the stored list against the query's
+    /// sorted item ids. Falls back to the word sweep for raw bitmaps.
+    ///
+    /// `q_items` must be ascending (as produced by [`Signature::items`]).
+    /// The gallop advances through whichever list is ahead, so the cost is
+    /// `O(k log(n/k))` for a `k`-item query against an `n`-position entry
+    /// rather than `O(n + k)`.
+    pub fn and_count_items(&self, q: &Signature, q_items: &[u32]) -> u32 {
+        match self.form {
+            Form::Raw(_) => self.and_count(q),
+            Form::List { .. } => {
+                let n = self.list_len();
+                let mut i = 0usize;
+                let mut hits = 0u32;
+                for &item in q_items {
+                    i = self.gallop_ge(i, item);
+                    if i >= n {
+                        break;
+                    }
+                    if self.list_position(i) == item {
+                        hits += 1;
+                        i += 1;
+                    }
+                }
+                hits
+            }
+        }
+    }
+
+    /// `true` iff `self ⊇ q` (the stored entry covers every query item):
+    /// the containment-query descent test, evaluated without decoding.
+    pub fn contains(&self, q: &Signature, q_items: &[u32]) -> bool {
+        debug_assert_eq!(self.nbits, q.nbits());
+        match self.form {
+            Form::Raw(bytes) => raw_words(bytes)
+                .zip(q.words().iter())
+                .all(|(w, qw)| qw & !w == 0),
+            Form::List { .. } => {
+                if q_items.len() > self.list_len() {
+                    return false;
+                }
+                let mut i = 0usize;
+                for &item in q_items {
+                    i = self.gallop_ge(i, item);
+                    if i >= self.list_len() || self.list_position(i) != item {
+                        return false;
+                    }
+                    i += 1;
+                }
+                true
+            }
+        }
+    }
+
+    /// `true` iff `q ⊇ self` (every stored bit is set in the query): the
+    /// superset-query test.
+    pub fn covered_by(&self, q: &Signature) -> bool {
+        debug_assert_eq!(self.nbits, q.nbits());
+        match self.form {
+            Form::Raw(bytes) => raw_words(bytes)
+                .zip(q.words().iter())
+                .all(|(w, qw)| w & !qw == 0),
+            Form::List { .. } => {
+                let qw = q.words();
+                (0..self.list_len()).all(|i| {
+                    let p = self.list_position(i) as usize;
+                    qw[p / 64] >> (p % 64) & 1 == 1
+                })
+            }
+        }
+    }
+
+    /// `true` iff the stored signature equals `q` exactly.
+    pub fn equals(&self, q: &Signature) -> bool {
+        self.count() == q.count() && self.covered_by(q)
+    }
+
+    /// Appends the stored positions (ascending) to `out` (list form), or
+    /// the set bit positions of the bitmap (raw form).
+    pub fn positions_into(&self, out: &mut Vec<u32>) {
+        match self.form {
+            Form::Raw(bytes) => {
+                for (wi, w) in raw_words(bytes).enumerate() {
+                    let mut rem = w;
+                    while rem != 0 {
+                        out.push((wi * 64) as u32 + rem.trailing_zeros());
+                        rem &= rem - 1;
+                    }
+                }
+            }
+            Form::List { bytes, width } => {
+                out.extend(list_positions(bytes, width));
+            }
+        }
+    }
+
+    /// Writes the stored bitmap into `dst` (which must hold at least
+    /// [`Signature::words_for`]`(nbits)` zeroed words) without allocating —
+    /// the bulk-decode path for contiguous node layouts.
+    pub fn write_words_into(&self, dst: &mut [u64]) {
+        match self.form {
+            Form::Raw(bytes) => {
+                for (i, w) in raw_words(bytes).enumerate() {
+                    dst[i] = w;
+                }
+            }
+            Form::List { bytes, width } => {
+                for p in list_positions(bytes, width) {
+                    let p = p as usize;
+                    dst[p / 64] |= 1u64 << (p % 64);
+                }
+            }
+        }
+    }
+
+    /// Materialises the stored signature (same result as [`decode`]).
+    pub fn to_signature(&self) -> Signature {
+        match self.form {
+            Form::Raw(bytes) => {
+                let mut words = vec![0u64; Signature::words_for(self.nbits)].into_boxed_slice();
+                for (i, w) in raw_words(bytes).enumerate() {
+                    words[i] = w;
+                }
+                Signature::from_words(self.nbits, words)
+            }
+            Form::List { .. } => {
+                let mut sig = Signature::empty(self.nbits);
+                for i in 0..self.list_len() {
+                    sig.set(self.list_position(i));
+                }
+                sig
+            }
+        }
+    }
+}
+
+/// Reads the `i`-th fixed-width little-endian position from a list body.
+/// The width match compiles to a direct 1/2/3/4-byte load per arm instead
+/// of a variable-length copy.
+#[inline]
+fn read_position(bytes: &[u8], width: usize, i: usize) -> u32 {
+    let at = i * width;
+    match width {
+        1 => bytes[at] as u32,
+        2 => u16::from_le_bytes([bytes[at], bytes[at + 1]]) as u32,
+        3 => u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], 0]),
+        _ => u32::from_le_bytes(bytes[at..at + 4].try_into().expect("position width")),
+    }
+}
+
+/// Iterates every position of a list body in order.
+#[inline]
+fn list_positions(bytes: &[u8], width: usize) -> impl Iterator<Item = u32> + '_ {
+    bytes.chunks_exact(width).map(move |c| match width {
+        1 => c[0] as u32,
+        2 => u16::from_le_bytes([c[0], c[1]]) as u32,
+        3 => u32::from_le_bytes([c[0], c[1], c[2], 0]),
+        _ => u32::from_le_bytes(c.try_into().expect("position width")),
+    })
+}
+
+/// Iterates a raw bitmap's bytes as little-endian `u64` words (the last
+/// word zero-padded), matching the `Signature` word layout.
+fn raw_words(bytes: &[u8]) -> impl Iterator<Item = u64> + '_ {
+    bytes.chunks(8).map(|chunk| {
+        let mut b = [0u8; 8];
+        b[..chunk.len()].copy_from_slice(chunk);
+        u64::from_le_bytes(b)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,6 +623,118 @@ mod tests {
         for nbits in [256u32, 257, 65_536, 65_537] {
             let sig = Signature::from_items(nbits, &[0, nbits / 2, nbits - 1]);
             assert_eq!(roundtrip(&sig), sig);
+        }
+    }
+
+    fn view_of(sig: &Signature) -> (Vec<u8>, usize) {
+        let mut buf = Vec::new();
+        let n = encode(sig, &mut buf);
+        (buf, n)
+    }
+
+    #[test]
+    fn view_evaluates_without_decoding() {
+        let nbits = 525;
+        let entry = Signature::from_items(nbits, &[3, 17, 64, 200, 511]);
+        let q = Signature::from_items(nbits, &[17, 64, 300]);
+        let q_items = q.items();
+        let (buf, n) = view_of(&entry);
+        let (view, used) = EncodedView::parse(nbits, &buf).unwrap();
+        assert_eq!(used, n);
+        assert!(view.is_list());
+        assert_eq!(view.count(), 5);
+        assert_eq!(view.and_count(&q), 2);
+        assert_eq!(view.and_count_items(&q, &q_items), 2);
+        assert!(!view.contains(&q, &q_items));
+        assert!(!view.covered_by(&q));
+        assert_eq!(view.to_signature(), entry);
+
+        let sup = entry.or(&q);
+        assert!(view.covered_by(&sup));
+        let sub = Signature::from_items(nbits, &[17, 511]);
+        assert!(view.contains(&sub, &sub.items()));
+    }
+
+    #[test]
+    fn view_raw_form_matches_bitmap_semantics() {
+        let nbits = 256;
+        let entry = Signature::from_items(nbits, &(0..200).collect::<Vec<_>>());
+        let q = Signature::from_items(nbits, &[5, 100, 250]);
+        let (buf, _) = view_of(&entry);
+        let (view, _) = EncodedView::parse(nbits, &buf).unwrap();
+        assert!(!view.is_list());
+        assert_eq!(view.count(), entry.count());
+        assert_eq!(view.and_count(&q), entry.and_count(&q));
+        assert_eq!(view.and_count_items(&q, &q.items()), entry.and_count(&q));
+        assert_eq!(view.contains(&q, &q.items()), entry.contains(&q));
+        assert_eq!(view.covered_by(&q), q.contains(&entry));
+        assert_eq!(view.to_signature(), entry);
+        let mut pos = Vec::new();
+        view.positions_into(&mut pos);
+        assert_eq!(pos, entry.items());
+    }
+
+    #[test]
+    fn view_parse_rejects_bad_encodings() {
+        assert!(matches!(
+            EncodedView::parse(1000, &[]),
+            Err(DecodeError::Truncated)
+        ));
+        assert!(matches!(
+            EncodedView::parse(1000, &[3, 1, 0]),
+            Err(DecodeError::Truncated)
+        ));
+        assert!(matches!(
+            EncodedView::parse(8, &[1, 9]),
+            Err(DecodeError::PositionOutOfRange {
+                position: 9,
+                nbits: 8
+            })
+        ));
+    }
+
+    #[test]
+    fn view_equals_discriminates() {
+        let nbits = 525;
+        let a = Signature::from_items(nbits, &[1, 2, 3]);
+        let (buf, _) = view_of(&a);
+        let (view, _) = EncodedView::parse(nbits, &buf).unwrap();
+        assert!(view.equals(&a));
+        assert!(!view.equals(&Signature::from_items(nbits, &[1, 2, 4])));
+        assert!(!view.equals(&Signature::from_items(nbits, &[1, 2])));
+        assert!(!view.equals(&Signature::from_items(nbits, &[1, 2, 3, 4])));
+    }
+
+    #[test]
+    fn gallop_handles_adversarial_runs() {
+        // Long runs then gaps: the doubling probe must bracket correctly
+        // at every transition.
+        let nbits = 65_536;
+        let mut items: Vec<u32> = (0..100).collect();
+        items.extend(5_000..5_050);
+        items.extend([40_000, 40_002, 40_004]);
+        items.push(65_535);
+        let entry = Signature::from_items(nbits, &items);
+        let (buf, _) = view_of(&entry);
+        let (view, _) = EncodedView::parse(nbits, &buf).unwrap();
+        for probe_items in [
+            vec![0u32, 99, 100, 4_999, 5_000, 5_049, 5_050, 65_535],
+            vec![50u32],
+            vec![65_535u32],
+            (0..200).collect::<Vec<_>>(),
+            vec![39_999u32, 40_001, 40_003, 40_005],
+        ] {
+            let q = Signature::from_items(nbits, &probe_items);
+            assert_eq!(
+                view.and_count_items(&q, &probe_items),
+                entry.and_count(&q),
+                "items {probe_items:?}"
+            );
+            assert_eq!(
+                view.contains(&q, &probe_items),
+                entry.contains(&q),
+                "items {probe_items:?}"
+            );
         }
     }
 

@@ -1,0 +1,741 @@
+//! Bit-parallel visit kernels over contiguous `u64` lanes.
+//!
+//! Every hot signature operation — popcount ("area"), intersection /
+//! union / difference cardinality, containment, Hamming — reduces to a
+//! word-wise sweep over two equal-length `&[u64]` slices. This module
+//! provides three interchangeable implementations of that sweep:
+//!
+//! * [`scalar`] — the straightforward one-word-at-a-time loop. The
+//!   reference semantics; every other variant must agree with it bit for
+//!   bit (see the differential proptests in `proptests.rs`).
+//! * [`unrolled`] — four-words-per-iteration loops with independent
+//!   accumulators, giving the CPU real instruction-level parallelism
+//!   without any platform-specific code.
+//! * [`simd`] — `std::arch` x86-64 kernels: an AVX2 path (4 words per
+//!   vector op, popcounts via `popcnt` on the extracted words) chosen by
+//!   runtime feature detection, with an SSE2 fallback that is always
+//!   available on x86-64. Compiled out on other architectures or when the
+//!   `no-simd` feature is enabled (the Miri CI job uses that).
+//!
+//! # Selection
+//!
+//! The active variant is resolved once, on first use:
+//! 1. the `SG_KERNEL` environment variable (`scalar` | `unrolled` |
+//!    `simd`) if set to a recognized value;
+//! 2. otherwise auto-detection — `simd` when AVX2 is available, else
+//!    `unrolled`.
+//!
+//! [`force`] overrides the choice at runtime (used by the differential
+//! tests to sweep every variant in one process); [`active`] returns the
+//! current kernel table. All variants produce *identical* results — the
+//! counts are exact integers — so query answers are byte-identical no
+//! matter which kernel serves them.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Identifies one kernel implementation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// One word per iteration; the reference implementation.
+    Scalar,
+    /// Four words per iteration, independent accumulators.
+    Unrolled,
+    /// `std::arch` SSE2/AVX2 (x86-64 only, gated by the `no-simd` feature).
+    Simd,
+}
+
+impl KernelKind {
+    /// The kernel's name as accepted by `SG_KERNEL`.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Unrolled => "unrolled",
+            KernelKind::Simd => "simd",
+        }
+    }
+
+    /// Parses an `SG_KERNEL` value.
+    pub fn parse(s: &str) -> Option<KernelKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Some(KernelKind::Scalar),
+            "unrolled" => Some(KernelKind::Unrolled),
+            "simd" => Some(KernelKind::Simd),
+            _ => None,
+        }
+    }
+}
+
+/// A table of kernel entry points. All functions require `a.len() ==
+/// b.len()` (debug-asserted; callers pass lanes of one signature
+/// universe).
+pub struct Kernels {
+    /// Which implementation this table routes to.
+    pub kind: KernelKind,
+    count: fn(&[u64]) -> u32,
+    and_count: fn(&[u64], &[u64]) -> u32,
+    andnot_count: fn(&[u64], &[u64]) -> u32,
+    or_count: fn(&[u64], &[u64]) -> u32,
+    xor_count: fn(&[u64], &[u64]) -> u32,
+    contains: fn(&[u64], &[u64]) -> bool,
+}
+
+impl Kernels {
+    /// Number of set bits in `a`.
+    #[inline]
+    pub fn count(&self, a: &[u64]) -> u32 {
+        (self.count)(a)
+    }
+
+    /// `|a ∩ b|`.
+    #[inline]
+    pub fn and_count(&self, a: &[u64], b: &[u64]) -> u32 {
+        (self.and_count)(a, b)
+    }
+
+    /// `|a \ b|`.
+    #[inline]
+    pub fn andnot_count(&self, a: &[u64], b: &[u64]) -> u32 {
+        (self.andnot_count)(a, b)
+    }
+
+    /// `|a ∪ b|`.
+    #[inline]
+    pub fn or_count(&self, a: &[u64], b: &[u64]) -> u32 {
+        (self.or_count)(a, b)
+    }
+
+    /// `|a Δ b|` — the Hamming distance.
+    #[inline]
+    pub fn xor_count(&self, a: &[u64], b: &[u64]) -> u32 {
+        (self.xor_count)(a, b)
+    }
+
+    /// `true` iff `a ⊇ b` (every set bit of `b` is set in `a`).
+    #[inline]
+    pub fn contains(&self, a: &[u64], b: &[u64]) -> bool {
+        (self.contains)(a, b)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar: the reference.
+// ---------------------------------------------------------------------------
+
+/// One-word-at-a-time reference kernels.
+pub mod scalar {
+    /// Number of set bits.
+    #[inline]
+    pub fn count(a: &[u64]) -> u32 {
+        a.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// `|a ∩ b|`.
+    #[inline]
+    pub fn and_count(a: &[u64], b: &[u64]) -> u32 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x & y).count_ones())
+            .sum()
+    }
+
+    /// `|a \ b|`.
+    #[inline]
+    pub fn andnot_count(a: &[u64], b: &[u64]) -> u32 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x & !y).count_ones())
+            .sum()
+    }
+
+    /// `|a ∪ b|`.
+    #[inline]
+    pub fn or_count(a: &[u64], b: &[u64]) -> u32 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x | y).count_ones())
+            .sum()
+    }
+
+    /// `|a Δ b|`.
+    #[inline]
+    pub fn xor_count(a: &[u64], b: &[u64]) -> u32 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum()
+    }
+
+    /// `a ⊇ b`.
+    #[inline]
+    pub fn contains(a: &[u64], b: &[u64]) -> bool {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b.iter()).all(|(x, y)| y & !x == 0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unrolled: 4 independent accumulators per pass.
+// ---------------------------------------------------------------------------
+
+/// Four-way unrolled kernels: portable instruction-level parallelism.
+pub mod unrolled {
+    /// Number of set bits.
+    pub fn count(a: &[u64]) -> u32 {
+        let mut it = a.chunks_exact(4);
+        let (mut c0, mut c1, mut c2, mut c3) = (0u32, 0u32, 0u32, 0u32);
+        for w in it.by_ref() {
+            c0 += w[0].count_ones();
+            c1 += w[1].count_ones();
+            c2 += w[2].count_ones();
+            c3 += w[3].count_ones();
+        }
+        let mut tail = 0u32;
+        for w in it.remainder() {
+            tail += w.count_ones();
+        }
+        c0 + c1 + c2 + c3 + tail
+    }
+
+    macro_rules! unrolled_binop_count {
+        ($(#[$doc:meta])* $name:ident, |$x:ident, $y:ident| $op:expr) => {
+            $(#[$doc])*
+            pub fn $name(a: &[u64], b: &[u64]) -> u32 {
+                debug_assert_eq!(a.len(), b.len());
+                let n = a.len().min(b.len());
+                let (a, b) = (&a[..n], &b[..n]);
+                let mut ca = a.chunks_exact(4);
+                let mut cb = b.chunks_exact(4);
+                let (mut c0, mut c1, mut c2, mut c3) = (0u32, 0u32, 0u32, 0u32);
+                for (wa, wb) in ca.by_ref().zip(cb.by_ref()) {
+                    let f = |$x: u64, $y: u64| -> u64 { $op };
+                    c0 += f(wa[0], wb[0]).count_ones();
+                    c1 += f(wa[1], wb[1]).count_ones();
+                    c2 += f(wa[2], wb[2]).count_ones();
+                    c3 += f(wa[3], wb[3]).count_ones();
+                }
+                let mut tail = 0u32;
+                for (&$x, &$y) in ca.remainder().iter().zip(cb.remainder().iter()) {
+                    tail += ($op).count_ones();
+                }
+                c0 + c1 + c2 + c3 + tail
+            }
+        };
+    }
+
+    unrolled_binop_count!(
+        /// `|a ∩ b|`.
+        and_count, |x, y| x & y
+    );
+    unrolled_binop_count!(
+        /// `|a \ b|`.
+        andnot_count, |x, y| x & !y
+    );
+    unrolled_binop_count!(
+        /// `|a ∪ b|`.
+        or_count, |x, y| x | y
+    );
+    unrolled_binop_count!(
+        /// `|a Δ b|`.
+        xor_count, |x, y| x ^ y
+    );
+
+    /// `a ⊇ b`: ORs the uncovered words four at a time so the loop is
+    /// branch-free; a single test at the end decides.
+    pub fn contains(a: &[u64], b: &[u64]) -> bool {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let mut ca = a.chunks_exact(4);
+        let mut cb = b.chunks_exact(4);
+        let mut acc = 0u64;
+        for (wa, wb) in ca.by_ref().zip(cb.by_ref()) {
+            acc |= (wb[0] & !wa[0]) | (wb[1] & !wa[1]) | (wb[2] & !wa[2]) | (wb[3] & !wa[3]);
+        }
+        for (x, y) in ca.remainder().iter().zip(cb.remainder().iter()) {
+            acc |= y & !x;
+        }
+        acc == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD: std::arch x86-64, AVX2 with an SSE2 fallback.
+// ---------------------------------------------------------------------------
+
+/// Whether the SIMD variant is compiled into this build.
+#[inline]
+pub const fn simd_compiled() -> bool {
+    cfg!(all(target_arch = "x86_64", not(feature = "no-simd")))
+}
+
+/// x86-64 SIMD kernels. The public functions are safe: they pick the AVX2
+/// path only when runtime detection confirms it and otherwise use SSE2,
+/// which is part of the x86-64 baseline.
+#[cfg(all(target_arch = "x86_64", not(feature = "no-simd")))]
+pub mod simd {
+    /// `true` when the AVX2 + POPCNT fast path will be used.
+    #[inline]
+    pub fn avx2_available() -> bool {
+        // `is_x86_feature_detected!` caches its answer in an atomic, so
+        // the per-call cost is one relaxed load and a predictable branch.
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("popcnt")
+    }
+
+    macro_rules! simd_dispatch_count {
+        ($(#[$doc:meta])* $name:ident) => {
+            $(#[$doc])*
+            #[inline]
+            pub fn $name(a: &[u64], b: &[u64]) -> u32 {
+                debug_assert_eq!(a.len(), b.len());
+                if avx2_available() {
+                    // SAFETY: AVX2 and POPCNT were just detected.
+                    unsafe { avx2::$name(a, b) }
+                } else {
+                    // SAFETY: SSE2 is unconditionally part of x86-64.
+                    unsafe { sse2::$name(a, b) }
+                }
+            }
+        };
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count(a: &[u64]) -> u32 {
+        if avx2_available() {
+            // SAFETY: POPCNT was just detected.
+            unsafe { avx2::count(a) }
+        } else {
+            super::unrolled::count(a)
+        }
+    }
+
+    simd_dispatch_count!(
+        /// `|a ∩ b|`.
+        and_count
+    );
+    simd_dispatch_count!(
+        /// `|a \ b|`.
+        andnot_count
+    );
+    simd_dispatch_count!(
+        /// `|a ∪ b|`.
+        or_count
+    );
+    simd_dispatch_count!(
+        /// `|a Δ b|`.
+        xor_count
+    );
+
+    /// `a ⊇ b`.
+    #[inline]
+    pub fn contains(a: &[u64], b: &[u64]) -> bool {
+        debug_assert_eq!(a.len(), b.len());
+        if avx2_available() {
+            // SAFETY: AVX2 was just detected.
+            unsafe { avx2::contains(a, b) }
+        } else {
+            // SAFETY: SSE2 is unconditionally part of x86-64.
+            unsafe { sse2::contains(a, b) }
+        }
+    }
+
+    mod avx2 {
+        use std::arch::x86_64::*;
+
+        /// Popcounts one 256-bit vector by extracting its four words;
+        /// `popcnt` is enabled, so each `count_ones` is a single
+        /// instruction.
+        #[inline]
+        #[target_feature(enable = "avx2,popcnt")]
+        unsafe fn popcount256(v: __m256i) -> u32 {
+            (_mm256_extract_epi64::<0>(v) as u64).count_ones()
+                + (_mm256_extract_epi64::<1>(v) as u64).count_ones()
+                + (_mm256_extract_epi64::<2>(v) as u64).count_ones()
+                + (_mm256_extract_epi64::<3>(v) as u64).count_ones()
+        }
+
+        #[target_feature(enable = "avx2,popcnt")]
+        pub(super) unsafe fn count(a: &[u64]) -> u32 {
+            let mut it = a.chunks_exact(4);
+            let mut total = 0u32;
+            for w in it.by_ref() {
+                // SAFETY: `w` covers 4 u64s = 32 bytes; unaligned load.
+                let v = unsafe { _mm256_loadu_si256(w.as_ptr() as *const __m256i) };
+                total += unsafe { popcount256(v) };
+            }
+            for w in it.remainder() {
+                total += w.count_ones();
+            }
+            total
+        }
+
+        macro_rules! avx2_binop_count {
+            ($name:ident, $vec_op:expr, |$x:ident, $y:ident| $scalar_op:expr) => {
+                #[target_feature(enable = "avx2,popcnt")]
+                pub(super) unsafe fn $name(a: &[u64], b: &[u64]) -> u32 {
+                    let n = a.len().min(b.len());
+                    let (a, b) = (&a[..n], &b[..n]);
+                    let mut ca = a.chunks_exact(4);
+                    let mut cb = b.chunks_exact(4);
+                    let mut total = 0u32;
+                    for (wa, wb) in ca.by_ref().zip(cb.by_ref()) {
+                        // SAFETY: each chunk covers exactly 32 bytes.
+                        let va = unsafe { _mm256_loadu_si256(wa.as_ptr() as *const __m256i) };
+                        let vb = unsafe { _mm256_loadu_si256(wb.as_ptr() as *const __m256i) };
+                        let f = $vec_op;
+                        total += unsafe { popcount256(f(va, vb)) };
+                    }
+                    for (&$x, &$y) in ca.remainder().iter().zip(cb.remainder().iter()) {
+                        total += ($scalar_op).count_ones();
+                    }
+                    total
+                }
+            };
+        }
+
+        avx2_binop_count!(and_count, |va, vb| _mm256_and_si256(va, vb), |x, y| x & y);
+        avx2_binop_count!(
+            andnot_count,
+            // `_mm256_andnot_si256(b, a)` computes `!b & a` = `a \ b`.
+            |va, vb| _mm256_andnot_si256(vb, va),
+            |x, y| x & !y
+        );
+        avx2_binop_count!(or_count, |va, vb| _mm256_or_si256(va, vb), |x, y| x | y);
+        avx2_binop_count!(xor_count, |va, vb| _mm256_xor_si256(va, vb), |x, y| x ^ y);
+
+        #[target_feature(enable = "avx2")]
+        pub(super) unsafe fn contains(a: &[u64], b: &[u64]) -> bool {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            let mut ca = a.chunks_exact(4);
+            let mut cb = b.chunks_exact(4);
+            for (wa, wb) in ca.by_ref().zip(cb.by_ref()) {
+                // SAFETY: each chunk covers exactly 32 bytes.
+                let va = unsafe { _mm256_loadu_si256(wa.as_ptr() as *const __m256i) };
+                let vb = unsafe { _mm256_loadu_si256(wb.as_ptr() as *const __m256i) };
+                // testc(a, b) == 1 iff (!a & b) == 0, i.e. b ⊆ a.
+                if _mm256_testc_si256(va, vb) == 0 {
+                    return false;
+                }
+            }
+            ca.remainder()
+                .iter()
+                .zip(cb.remainder().iter())
+                .all(|(x, y)| y & !x == 0)
+        }
+    }
+
+    mod sse2 {
+        use std::arch::x86_64::*;
+
+        /// SSE2 moves 2 words per load; popcounts fall back to the
+        /// compiler's SWAR `count_ones` since POPCNT is not part of the
+        /// x86-64 baseline.
+        macro_rules! sse2_binop_count {
+            ($name:ident, $vec_op:expr, |$x:ident, $y:ident| $scalar_op:expr) => {
+                #[target_feature(enable = "sse2")]
+                pub(super) unsafe fn $name(a: &[u64], b: &[u64]) -> u32 {
+                    let n = a.len().min(b.len());
+                    let (a, b) = (&a[..n], &b[..n]);
+                    let mut ca = a.chunks_exact(2);
+                    let mut cb = b.chunks_exact(2);
+                    let mut total = 0u32;
+                    for (wa, wb) in ca.by_ref().zip(cb.by_ref()) {
+                        // SAFETY: each chunk covers exactly 16 bytes.
+                        let va = unsafe { _mm_loadu_si128(wa.as_ptr() as *const __m128i) };
+                        let vb = unsafe { _mm_loadu_si128(wb.as_ptr() as *const __m128i) };
+                        let f = $vec_op;
+                        let r = f(va, vb);
+                        let mut out = [0u64; 2];
+                        unsafe { _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, r) };
+                        total += out[0].count_ones() + out[1].count_ones();
+                    }
+                    for (&$x, &$y) in ca.remainder().iter().zip(cb.remainder().iter()) {
+                        total += ($scalar_op).count_ones();
+                    }
+                    total
+                }
+            };
+        }
+
+        sse2_binop_count!(and_count, |va, vb| _mm_and_si128(va, vb), |x, y| x & y);
+        sse2_binop_count!(andnot_count, |va, vb| _mm_andnot_si128(vb, va), |x, y| x
+            & !y);
+        sse2_binop_count!(or_count, |va, vb| _mm_or_si128(va, vb), |x, y| x | y);
+        sse2_binop_count!(xor_count, |va, vb| _mm_xor_si128(va, vb), |x, y| x ^ y);
+
+        #[target_feature(enable = "sse2")]
+        pub(super) unsafe fn contains(a: &[u64], b: &[u64]) -> bool {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            let mut ca = a.chunks_exact(2);
+            let mut cb = b.chunks_exact(2);
+            let mut acc = _mm_setzero_si128();
+            for (wa, wb) in ca.by_ref().zip(cb.by_ref()) {
+                // SAFETY: each chunk covers exactly 16 bytes.
+                let va = unsafe { _mm_loadu_si128(wa.as_ptr() as *const __m128i) };
+                let vb = unsafe { _mm_loadu_si128(wb.as_ptr() as *const __m128i) };
+                acc = _mm_or_si128(acc, _mm_andnot_si128(va, vb));
+            }
+            let mut out = [0u64; 2];
+            unsafe { _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, acc) };
+            let mut rest = out[0] | out[1];
+            for (x, y) in ca.remainder().iter().zip(cb.remainder().iter()) {
+                rest |= y & !x;
+            }
+            rest == 0
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+static SCALAR: Kernels = Kernels {
+    kind: KernelKind::Scalar,
+    count: scalar::count,
+    and_count: scalar::and_count,
+    andnot_count: scalar::andnot_count,
+    or_count: scalar::or_count,
+    xor_count: scalar::xor_count,
+    contains: scalar::contains,
+};
+
+static UNROLLED: Kernels = Kernels {
+    kind: KernelKind::Unrolled,
+    count: unrolled::count,
+    and_count: unrolled::and_count,
+    andnot_count: unrolled::andnot_count,
+    or_count: unrolled::or_count,
+    xor_count: unrolled::xor_count,
+    contains: unrolled::contains,
+};
+
+#[cfg(all(target_arch = "x86_64", not(feature = "no-simd")))]
+static SIMD: Kernels = Kernels {
+    kind: KernelKind::Simd,
+    count: simd::count,
+    and_count: simd::and_count,
+    andnot_count: simd::andnot_count,
+    or_count: simd::or_count,
+    xor_count: simd::xor_count,
+    contains: simd::contains,
+};
+
+/// The kernel variants compiled into this build, scalar first.
+pub fn variants() -> &'static [KernelKind] {
+    #[cfg(all(target_arch = "x86_64", not(feature = "no-simd")))]
+    {
+        &[KernelKind::Scalar, KernelKind::Unrolled, KernelKind::Simd]
+    }
+    #[cfg(not(all(target_arch = "x86_64", not(feature = "no-simd"))))]
+    {
+        &[KernelKind::Scalar, KernelKind::Unrolled]
+    }
+}
+
+/// The kernel table for a specific variant. Asking for [`KernelKind::Simd`]
+/// in a build without it returns the unrolled table (the same silent
+/// downgrade `SG_KERNEL=simd` gets).
+pub fn for_kind(kind: KernelKind) -> &'static Kernels {
+    match kind {
+        KernelKind::Scalar => &SCALAR,
+        KernelKind::Unrolled => &UNROLLED,
+        KernelKind::Simd => {
+            #[cfg(all(target_arch = "x86_64", not(feature = "no-simd")))]
+            {
+                &SIMD
+            }
+            #[cfg(not(all(target_arch = "x86_64", not(feature = "no-simd"))))]
+            {
+                &UNROLLED
+            }
+        }
+    }
+}
+
+/// Encoded active-kernel state: 0 = unresolved, otherwise kind + 1.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+fn decode(tag: u8) -> &'static Kernels {
+    match tag {
+        1 => &SCALAR,
+        2 => &UNROLLED,
+        _ => for_kind(KernelKind::Simd),
+    }
+}
+
+fn encode(kind: KernelKind) -> u8 {
+    match kind {
+        KernelKind::Scalar => 1,
+        KernelKind::Unrolled => 2,
+        KernelKind::Simd => 3,
+    }
+}
+
+#[cold]
+fn resolve() -> &'static Kernels {
+    let kind = std::env::var("SG_KERNEL")
+        .ok()
+        .and_then(|v| KernelKind::parse(&v))
+        .unwrap_or_else(auto_kind);
+    // A racing resolve picks the same answer; last store wins harmlessly.
+    ACTIVE.store(encode(kind), Ordering::Relaxed);
+    for_kind(kind)
+}
+
+/// The variant auto-detection would choose on this machine.
+pub fn auto_kind() -> KernelKind {
+    #[cfg(all(target_arch = "x86_64", not(feature = "no-simd")))]
+    {
+        if simd::avx2_available() {
+            return KernelKind::Simd;
+        }
+    }
+    KernelKind::Unrolled
+}
+
+/// The active kernel table (resolving `SG_KERNEL` / auto-detection on
+/// first use). Costs one relaxed atomic load once resolved.
+#[inline]
+pub fn active() -> &'static Kernels {
+    let tag = ACTIVE.load(Ordering::Relaxed);
+    if tag == 0 {
+        resolve()
+    } else {
+        decode(tag)
+    }
+}
+
+/// Forces the active kernel, overriding `SG_KERNEL` and auto-detection.
+/// Used by the differential tests to sweep variants in one process; safe
+/// to call at any time (all variants return identical results).
+pub fn force(kind: KernelKind) {
+    ACTIVE.store(encode(kind), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic lane patterns hitting word-boundary widths (63 / 64 /
+    /// 65 / 127 / 128 bits correspond to 1–3 word lanes with partial last
+    /// words), plus all-zeros, all-ones, and alternating runs.
+    fn fixtures() -> Vec<(Vec<u64>, Vec<u64>)> {
+        let mut out = Vec::new();
+        for words in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 16, 17] {
+            let a: Vec<u64> = (0..words)
+                .map(|i| 0x9E37_79B9_7F4A_7C15u64.rotate_left(i as u32 * 7) ^ i as u64)
+                .collect();
+            let b: Vec<u64> = (0..words)
+                .map(|i| 0xC2B2_AE3D_27D4_EB4Fu64.rotate_right(i as u32 * 5) | (i as u64) << 32)
+                .collect();
+            out.push((a.clone(), b.clone()));
+            out.push((vec![0; words], b.clone()));
+            out.push((vec![u64::MAX; words], b.clone()));
+            out.push((a.clone(), vec![0; words]));
+            out.push((a.clone(), vec![u64::MAX; words]));
+            out.push((vec![0; words], vec![0; words]));
+            out.push((vec![u64::MAX; words], vec![u64::MAX; words]));
+            // Word-boundary partial masks: 63-, 1-, 33-bit final words.
+            if words > 0 {
+                let mut c = a.clone();
+                *c.last_mut().unwrap() &= (1u64 << 63) - 1;
+                let mut d = b.clone();
+                *d.last_mut().unwrap() &= 1;
+                out.push((c, d));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn all_variants_agree_on_fixtures() {
+        for &kind in variants() {
+            let k = for_kind(kind);
+            for (a, b) in fixtures() {
+                assert_eq!(k.count(&a), scalar::count(&a), "{kind:?} count");
+                assert_eq!(
+                    k.and_count(&a, &b),
+                    scalar::and_count(&a, &b),
+                    "{kind:?} and_count"
+                );
+                assert_eq!(
+                    k.andnot_count(&a, &b),
+                    scalar::andnot_count(&a, &b),
+                    "{kind:?} andnot_count"
+                );
+                assert_eq!(
+                    k.or_count(&a, &b),
+                    scalar::or_count(&a, &b),
+                    "{kind:?} or_count"
+                );
+                assert_eq!(
+                    k.xor_count(&a, &b),
+                    scalar::xor_count(&a, &b),
+                    "{kind:?} xor_count"
+                );
+                assert_eq!(
+                    k.contains(&a, &b),
+                    scalar::contains(&a, &b),
+                    "{kind:?} contains"
+                );
+                assert_eq!(
+                    k.contains(&b, &a),
+                    scalar::contains(&b, &a),
+                    "{kind:?} contains rev"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identities_hold_per_variant() {
+        for &kind in variants() {
+            let k = for_kind(kind);
+            for (a, b) in fixtures() {
+                // Inclusion–exclusion ties the four counts together.
+                assert_eq!(
+                    k.or_count(&a, &b) + k.and_count(&a, &b),
+                    k.count(&a) + k.count(&b),
+                    "{kind:?}"
+                );
+                assert_eq!(
+                    k.xor_count(&a, &b),
+                    k.andnot_count(&a, &b) + k.andnot_count(&b, &a),
+                    "{kind:?}"
+                );
+                assert_eq!(k.contains(&a, &b), k.andnot_count(&b, &a) == 0, "{kind:?}");
+                // Self-relations.
+                assert_eq!(k.and_count(&a, &a), k.count(&a), "{kind:?}");
+                assert_eq!(k.xor_count(&a, &a), 0, "{kind:?}");
+                assert!(k.contains(&a, &a), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_and_names_roundtrip() {
+        for &kind in variants() {
+            assert_eq!(KernelKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(KernelKind::parse("SIMD"), Some(KernelKind::Simd));
+        assert_eq!(KernelKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn force_switches_active_table() {
+        let before = active().kind;
+        force(KernelKind::Scalar);
+        assert_eq!(active().kind, KernelKind::Scalar);
+        force(KernelKind::Unrolled);
+        assert_eq!(active().kind, KernelKind::Unrolled);
+        force(before);
+        assert_eq!(active().kind, before);
+    }
+}

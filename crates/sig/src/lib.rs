@@ -19,6 +19,7 @@
 //! position lists (§3.2 of the paper).
 
 pub mod codec;
+pub mod kernels;
 pub mod metric;
 mod signature;
 mod vocab;

@@ -117,9 +117,20 @@ impl Metric {
 
     /// The exact distance between two transactions.
     pub fn dist(&self, a: &Signature, b: &Signature) -> f64 {
-        let inter = a.and_count(b) as f64;
-        let ca = a.count() as f64;
-        let cb = b.count() as f64;
+        self.dist_from_counts(a.count(), b.count(), a.and_count(b))
+    }
+
+    /// [`Metric::dist`] from precomputed cardinalities: `ca = |A|`,
+    /// `cb = |B|`, `inter = |A ∩ B|`.
+    ///
+    /// Every metric is a function of these three counts alone, so callers
+    /// that already know them (the SoA node sweep with its cached entry
+    /// weights) can skip touching the bitmaps. The arithmetic is the same
+    /// expression `dist` always evaluated, making results bit-identical.
+    pub fn dist_from_counts(&self, ca: u32, cb: u32, inter: u32) -> f64 {
+        let inter = inter as f64;
+        let ca = ca as f64;
+        let cb = cb as f64;
         match self.kind {
             MetricKind::Hamming => ca + cb - 2.0 * inter,
             MetricKind::Jaccard => {
@@ -158,8 +169,12 @@ impl Metric {
     /// Never negative; equals `0` when the bound cannot exclude a perfect
     /// match below the entry.
     pub fn mindist(&self, q: &Signature, entry: &Signature) -> f64 {
-        let c = q.and_count(entry); // |q ∩ e| ≥ |q ∩ t|
-        let cq = q.count();
+        self.mindist_from_counts(q.count(), q.and_count(entry))
+    }
+
+    /// [`Metric::mindist`] from precomputed cardinalities: `cq = |q|` and
+    /// `c = |q ∩ e|`. Same arithmetic as `mindist`, bit-identical results.
+    pub fn mindist_from_counts(&self, cq: u32, c: u32) -> f64 {
         let missing = (cq - c) as f64; // |q \ e|
         match self.kind {
             MetricKind::Hamming => match self.fixed_dim {

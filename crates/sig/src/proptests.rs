@@ -182,3 +182,205 @@ proptest! {
         prop_assert_eq!(a.gray_key() == b.gray_key(), a == b);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Kernel differential harness: every compiled-in kernel variant must agree
+// with the scalar reference exactly — on the raw lane ops and on everything
+// derived from them (count, contains, Hamming distance, metric dist and
+// mindist down to the f64 bit pattern).
+// ---------------------------------------------------------------------------
+
+/// Universe widths straddling word boundaries (63/64/65 exercise a 1-word
+/// lane with and without tail masking; 127/128 the 2-word edge) plus the
+/// paper's dataset widths.
+const WIDTHS: [u32; 8] = [63, 64, 65, 127, 128, 256, 525, 1000];
+
+/// Builds a signature over `nbits` items in one of four shapes: empty,
+/// full, sparse (a handful of items), or as dense as `raw` allows.
+fn shaped_sig(nbits: u32, raw: &[u32], shape: u8) -> Signature {
+    match shape % 4 {
+        0 => Signature::empty(nbits),
+        1 => Signature::from_iter(nbits, 0..nbits),
+        2 => Signature::from_iter(nbits, raw.iter().take(6).map(|i| i % nbits)),
+        _ => Signature::from_iter(nbits, raw.iter().map(|i| i % nbits)),
+    }
+}
+
+fn arb_raw_items() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..1_000_000, 0..300)
+}
+
+proptest! {
+    #[test]
+    fn kernel_variants_agree_with_scalar(
+        w_idx in 0usize..WIDTHS.len(),
+        raw_a in arb_raw_items(),
+        shape_a in 0u8..4,
+        raw_b in arb_raw_items(),
+        shape_b in 0u8..4,
+    ) {
+        use crate::kernels::{self, scalar};
+
+        let nbits = WIDTHS[w_idx];
+        let a = shaped_sig(nbits, &raw_a, shape_a);
+        let b = shaped_sig(nbits, &raw_b, shape_b);
+        let (wa, wb) = (a.words(), b.words());
+        for &kind in kernels::variants() {
+            let k = kernels::for_kind(kind);
+            prop_assert_eq!(k.count(wa), scalar::count(wa), "{:?} count", kind);
+            prop_assert_eq!(
+                k.and_count(wa, wb), scalar::and_count(wa, wb),
+                "{:?} and_count", kind
+            );
+            prop_assert_eq!(
+                k.andnot_count(wa, wb), scalar::andnot_count(wa, wb),
+                "{:?} andnot_count", kind
+            );
+            prop_assert_eq!(
+                k.or_count(wa, wb), scalar::or_count(wa, wb),
+                "{:?} or_count", kind
+            );
+            prop_assert_eq!(
+                k.xor_count(wa, wb), scalar::xor_count(wa, wb),
+                "{:?} xor_count (hamming)", kind
+            );
+            prop_assert_eq!(
+                k.contains(wa, wb), scalar::contains(wa, wb),
+                "{:?} contains", kind
+            );
+            prop_assert_eq!(
+                k.contains(wb, wa), scalar::contains(wb, wa),
+                "{:?} contains rev", kind
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_variants_agree_on_derived_metrics(
+        w_idx in 0usize..WIDTHS.len(),
+        raw_q in arb_raw_items(),
+        shape_q in 0u8..4,
+        raw_e in arb_raw_items(),
+        shape_e in 0u8..4,
+        m in arb_metric(),
+    ) {
+        use crate::kernels::{self, scalar};
+
+        let nbits = WIDTHS[w_idx];
+        let q = shaped_sig(nbits, &raw_q, shape_q);
+        let e = shaped_sig(nbits, &raw_e, shape_e);
+        let (wq, we) = (q.words(), e.words());
+        // Reference distances from scalar counts.
+        let dist_ref = m.dist_from_counts(
+            scalar::count(wq), scalar::count(we), scalar::and_count(wq, we),
+        );
+        let mindist_ref =
+            m.mindist_from_counts(scalar::count(wq), scalar::and_count(wq, we));
+        for &kind in kernels::variants() {
+            let k = kernels::for_kind(kind);
+            let dist =
+                m.dist_from_counts(k.count(wq), k.count(we), k.and_count(wq, we));
+            let mindist =
+                m.mindist_from_counts(k.count(wq), k.and_count(wq, we));
+            // Exact integer counts feed identical arithmetic: require
+            // bit-identical f64s, not approximate equality.
+            prop_assert_eq!(
+                dist.to_bits(), dist_ref.to_bits(),
+                "{:?} dist {} vs {}", kind, dist, dist_ref
+            );
+            prop_assert_eq!(
+                mindist.to_bits(), mindist_ref.to_bits(),
+                "{:?} mindist {} vs {}", kind, mindist, mindist_ref
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codec: encode/decode round-trips, and predicates evaluated directly on
+// the compressed form must equal the decompressed answers bit for bit.
+// ---------------------------------------------------------------------------
+
+/// Run-structured items: consecutive runs separated by gaps, the
+/// adversarial shape for the galloping search (long stretches where every
+/// probe hits, then jumps).
+fn arb_run_items() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0u32..1_000_000, 1u32..40), 0..12)
+}
+
+fn sig_from_runs(nbits: u32, runs: &[(u32, u32)]) -> Signature {
+    let mut sig = Signature::empty(nbits);
+    for &(start, len) in runs {
+        let start = start % nbits;
+        for i in start..(start + len).min(nbits) {
+            sig.set(i);
+        }
+    }
+    sig
+}
+
+proptest! {
+    #[test]
+    fn codec_view_matches_decoded_semantics(
+        w_idx in 0usize..WIDTHS.len(),
+        raw_e in arb_raw_items(),
+        shape_e in 0u8..4,
+        raw_q in arb_raw_items(),
+        shape_q in 0u8..4,
+    ) {
+        let nbits = WIDTHS[w_idx];
+        let entry = shaped_sig(nbits, &raw_e, shape_e);
+        let q = shaped_sig(nbits, &raw_q, shape_q);
+        let q_items = q.items();
+
+        let mut buf = Vec::new();
+        let n = codec::encode(&entry, &mut buf);
+        let (view, used) = codec::EncodedView::parse(nbits, &buf).unwrap();
+        prop_assert_eq!(used, n);
+
+        // Round-trip through the view.
+        prop_assert_eq!(view.to_signature(), entry.clone());
+        let mut pos = Vec::new();
+        view.positions_into(&mut pos);
+        prop_assert_eq!(pos, entry.items());
+
+        // Predicates on the compressed form == decompressed answers.
+        prop_assert_eq!(view.count(), entry.count());
+        prop_assert_eq!(view.and_count(&q), entry.and_count(&q));
+        prop_assert_eq!(view.and_count_items(&q, &q_items), entry.and_count(&q));
+        prop_assert_eq!(view.contains(&q, &q_items), entry.contains(&q));
+        prop_assert_eq!(view.covered_by(&q), q.contains(&entry));
+        prop_assert_eq!(view.equals(&q), entry == q);
+    }
+
+    #[test]
+    fn codec_view_matches_on_run_patterns(
+        w_idx in 0usize..WIDTHS.len(),
+        runs_e in arb_run_items(),
+        runs_q in arb_run_items(),
+    ) {
+        let nbits = WIDTHS[w_idx];
+        let entry = sig_from_runs(nbits, &runs_e);
+        let q = sig_from_runs(nbits, &runs_q);
+        let q_items = q.items();
+
+        let mut buf = Vec::new();
+        codec::encode(&entry, &mut buf);
+        let (view, _) = codec::EncodedView::parse(nbits, &buf).unwrap();
+
+        prop_assert_eq!(view.to_signature(), entry.clone());
+        prop_assert_eq!(view.count(), entry.count());
+        prop_assert_eq!(view.and_count(&q), entry.and_count(&q));
+        prop_assert_eq!(view.and_count_items(&q, &q_items), entry.and_count(&q));
+        prop_assert_eq!(view.contains(&q, &q_items), entry.contains(&q));
+        prop_assert_eq!(view.covered_by(&q), q.contains(&entry));
+
+        // Distances derived from compressed-form counts are bit-identical
+        // to the decode-first path.
+        let m = Metric::hamming();
+        let decoded = view.to_signature();
+        let from_view =
+            m.mindist_from_counts(q.count(), view.and_count_items(&q, &q_items));
+        prop_assert_eq!(from_view.to_bits(), m.mindist(&q, &decoded).to_bits());
+    }
+}

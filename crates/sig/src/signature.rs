@@ -1,5 +1,6 @@
 //! The [`Signature`] bitmap type and its bit-parallel set operations.
 
+use crate::kernels;
 use std::fmt;
 
 /// Number of bits per storage word.
@@ -153,7 +154,7 @@ impl Signature {
     /// choose-subtree and split heuristics (§3.1 of the paper).
     #[inline]
     pub fn count(&self) -> u32 {
-        self.words.iter().map(|w| w.count_ones()).sum()
+        kernels::active().count(&self.words)
     }
 
     /// `true` iff no bit is set.
@@ -192,22 +193,14 @@ impl Signature {
     #[inline]
     pub fn and_count(&self, other: &Signature) -> u32 {
         debug_assert_eq!(self.nbits, other.nbits);
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(a, b)| (a & b).count_ones())
-            .sum()
+        kernels::active().and_count(&self.words, &other.words)
     }
 
     /// `|self ∪ other|` without allocating.
     #[inline]
     pub fn union_count(&self, other: &Signature) -> u32 {
         debug_assert_eq!(self.nbits, other.nbits);
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(a, b)| (a | b).count_ones())
-            .sum()
+        kernels::active().or_count(&self.words, &other.words)
     }
 
     /// `|self \ other|` (bits set in `self` but not in `other`) without
@@ -217,32 +210,21 @@ impl Signature {
     #[inline]
     pub fn andnot_count(&self, other: &Signature) -> u32 {
         debug_assert_eq!(self.nbits, other.nbits);
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(a, b)| (a & !b).count_ones())
-            .sum()
+        kernels::active().andnot_count(&self.words, &other.words)
     }
 
     /// `true` iff `self ⊇ other` (every bit of `other` is set in `self`).
     #[inline]
     pub fn contains(&self, other: &Signature) -> bool {
         debug_assert_eq!(self.nbits, other.nbits);
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .all(|(a, b)| b & !a == 0)
+        kernels::active().contains(&self.words, &other.words)
     }
 
     /// The Hamming distance `|self Δ other|` (symmetric-difference size).
     #[inline]
     pub fn hamming(&self, other: &Signature) -> u32 {
         debug_assert_eq!(self.nbits, other.nbits);
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum()
+        kernels::active().xor_count(&self.words, &other.words)
     }
 
     /// The area growth `|self ∪ other| − |self|` needed to make `self`

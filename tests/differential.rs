@@ -452,6 +452,94 @@ fn sharded_batch_matches_sequential_answers() {
 }
 
 // ---------------------------------------------------------------------------
+// Kernel variants: every compiled-in visit kernel (scalar, unrolled, SIMD)
+// must produce the oracle answer byte for byte — distances, tids, order —
+// through both the single tree and the sharded executor. The scalar
+// baseline is captured first, then each variant is forced in-process and
+// must reproduce it exactly.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_kernel_variant_answers_byte_for_byte() {
+    use sg_sig::kernels::{self, KernelKind};
+
+    let (data, queries, nbits) = workload(2_000, 12);
+    let (tree, _) = build_tree(nbits, &data, None);
+    let exec = ShardedExecutor::build(
+        nbits,
+        &data,
+        &ExecConfig {
+            shards: 3,
+            page_size: PAGE_SIZE,
+            pool_frames: POOL_FRAMES,
+            ..ExecConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Baseline answers under the reference kernel.
+    kernels::force(KernelKind::Scalar);
+    struct Baseline {
+        knn: Vec<Neighbor>,
+        range: Vec<Neighbor>,
+        containing: Vec<Tid>,
+        exact: Vec<Tid>,
+    }
+    let eps_of = |knn: &[Neighbor]| knn.last().map_or(0.0, |n| n.dist);
+    let baselines: Vec<Vec<Baseline>> = metrics()
+        .iter()
+        .map(|m| {
+            queries
+                .iter()
+                .map(|q| {
+                    let knn = oracle_knn(&data, q, 10, m);
+                    let range = oracle_range(&data, q, eps_of(&knn), m);
+                    Baseline {
+                        knn,
+                        range,
+                        containing: oracle_containing(&data, q),
+                        exact: oracle_exact(&data, q),
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let compiled = kernels::variants();
+    assert!(
+        compiled.contains(&KernelKind::Scalar) && compiled.contains(&KernelKind::Unrolled),
+        "scalar and unrolled must always be compiled in"
+    );
+    for &kind in compiled {
+        kernels::force(kind);
+        assert_eq!(kernels::active().kind, kind, "force did not take");
+        for (m, per_query) in metrics().iter().zip(&baselines) {
+            for (q, truth) in queries.iter().zip(per_query) {
+                let (got, _) = tree.knn(q, 10, m);
+                assert_eq!(got, truth.knn, "{kind:?} tree knn {m:?}");
+                let (got, _) = exec.knn(q, 10, m);
+                assert_eq!(got, truth.knn, "{kind:?} exec knn {m:?}");
+                let eps = eps_of(&truth.knn);
+                let (got, _) = tree.range(q, eps, m);
+                assert_eq!(got, truth.range, "{kind:?} tree range {m:?}");
+                let (got, _) = exec.range(q, eps, m);
+                assert_eq!(got, truth.range, "{kind:?} exec range {m:?}");
+            }
+        }
+        for (q, truth) in queries.iter().zip(&baselines[0]) {
+            let (got, _) = tree.containing(q);
+            assert_eq!(got, truth.containing, "{kind:?} tree containing");
+            let (got, _) = exec.containing(q);
+            assert_eq!(got, truth.containing, "{kind:?} exec containing");
+            let (got, _) = tree.exact(q);
+            assert_eq!(got, truth.exact, "{kind:?} tree exact");
+            let (got, _) = exec.exact(q);
+            assert_eq!(got, truth.exact, "{kind:?} exec exact");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // MinHashLsh: sound, self-recalling, and recall-bounded on close pairs.
 // ---------------------------------------------------------------------------
 
