@@ -13,7 +13,7 @@ use crate::obs::ExecObs;
 use crate::partition::Partitioner;
 use crate::pool::ThreadPool;
 use crate::shard::{
-    read_meta, write_meta, DurabilityConfig, RecoveryReport, Shard, WriteAck, WriteOp,
+    read_meta, write_meta, DurabilityConfig, RecoveryReport, Shard, StorageMode, WriteAck, WriteOp,
 };
 use sg_obs::json::Json;
 use sg_obs::{span, IngestObs, QueryTrace, Registry, Span, SpanCtx};
@@ -205,11 +205,13 @@ impl ShardedExecutor {
                 &durability.dir,
                 idx,
                 durability.fsync,
+                durability.storage,
                 nbits,
                 &tree_config,
                 config.page_size,
             )?;
             report.replayed += rec.snapshot_entries + rec.wal_records;
+            report.snapshot_entries += rec.snapshot_entries;
             report.wal_records += rec.wal_records;
             report.truncated_bytes += rec.truncated_bytes;
             report.replay_ns.push(rec.replay_ns);
@@ -342,6 +344,31 @@ impl ShardedExecutor {
                 ])
             })
             .collect();
+        let store_docs: Vec<Json> = self
+            .store_stats()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                Json::Obj(vec![
+                    ("shard".to_string(), Json::U64(i as u64)),
+                    ("pages_mapped".to_string(), Json::U64(s.pages_mapped)),
+                    ("pages_allocated".to_string(), Json::U64(s.pages_allocated)),
+                    (
+                        "pages_pending_free".to_string(),
+                        Json::U64(s.pages_pending_free),
+                    ),
+                    ("pages_reusable".to_string(), Json::U64(s.pages_reusable)),
+                    (
+                        "dirty_since_commit".to_string(),
+                        Json::U64(s.dirty_since_commit.max(0) as u64),
+                    ),
+                    ("snapshot_pins".to_string(), Json::U64(s.snapshot_pins)),
+                    ("tx_id".to_string(), Json::U64(s.tx_id)),
+                    ("checkpoint_lsn".to_string(), Json::U64(s.checkpoint_lsn)),
+                    ("epoch".to_string(), Json::U64(s.epoch)),
+                ])
+            })
+            .collect();
         Json::Obj(vec![
             ("status".to_string(), Json::Str(merged.status().to_string())),
             ("shards".to_string(), Json::Arr(shard_docs)),
@@ -351,6 +378,16 @@ impl ShardedExecutor {
                 Json::Obj(vec![
                     ("traces".to_string(), Json::U64(traces)),
                     ("levels".to_string(), Json::Arr(observed_docs)),
+                ]),
+            ),
+            (
+                "storage".to_string(),
+                Json::Obj(vec![
+                    (
+                        "mode".to_string(),
+                        Json::Str(self.storage_mode().as_str().to_string()),
+                    ),
+                    ("stores".to_string(), Json::Arr(store_docs)),
                 ]),
             ),
         ])
@@ -374,7 +411,13 @@ impl ShardedExecutor {
         let obs = self.inner.ingest_obs.get_or_init(|| {
             let obs = IngestObs::register(registry, prefix);
             if let Some(rep) = &self.recovery {
-                obs.replayed.add(rep.replayed);
+                // `replayed` counts only WAL *tail* records actually
+                // re-applied on open; entries restored wholesale from a
+                // checkpoint are reported separately. (The old behaviour
+                // folded both into `replayed`, which made a freshly
+                // checkpointed reopen look like a long replay.)
+                obs.replayed.add(rep.wal_records);
+                obs.snapshot_entries.add(rep.snapshot_entries);
                 obs.truncated_bytes.add(rep.truncated_bytes);
                 for &ns in &rep.replay_ns {
                     obs.replay_ns.record(ns);
@@ -383,6 +426,45 @@ impl ShardedExecutor {
             obs
         });
         Arc::clone(obs)
+    }
+
+    /// Registers page-store instruments under `<prefix>.*` and attaches
+    /// them to every mmap shard's store (gauges are adjusted by delta, so
+    /// all shards share one instrument set). Returns `None` when no shard
+    /// uses the mmap store. Effective once per store.
+    pub fn register_store_obs(
+        &self,
+        registry: &Registry,
+        prefix: &str,
+    ) -> Option<Arc<sg_obs::StoreObs>> {
+        if !self.inner.shards.iter().any(|s| s.store().is_some()) {
+            return None;
+        }
+        let obs = sg_obs::StoreObs::register(registry, prefix);
+        for shard in &self.inner.shards {
+            if let Some(store) = shard.store() {
+                store.attach_obs(Arc::clone(&obs));
+            }
+        }
+        Some(obs)
+    }
+
+    /// Per-shard page-store statistics; empty for heap storage.
+    pub fn store_stats(&self) -> Vec<sg_store::StoreStats> {
+        self.inner
+            .shards
+            .iter()
+            .filter_map(|s| s.store().map(|st| st.stats()))
+            .collect()
+    }
+
+    /// The storage mode the shards run on.
+    pub fn storage_mode(&self) -> StorageMode {
+        if self.inner.shards.iter().any(|s| s.store().is_some()) {
+            StorageMode::Mmap
+        } else {
+            StorageMode::Heap
+        }
     }
 
     fn ingest_obs(&self) -> Option<&IngestObs> {
@@ -658,6 +740,46 @@ impl ShardedExecutor {
         self.checkpoint()
     }
 
+    /// Spawns a background checkpointer that folds the group-committed
+    /// WAL into each shard's checkpoint every `every` — for mmap shards,
+    /// one copy-on-write meta-page flip per shard — bounding both log
+    /// size and restart time without blocking writers for long (each
+    /// shard is checkpointed under its read lock, one at a time).
+    /// Stops when the returned handle is dropped.
+    pub fn start_checkpointer(self: &Arc<Self>, every: std::time::Duration) -> Checkpointer {
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let exec = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name("sg-checkpointer".into())
+            .spawn(move || {
+                let slice = std::time::Duration::from_millis(25);
+                loop {
+                    // Sleep in slices so drop/stop is prompt.
+                    let mut slept = std::time::Duration::ZERO;
+                    while slept < every {
+                        if flag.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let nap = slice.min(every - slept);
+                        std::thread::sleep(nap);
+                        slept += nap;
+                    }
+                    if flag.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    // A failed checkpoint (e.g. disk full) leaves the WAL
+                    // intact; the next tick retries.
+                    let _ = exec.checkpoint();
+                }
+            })
+            .expect("spawning the checkpointer thread");
+        Checkpointer {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
     /// Fans `run` out over every shard and collects `(result, stats)` per
     /// shard, in shard order. Each shard task holds that shard's read
     /// lock only while it runs, so writers interleave between tasks.
@@ -669,9 +791,16 @@ impl ShardedExecutor {
             let run = Arc::clone(&run);
             let tx = tx.clone();
             self.pool.submit(move || {
-                let st = inner.shards[idx].state.read();
-                let (r, stats) = run(&st.tree);
-                drop(st);
+                let (r, stats) = match inner.shards[idx].read_view() {
+                    // Mmap shard: run on the published snapshot view —
+                    // no shard lock, so writers never block this query
+                    // (and an in-flight checkpoint can't move its pages).
+                    Some(view) => run(&view),
+                    None => {
+                        let st = inner.shards[idx].state.read();
+                        run(&st.tree)
+                    }
+                };
                 inner.record_shard(idx, &stats);
                 let _ = tx.send((idx, r, stats));
             });
@@ -994,6 +1123,34 @@ impl ShardedExecutor {
             .into_iter()
             .map(|r| r.expect("every batch query reports"))
             .collect()
+    }
+}
+
+/// Handle to the background checkpointer thread spawned by
+/// [`ShardedExecutor::start_checkpointer`]. Dropping it stops the thread
+/// (waiting for any in-flight checkpoint to finish).
+pub struct Checkpointer {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Checkpointer {
+    /// Stops the checkpointer and waits for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Checkpointer {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -1432,6 +1589,186 @@ mod tests {
             assert_eq!(rec.replayed, 30, "29 snapshot entries + 1 WAL record");
             assert_eq!(exec.len(), 30);
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mmap_executor_recovers_from_store_plus_wal_tail() {
+        let nbits = 64;
+        let dir = tmpdir("mmap-recover");
+        let durability = DurabilityConfig::os_only(&dir).storage(StorageMode::Mmap);
+        let config = ExecConfig {
+            shards: 3,
+            ..ExecConfig::default()
+        };
+        let mut expect: Vec<(Tid, Signature)> = Vec::new();
+        {
+            let exec = ShardedExecutor::open_durable(nbits, &config, &durability).unwrap();
+            assert_eq!(exec.storage_mode(), StorageMode::Mmap);
+            assert_eq!(exec.recovery().unwrap().replayed, 0);
+            for (tid, s) in sample(30, nbits) {
+                let ack = exec.insert(tid, &s).unwrap();
+                assert!(ack.lsn.is_some(), "durable writes carry an LSN");
+                expect.push((tid, s));
+            }
+            exec.delete(5).unwrap();
+            exec.upsert(6, &sig(nbits, &[50, 51])).unwrap();
+            expect.retain(|(t, _)| *t != 5 && *t != 6);
+            expect.push((6, sig(nbits, &[50, 51])));
+            // No checkpoint: recovery must come from the WAL tail alone.
+        }
+        {
+            let exec = ShardedExecutor::open_durable(nbits, &config, &durability).unwrap();
+            let rec = exec.recovery().unwrap();
+            assert_eq!(rec.wal_records, 32, "30 inserts + delete + upsert");
+            assert_eq!(rec.snapshot_entries, 0, "nothing was checkpointed yet");
+            assert_eq!(exec.len(), 29);
+            let mut dumped: Vec<(Tid, Signature)> = (0..exec.shards())
+                .flat_map(|i| exec.with_shard(i, |t| t.dump()))
+                .collect();
+            dumped.sort_by_key(|(t, _)| *t);
+            let mut want = expect.clone();
+            want.sort_by_key(|(t, _)| *t);
+            assert_eq!(dumped, want, "recovered state == acknowledged writes");
+            // Checkpoint (one meta-page flip per shard), write one more,
+            // crash again: only the tail past the flip may replay.
+            exec.checkpoint().unwrap();
+            exec.insert(100, &sig(nbits, &[9, 10])).unwrap();
+            expect.push((100, sig(nbits, &[9, 10])));
+        }
+        {
+            let exec = ShardedExecutor::open_durable(nbits, &config, &durability).unwrap();
+            let rec = exec.recovery().unwrap();
+            assert_eq!(
+                rec.wal_records, 1,
+                "only the post-checkpoint insert replays"
+            );
+            assert_eq!(
+                rec.snapshot_entries, 29,
+                "the rest is restored from the committed page store"
+            );
+            assert_eq!(exec.len(), 30);
+            let mut dumped: Vec<(Tid, Signature)> = (0..exec.shards())
+                .flat_map(|i| exec.with_shard(i, |t| t.dump()))
+                .collect();
+            dumped.sort_by_key(|(t, _)| *t);
+            expect.sort_by_key(|(t, _)| *t);
+            assert_eq!(dumped, expect);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression test: `ingest_replayed` must count only WAL *tail*
+    /// records actually re-applied on open, not entries restored from a
+    /// checkpoint (the old accounting folded both in, so a freshly
+    /// checkpointed reopen looked like a full replay).
+    #[test]
+    fn ingest_replayed_counts_only_the_wal_tail() {
+        let nbits = 64;
+        let dir = tmpdir("replay-count");
+        let durability = DurabilityConfig::os_only(&dir);
+        let config = ExecConfig {
+            shards: 2,
+            ..ExecConfig::default()
+        };
+        {
+            let exec = ShardedExecutor::open_durable(nbits, &config, &durability).unwrap();
+            for (tid, s) in sample(20, nbits) {
+                exec.insert(tid, &s).unwrap();
+            }
+            exec.checkpoint().unwrap();
+            exec.insert(100, &sig(nbits, &[9, 10])).unwrap();
+            exec.insert(101, &sig(nbits, &[9, 11])).unwrap();
+        }
+        let exec = ShardedExecutor::open_durable(nbits, &config, &durability).unwrap();
+        let registry = Registry::new();
+        let obs = exec.register_ingest_obs(&registry, "ingest");
+        assert_eq!(
+            obs.replayed.get(),
+            2,
+            "only the two post-checkpoint inserts count as replayed"
+        );
+        assert_eq!(obs.snapshot_entries.get(), 20);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mmap_live_writes_are_visible_through_snapshot_views() {
+        let nbits = 64;
+        let dir = tmpdir("mmap-live");
+        let durability = DurabilityConfig::os_only(&dir).storage(StorageMode::Mmap);
+        let config = ExecConfig {
+            shards: 2,
+            ..ExecConfig::default()
+        };
+        let exec = ShardedExecutor::open_durable(nbits, &config, &durability).unwrap();
+        let mut data = Vec::new();
+        for (tid, s) in sample(40, nbits) {
+            assert!(exec.insert(tid, &s).unwrap().applied);
+            data.push((tid, s));
+        }
+        // Queries run on published snapshot views, so every acknowledged
+        // write must already be visible.
+        for probe in [
+            sig(nbits, &[0, 1]),
+            sig(nbits, &[8, 9]),
+            sig(nbits, &[16, 17]),
+        ] {
+            let resp = exec
+                .query(
+                    &QueryRequest::Exact { q: probe.clone() },
+                    &QueryOptions::default(),
+                )
+                .unwrap();
+            assert_eq!(resp.output.tids().unwrap(), oracle_exact(&data, &probe));
+        }
+        // Deletes and upserts republish too.
+        let gone = data[7].clone();
+        assert!(exec.delete(gone.0).unwrap().applied);
+        data.retain(|(t, _)| *t != gone.0);
+        let resp = exec
+            .query(
+                &QueryRequest::Exact { q: gone.1.clone() },
+                &QueryOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(resp.output.tids().unwrap(), oracle_exact(&data, &gone.1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn background_checkpointer_truncates_the_wal() {
+        let nbits = 64;
+        let dir = tmpdir("mmap-ckpt");
+        let durability = DurabilityConfig::os_only(&dir).storage(StorageMode::Mmap);
+        let config = ExecConfig {
+            shards: 2,
+            ..ExecConfig::default()
+        };
+        {
+            let exec =
+                Arc::new(ShardedExecutor::open_durable(nbits, &config, &durability).unwrap());
+            for (tid, s) in sample(25, nbits) {
+                exec.insert(tid, &s).unwrap();
+            }
+            let ckpt = exec.start_checkpointer(std::time::Duration::from_millis(10));
+            // Wait for at least one commit to land on every shard.
+            let deadline = Instant::now() + std::time::Duration::from_secs(10);
+            loop {
+                let stats = exec.store_stats();
+                if stats.iter().all(|s| s.tx_id > 0) {
+                    break;
+                }
+                assert!(Instant::now() < deadline, "checkpointer never committed");
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            ckpt.stop();
+        }
+        let exec = ShardedExecutor::open_durable(nbits, &config, &durability).unwrap();
+        let rec = exec.recovery().unwrap();
+        assert_eq!(rec.wal_records, 0, "the WAL was folded into the store");
+        assert_eq!(rec.snapshot_entries, 25);
+        assert_eq!(exec.len(), 25);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -33,7 +33,10 @@
 //!   ([`DurabilityConfig`]): writes are logged and fsynced *before* they
 //!   are applied and acknowledged, and reopening replays snapshot + WAL
 //!   back to the last acknowledged write
-//!   ([`ShardedExecutor::recovery`]).
+//!   ([`ShardedExecutor::recovery`]). With [`StorageMode::Mmap`] each
+//!   shard instead lives in an mmap'd copy-on-write page store
+//!   (`sg_store`): queries run on pinned snapshot views, checkpoints are
+//!   a single meta-page flip, and reopen replays only the WAL tail.
 //!
 //! ## Quick example
 //!
@@ -83,13 +86,13 @@ mod shard;
 
 #[allow(deprecated)]
 pub use executor::{BatchOutput, BatchQuery};
-pub use executor::{ExecConfig, ShardedExecutor};
+pub use executor::{Checkpointer, ExecConfig, ShardedExecutor};
 pub use merge::{merge_knn, merge_range, merge_tids, ExecStats};
 pub use obs::ExecObs;
 pub use partition::Partitioner;
 pub use pool::ThreadPool;
 pub use sg_pager::FsyncPolicy;
-pub use shard::{DurabilityConfig, RecoveryReport, WriteAck, WriteOp};
+pub use shard::{DurabilityConfig, RecoveryReport, StorageMode, WriteAck, WriteOp};
 
 // The unified query surface (and its cancellation flag, which used to be
 // defined here) comes from `sg_tree`; re-exported so executor callers need

@@ -18,28 +18,72 @@
 //!
 //! ## Durability
 //!
-//! A durable shard owns two files: `shard-NNN.wal` (CRC-framed redo log,
-//! see [`sg_pager::Wal`]) and `shard-NNN.ckpt` (an atomic snapshot of the
-//! whole catalog at some LSN). [`Shard::checkpoint`] writes the snapshot
-//! with the WAL's *next LSN* as its watermark, then truncates the log;
-//! [`Shard::open_durable`] loads the snapshot (if any), replays every WAL
-//! record at or past the watermark, and discards a torn tail. A crash
-//! between snapshot rename and log truncation merely replays records the
-//! snapshot already covers — replay skips anything below the watermark, so
-//! recovery is idempotent.
+//! A durable shard always owns `shard-NNN.wal` (CRC-framed redo log, see
+//! [`sg_pager::Wal`]); what sits *under* the log depends on
+//! [`StorageMode`]:
+//!
+//! * **`Heap`** — `shard-NNN.ckpt` holds an atomic snapshot of the whole
+//!   catalog at some LSN. [`Shard::checkpoint`] writes the snapshot with
+//!   the WAL's *next LSN* as its watermark, then truncates the log;
+//!   [`Shard::open_durable`] loads the snapshot (if any), replays every
+//!   WAL record at or past the watermark, and discards a torn tail. A
+//!   crash between snapshot rename and log truncation merely replays
+//!   records the snapshot already covers — replay skips anything below
+//!   the watermark, so recovery is idempotent.
+//! * **`Mmap`** — `shard-NNN.pages` is an [`sg_store::CowStore`]: the
+//!   tree's node pages live in a memory-mapped copy-on-write page file,
+//!   so a checkpoint is a single dual-meta-page flip ([`CowStore::commit`]
+//!   with the WAL's next LSN as the watermark) instead of a full catalog
+//!   rewrite, and reopen replays only the WAL tail past that watermark —
+//!   restart cost is O(tail), not O(dataset). After every applied batch
+//!   the shard *publishes* the store and re-opens a read-only tree view
+//!   over a pinned [`sg_store::Snapshot`]; queries run on that view
+//!   without ever touching this shard's write lock.
 
 use crate::partition::Partitioner;
 use parking_lot::{Mutex, RwLock};
 use sg_obs::IngestObs;
 use sg_pager::{
-    read_snapshot, write_snapshot, FsyncPolicy, MemStore, SgError, SgResult, Wal, WalOp,
+    read_snapshot, write_snapshot, FsyncPolicy, MemStore, PageStore, SgError, SgResult, Wal, WalOp,
 };
 use sg_sig::{codec, Signature};
+use sg_store::CowStore;
 use sg_tree::{SgTree, Tid, TreeConfig};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// What a durable shard keeps under its WAL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageMode {
+    /// Heap trees rebuilt on open from a catalog snapshot + full WAL
+    /// replay (the original durability scheme).
+    #[default]
+    Heap,
+    /// Memory-mapped copy-on-write page store ([`sg_store::CowStore`]):
+    /// snapshot-isolated reads and O(WAL-tail) restart.
+    Mmap,
+}
+
+impl StorageMode {
+    /// Parses the `--storage=` flag value.
+    pub fn parse(s: &str) -> Option<StorageMode> {
+        match s {
+            "heap" => Some(StorageMode::Heap),
+            "mmap" => Some(StorageMode::Mmap),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling (`heap` / `mmap`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StorageMode::Heap => "heap",
+            StorageMode::Mmap => "mmap",
+        }
+    }
+}
 
 /// Where (and how hard) a durable executor persists its writes.
 #[derive(Debug, Clone)]
@@ -49,6 +93,9 @@ pub struct DurabilityConfig {
     /// `Always` fsyncs every group commit (survives power loss); `OsOnly`
     /// leaves flushing to the OS (survives process kill, not power loss).
     pub fsync: FsyncPolicy,
+    /// What the WAL checkpoints into (heap snapshots or the mmap'd
+    /// copy-on-write page store).
+    pub storage: StorageMode,
 }
 
 impl DurabilityConfig {
@@ -57,6 +104,7 @@ impl DurabilityConfig {
         DurabilityConfig {
             dir: dir.into(),
             fsync: FsyncPolicy::Always,
+            storage: StorageMode::Heap,
         }
     }
 
@@ -65,7 +113,20 @@ impl DurabilityConfig {
         DurabilityConfig {
             dir: dir.into(),
             fsync: FsyncPolicy::OsOnly,
+            storage: StorageMode::Heap,
         }
+    }
+
+    /// Durability rooted at `dir` over the mmap'd page store, with
+    /// per-commit fsync.
+    pub fn mmap(dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig::new(dir).storage(StorageMode::Mmap)
+    }
+
+    /// Selects the storage mode (builder style).
+    pub fn storage(mut self, storage: StorageMode) -> DurabilityConfig {
+        self.storage = storage;
+        self
     }
 }
 
@@ -133,6 +194,10 @@ pub struct WriteAck {
 pub struct RecoveryReport {
     /// Entries restored on open: snapshot entries + replayed WAL records.
     pub replayed: u64,
+    /// Entries restored from checkpoints — heap catalog snapshots or (for
+    /// mmap shards) the committed page store — *without* replaying a log
+    /// record.
+    pub snapshot_entries: u64,
     /// Of which, records replayed from WALs (past the snapshot watermark).
     pub wal_records: u64,
     /// Torn/corrupt WAL tail bytes discarded across all shards.
@@ -156,6 +221,22 @@ pub(crate) struct ShardRecovery {
 pub(crate) struct ShardState {
     pub(crate) tree: SgTree,
     pub(crate) catalog: HashMap<Tid, Signature>,
+    /// Whether `catalog` mirrors the tree. Mmap shards skip catalog
+    /// construction on open (restart stays O(WAL tail)) and hydrate it
+    /// from [`SgTree::dump`] on the first write — queries never need it.
+    pub(crate) catalog_ready: bool,
+}
+
+impl ShardState {
+    /// Hydrates the catalog from the tree if it has not been built yet
+    /// (the mmap write-warmup; a no-op for heap shards).
+    pub(crate) fn ensure_catalog(&mut self) {
+        if self.catalog_ready {
+            return;
+        }
+        self.catalog = self.tree.dump().into_iter().collect();
+        self.catalog_ready = true;
+    }
 }
 
 struct DurableSide {
@@ -163,10 +244,24 @@ struct DurableSide {
     snapshot_path: PathBuf,
 }
 
+/// The mmap-storage sidecar: the copy-on-write page store the shard's
+/// tree lives in, plus the published read-only view queries run against.
+struct MmapSide {
+    store: Arc<CowStore>,
+    /// Read-only tree over a pinned [`sg_store::Snapshot`], swapped after
+    /// every applied batch. Queries clone the `Arc` and drop the lock —
+    /// they never contend with the shard's state lock.
+    view: Mutex<Arc<SgTree>>,
+    /// Tree-config hints for re-opening views.
+    hints: TreeConfig,
+    fsync: FsyncPolicy,
+}
+
 /// One executor shard: reader-writer state plus an optional WAL.
 pub(crate) struct Shard {
     pub(crate) state: RwLock<ShardState>,
     durable: Option<Mutex<DurableSide>>,
+    mmap: Option<MmapSide>,
 }
 
 /// Applies one staged mutation to `st`, returning the net change in entry
@@ -213,31 +308,79 @@ fn wal_op(op: &WriteOp) -> WalOp {
     }
 }
 
-/// WAL payload of an op: the encoded signature (deletes log the signature
-/// being removed, purely as an audit aid — replay resolves it from the
-/// catalog it is rebuilding).
+/// WAL payload of an op, **self-contained** so replay never needs a
+/// catalog: inserts log the new signature, deletes log the signature
+/// being removed, and upserts log the new signature followed by the
+/// replaced one (when a previous value existed). Heap replay decodes
+/// only the leading signature — [`codec::decode`] reports how many bytes
+/// it consumed and ignores the rest — while mmap replay uses the trailing
+/// old signature to undo the replaced entry directly in the tree.
 fn wal_payload(op: &WriteOp, old: Option<&Signature>) -> Vec<u8> {
     let mut out = Vec::new();
-    if let Some(sig) = op.signature().or(old) {
-        codec::encode(sig, &mut out);
+    match op {
+        WriteOp::Insert { sig, .. } => {
+            codec::encode(sig, &mut out);
+        }
+        WriteOp::Delete { .. } => {
+            if let Some(old) = old {
+                codec::encode(old, &mut out);
+            }
+        }
+        WriteOp::Upsert { sig, .. } => {
+            codec::encode(sig, &mut out);
+            if let Some(old) = old {
+                codec::encode(old, &mut out);
+            }
+        }
     }
     out
+}
+
+/// Opens a read-only tree over a freshly pinned snapshot of `store`
+/// (the mmap query view; the snapshot stays pinned until the view drops).
+fn open_view(store: &Arc<CowStore>, hints: &TreeConfig) -> SgResult<SgTree> {
+    SgTree::open(Arc::new(store.snapshot()), 0, hints.clone())
 }
 
 impl Shard {
     /// A memory-only shard (no WAL, no snapshot).
     pub(crate) fn memory(tree: SgTree, catalog: HashMap<Tid, Signature>) -> Shard {
         Shard {
-            state: RwLock::new(ShardState { tree, catalog }),
+            state: RwLock::new(ShardState {
+                tree,
+                catalog,
+                catalog_ready: true,
+            }),
             durable: None,
+            mmap: None,
         }
     }
 
     /// Opens (or creates) durable shard `idx` under `dir`: loads the
-    /// snapshot, replays the WAL past its watermark, truncates any torn
-    /// tail, and floors the LSN counter so reused LSNs can never collide
-    /// with checkpointed ones.
+    /// checkpoint (heap snapshot or committed page store), replays the
+    /// WAL past its watermark, truncates any torn tail, and floors the
+    /// LSN counter so reused LSNs can never collide with checkpointed
+    /// ones.
     pub(crate) fn open_durable(
+        dir: &Path,
+        idx: usize,
+        fsync: FsyncPolicy,
+        storage: StorageMode,
+        nbits: u32,
+        tree_config: &TreeConfig,
+        page_size: usize,
+    ) -> SgResult<(Shard, ShardRecovery)> {
+        match storage {
+            StorageMode::Heap => {
+                Shard::open_durable_heap(dir, idx, fsync, nbits, tree_config, page_size)
+            }
+            StorageMode::Mmap => {
+                Shard::open_durable_mmap(dir, idx, fsync, nbits, tree_config, page_size)
+            }
+        }
+    }
+
+    fn open_durable_heap(
         dir: &Path,
         idx: usize,
         fsync: FsyncPolicy,
@@ -256,6 +399,7 @@ impl Shard {
         let mut st = ShardState {
             tree: SgTree::create(Arc::new(MemStore::new(page_size)), tree_config.clone())?,
             catalog: HashMap::new(),
+            catalog_ready: true,
         };
         let mut snapshot_entries = 0u64;
         if let Some((_, entries)) = snap {
@@ -313,6 +457,99 @@ impl Shard {
             Shard {
                 state: RwLock::new(st),
                 durable: Some(Mutex::new(DurableSide { wal, snapshot_path })),
+                mmap: None,
+            },
+            recovery,
+        ))
+    }
+
+    /// Opens shard `idx` over the mmap'd copy-on-write page store. The
+    /// committed store already holds every write covered by its meta
+    /// page's WAL watermark, so only the log tail past it is replayed —
+    /// restart work is proportional to the un-checkpointed tail, not to
+    /// the dataset.
+    fn open_durable_mmap(
+        dir: &Path,
+        idx: usize,
+        fsync: FsyncPolicy,
+        nbits: u32,
+        tree_config: &TreeConfig,
+        page_size: usize,
+    ) -> SgResult<(Shard, ShardRecovery)> {
+        let store_path = dir.join(format!("shard-{idx:03}.pages"));
+        let wal_path = dir.join(format!("shard-{idx:03}.wal"));
+        let t0 = Instant::now();
+        let (store, rep) = CowStore::open(&store_path, page_size)
+            .map_err(|e| SgError::io(format!("opening the shard page store {store_path:?}"), e))?;
+        // The store's meta page records the WAL next-LSN at commit time:
+        // everything below it is already in the committed pages.
+        let watermark = rep.checkpoint_lsn;
+        let (wal, replay) = Wal::open(&wal_path, fsync, watermark)?;
+        let page_store: Arc<dyn PageStore> = Arc::clone(&store) as Arc<dyn PageStore>;
+        let mut tree = if rep.n_logical == 0 {
+            SgTree::create(page_store, tree_config.clone())?
+        } else {
+            SgTree::open(page_store, 0, tree_config.clone())?
+        };
+        let snapshot_entries = tree.len();
+        let mut wal_records = 0u64;
+        for rec in &replay.records {
+            if rec.lsn < watermark {
+                continue; // crash between commit and truncation
+            }
+            // Replay is self-contained: payloads carry every signature
+            // needed (see `wal_payload`), so no catalog is built here.
+            let decode_at = |off: usize| {
+                codec::decode(nbits, &rec.payload[off..]).map_err(|e| {
+                    SgError::corrupt(format!("wal {wal_path:?} record lsn {}: {e}", rec.lsn))
+                })
+            };
+            match rec.op {
+                WalOp::Insert => {
+                    let (sig, _) = decode_at(0)?;
+                    tree.insert(rec.tid, &sig);
+                }
+                WalOp::Delete => {
+                    if !rec.payload.is_empty() {
+                        let (old, _) = decode_at(0)?;
+                        tree.delete(rec.tid, &old);
+                    }
+                }
+                WalOp::Upsert => {
+                    let (sig, used) = decode_at(0)?;
+                    if rec.payload.len() > used {
+                        let (old, _) = decode_at(used)?;
+                        tree.delete(rec.tid, &old);
+                    }
+                    tree.insert(rec.tid, &sig);
+                }
+            }
+            wal_records += 1;
+        }
+        tree.flush();
+        store.publish();
+        let view = Arc::new(open_view(&store, tree_config)?);
+        let recovery = ShardRecovery {
+            snapshot_entries,
+            wal_records,
+            truncated_bytes: replay.truncated_bytes,
+            replay_ns: t0.elapsed().as_nanos() as u64,
+        };
+        let snapshot_path = dir.join(format!("shard-{idx:03}.ckpt"));
+        Ok((
+            Shard {
+                state: RwLock::new(ShardState {
+                    tree,
+                    catalog: HashMap::new(),
+                    catalog_ready: false,
+                }),
+                durable: Some(Mutex::new(DurableSide { wal, snapshot_path })),
+                mmap: Some(MmapSide {
+                    store,
+                    view: Mutex::new(view),
+                    hints: tree_config.clone(),
+                    fsync,
+                }),
             },
             recovery,
         ))
@@ -320,12 +557,33 @@ impl Shard {
 
     /// Number of transactions currently in the shard.
     pub(crate) fn len(&self) -> u64 {
-        self.state.read().catalog.len() as u64
+        self.state.read().tree.len()
     }
 
     /// Whether this shard holds `tid`.
     pub(crate) fn contains(&self, tid: Tid) -> bool {
-        self.state.read().catalog.contains_key(&tid)
+        {
+            let st = self.state.read();
+            if st.catalog_ready {
+                return st.catalog.contains_key(&tid);
+            }
+        }
+        // Mmap shard before its first write: hydrate the catalog once.
+        let mut st = self.state.write();
+        st.ensure_catalog();
+        st.catalog.contains_key(&tid)
+    }
+
+    /// The published read-only tree view (mmap shards only): a pinned,
+    /// lock-free snapshot of the last applied batch. `None` means queries
+    /// must take the state read lock instead.
+    pub(crate) fn read_view(&self) -> Option<Arc<SgTree>> {
+        self.mmap.as_ref().map(|m| Arc::clone(&m.view.lock()))
+    }
+
+    /// The mmap page store, if this shard uses one.
+    pub(crate) fn store(&self) -> Option<&Arc<CowStore>> {
+        self.mmap.as_ref().map(|m| &m.store)
     }
 
     /// Applies a group of ops under one write lock with one group commit:
@@ -344,38 +602,46 @@ impl Shard {
         obs: Option<&IngestObs>,
     ) -> (Vec<SgResult<WriteAck>>, i64) {
         let mut st = self.state.write();
+        // Writes need the catalog for validation and old-signature
+        // lookups; mmap shards build it lazily on the first write.
+        st.ensure_catalog();
         // Stage: validate each op against the catalog *as mutated by
         // earlier ops in this batch*, collecting the WAL items to log.
         let mut staged: Vec<Option<WriteOp>> = Vec::with_capacity(ops.len());
         let mut results: Vec<SgResult<WriteAck>> = Vec::with_capacity(ops.len());
         let mut wal_items: Vec<(WalOp, u64, Vec<u8>)> = Vec::new();
-        // Track catalog effects of earlier staged ops without applying yet.
-        let mut pending: HashMap<Tid, bool> = HashMap::new(); // tid → exists after staged ops
-        let exists = |st: &ShardState, pending: &HashMap<Tid, bool>, tid: Tid| {
+        // Track catalog effects of earlier staged ops without applying
+        // yet: tid → its signature after the staged prefix (`None` =
+        // staged as deleted). WAL payloads must log the *effective* old
+        // signature — an op earlier in this batch may have produced it —
+        // or self-contained (mmap) replay would miss intra-batch
+        // replacements.
+        let mut pending: HashMap<Tid, Option<Signature>> = HashMap::new();
+        let effective = |st: &ShardState, pending: &HashMap<Tid, Option<Signature>>, tid: Tid| {
             pending
                 .get(&tid)
-                .copied()
-                .unwrap_or_else(|| st.catalog.contains_key(&tid))
+                .cloned()
+                .unwrap_or_else(|| st.catalog.get(&tid).cloned())
         };
         for (i, op) in ops.iter().enumerate() {
             let want = expected.get(i).and_then(|e| e.as_ref());
+            let old = effective(&st, &pending, op.tid());
             match op {
-                WriteOp::Insert { tid, .. } => {
-                    if exists(&st, &pending, *tid) {
+                WriteOp::Insert { tid, sig } => {
+                    if old.is_some() {
                         staged.push(None);
                         results.push(Err(SgError::invalid(format!(
                             "insert of duplicate tid {tid}"
                         ))));
                         continue;
                     }
-                    pending.insert(*tid, true);
+                    pending.insert(*tid, Some(sig.clone()));
                 }
                 WriteOp::Delete { tid } => {
-                    let present = exists(&st, &pending, *tid);
-                    let matches = match (present, want) {
-                        (false, _) => false,
-                        (true, None) => true,
-                        (true, Some(sig)) => st.catalog.get(tid) == Some(sig),
+                    let matches = match (&old, want) {
+                        (None, _) => false,
+                        (Some(_), None) => true,
+                        (Some(have), Some(sig)) => have == sig,
                     };
                     if !matches {
                         staged.push(None);
@@ -386,13 +652,12 @@ impl Shard {
                         }));
                         continue;
                     }
-                    pending.insert(*tid, false);
+                    pending.insert(*tid, None);
                 }
-                WriteOp::Upsert { tid, .. } => {
-                    pending.insert(*tid, true);
+                WriteOp::Upsert { tid, sig } => {
+                    pending.insert(*tid, Some(sig.clone()));
                 }
             }
-            let old = st.catalog.get(&op.tid()).cloned();
             wal_items.push((wal_op(op), op.tid(), wal_payload(op, old.as_ref())));
             staged.push(Some(op.clone()));
             results.push(Ok(WriteAck {
@@ -404,6 +669,7 @@ impl Shard {
         // Log: one append + one sync for the whole group. Nothing has been
         // applied yet, so a failure here leaves memory untouched and every
         // staged op is failed instead of acknowledged.
+        let mut next_lsn = None;
         let lsns: Vec<u64> = if wal_items.is_empty() {
             Vec::new()
         } else if let Some(d) = &self.durable {
@@ -415,6 +681,7 @@ impl Shard {
                         o.wal_bytes.add(side.wal.bytes().saturating_sub(before));
                         o.wal_syncs.inc();
                     }
+                    next_lsn = Some(side.wal.next_lsn());
                     lsns
                 }
                 Err(e) => {
@@ -444,6 +711,25 @@ impl Shard {
                 }
             }
         }
+        // Mmap epilogue: flush the tree's meta into the store's write
+        // window, publish the new mapping, and swap in a fresh view so
+        // queries observe this batch without taking the state lock.
+        if let Some(m) = &self.mmap {
+            if staged.iter().any(Option::is_some) {
+                st.tree.flush();
+                m.store.publish();
+                match open_view(&m.store, &m.hints) {
+                    Ok(view) => *m.view.lock() = Arc::new(view),
+                    // The batch is durable and applied; keep serving the
+                    // previous view rather than failing acknowledged ops.
+                    Err(e) => debug_assert!(false, "reopening the shard view: {e}"),
+                }
+                if let (Some(so), Some(next)) = (m.store.obs_handle(), next_lsn) {
+                    so.checkpoint_lag
+                        .set(next.saturating_sub(m.store.checkpoint_lsn()) as i64);
+                }
+            }
+        }
         (results, delta)
     }
 
@@ -455,6 +741,29 @@ impl Shard {
         let Some(d) = &self.durable else {
             return Ok(());
         };
+        if let Some(m) = &self.mmap {
+            // Mmap checkpoint: one dual-meta-page flip. The read lock
+            // keeps writers out (so the tree's meta is already flushed —
+            // every batch flushes before releasing the write lock) and
+            // the WAL mutex keeps the watermark consistent with the
+            // truncation that follows it.
+            let t0 = Instant::now();
+            let _st = self.state.read();
+            let mut side = d.lock();
+            let watermark = side.wal.next_lsn();
+            m.store
+                .commit(watermark, matches!(m.fsync, FsyncPolicy::Always))
+                .map_err(|e| SgError::io("committing the shard page store", e))?;
+            side.wal.truncate()?;
+            if let Some(so) = m.store.obs_handle() {
+                so.checkpoint_lag.set(0);
+            }
+            if let Some(o) = obs {
+                o.checkpoints.inc();
+                o.checkpoint_ns.record(t0.elapsed().as_nanos() as u64);
+            }
+            return Ok(());
+        }
         let t0 = Instant::now();
         let st = self.state.read();
         let mut side = d.lock();

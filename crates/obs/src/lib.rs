@@ -31,7 +31,7 @@ pub mod trace;
 pub use history::{MetricHistory, Sampler};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, IndexObs, IngestObs, MetricSnapshot, MetricValue,
-    PoolObs, Registry, RegistrySnapshot, ServeObs,
+    PoolObs, Registry, RegistrySnapshot, ServeObs, StoreObs,
 };
 pub use span::{Span, SpanCtx, SpanData};
 pub use trace::{record_trace_levels, trace_level_aggregates, LevelTrace, QueryTrace, TraceSink};

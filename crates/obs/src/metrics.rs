@@ -630,8 +630,12 @@ pub struct IngestObs {
     pub wal_bytes: Arc<Counter>,
     /// WAL sync (group-commit) operations (`<prefix>.wal_syncs`).
     pub wal_syncs: Arc<Counter>,
-    /// Records replayed from WAL + snapshot on open (`<prefix>.replayed`).
+    /// WAL *tail* records replayed on open — records past the last
+    /// checkpoint, the true restart debt (`<prefix>.replayed`).
     pub replayed: Arc<Counter>,
+    /// Entries restored from the checkpoint snapshot (or mmap store) on
+    /// open, already durable before the tail (`<prefix>.snapshot_entries`).
+    pub snapshot_entries: Arc<Counter>,
     /// Checkpoints taken (`<prefix>.checkpoints`).
     pub checkpoints: Arc<Counter>,
     /// Torn/corrupt WAL tail bytes discarded on open
@@ -660,11 +664,58 @@ impl IngestObs {
             wal_bytes: c("wal_bytes"),
             wal_syncs: c("wal_syncs"),
             replayed: c("replayed"),
+            snapshot_entries: c("snapshot_entries"),
             checkpoints: c("checkpoints"),
             truncated_bytes: c("truncated_bytes"),
             write_ns: h("write_ns"),
             replay_ns: h("replay_ns"),
             checkpoint_ns: h("checkpoint_ns"),
+        })
+    }
+}
+
+/// Instrument set for the mmap'd copy-on-write page store (`sg-store`),
+/// registered under a caller-chosen prefix (`"store"` in the serve
+/// layer). Gauges are updated with deltas so several shard stores can
+/// share one instrument set and the exported value is the fleet total.
+#[derive(Debug)]
+pub struct StoreObs {
+    /// Physical pages currently mapped across all store files
+    /// (`<prefix>.pages_mapped`).
+    pub pages_mapped: Arc<Gauge>,
+    /// Pages written (COW'd or freshly allocated) since the last durable
+    /// commit (`<prefix>.pages_dirty`).
+    pub pages_dirty: Arc<Gauge>,
+    /// Pages retired to the freelist over the store's lifetime
+    /// (`<prefix>.pages_freed`).
+    pub pages_freed: Arc<Counter>,
+    /// Snapshot epochs currently pinned by readers
+    /// (`<prefix>.snapshot_pins`).
+    pub snapshot_pins: Arc<Gauge>,
+    /// Durable meta-slot flips, i.e. committed checkpoints
+    /// (`<prefix>.meta_flips`).
+    pub meta_flips: Arc<Counter>,
+    /// WAL records not yet folded into COW pages: the replay debt a crash
+    /// right now would incur, in LSNs (`<prefix>.checkpoint_lag`).
+    pub checkpoint_lag: Arc<Gauge>,
+    /// Time spent in one durable commit (serialize table + msync + meta
+    /// flip), ns (`<prefix>.commit_ns`).
+    pub commit_ns: Arc<Histogram>,
+}
+
+impl StoreObs {
+    /// Registers the store instrument set under `<prefix>.<name>`.
+    pub fn register(registry: &Registry, prefix: &str) -> Arc<StoreObs> {
+        let c = |name: &str| registry.counter(&format!("{prefix}.{name}"));
+        let g = |name: &str| registry.gauge(&format!("{prefix}.{name}"));
+        Arc::new(StoreObs {
+            pages_mapped: g("pages_mapped"),
+            pages_dirty: g("pages_dirty"),
+            pages_freed: c("pages_freed"),
+            snapshot_pins: g("snapshot_pins"),
+            meta_flips: c("meta_flips"),
+            checkpoint_lag: g("checkpoint_lag"),
+            commit_ns: registry.histogram(&format!("{prefix}.commit_ns")),
         })
     }
 }

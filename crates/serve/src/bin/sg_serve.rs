@@ -12,7 +12,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sg_exec::{DurabilityConfig, ExecConfig, FsyncPolicy, ShardedExecutor, WriteOp};
+use sg_exec::{DurabilityConfig, ExecConfig, FsyncPolicy, ShardedExecutor, StorageMode, WriteOp};
 use sg_obs::Registry;
 use sg_serve::{BatchPolicy, ServeConfig, Server};
 use sg_sig::Signature;
@@ -80,6 +80,8 @@ struct Opts {
     timeout_ms: u64,
     data_dir: Option<String>,
     fsync: FsyncPolicy,
+    storage: StorageMode,
+    checkpoint_ms: Option<u64>,
     trace: bool,
     slow_ms: Option<u64>,
     sample_ms: Option<u64>,
@@ -105,6 +107,8 @@ impl Default for Opts {
             timeout_ms: 1000,
             data_dir: None,
             fsync: FsyncPolicy::Always,
+            storage: StorageMode::Heap,
+            checkpoint_ms: None,
             trace: false,
             slow_ms: None,
             sample_ms: None,
@@ -133,6 +137,12 @@ const USAGE: &str = "sg-serve: serve a generated SG-tree dataset over TCP
   --data-dir PATH         run durably: WAL + checkpoints under PATH,
                           replayed on restart; live writes survive kill -9
   --fsync always|os       WAL sync policy with --data-dir (default always)
+  --storage heap|mmap     what the WAL checkpoints into (default heap):
+                          `mmap` stores shard trees in a memory-mapped
+                          copy-on-write page file — queries run on pinned
+                          snapshots and restart replays only the WAL tail
+  --checkpoint-ms N       fold the WAL into the checkpoint every N ms in
+                          the background (bounds log size and restart)
   --trace                 turn on the flight recorder (spans served at
                           /debug/flight; kill -USR1 dumps them to a file)
   --slow-ms N             capture requests slower than N ms, with their
@@ -176,6 +186,14 @@ fn parse_opts() -> Result<Opts, String> {
                     "os" => FsyncPolicy::OsOnly,
                     other => return Err(format!("--fsync: `{other}` is not `always` or `os`")),
                 }
+            }
+            "--storage" => {
+                let v = val("--storage")?;
+                opts.storage = StorageMode::parse(&v)
+                    .ok_or_else(|| format!("--storage: `{v}` is not `heap` or `mmap`"))?;
+            }
+            "--checkpoint-ms" => {
+                opts.checkpoint_ms = Some(parse_num(&val("--checkpoint-ms")?, "--checkpoint-ms")?)
             }
             "--trace" => opts.trace = true,
             "--slow-ms" => opts.slow_ms = Some(parse_num(&val("--slow-ms")?, "--slow-ms")?),
@@ -261,10 +279,14 @@ fn main() {
     };
     let exec = match &opts.data_dir {
         Some(dir) => {
-            eprintln!("sg-serve: opening durable index at {dir}");
+            eprintln!(
+                "sg-serve: opening durable index at {dir} (storage={})",
+                opts.storage.as_str()
+            );
             let durability = DurabilityConfig {
                 dir: dir.into(),
                 fsync: opts.fsync,
+                storage: opts.storage,
             };
             let exec = match ShardedExecutor::open_durable(opts.nbits, &exec_config, &durability) {
                 Ok(e) => e,
@@ -275,8 +297,9 @@ fn main() {
             };
             if let Some(rec) = exec.recovery() {
                 eprintln!(
-                    "sg-serve: recovered {} records ({} from wal, {} torn bytes discarded)",
-                    rec.replayed, rec.wal_records, rec.truncated_bytes
+                    "sg-serve: recovered {} records ({} from checkpoint, {} from wal, \
+                     {} torn bytes discarded)",
+                    rec.replayed, rec.snapshot_entries, rec.wal_records, rec.truncated_bytes
                 );
             }
             // Seed a fresh durable index with the synthetic dataset; a
@@ -325,6 +348,17 @@ fn main() {
     let registry = Arc::new(Registry::new());
     exec.register_obs(&registry, "exec");
     exec.register_ingest_obs(&registry, "ingest");
+    exec.register_store_obs(&registry, "store");
+    let _checkpointer = opts
+        .checkpoint_ms
+        .filter(|_| opts.data_dir.is_some())
+        .map(|ms| {
+            eprintln!(
+                "sg-serve: background checkpointer on ({}ms interval)",
+                ms.max(1)
+            );
+            exec.start_checkpointer(Duration::from_millis(ms.max(1)))
+        });
     let config = ServeConfig {
         addr: opts.addr.clone(),
         admin_addr: opts.admin_addr.clone(),

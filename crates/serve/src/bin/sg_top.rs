@@ -255,6 +255,23 @@ fn render(opts: &Opts, frame: u64, history: &Json, tree: Option<&Json>, healthz:
             fmt_count(rate(history, "ingest.wal_syncs")),
         ),
     );
+    // Page-store row: present only when the server runs --storage=mmap
+    // (the metrics exist only once a CowStore registered them).
+    if metric(history, "store.pages_mapped").is_some() {
+        push(
+            &mut out,
+            format!(
+                "storage   mapped {}   dirty {}   pins {}   lag {} lsns   \
+                 flips {}/s   freed {}/s",
+                gauge_last(history, "store.pages_mapped"),
+                gauge_last(history, "store.pages_dirty"),
+                gauge_last(history, "store.snapshot_pins"),
+                gauge_last(history, "store.checkpoint_lag"),
+                fmt_count(rate(history, "store.meta_flips")),
+                fmt_count(rate(history, "store.pages_freed")),
+            ),
+        );
+    }
 
     // Per-shard visit rates, scaled against the hottest shard.
     let mut shard_rates = Vec::new();

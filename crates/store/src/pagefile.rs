@@ -1,0 +1,261 @@
+//! The memory-mapped page file: physical pages in fixed-size segments.
+//!
+//! The file is mapped in equal segments (≈4 MiB, rounded so every
+//! segment is both page- and mmap-alignment-sized). Growth appends a new
+//! segment and **never remaps existing ones**, so raw pointers held by
+//! concurrent snapshot readers stay valid for the life of the store; a
+//! snapshot captures the segment list (`Arc<Vec<Arc<Region>>>`) current
+//! at publish time and reads through it without any locking.
+//!
+//! # Safety
+//!
+//! Page reads/writes go through [`mmap::Region`]'s raw copy helpers. The
+//! owning [`crate::CowStore`] upholds the required discipline: a physical
+//! page is only ever written while it is private to the single writer
+//! (freshly allocated or copy-on-written this window), never once a
+//! published snapshot or the durable meta can reference it.
+
+use mmap::{Region, MAP_ALIGN};
+use parking_lot::RwLock;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Shared, append-only list of mapped segments.
+pub type Segments = Arc<Vec<Arc<Region>>>;
+
+/// A page file mapped in fixed-size segments.
+pub struct PageFile {
+    file: File,
+    page_size: usize,
+    seg_pages: u64,
+    seg_bytes: u64,
+    segs: RwLock<Segments>,
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Segment size for a page size: a common multiple of the page size and
+/// [`MAP_ALIGN`], scaled up to at least ~4 MiB so growth is infrequent.
+fn segment_bytes(page_size: u64) -> u64 {
+    const TARGET: u64 = 4 << 20;
+    let unit = page_size / gcd(page_size, MAP_ALIGN) * MAP_ALIGN;
+    let factor = TARGET.div_ceil(unit);
+    unit * factor.max(1)
+}
+
+impl PageFile {
+    /// Opens (creating if absent) the page file at `path` and maps every
+    /// existing segment.
+    pub fn open(path: impl AsRef<Path>, page_size: usize) -> io::Result<PageFile> {
+        assert!(page_size > 0);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let seg_bytes = segment_bytes(page_size as u64);
+        let seg_pages = seg_bytes / page_size as u64;
+        let len = file.metadata()?.len();
+        let n_segs = len / seg_bytes; // partial trailing segments are regrown on demand
+        let mut segs = Vec::with_capacity(n_segs as usize);
+        for k in 0..n_segs {
+            segs.push(Arc::new(Region::map(
+                &file,
+                k * seg_bytes,
+                seg_bytes as usize,
+            )?));
+        }
+        Ok(PageFile {
+            file,
+            page_size,
+            seg_pages,
+            seg_bytes,
+            segs: RwLock::new(Arc::new(segs)),
+        })
+    }
+
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Pages per mapped segment (the translation stride for
+    /// [`read_page_in`]).
+    pub fn seg_pages(&self) -> u64 {
+        self.seg_pages
+    }
+
+    /// Physical pages currently mapped (file capacity).
+    pub fn mapped_pages(&self) -> u64 {
+        self.segs.read().len() as u64 * self.seg_pages
+    }
+
+    /// The current segment list; snapshots capture this at publish time.
+    pub fn segments(&self) -> Segments {
+        Arc::clone(&self.segs.read())
+    }
+
+    /// Grows the file (and mapping) until at least `pages` physical pages
+    /// exist. Existing segments are never remapped.
+    pub fn ensure_pages(&self, pages: u64) -> io::Result<u64> {
+        let mut grown = 0;
+        let mut segs = self.segs.write();
+        while (segs.len() as u64) * self.seg_pages < pages {
+            let k = segs.len() as u64;
+            self.file.set_len((k + 1) * self.seg_bytes)?;
+            let region = Arc::new(Region::map(
+                &self.file,
+                k * self.seg_bytes,
+                self.seg_bytes as usize,
+            )?);
+            let mut next = Vec::with_capacity(segs.len() + 1);
+            next.extend(segs.iter().cloned());
+            next.push(region);
+            *segs = Arc::new(next);
+            grown += self.seg_pages;
+        }
+        Ok(grown)
+    }
+
+    /// Reads physical page `phys` into `buf`.
+    pub fn read_page(&self, phys: u64, buf: &mut [u8]) {
+        let segs = self.segs.read();
+        read_page_in(&segs, self.seg_pages, self.page_size, phys, buf);
+    }
+
+    /// Writes `data` as physical page `phys` (see the module safety note).
+    pub fn write_page(&self, phys: u64, data: &[u8]) {
+        assert_eq!(data.len(), self.page_size);
+        let segs = self.segs.read();
+        let (seg, off) = locate(self.seg_pages, self.page_size, phys);
+        let region = segs
+            .get(seg)
+            .unwrap_or_else(|| panic!("write past mapping: page {phys}"));
+        unsafe { region.write_at(off, data) }
+    }
+
+    /// Flushes every mapped segment to stable storage (`msync`).
+    pub fn flush_all(&self) -> io::Result<()> {
+        let segs = self.segments();
+        for region in segs.iter() {
+            region.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes just the segment range holding page `phys` — the single
+    /// durable "pointer write" of a meta-slot flip.
+    pub fn flush_page(&self, phys: u64) -> io::Result<()> {
+        let segs = self.segs.read();
+        let (seg, off) = locate(self.seg_pages, self.page_size, phys);
+        let region = segs
+            .get(seg)
+            .unwrap_or_else(|| panic!("flush past mapping: page {phys}"));
+        region.flush_range(off, self.page_size)
+    }
+}
+
+#[inline]
+fn locate(seg_pages: u64, page_size: usize, phys: u64) -> (usize, usize) {
+    (
+        (phys / seg_pages) as usize,
+        (phys % seg_pages) as usize * page_size,
+    )
+}
+
+/// Reads page `phys` through a captured segment list — the lock-free
+/// snapshot read path.
+pub fn read_page_in(
+    segs: &[Arc<Region>],
+    seg_pages: u64,
+    page_size: usize,
+    phys: u64,
+    buf: &mut [u8],
+) {
+    assert_eq!(buf.len(), page_size);
+    let (seg, off) = locate(seg_pages, page_size, phys);
+    let region = segs
+        .get(seg)
+        .unwrap_or_else(|| panic!("read past mapping: page {phys}"));
+    unsafe { region.read_into(off, buf) }
+}
+
+#[cfg(all(test, not(miri)))]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "sg-store-pf-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn segment_bytes_is_aligned_for_odd_page_sizes() {
+        for ps in [128u64, 1024, 4096, 8192, 1000, 1536] {
+            let sb = segment_bytes(ps);
+            assert_eq!(sb % ps, 0, "page size {ps}");
+            assert_eq!(sb % MAP_ALIGN, 0, "page size {ps}");
+            assert!(sb >= 4 << 20);
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip_across_growth() {
+        let path = temp("roundtrip");
+        let pf = PageFile::open(&path, 4096).unwrap();
+        assert_eq!(pf.mapped_pages(), 0);
+        pf.ensure_pages(1).unwrap();
+        let first = pf.mapped_pages();
+        assert!(first >= 1);
+
+        let page = vec![0x5Au8; 4096];
+        pf.write_page(0, &page);
+
+        // Capture the segment list, then grow: the captured list must keep
+        // serving old pages (growth never remaps).
+        let segs = pf.segments();
+        pf.ensure_pages(first + 1).unwrap();
+        assert!(pf.mapped_pages() > first);
+
+        let mut out = vec![0u8; 4096];
+        read_page_in(&segs, first, 4096, 0, &mut out);
+        assert_eq!(out, page);
+        pf.write_page(first, &page); // page in the new segment
+        let mut out2 = vec![0u8; 4096];
+        pf.read_page(first, &mut out2);
+        assert_eq!(out2, page);
+
+        drop(pf);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_maps_existing_segments() {
+        let path = temp("reopen");
+        {
+            let pf = PageFile::open(&path, 4096).unwrap();
+            pf.ensure_pages(1).unwrap();
+            pf.write_page(3, &[9u8; 4096]);
+            pf.flush_all().unwrap();
+        }
+        {
+            let pf = PageFile::open(&path, 4096).unwrap();
+            assert!(pf.mapped_pages() >= 4);
+            let mut out = vec![0u8; 4096];
+            pf.read_page(3, &mut out);
+            assert_eq!(out, [9u8; 4096]);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,700 @@
+//! [`CowStore`]: the copy-on-write page store over a memory-mapped file.
+//!
+//! ## Design (after jammdb / LMDB)
+//!
+//! The store presents **logical** pages through [`sg_pager::PageStore`];
+//! a chunked COW [`PageTable`](crate::table::PageTable) maps them to
+//! **physical** pages of an mmap'd, segment-grown file
+//! ([`PageFile`](crate::pagefile::PageFile)). Three rules give snapshot
+//! isolation and atomic durability:
+//!
+//! 1. **Copy-on-write.** The single writer never overwrites a physical
+//!    page that a published snapshot or the durable commit can see: the
+//!    first write to a logical page in each *window* (the span between
+//!    two [`CowStore::publish`] calls) relocates it to a fresh physical
+//!    page; the old one is parked in the epoch-gated
+//!    [`Freelist`](crate::freelist::Freelist).
+//! 2. **Epoch-pinned snapshots.** [`CowStore::publish`] freezes the
+//!    current mapping (an O(chunks) table snapshot plus the segment
+//!    list); [`CowStore::snapshot`] pins that epoch and returns a
+//!    read-only [`PageStore`] view that translates and reads with **no
+//!    locking** — concurrent writers and checkpoints never make it
+//!    block, and its pages cannot be recycled until it drops.
+//! 3. **Dual meta pages.** [`CowStore::commit`] serializes the table
+//!    into COW pages, flushes data, then writes the *inactive* meta slot
+//!    (physical page `tx_id % 2` flips each commit) with a CRC trailer —
+//!    one flushed pointer-sized write is the whole commit. Recovery
+//!    ([`CowStore::open`]) picks the valid slot with the highest
+//!    transaction id, so a torn flip falls back to the previous commit
+//!    and the write-ahead log replays only the tail past
+//!    [`Meta::checkpoint_lsn`](crate::meta::Meta) — restart cost is
+//!    O(tail), not O(history).
+
+use crate::freelist::Freelist;
+use crate::meta::{self, Meta, META_LEN, META_SLOTS, NONE};
+use crate::pagefile::{read_page_in, PageFile, Segments};
+use crate::table::PageTable;
+use parking_lot::Mutex;
+use sg_obs::StoreObs;
+use sg_pager::{PageId, PageStore, SgError, SgResult};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// State frozen by the last [`CowStore::publish`]: what snapshots see.
+struct Published {
+    table: PageTable,
+    epoch: u64,
+    segs: Segments,
+    live_pages: u64,
+}
+
+/// What the last durable commit wrote, kept to reuse unchanged chunk
+/// pages at the next commit.
+struct Committed {
+    table: PageTable,
+    chunk_pages: Vec<u64>,
+    index_page: u64,
+}
+
+struct Inner {
+    table: PageTable,
+    logical_free: Vec<u64>,
+    free: Freelist,
+    next_phys: u64,
+    /// Current write window; bumped by every publish and commit.
+    epoch: u64,
+    last_commit_epoch: u64,
+    /// Logical pages relocated this window: safe to overwrite in place.
+    private: std::collections::HashMap<u64, u64>,
+    published: Published,
+    committed: Option<Committed>,
+    tx_id: u64,
+    checkpoint_lsn: u64,
+    /// Page writes since the last durable commit (gauge bookkeeping).
+    dirty: i64,
+}
+
+/// A memory-mapped copy-on-write page store. See the module docs.
+pub struct CowStore {
+    file: PageFile,
+    page_size: usize,
+    inner: Mutex<Inner>,
+    /// Pinned snapshot epochs → pin count. Lock order: `inner` before
+    /// `pins` (snapshot drop takes only `pins`).
+    pins: Mutex<BTreeMap<u64, u64>>,
+    obs: OnceLock<Arc<StoreObs>>,
+}
+
+/// What [`CowStore::open`] found.
+#[derive(Clone, Debug)]
+pub struct OpenReport {
+    /// True when the file did not previously exist (or was empty).
+    pub created: bool,
+    /// Transaction id of the recovered commit.
+    pub tx_id: u64,
+    /// WAL watermark of the recovered commit: replay starts here.
+    pub checkpoint_lsn: u64,
+    /// Logical pages in the recovered table (0 for a fresh store).
+    pub n_logical: u64,
+}
+
+/// Point-in-time store statistics (see also [`StoreObs`]).
+#[derive(Clone, Debug)]
+pub struct StoreStats {
+    pub pages_mapped: u64,
+    pub pages_allocated: u64,
+    pub pages_pending_free: u64,
+    pub pages_reusable: u64,
+    pub dirty_since_commit: i64,
+    pub snapshot_pins: u64,
+    pub tx_id: u64,
+    pub checkpoint_lsn: u64,
+    pub epoch: u64,
+}
+
+impl CowStore {
+    /// Opens (creating if absent) the store at `path` and recovers the
+    /// newest valid commit.
+    pub fn open(
+        path: impl AsRef<Path>,
+        page_size: usize,
+    ) -> io::Result<(Arc<CowStore>, OpenReport)> {
+        assert!(page_size >= META_LEN, "page size too small for a meta slot");
+        let file = PageFile::open(path, page_size)?;
+        let chunk_entries = page_size / 8;
+
+        let (m, created) = if file.mapped_pages() < META_SLOTS {
+            // Fresh store: reserve the two meta slots and write commit 0.
+            file.ensure_pages(META_SLOTS)?;
+            let m = Meta {
+                page_size: page_size as u32,
+                tx_id: 0,
+                table_index: NONE,
+                n_logical: 0,
+                next_phys: META_SLOTS,
+                checkpoint_lsn: 0,
+            };
+            let mut page = vec![0u8; page_size];
+            m.encode(&mut page);
+            file.write_page(0, &page);
+            file.write_page(1, &vec![0u8; page_size]);
+            file.flush_page(0)?;
+            (m, true)
+        } else {
+            let mut a = vec![0u8; page_size];
+            let mut b = vec![0u8; page_size];
+            file.read_page(0, &mut a);
+            file.read_page(1, &mut b);
+            let m = meta::pick(Meta::decode(&a), Meta::decode(&b)).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "no valid sg-store meta slot")
+            })?;
+            if m.page_size as usize != page_size {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("store page size {} != requested {page_size}", m.page_size),
+                ));
+            }
+            (m, false)
+        };
+
+        file.ensure_pages(m.next_phys)?;
+
+        // Rebuild the table from the committed index page.
+        let (table, chunk_pages, index_page) = if m.table_index == NONE {
+            (PageTable::new(chunk_entries), Vec::new(), NONE)
+        } else {
+            let mut idx = vec![0u8; page_size];
+            file.read_page(m.table_index, &mut idx);
+            let n_logical = u64::from_le_bytes(idx[0..8].try_into().unwrap());
+            let n_chunks = u64::from_le_bytes(idx[8..16].try_into().unwrap()) as usize;
+            if n_logical != m.n_logical || 16 + n_chunks * 8 > page_size {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "corrupt table index page",
+                ));
+            }
+            let mut chunk_pages = Vec::with_capacity(n_chunks);
+            let mut pages = Vec::with_capacity(n_chunks);
+            for c in 0..n_chunks {
+                let phys = u64::from_le_bytes(idx[16 + c * 8..24 + c * 8].try_into().unwrap());
+                let mut page = vec![0u8; page_size];
+                file.read_page(phys, &mut page);
+                chunk_pages.push(phys);
+                pages.push(page);
+            }
+            (
+                PageTable::decode(chunk_entries, n_logical, &pages),
+                chunk_pages,
+                m.table_index,
+            )
+        };
+
+        // Derive the free physical set: everything below the high-water
+        // mark not referenced by the commit. (No pins exist at open, and
+        // the *other* meta slot only ever falls back one commit — its
+        // extra pages are exactly the ones this derivation frees.)
+        let mut used = vec![false; m.next_phys as usize];
+        used[0] = true;
+        used[1] = true;
+        if index_page != NONE {
+            used[index_page as usize] = true;
+        }
+        for &p in &chunk_pages {
+            used[p as usize] = true;
+        }
+        let mut logical_free = Vec::new();
+        for (logical, phys) in table.iter() {
+            if phys == NONE {
+                logical_free.push(logical);
+            } else {
+                used[phys as usize] = true;
+            }
+        }
+        let mut free = Freelist::new();
+        for phys in (META_SLOTS..m.next_phys).rev() {
+            if !used[phys as usize] {
+                free.push_reusable(phys);
+            }
+        }
+
+        let live_pages = table.len() - logical_free.len() as u64;
+        let report = OpenReport {
+            created,
+            tx_id: m.tx_id,
+            checkpoint_lsn: m.checkpoint_lsn,
+            n_logical: table.len(),
+        };
+        let published = Published {
+            table: table.snapshot(),
+            epoch: 1,
+            segs: file.segments(),
+            live_pages,
+        };
+        let committed = if index_page == NONE {
+            None
+        } else {
+            Some(Committed {
+                table: table.snapshot(),
+                chunk_pages,
+                index_page,
+            })
+        };
+        let store = CowStore {
+            file,
+            page_size,
+            inner: Mutex::new(Inner {
+                table,
+                logical_free,
+                free,
+                next_phys: m.next_phys,
+                epoch: 1,
+                last_commit_epoch: 0,
+                private: std::collections::HashMap::new(),
+                published,
+                committed,
+                tx_id: m.tx_id,
+                checkpoint_lsn: m.checkpoint_lsn,
+                dirty: 0,
+            }),
+            pins: Mutex::new(BTreeMap::new()),
+            obs: OnceLock::new(),
+        };
+        Ok((Arc::new(store), report))
+    }
+
+    /// Attaches shared store instruments; gauges are adjusted by delta so
+    /// several stores can share one set.
+    pub fn attach_obs(&self, obs: Arc<StoreObs>) {
+        obs.pages_mapped.add(self.file.mapped_pages() as i64);
+        // Pages dirtied before attachment (e.g. the WAL tail replayed at
+        // open) must be seeded, or the first commit's subtraction drives
+        // the gauge negative.
+        obs.pages_dirty.add(self.inner.lock().dirty);
+        let _ = self.obs.set(obs);
+    }
+
+    fn obs(&self) -> Option<&Arc<StoreObs>> {
+        self.obs.get()
+    }
+
+    /// The attached instruments, if any (for callers that own gauges the
+    /// store itself cannot compute, e.g. WAL checkpoint lag).
+    pub fn obs_handle(&self) -> Option<&Arc<StoreObs>> {
+        self.obs.get()
+    }
+
+    /// Smallest epoch any reader may still dereference: the oldest pinned
+    /// snapshot, or failing that the currently-published epoch (which a
+    /// future `snapshot()` call may pin at any moment).
+    fn min_pin(&self, published_epoch: u64) -> u64 {
+        let pins = self.pins.lock();
+        pins.keys()
+            .next()
+            .copied()
+            .unwrap_or(u64::MAX)
+            .min(published_epoch)
+    }
+
+    fn alloc_phys(&self, inner: &mut Inner) -> SgResult<u64> {
+        if let Some(p) = inner.free.alloc() {
+            return Ok(p);
+        }
+        let p = inner.next_phys;
+        let grown = self
+            .file
+            .ensure_pages(p + 1)
+            .map_err(|e| SgError::io(format!("grow store to page {p}"), e))?;
+        if grown > 0 {
+            if let Some(obs) = self.obs() {
+                obs.pages_mapped.add(grown as i64);
+            }
+        }
+        inner.next_phys = p + 1;
+        Ok(p)
+    }
+
+    fn park(&self, inner: &mut Inner, phys: u64) {
+        let epoch = inner.epoch;
+        inner.free.free_at(epoch, phys);
+        if let Some(obs) = self.obs() {
+            obs.pages_freed.inc();
+        }
+    }
+
+    fn reclaim(&self, inner: &mut Inner) {
+        let min_pin = self.min_pin(inner.published.epoch);
+        let lce = inner.last_commit_epoch;
+        inner.free.reclaim(min_pin, lce);
+    }
+
+    /// Freezes the current mapping as the published state new snapshots
+    /// will see, and opens a new write window.
+    pub fn publish(&self) {
+        let mut inner = self.inner.lock();
+        inner.epoch += 1;
+        let epoch = inner.epoch;
+        let live_pages = inner.table.len() - inner.logical_free.len() as u64;
+        inner.published = Published {
+            table: inner.table.snapshot(),
+            epoch,
+            segs: self.file.segments(),
+            live_pages,
+        };
+        inner.private.clear();
+        self.reclaim(&mut inner);
+    }
+
+    /// Pins the published state and returns a lock-free read-only view.
+    pub fn snapshot(self: &Arc<Self>) -> Snapshot {
+        let inner = self.inner.lock();
+        let epoch = inner.published.epoch;
+        let snap = Snapshot {
+            store: Arc::clone(self),
+            table: inner.published.table.snapshot(),
+            segs: Arc::clone(&inner.published.segs),
+            live_pages: inner.published.live_pages,
+            epoch,
+            page_size: self.page_size,
+            seg_pages: self.file.seg_pages(),
+        };
+        drop(inner);
+        *self.pins.lock().entry(epoch).or_insert(0) += 1;
+        if let Some(obs) = self.obs() {
+            obs.snapshot_pins.add(1);
+        }
+        snap
+    }
+
+    fn unpin(&self, epoch: u64) {
+        let mut pins = self.pins.lock();
+        match pins.get_mut(&epoch) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                pins.remove(&epoch);
+            }
+            None => debug_assert!(false, "unpin of unpinned epoch {epoch}"),
+        }
+        drop(pins);
+        if let Some(obs) = self.obs() {
+            obs.snapshot_pins.add(-1);
+        }
+    }
+
+    /// Durably commits the current mapping: serializes the table into COW
+    /// pages, flushes data (when `sync`), and flips the inactive meta
+    /// slot. `checkpoint_lsn` is the WAL watermark this state covers —
+    /// recovery replays only records at or past it. With `sync: false`
+    /// the flip is still crash-atomic against process death (the page
+    /// cache survives `kill -9`) but not against power loss.
+    ///
+    /// The caller must ensure the logical pages form a consistent tree
+    /// state (no writer mid-operation) — in the executor this holds
+    /// because commits run while holding the shard lock.
+    pub fn commit(&self, checkpoint_lsn: u64, sync: bool) -> io::Result<u64> {
+        let t0 = Instant::now();
+        let mut inner = self.inner.lock();
+
+        // 1. Serialize the table: unchanged chunks keep their committed
+        //    page, changed ones go to fresh COW pages.
+        let n_chunks = inner.table.chunks().len();
+        let mut chunk_pages = Vec::with_capacity(n_chunks);
+        let mut superseded = Vec::new();
+        for c in 0..n_chunks {
+            let reuse = inner.committed.as_ref().and_then(|com| {
+                if inner.table.chunk_shared_with(c, &com.table) {
+                    Some(com.chunk_pages[c])
+                } else {
+                    None
+                }
+            });
+            if let Some(phys) = reuse {
+                chunk_pages.push(phys);
+                continue;
+            }
+            let phys = self
+                .alloc_phys(&mut inner)
+                .map_err(|e| io::Error::other(format!("commit: {e}")))?;
+            let mut page = vec![0u8; self.page_size];
+            inner.table.encode_chunk(c, &mut page);
+            self.file.write_page(phys, &page);
+            chunk_pages.push(phys);
+            if let Some(com) = inner.committed.as_ref() {
+                if let Some(&old) = com.chunk_pages.get(c) {
+                    superseded.push(old);
+                }
+            }
+        }
+
+        // 2. The index page listing the chunks.
+        if 16 + n_chunks * 8 > self.page_size {
+            return Err(io::Error::other(format!(
+                "store capacity exceeded: {n_chunks} table chunks do not fit one index page"
+            )));
+        }
+        let index_page = self
+            .alloc_phys(&mut inner)
+            .map_err(|e| io::Error::other(format!("commit: {e}")))?;
+        let mut idx = vec![0u8; self.page_size];
+        idx[0..8].copy_from_slice(&inner.table.len().to_le_bytes());
+        idx[8..16].copy_from_slice(&(n_chunks as u64).to_le_bytes());
+        for (c, phys) in chunk_pages.iter().enumerate() {
+            idx[16 + c * 8..24 + c * 8].copy_from_slice(&phys.to_le_bytes());
+        }
+        self.file.write_page(index_page, &idx);
+
+        // 3. Data barrier before the pointer flip.
+        if sync {
+            self.file.flush_all()?;
+        }
+
+        // 4. The atomic commit: one meta record into the inactive slot.
+        let m = Meta {
+            page_size: self.page_size as u32,
+            tx_id: inner.tx_id + 1,
+            table_index: index_page,
+            n_logical: inner.table.len(),
+            next_phys: inner.next_phys,
+            checkpoint_lsn,
+        };
+        let mut page = vec![0u8; self.page_size];
+        m.encode(&mut page);
+        self.file.write_page(m.slot(), &page);
+        if sync {
+            self.file.flush_page(m.slot())?;
+        }
+
+        // 5. Retire the superseded table pages and roll the bookkeeping
+        //    forward. The commit closes the current window (epoch bump):
+        //    anything freed from here on postdates this commit.
+        for old in superseded {
+            self.park(&mut inner, old);
+        }
+        if let Some(com) = inner.committed.take() {
+            let old_index = com.index_page;
+            self.park(&mut inner, old_index);
+        }
+        inner.committed = Some(Committed {
+            table: inner.table.snapshot(),
+            chunk_pages,
+            index_page,
+        });
+        inner.tx_id = m.tx_id;
+        inner.checkpoint_lsn = checkpoint_lsn;
+        inner.last_commit_epoch = inner.epoch;
+        inner.epoch += 1;
+        // The commit closes the write window: every page is now (or may
+        // be, after the flip) referenced by durable state, so the next
+        // write to any logical page must relocate it again.
+        inner.private.clear();
+        if let Some(obs) = self.obs() {
+            obs.meta_flips.inc();
+            obs.pages_dirty.add(-inner.dirty);
+            obs.commit_ns.record(t0.elapsed().as_nanos() as u64);
+        }
+        inner.dirty = 0;
+        self.reclaim(&mut inner);
+        Ok(m.tx_id)
+    }
+
+    /// The WAL watermark of the last durable commit.
+    pub fn checkpoint_lsn(&self) -> u64 {
+        self.inner.lock().checkpoint_lsn
+    }
+
+    /// The transaction id of the last durable commit.
+    pub fn tx_id(&self) -> u64 {
+        self.inner.lock().tx_id
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock();
+        StoreStats {
+            pages_mapped: self.file.mapped_pages(),
+            pages_allocated: inner.table.len() - inner.logical_free.len() as u64,
+            pages_pending_free: inner.free.pending_len() as u64,
+            pages_reusable: inner.free.reusable_len() as u64,
+            dirty_since_commit: inner.dirty,
+            snapshot_pins: self.pins.lock().values().sum(),
+            tx_id: inner.tx_id,
+            checkpoint_lsn: inner.checkpoint_lsn,
+            epoch: inner.epoch,
+        }
+    }
+}
+
+impl Drop for CowStore {
+    fn drop(&mut self) {
+        // Return this store's contribution to the shared gauges.
+        if let Some(obs) = self.obs.get() {
+            obs.pages_mapped.add(-(self.file.mapped_pages() as i64));
+            obs.pages_dirty.add(-self.inner.lock().dirty);
+        }
+    }
+}
+
+impl PageStore for CowStore {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn allocate(&self) -> PageId {
+        self.try_allocate()
+            .unwrap_or_else(|e| panic!("allocate page: {e}"))
+    }
+
+    fn try_allocate(&self) -> SgResult<PageId> {
+        let mut inner = self.inner.lock();
+        let phys = self.alloc_phys(&mut inner)?;
+        self.file.write_page(phys, &vec![0u8; self.page_size]);
+        let logical = match inner.logical_free.pop() {
+            Some(l) => {
+                inner.table.set(l, phys);
+                l
+            }
+            None => inner.table.push(phys),
+        };
+        inner.private.insert(logical, phys);
+        inner.dirty += 1;
+        if let Some(obs) = self.obs() {
+            obs.pages_dirty.add(1);
+        }
+        Ok(logical)
+    }
+
+    fn free(&self, id: PageId) {
+        self.try_free(id)
+            .unwrap_or_else(|e| panic!("free page {id}: {e}"))
+    }
+
+    fn try_free(&self, id: PageId) -> SgResult<()> {
+        let mut inner = self.inner.lock();
+        let phys = inner.table.get(id);
+        assert_ne!(phys, NONE, "double free of page {id}");
+        inner.table.set(id, NONE);
+        inner.logical_free.push(id);
+        inner.private.remove(&id);
+        self.park(&mut inner, phys);
+        Ok(())
+    }
+
+    fn read(&self, id: PageId, buf: &mut [u8]) {
+        assert_eq!(buf.len(), self.page_size);
+        let inner = self.inner.lock();
+        let phys = inner.table.get(id);
+        assert_ne!(phys, NONE, "read of freed page {id}");
+        self.file.read_page(phys, buf);
+    }
+
+    fn write(&self, id: PageId, buf: &[u8]) {
+        self.try_write(id, buf)
+            .unwrap_or_else(|e| panic!("write page {id}: {e}"))
+    }
+
+    fn try_write(&self, id: PageId, buf: &[u8]) -> SgResult<()> {
+        assert_eq!(buf.len(), self.page_size);
+        let mut inner = self.inner.lock();
+        if let Some(&phys) = inner.private.get(&id) {
+            // Already relocated this window: in-place is invisible to
+            // every published snapshot and to the durable commit.
+            self.file.write_page(phys, buf);
+            return Ok(());
+        }
+        let old = inner.table.get(id);
+        assert_ne!(old, NONE, "write of freed page {id}");
+        let phys = self.alloc_phys(&mut inner)?;
+        self.file.write_page(phys, buf);
+        inner.table.set(id, phys);
+        inner.private.insert(id, phys);
+        self.park(&mut inner, old);
+        inner.dirty += 1;
+        if let Some(obs) = self.obs() {
+            obs.pages_dirty.add(1);
+        }
+        Ok(())
+    }
+
+    fn allocated_pages(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.table.len() - inner.logical_free.len() as u64
+    }
+
+    fn sync(&self) -> SgResult<()> {
+        self.file
+            .flush_all()
+            .map_err(|e| SgError::io("sync store", e))
+    }
+}
+
+/// A pinned, immutable, **lock-free** view of one published epoch.
+///
+/// Implements [`PageStore`] read-only: translation goes through the
+/// frozen table snapshot and reads go straight to the captured mmap
+/// segments — no store lock, no shard lock. Queries running on a view
+/// proceed untouched while writers mutate and checkpoints commit.
+/// Dropping the view unpins its epoch, allowing page reclamation.
+pub struct Snapshot {
+    store: Arc<CowStore>,
+    table: PageTable,
+    segs: Segments,
+    live_pages: u64,
+    epoch: u64,
+    page_size: usize,
+    seg_pages: u64,
+}
+
+impl Snapshot {
+    /// The pinned publish epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        self.store.unpin(self.epoch);
+    }
+}
+
+impl PageStore for Snapshot {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn allocate(&self) -> PageId {
+        panic!("snapshot store is read-only")
+    }
+
+    fn try_allocate(&self) -> SgResult<PageId> {
+        Err(SgError::Unsupported("snapshot store is read-only"))
+    }
+
+    fn free(&self, _id: PageId) {
+        panic!("snapshot store is read-only")
+    }
+
+    fn try_free(&self, _id: PageId) -> SgResult<()> {
+        Err(SgError::Unsupported("snapshot store is read-only"))
+    }
+
+    fn read(&self, id: PageId, buf: &mut [u8]) {
+        let phys = self.table.get(id);
+        assert_ne!(phys, NONE, "read of freed page {id}");
+        read_page_in(&self.segs, self.seg_pages, self.page_size, phys, buf);
+    }
+
+    fn write(&self, _id: PageId, _buf: &[u8]) {
+        panic!("snapshot store is read-only")
+    }
+
+    fn try_write(&self, _id: PageId, _buf: &[u8]) -> SgResult<()> {
+        Err(SgError::Unsupported("snapshot store is read-only"))
+    }
+
+    fn allocated_pages(&self) -> u64 {
+        self.live_pages
+    }
+}

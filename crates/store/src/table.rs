@@ -1,0 +1,215 @@
+//! Chunked copy-on-write page table: logical page id → physical page.
+//!
+//! The table is split into fixed-size chunks, each held behind an `Arc`.
+//! Taking a snapshot clones only the spine (`Vec<Arc<_>>`), so it is
+//! O(chunks) and never copies entries; a later write to a shared chunk
+//! copies just that chunk (`Arc::make_mut`). Snapshots therefore read a
+//! frozen mapping with no locking at all.
+//!
+//! Each chunk serializes to exactly one store page at commit time
+//! (`chunk_entries = page_size / 8`); a chunk whose `Arc` is unchanged
+//! since the last commit reuses its already-written page.
+//!
+//! Pure in-memory logic (no I/O) so its unit tests run under Miri.
+
+use crate::meta::NONE;
+use std::sync::Arc;
+
+/// The logical → physical page mapping.
+#[derive(Clone, Debug)]
+pub struct PageTable {
+    chunk_entries: usize,
+    len: u64,
+    chunks: Vec<Arc<Vec<u64>>>,
+}
+
+impl PageTable {
+    /// An empty table whose chunks hold `chunk_entries` mappings each.
+    pub fn new(chunk_entries: usize) -> PageTable {
+        assert!(chunk_entries > 0);
+        PageTable {
+            chunk_entries,
+            len: 0,
+            chunks: Vec::new(),
+        }
+    }
+
+    /// Number of logical pages (including freed ones, which map to
+    /// [`NONE`]).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Entries per chunk (= one store page worth).
+    pub fn chunk_entries(&self) -> usize {
+        self.chunk_entries
+    }
+
+    /// The chunk spine, for commit-time serialization.
+    pub fn chunks(&self) -> &[Arc<Vec<u64>>] {
+        &self.chunks
+    }
+
+    /// Physical page for `logical`, or [`NONE`] for a freed entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical >= len()`.
+    pub fn get(&self, logical: u64) -> u64 {
+        assert!(logical < self.len, "logical page {logical} out of range");
+        let c = (logical as usize) / self.chunk_entries;
+        self.chunks[c][(logical as usize) % self.chunk_entries]
+    }
+
+    /// Remaps `logical` to `phys`, copying its chunk if shared.
+    pub fn set(&mut self, logical: u64, phys: u64) {
+        assert!(logical < self.len, "logical page {logical} out of range");
+        let c = (logical as usize) / self.chunk_entries;
+        Arc::make_mut(&mut self.chunks[c])[(logical as usize) % self.chunk_entries] = phys;
+    }
+
+    /// Appends a new logical page mapped to `phys`, returning its id.
+    pub fn push(&mut self, phys: u64) -> u64 {
+        let logical = self.len;
+        let slot = (logical as usize) % self.chunk_entries;
+        if slot == 0 {
+            self.chunks.push(Arc::new(vec![NONE; self.chunk_entries]));
+        }
+        let c = (logical as usize) / self.chunk_entries;
+        Arc::make_mut(&mut self.chunks[c])[slot] = phys;
+        self.len += 1;
+        logical
+    }
+
+    /// An immutable O(chunks) snapshot of the current mapping.
+    pub fn snapshot(&self) -> PageTable {
+        self.clone()
+    }
+
+    /// Iterates `(logical, phys)` over all entries, including [`NONE`]s.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        (0..self.len).map(move |l| (l, self.get(l)))
+    }
+
+    /// Serializes chunk `c` into `page` (little-endian u64s; the tail of
+    /// a partially-filled final chunk encodes [`NONE`]).
+    pub fn encode_chunk(&self, c: usize, page: &mut [u8]) {
+        let chunk = &self.chunks[c];
+        assert!(page.len() >= chunk.len() * 8, "page too small for chunk");
+        for (i, &phys) in chunk.iter().enumerate() {
+            page[i * 8..i * 8 + 8].copy_from_slice(&phys.to_le_bytes());
+        }
+    }
+
+    /// Rebuilds a table from decoded chunk pages. `pages[c]` holds the
+    /// serialized bytes of chunk `c`; `len` is the logical page count.
+    pub fn decode(chunk_entries: usize, len: u64, pages: &[Vec<u8>]) -> PageTable {
+        let needed = (len as usize).div_ceil(chunk_entries);
+        assert_eq!(pages.len(), needed, "chunk page count mismatch");
+        let mut chunks = Vec::with_capacity(needed);
+        for page in pages {
+            assert!(page.len() >= chunk_entries * 8, "chunk page too small");
+            let mut chunk = Vec::with_capacity(chunk_entries);
+            for i in 0..chunk_entries {
+                chunk.push(u64::from_le_bytes(
+                    page[i * 8..i * 8 + 8].try_into().unwrap(),
+                ));
+            }
+            chunks.push(Arc::new(chunk));
+        }
+        PageTable {
+            chunk_entries,
+            len,
+            chunks,
+        }
+    }
+
+    /// True when chunk `c` is the very same allocation as in `other` —
+    /// i.e. untouched since `other` was snapshotted, so a committed page
+    /// holding it can be reused verbatim.
+    pub fn chunk_shared_with(&self, c: usize, other: &PageTable) -> bool {
+        match other.chunks.get(c) {
+            Some(o) => Arc::ptr_eq(&self.chunks[c], o),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_set_roundtrip() {
+        let mut t = PageTable::new(4);
+        for i in 0..10u64 {
+            assert_eq!(t.push(100 + i), i);
+        }
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.get(7), 107);
+        t.set(7, 777);
+        assert_eq!(t.get(7), 777);
+        assert_eq!(t.chunks().len(), 3);
+    }
+
+    #[test]
+    fn snapshot_is_frozen_under_later_writes() {
+        let mut t = PageTable::new(4);
+        for i in 0..6u64 {
+            t.push(i * 10);
+        }
+        let snap = t.snapshot();
+        t.set(1, 999);
+        t.push(60);
+        assert_eq!(snap.get(1), 10, "snapshot unaffected by set");
+        assert_eq!(snap.len(), 6, "snapshot unaffected by push");
+        assert_eq!(t.get(1), 999);
+        assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn chunk_sharing_detects_cow() {
+        let mut t = PageTable::new(4);
+        for i in 0..8u64 {
+            t.push(i);
+        }
+        let snap = t.snapshot();
+        assert!(t.chunk_shared_with(0, &snap));
+        assert!(t.chunk_shared_with(1, &snap));
+        t.set(5, 500); // dirties chunk 1 only
+        assert!(t.chunk_shared_with(0, &snap));
+        assert!(!t.chunk_shared_with(1, &snap));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut t = PageTable::new(4);
+        for i in 0..6u64 {
+            t.push(i * 7 + 1);
+        }
+        t.set(2, NONE); // a freed logical page persists as NONE
+        let pages: Vec<Vec<u8>> = (0..t.chunks().len())
+            .map(|c| {
+                let mut page = vec![0u8; 32];
+                t.encode_chunk(c, &mut page);
+                page
+            })
+            .collect();
+        let back = PageTable::decode(4, t.len(), &pages);
+        assert_eq!(back.len(), t.len());
+        for l in 0..t.len() {
+            assert_eq!(back.get(l), t.get(l), "entry {l}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let t = PageTable::new(4);
+        t.get(0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Offline stand-in for a memory-mapping crate.
+//!
+//! The build container cannot reach a cargo registry, so the workspace
+//! vendors the tiny API subset `sg-store` actually needs: a *shared*,
+//! read-write mapping of a file range ([`Region`]) with an explicit
+//! durability barrier ([`Region::flush`]). On Linux and macOS this is a
+//! real `mmap(MAP_SHARED)` through raw syscall declarations (std already
+//! links libc, so no external crate is required); elsewhere — and under
+//! Miri — it degrades to a heap buffer that is read from the file at map
+//! time and written back on flush, which preserves the API but not the
+//! shared-across-processes semantics.
+//!
+//! # Safety contract
+//!
+//! [`Region`] hands out raw pointers and interior-mutable copy helpers
+//! ([`Region::read_into`] / [`Region::write_at`]) instead of slices. The
+//! caller must guarantee that a given byte range is never written while
+//! another thread may read it — `sg-store` upholds this with its
+//! copy-on-write page discipline (a physical page is written only while
+//! it is private to the writer, never after it becomes visible to a
+//! published snapshot).
+
+use std::fs::File;
+use std::io;
+
+/// Alignment required of `offset` in [`Region::map`] and honoured by
+/// [`Region::flush_range`]. 4 KiB is the page size on every platform the
+/// workspace targets.
+pub const MAP_ALIGN: u64 = 4096;
+
+// ---------------------------------------------------------------------------
+// Real mmap (Linux / macOS, not under Miri)
+// ---------------------------------------------------------------------------
+
+#[cfg(all(any(target_os = "linux", target_os = "macos"), not(miri)))]
+mod imp {
+    use super::MAP_ALIGN;
+    use std::fs::File;
+    use std::io;
+    use std::os::fd::AsRawFd;
+
+    use std::ffi::{c_int, c_void};
+
+    // std links libc on these targets, so declaring the three syscall
+    // wrappers directly avoids any external crate.
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        fn msync(addr: *mut c_void, len: usize, flags: c_int) -> c_int;
+    }
+
+    const PROT_READ: c_int = 1;
+    const PROT_WRITE: c_int = 2;
+    const MAP_SHARED: c_int = 1;
+    #[cfg(target_os = "linux")]
+    const MS_SYNC: c_int = 4;
+    #[cfg(target_os = "macos")]
+    const MS_SYNC: c_int = 0x0010;
+
+    /// A shared, read-write mapping of a file range.
+    pub struct Region {
+        base: *mut u8,
+        len: usize,
+    }
+
+    // The region is a raw chunk of process memory; all access goes
+    // through the copy helpers whose synchronization is the caller's
+    // responsibility (see the crate-level safety contract).
+    unsafe impl Send for Region {}
+    unsafe impl Sync for Region {}
+
+    impl Region {
+        pub fn map(file: &File, offset: u64, len: usize) -> io::Result<Region> {
+            assert!(len > 0, "cannot map an empty region");
+            assert_eq!(
+                offset % MAP_ALIGN,
+                0,
+                "map offset must be {MAP_ALIGN}-aligned"
+            );
+            let base = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ | PROT_WRITE,
+                    MAP_SHARED,
+                    file.as_raw_fd(),
+                    offset as i64,
+                )
+            };
+            if base as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Region {
+                base: base as *mut u8,
+                len,
+            })
+        }
+
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+
+        /// # Safety
+        ///
+        /// `off + buf.len()` must not exceed the mapped length, and no
+        /// concurrent writer may overlap the copied range.
+        pub unsafe fn read_into(&self, off: usize, buf: &mut [u8]) {
+            debug_assert!(off + buf.len() <= self.len);
+            std::ptr::copy_nonoverlapping(self.base.add(off), buf.as_mut_ptr(), buf.len());
+        }
+
+        /// # Safety
+        ///
+        /// `off + data.len()` must not exceed the mapped length, and no
+        /// concurrent reader or writer may overlap the copied range.
+        pub unsafe fn write_at(&self, off: usize, data: &[u8]) {
+            debug_assert!(off + data.len() <= self.len);
+            std::ptr::copy_nonoverlapping(data.as_ptr(), self.base.add(off), data.len());
+        }
+
+        pub fn flush(&self) -> io::Result<()> {
+            self.flush_range(0, self.len)
+        }
+
+        pub fn flush_range(&self, off: usize, len: usize) -> io::Result<()> {
+            if len == 0 {
+                return Ok(());
+            }
+            // msync requires a page-aligned address: widen the range down
+            // to the containing alignment boundary.
+            let start = off - off % MAP_ALIGN as usize;
+            let end = (off + len).min(self.len);
+            let rc = unsafe { msync(self.base.add(start) as *mut _, end - start, MS_SYNC) };
+            if rc != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Region {
+        fn drop(&mut self) {
+            unsafe {
+                munmap(self.base as *mut _, self.len);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Portable fallback (other targets, Miri)
+// ---------------------------------------------------------------------------
+
+#[cfg(not(all(any(target_os = "linux", target_os = "macos"), not(miri))))]
+mod imp {
+    use super::MAP_ALIGN;
+    use std::cell::UnsafeCell;
+    use std::fs::File;
+    use std::io::{self, Read, Seek, SeekFrom, Write};
+    use std::sync::Mutex;
+
+    /// Heap-backed stand-in: the file range is read once at map time and
+    /// written back on [`Region::flush`]. Not shared across processes.
+    pub struct Region {
+        buf: UnsafeCell<Vec<u8>>,
+        file: Mutex<File>,
+        offset: u64,
+        len: usize,
+    }
+
+    unsafe impl Send for Region {}
+    unsafe impl Sync for Region {}
+
+    impl Region {
+        pub fn map(file: &File, offset: u64, len: usize) -> io::Result<Region> {
+            assert!(len > 0, "cannot map an empty region");
+            assert_eq!(
+                offset % MAP_ALIGN,
+                0,
+                "map offset must be {MAP_ALIGN}-aligned"
+            );
+            let mut f = file.try_clone()?;
+            let mut buf = vec![0u8; len];
+            f.seek(SeekFrom::Start(offset))?;
+            let mut read = 0;
+            while read < len {
+                match f.read(&mut buf[read..])? {
+                    0 => break, // mapping may extend past EOF after set_len
+                    n => read += n,
+                }
+            }
+            Ok(Region {
+                buf: UnsafeCell::new(buf),
+                file: Mutex::new(f),
+                offset,
+                len,
+            })
+        }
+
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        pub unsafe fn read_into(&self, off: usize, buf: &mut [u8]) {
+            let src = &*self.buf.get();
+            buf.copy_from_slice(&src[off..off + buf.len()]);
+        }
+
+        pub unsafe fn write_at(&self, off: usize, data: &[u8]) {
+            let dst = &mut *self.buf.get();
+            dst[off..off + data.len()].copy_from_slice(data);
+        }
+
+        pub fn flush(&self) -> io::Result<()> {
+            self.flush_range(0, self.len)
+        }
+
+        pub fn flush_range(&self, off: usize, len: usize) -> io::Result<()> {
+            if len == 0 {
+                return Ok(());
+            }
+            let end = (off + len).min(self.len);
+            let mut f = self.file.lock().unwrap();
+            f.seek(SeekFrom::Start(self.offset + off as u64))?;
+            let buf = unsafe { &*self.buf.get() };
+            f.write_all(&buf[off..end])?;
+            f.sync_data()
+        }
+    }
+}
+
+pub use imp::Region;
+
+/// Maps `len` bytes of `file` starting at `offset` (must be
+/// [`MAP_ALIGN`]-aligned) as a shared read-write region.
+pub fn map_shared(file: &File, offset: u64, len: usize) -> io::Result<Region> {
+    Region::map(file, offset, len)
+}

@@ -17,7 +17,7 @@
 //! land exactly where an uninterrupted run would have.
 
 use sg_bench::workloads::crash_ops;
-use sg_exec::{DurabilityConfig, ExecConfig, Partitioner, ShardedExecutor, WriteOp};
+use sg_exec::{DurabilityConfig, ExecConfig, Partitioner, ShardedExecutor, StorageMode, WriteOp};
 use sg_pager::MemStore;
 use sg_sig::{Metric, Signature};
 use sg_tree::{SgTree, Tid, TreeConfig};
@@ -72,14 +72,22 @@ fn state_matches(exec: &ShardedExecutor, oracle: &BTreeMap<Tid, Signature>) -> b
 /// Runs the child until `kill_after_acks` ack lines arrive, SIGKILLs it,
 /// and returns how many acks were actually read (the pipe may hold a few
 /// more than the trigger count — all of them count as acknowledged).
-fn run_child_and_kill(dir: &std::path::Path, kill_after_acks: usize) -> usize {
+fn run_child_and_kill(
+    dir: &std::path::Path,
+    kill_after_acks: usize,
+    storage: StorageMode,
+    ckpt_every: usize,
+    seed: u64,
+) -> usize {
     let mut child = Command::new(env!("CARGO_BIN_EXE_crash_ingest_child"))
         .args([
             dir.to_str().unwrap(),
             &NBITS.to_string(),
             &SHARDS.to_string(),
             &N_OPS.to_string(),
-            &SEED.to_string(),
+            &seed.to_string(),
+            storage.as_str(),
+            &ckpt_every.to_string(),
         ])
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
@@ -110,7 +118,7 @@ fn fresh_dir(tag: &str) -> std::path::PathBuf {
     dir
 }
 
-fn reopen(dir: &std::path::Path) -> ShardedExecutor {
+fn reopen(dir: &std::path::Path, storage: StorageMode) -> ShardedExecutor {
     ShardedExecutor::open_durable(
         NBITS,
         &ExecConfig {
@@ -118,22 +126,35 @@ fn reopen(dir: &std::path::Path) -> ShardedExecutor {
             partitioner: Partitioner::RoundRobin,
             ..ExecConfig::default()
         },
-        &DurabilityConfig::new(dir),
+        &DurabilityConfig::new(dir).storage(storage),
     )
     .expect("reopen durable executor")
 }
 
 #[test]
 fn sigkilled_ingest_recovers_exactly_the_acked_prefix() {
+    sigkilled_prefix_roundtrip(StorageMode::Heap, "prefix");
+}
+
+/// Same acked-prefix oracle, but the shards live in the mmap'd
+/// copy-on-write page store: a SIGKILL leaves an arbitrary mix of
+/// committed pages and WAL tail, and recovery must still land on
+/// exactly one acked prefix.
+#[test]
+fn sigkilled_mmap_ingest_recovers_exactly_the_acked_prefix() {
+    sigkilled_prefix_roundtrip(StorageMode::Mmap, "mmap-prefix");
+}
+
+fn sigkilled_prefix_roundtrip(storage: StorageMode, tag: &str) {
     let ops = crash_ops(NBITS, N_OPS, SEED);
     // Three kill points: early (mostly empty WAL), mid-stream, and late
     // (deletes and upserts in the tail are in play).
     for (round, kill_after) in [20usize, 120, 260].into_iter().enumerate() {
-        let dir = fresh_dir(&format!("prefix-{round}"));
-        let acked = run_child_and_kill(&dir, kill_after);
+        let dir = fresh_dir(&format!("{tag}-{round}"));
+        let acked = run_child_and_kill(&dir, kill_after, storage, 0, SEED);
         assert!(acked >= kill_after, "read fewer acks than the trigger");
 
-        let exec = reopen(&dir);
+        let exec = reopen(&dir, storage);
         let report = exec.recovery().expect("durable reopen has a report");
         assert!(
             report.replayed > 0,
@@ -204,7 +225,7 @@ fn checkpoint_then_crash_replays_only_the_wal_suffix() {
     // Apply a prefix, checkpoint (snapshot + WAL truncate), then more ops
     // without a checkpoint — all in-process, then simulate the crash by
     // dropping the executor without any graceful shutdown.
-    let exec = reopen(&dir);
+    let exec = reopen(&dir, StorageMode::Heap);
     for ack in exec.write_batch(ops[..200].to_vec()) {
         ack.expect("prefix op");
     }
@@ -214,7 +235,7 @@ fn checkpoint_then_crash_replays_only_the_wal_suffix() {
     }
     drop(exec);
 
-    let exec = reopen(&dir);
+    let exec = reopen(&dir, StorageMode::Heap);
     let report = exec.recovery().expect("durable reopen has a report");
     // The checkpoint absorbed the prefix: only the post-checkpoint ops
     // travel through the WAL on reopen.
@@ -229,4 +250,80 @@ fn checkpoint_then_crash_replays_only_the_wal_suffix() {
     );
     drop(exec);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Mmap twin of the checkpoint test: after a commit (one meta-page flip
+/// per shard) only the WAL tail replays, and the recovered state is
+/// byte-exact.
+#[test]
+fn mmap_checkpoint_then_crash_replays_only_the_wal_suffix() {
+    let ops = crash_ops(NBITS, N_OPS, SEED ^ 2);
+    let dir = fresh_dir("mmap-ckpt");
+
+    let exec = reopen(&dir, StorageMode::Mmap);
+    for ack in exec.write_batch(ops[..200].to_vec()) {
+        ack.expect("prefix op");
+    }
+    exec.checkpoint().expect("checkpoint");
+    for ack in exec.write_batch(ops[200..].to_vec()) {
+        ack.expect("suffix op");
+    }
+    drop(exec);
+
+    let exec = reopen(&dir, StorageMode::Mmap);
+    let report = exec.recovery().expect("durable reopen has a report");
+    assert!(
+        report.wal_records <= (N_OPS - 200) as u64,
+        "commit did not truncate the WAL (wal_records={})",
+        report.wal_records
+    );
+    assert!(
+        report.snapshot_entries > 0,
+        "the committed page store restored nothing"
+    );
+    assert!(
+        state_matches(&exec, &oracle_state(&ops, N_OPS)),
+        "post-commit recovery lost or duplicated ops"
+    );
+    drop(exec);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// SIGKILL aimed at in-flight checkpoints: the child commits the page
+/// store after every 8th acked op, so kills at arbitrary ack counts land
+/// before, during, and after meta-page flips. Whatever the kill hits,
+/// the dual-meta-slot scheme must leave a valid commit behind (the flip
+/// is a single CRC'd slot write — a torn one falls back to the previous
+/// slot, whose WAL suffix is still intact), and recovery must equal an
+/// acked-prefix oracle exactly.
+#[test]
+fn sigkill_during_mmap_checkpoint_keeps_the_meta_flip_atomic() {
+    let ops = crash_ops(NBITS, N_OPS, SEED ^ 3);
+    for (round, kill_after) in [17usize, 64, 129, 248].into_iter().enumerate() {
+        let dir = fresh_dir(&format!("mmap-flip-{round}"));
+        let acked = run_child_and_kill(&dir, kill_after, StorageMode::Mmap, 8, SEED ^ 3);
+        assert!(acked >= kill_after, "read fewer acks than the trigger");
+
+        // The open itself is the first assertion: a torn meta slot that
+        // decoded as valid would corrupt the tree and fail validation
+        // (or panic) here.
+        let exec = reopen(&dir, StorageMode::Mmap);
+        let k = (acked..=N_OPS.min(acked + 64))
+            .find(|&k| state_matches(&exec, &oracle_state(&ops, k)))
+            .unwrap_or_else(|| {
+                panic!("recovered state matches no acked-prefix oracle (acked={acked})")
+            });
+
+        // Resume the suffix: the recovered store must keep working as a
+        // write target, not just as a readable artifact.
+        for ack in exec.write_batch(ops[k..].to_vec()) {
+            ack.expect("suffix op after recovery");
+        }
+        assert!(
+            state_matches(&exec, &oracle_state(&ops, N_OPS)),
+            "resumed run diverged from the uninterrupted oracle"
+        );
+        drop(exec);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

@@ -20,7 +20,7 @@
 //!   recall on close neighbors stays above a measured floor.
 
 use sg_bench::workloads::{build_tree, pairs_of, PAGE_SIZE, POOL_FRAMES, SEED};
-use sg_exec::{ExecConfig, Partitioner, ShardedExecutor};
+use sg_exec::{DurabilityConfig, ExecConfig, Partitioner, ShardedExecutor, StorageMode, WriteOp};
 use sg_inverted::InvertedIndex;
 use sg_minhash::{LshParams, MinHashLsh};
 use sg_pager::MemStore;
@@ -537,6 +537,114 @@ fn every_kernel_variant_answers_byte_for_byte() {
             assert_eq!(got, truth.exact, "{kind:?} exec exact");
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Mmap-backed durable executor: byte-identical to the oracle, including
+// while checkpoints (meta-page flips + view swaps) and copy-on-write page
+// churn are actively running on other threads. This is the snapshot-
+// isolation contract: a reader pins an immutable root and never sees a
+// half-committed tree.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mmap_executor_matches_oracle_during_active_checkpoints() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let (data, queries, nbits) = workload(2_000, 10);
+    let dir = std::env::temp_dir().join(format!("sg-diff-mmap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let exec = ShardedExecutor::open_durable(
+        nbits,
+        &ExecConfig {
+            shards: 3,
+            page_size: PAGE_SIZE,
+            pool_frames: POOL_FRAMES,
+            ..ExecConfig::default()
+        },
+        &DurabilityConfig::os_only(&dir).storage(StorageMode::Mmap),
+    )
+    .unwrap();
+    let inserts: Vec<WriteOp> = data
+        .iter()
+        .map(|(tid, sig)| WriteOp::Insert {
+            tid: *tid,
+            sig: sig.clone(),
+        })
+        .collect();
+    for ack in exec.write_batch(inserts) {
+        ack.expect("insert");
+    }
+
+    let m = Metric::jaccard();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        // Checkpointer thread: commit the page store in a tight loop so
+        // reads below overlap meta-page flips and WAL truncations.
+        s.spawn(|| {
+            while !stop.load(Ordering::Relaxed) {
+                exec.checkpoint().expect("checkpoint under load");
+            }
+        });
+        // Writer thread: upsert existing tids with their *current*
+        // signatures — the logical state never changes (the oracle stays
+        // valid) but every batch dirties COW pages, publishes a new
+        // mapping, and swaps the snapshot views readers pin.
+        s.spawn(|| {
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let (tid, sig) = &data[i % data.len()];
+                let batch = vec![WriteOp::Upsert {
+                    tid: *tid,
+                    sig: sig.clone(),
+                }];
+                for ack in exec.write_batch(batch) {
+                    ack.expect("no-op upsert under load");
+                }
+                i += 1;
+            }
+        });
+        for _ in 0..4 {
+            for q in &queries {
+                let (got, _) = exec.knn(q, 10, &m);
+                assert_eq!(got, oracle_knn(&data, q, 10, &m), "knn under checkpoint");
+                let (got, _) = exec.containing(q);
+                assert_eq!(
+                    got,
+                    oracle_containing(&data, q),
+                    "containing under checkpoint"
+                );
+                let (got, _) = exec.exact(q);
+                assert_eq!(got, oracle_exact(&data, q), "exact under checkpoint");
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // After a final checkpoint and reopen, the restored index answers
+    // byte-identically as well: the committed pages are the whole truth.
+    exec.checkpoint().expect("final checkpoint");
+    drop(exec);
+    let exec = ShardedExecutor::open_durable(
+        nbits,
+        &ExecConfig {
+            shards: 3,
+            page_size: PAGE_SIZE,
+            pool_frames: POOL_FRAMES,
+            ..ExecConfig::default()
+        },
+        &DurabilityConfig::os_only(&dir).storage(StorageMode::Mmap),
+    )
+    .unwrap();
+    assert_eq!(exec.len(), data.len() as u64);
+    for q in &queries {
+        let (got, _) = exec.knn(q, 10, &m);
+        assert_eq!(got, oracle_knn(&data, q, 10, &m), "knn after reopen");
+        let (got, _) = exec.exact(q);
+        assert_eq!(got, oracle_exact(&data, q), "exact after reopen");
+    }
+    drop(exec);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 // ---------------------------------------------------------------------------
