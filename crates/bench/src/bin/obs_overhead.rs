@@ -157,6 +157,38 @@ fn main() {
         sampler_ns[0], sampler_ns[1]
     );
 
+    // ---- profiler: span-stack sampling off vs on, at a dashboard rate
+    // and an aggressive one. `prof::start` flips the span layer's
+    // profiling gate itself, so the on side pays the full bill: the
+    // per-span live-stack mirror on the query thread plus the sampler
+    // thread reading stacks and thread CPU clocks at `hz`. The off side
+    // is the production default (no gates armed).
+    let mut prof_runs: Vec<(u32, [u64; 2], f64)> = Vec::new();
+    for hz in [49u32, 997] {
+        let ns = ab_knn(
+            &tree,
+            &queries,
+            &m,
+            iters,
+            || {
+                sg_obs::prof::clear();
+                assert!(sg_obs::prof::start(hz), "profiler failed to start");
+            },
+            sg_obs::prof::stop,
+        );
+        let pct = if ns[0] > 0 {
+            100.0 * (ns[1] as f64 - ns[0] as f64) / ns[0] as f64
+        } else {
+            0.0
+        };
+        println!(
+            "tree.knn10/20k + {hz} Hz profiler: off {} ns/op, on {} ns/op \
+             ({pct:+.2}% profiling cost)",
+            ns[0], ns[1]
+        );
+        prof_runs.push((hz, ns, pct));
+    }
+
     // ---- end-to-end: closed-loop load, recorder off vs on.
     let serve_side = |on: bool| {
         span::set_enabled(on);
@@ -222,6 +254,12 @@ fn main() {
             "sampler_overhead_pct".into(),
             Json::F64(sampler_overhead_pct),
         ),
+        ("prof49_off_ns".into(), Json::U64(prof_runs[0].1[0])),
+        ("prof49_on_ns".into(), Json::U64(prof_runs[0].1[1])),
+        ("prof49_overhead_pct".into(), Json::F64(prof_runs[0].2)),
+        ("prof997_off_ns".into(), Json::U64(prof_runs[1].1[0])),
+        ("prof997_on_ns".into(), Json::U64(prof_runs[1].1[1])),
+        ("prof997_overhead_pct".into(), Json::F64(prof_runs[1].2)),
         ("serve_off_p50_us".into(), Json::U64(off.p50_us)),
         ("serve_off_p99_us".into(), Json::U64(off.p99_us)),
         ("serve_on_p50_us".into(), Json::U64(on.p50_us)),

@@ -6,7 +6,7 @@
 //!
 //! EXPERIMENT: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //!             fig14 fig15 fig16 fig17 ablate scaling serve spans ingest
-//!             restart health kernels all (default: all)
+//!             restart health kernels profile all (default: all)
 //! --scale F   scales every dataset cardinality by F (default 1.0 = the
 //!             paper's sizes; use 0.1 for a quick pass)
 //! --queries N queries per experimental point (default 100, as the paper;
@@ -73,7 +73,7 @@ fn parse_args() -> Opts {
                 println!("repro [EXPERIMENT ...] [--scale F] [--queries N] [--out DIR]");
                 println!(
                     "experiments: table1 fig5..fig17 ablate scaling serve spans ingest restart \
-                     health kernels all"
+                     health kernels profile all"
                 );
                 std::process::exit(0);
             }
@@ -175,6 +175,9 @@ fn main() {
     }
     if want("kernels") {
         finish_section(registry, &mut last, kernels_fig(&opts), &mut tables);
+    }
+    if want("profile") {
+        finish_section(registry, &mut last, profile_fig(&opts), &mut tables);
     }
 
     for (t, metrics) in &tables {
@@ -1721,5 +1724,163 @@ fn kernels_fig(opts: &Opts) -> Vec<Table> {
             }
         }
     }
+    vec![out]
+}
+
+/// `profile` — cost-model calibration: train the per-kind EWMA cost
+/// model on live traffic, freeze its estimates, then check them against
+/// a fresh measurement run. The span-stack profiler samples the whole
+/// workload so the run also smoke-tests continuous profiling at a
+/// production rate. Writes `costmodel.csv`.
+fn profile_fig(opts: &Opts) -> Vec<Table> {
+    use sg_exec::{ExecConfig, Partitioner, QueryRequest, ShardedExecutor};
+    use sg_obs::{prof, CostModel};
+    use sg_tree::QueryOptions;
+
+    let d = scaled(50_000, opts.scale);
+    let per_kind = (opts.queries * 2).max(200);
+    eprintln!(
+        "[profile] cost-model calibration, {per_kind} queries/kind on {} rows, \
+         profiler at 199 Hz…",
+        d
+    );
+    let pool = PatternPool::new(BasketParams::standard(8, 4), SEED);
+    let ds = pool.dataset(d, SEED);
+    let data = pairs_of(&ds);
+    let exec = ShardedExecutor::build(
+        ds.n_items,
+        &data,
+        &ExecConfig {
+            shards: 4,
+            partitioner: Partitioner::SignatureClustered,
+            page_size: PAGE_SIZE,
+            pool_frames: POOL_FRAMES,
+            ..ExecConfig::default()
+        },
+    )
+    .expect("executor config");
+    let queries: Vec<Signature> = pool
+        .queries(64, SEED)
+        .iter()
+        .map(|q| Signature::from_items(ds.n_items, q))
+        .collect();
+    let request = |kind: &str, q: &Signature| match kind {
+        "knn" => QueryRequest::Knn {
+            q: q.clone(),
+            k: 10,
+            metric: Metric::hamming(),
+        },
+        "range" => QueryRequest::Range {
+            q: q.clone(),
+            eps: 4.0,
+            metric: Metric::hamming(),
+        },
+        "containing" => QueryRequest::Containing { q: q.clone() },
+        "contained_in" => QueryRequest::ContainedIn { q: q.clone() },
+        "exact" => QueryRequest::Exact { q: q.clone() },
+        other => unreachable!("kind {other}"),
+    };
+    const KINDS: [&str; 5] = ["knn", "range", "containing", "contained_in", "exact"];
+
+    prof::clear();
+    prof::start(199);
+
+    // Calibration: feed the global model `per_kind` observations of each
+    // query kind; the EWMAs converge well inside that (alpha 0.1).
+    let model = CostModel::global();
+    for kind in KINDS {
+        for (i, q) in queries.iter().cycle().take(per_kind).enumerate() {
+            let _ = i;
+            exec.query(&request(kind, q), &QueryOptions::default())
+                .expect("calibration query");
+        }
+    }
+
+    // Freeze the estimates, then measure a fresh run of the same mix.
+    // `estimate` keeps learning during the check, so the frozen copies
+    // are what a planner would actually have had at decision time.
+    let frozen: Vec<(&str, u64, sg_obs::CostStats)> = KINDS
+        .iter()
+        .map(|&kind| {
+            let stats = model.stats("exec", kind).expect("calibrated cell");
+            (kind, stats.est_ns.round() as u64, stats)
+        })
+        .collect();
+
+    let mut out = Table::new(
+        "costmodel",
+        "Cost model: frozen per-kind EWMA estimates vs a fresh measured run",
+        &[
+            "kind",
+            "calls",
+            "ewma visits",
+            "ewma lane ops",
+            "ewma kB dec",
+            "est us",
+            "meas us",
+            "rel err %",
+        ],
+    );
+    let check = per_kind.max(100);
+    let mut errs: Vec<f64> = Vec::new();
+    for (kind, est_ns, stats) in &frozen {
+        let t0 = Instant::now();
+        for q in queries.iter().cycle().take(check) {
+            std::hint::black_box(
+                exec.query(&request(kind, q), &QueryOptions::default())
+                    .expect("check query"),
+            );
+        }
+        let measured_ns = t0.elapsed().as_nanos() as u64 / check as u64;
+        let rel = if measured_ns > 0 {
+            100.0 * (*est_ns as f64 - measured_ns as f64).abs() / measured_ns as f64
+        } else {
+            0.0
+        };
+        errs.push(rel);
+        out.row(vec![
+            kind.to_string(),
+            stats.count.to_string(),
+            f(stats.visits),
+            f(stats.lane_ops),
+            f(stats.bytes_decoded / 1024.0),
+            f(*est_ns as f64 / 1_000.0),
+            f(measured_ns as f64 / 1_000.0),
+            f(rel),
+        ]);
+    }
+    let mean_err = errs.iter().sum::<f64>() / errs.len() as f64;
+    out.row(vec![
+        "mean".to_string(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        f(mean_err),
+    ]);
+
+    prof::stop();
+    let profile = prof::snapshot();
+    let top: Vec<String> = prof::self_weights(&profile)
+        .into_iter()
+        .take(3)
+        .map(|(name, c)| format!("{name} ({} samples)", c.samples))
+        .collect();
+    eprintln!(
+        "[profile] mean calibration error {mean_err:.1}% | {} ticks, {} stacks, hot: {}",
+        prof::ticks(),
+        profile.len(),
+        if top.is_empty() {
+            "none".to_string()
+        } else {
+            top.join(", ")
+        }
+    );
+    if mean_err > 30.0 {
+        eprintln!("[profile] WARNING: mean calibration error above the 30% acceptance bound");
+    }
+    prof::clear();
     vec![out]
 }

@@ -107,6 +107,18 @@ impl QueryRequest {
         }
     }
 
+    /// The request's kind as a `'static` name — the cost-model key, so
+    /// recording a query allocates nothing.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            QueryRequest::Knn { .. } => "knn",
+            QueryRequest::Range { .. } => "range",
+            QueryRequest::Containing { .. } => "containing",
+            QueryRequest::ContainedIn { .. } => "contained_in",
+            QueryRequest::Exact { .. } => "exact",
+        }
+    }
+
     /// A human-readable label for traces and logs, e.g. `"knn k=10
     /// metric=Hamming"`.
     pub fn label(&self) -> String {
@@ -310,8 +322,9 @@ impl SgTree {
         if opts.expired() {
             return Err(SgError::Cancelled);
         }
+        let start = Instant::now();
         let run = |resp: (QueryOutput, QueryStats)| QueryResponse::single(resp.0, resp.1);
-        if opts.trace {
+        let resp = if opts.trace {
             let (output, stats, trace) = match req {
                 QueryRequest::Knn { q, k, metric } => {
                     let (r, s, t) = match bound {
@@ -339,9 +352,9 @@ impl SgTree {
             };
             let mut resp = QueryResponse::single(output, stats);
             resp.trace = Some(trace);
-            Ok(resp)
+            resp
         } else {
-            Ok(match req {
+            match req {
                 QueryRequest::Knn { q, k, metric } => match bound {
                     Some(b) => {
                         let (r, s) = self.knn_shared(q, *k, metric, b);
@@ -368,8 +381,15 @@ impl SgTree {
                     let (r, s) = self.exact(q);
                     run((QueryOutput::Tids(r), s))
                 }
-            })
-        }
+            }
+        };
+        sg_obs::CostModel::global().record(
+            "sg-tree",
+            req.kind(),
+            start.elapsed().as_nanos() as u64,
+            &resp.stats.resources,
+        );
+        Ok(resp)
     }
 }
 

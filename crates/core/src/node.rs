@@ -377,6 +377,19 @@ impl SoaNode {
         matches!(self.repr, SoaRepr::Sparse { .. })
     }
 
+    /// Kernel lane operations one full sweep of this node costs: lane
+    /// words touched per dense entry times entries, or the total sparse
+    /// positions a galloping probe walks. Queries charge this per node
+    /// visit — an upper bound for early-exit probes, exact for the
+    /// mindist sweeps that dominate.
+    #[inline]
+    pub fn sweep_cost(&self) -> u64 {
+        match &self.repr {
+            SoaRepr::Dense { .. } => (self.len * self.stride) as u64,
+            SoaRepr::Sparse { positions, .. } => positions.len() as u64,
+        }
+    }
+
     /// The universe size.
     #[inline]
     pub fn nbits(&self) -> u32 {

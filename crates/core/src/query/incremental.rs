@@ -101,6 +101,8 @@ impl<'t> NnIter<'t> {
     pub fn stats(&self) -> QueryStats {
         let mut s = self.stats;
         s.io = self.tree.pool().stats().snapshot().since(&self.io_start);
+        s.resources.visits = s.nodes_accessed;
+        s.resources.pages_pinned = s.io.logical_reads;
         s
     }
 

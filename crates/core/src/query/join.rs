@@ -9,7 +9,7 @@
 //! space. The closest-pair search additionally shrinks its probe bound as
 //! better pairs are found.
 
-use super::{dfs, Neighbor, OrdF64, SearchCtx};
+use super::{dfs, BillStart, Neighbor, OrdF64, SearchCtx};
 use crate::stats::QueryStats;
 use crate::tree::SgTree;
 use crate::Tid;
@@ -62,6 +62,7 @@ pub(crate) fn similarity_join(
 ) -> (Vec<JoinPair>, QueryStats) {
     let io_left = left.pool().stats().snapshot();
     let io_right = right.pool().stats().snapshot();
+    let bill = BillStart::now();
     let mut ctx = SearchCtx::default();
     let mut out: Vec<JoinPair> = Vec::new();
     if !left.is_empty() && !right.is_empty() {
@@ -81,7 +82,8 @@ pub(crate) fn similarity_join(
             .then(a.left.cmp(&b.left))
             .then(a.right.cmp(&b.right))
     });
-    let stats = combined_stats(left, right, ctx, io_left, io_right);
+    let mut stats = combined_stats(left, right, ctx, io_left, io_right);
+    bill.bill(&mut stats);
     (out, stats)
 }
 
@@ -92,6 +94,7 @@ pub(crate) fn closest_pair(
 ) -> (Option<JoinPair>, QueryStats) {
     let io_left = left.pool().stats().snapshot();
     let io_right = right.pool().stats().snapshot();
+    let bill = BillStart::now();
     let mut ctx = SearchCtx::default();
     let mut best: Option<JoinPair> = None;
     if !left.is_empty() && !right.is_empty() {
@@ -110,7 +113,8 @@ pub(crate) fn closest_pair(
             }
         });
     }
-    let stats = combined_stats(left, right, ctx, io_left, io_right);
+    let mut stats = combined_stats(left, right, ctx, io_left, io_right);
+    bill.bill(&mut stats);
     (best, stats)
 }
 
@@ -133,5 +137,6 @@ fn combined_stats(
             evictions: l.evictions + r.evictions,
             writes: l.writes + r.writes,
         },
+        resources: sg_obs::ResourceVec::default(),
     }
 }

@@ -21,8 +21,8 @@ use crate::stats::QueryStats;
 use crate::tree::SgTree;
 use crate::Tid;
 use sg_obs::span::{self, Span};
-use sg_obs::QueryTrace;
-use sg_sig::{Metric, Signature};
+use sg_obs::{QueryTrace, ResourceVec};
+use sg_sig::{account, Metric, Signature};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -196,7 +196,38 @@ impl SearchCtx {
             data_compared: self.data_compared,
             dist_computations: self.dist_computations,
             io: tree.pool().stats().snapshot().since(&io_before),
+            resources: ResourceVec::default(),
         }
+    }
+}
+
+/// Point-in-time readings taken before a traversal so its resource bill
+/// can be computed as a delta afterwards. Queries run on one thread end
+/// to end, so both the CPU clock and the kernel counters are exact.
+pub(crate) struct BillStart {
+    cpu_ns: u64,
+    acct: account::Reading,
+}
+
+impl BillStart {
+    pub(crate) fn now() -> BillStart {
+        BillStart {
+            cpu_ns: sg_obs::cost::self_cpu_ns(),
+            acct: account::read(),
+        }
+    }
+
+    /// Fills `stats.resources` from the deltas since `self`.
+    pub(crate) fn bill(&self, stats: &mut QueryStats) {
+        let acct = account::read().delta(&self.acct);
+        stats.resources = ResourceVec {
+            cpu_ns: sg_obs::cost::self_cpu_ns().saturating_sub(self.cpu_ns),
+            visits: stats.nodes_accessed,
+            lane_ops: acct.lane_ops,
+            pages_pinned: stats.io.logical_reads,
+            bytes_decoded: acct.bytes_decoded,
+            wal_bytes: 0,
+        };
     }
 }
 
@@ -209,9 +240,11 @@ impl SgTree {
         let mut qspan = Span::start("core.query", "core");
         let start = self.obs().map(|_| Instant::now());
         let io_before = self.pool().stats().snapshot();
+        let bill = BillStart::now();
         let mut ctx = SearchCtx::default();
         let result = f(&mut ctx);
-        let stats = ctx.stats(self, io_before);
+        let mut stats = ctx.stats(self, io_before);
+        bill.bill(&mut stats);
         qspan.attr("nodes", stats.nodes_accessed);
         qspan.attr("data_compared", stats.data_compared);
         qspan.attr("dists", stats.dist_computations);
@@ -239,12 +272,14 @@ impl SgTree {
         let span_start = qspan.ctx().map(|_| span::now_ns());
         let start = Instant::now();
         let io_before = self.pool().stats().snapshot();
+        let bill = BillStart::now();
         let mut ctx = SearchCtx {
             trace: Some(QueryTrace::new(label, "sg-tree")),
             ..SearchCtx::default()
         };
         let result = f(&mut ctx);
-        let stats = ctx.stats(self, io_before);
+        let mut stats = ctx.stats(self, io_before);
+        bill.bill(&mut stats);
         let mut trace = ctx.trace.take().expect("trace installed above");
         trace.nodes_accessed = stats.nodes_accessed;
         trace.data_compared = stats.data_compared;

@@ -104,10 +104,12 @@ impl ScanIndex {
     /// encoded bytes, with no per-record signature allocation.
     fn scan(&self, mut visit: impl FnMut(Tid, &codec::EncodedView<'_>)) -> QueryStats {
         let io_before = self.pool.stats().snapshot();
+        let bill = crate::query::BillStart::now();
         let mut stats = QueryStats::default();
         for &pid in &self.pages {
             stats.nodes_accessed += 1;
             let page = self.pool.read(pid);
+            sg_sig::account::add_bytes_decoded(page.len() as u64);
             let count = u16::from_le_bytes([page[0], page[1]]) as usize;
             let mut off = PAGE_HEADER;
             for _ in 0..count {
@@ -122,6 +124,7 @@ impl ScanIndex {
             }
         }
         stats.io = self.pool.stats().snapshot().since(&io_before);
+        bill.bill(&mut stats);
         stats
     }
 

@@ -1,5 +1,6 @@
 //! Per-query cost accounting, matching the paper's reported metrics.
 
+use sg_obs::ResourceVec;
 use sg_pager::IoSnapshot;
 
 /// Costs incurred by a single query.
@@ -22,6 +23,10 @@ pub struct QueryStats {
     pub dist_computations: u64,
     /// Page-level I/O performed during the query.
     pub io: IoSnapshot,
+    /// The query's resource bill: thread CPU, kernel lane operations,
+    /// codec bytes, page pins, WAL bytes. Feeds the cost model and is
+    /// echoed per shard by the executor.
+    pub resources: ResourceVec,
 }
 
 impl QueryStats {
@@ -34,6 +39,7 @@ impl QueryStats {
         self.io.physical_reads += other.io.physical_reads;
         self.io.evictions += other.io.evictions;
         self.io.writes += other.io.writes;
+        self.resources.add(&other.resources);
     }
 
     /// Buffer-pool hits during the query (logical reads served from cache).
@@ -63,6 +69,14 @@ mod tests {
                 evictions: 1,
                 writes: 6,
             },
+            resources: ResourceVec {
+                cpu_ns: 7,
+                visits: 1,
+                lane_ops: 8,
+                pages_pinned: 4,
+                bytes_decoded: 9,
+                wal_bytes: 0,
+            },
         };
         a.add(&a.clone());
         assert_eq!(a.nodes_accessed, 2);
@@ -72,6 +86,9 @@ mod tests {
         assert_eq!(a.io.physical_reads, 10);
         assert_eq!(a.io.evictions, 2);
         assert_eq!(a.io.writes, 12);
+        assert_eq!(a.resources.cpu_ns, 14);
+        assert_eq!(a.resources.lane_ops, 16);
+        assert_eq!(a.resources.bytes_decoded, 18);
     }
 
     #[test]

@@ -227,6 +227,7 @@ impl SgTree {
 
     pub(crate) fn read_node(&self, id: PageId) -> Node {
         let page = self.pool.read(id);
+        sg_sig::account::add_bytes_decoded(page.len() as u64);
         Node::decode(self.config.nbits, &page)
     }
 
@@ -234,7 +235,10 @@ impl SgTree {
     /// keeps using [`SgTree::read_node`] — [`SoaNode`] is read-only.
     pub(crate) fn read_soa(&self, id: PageId) -> SoaNode {
         let page = self.pool.read(id);
-        SoaNode::decode(self.config.nbits, &page)
+        sg_sig::account::add_bytes_decoded(page.len() as u64);
+        let node = SoaNode::decode(self.config.nbits, &page);
+        sg_sig::account::add_lane_ops(node.sweep_cost());
+        node
     }
 
     pub(crate) fn write_node(&self, id: PageId, node: &Node) {

@@ -16,7 +16,9 @@ use crate::shard::{
     read_meta, write_meta, DurabilityConfig, RecoveryReport, Shard, StorageMode, WriteAck, WriteOp,
 };
 use sg_obs::json::Json;
-use sg_obs::{span, IngestObs, QueryTrace, Registry, Span, SpanCtx};
+use sg_obs::{
+    span, CostModel, CostObs, IngestObs, QueryTrace, Registry, ResourceVec, Span, SpanCtx,
+};
 use sg_pager::{MemStore, SgError, SgResult};
 use sg_sig::{Metric, Signature};
 use sg_tree::{
@@ -96,12 +98,23 @@ struct Inner {
     shards: Vec<Shard>,
     obs: OnceLock<Arc<ExecObs>>,
     ingest_obs: OnceLock<Arc<IngestObs>>,
+    cost_obs: OnceLock<Arc<CostObs>>,
 }
 
 impl Inner {
     fn record_shard(&self, idx: usize, stats: &QueryStats) {
         if let Some(obs) = self.obs.get() {
             obs.shard_visits[idx].add(stats.nodes_accessed);
+        }
+    }
+
+    /// Feeds one finished executor-level operation into the global cost
+    /// model (under index `"exec"`) and, when registered, the `cost.*`
+    /// resource-total counters.
+    fn record_cost(&self, kind: &'static str, wall_ns: u64, res: &ResourceVec) {
+        CostModel::global().record("exec", kind, wall_ns, res);
+        if let Some(c) = self.cost_obs.get() {
+            c.observe(res);
         }
     }
 }
@@ -149,6 +162,7 @@ impl ShardedExecutor {
                 shards,
                 obs: OnceLock::new(),
                 ingest_obs: OnceLock::new(),
+                cost_obs: OnceLock::new(),
             }),
             pool: ThreadPool::new(config.pool_threads()),
             nbits,
@@ -223,6 +237,7 @@ impl ShardedExecutor {
                 shards,
                 obs: OnceLock::new(),
                 ingest_obs: OnceLock::new(),
+                cost_obs: OnceLock::new(),
             }),
             pool: ThreadPool::new(config.pool_threads().max(shard_count)),
             nbits,
@@ -428,6 +443,17 @@ impl ShardedExecutor {
         Arc::clone(obs)
     }
 
+    /// Registers query/write resource-total counters (`<prefix>.cpu_ns`,
+    /// `<prefix>.lane_ops`, …) fed by per-operation [`ResourceVec`]s.
+    /// Effective once; later calls return the first instrument set.
+    pub fn register_cost_obs(&self, registry: &Registry, prefix: &str) -> Arc<CostObs> {
+        let obs = self
+            .inner
+            .cost_obs
+            .get_or_init(|| CostObs::register(registry, prefix));
+        Arc::clone(obs)
+    }
+
     /// Registers page-store instruments under `<prefix>.*` and attaches
     /// them to every mmap shard's store (gauges are adjusted by delta, so
     /// all shards share one instrument set). Returns `None` when no shard
@@ -506,6 +532,17 @@ impl ShardedExecutor {
         }
     }
 
+    /// Bills one applied write (or write group) to the cost model under
+    /// `("exec", "write")`: its wall time and the WAL bytes it appended.
+    fn record_write_cost(&self, started: Instant, wal_bytes: u64) {
+        let res = ResourceVec {
+            wal_bytes,
+            ..ResourceVec::default()
+        };
+        self.inner
+            .record_cost("write", started.elapsed().as_nanos() as u64, &res);
+    }
+
     /// Adds a new transaction, durably when the executor is durable.
     /// Rejects a tid that is already indexed (use
     /// [`ShardedExecutor::upsert`] to replace).
@@ -527,7 +564,7 @@ impl ShardedExecutor {
             tid,
             sig: sig.clone(),
         };
-        let (mut results, delta) = self.inner.shards[routed].apply_batch(
+        let (mut results, delta, wal_bytes) = self.inner.shards[routed].apply_batch(
             std::slice::from_ref(&op),
             &[],
             self.ingest_obs(),
@@ -535,6 +572,7 @@ impl ShardedExecutor {
         self.len.fetch_add(delta, Ordering::SeqCst);
         let ack = results.pop().expect("one op in, one result out")?;
         self.record_write(&op, started);
+        self.record_write_cost(started, wal_bytes);
         Ok(ack)
     }
 
@@ -551,12 +589,13 @@ impl ShardedExecutor {
         let ack = match idx {
             Some(idx) => {
                 let expected = vec![expected.cloned()];
-                let (mut results, delta) = self.inner.shards[idx].apply_batch(
+                let (mut results, delta, wal_bytes) = self.inner.shards[idx].apply_batch(
                     std::slice::from_ref(&op),
                     &expected,
                     self.ingest_obs(),
                 );
                 self.len.fetch_add(delta, Ordering::SeqCst);
+                self.record_write_cost(started, wal_bytes);
                 results.pop().expect("one op in, one result out")?
             }
             None => WriteAck {
@@ -579,22 +618,24 @@ impl ShardedExecutor {
         // routed insert would create a duplicate. The two steps are
         // separately logged; a crash between them loses only the (never
         // co-acknowledged) intermediate state.
+        let mut evict_wal = 0u64;
         if let Some(owner) = self.owner_of(tid) {
             if owner != routed {
                 let del = WriteOp::Delete { tid };
-                let (_, delta) = self.inner.shards[owner].apply_batch(
+                let (_, delta, wal) = self.inner.shards[owner].apply_batch(
                     std::slice::from_ref(&del),
                     &[],
                     self.ingest_obs(),
                 );
                 self.len.fetch_add(delta, Ordering::SeqCst);
+                evict_wal = wal;
             }
         }
         let op = WriteOp::Upsert {
             tid,
             sig: sig.clone(),
         };
-        let (mut results, delta) = self.inner.shards[routed].apply_batch(
+        let (mut results, delta, wal_bytes) = self.inner.shards[routed].apply_batch(
             std::slice::from_ref(&op),
             &[],
             self.ingest_obs(),
@@ -602,6 +643,7 @@ impl ShardedExecutor {
         self.len.fetch_add(delta, Ordering::SeqCst);
         let ack = results.pop().expect("one op in, one result out")?;
         self.record_write(&op, started);
+        self.record_write_cost(started, evict_wal + wal_bytes);
         Ok(ack)
     }
 
@@ -665,7 +707,7 @@ impl ShardedExecutor {
                                 continue;
                             }
                             let del = WriteOp::Delete { tid };
-                            let (_, delta) = self.inner.shards[owner].apply_batch(
+                            let (_, delta, _) = self.inner.shards[owner].apply_batch(
                                 std::slice::from_ref(&del),
                                 &[],
                                 self.ingest_obs(),
@@ -697,18 +739,20 @@ impl ShardedExecutor {
                     s
                 });
                 let (indices, ops): (Vec<usize>, Vec<WriteOp>) = group.into_iter().unzip();
-                let (results, delta) = inner.shards[shard_idx].apply_batch(
+                let (results, delta, wal_bytes) = inner.shards[shard_idx].apply_batch(
                     &ops,
                     &[],
                     inner.ingest_obs.get().map(|o| o.as_ref()),
                 );
-                let _ = tx.send((indices, ops, results, delta));
+                let _ = tx.send((indices, ops, results, delta, wal_bytes));
             });
         }
         drop(tx);
         for _ in 0..submitted {
-            let (indices, ops, results, delta) = rx.recv().expect("every write group reports");
+            let (indices, ops, results, delta, wal_bytes) =
+                rx.recv().expect("every write group reports");
             self.len.fetch_add(delta, Ordering::SeqCst);
+            self.record_write_cost(started, wal_bytes);
             for ((i, op), result) in indices.into_iter().zip(ops).zip(results) {
                 if result.is_ok() {
                     self.record_write(&op, started);
@@ -864,6 +908,11 @@ impl ShardedExecutor {
             children.push(trace);
         }
         let (output, stats) = self.finish(started, per_shard, || merge_outputs(req, outputs));
+        self.inner.record_cost(
+            req.kind(),
+            started.elapsed().as_nanos() as u64,
+            &stats.total.resources,
+        );
         let trace = if opts.trace {
             let mut trace = QueryTrace::new(
                 format!("{} shards={}", req.label(), self.shards()),
@@ -904,7 +953,13 @@ impl ShardedExecutor {
         let (parts, per_shard) = self.fan_out(Arc::new(move |tree: &SgTree| {
             tree.knn_shared(&q, k, &m, &bound)
         }));
-        self.finish(started, per_shard, || merge::merge_knn(parts, k))
+        let out = self.finish(started, per_shard, || merge::merge_knn(parts, k));
+        self.inner.record_cost(
+            "knn",
+            started.elapsed().as_nanos() as u64,
+            &out.1.total.resources,
+        );
+        out
     }
 
     /// Global similarity range query (distance ≤ `eps`).
@@ -914,7 +969,13 @@ impl ShardedExecutor {
         let m = *metric;
         let (parts, per_shard) =
             self.fan_out(Arc::new(move |tree: &SgTree| tree.range(&q, eps, &m)));
-        self.finish(started, per_shard, || merge::merge_range(parts))
+        let out = self.finish(started, per_shard, || merge::merge_range(parts));
+        self.inner.record_cost(
+            "range",
+            started.elapsed().as_nanos() as u64,
+            &out.1.total.resources,
+        );
+        out
     }
 
     /// Transactions whose signature is a superset of `q`.
@@ -922,7 +983,13 @@ impl ShardedExecutor {
         let started = Instant::now();
         let q = Arc::new(q.clone());
         let (parts, per_shard) = self.fan_out(Arc::new(move |tree: &SgTree| tree.containing(&q)));
-        self.finish(started, per_shard, || merge::merge_tids(parts))
+        let out = self.finish(started, per_shard, || merge::merge_tids(parts));
+        self.inner.record_cost(
+            "containing",
+            started.elapsed().as_nanos() as u64,
+            &out.1.total.resources,
+        );
+        out
     }
 
     /// Transactions whose signature is a subset of `q`.
@@ -930,7 +997,13 @@ impl ShardedExecutor {
         let started = Instant::now();
         let q = Arc::new(q.clone());
         let (parts, per_shard) = self.fan_out(Arc::new(move |tree: &SgTree| tree.contained_in(&q)));
-        self.finish(started, per_shard, || merge::merge_tids(parts))
+        let out = self.finish(started, per_shard, || merge::merge_tids(parts));
+        self.inner.record_cost(
+            "contained_in",
+            started.elapsed().as_nanos() as u64,
+            &out.1.total.resources,
+        );
+        out
     }
 
     /// Transactions whose signature equals `q` exactly.
@@ -938,7 +1011,13 @@ impl ShardedExecutor {
         let started = Instant::now();
         let q = Arc::new(q.clone());
         let (parts, per_shard) = self.fan_out(Arc::new(move |tree: &SgTree| tree.exact(&q)));
-        self.finish(started, per_shard, || merge::merge_tids(parts))
+        let out = self.finish(started, per_shard, || merge::merge_tids(parts));
+        self.inner.record_cost(
+            "exact",
+            started.elapsed().as_nanos() as u64,
+            &out.1.total.resources,
+        );
+        out
     }
 
     /// [`ShardedExecutor::knn`] with an EXPLAIN trace whose children are
@@ -1269,6 +1348,11 @@ fn finish_batch_query(
             .record(state.started.elapsed().as_nanos() as u64);
         obs.merge_ns.record(merge_ns);
     }
+    inner.record_cost(
+        query.kind(),
+        state.started.elapsed().as_nanos() as u64,
+        &stats.total.resources,
+    );
     let trace = if state.trace {
         let mut trace = QueryTrace::new(format!("{} shards={n_shards}", query.label()), "sg-exec");
         trace.nodes_accessed = stats.total.nodes_accessed;

@@ -590,7 +590,9 @@ impl Shard {
     /// every op that passes validation gets a WAL record, the batch is
     /// appended and synced **once**, and only then do the mutations become
     /// observable (the lock is released after apply). Returns one result
-    /// per op, in input order, plus the net change in entry count.
+    /// per op, in input order, plus the net change in entry count and the
+    /// WAL bytes the group appended (zero for non-durable shards) — the
+    /// write path's resource bill.
     ///
     /// `expected` (parallel to `ops`, or empty) carries an optional
     /// signature a delete must match (the `SetIndex::delete` contract);
@@ -600,7 +602,7 @@ impl Shard {
         ops: &[WriteOp],
         expected: &[Option<Signature>],
         obs: Option<&IngestObs>,
-    ) -> (Vec<SgResult<WriteAck>>, i64) {
+    ) -> (Vec<SgResult<WriteAck>>, i64, u64) {
         let mut st = self.state.write();
         // Writes need the catalog for validation and old-signature
         // lookups; mmap shards build it lazily on the first write.
@@ -670,6 +672,7 @@ impl Shard {
         // applied yet, so a failure here leaves memory untouched and every
         // staged op is failed instead of acknowledged.
         let mut next_lsn = None;
+        let mut wal_bytes = 0u64;
         let lsns: Vec<u64> = if wal_items.is_empty() {
             Vec::new()
         } else if let Some(d) = &self.durable {
@@ -677,8 +680,9 @@ impl Shard {
             let before = side.wal.bytes();
             match side.wal.append_batch(&wal_items) {
                 Ok(lsns) => {
+                    wal_bytes = side.wal.bytes().saturating_sub(before);
                     if let Some(o) = obs {
-                        o.wal_bytes.add(side.wal.bytes().saturating_sub(before));
+                        o.wal_bytes.add(wal_bytes);
                         o.wal_syncs.inc();
                     }
                     next_lsn = Some(side.wal.next_lsn());
@@ -694,7 +698,7 @@ impl Shard {
                             ));
                         }
                     }
-                    return (results, 0);
+                    return (results, 0, 0);
                 }
             }
         } else {
@@ -730,7 +734,7 @@ impl Shard {
                 }
             }
         }
-        (results, delta)
+        (results, delta, wal_bytes)
     }
 
     /// Snapshots the whole catalog at the WAL's current position, then

@@ -1,0 +1,112 @@
+//! Per-query resource accounting through the sharded executor: the
+//! per-shard [`ResourceVec`]s must sum exactly to the batch total, the
+//! physical counters must actually move for real traffic, and repeated
+//! accumulation through [`QueryStats::add`] must stay monotone and
+//! lossless.
+
+use sg_exec::{ExecConfig, Partitioner, QueryOptions, QueryOutput, QueryRequest, ShardedExecutor};
+use sg_obs::ResourceVec;
+use sg_sig::{Metric, Signature};
+
+const NBITS: u32 = 128;
+const SHARDS: usize = 3;
+
+fn items_for(tid: u64) -> Vec<u32> {
+    vec![
+        (tid % 16) as u32,
+        16 + (tid % 16) as u32,
+        32 + (tid % 48) as u32,
+        80 + (tid / 48) as u32,
+    ]
+}
+
+fn build_exec(rows: u64) -> ShardedExecutor {
+    let data: Vec<_> = (0..rows)
+        .map(|tid| (tid, Signature::from_items(NBITS, &items_for(tid))))
+        .collect();
+    ShardedExecutor::build(
+        NBITS,
+        &data,
+        &ExecConfig {
+            shards: SHARDS,
+            partitioner: Partitioner::RoundRobin,
+            ..ExecConfig::default()
+        },
+    )
+    .expect("build executor")
+}
+
+fn knn(tid: u64, k: usize) -> QueryRequest {
+    QueryRequest::Knn {
+        q: Signature::from_items(NBITS, &items_for(tid)),
+        k,
+        metric: Metric::hamming(),
+    }
+}
+
+#[test]
+fn per_shard_resources_sum_to_batch_total() {
+    let exec = build_exec(600);
+    for tid in 0..8u64 {
+        let resp = exec
+            .query(&knn(tid, 5), &QueryOptions::default())
+            .expect("knn");
+        match &resp.output {
+            QueryOutput::Neighbors(pairs) => assert_eq!(pairs.len(), 5),
+            other => panic!("knn got {other:?}"),
+        }
+        assert_eq!(resp.per_shard.len(), SHARDS);
+
+        let mut summed = ResourceVec::default();
+        for s in &resp.per_shard {
+            summed.add(&s.resources);
+        }
+        let total = &resp.stats.resources;
+        assert_eq!(summed.cpu_ns, total.cpu_ns, "cpu_ns mismatch");
+        assert_eq!(summed.visits, total.visits, "visits mismatch");
+        assert_eq!(summed.lane_ops, total.lane_ops, "lane_ops mismatch");
+        assert_eq!(summed.pages_pinned, total.pages_pinned, "pages mismatch");
+        assert_eq!(
+            summed.bytes_decoded, total.bytes_decoded,
+            "bytes_decoded mismatch"
+        );
+        assert_eq!(summed.wal_bytes, total.wal_bytes, "wal_bytes mismatch");
+
+        // A real k-NN over 600 rows walks nodes, sweeps lanes, and
+        // decodes pages on every shard.
+        assert!(total.visits > 0, "no node visits accounted");
+        assert!(total.lane_ops > 0, "no lane ops accounted");
+        assert!(total.bytes_decoded > 0, "no decode bytes accounted");
+        assert!(total.pages_pinned > 0, "no page reads accounted");
+        assert_eq!(total.wal_bytes, 0, "reads must not bill WAL bytes");
+    }
+}
+
+#[test]
+fn accumulated_resources_are_monotone_and_lossless() {
+    let exec = build_exec(400);
+    let mut running = ResourceVec::default();
+    let mut cpu_total = 0u64;
+    let mut prev_visits = 0u64;
+    for tid in 0..12u64 {
+        let resp = exec
+            .query(&knn(tid, 3), &QueryOptions::default())
+            .expect("knn");
+        let r = &resp.stats.resources;
+        running.add(r);
+        cpu_total += r.cpu_ns;
+
+        // Accumulation never goes backwards, and each query moves the
+        // structural counters by a visible amount.
+        assert!(running.visits > prev_visits, "visits did not advance");
+        prev_visits = running.visits;
+    }
+    // Thread CPU time has nanosecond resolution; 12 real queries cannot
+    // round to zero collectively even if a single one might.
+    assert!(cpu_total > 0, "no CPU time accounted across 12 queries");
+    assert_eq!(running.visits, prev_visits);
+    assert!(
+        running.bytes_decoded >= running.pages_pinned,
+        "decoded bytes below page count"
+    );
+}

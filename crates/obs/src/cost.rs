@@ -1,0 +1,354 @@
+//! Per-query resource accounting and the calibrated cost model.
+//!
+//! A [`ResourceVec`] is the bill for one query (or one shard's part of
+//! it): CPU nanoseconds, tree-node visits, kernel lane operations,
+//! buffer-pool page pins, codec bytes decoded, and WAL bytes appended.
+//! The core query dispatch fills one per call from thread-CPU readings
+//! and `sg-sig`'s thread-local kernel counters; the sharded executor
+//! sums them per shard (they ride inside `QueryStats`, so
+//! `QueryResponse::per_shard` echoes each shard's vector).
+//!
+//! The [`CostModel`] turns those bills into the per-index-kind EWMA
+//! cost stats the planner consumes: every finished query feeds
+//! `record(index, kind, wall_ns, resources)`, and
+//! [`CostModel::estimate`] answers "what will a query of this kind cost
+//! on this index, in nanoseconds" from the same table that
+//! `GET /debug/costs` serves.
+
+use crate::json::Json;
+use crate::metrics::{Counter, Registry};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The calling thread's cumulative CPU time in nanoseconds (zero on
+/// platforms without thread clocks). Re-exported here so accounting
+/// sites need only a `sg-obs` dependency, not the `cputime` shim.
+#[inline]
+pub fn self_cpu_ns() -> u64 {
+    cputime::self_cpu_ns()
+}
+
+/// Resources consumed by one query (or one shard's slice of one).
+/// Element-wise addable, so per-shard vectors sum to the batch total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceVec {
+    /// Thread CPU time spent answering, nanoseconds.
+    pub cpu_ns: u64,
+    /// Tree nodes (pages) visited.
+    pub visits: u64,
+    /// Kernel lane operations: dense sweeps charge their lane words,
+    /// sparse probes the positions compared.
+    pub lane_ops: u64,
+    /// Buffer-pool pages pinned (logical page reads) during the query.
+    pub pages_pinned: u64,
+    /// Bytes run through the signature codec (page → SoA decode).
+    pub bytes_decoded: u64,
+    /// Bytes appended to the WAL (write operations; zero for reads).
+    pub wal_bytes: u64,
+}
+
+impl ResourceVec {
+    /// Element-wise sum.
+    pub fn add(&mut self, other: &ResourceVec) {
+        self.cpu_ns += other.cpu_ns;
+        self.visits += other.visits;
+        self.lane_ops += other.lane_ops;
+        self.pages_pinned += other.pages_pinned;
+        self.bytes_decoded += other.bytes_decoded;
+        self.wal_bytes += other.wal_bytes;
+    }
+
+    /// Whether every component is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == ResourceVec::default()
+    }
+
+    /// The vector as a JSON object, one key per component.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("cpu_ns".to_string(), Json::U64(self.cpu_ns)),
+            ("visits".to_string(), Json::U64(self.visits)),
+            ("lane_ops".to_string(), Json::U64(self.lane_ops)),
+            ("pages_pinned".to_string(), Json::U64(self.pages_pinned)),
+            ("bytes_decoded".to_string(), Json::U64(self.bytes_decoded)),
+            ("wal_bytes".to_string(), Json::U64(self.wal_bytes)),
+        ])
+    }
+}
+
+/// EWMA smoothing factor. Small enough to ride out scheduling noise,
+/// large enough that a few dozen queries converge to the workload mean.
+const ALPHA: f64 = 0.1;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Ewma(f64);
+
+impl Ewma {
+    fn observe(&mut self, x: f64, first: bool) {
+        if first {
+            self.0 = x;
+        } else {
+            self.0 += ALPHA * (x - self.0);
+        }
+    }
+}
+
+/// The smoothed cost statistics for one `(index, kind)` cell.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostStats {
+    /// Queries folded into the EWMAs.
+    pub count: u64,
+    /// Smoothed wall nanoseconds — what [`CostModel::estimate`] returns.
+    pub est_ns: f64,
+    /// Smoothed thread-CPU nanoseconds.
+    pub cpu_ns: f64,
+    /// Smoothed node visits.
+    pub visits: f64,
+    /// Smoothed kernel lane operations.
+    pub lane_ops: f64,
+    /// Smoothed page pins.
+    pub pages_pinned: f64,
+    /// Smoothed codec bytes.
+    pub bytes_decoded: f64,
+    /// Smoothed WAL bytes.
+    pub wal_bytes: f64,
+    /// The most recent raw wall-ns observation.
+    pub last_ns: u64,
+}
+
+impl CostStats {
+    fn observe(&mut self, wall_ns: u64, res: &ResourceVec) {
+        let first = self.count == 0;
+        let mut e = Ewma(self.est_ns);
+        e.observe(wall_ns as f64, first);
+        self.est_ns = e.0;
+        let fold = |slot: &mut f64, x: u64| {
+            let mut e = Ewma(*slot);
+            e.observe(x as f64, first);
+            *slot = e.0;
+        };
+        fold(&mut self.cpu_ns, res.cpu_ns);
+        fold(&mut self.visits, res.visits);
+        fold(&mut self.lane_ops, res.lane_ops);
+        fold(&mut self.pages_pinned, res.pages_pinned);
+        fold(&mut self.bytes_decoded, res.bytes_decoded);
+        fold(&mut self.wal_bytes, res.wal_bytes);
+        self.last_ns = wall_ns;
+        self.count += 1;
+    }
+}
+
+/// Per-index, per-query-kind EWMA cost table. Keys are the `'static`
+/// names instrumentation sites already use (`"sg-tree"`, `"exec"`, …;
+/// `"knn"`, `"range"`, `"containing"`, `"contained_in"`, `"exact"`,
+/// `"write"`), so the record hot path allocates nothing.
+#[derive(Debug, Default)]
+pub struct CostModel {
+    cells: Mutex<BTreeMap<(&'static str, &'static str), CostStats>>,
+}
+
+impl CostModel {
+    /// An empty model (tests; production uses [`CostModel::global`]).
+    pub fn new() -> CostModel {
+        CostModel::default()
+    }
+
+    /// The process-wide model every dispatch layer records into and
+    /// `GET /debug/costs` serves.
+    pub fn global() -> &'static CostModel {
+        static MODEL: OnceLock<CostModel> = OnceLock::new();
+        MODEL.get_or_init(CostModel::new)
+    }
+
+    /// Folds one finished query into the `(index, kind)` cell.
+    pub fn record(&self, index: &'static str, kind: &'static str, wall_ns: u64, res: &ResourceVec) {
+        let mut cells = self.cells.lock().unwrap();
+        cells
+            .entry((index, kind))
+            .or_default()
+            .observe(wall_ns, res);
+    }
+
+    /// The smoothed wall-nanosecond estimate for a query of `kind` on
+    /// `index`; `None` until at least one query has been recorded.
+    pub fn estimate(&self, index: &str, kind: &str) -> Option<u64> {
+        self.stats(index, kind).map(|s| s.est_ns.round() as u64)
+    }
+
+    /// The full smoothed statistics for one cell.
+    pub fn stats(&self, index: &str, kind: &str) -> Option<CostStats> {
+        let cells = self.cells.lock().unwrap();
+        cells
+            .iter()
+            .find(|((i, k), _)| *i == index && *k == kind)
+            .map(|(_, s)| *s)
+    }
+
+    /// Empties the table (tests, admin reset).
+    pub fn clear(&self) {
+        self.cells.lock().unwrap().clear();
+    }
+
+    /// The whole table as JSON: one row per `(index, kind)` cell with
+    /// its count, estimate, and smoothed resource components.
+    pub fn to_json(&self) -> Json {
+        let cells = self.cells.lock().unwrap();
+        let models: Vec<Json> = cells
+            .iter()
+            .map(|((index, kind), s)| {
+                Json::Obj(vec![
+                    ("index".to_string(), Json::Str(index.to_string())),
+                    ("kind".to_string(), Json::Str(kind.to_string())),
+                    ("count".to_string(), Json::U64(s.count)),
+                    ("est_ns".to_string(), Json::F64(s.est_ns)),
+                    ("last_ns".to_string(), Json::U64(s.last_ns)),
+                    (
+                        "ewma".to_string(),
+                        Json::Obj(vec![
+                            ("cpu_ns".to_string(), Json::F64(s.cpu_ns)),
+                            ("visits".to_string(), Json::F64(s.visits)),
+                            ("lane_ops".to_string(), Json::F64(s.lane_ops)),
+                            ("pages_pinned".to_string(), Json::F64(s.pages_pinned)),
+                            ("bytes_decoded".to_string(), Json::F64(s.bytes_decoded)),
+                            ("wal_bytes".to_string(), Json::F64(s.wal_bytes)),
+                        ]),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![("models".to_string(), Json::Arr(models))])
+    }
+}
+
+/// Instrument set for query resource totals, registered under a
+/// caller-chosen prefix (`"cost"` in the serve layer). Counters, so
+/// rates fall out of `/metrics/history` like every other counter.
+#[derive(Debug)]
+pub struct CostObs {
+    /// Queries whose resource vector was folded in (`<prefix>.queries`).
+    pub queries: Arc<Counter>,
+    /// Total thread-CPU nanoseconds (`<prefix>.cpu_ns`).
+    pub cpu_ns: Arc<Counter>,
+    /// Total node visits (`<prefix>.visits`).
+    pub visits: Arc<Counter>,
+    /// Total kernel lane operations (`<prefix>.lane_ops`).
+    pub lane_ops: Arc<Counter>,
+    /// Total buffer-pool page pins (`<prefix>.pages_pinned`).
+    pub pages_pinned: Arc<Counter>,
+    /// Total codec bytes decoded (`<prefix>.bytes_decoded`).
+    pub bytes_decoded: Arc<Counter>,
+    /// Total WAL bytes attributed to accounted writes
+    /// (`<prefix>.wal_bytes`).
+    pub wal_bytes: Arc<Counter>,
+}
+
+impl CostObs {
+    /// Registers the cost instrument set under `<prefix>.<name>`.
+    pub fn register(registry: &Registry, prefix: &str) -> Arc<CostObs> {
+        let c = |name: &str| registry.counter(&format!("{prefix}.{name}"));
+        Arc::new(CostObs {
+            queries: c("queries"),
+            cpu_ns: c("cpu_ns"),
+            visits: c("visits"),
+            lane_ops: c("lane_ops"),
+            pages_pinned: c("pages_pinned"),
+            bytes_decoded: c("bytes_decoded"),
+            wal_bytes: c("wal_bytes"),
+        })
+    }
+
+    /// Adds one query's resource vector to the totals.
+    pub fn observe(&self, res: &ResourceVec) {
+        self.queries.inc();
+        self.cpu_ns.add(res.cpu_ns);
+        self.visits.add(res.visits);
+        self.lane_ops.add(res.lane_ops);
+        self.pages_pinned.add(res.pages_pinned);
+        self.bytes_decoded.add(res.bytes_decoded);
+        self.wal_bytes.add(res.wal_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec1() -> ResourceVec {
+        ResourceVec {
+            cpu_ns: 100,
+            visits: 2,
+            lane_ops: 64,
+            pages_pinned: 2,
+            bytes_decoded: 4096,
+            wal_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn resource_vec_adds_elementwise() {
+        let mut a = vec1();
+        a.add(&vec1());
+        assert_eq!(a.cpu_ns, 200);
+        assert_eq!(a.visits, 4);
+        assert_eq!(a.lane_ops, 128);
+        assert_eq!(a.pages_pinned, 4);
+        assert_eq!(a.bytes_decoded, 8192);
+        assert_eq!(a.wal_bytes, 0);
+        assert!(!a.is_zero());
+        assert!(ResourceVec::default().is_zero());
+    }
+
+    #[test]
+    fn first_observation_seeds_the_ewma() {
+        let m = CostModel::new();
+        assert_eq!(m.estimate("sg-tree", "knn"), None);
+        m.record("sg-tree", "knn", 10_000, &vec1());
+        assert_eq!(m.estimate("sg-tree", "knn"), Some(10_000));
+        let s = m.stats("sg-tree", "knn").unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.cpu_ns, 100.0);
+        assert_eq!(s.last_ns, 10_000);
+    }
+
+    #[test]
+    fn ewma_converges_to_a_stationary_workload() {
+        let m = CostModel::new();
+        for _ in 0..200 {
+            m.record("sg-tree", "range", 50_000, &vec1());
+        }
+        let est = m.estimate("sg-tree", "range").unwrap();
+        assert_eq!(est, 50_000);
+        // A level shift is tracked within a few dozen observations.
+        for _ in 0..60 {
+            m.record("sg-tree", "range", 100_000, &vec1());
+        }
+        let est = m.estimate("sg-tree", "range").unwrap() as f64;
+        assert!((est - 100_000.0).abs() / 100_000.0 < 0.05, "est {est}");
+    }
+
+    #[test]
+    fn cells_are_keyed_by_index_and_kind() {
+        let m = CostModel::new();
+        m.record("sg-tree", "knn", 1_000, &vec1());
+        m.record("exec", "knn", 9_000, &vec1());
+        m.record("sg-tree", "exact", 500, &vec1());
+        assert_eq!(m.estimate("sg-tree", "knn"), Some(1_000));
+        assert_eq!(m.estimate("exec", "knn"), Some(9_000));
+        assert_eq!(m.estimate("sg-tree", "exact"), Some(500));
+        assert_eq!(m.estimate("sg-tree", "range"), None);
+        let doc = m.to_json().to_string_compact();
+        let parsed = crate::json::parse(&doc).unwrap();
+        assert_eq!(parsed.get("models").unwrap().as_arr().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn cost_obs_accumulates_totals() {
+        let reg = Registry::new();
+        let obs = CostObs::register(&reg, "cost");
+        obs.observe(&vec1());
+        obs.observe(&vec1());
+        assert_eq!(obs.queries.get(), 2);
+        assert_eq!(obs.cpu_ns.get(), 200);
+        assert_eq!(obs.lane_ops.get(), 128);
+    }
+}

@@ -19,19 +19,23 @@
 //!    retains the full span tree and EXPLAIN trace of any request over
 //!    a latency threshold.
 
+pub mod cost;
 pub mod export;
 pub mod history;
 pub mod json;
 pub mod metrics;
+pub mod prof;
 #[cfg(test)]
 mod proptests;
 pub mod span;
 pub mod trace;
 
+pub use cost::{CostModel, CostObs, CostStats, ResourceVec};
 pub use history::{MetricHistory, Sampler};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, IndexObs, IngestObs, MetricSnapshot, MetricValue,
     PoolObs, Registry, RegistrySnapshot, ServeObs, StoreObs,
 };
+pub use prof::{FoldedProfile, FoldedStack, ProfOverflow, StackCount};
 pub use span::{Span, SpanCtx, SpanData};
 pub use trace::{record_trace_levels, trace_level_aggregates, LevelTrace, QueryTrace, TraceSink};

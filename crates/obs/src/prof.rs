@@ -1,0 +1,677 @@
+//! `sg-prof`: a continuous span-stack sampling profiler.
+//!
+//! A zero-dependency timer thread wakes `hz` times per second and, on
+//! each tick, snapshots every thread's **live span stack** — the
+//! lock-free mirror each [`crate::span::Span`] maintains next to its
+//! flight ring — plus each thread's CPU clock (vendored
+//! `CLOCK_THREAD_CPUTIME_ID` readings, see the `cputime` shim).
+//! Samples aggregate into **folded stacks**, the flamegraph interchange
+//! format:
+//!
+//! ```text
+//! serve.request;exec.shard;core.query 42
+//! ```
+//!
+//! one line per distinct root-to-leaf path, weighted by sample count.
+//! Each stack also accumulates the sampled threads' CPU-time deltas, so
+//! wall-biased (sample count) and CPU-biased (cpu_ns) views come from
+//! the same pass.
+//!
+//! Two design points mirror the flight recorder:
+//!
+//! * **Off is free.** With the profiler stopped, instrumentation sites
+//!   pay the same single relaxed load as with tracing off. Starting the
+//!   profiler flips [`crate::span::set_profiling`], which makes span
+//!   guards maintain the live mirrors without touching the rings.
+//! * **Reads are bounded.** [`folded_bounded`] never builds a document
+//!   over its byte cap; it bails with a [`ProfOverflow`] carrying a
+//!   workable `limit` hint, exactly like the flight dump.
+//!
+//! The aggregator ([`FoldedProfile`]) is a pure value type: merging is
+//! associative and conserves counts (property-tested), which is what
+//! makes the sampler's tick-local → global two-level aggregation safe.
+
+use crate::json::Json;
+use crate::span;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Hard cap on distinct folded stacks retained by the global profile;
+/// samples for stacks beyond it are counted in `dropped` instead of
+/// growing without bound (span vocabularies are small, so in practice
+/// this is never hit).
+pub const MAX_DISTINCT_STACKS: usize = 8192;
+
+// ---------------------------------------------------------------------------
+// Folded-stack aggregation (pure, property-tested)
+// ---------------------------------------------------------------------------
+
+/// Weights accumulated for one distinct stack.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StackCount {
+    /// Timer ticks that caught this stack live.
+    pub samples: u64,
+    /// Thread CPU nanoseconds attributed to this stack.
+    pub cpu_ns: u64,
+}
+
+impl StackCount {
+    fn add(&mut self, other: StackCount) {
+        self.samples += other.samples;
+        self.cpu_ns += other.cpu_ns;
+    }
+}
+
+/// An aggregate of folded stacks keyed by interned span-name paths
+/// (root first). Pure value semantics: [`FoldedProfile::merge`] is
+/// associative and commutative, and conserves both weights.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FoldedProfile {
+    stacks: BTreeMap<Vec<u16>, StackCount>,
+}
+
+impl FoldedProfile {
+    /// An empty profile.
+    pub fn new() -> FoldedProfile {
+        FoldedProfile::default()
+    }
+
+    /// Adds `count` to the stack keyed by interned frames (root first).
+    /// Empty stacks (idle threads) are not recorded.
+    pub fn record(&mut self, frames: &[u16], count: StackCount) {
+        if frames.is_empty() {
+            return;
+        }
+        self.stacks.entry(frames.to_vec()).or_default().add(count);
+    }
+
+    /// Folds `other` into `self`, stack by stack.
+    pub fn merge(&mut self, other: &FoldedProfile) {
+        for (frames, count) in &other.stacks {
+            self.stacks.entry(frames.clone()).or_default().add(*count);
+        }
+    }
+
+    /// Number of distinct stacks.
+    pub fn len(&self) -> usize {
+        self.stacks.len()
+    }
+
+    /// Whether no stack has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stacks.is_empty()
+    }
+
+    /// Total samples across every stack.
+    pub fn total_samples(&self) -> u64 {
+        self.stacks.values().map(|c| c.samples).sum()
+    }
+
+    /// Total CPU nanoseconds across every stack.
+    pub fn total_cpu_ns(&self) -> u64 {
+        self.stacks.values().map(|c| c.cpu_ns).sum()
+    }
+
+    /// Empties the profile.
+    pub fn clear(&mut self) {
+        self.stacks.clear();
+    }
+
+    /// The stacks with names resolved, heaviest (by samples) first.
+    pub fn resolved(&self) -> Vec<FoldedStack> {
+        let mut out: Vec<FoldedStack> = self
+            .stacks
+            .iter()
+            .map(|(frames, count)| FoldedStack {
+                frames: frames.iter().map(|&f| span::resolve(f)).collect(),
+                samples: count.samples,
+                cpu_ns: count.cpu_ns,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.samples
+                .cmp(&a.samples)
+                .then_with(|| a.frames.cmp(&b.frames))
+        });
+        out
+    }
+}
+
+/// One resolved folded stack: the root-to-leaf span-name path and its
+/// accumulated weights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldedStack {
+    /// Span names, root first.
+    pub frames: Vec<&'static str>,
+    /// Timer ticks that caught this stack live.
+    pub samples: u64,
+    /// Thread CPU nanoseconds attributed to this stack.
+    pub cpu_ns: u64,
+}
+
+impl FoldedStack {
+    /// The flamegraph folded line: `a;b;c 42`.
+    pub fn folded_line(&self) -> String {
+        format!("{} {}", self.frames.join(";"), self.samples)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The global sampler
+// ---------------------------------------------------------------------------
+
+struct ProfShared {
+    agg: Mutex<FoldedProfile>,
+    running: AtomicBool,
+    hz: AtomicU64,
+    /// Timer ticks taken since the last [`clear`].
+    ticks: AtomicU64,
+    /// Samples discarded because [`MAX_DISTINCT_STACKS`] was reached.
+    dropped: AtomicU64,
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+fn shared() -> &'static ProfShared {
+    static PROF: OnceLock<ProfShared> = OnceLock::new();
+    PROF.get_or_init(|| ProfShared {
+        agg: Mutex::new(FoldedProfile::new()),
+        running: AtomicBool::new(false),
+        hz: AtomicU64::new(0),
+        ticks: AtomicU64::new(0),
+        dropped: AtomicU64::new(0),
+        handle: Mutex::new(None),
+    })
+}
+
+/// Takes one sample of every registered thread: live stacks (skipping a
+/// thread caught mid-update) weighted 1 sample each, plus each thread's
+/// CPU delta since its entry in `last_cpu` attributed to its current
+/// stack. Threads with empty stacks advance `last_cpu` without
+/// recording, so idle CPU is never attributed to a later stack.
+fn sample_threads(last_cpu: &mut HashMap<u64, u64>) -> FoldedProfile {
+    let rings: Vec<_> = span::rings().lock().unwrap().clone();
+    let mut tick = FoldedProfile::new();
+    for ring in &rings {
+        let cpu_now = ring.cpu_ns();
+        let cpu_delta = match cpu_now {
+            Some(now) => {
+                let last = last_cpu.insert(ring.tid(), now);
+                now.saturating_sub(last.unwrap_or(now))
+            }
+            None => 0, // thread exited (or no CPU clocks on this target)
+        };
+        let Some(stack) = ring.live_stack() else {
+            continue; // torn on every retry: owner is busy, skip this tick
+        };
+        if stack.is_empty() {
+            continue;
+        }
+        let frames: Vec<u16> = stack.iter().map(|&(name, _cat)| name).collect();
+        tick.record(
+            &frames,
+            StackCount {
+                samples: 1,
+                cpu_ns: cpu_delta,
+            },
+        );
+    }
+    tick
+}
+
+fn fold_into_global(tick: &FoldedProfile) {
+    let s = shared();
+    s.ticks.fetch_add(1, Ordering::Relaxed);
+    let mut agg = s.agg.lock().unwrap();
+    for (frames, count) in &tick.stacks {
+        if agg.stacks.len() >= MAX_DISTINCT_STACKS && !agg.stacks.contains_key(frames) {
+            s.dropped.fetch_add(count.samples, Ordering::Relaxed);
+            continue;
+        }
+        agg.stacks.entry(frames.clone()).or_default().add(*count);
+    }
+}
+
+/// Takes one sample right now on the calling thread (used by tests and
+/// one-shot dumps; the timer thread does the same thing on a cadence).
+/// CPU deltas are measured against `last_cpu`, which the caller owns.
+pub fn sample_once(last_cpu: &mut HashMap<u64, u64>) {
+    let tick = sample_threads(last_cpu);
+    fold_into_global(&tick);
+}
+
+/// Starts the sampling profiler at `hz` samples per second (clamped to
+/// [1, 10_000]). Flips span profiling on so live stacks are maintained.
+/// Returns `false` (and changes nothing) if it is already running.
+pub fn start(hz: u32) -> bool {
+    let s = shared();
+    if s.running.swap(true, Ordering::SeqCst) {
+        return false;
+    }
+    let hz = hz.clamp(1, 10_000);
+    s.hz.store(hz as u64, Ordering::Relaxed);
+    span::set_profiling(true);
+    let handle = std::thread::Builder::new()
+        .name("sg-prof".into())
+        .spawn(move || {
+            let period = Duration::from_nanos(1_000_000_000 / hz as u64);
+            let mut last_cpu: HashMap<u64, u64> = HashMap::new();
+            let mut next = Instant::now() + period;
+            while shared().running.load(Ordering::Relaxed) {
+                let now = Instant::now();
+                if now < next {
+                    std::thread::sleep(next - now);
+                }
+                // Deadline pacing: late ticks don't compound, bursts
+                // after a stall are capped at one catch-up tick.
+                next = Instant::now().max(next) + period;
+                sample_once(&mut last_cpu);
+            }
+        })
+        .expect("spawning the profiler thread");
+    *s.handle.lock().unwrap() = Some(handle);
+    true
+}
+
+/// Stops the sampling profiler and joins its thread. The accumulated
+/// profile is retained (dumpable after stop); [`clear`] resets it.
+pub fn stop() {
+    let s = shared();
+    if !s.running.swap(false, Ordering::SeqCst) {
+        return;
+    }
+    if let Some(h) = s.handle.lock().unwrap().take() {
+        let _ = h.join();
+    }
+    span::set_profiling(false);
+}
+
+/// Whether the sampler thread is running.
+pub fn is_running() -> bool {
+    shared().running.load(Ordering::Relaxed)
+}
+
+/// The configured sampling rate (Hz); meaningful while running.
+pub fn hz() -> u64 {
+    shared().hz.load(Ordering::Relaxed)
+}
+
+/// Timer ticks taken since the last [`clear`].
+pub fn ticks() -> u64 {
+    shared().ticks.load(Ordering::Relaxed)
+}
+
+/// Resets the accumulated profile and its counters.
+pub fn clear() {
+    let s = shared();
+    s.agg.lock().unwrap().clear();
+    s.ticks.store(0, Ordering::Relaxed);
+    s.dropped.store(0, Ordering::Relaxed);
+}
+
+/// A point-in-time copy of the accumulated profile.
+pub fn snapshot() -> FoldedProfile {
+    shared().agg.lock().unwrap().clone()
+}
+
+// ---------------------------------------------------------------------------
+// Serializers
+// ---------------------------------------------------------------------------
+
+/// Why [`folded_bounded`] refused to serialize: the document would have
+/// exceeded `max_bytes`. Mirrors the flight recorder's overflow shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfOverflow {
+    /// Stacks available after applying the caller's `limit`.
+    pub stacks_total: usize,
+    /// Stacks that fit within `max_bytes` before the bail-out.
+    pub stacks_fit: usize,
+    /// The byte cap that was exceeded.
+    pub max_bytes: usize,
+}
+
+/// The accumulated profile as folded-stack text (`a;b;c 42`, one line
+/// per stack, heaviest first), never building a document larger than
+/// `max_bytes`. `limit` keeps only the heaviest N stacks.
+pub fn folded_bounded(max_bytes: usize, limit: Option<usize>) -> Result<String, ProfOverflow> {
+    let mut stacks = snapshot().resolved();
+    if let Some(n) = limit {
+        stacks.truncate(n);
+    }
+    let mut out = String::new();
+    for (i, s) in stacks.iter().enumerate() {
+        let line = s.folded_line();
+        if out.len() + line.len() + 1 > max_bytes {
+            return Err(ProfOverflow {
+                stacks_total: stacks.len(),
+                stacks_fit: i,
+                max_bytes,
+            });
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// The accumulated profile as folded-stack text, unbounded (SIGUSR2
+/// dumps to disk, tests).
+pub fn folded_text() -> String {
+    folded_bounded(usize::MAX, None).expect("unbounded folded text cannot overflow")
+}
+
+fn flame_children(stacks: &[(Vec<&'static str>, StackCount)], depth: usize) -> Vec<Json> {
+    // Group the stacks that are at least `depth + 1` deep by their
+    // frame at `depth`; each group becomes one child node.
+    let mut groups: BTreeMap<&'static str, Vec<(Vec<&'static str>, StackCount)>> = BTreeMap::new();
+    for (frames, count) in stacks {
+        if let Some(&name) = frames.get(depth) {
+            groups
+                .entry(name)
+                .or_default()
+                .push((frames.clone(), *count));
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(name, group)| {
+            let samples: u64 = group.iter().map(|(_, c)| c.samples).sum();
+            let cpu_ns: u64 = group.iter().map(|(_, c)| c.cpu_ns).sum();
+            Json::Obj(vec![
+                ("name".to_string(), Json::Str(name.to_string())),
+                ("value".to_string(), Json::U64(samples)),
+                ("cpu_ns".to_string(), Json::U64(cpu_ns)),
+                (
+                    "children".to_string(),
+                    Json::Arr(flame_children(&group, depth + 1)),
+                ),
+            ])
+        })
+        .collect()
+}
+
+/// Per-name **self** weights: each sampled stack charges its leaf frame
+/// (the frame actually executing). Heaviest first — what `sg-top`'s
+/// "hot spans" row shows.
+pub fn self_weights(profile: &FoldedProfile) -> Vec<(&'static str, StackCount)> {
+    let mut by_name: BTreeMap<&'static str, StackCount> = BTreeMap::new();
+    for s in profile.resolved() {
+        if let Some(&leaf) = s.frames.last() {
+            by_name.entry(leaf).or_default().add(StackCount {
+                samples: s.samples,
+                cpu_ns: s.cpu_ns,
+            });
+        }
+    }
+    let mut out: Vec<_> = by_name.into_iter().collect();
+    out.sort_by(|a, b| b.1.samples.cmp(&a.1.samples).then_with(|| a.0.cmp(b.0)));
+    out
+}
+
+/// The accumulated profile as a d3-flamegraph-compatible JSON tree
+/// (`{name, value, children}` from a synthetic root), with sampler
+/// metadata and per-name self weights alongside (extra keys are ignored
+/// by d3). `limit` keeps only the heaviest N stacks.
+pub fn flame_json(limit: Option<usize>) -> Json {
+    let profile = snapshot();
+    let mut stacks: Vec<(Vec<&'static str>, StackCount)> = profile
+        .resolved()
+        .into_iter()
+        .map(|s| {
+            (
+                s.frames,
+                StackCount {
+                    samples: s.samples,
+                    cpu_ns: s.cpu_ns,
+                },
+            )
+        })
+        .collect();
+    if let Some(n) = limit {
+        stacks.truncate(n);
+    }
+    let total: u64 = stacks.iter().map(|(_, c)| c.samples).sum();
+    let total_cpu: u64 = stacks.iter().map(|(_, c)| c.cpu_ns).sum();
+    let self_rows: Vec<Json> = self_weights(&profile)
+        .into_iter()
+        .map(|(name, c)| {
+            Json::Obj(vec![
+                ("name".to_string(), Json::Str(name.to_string())),
+                ("samples".to_string(), Json::U64(c.samples)),
+                ("cpu_ns".to_string(), Json::U64(c.cpu_ns)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("name".to_string(), Json::Str("root".to_string())),
+        ("value".to_string(), Json::U64(total)),
+        ("cpu_ns".to_string(), Json::U64(total_cpu)),
+        (
+            "children".to_string(),
+            Json::Arr(flame_children(&stacks, 0)),
+        ),
+        ("hz".to_string(), Json::U64(hz())),
+        ("ticks".to_string(), Json::U64(ticks())),
+        (
+            "dropped".to_string(),
+            Json::U64(shared().dropped.load(Ordering::Relaxed)),
+        ),
+        ("running".to_string(), Json::Bool(is_running())),
+        ("self".to_string(), Json::Arr(self_rows)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    /// Serializes tests that toggle the global profiler/recorder.
+    fn prof_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn folded_profile_records_and_merges() {
+        let mut a = FoldedProfile::new();
+        a.record(
+            &[1, 2, 3],
+            StackCount {
+                samples: 2,
+                cpu_ns: 100,
+            },
+        );
+        a.record(
+            &[1, 2],
+            StackCount {
+                samples: 1,
+                cpu_ns: 40,
+            },
+        );
+        let mut b = FoldedProfile::new();
+        b.record(
+            &[1, 2, 3],
+            StackCount {
+                samples: 5,
+                cpu_ns: 10,
+            },
+        );
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.total_samples(), 8);
+        assert_eq!(a.total_cpu_ns(), 150);
+        assert_eq!(
+            a.stacks.get(&vec![1, 2, 3]).copied(),
+            Some(StackCount {
+                samples: 7,
+                cpu_ns: 110
+            })
+        );
+        // Empty stacks are never recorded.
+        a.record(
+            &[],
+            StackCount {
+                samples: 9,
+                cpu_ns: 9,
+            },
+        );
+        assert_eq!(a.total_samples(), 8);
+    }
+
+    #[test]
+    fn live_sampling_reproduces_the_span_hierarchy() {
+        let _g = prof_lock();
+        crate::span::set_profiling(true);
+        clear();
+        {
+            let _root = Span::root(crate::span::next_trace_id(), "prof.root", "test");
+            let _mid = Span::start("prof.mid", "test");
+            let _leaf = Span::start("prof.leaf", "test");
+            let mut last = HashMap::new();
+            sample_once(&mut last);
+            sample_once(&mut last);
+        }
+        crate::span::set_profiling(false);
+        let stacks = snapshot().resolved();
+        let ours: Vec<_> = stacks
+            .iter()
+            .filter(|s| s.frames.first() == Some(&"prof.root"))
+            .collect();
+        assert_eq!(ours.len(), 1, "stacks: {stacks:?}");
+        assert_eq!(ours[0].frames, vec!["prof.root", "prof.mid", "prof.leaf"]);
+        assert_eq!(ours[0].samples, 2);
+        // The folded line round-trips the path.
+        assert_eq!(ours[0].folded_line(), "prof.root;prof.mid;prof.leaf 2");
+        clear();
+    }
+
+    #[test]
+    fn dropped_guard_empties_the_live_stack() {
+        let _g = prof_lock();
+        crate::span::set_profiling(true);
+        clear();
+        {
+            let _s = Span::root(crate::span::next_trace_id(), "prof.transient", "test");
+        }
+        // All spans closed: this thread contributes nothing.
+        let mut last = HashMap::new();
+        sample_once(&mut last);
+        let stacks = snapshot().resolved();
+        assert!(
+            !stacks.iter().any(|s| s.frames.contains(&"prof.transient")),
+            "closed span still sampled: {stacks:?}"
+        );
+        crate::span::set_profiling(false);
+        clear();
+    }
+
+    #[test]
+    fn sampler_thread_runs_and_stops() {
+        let _g = prof_lock();
+        clear();
+        assert!(start(997));
+        assert!(!start(997), "double start must refuse");
+        assert!(is_running());
+        assert_eq!(hz(), 997);
+        let _span = Span::root(crate::span::next_trace_id(), "prof.spin", "test");
+        let until = Instant::now() + Duration::from_millis(300);
+        while ticks() < 3 && Instant::now() < until {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(_span);
+        stop();
+        assert!(!is_running());
+        assert!(ticks() >= 3, "sampler took {} ticks", ticks());
+        let stacks = snapshot().resolved();
+        assert!(
+            stacks.iter().any(|s| s.frames == vec!["prof.spin"]),
+            "live span not sampled: {stacks:?}"
+        );
+        clear();
+    }
+
+    #[test]
+    fn folded_bounded_caps_bytes_with_a_useful_hint() {
+        let _g = prof_lock();
+        clear();
+        {
+            let mut agg = shared().agg.lock().unwrap();
+            for i in 0..64u16 {
+                let name: &'static str = Box::leak(format!("bounded.{i}").into_boxed_str());
+                agg.record(
+                    &[crate::span::intern_for_test(name)],
+                    StackCount {
+                        samples: (i + 1) as u64,
+                        cpu_ns: 0,
+                    },
+                );
+            }
+        }
+        let full = folded_text();
+        assert_eq!(full.lines().count(), 64);
+        let err = folded_bounded(64, None).unwrap_err();
+        assert_eq!(err.max_bytes, 64);
+        assert!(err.stacks_fit < err.stacks_total);
+        // A limit keeps the heaviest stacks and fits.
+        let top = folded_bounded(1 << 20, Some(3)).unwrap();
+        assert_eq!(top.lines().count(), 3);
+        assert!(top.lines().next().unwrap().ends_with(" 64"));
+        clear();
+    }
+
+    #[test]
+    fn flame_json_nests_and_conserves_values() {
+        let _g = prof_lock();
+        clear();
+        {
+            let mut agg = shared().agg.lock().unwrap();
+            // Two paths sharing a root; values must roll up.
+            let (a, b, c) = (
+                crate::span::intern_for_test("flame.a"),
+                crate::span::intern_for_test("flame.b"),
+                crate::span::intern_for_test("flame.c"),
+            );
+            agg.record(
+                &[a, b],
+                StackCount {
+                    samples: 3,
+                    cpu_ns: 30,
+                },
+            );
+            agg.record(
+                &[a, c],
+                StackCount {
+                    samples: 2,
+                    cpu_ns: 20,
+                },
+            );
+        }
+        let doc = flame_json(None);
+        let text = doc.to_string_compact();
+        let parsed = crate::json::parse(&text).expect("flame JSON parses");
+        assert_eq!(parsed.get("name").unwrap().as_str(), Some("root"));
+        assert_eq!(parsed.get("value").unwrap().as_u64(), Some(5));
+        let children = parsed.get("children").unwrap().as_arr().unwrap();
+        let a = children
+            .iter()
+            .find(|c| c.get("name").unwrap().as_str() == Some("flame.a"))
+            .expect("root child flame.a");
+        assert_eq!(a.get("value").unwrap().as_u64(), Some(5));
+        let grand = a.get("children").unwrap().as_arr().unwrap();
+        assert_eq!(grand.len(), 2);
+        let vals: u64 = grand
+            .iter()
+            .map(|g| g.get("value").unwrap().as_u64().unwrap())
+            .sum();
+        assert_eq!(vals, 5);
+        // Self weights: leaves carry everything, the shared root nothing.
+        let selfs = self_weights(&snapshot());
+        assert!(selfs.iter().any(|(n, c)| *n == "flame.b" && c.samples == 3));
+        assert!(!selfs.iter().any(|(n, _)| *n == "flame.a"));
+        clear();
+    }
+}

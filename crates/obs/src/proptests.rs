@@ -396,3 +396,135 @@ fn concurrent_drain_never_observes_a_torn_record() {
     let written = w.join().unwrap();
     assert!(written > 0);
 }
+
+// ---------------------------------------------------------------------------
+// Folded-stack aggregation (prof.rs)
+// ---------------------------------------------------------------------------
+
+use crate::prof::{FoldedProfile, StackCount};
+
+/// Interns a fixed palette of span names through the production table
+/// and returns their indices. Idempotent: the interner dedups, so
+/// repeated calls (and other tests) always agree on the mapping.
+fn prof_name_table() -> &'static [(u16, &'static str)] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<Vec<(u16, &'static str)>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        [
+            "prop.root",
+            "prop.query",
+            "prop.visit",
+            "prop.decode",
+            "prop.wal",
+            "prop.flush",
+        ]
+        .iter()
+        .map(|&name| (crate::span::intern_for_test(name), name))
+        .collect()
+    })
+}
+
+/// A batch of raw profiler samples: (palette indices root-first, weight).
+fn arb_prof_batch() -> impl Strategy<Value = Vec<(Vec<usize>, StackCount)>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(0usize..6, 0..5),
+            (0u64..50, 0u64..1_000_000u64)
+                .prop_map(|(samples, cpu_ns)| StackCount { samples, cpu_ns }),
+        ),
+        0..24,
+    )
+}
+
+fn build_profile(batch: &[(Vec<usize>, StackCount)]) -> FoldedProfile {
+    let table = prof_name_table();
+    let mut p = FoldedProfile::new();
+    for (path, count) in batch {
+        let frames: Vec<u16> = path.iter().map(|&i| table[i].0).collect();
+        p.record(&frames, *count);
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // merge is associative (and the BTreeMap keying makes it
+    // order-insensitive): (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    #[test]
+    fn folded_merge_is_associative(
+        a in arb_prof_batch(),
+        b in arb_prof_batch(),
+        c in arb_prof_batch(),
+    ) {
+        let (pa, pb, pc) = (build_profile(&a), build_profile(&b), build_profile(&c));
+
+        let mut left = pa.clone();
+        left.merge(&pb);
+        left.merge(&pc);
+
+        let mut bc = pb.clone();
+        bc.merge(&pc);
+        let mut right = pa.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left, right);
+    }
+
+    // record + merge conserve both weights: nothing is lost or
+    // double-counted, except empty stacks which are dropped by design.
+    #[test]
+    fn folded_counts_are_conserved(
+        a in arb_prof_batch(),
+        b in arb_prof_batch(),
+    ) {
+        let expect = |batch: &[(Vec<usize>, StackCount)]| {
+            batch
+                .iter()
+                .filter(|(path, _)| !path.is_empty())
+                .fold((0u64, 0u64), |(s, n), (_, c)| (s + c.samples, n + c.cpu_ns))
+        };
+        let (sa, na) = expect(&a);
+        let (sb, nb) = expect(&b);
+
+        let mut merged = build_profile(&a);
+        prop_assert_eq!(merged.total_samples(), sa);
+        prop_assert_eq!(merged.total_cpu_ns(), na);
+        merged.merge(&build_profile(&b));
+        prop_assert_eq!(merged.total_samples(), sa + sb);
+        prop_assert_eq!(merged.total_cpu_ns(), nb + na);
+    }
+
+    // Resolving stacks back through the interner returns exactly the
+    // names that were recorded — aggregation never corrupts or
+    // cross-wires the &'static str table.
+    #[test]
+    fn folded_resolution_preserves_names(a in arb_prof_batch()) {
+        let table = prof_name_table();
+        let profile = build_profile(&a);
+        let resolved = profile.resolved();
+
+        // Heaviest-first ordering by samples.
+        for w in resolved.windows(2) {
+            prop_assert!(w[0].samples >= w[1].samples);
+        }
+
+        // Every resolved stack is one of the recorded paths, verbatim.
+        let recorded: std::collections::HashSet<Vec<&'static str>> = a
+            .iter()
+            .filter(|(path, _)| !path.is_empty())
+            .map(|(path, _)| path.iter().map(|&i| table[i].1).collect())
+            .collect();
+        prop_assert_eq!(resolved.len(), recorded.len());
+        for stack in &resolved {
+            prop_assert!(
+                recorded.contains(&stack.frames),
+                "unrecorded stack surfaced: {:?}", stack.frames
+            );
+            let line = stack.folded_line();
+            let (names, samples) = line.rsplit_once(' ').unwrap();
+            prop_assert_eq!(names, stack.frames.join(";"));
+            prop_assert_eq!(samples.parse::<u64>().unwrap(), stack.samples);
+        }
+    }
+}

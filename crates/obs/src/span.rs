@@ -41,11 +41,19 @@ pub const MAX_ATTRS: usize = 4;
 /// Default per-thread ring capacity, in spans.
 pub const DEFAULT_RING_SPANS: usize = 4096;
 
+/// Maximum live-span-stack depth mirrored per thread for the sampling
+/// profiler; the root-most frames are kept and deeper leaves dropped.
+pub const MAX_LIVE_DEPTH: usize = 32;
+
 // ---------------------------------------------------------------------------
 // Globals
 // ---------------------------------------------------------------------------
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+static PROFILING: AtomicBool = AtomicBool::new(false);
+/// `ENABLED || PROFILING`, maintained by the two setters so every
+/// instrumentation site still pays exactly one relaxed load when idle.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
 static RING_CAP: AtomicUsize = AtomicUsize::new(DEFAULT_RING_SPANS);
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
@@ -56,7 +64,7 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-fn rings() -> &'static Mutex<Vec<Arc<ThreadRing>>> {
+pub(crate) fn rings() -> &'static Mutex<Vec<Arc<ThreadRing>>> {
     static RINGS: OnceLock<Mutex<Vec<Arc<ThreadRing>>>> = OnceLock::new();
     RINGS.get_or_init(|| Mutex::new(Vec::new()))
 }
@@ -67,9 +75,18 @@ fn interner() -> &'static Mutex<Vec<&'static str>> {
     NAMES.get_or_init(|| Mutex::new(vec![""]))
 }
 
+/// One frame of a thread's open-span stack: causal coordinates plus the
+/// interned name/category the sampling profiler folds into stacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LiveFrame {
+    ctx: SpanCtx,
+    name: u16,
+    cat: u16,
+}
+
 thread_local! {
     static LOCAL_RING: OnceCell<Arc<ThreadRing>> = const { OnceCell::new() };
-    static SPAN_STACK: RefCell<Vec<SpanCtx>> = const { RefCell::new(Vec::new()) };
+    static SPAN_STACK: RefCell<Vec<LiveFrame>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Turns span recording on or off, process-wide. Off is the default;
@@ -77,12 +94,34 @@ thread_local! {
 /// atomic load.
 pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
+    ACTIVE.store(on || PROFILING.load(Ordering::Relaxed), Ordering::Relaxed);
 }
 
-/// Whether spans are currently being recorded.
+/// Whether spans are currently being recorded into the flight rings.
 #[inline]
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the profiler's live-stack maintenance on or off, process-wide.
+/// While on, every open [`Span`] mirrors its interned name onto a
+/// lock-free per-thread stack the sampler reads cross-thread; the ring
+/// buffers stay untouched unless [`set_enabled`] is also on.
+pub fn set_profiling(on: bool) {
+    PROFILING.store(on, Ordering::Relaxed);
+    ACTIVE.store(on || ENABLED.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Whether the sampling profiler's live stacks are being maintained.
+#[inline]
+pub fn profiling() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+/// Whether spans have any consumer at all (rings or profiler).
+#[inline]
+fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
 }
 
 /// Sets the per-thread ring capacity (in spans) for rings created
@@ -119,8 +158,15 @@ fn intern(s: &'static str) -> u16 {
     i as u16
 }
 
-fn resolve(idx: u16) -> &'static str {
+pub(crate) fn resolve(idx: u16) -> &'static str {
     interner().lock().unwrap()[idx as usize]
+}
+
+/// Interns a name through the production table (test support for the
+/// profiler's aggregation tests).
+#[cfg(test)]
+pub(crate) fn intern_for_test(s: &'static str) -> u16 {
+    intern(s)
 }
 
 // ---------------------------------------------------------------------------
@@ -156,6 +202,16 @@ pub(crate) struct ThreadRing {
     /// Total records ever written; `head % cap` is the next slot.
     head: AtomicU64,
     slots: Vec<Slot>,
+    /// The owning thread's CPU clock, readable cross-thread by the
+    /// sampling profiler. Reads fail once the owner exits.
+    clock: cputime::ThreadClock,
+    /// Seqlock over the live-span-stack mirror below: odd while the
+    /// owning thread rewrites it, even when committed.
+    live_seq: AtomicU64,
+    /// Open frames currently mirrored in `live` (root first).
+    live_len: AtomicUsize,
+    /// Interned `name | cat << 16` per open span, root at index 0.
+    live: [AtomicU64; MAX_LIVE_DEPTH],
 }
 
 impl ThreadRing {
@@ -164,7 +220,59 @@ impl ThreadRing {
             tid: NEXT_THREAD_SEQ.fetch_add(1, Ordering::Relaxed),
             head: AtomicU64::new(0),
             slots: (0..cap).map(|_| Slot::new()).collect(),
+            clock: cputime::ThreadClock::for_current_thread(),
+            live_seq: AtomicU64::new(0),
+            live_len: AtomicUsize::new(0),
+            live: std::array::from_fn(|_| AtomicU64::new(0)),
         }
+    }
+
+    /// The owning thread's dense id.
+    pub(crate) fn tid(&self) -> u64 {
+        self.tid
+    }
+
+    /// The owning thread's cumulative CPU nanoseconds, if its clock is
+    /// still readable.
+    pub(crate) fn cpu_ns(&self) -> Option<u64> {
+        self.clock.cpu_ns()
+    }
+
+    /// Rewrites the live-stack mirror from the thread-local span stack.
+    /// Owning thread only; readers detect the in-progress window via the
+    /// seqlock.
+    fn sync_live(&self, stack: &[LiveFrame]) {
+        let n = stack.len().min(MAX_LIVE_DEPTH);
+        self.live_seq.fetch_add(1, Ordering::AcqRel); // odd: rewrite in progress
+        for (slot, f) in self.live[..n].iter().zip(stack) {
+            slot.store(f.name as u64 | (f.cat as u64) << 16, Ordering::Relaxed);
+        }
+        self.live_len.store(n, Ordering::Relaxed);
+        self.live_seq.fetch_add(1, Ordering::Release); // even: committed
+    }
+
+    /// Snapshot of the live span stack as interned `(name, cat)` pairs,
+    /// root first. `None` when the owner was mid-rewrite on every retry
+    /// — the sampler skips the thread for this tick rather than block.
+    pub(crate) fn live_stack(&self) -> Option<Vec<(u16, u16)>> {
+        for _ in 0..3 {
+            let s1 = self.live_seq.load(Ordering::Acquire);
+            if s1 % 2 != 0 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let n = self.live_len.load(Ordering::Relaxed).min(MAX_LIVE_DEPTH);
+            let mut out = Vec::with_capacity(n);
+            for slot in &self.live[..n] {
+                let w = slot.load(Ordering::Relaxed);
+                out.push((w as u16, (w >> 16) as u16));
+            }
+            let s2 = self.live_seq.load(Ordering::Acquire);
+            if s1 == s2 {
+                return Some(out);
+            }
+        }
+        None
     }
 
     /// Single-writer append (owning thread only).
@@ -312,14 +420,14 @@ pub struct SpanData {
 /// The innermost open span on this thread, if any — the implicit
 /// parent for [`Span::start`].
 pub fn current_ctx() -> Option<SpanCtx> {
-    SPAN_STACK.with(|s| s.borrow().last().copied())
+    SPAN_STACK.with(|s| s.borrow().last().map(|f| f.ctx))
 }
 
 struct ActiveSpan {
     ctx: SpanCtx,
     parent: u64,
-    name: &'static str,
-    cat: &'static str,
+    name: u16,
+    cat: u16,
     start_ns: u64,
     attrs: [(u16, u64); MAX_ATTRS],
     nattrs: u8,
@@ -347,13 +455,25 @@ impl Span {
             trace_id,
             span_id: next_span_id(),
         };
-        SPAN_STACK.with(|s| s.borrow_mut().push(ctx));
+        // Interned here (not at drop) so the live-stack mirror carries
+        // names the sampler can resolve; drop reuses the indices.
+        let frame = LiveFrame {
+            ctx,
+            name: intern(name),
+            cat: intern(cat),
+        };
+        let ring = local_ring();
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            stack.push(frame);
+            ring.sync_live(&stack);
+        });
         Span {
             inner: Some(ActiveSpan {
                 ctx,
                 parent,
-                name,
-                cat,
+                name: frame.name,
+                cat: frame.cat,
                 start_ns,
                 attrs: [(0, 0); MAX_ATTRS],
                 nattrs: 0,
@@ -363,7 +483,7 @@ impl Span {
 
     /// Starts a root span of a fresh or caller-supplied trace.
     pub fn root(trace_id: u64, name: &'static str, cat: &'static str) -> Span {
-        if !enabled() {
+        if !active() {
             return Span { inner: None };
         }
         Span::open(trace_id, 0, name, cat)
@@ -372,7 +492,7 @@ impl Span {
     /// Starts a root span whose start was measured earlier (e.g. before
     /// frame decode resolved the request's own `trace_id`).
     pub fn root_at(trace_id: u64, name: &'static str, cat: &'static str, start_ns: u64) -> Span {
-        if !enabled() {
+        if !active() {
             return Span { inner: None };
         }
         Span::open_at(trace_id, 0, name, cat, start_ns)
@@ -381,7 +501,7 @@ impl Span {
     /// Starts a span parented to the innermost open span on this
     /// thread; with no open span it starts a root of a fresh trace.
     pub fn start(name: &'static str, cat: &'static str) -> Span {
-        if !enabled() {
+        if !active() {
             return Span { inner: None };
         }
         match current_ctx() {
@@ -393,7 +513,7 @@ impl Span {
     /// Starts a span under an explicitly carried parent (cross-thread
     /// hand-off); `None` behaves like [`Span::start`].
     pub fn with_parent(parent: Option<SpanCtx>, name: &'static str, cat: &'static str) -> Span {
-        if !enabled() {
+        if !active() {
             return Span { inner: None };
         }
         match parent {
@@ -422,28 +542,35 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         let Some(a) = self.inner.take() else { return };
+        let ring = local_ring();
         SPAN_STACK.with(|s| {
             let mut stack = s.borrow_mut();
             // Guards drop LIFO, so this is almost always a pop; the
             // retain covers a guard outliving a later sibling.
-            if stack.last() == Some(&a.ctx) {
+            if stack.last().map(|f| f.ctx) == Some(a.ctx) {
                 stack.pop();
             } else {
-                stack.retain(|c| *c != a.ctx);
+                stack.retain(|f| f.ctx != a.ctx);
             }
+            ring.sync_live(&stack);
         });
+        // The live stack must stay balanced whenever spans are active,
+        // but the flight rings only record when tracing proper is on.
+        if !enabled() {
+            return;
+        }
         let rec = RawRecord {
             trace_id: a.ctx.trace_id,
             span_id: a.ctx.span_id,
             parent: a.parent,
             start_ns: a.start_ns,
             dur_ns: now_ns().saturating_sub(a.start_ns),
-            name: intern(a.name),
-            cat: intern(a.cat),
+            name: a.name,
+            cat: a.cat,
             nattrs: a.nattrs,
             attrs: a.attrs,
         };
-        local_ring().push(&rec);
+        ring.push(&rec);
     }
 }
 
@@ -669,30 +796,69 @@ pub fn clear_slow() {
     slow_log().entries.lock().unwrap().clear();
 }
 
+fn slow_entry_json(e: &SlowEntry) -> Json {
+    Json::Obj(vec![
+        ("trace_id".to_string(), Json::U64(e.trace_id)),
+        ("name".to_string(), Json::Str(e.name.clone())),
+        ("dur_us".to_string(), Json::U64(e.dur_ns / 1_000)),
+        ("unix_ms".to_string(), Json::U64(e.unix_ms)),
+        (
+            "spans".to_string(),
+            Json::Arr(e.spans.iter().map(span_event).collect()),
+        ),
+        (
+            "explain".to_string(),
+            e.explain.clone().unwrap_or(Json::Null),
+        ),
+    ])
+}
+
 /// The slow-query log as a JSON array, newest last.
 pub fn slow_entries_json() -> Json {
+    Json::Arr(slow_entries().iter().map(slow_entry_json).collect())
+}
+
+/// Overflow report from [`slow_entries_json_bounded`]: the log held
+/// `entries_total` entries but only the newest `entries_fit` fit under
+/// `max_bytes` — the retry hint for `/debug/slow?limit=`.
+#[derive(Debug, Clone, Copy)]
+pub struct SlowOverflow {
+    /// Entries in the slow-query log.
+    pub entries_total: usize,
+    /// How many of the newest entries fit under the cap.
+    pub entries_fit: usize,
+    /// The byte cap that was exceeded.
+    pub max_bytes: usize,
+}
+
+/// Like [`slow_entries_json`], but serialized under a byte cap. `limit`
+/// keeps only the newest N entries (slow entries retain whole span
+/// trees, so a few deep requests can dominate the payload). Err carries
+/// how many entries *would* have fit, so callers can retry bounded.
+pub fn slow_entries_json_bounded(
+    max_bytes: usize,
+    limit: Option<usize>,
+) -> Result<String, SlowOverflow> {
     let entries = slow_entries();
-    Json::Arr(
-        entries
-            .iter()
-            .map(|e| {
-                Json::Obj(vec![
-                    ("trace_id".to_string(), Json::U64(e.trace_id)),
-                    ("name".to_string(), Json::Str(e.name.clone())),
-                    ("dur_us".to_string(), Json::U64(e.dur_ns / 1_000)),
-                    ("unix_ms".to_string(), Json::U64(e.unix_ms)),
-                    (
-                        "spans".to_string(),
-                        Json::Arr(e.spans.iter().map(span_event).collect()),
-                    ),
-                    (
-                        "explain".to_string(),
-                        e.explain.clone().unwrap_or(Json::Null),
-                    ),
-                ])
-            })
-            .collect(),
-    )
+    let total = entries.len();
+    let take = limit.unwrap_or(total).min(total);
+    let mut out = String::from("[");
+    for (i, e) in entries[total - take..].iter().enumerate() {
+        let doc = slow_entry_json(e).to_string_compact();
+        if out.len() + doc.len() + 2 > max_bytes {
+            return Err(SlowOverflow {
+                entries_total: total,
+                entries_fit: i,
+                max_bytes,
+            });
+        }
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&doc);
+    }
+    out.push(']');
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -25,10 +25,12 @@ use std::time::Duration;
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 /// SIGUSR1 flag: the main loop notices it and dumps the flight recorder.
 static DUMP: AtomicBool = AtomicBool::new(false);
+/// SIGUSR2 flag: the main loop notices it and dumps the folded profile.
+static DUMP_PROFILE: AtomicBool = AtomicBool::new(false);
 
 #[cfg(unix)]
 mod signals {
-    use super::{DUMP, SHUTDOWN};
+    use super::{DUMP, DUMP_PROFILE, SHUTDOWN};
     use std::sync::atomic::Ordering;
 
     extern "C" {
@@ -37,21 +39,27 @@ mod signals {
 
     extern "C" fn on_signal(signum: i32) {
         const SIGUSR1: i32 = 10;
+        const SIGUSR2: i32 = 12;
         if signum == SIGUSR1 {
             DUMP.store(true, Ordering::SeqCst);
+        } else if signum == SIGUSR2 {
+            DUMP_PROFILE.store(true, Ordering::SeqCst);
         } else {
             SHUTDOWN.store(true, Ordering::SeqCst);
         }
     }
 
-    /// Installs SIGINT/SIGTERM (drain) and SIGUSR1 (flight dump) handlers.
+    /// Installs SIGINT/SIGTERM (drain), SIGUSR1 (flight dump), and
+    /// SIGUSR2 (profile dump) handlers.
     pub fn install() {
         const SIGINT: i32 = 2;
         const SIGUSR1: i32 = 10;
+        const SIGUSR2: i32 = 12;
         const SIGTERM: i32 = 15;
         unsafe {
             signal(SIGINT, on_signal);
             signal(SIGUSR1, on_signal);
+            signal(SIGUSR2, on_signal);
             signal(SIGTERM, on_signal);
         }
     }
@@ -84,6 +92,7 @@ struct Opts {
     checkpoint_ms: Option<u64>,
     trace: bool,
     slow_ms: Option<u64>,
+    profile_hz: u32,
     sample_ms: Option<u64>,
     history_cap: usize,
 }
@@ -111,6 +120,7 @@ impl Default for Opts {
             checkpoint_ms: None,
             trace: false,
             slow_ms: None,
+            profile_hz: 0,
             sample_ms: None,
             history_cap: 512,
         }
@@ -147,6 +157,10 @@ const USAGE: &str = "sg-serve: serve a generated SG-tree dataset over TCP
                           /debug/flight; kill -USR1 dumps them to a file)
   --slow-ms N             capture requests slower than N ms, with their
                           span tree and EXPLAIN trace, at /debug/slow
+  --profile-hz N          sample every thread's live span stack N times a
+                          second into folded stacks, served at
+                          /debug/profile (kill -USR2 dumps them to a
+                          file); 0 = off (default)
   --sample-ms N           sample every metric into an in-memory ring every
                           N ms, served as JSON at /metrics/history
   --history-cap N         samples kept by the history ring (default 512)
@@ -197,6 +211,7 @@ fn parse_opts() -> Result<Opts, String> {
             }
             "--trace" => opts.trace = true,
             "--slow-ms" => opts.slow_ms = Some(parse_num(&val("--slow-ms")?, "--slow-ms")?),
+            "--profile-hz" => opts.profile_hz = parse_num(&val("--profile-hz")?, "--profile-hz")?,
             "--sample-ms" => opts.sample_ms = Some(parse_num(&val("--sample-ms")?, "--sample-ms")?),
             "--history-cap" => {
                 opts.history_cap = parse_num(&val("--history-cap")?, "--history-cap")?
@@ -237,6 +252,27 @@ fn dump_flight(data_dir: Option<&str>) {
     }
 }
 
+/// SIGUSR2 postmortem dump: writes the profiler's folded stacks to
+/// `<data-dir>/profile-<unix_ms>.folded` (or the working directory when
+/// the server runs without durability) — `flamegraph.pl`-ready.
+fn dump_profile(data_dir: Option<&str>) {
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    let dir = std::path::Path::new(data_dir.unwrap_or("."));
+    let path = dir.join(format!("profile-{unix_ms}.folded"));
+    let body = sg_obs::prof::folded_text();
+    match std::fs::write(&path, &body) {
+        Ok(()) => eprintln!(
+            "sg-serve: profile dumped to {} ({} bytes)",
+            path.display(),
+            body.len()
+        ),
+        Err(e) => eprintln!("sg-serve: profile dump to {} failed: {e}", path.display()),
+    }
+}
+
 /// The deterministic synthetic dataset: clustered transactions, the same
 /// shape the bench workloads use.
 fn generate(rows: usize, nbits: u32, row_items: usize, seed: u64) -> Vec<(u64, Signature)> {
@@ -270,6 +306,16 @@ fn main() {
     if let Some(ms) = opts.slow_ms {
         sg_obs::span::set_slow_threshold_ns(ms.saturating_mul(1_000_000));
         eprintln!("sg-serve: slow-query capture at {ms}ms");
+    }
+    if opts.profile_hz > 0 {
+        if sg_obs::prof::start(opts.profile_hz) {
+            eprintln!(
+                "sg-serve: span-stack profiler on at {} Hz",
+                sg_obs::prof::hz()
+            );
+        } else {
+            eprintln!("sg-serve: profiler already running; --profile-hz ignored");
+        }
     }
 
     let exec_config = ExecConfig {
@@ -391,7 +437,7 @@ fn main() {
     if let Some(admin) = server.admin_addr() {
         println!(
             "sg-serve: admin http on {admin} (/metrics, /metrics/history, /healthz, \
-             /debug/tree, /debug/flight, /debug/slow)"
+             /debug/tree, /debug/flight, /debug/slow, /debug/profile, /debug/costs)"
         );
     }
     if let Some(path) = &opts.port_file {
@@ -407,9 +453,15 @@ fn main() {
         if DUMP.swap(false, Ordering::SeqCst) {
             dump_flight(opts.data_dir.as_deref());
         }
+        if DUMP_PROFILE.swap(false, Ordering::SeqCst) {
+            dump_profile(opts.data_dir.as_deref());
+        }
         std::thread::sleep(Duration::from_millis(50));
     }
     eprintln!("sg-serve: shutdown requested, draining");
+    if opts.profile_hz > 0 {
+        sg_obs::prof::stop();
+    }
     let report = server.join();
     // Every acknowledged write is already on the WAL; the checkpoint just
     // makes the next open fast (snapshot + short tail).

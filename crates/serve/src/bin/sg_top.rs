@@ -29,6 +29,8 @@ struct Opts {
     frames: u64,
     /// Append frames instead of redrawing in place (no ANSI escapes).
     plain: bool,
+    /// Render one frame to stdout and exit (implies --plain).
+    once: bool,
 }
 
 impl Default for Opts {
@@ -39,6 +41,7 @@ impl Default for Opts {
             window: "60s".into(),
             frames: 0,
             plain: false,
+            once: false,
         }
     }
 }
@@ -52,6 +55,8 @@ const USAGE: &str = "sg-top: live dashboard for a running sg-serve
                       e.g. 60s or 1500ms (default 60s)
   --frames N          render N frames then exit; 0 = until killed
   --plain             no ANSI redraw: append one frame per interval
+  --once              render a single frame and exit (implies --plain);
+                      for scripts and smoke tests
 ";
 
 fn parse_opts() -> Result<Opts, String> {
@@ -73,6 +78,11 @@ fn parse_opts() -> Result<Opts, String> {
                     .map_err(|_| "--frames: not a number".to_string())?
             }
             "--plain" => opts.plain = true,
+            "--once" => {
+                opts.once = true;
+                opts.plain = true;
+                opts.frames = 1;
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -192,7 +202,46 @@ fn bar(v: f64, max: f64, width: usize) -> String {
     "█".repeat(n.min(width))
 }
 
-fn render(opts: &Opts, frame: u64, history: &Json, tree: Option<&Json>, healthz: &str) -> String {
+/// The top-N self-time span names from a `/debug/profile?format=json`
+/// document, rendered `name 42%` against the total sampled CPU.
+fn hot_spans(profile: &Json, n: usize) -> Vec<String> {
+    let selfs = match profile.get("self").and_then(Json::as_arr) {
+        Some(a) => a,
+        None => return Vec::new(),
+    };
+    let total: u64 = selfs
+        .iter()
+        .filter_map(|s| s.get("cpu_ns").and_then(Json::as_u64))
+        .sum();
+    let mut rows: Vec<(String, u64)> = selfs
+        .iter()
+        .filter_map(|s| {
+            let name = s.get("name").and_then(Json::as_str)?.to_string();
+            let cpu = s.get("cpu_ns").and_then(Json::as_u64)?;
+            Some((name, cpu))
+        })
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1));
+    rows.truncate(n);
+    rows.into_iter()
+        .map(|(name, cpu)| {
+            if total > 0 {
+                format!("{name} {:.0}%", cpu as f64 * 100.0 / total as f64)
+            } else {
+                name
+            }
+        })
+        .collect()
+}
+
+fn render(
+    opts: &Opts,
+    frame: u64,
+    history: &Json,
+    tree: Option<&Json>,
+    profile: Option<&Json>,
+    healthz: &str,
+) -> String {
     let mut out = String::new();
     let push = |out: &mut String, line: String| {
         out.push_str(&line);
@@ -292,6 +341,16 @@ fn render(opts: &Opts, frame: u64, history: &Json, tree: Option<&Json>, healthz:
         }
     }
 
+    // Hot spans: where sampled CPU self-time concentrates, from the
+    // span-stack profiler (present only with sg-serve --profile-hz N).
+    if let Some(p) = profile {
+        let running = matches!(p.get("running"), Some(Json::Bool(true)));
+        let hot = hot_spans(p, 3);
+        if running && !hot.is_empty() {
+            push(&mut out, format!("hot spans {}", hot.join("   ")));
+        }
+    }
+
     match tree {
         Some(t) => {
             let status = t.get("status").and_then(Json::as_str).unwrap_or("?");
@@ -378,8 +437,19 @@ fn main() {
         let healthz = http_get(&opts.admin, "/healthz")
             .map(|(_, b)| b)
             .unwrap_or_else(|_| "unreachable".into());
+        let profile = http_get(&opts.admin, "/debug/profile?format=json")
+            .ok()
+            .filter(|(s, _)| *s == 200)
+            .and_then(|(_, b)| json::parse(&b).ok());
 
-        let screen = render(&opts, frame, &history, tree.as_ref(), &healthz);
+        let screen = render(
+            &opts,
+            frame,
+            &history,
+            tree.as_ref(),
+            profile.as_ref(),
+            &healthz,
+        );
         if opts.plain {
             println!("{screen}");
         } else {

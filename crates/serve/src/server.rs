@@ -22,7 +22,7 @@ use crate::proto::{
 };
 use sg_exec::{QueryOutput, QueryRequest, ShardedExecutor, WriteOp};
 use sg_obs::json::Json;
-use sg_obs::{export, span, MetricHistory, Registry, Sampler, ServeObs, Span};
+use sg_obs::{export, prof, span, CostModel, MetricHistory, Registry, Sampler, ServeObs, Span};
 use sg_sig::{Metric, Signature};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -60,6 +60,11 @@ pub struct ServeConfig {
     /// Byte cap for `/debug/flight` responses; a dump over the cap gets a
     /// `413` pointing at `?limit=` instead of an unbounded body.
     pub flight_max_bytes: usize,
+    /// Byte cap for `/debug/slow` responses (slow entries retain whole
+    /// span trees, so a handful of deep requests can balloon the body).
+    pub slow_max_bytes: usize,
+    /// Byte cap for `/debug/profile` responses.
+    pub profile_max_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +80,8 @@ impl Default for ServeConfig {
             sample_interval: None,
             history_capacity: 512,
             flight_max_bytes: 4 << 20,
+            slow_max_bytes: 4 << 20,
+            profile_max_bytes: 4 << 20,
         }
     }
 }
@@ -180,6 +187,9 @@ impl Server {
         };
 
         let obs = ServeObs::register(&registry, "serve");
+        // Resource totals (cost.cpu_ns, cost.lane_ops, …) ride the same
+        // registry as every other counter, so /metrics/history rates them.
+        exec.register_cost_obs(&registry, "cost");
         let batcher = Batcher::start(Arc::clone(&exec), config.policy.clone(), Arc::clone(&obs));
         let sampler = config
             .sample_interval
@@ -755,10 +765,63 @@ fn serve_admin_conn(inner: &Inner, registry: &Registry, mut stream: TcpStream) {
                 ),
             }
         }
-        ("GET", "/debug/slow") => (
+        ("GET", "/debug/slow") => {
+            let limit = query_param(query, "limit").and_then(|v| v.parse::<usize>().ok());
+            match span::slow_entries_json_bounded(inner.config.slow_max_bytes, limit) {
+                Ok(body) => ("200 OK", "application/json", body),
+                Err(o) => (
+                    "413 Payload Too Large",
+                    "text/plain",
+                    format!(
+                        "slow-query log of {} entries exceeds the {}-byte cap; \
+                         retry with /debug/slow?limit={}\n",
+                        o.entries_total,
+                        o.max_bytes,
+                        o.entries_fit.max(1)
+                    ),
+                ),
+            }
+        }
+        ("GET", "/debug/profile") => {
+            let limit = query_param(query, "limit").and_then(|v| v.parse::<usize>().ok());
+            if query_param(query, "format") == Some("json") {
+                let body = prof::flame_json(limit).to_string_compact();
+                if body.len() > inner.config.profile_max_bytes {
+                    let fit = prof::snapshot().len() / 2;
+                    (
+                        "413 Payload Too Large",
+                        "text/plain",
+                        format!(
+                            "profile JSON exceeds the {}-byte cap; \
+                             retry with /debug/profile?format=json&limit={}\n",
+                            inner.config.profile_max_bytes,
+                            fit.max(1)
+                        ),
+                    )
+                } else {
+                    ("200 OK", "application/json", body)
+                }
+            } else {
+                match prof::folded_bounded(inner.config.profile_max_bytes, limit) {
+                    Ok(body) => ("200 OK", "text/plain", body),
+                    Err(o) => (
+                        "413 Payload Too Large",
+                        "text/plain",
+                        format!(
+                            "profile of {} stacks exceeds the {}-byte cap; \
+                             retry with /debug/profile?limit={}\n",
+                            o.stacks_total,
+                            o.max_bytes,
+                            o.stacks_fit.max(1)
+                        ),
+                    ),
+                }
+            }
+        }
+        ("GET", "/debug/costs") => (
             "200 OK",
             "application/json",
-            span::slow_entries_json().to_string_compact(),
+            CostModel::global().to_json().to_string_compact(),
         ),
         _ => ("404 Not Found", "text/plain", "not found\n".into()),
     };

@@ -196,3 +196,95 @@ fn flight_over_cap_is_413_and_limit_brings_it_back() {
     drop(client);
     server.join();
 }
+
+#[test]
+fn slow_log_over_cap_is_413_and_limit_brings_it_back() {
+    let exec = build_exec(50);
+    let server = Server::start(
+        exec,
+        Arc::new(Registry::new()),
+        ServeConfig {
+            slow_max_bytes: 128,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start server");
+    let admin = server.admin_addr().expect("admin bound");
+
+    // Arm the slow-query log so every request lands in it, then record
+    // enough requests that the dump cannot fit in 128 bytes.
+    sg_obs::span::clear_slow();
+    sg_obs::span::set_slow_threshold_ns(0);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for tid in 0..8u64 {
+        let _ = client.knn(&items_for(tid), 1, MetricName::Hamming, None);
+    }
+    sg_obs::span::set_slow_threshold_ns(u64::MAX);
+
+    let (status, body) = http_get(admin, "/debug/slow");
+    assert!(status.contains("413"), "status: {status}");
+    assert!(body.contains("?limit="), "hint missing: {body}");
+
+    // limit=0 always fits: an empty (but valid) JSON array.
+    let (status, body) = http_get(admin, "/debug/slow?limit=0");
+    assert!(status.contains("200"), "status: {status}");
+    let doc = sg_obs::json::parse(&body).expect("bounded slow log is JSON");
+    assert_eq!(doc.as_arr().map(<[Json]>::len), Some(0));
+
+    drop(client);
+    server.join();
+}
+
+#[test]
+fn profile_and_costs_endpoints_round_trip() {
+    let exec = build_exec(100);
+    let registry = Arc::new(Registry::new());
+    exec.register_obs(&registry, "exec");
+    let server = Server::start(exec, registry, ServeConfig::default()).expect("start server");
+    let admin = server.admin_addr().expect("admin bound");
+
+    // Traffic so the cost model has something to average.
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for tid in 0..10u64 {
+        let _ = client.knn(&items_for(tid), 2, MetricName::Hamming, None);
+    }
+
+    // /debug/profile with the sampler off: an empty folded dump, and a
+    // JSON document that says so.
+    let (status, body) = http_get(admin, "/debug/profile");
+    assert!(status.contains("200"), "folded status: {status}");
+    assert_eq!(body.trim(), "");
+    let (status, body) = http_get(admin, "/debug/profile?format=json");
+    assert!(status.contains("200"), "json status: {status}");
+    let doc = sg_obs::json::parse(&body).expect("profile is JSON");
+    assert!(matches!(doc.get("running"), Some(Json::Bool(false))));
+    assert_eq!(
+        doc.get("children")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(0)
+    );
+    assert_eq!(doc.get("value").and_then(Json::as_u64), Some(0));
+
+    // /debug/costs: the process-global model has per-kind EWMA rows,
+    // including the knn traffic this test just sent.
+    let (status, body) = http_get(admin, "/debug/costs");
+    assert!(status.contains("200"), "costs status: {status}");
+    let doc = sg_obs::json::parse(&body).expect("costs is JSON");
+    let models = doc.get("models").and_then(Json::as_arr).unwrap();
+    let knn = models
+        .iter()
+        .find(|m| {
+            m.get("index").and_then(Json::as_str) == Some("exec")
+                && m.get("kind").and_then(Json::as_str) == Some("knn")
+        })
+        .expect("exec/knn cost row");
+    assert!(knn.get("count").and_then(Json::as_u64).unwrap() >= 10);
+    assert!(knn.get("est_ns").and_then(Json::as_f64).unwrap() > 0.0);
+    let ewma = knn.get("ewma").expect("ewma block");
+    assert!(ewma.get("visits").and_then(Json::as_f64).unwrap() > 0.0);
+    assert!(ewma.get("bytes_decoded").and_then(Json::as_f64).unwrap() > 0.0);
+
+    drop(client);
+    server.join();
+}

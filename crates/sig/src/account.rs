@@ -1,0 +1,102 @@
+//! Thread-local kernel-work counters for per-query resource accounting.
+//!
+//! The hot sweep and decode paths cannot thread a stats struct through
+//! every call without contorting their signatures, so they bump two
+//! plain thread-local cells instead: **lane ops** (bitmap words swept by
+//! a dense kernel, or positions compared by a sparse probe) and **bytes
+//! decoded** (page bytes run through the codec). A query measures its
+//! own share by snapshotting around the call on the thread that runs it
+//! — queries execute on one thread end to end, so the delta is exact
+//! and needs no synchronization.
+//!
+//! Costs when nobody reads the counters: one thread-local add per node
+//! sweep / page decode, a few nanoseconds against sweeps that touch
+//! kilobytes — well inside the workspace's <5% observability budget.
+
+use std::cell::Cell;
+
+thread_local! {
+    static LANE_OPS: Cell<u64> = const { Cell::new(0) };
+    static BYTES_DECODED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A point-in-time reading of this thread's counters. Subtract two
+/// readings ([`Reading::delta`]) to bill the work between them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Reading {
+    /// Cumulative lane operations on this thread.
+    pub lane_ops: u64,
+    /// Cumulative codec bytes decoded on this thread.
+    pub bytes_decoded: u64,
+}
+
+impl Reading {
+    /// The work accrued since `earlier` (same thread; saturating, so a
+    /// mismatched pair degrades to zero rather than wrapping).
+    pub fn delta(&self, earlier: &Reading) -> Reading {
+        Reading {
+            lane_ops: self.lane_ops.saturating_sub(earlier.lane_ops),
+            bytes_decoded: self.bytes_decoded.saturating_sub(earlier.bytes_decoded),
+        }
+    }
+}
+
+/// This thread's cumulative counters.
+#[inline]
+pub fn read() -> Reading {
+    Reading {
+        lane_ops: LANE_OPS.get(),
+        bytes_decoded: BYTES_DECODED.get(),
+    }
+}
+
+/// Charges `n` kernel lane operations to this thread.
+#[inline]
+pub fn add_lane_ops(n: u64) {
+    LANE_OPS.set(LANE_OPS.get() + n);
+}
+
+/// Charges `n` codec bytes decoded to this thread.
+#[inline]
+pub fn add_bytes_decoded(n: u64) {
+    BYTES_DECODED.set(BYTES_DECODED.get() + n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_are_exact_and_per_thread() {
+        let before = read();
+        add_lane_ops(8);
+        add_bytes_decoded(4096);
+        add_lane_ops(8);
+        let d = read().delta(&before);
+        assert_eq!(d.lane_ops, 16);
+        assert_eq!(d.bytes_decoded, 4096);
+
+        // Another thread's work never leaks into this thread's delta.
+        let here = read();
+        std::thread::spawn(|| {
+            add_lane_ops(1_000_000);
+            assert!(read().lane_ops >= 1_000_000);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(read().delta(&here), Reading::default());
+    }
+
+    #[test]
+    fn mismatched_pairs_saturate_to_zero() {
+        let later = Reading {
+            lane_ops: 5,
+            bytes_decoded: 5,
+        };
+        let earlier = Reading {
+            lane_ops: 10,
+            bytes_decoded: 10,
+        };
+        assert_eq!(later.delta(&earlier), Reading::default());
+    }
+}

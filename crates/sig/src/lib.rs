@@ -18,6 +18,7 @@
 //! lower bounds, and the [`codec`] that stores sparse signatures as
 //! position lists (§3.2 of the paper).
 
+pub mod account;
 pub mod codec;
 pub mod kernels;
 pub mod metric;
